@@ -1,0 +1,64 @@
+//! Criterion bench for E4/E6/E7 (Figs. 4 and 8): full-row MAC
+//! transients and the analytic fast path, plus the `C_acc`-sizing
+//! ablation (DESIGN.md §6.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ferrocim_cim::cells::{CellOffsets, TwoTransistorOneFefet};
+use ferrocim_cim::{mac_operands, ArrayConfig, CimArray};
+use ferrocim_units::{Celsius, Farad};
+use std::hint::black_box;
+
+fn bench_array_mac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_array_mac");
+    group.sample_size(10);
+    let array = CimArray::new(
+        TwoTransistorOneFefet::paper_default(),
+        ArrayConfig::paper_default(),
+    )
+    .expect("valid config");
+    let (w, x) = mac_operands(8, 5);
+    let offsets = vec![CellOffsets::NOMINAL; 8];
+    group.bench_function("full_transient_mac8", |b| {
+        b.iter(|| {
+            array
+                .mac_with_offsets(&w, &x, black_box(Celsius(27.0)), &offsets)
+                .expect("transient")
+        })
+    });
+    group.bench_function("analytic_mac8", |b| {
+        b.iter(|| {
+            array
+                .mac_analytic(&w, &x, black_box(Celsius(27.0)), &offsets)
+                .expect("analytic")
+        })
+    });
+    group.bench_function("level_table", |b| {
+        b.iter(|| array.level_voltages(black_box(Celsius(27.0))).expect("levels"))
+    });
+    // Ablation: C_acc sizing trade (bigger C_acc → smaller signal,
+    // same solve cost; the interesting output is the NMR, measured in
+    // the ablation experiment, but the solve cost is tracked here).
+    for c_acc_ff in [4.0, 8.0, 16.0] {
+        let config = ArrayConfig {
+            c_acc: Farad(c_acc_ff * 1e-15),
+            ..ArrayConfig::paper_default()
+        };
+        let array = CimArray::new(TwoTransistorOneFefet::paper_default(), config)
+            .expect("valid config");
+        group.bench_with_input(
+            BenchmarkId::new("transient_vs_cacc_ff", c_acc_ff as u64),
+            &array,
+            |b, array| {
+                b.iter(|| {
+                    array
+                        .mac_with_offsets(&w, &x, Celsius(27.0), &offsets)
+                        .expect("transient")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_array_mac);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for E2/E3/E5 (Figs. 3 and 7): single-cell DC read
+//! solves for the baseline and proposed cells — the kernel of the
+//! temperature-fluctuation sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ferrocim_cim::cells::{
+    current_fluctuation, CellDesign, CellOffsets, OneFefetOneR, TwoTransistorOneFefet,
+};
+use ferrocim_spice::sweep::temperature_sweep;
+use ferrocim_units::Celsius;
+use std::hint::black_box;
+
+fn bench_cell_currents(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_fig7_cell_currents");
+    group.sample_size(30);
+    let baseline_sat = OneFefetOneR::saturation();
+    let baseline_sub = OneFefetOneR::subthreshold();
+    let proposed = TwoTransistorOneFefet::paper_default();
+    group.bench_function("1fefet1r_read_dc", |b| {
+        b.iter(|| {
+            baseline_sub
+                .read_current(true, true, black_box(Celsius(27.0)), &CellOffsets::NOMINAL)
+                .expect("dc solve")
+        })
+    });
+    group.bench_function("2t1fefet_read_dc", |b| {
+        b.iter(|| {
+            proposed
+                .read_current(true, true, black_box(Celsius(27.0)), &CellOffsets::NOMINAL)
+                .expect("dc solve")
+        })
+    });
+    group.bench_function("fig3a_full_sweep_saturation", |b| {
+        let temps = temperature_sweep(18);
+        b.iter(|| current_fluctuation(&baseline_sat, &temps, Celsius(27.0)).expect("sweep"))
+    });
+    group.bench_function("fig7_full_sweep_proposed", |b| {
+        let temps = temperature_sweep(18);
+        b.iter(|| current_fluctuation(&proposed, &temps, Celsius(27.0)).expect("sweep"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cell_currents);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for E1 (Fig. 1): FeFET I-V evaluation throughput —
+//! the primitive every experiment is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ferrocim_device::{Fefet, FefetParams, MosfetModel, MosfetParams, PolarizationState};
+use ferrocim_units::{Celsius, Volt};
+use std::hint::black_box;
+
+fn bench_fefet_iv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_fefet_iv");
+    let mut fefet = Fefet::new(FefetParams::paper_default());
+    fefet.force_state(PolarizationState::LowVt);
+    group.bench_function("single_point", |b| {
+        b.iter(|| {
+            fefet.ids(
+                black_box(Volt(0.35)),
+                black_box(Volt(0.15)),
+                black_box(Celsius(27.0)),
+            )
+        })
+    });
+    group.bench_function("full_iv_curve_45pts_3temps_2states", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for state in [PolarizationState::LowVt, PolarizationState::HighVt] {
+                fefet.force_state(state);
+                for t in [0.0, 27.0, 85.0] {
+                    for i in 0..45 {
+                        let vg = Volt(i as f64 * 2.2 / 44.0);
+                        total += fefet.ids(vg, Volt(0.15), Celsius(t)).value();
+                    }
+                }
+            }
+            black_box(total)
+        })
+    });
+    let mosfet = MosfetModel::new(MosfetParams::nmos_14nm());
+    group.bench_function("mosfet_small_signal", |b| {
+        b.iter(|| {
+            mosfet.evaluate(
+                black_box(Volt(0.35)),
+                black_box(Volt(0.6)),
+                black_box(Celsius(27.0)),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fefet_iv);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench for E9 (Fig. 9): Monte-Carlo throughput of the
+//! variation study — per-sample cost and the seeded-fanout overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ferrocim_cim::cells::{CellOffsets, TwoTransistorOneFefet};
+use ferrocim_cim::{mac_operands, ArrayConfig, CimArray};
+use ferrocim_device::variation::{GaussianSampler, VariationModel};
+use ferrocim_spice::MonteCarlo;
+use ferrocim_units::{Celsius, Volt};
+use std::hint::black_box;
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_monte_carlo");
+    group.sample_size(10);
+    let array = CimArray::new(
+        TwoTransistorOneFefet::paper_default(),
+        ArrayConfig::paper_default(),
+    )
+    .expect("valid config");
+    let variation = VariationModel::paper_default();
+    let (w, x) = mac_operands(8, 4);
+    group.bench_function("one_variation_sample", |b| {
+        let mc = MonteCarlo::new(1, 9);
+        let mut rng = mc.rng_for(0);
+        let mut sampler = GaussianSampler::new();
+        b.iter(|| {
+            let offsets: Vec<CellOffsets> = (0..8)
+                .map(|_| CellOffsets {
+                    fefet: variation.sample_fefet_offset(&mut rng, &mut sampler),
+                    m1: variation.sample_mosfet_offset(&mut rng, &mut sampler),
+                    m2: variation.sample_mosfet_offset(&mut rng, &mut sampler),
+                })
+                .collect();
+            array
+                .mac_analytic(&w, &x, Celsius(27.0), &offsets)
+                .expect("mac")
+        })
+    });
+    group.bench_function("mc_fanout_16_runs", |b| {
+        b.iter(|| {
+            let mc = MonteCarlo::new(16, 9);
+            let out: Vec<f64> = mc.run(|_, rng| {
+                let mut sampler = GaussianSampler::new();
+                let offsets: Vec<CellOffsets> = (0..8)
+                    .map(|_| CellOffsets {
+                        fefet: variation.sample_fefet_offset(rng, &mut sampler),
+                        m1: Volt::ZERO,
+                        m2: Volt::ZERO,
+                    })
+                    .collect();
+                array
+                    .mac_analytic(&w, &x, Celsius(27.0), &offsets)
+                    .expect("mac")
+                    .v_acc
+                    .value()
+            });
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_monte_carlo);
+criterion_main!(benches);

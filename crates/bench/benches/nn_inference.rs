@@ -1,0 +1,40 @@
+//! Criterion bench for E10–E12 (Tables I/II): VGG-nano inference —
+//! float, quantized-ideal-CIM, and the per-layer costs of the
+//! bit-serial mapping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ferrocim_nn::cim_exec::{cim_dot, CimMapping, CimNetwork, IdealMac};
+use ferrocim_nn::data::Generator;
+use ferrocim_nn::quant::{quantize_activations, quantize_weights};
+use ferrocim_nn::vgg::vgg_nano;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_nn_inference");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(0);
+    let net = vgg_nano(&mut rng);
+    let ds = Generator::new(5).generate(4);
+    group.bench_function("float_forward", |b| {
+        b.iter(|| black_box(net.forward(&ds.images[0])))
+    });
+    let cim = CimNetwork::map(&net, CimMapping::default());
+    group.bench_function("cim_ideal_forward", |b| {
+        b.iter(|| black_box(cim.forward(&ds.images[0], &IdealMac(8), 3)))
+    });
+    group.bench_function("cim_dot_64_elements", |b| {
+        let w: Vec<f32> = (0..64).map(|i| ((i * 37) % 13) as f32 / 13.0 - 0.5).collect();
+        let a: Vec<f32> = (0..64).map(|i| ((i * 17) % 7) as f32 / 7.0).collect();
+        let qw = quantize_weights(&w, 4);
+        let qa = quantize_activations(&a, 4);
+        let mapping = CimMapping::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| cim_dot(&qw, &qa.values, &mapping, &IdealMac(8), &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for the circuit-simulation substrate itself: DC
+//! solves, transient steps, and the transient-vs-analytic ablation
+//! (DESIGN.md §6.3), plus the backward-Euler vs trapezoidal comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ferrocim_spice::{Circuit, DcAnalysis, Element, Integrator, NodeId, TransientAnalysis};
+use ferrocim_units::{Celsius, Farad, Ohm, Second, Volt};
+use std::hint::black_box;
+
+/// An RC ladder with `n` stages — a representative linear workload.
+fn ladder(n: usize) -> Circuit {
+    let mut ckt = Circuit::new();
+    let mut prev = ckt.node("in");
+    ckt.add(Element::vdc("V1", prev, NodeId::GROUND, Volt(1.0))).expect("add");
+    for i in 0..n {
+        let node = ckt.node(&format!("n{i}"));
+        ckt.add(Element::resistor(format!("R{i}"), prev, node, Ohm(1e3))).expect("add");
+        ckt.add(Element::capacitor(format!("C{i}"), node, NodeId::GROUND, Farad(1e-12)))
+            .expect("add");
+        prev = node;
+    }
+    ckt
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spice_solver");
+    let small = ladder(8);
+    let large = ladder(32);
+    group.bench_function("dc_ladder_8", |b| {
+        b.iter(|| DcAnalysis::new(&small).at(black_box(Celsius(27.0))).solve().expect("dc"))
+    });
+    group.bench_function("dc_ladder_32", |b| {
+        b.iter(|| DcAnalysis::new(&large).at(black_box(Celsius(27.0))).solve().expect("dc"))
+    });
+    group.sample_size(20);
+    group.bench_function("transient_be_1000_steps", |b| {
+        b.iter(|| {
+            TransientAnalysis::new(&small, Second(1e-11), Second(1e-8))
+                .run()
+                .expect("transient")
+        })
+    });
+    group.bench_function("transient_trap_1000_steps", |b| {
+        b.iter(|| {
+            TransientAnalysis::new(&small, Second(1e-11), Second(1e-8))
+                .with_integrator(Integrator::Trapezoidal)
+                .run()
+                .expect("transient")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Offline calibration driver: runs the 2T-1FeFET W/L tuner and prints
+//! the resulting parameters and fluctuation profile, used to derive the
+//! constants baked into `TwoTransistorOneFefet::paper_default`.
+
+use ferrocim_cim::cells::{normalized_current_curve, CellDesign, CellOffsets};
+use ferrocim_cim::tune::TuneProblem;
+use ferrocim_spice::sweep::temperature_sweep;
+use ferrocim_units::Celsius;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let budget: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let warm = std::env::args().any(|a| a == "--warm");
+    let mut problem = TuneProblem::paper_default();
+    if warm {
+        problem.temps = ferrocim_spice::sweep::warm_temperature_sweep(12);
+    }
+    let outcome = problem.run(budget)?;
+    println!("evaluations: {}", outcome.evaluations);
+    println!("objective:   {:.4}", outcome.objective);
+    for (p, v) in problem.params().iter().zip(&outcome.best) {
+        println!("  {:>10} = {v:.4}", p.name);
+    }
+    let cell = problem.cell_for(&outcome.best);
+    let i_ref = cell.read_current(true, true, Celsius(27.0), &CellOffsets::NOMINAL)?;
+    println!("I(27C) = {i_ref}");
+    println!("normalized current vs temperature:");
+    for (t, ratio) in normalized_current_curve(&cell, &temperature_sweep(18), Celsius(27.0))? {
+        println!("  {:5.1} C : {:.4}  (fluct {:+.1} %)", t.value(), ratio, (ratio - 1.0) * 100.0);
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Array-level calibration driver: tunes the 2T-1FeFET cell against the
+//! whole-row NMR_min objective and prints the resulting level table.
+
+use ferrocim_cim::metrics::RangeTable;
+use ferrocim_device::variation::VariationModel;
+use ferrocim_cim::tune::ArrayTuneProblem;
+use ferrocim_cim::CimArray;
+use ferrocim_spice::sweep::{temperature_sweep, warm_temperature_sweep};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let budget: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let problem = ArrayTuneProblem::paper_default();
+    let outcome = problem.run(budget)?;
+    println!("evaluations: {}", outcome.evaluations);
+    println!("NMR_min (coarse grid): {:.4}", -outcome.objective);
+    for (p, v) in problem.params().iter().zip(&outcome.best) {
+        println!("  {:>14} = {v:.4}", p.name);
+    }
+    // Validate on a fine grid, full and warm ranges.
+    let array = CimArray::new(problem.cell_for(&outcome.best), problem.config)?;
+    let full = RangeTable::measure(&array, &temperature_sweep(18))?;
+    let warm = RangeTable::measure(&array, &warm_temperature_sweep(14))?;
+    let robust = RangeTable::measure_with_variation(
+        &array,
+        &temperature_sweep(8),
+        &VariationModel::paper_default(),
+        2.0,
+    )?;
+    let (ir, nr) = robust.nmr_min();
+    println!("fine grid: variation-aware NMR_min(0-85C, 2 sigma) = NMR_{ir} = {nr:.3}");
+    let (s_on, s_off) = array.cell_sigma(ferrocim_units::Celsius(27.0), &VariationModel::paper_default())?;
+    println!("cell sigma at 27C: on {}, off {}", s_on, s_off);
+    let (i_full, nmr_full) = full.nmr_min();
+    let (i_warm, nmr_warm) = warm.nmr_min();
+    println!("fine grid: NMR_min(0-85C)  = NMR_{i_full} = {nmr_full:.3}");
+    println!("fine grid: NMR_min(20-85C) = NMR_{i_warm} = {nmr_warm:.3}");
+    println!("level ranges over 0-85C:");
+    for r in full.ranges() {
+        println!(
+            "  MAC={}: [{:.2} mV, {:.2} mV]",
+            r.mac,
+            r.lo.value() * 1e3,
+            r.hi.value() * 1e3
+        );
+    }
+    Ok(())
+}

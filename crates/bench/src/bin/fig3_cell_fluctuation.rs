@@ -1,0 +1,77 @@
+//! **E2+E3 / Fig. 3** — output current of a single 1FeFET-1R cell over
+//! 0–85 °C at the saturation read (`V_read = 1.3 V`, Fig. 3(a)) and the
+//! subthreshold read (`V_read = 0.35 V`, Fig. 3(b)), normalized to the
+//! 27 °C reference.
+//!
+//! Paper numbers: 20.6 % worst-case fluctuation in saturation,
+//! 52.1 % in subthreshold.
+
+use ferrocim_bench::{dump_json, print_series, print_table};
+use ferrocim_cim::cells::{
+    current_fluctuation, normalized_current_curve, CellDesign, CellOffsets, OneFefetOneR,
+};
+use ferrocim_spice::sweep::temperature_sweep;
+use ferrocim_units::Celsius;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct RegionResult {
+    region: &'static str,
+    v_read: f64,
+    worst_fluctuation: f64,
+    paper_fluctuation: f64,
+    curve: Vec<(f64, f64)>,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let reference = Celsius(27.0);
+    let temps = temperature_sweep(18);
+    let mut results = Vec::new();
+    println!("# Fig. 3 — 1FeFET-1R cell output current vs temperature\n");
+    for (cell, region, paper) in [
+        (OneFefetOneR::saturation(), "saturation (Fig. 3a)", 0.206),
+        (OneFefetOneR::subthreshold(), "subthreshold (Fig. 3b)", 0.521),
+    ] {
+        let curve: Vec<(f64, f64)> = normalized_current_curve(&cell, &temps, reference)?
+            .into_iter()
+            .map(|(t, r)| (t.value(), r))
+            .collect();
+        let worst = current_fluctuation(&cell, &temps, reference)?;
+        let i_ref = cell.read_current(true, true, reference, &CellOffsets::NOMINAL)?;
+        print_series(
+            &format!("{region}: I(T)/I(27C), I_ref = {i_ref}"),
+            "T [C]",
+            "normalized I",
+            &curve,
+        );
+        println!("  worst-case fluctuation: {:.1} % (paper: {:.1} %)\n", worst * 100.0, paper * 100.0);
+        results.push(RegionResult {
+            region,
+            v_read: cell.bias.v_read().value(),
+            worst_fluctuation: worst,
+            paper_fluctuation: paper,
+            curve,
+        });
+    }
+    print_table(
+        &["region", "V_read", "measured fluct", "paper fluct"],
+        &results
+            .iter()
+            .map(|r| {
+                vec![
+                    r.region.to_string(),
+                    format!("{:.2} V", r.v_read),
+                    format!("{:.1} %", r.worst_fluctuation * 100.0),
+                    format!("{:.1} %", r.paper_fluctuation * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        results[1].worst_fluctuation > 1.8 * results[0].worst_fluctuation,
+        "shape check: subthreshold fluctuation must dwarf saturation"
+    );
+    let path = dump_json("fig3_cell_fluctuation", &results)?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! **E4 / Fig. 4** — MAC output-voltage ranges of the subthreshold
+//! 1FeFET-1R 8-cell array over 0–85 °C: adjacent levels overlap, which
+//! is the computation-failure mode the proposed cell fixes.
+
+use ferrocim_bench::{dump_json, print_table};
+use ferrocim_cim::cells::OneFefetOneR;
+use ferrocim_cim::metrics::RangeTable;
+use ferrocim_cim::{ArrayConfig, CimArray};
+use ferrocim_spice::sweep::temperature_sweep;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Output {
+    nmr_min: f64,
+    nmr_min_index: usize,
+    has_overlap: bool,
+    ranges_mv: Vec<(usize, f64, f64)>,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# Fig. 4 — subthreshold 1FeFET-1R array output ranges, 0-85 C\n");
+    let array = CimArray::new(OneFefetOneR::subthreshold(), ArrayConfig::paper_default())?;
+    let table = RangeTable::measure(&array, &temperature_sweep(18))?;
+    let rows: Vec<Vec<String>> = table
+        .ranges()
+        .iter()
+        .map(|r| {
+            let overlap_next = if r.mac < table.max_mac() && table.nmr(r.mac) < 0.0 {
+                "OVERLAPS next"
+            } else {
+                ""
+            };
+            vec![
+                format!("MAC={}", r.mac),
+                format!("{:.2} mV", r.lo.value() * 1e3),
+                format!("{:.2} mV", r.hi.value() * 1e3),
+                overlap_next.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["level", "lowest V_acc", "highest V_acc", "note"], &rows);
+    let (idx, nmr) = table.nmr_min();
+    println!("\nNMR_min = NMR_{idx} = {nmr:.3}");
+    println!(
+        "has_overlap = {} (paper: overlapping outputs cause computation errors)",
+        table.has_overlap()
+    );
+    assert!(
+        table.has_overlap(),
+        "shape check: the subthreshold baseline array must overlap over 0-85 C"
+    );
+    let out = Output {
+        nmr_min: nmr,
+        nmr_min_index: idx,
+        has_overlap: table.has_overlap(),
+        ranges_mv: table
+            .ranges()
+            .iter()
+            .map(|r| (r.mac, r.lo.value() * 1e3, r.hi.value() * 1e3))
+            .collect(),
+    };
+    let path = dump_json("fig4_baseline_overlap", &out)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

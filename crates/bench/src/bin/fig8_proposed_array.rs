@@ -1,0 +1,99 @@
+//! **E6+E7+E8 / Fig. 8 and the NMR numbers** — the proposed 2T-1FeFET
+//! 8-cell array: (a) MAC output ranges over 0–85 °C (non-overlapping),
+//! (b) energy per operation per MAC value, plus `NMR_min` over the full
+//! and warm temperature ranges (paper: `NMR_0 = 0.22` and
+//! `NMR_7 = 2.3`), average energy (paper: 3.14 fJ/op) and TOPS/W
+//! (paper: 2866).
+
+use ferrocim_bench::{dump_json, print_series, print_table};
+use ferrocim_cim::cells::TwoTransistorOneFefet;
+use ferrocim_cim::metrics::{EnergyReport, RangeTable};
+use ferrocim_cim::{ArrayConfig, CimArray};
+use ferrocim_spice::sweep::{temperature_sweep, warm_temperature_sweep};
+use ferrocim_units::Celsius;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Output {
+    nmr_min_full: (usize, f64),
+    nmr_min_warm: (usize, f64),
+    has_overlap: bool,
+    ranges_mv: Vec<(usize, f64, f64)>,
+    energy_per_mac_fj: Vec<f64>,
+    average_energy_fj: f64,
+    tops_per_watt: f64,
+    latency_ns: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# Fig. 8 — proposed 2T-1FeFET 8-cell array\n");
+    let array = CimArray::new(
+        TwoTransistorOneFefet::paper_default(),
+        ArrayConfig::paper_default(),
+    )?;
+    let full = RangeTable::measure(&array, &temperature_sweep(18))?;
+    let warm = RangeTable::measure(&array, &warm_temperature_sweep(14))?;
+
+    println!("## (a) MAC output ranges over 0-85 C");
+    let rows: Vec<Vec<String>> = full
+        .ranges()
+        .iter()
+        .map(|r| {
+            let nmr = if r.mac < full.max_mac() {
+                format!("{:.2}", full.nmr(r.mac))
+            } else {
+                "-".into()
+            };
+            vec![
+                format!("MAC={}", r.mac),
+                format!("{:.2} mV", r.lo.value() * 1e3),
+                format!("{:.2} mV", r.hi.value() * 1e3),
+                nmr,
+            ]
+        })
+        .collect();
+    print_table(&["level", "lowest V_acc", "highest V_acc", "NMR_i"], &rows);
+    let (if_, nf) = full.nmr_min();
+    let (iw, nw) = warm.nmr_min();
+    println!("\nNMR_min(0-85 C)  = NMR_{if_} = {nf:.3}   (paper: NMR_0 = 0.22)");
+    println!("NMR_min(20-85 C) = NMR_{iw} = {nw:.3}   (paper: NMR_7 = 2.3)");
+    println!("has_overlap = {}\n", full.has_overlap());
+    assert!(!full.has_overlap(), "shape check: proposed array must not overlap");
+
+    println!("## (b) energy per operation at 27 C");
+    let report = EnergyReport::measure(&array, Celsius(27.0))?;
+    let energy_curve: Vec<(f64, f64)> = report
+        .per_mac
+        .iter()
+        .enumerate()
+        .map(|(k, e)| (k as f64, e.value() * 1e15))
+        .collect();
+    print_series("energy per MAC operation", "MAC value", "energy [fJ]", &energy_curve);
+    println!(
+        "\naverage energy = {}   (paper: 3.14 fJ)",
+        report.average
+    );
+    println!(
+        "energy efficiency = {:.0} TOPS/W   (paper: 2866 TOPS/W)",
+        report.tops_per_watt
+    );
+    println!("MAC latency = {}   (paper: 6.9 ns)", report.latency);
+
+    let out = Output {
+        nmr_min_full: (if_, nf),
+        nmr_min_warm: (iw, nw),
+        has_overlap: full.has_overlap(),
+        ranges_mv: full
+            .ranges()
+            .iter()
+            .map(|r| (r.mac, r.lo.value() * 1e3, r.hi.value() * 1e3))
+            .collect(),
+        energy_per_mac_fj: report.per_mac.iter().map(|e| e.value() * 1e15).collect(),
+        average_energy_fj: report.average.value() * 1e15,
+        tops_per_watt: report.tops_per_watt,
+        latency_ns: report.latency.as_nanos(),
+    };
+    let path = dump_json("fig8_proposed_array", &out)?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}

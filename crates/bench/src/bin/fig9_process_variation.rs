@@ -1,0 +1,82 @@
+//! **E9 / Fig. 9** — impact of process variation (`σ_VT = 54 mV`) on
+//! the 2T-1FeFET CIM output at 27 °C, via 100 Monte-Carlo runs.
+//!
+//! Paper numbers: highest error ≈ 25 % with 8 cells per row, below 10 %
+//! with 4 cells per row (both ≪ the 6T SRAM CIM's 50 %).
+
+use ferrocim_bench::{dump_json, print_series, print_table};
+use ferrocim_cim::cells::TwoTransistorOneFefet;
+use ferrocim_cim::transfer::{TransferConfig, TransferModel};
+use ferrocim_cim::{ArrayConfig, CimArray};
+use ferrocim_units::Celsius;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Output {
+    cells_per_row: usize,
+    max_relative_error: f64,
+    correct_probability: Vec<f64>,
+    confusion: Vec<Vec<f64>>,
+}
+
+fn run(cells: usize) -> Result<Output, Box<dyn std::error::Error>> {
+    let config = ArrayConfig {
+        cells_per_row: cells,
+        ..ArrayConfig::paper_default()
+    };
+    let array = CimArray::new(TwoTransistorOneFefet::paper_default(), config)?;
+    let model = TransferModel::measure(
+        &array,
+        &TransferConfig::paper_default(Celsius(27.0)),
+    )?;
+    Ok(Output {
+        cells_per_row: cells,
+        max_relative_error: model.max_relative_error(),
+        correct_probability: (0..=cells).map(|k| model.correct_probability(k)).collect(),
+        confusion: model.confusion().to_vec(),
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("# Fig. 9 — Monte-Carlo process variation (sigma_VT = 54 mV, 27 C)\n");
+    let mut outputs = Vec::new();
+    for cells in [8usize, 4] {
+        let out = run(cells)?;
+        println!("## {cells} cells per row");
+        let histogram: Vec<(f64, f64)> = out
+            .correct_probability
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| (k as f64, p))
+            .collect();
+        print_series(
+            "P(readout == true MAC)",
+            "true MAC value",
+            "probability",
+            &histogram,
+        );
+        println!(
+            "  max |readout - true| / full-scale = {:.1} %  (paper: {} %)\n",
+            out.max_relative_error * 100.0,
+            if cells == 8 { "~25" } else { "<10" }
+        );
+        outputs.push(out);
+    }
+    print_table(
+        &["cells/row", "max relative error", "paper"],
+        &outputs
+            .iter()
+            .map(|o| {
+                vec![
+                    o.cells_per_row.to_string(),
+                    format!("{:.1} %", o.max_relative_error * 100.0),
+                    if o.cells_per_row == 8 { "~25 %" } else { "<10 %" }.into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("\n(6T SRAM CIM reference from the paper: up to 50 % error)");
+    let path = dump_json("fig9_process_variation", &outputs)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Diagnostic probe: energy report, NMR, and baseline-overlap check for
+//! the paper-default arrays.
+
+use ferrocim_cim::cells::{OneFefetOneR, TwoTransistorOneFefet};
+use ferrocim_cim::metrics::{EnergyReport, RangeTable};
+use ferrocim_cim::{ArrayConfig, CimArray};
+use ferrocim_spice::sweep::temperature_sweep;
+use ferrocim_units::Celsius;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ArrayConfig::paper_default();
+    let proposed = CimArray::new(TwoTransistorOneFefet::paper_default(), config)?;
+    let report = EnergyReport::measure(&proposed, Celsius(27.0))?;
+    println!("proposed 2T-1FeFET array:");
+    println!("  average energy/MAC = {}", report.average);
+    println!("  TOPS/W             = {:.0}", report.tops_per_watt);
+    for (k, e) in report.per_mac.iter().enumerate() {
+        println!("  MAC={k}: {e}");
+    }
+    let temps = temperature_sweep(18);
+    let table = RangeTable::measure(&proposed, &temps)?;
+    let (i, nmr) = table.nmr_min();
+    println!("  NMR_min = NMR_{i} = {nmr:.3}, overlap = {}", table.has_overlap());
+
+    let baseline = CimArray::new(OneFefetOneR::subthreshold(), config)?;
+    let table_b = RangeTable::measure(&baseline, &temps)?;
+    let (ib, nmrb) = table_b.nmr_min();
+    println!("baseline subthreshold 1FeFET-1R array:");
+    println!("  NMR_min = NMR_{ib} = {nmrb:.3}, overlap = {}", table_b.has_overlap());
+    for r in table_b.ranges() {
+        println!(
+            "  MAC={}: [{:.2} mV, {:.2} mV]",
+            r.mac,
+            r.lo.value() * 1e3,
+            r.hi.value() * 1e3
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Diagnostic probe: prints on/off currents, node-A levels, and the
+//! temperature profile of a 2T-1FeFET cell configuration given on the
+//! command line as `m1_wl m2_wl fefet_wl m1_vth0`.
+
+use ferrocim_cim::cells::{normalized_current_curve, CellDesign, CellOffsets};
+use ferrocim_cim::tune::TuneProblem;
+use ferrocim_spice::sweep::temperature_sweep;
+use ferrocim_units::Celsius;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().any(|a| a == "--r-sweep") {
+        // Sweep the 1FeFET-1R series resistance: saturation-read and
+        // subthreshold-read worst-case fluctuation vs R.
+        use ferrocim_cim::cells::{current_fluctuation, OneFefetOneR};
+        use ferrocim_units::Ohm;
+        let temps = temperature_sweep(12);
+        println!("{:>10} {:>10} {:>10}", "R", "sat", "sub");
+        for r in [5e3, 10e3, 25e3, 50e3, 100e3, 250e3, 500e3] {
+            let mut sat = OneFefetOneR::saturation();
+            sat.resistance = Ohm(r);
+            let mut sub = OneFefetOneR::subthreshold();
+            sub.resistance = Ohm(r);
+            println!(
+                "{:>8.0}k {:>9.1}% {:>9.1}%",
+                r / 1e3,
+                current_fluctuation(&sat, &temps, Celsius(27.0))? * 100.0,
+                current_fluctuation(&sub, &temps, Celsius(27.0))? * 100.0,
+            );
+        }
+        return Ok(());
+    }
+    let args: Vec<f64> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("numeric argument"))
+        .collect();
+    assert_eq!(args.len(), 4, "usage: probe_cell M1_WL M2_WL FEFET_WL M1_VTH0");
+    let problem = TuneProblem::paper_default();
+    let cell = problem.cell_for(&args);
+    let room = Celsius(27.0);
+    let i_on = cell.read_current(true, true, room, &CellOffsets::NOMINAL)?;
+    println!("I_on(27C, probe) = {i_on}");
+    let mut off_cell = cell.clone();
+    off_cell.v_out_probe = off_cell.bias.v_sl;
+    for &(w, x) in &[(true, false), (false, true), (false, false)] {
+        for t in [Celsius(0.0), room, Celsius(85.0)] {
+            let i = off_cell.read_current(w, x, t, &CellOffsets::NOMINAL)?;
+            println!(
+                "I_off(w={}, x={}, {:2.0}C, out@SL) = {}  ratio {:.0}",
+                w as u8,
+                x as u8,
+                t.value(),
+                i,
+                i_on.value() / i.value().abs().max(1e-18)
+            );
+        }
+    }
+    println!("objective = {:.4}", problem.objective(&args)?);
+    println!("normalized current vs temperature:");
+    for (t, r) in normalized_current_curve(&cell, &temperature_sweep(18), room)? {
+        println!("  {:5.1} C : {:+.1} %", t.value(), (r - 1.0) * 100.0);
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Diagnostic probe: trains VGG-nano on the synthetic dataset and
+//! reports clean, quantized-ideal, and CIM-noisy accuracies.
+
+use ferrocim_cim::cells::TwoTransistorOneFefet;
+use ferrocim_cim::transfer::{TransferConfig, TransferModel};
+use ferrocim_cim::{ArrayConfig, CimArray};
+use ferrocim_nn::cim_exec::{CimMapping, CimNetwork, IdealMac};
+use ferrocim_nn::data::Generator;
+use ferrocim_nn::vgg::vgg_nano;
+use ferrocim_nn::{train, TrainConfig};
+use ferrocim_units::Celsius;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_train: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let epochs: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let n_test = 300;
+    let train_set = Generator::new(1).generate(n_train);
+    let test_set = Generator::new(999).generate(n_test);
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut net = vgg_nano(&mut rng);
+    println!("params: {}", net.parameter_count());
+    let t0 = Instant::now();
+    let stats = train(
+        &mut net,
+        &train_set.images,
+        &train_set.labels,
+        &TrainConfig {
+            epochs,
+            learning_rate: 0.01,
+            ..TrainConfig::default()
+        },
+    );
+    println!("trained in {:.1}s", t0.elapsed().as_secs_f64());
+    for s in &stats {
+        println!("  epoch {}: loss {:.3}, train acc {:.3}", s.epoch, s.loss, s.train_accuracy);
+    }
+    let clean = net.accuracy(&test_set.images, &test_set.labels);
+    println!("clean test accuracy: {clean:.4}");
+
+    let cim = CimNetwork::map(&net, CimMapping::default());
+    let t1 = Instant::now();
+    let ideal = cim.accuracy(&test_set.images, &test_set.labels, &IdealMac(8), 11);
+    println!("quantized(ideal CIM) accuracy: {ideal:.4} in {:.1}s", t1.elapsed().as_secs_f64());
+
+    let array = CimArray::new(TwoTransistorOneFefet::paper_default(), ArrayConfig::paper_default())?;
+    for temp in [0.0, 27.0, 85.0] {
+        let t2 = Instant::now();
+        let model = TransferModel::measure(&array, &TransferConfig::paper_default(Celsius(temp)))?;
+        println!(
+            "transfer model @ {temp} C: max rel err {:.3}, P(0->0) {:.3}, P(8->8) {:.3} ({:.1}s)",
+            model.max_relative_error(),
+            model.correct_probability(0),
+            model.correct_probability(8),
+            t2.elapsed().as_secs_f64()
+        );
+        let biases: Vec<String> = (0..=8)
+            .map(|k| format!("{:+.2}", model.expected(k) - k as f64))
+            .collect();
+        println!("  readout bias per level: [{}]", biases.join(", "));
+        let t3 = Instant::now();
+        let noisy = cim.accuracy(&test_set.images, &test_set.labels, &model, 13);
+        println!("  CIM accuracy @ {temp} C: {noisy:.4} ({:.1}s)", t3.elapsed().as_secs_f64());
+    }
+    Ok(())
+}

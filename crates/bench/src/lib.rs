@@ -1,0 +1,122 @@
+//! Experiment harness shared by the figure/table reproduction binaries.
+//!
+//! Each binary under `src/bin/` regenerates one artifact of the paper's
+//! evaluation section (see DESIGN.md §4 for the index). This library
+//! provides the common console-table/series formatting and the JSON
+//! results dump used by EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use serde::Serialize;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Prints an aligned console table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |sep: &str| {
+        let cells: Vec<String> = widths.iter().map(|w| sep.repeat(*w)).collect();
+        format!("+-{}-+", cells.join("-+-"))
+    };
+    println!("{}", line("-"));
+    let head: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:<w$}"))
+        .collect();
+    println!("| {} |", head.join(" | "));
+    println!("{}", line("-"));
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        println!("| {} |", cells.join(" | "));
+    }
+    println!("{}", line("-"));
+}
+
+/// Prints an `(x, y)` series as a fixed-width two-column block plus a
+/// crude ASCII sparkline, which is how the figure binaries render curves.
+pub fn print_series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) {
+    println!("## {title}");
+    if points.is_empty() {
+        println!("  (no data)");
+        return;
+    }
+    let y_min = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let y_max = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let span = (y_max - y_min).max(1e-30);
+    const BARS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let spark: String = points
+        .iter()
+        .map(|p| {
+            let t = ((p.1 - y_min) / span * (BARS.len() - 1) as f64).round() as usize;
+            BARS[t.min(BARS.len() - 1)]
+        })
+        .collect();
+    println!("  {y_label} vs {x_label}:  {spark}");
+    for (x, y) in points {
+        println!("  {x:>10.3}  {y:>14.6}");
+    }
+}
+
+/// Where experiment JSON dumps land (`results/` at the workspace root,
+/// overridable with `FERROCIM_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("FERROCIM_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Serializes an experiment result to `results/<name>.json` so that
+/// EXPERIMENTS.md can reference machine-readable outputs.
+///
+/// # Errors
+///
+/// Returns I/O errors from directory creation or the write.
+pub fn dump_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let mut file = std::fs::File::create(&path)?;
+    let text = serde_json::to_string_pretty(value)?;
+    file.write_all(text.as_bytes())?;
+    file.write_all(b"\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rejects_ragged_rows() {
+        let result = std::panic::catch_unwind(|| {
+            print_table(&["a", "b"], &[vec!["1".into()]]);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn json_dump_round_trips() {
+        let dir = std::env::temp_dir().join("ferrocim-test-results");
+        std::env::set_var("FERROCIM_RESULTS_DIR", &dir);
+        let path = dump_json("unit-test", &serde_json::json!({"x": 1})).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("\"x\": 1"));
+        std::env::remove_var("FERROCIM_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,688 @@
+//! The CIM array of Fig. 6: `n` cells per row, each charging its own
+//! `C_o`, with an `EN`-switched shared accumulation capacitor `C_acc`.
+//!
+//! A MAC operation proceeds in two phases:
+//!
+//! 1. **Charge** (`t_charge`): each cell multiplies its stored weight by
+//!    the word-line input and integrates the product current onto its
+//!    cell capacitor `C_o`.
+//! 2. **Share** (`t_share`): the `EN` switches close simultaneously and
+//!    the cell charges redistribute onto `C_acc`, producing the
+//!    accumulated output of the paper's Eq. (1):
+//!
+//!    ```text
+//!    V_acc = C_o / (n·C_o + C_acc) · Σᵢ V_Oi
+//!    ```
+//!
+//! Both a **full-transient** evaluation (the entire row simulated as one
+//! netlist, used for energy measurements) and a fast **analytic**
+//! evaluation (per-cell charge transients + the closed-form
+//! charge-sharing step) are provided; they are cross-checked in the
+//! integration tests.
+
+use crate::cells::{CellContext, CellDesign, CellOffsets, CellWeight};
+use crate::CimError;
+use ferrocim_spice::{Circuit, Element, NodeId, SwitchSchedule, TransientAnalysis, Waveform};
+use ferrocim_units::{Celsius, Farad, Joule, Second, Volt};
+use serde::{Deserialize, Serialize};
+
+/// Geometry and timing of a CIM row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrayConfig {
+    /// Cells per row (the paper uses 8).
+    pub cells_per_row: usize,
+    /// Per-cell output capacitor `C_o`.
+    pub c_o: Farad,
+    /// Shared accumulation capacitor `C_acc`.
+    pub c_acc: Farad,
+    /// Duration of the charge phase.
+    pub t_charge: Second,
+    /// Dead time between word-line deassertion and `EN` closing, letting
+    /// the cells' internal nodes discharge so the share phase is a pure
+    /// charge redistribution (Eq. (1)).
+    pub t_settle: Second,
+    /// Duration of the charge-sharing phase.
+    pub t_share: Second,
+    /// Transient timestep.
+    pub dt: Second,
+}
+
+impl ArrayConfig {
+    /// The paper's row: 8 cells, with capacitors and timing sized for
+    /// the 6.9 ns MAC latency and fJ-scale operation energy.
+    pub fn paper_default() -> Self {
+        ArrayConfig {
+            cells_per_row: 8,
+            c_o: Farad(1e-15),
+            c_acc: Farad(8e-15),
+            t_charge: Second(5.0e-9),
+            t_settle: Second(0.4e-9),
+            t_share: Second(1.5e-9),
+            dt: Second(20e-12),
+        }
+    }
+
+    /// Total MAC latency (`t_charge + t_settle + t_share`) — 6.9 ns for
+    /// the paper default, matching the reported MAC latency.
+    pub fn latency(&self) -> Second {
+        self.t_charge + self.t_settle + self.t_share
+    }
+
+    /// The charge-sharing gain `C_o / (n·C_o + C_acc)` of Eq. (1).
+    pub fn sharing_gain(&self) -> f64 {
+        self.c_o.value()
+            / (self.cells_per_row as f64 * self.c_o.value() + self.c_acc.value())
+    }
+
+    fn validate(&self) -> Result<(), CimError> {
+        fn positive(name: &'static str, value: f64) -> Result<(), CimError> {
+            if value.is_finite() && value > 0.0 {
+                Ok(())
+            } else {
+                Err(CimError::InvalidConfig {
+                    name,
+                    value,
+                    requirement: "positive and finite",
+                })
+            }
+        }
+        if self.cells_per_row == 0 {
+            return Err(CimError::InvalidConfig {
+                name: "cells_per_row",
+                value: 0.0,
+                requirement: "at least 1",
+            });
+        }
+        positive("c_o", self.c_o.value())?;
+        positive("c_acc", self.c_acc.value())?;
+        positive("t_charge", self.t_charge.value())?;
+        positive("t_share", self.t_share.value())?;
+        if !(self.t_settle.value().is_finite() && self.t_settle.value() >= 0.0) {
+            return Err(CimError::InvalidConfig {
+                name: "t_settle",
+                value: self.t_settle.value(),
+                requirement: "non-negative and finite",
+            });
+        }
+        positive("dt", self.dt.value())?;
+        if self.dt.value() > self.t_share.value() || self.dt.value() > self.t_charge.value() {
+            return Err(CimError::InvalidConfig {
+                name: "dt",
+                value: self.dt.value(),
+                requirement: "smaller than both phases",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The result of one MAC operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MacOutput {
+    /// The accumulated analog output voltage on `C_acc`.
+    pub v_acc: Volt,
+    /// Per-cell `C_o` voltages at the end of the charge phase.
+    pub cell_voltages: Vec<Volt>,
+    /// Total energy delivered by all supplies over the operation.
+    pub energy: Joule,
+    /// The operation latency.
+    pub latency: Second,
+    /// The digital ground truth `Σ wᵢ·xᵢ`.
+    pub expected: usize,
+}
+
+impl MacOutput {
+    /// Energy efficiency in TOPS/W, using the paper's operation count of
+    /// `n` multiplications + 1 accumulation per row MAC.
+    pub fn tops_per_watt(&self, cells_per_row: usize) -> f64 {
+        self.energy.tops_per_watt(cells_per_row as f64 + 1.0)
+    }
+}
+
+/// A single row of a CIM array built from any [`CellDesign`].
+#[derive(Debug, Clone)]
+pub struct CimArray<C> {
+    cell: C,
+    config: ArrayConfig,
+}
+
+impl<C: CellDesign> CimArray<C> {
+    /// Creates an array after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CimError::InvalidConfig`] for non-physical geometry or
+    /// timing values.
+    pub fn new(cell: C, config: ArrayConfig) -> Result<Self, CimError> {
+        config.validate()?;
+        Ok(CimArray { cell, config })
+    }
+
+    /// The cell design.
+    pub fn cell(&self) -> &C {
+        &self.cell
+    }
+
+    /// The array configuration.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.config
+    }
+
+    fn check_operands(&self, weights: &[bool], inputs: &[bool]) -> Result<(), CimError> {
+        if weights.len() != self.config.cells_per_row || inputs.len() != self.config.cells_per_row
+        {
+            return Err(CimError::MismatchedOperands {
+                weights: weights.len(),
+                inputs: inputs.len(),
+                cells_per_row: self.config.cells_per_row,
+            });
+        }
+        Ok(())
+    }
+
+    fn nominal_offsets(&self) -> Vec<CellOffsets> {
+        vec![CellOffsets::NOMINAL; self.config.cells_per_row]
+    }
+
+    /// Runs one MAC with nominal (variation-free) cells through the full
+    /// row transient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CimError::MismatchedOperands`] for wrong operand
+    /// lengths, or propagates simulation failures.
+    pub fn mac(
+        &self,
+        weights: &[bool],
+        inputs: &[bool],
+        temp: Celsius,
+    ) -> Result<MacOutput, CimError> {
+        self.mac_with_offsets(weights, inputs, temp, &self.nominal_offsets())
+    }
+
+    /// Runs one MAC through the full row transient with per-cell
+    /// variation offsets (one Monte-Carlo draw).
+    ///
+    /// # Errors
+    ///
+    /// As [`CimArray::mac`]; additionally if `offsets` has the wrong
+    /// length.
+    pub fn mac_with_offsets(
+        &self,
+        weights: &[bool],
+        inputs: &[bool],
+        temp: Celsius,
+        offsets: &[CellOffsets],
+    ) -> Result<MacOutput, CimError> {
+        self.check_operands(weights, inputs)?;
+        if offsets.len() != self.config.cells_per_row {
+            return Err(CimError::MismatchedOperands {
+                weights: offsets.len(),
+                inputs: inputs.len(),
+                cells_per_row: self.config.cells_per_row,
+            });
+        }
+        let n = self.config.cells_per_row;
+        let bias = self.cell.bias();
+        let mut ckt = Circuit::new();
+        let bl = ckt.node("bl");
+        let sl = ckt.node("sl");
+        let acc = ckt.node("acc");
+        ckt.add(Element::vdc("VBL", bl, NodeId::GROUND, bias.v_bl))?;
+        ckt.add(Element::vdc("VSL", sl, NodeId::GROUND, bias.v_sl))?;
+        // All output capacitors reference the source line, so every cell
+        // output starts the MAC precharged to V_SL (zero differential) —
+        // the off-cell M1 then idles at V_GS ≈ 0 instead of leaking.
+        ckt.add(Element::Capacitor {
+            name: "CACC".into(),
+            a: acc,
+            b: sl,
+            capacitance: self.config.c_acc,
+            initial: Some(Volt::ZERO),
+        })?;
+        let mut outs = Vec::with_capacity(n);
+        for i in 0..n {
+            let wl = ckt.node(&format!("wl{i}"));
+            let out = ckt.node(&format!("out{i}"));
+            outs.push(out);
+            // Word lines are asserted only during the charge phase; at
+            // t_charge they drop back to the off level so the cells stop
+            // driving and the share phase is a pure charge
+            // redistribution (Eq. (1)).
+            ckt.add(Element::vsource(
+                format!("VWL{i}"),
+                wl,
+                NodeId::GROUND,
+                Waveform::step(bias.wl_for(inputs[i]), bias.v_wl_off, self.config.t_charge),
+            ))?;
+            ckt.add(Element::Capacitor {
+                name: format!("CO{i}"),
+                a: out,
+                b: sl,
+                capacitance: self.config.c_o,
+                initial: Some(Volt::ZERO),
+            })?;
+            ckt.add(Element::switch(
+                format!("EN{i}"),
+                out,
+                acc,
+                SwitchSchedule::open()
+                    .then_at(self.config.t_charge + self.config.t_settle, true),
+            ))?;
+            let ctx = CellContext {
+                index: i,
+                bl,
+                sl,
+                wl,
+                out,
+                weight: crate::cells::CellWeight::Bit(weights[i]),
+                offsets: &offsets[i],
+            };
+            self.cell.build_cell(&mut ckt, &ctx)?;
+        }
+        let t_stop = self.config.latency();
+        let result = TransientAnalysis::new(&ckt, self.config.dt, t_stop)
+            .at(temp)
+            .run()?;
+        // Cell voltages at the end of the charge phase (the sample
+        // closest to t_charge from below).
+        let times = result.times();
+        let charge_idx = times
+            .iter()
+            .rposition(|t| t.value() <= self.config.t_charge.value() + 1e-15)
+            .unwrap_or(times.len() - 1);
+        // All outputs are reported differentially against the source
+        // line, which is what the sense circuit compares to.
+        let v_sl = bias.v_sl.value();
+        let cell_voltages: Vec<Volt> = outs
+            .iter()
+            .map(|&o| Volt(result.voltage_at(o, charge_idx).value() - v_sl))
+            .collect();
+        let expected = weights
+            .iter()
+            .zip(inputs)
+            .filter(|(w, x)| **w && **x)
+            .count();
+        Ok(MacOutput {
+            v_acc: Volt(result.final_voltage(acc).value() - v_sl),
+            cell_voltages,
+            energy: result.total_energy_delivered(),
+            latency: t_stop,
+            expected,
+        })
+    }
+
+    /// Fast MAC evaluation: each cell is simulated in its own small
+    /// transient (deduplicated by operand/offset pattern), then the
+    /// charge-sharing step is applied in closed form (Eq. (1)).
+    ///
+    /// Energies are the summed per-cell supply energies; the share phase
+    /// is lossless in the ideal-switch limit and contributes none.
+    ///
+    /// # Errors
+    ///
+    /// As [`CimArray::mac_with_offsets`].
+    pub fn mac_analytic(
+        &self,
+        weights: &[bool],
+        inputs: &[bool],
+        temp: Celsius,
+        offsets: &[CellOffsets],
+    ) -> Result<MacOutput, CimError> {
+        self.check_operands(weights, inputs)?;
+        let weighted: Vec<CellWeight> = weights.iter().map(|&w| CellWeight::Bit(w)).collect();
+        self.mac_analytic_weighted(&weighted, inputs, temp, offsets)
+    }
+
+    /// [`CimArray::mac_analytic`] generalized to analog (multi-level)
+    /// stored weights — the multi-bit-per-cell extension in the spirit
+    /// of the cited 1FeFET multi-bit MAC design.
+    ///
+    /// The digital ground truth (`expected`) counts a weight as '1'
+    /// when its polarization is positive; multi-level users should
+    /// interpret `v_acc` directly.
+    ///
+    /// # Errors
+    ///
+    /// As [`CimArray::mac_with_offsets`].
+    pub fn mac_analytic_weighted(
+        &self,
+        weights: &[CellWeight],
+        inputs: &[bool],
+        temp: Celsius,
+        offsets: &[CellOffsets],
+    ) -> Result<MacOutput, CimError> {
+        if weights.len() != self.config.cells_per_row
+            || inputs.len() != self.config.cells_per_row
+            || offsets.len() != self.config.cells_per_row
+        {
+            return Err(CimError::MismatchedOperands {
+                weights: weights.len(),
+                inputs: inputs.len(),
+                cells_per_row: self.config.cells_per_row,
+            });
+        }
+        let n = self.config.cells_per_row;
+        let mut cell_voltages = Vec::with_capacity(n);
+        let mut energy = 0.0;
+        // Dedupe identical (weight, input, offsets) cells.
+        type CellKey = (CellWeight, bool, CellOffsets);
+        let mut cache: Vec<(CellKey, (f64, f64))> = Vec::new();
+        for i in 0..n {
+            let key = (weights[i], inputs[i], offsets[i]);
+            let hit = cache
+                .iter()
+                .find(|(k, _)| {
+                    k.0 == key.0
+                        && k.1 == key.1
+                        && k.2.fefet == key.2.fefet
+                        && k.2.m1 == key.2.m1
+                        && k.2.m2 == key.2.m2
+                })
+                .map(|(_, v)| *v);
+            let (v_o, e) = match hit {
+                Some(v) => v,
+                None => {
+                    let r = self.single_cell_charge_weighted(
+                        weights[i],
+                        inputs[i],
+                        temp,
+                        &offsets[i],
+                    )?;
+                    cache.push((key, r));
+                    r
+                }
+            };
+            cell_voltages.push(Volt(v_o));
+            energy += e;
+        }
+        let v_sum: f64 = cell_voltages.iter().map(|v| v.value()).sum();
+        let v_acc = self.config.sharing_gain() * v_sum;
+        let expected = weights
+            .iter()
+            .zip(inputs)
+            .filter(|(w, x)| w.bit() && **x)
+            .count();
+        Ok(MacOutput {
+            v_acc: Volt(v_acc),
+            cell_voltages,
+            energy: Joule(energy),
+            latency: self.config.latency(),
+            expected,
+        })
+    }
+
+    /// The nominal analog output level for every MAC value `0..=n` at a
+    /// temperature: two cell transients (product-1 and product-0) plus
+    /// the closed-form Eq. (1). This is the fast path behind
+    /// [`crate::metrics::RangeTable::measure`] and the array tuner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn level_voltages(&self, temp: Celsius) -> Result<Vec<Volt>, CimError> {
+        let n = self.config.cells_per_row;
+        let (v_on, _) = self.single_cell_charge(true, true, temp, &CellOffsets::NOMINAL)?;
+        let (v_off, _) = self.single_cell_charge(true, false, temp, &CellOffsets::NOMINAL)?;
+        let gain = self.config.sharing_gain();
+        Ok((0..=n)
+            .map(|k| Volt(gain * (k as f64 * v_on + (n - k) as f64 * v_off)))
+            .collect())
+    }
+
+    /// Estimates the per-cell output-voltage standard deviations
+    /// `(σ_on, σ_off)` induced by device variation, by first-order
+    /// finite differences over each offset axis (FeFET, M1, M2) at its
+    /// ±1σ points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn cell_sigma(
+        &self,
+        temp: Celsius,
+        variation: &ferrocim_device::variation::VariationModel,
+    ) -> Result<(Volt, Volt), CimError> {
+        let axes = [
+            CellOffsets {
+                fefet: variation.sigma_vt,
+                ..CellOffsets::NOMINAL
+            },
+            CellOffsets {
+                m1: variation.sigma_vt_mosfet,
+                ..CellOffsets::NOMINAL
+            },
+            CellOffsets {
+                m2: variation.sigma_vt_mosfet,
+                ..CellOffsets::NOMINAL
+            },
+        ];
+        let mut var = [0.0f64; 2];
+        for (slot, &on) in [true, false].iter().enumerate() {
+            for plus in &axes {
+                let minus = CellOffsets {
+                    fefet: -plus.fefet,
+                    m1: -plus.m1,
+                    m2: -plus.m2,
+                };
+                let (vp, _) = self.single_cell_charge(true, on, temp, plus)?;
+                let (vm, _) = self.single_cell_charge(true, on, temp, &minus)?;
+                let delta = 0.5 * (vp - vm);
+                var[slot] += delta * delta;
+            }
+        }
+        Ok((Volt(var[0].sqrt()), Volt(var[1].sqrt())))
+    }
+
+    /// Simulates one cell charging its `C_o` for `t_charge`; returns the
+    /// final cell voltage and the supply energy.
+    fn single_cell_charge(
+        &self,
+        weight: bool,
+        input: bool,
+        temp: Celsius,
+        offsets: &CellOffsets,
+    ) -> Result<(f64, f64), CimError> {
+        self.single_cell_charge_weighted(CellWeight::Bit(weight), input, temp, offsets)
+    }
+
+    /// [`CimArray::single_cell_charge`] for an arbitrary stored weight.
+    fn single_cell_charge_weighted(
+        &self,
+        weight: CellWeight,
+        input: bool,
+        temp: Celsius,
+        offsets: &CellOffsets,
+    ) -> Result<(f64, f64), CimError> {
+        let bias = self.cell.bias();
+        let mut ckt = Circuit::new();
+        let bl = ckt.node("bl");
+        let sl = ckt.node("sl");
+        let wl = ckt.node("wl");
+        let out = ckt.node("out");
+        ckt.add(Element::vdc("VBL", bl, NodeId::GROUND, bias.v_bl))?;
+        ckt.add(Element::vdc("VSL", sl, NodeId::GROUND, bias.v_sl))?;
+        ckt.add(Element::vdc("VWL", wl, NodeId::GROUND, bias.wl_for(input)))?;
+        ckt.add(Element::Capacitor {
+            name: "CO".into(),
+            a: out,
+            b: sl,
+            capacitance: self.config.c_o,
+            initial: Some(Volt::ZERO),
+        })?;
+        let ctx = CellContext {
+            index: 0,
+            bl,
+            sl,
+            wl,
+            out,
+            weight,
+            offsets,
+        };
+        self.cell.build_cell(&mut ckt, &ctx)?;
+        let result = TransientAnalysis::new(&ckt, self.config.dt, self.config.t_charge)
+            .at(temp)
+            .run()?;
+        Ok((
+            result.final_voltage(out).value() - bias.v_sl.value(),
+            result.total_energy_delivered().value(),
+        ))
+    }
+}
+
+/// Builds the all-ones weight vector and an input vector with `k` active
+/// bits — the operand pattern used to exercise `MAC = k`.
+pub fn mac_operands(cells_per_row: usize, k: usize) -> (Vec<bool>, Vec<bool>) {
+    assert!(k <= cells_per_row, "cannot activate {k} of {cells_per_row} cells");
+    let weights = vec![true; cells_per_row];
+    let inputs = (0..cells_per_row).map(|i| i < k).collect();
+    (weights, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::TwoTransistorOneFefet;
+
+    const ROOM: Celsius = Celsius(27.0);
+
+    fn small_array() -> CimArray<TwoTransistorOneFefet> {
+        // 4 cells and a coarser timestep keep unit tests quick; the full
+        // 8-cell row is exercised in the integration tests and benches.
+        let config = ArrayConfig {
+            cells_per_row: 4,
+            dt: Second(50e-12),
+            ..ArrayConfig::paper_default()
+        };
+        CimArray::new(TwoTransistorOneFefet::paper_default(), config).unwrap()
+    }
+
+    #[test]
+    fn sharing_gain_matches_equation_one() {
+        let c = ArrayConfig::paper_default();
+        let expected = 1e-15 / (8.0 * 1e-15 + 8e-15);
+        assert!((c.sharing_gain() - expected).abs() < 1e-18);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = ArrayConfig::paper_default();
+        c.cells_per_row = 0;
+        assert!(matches!(
+            CimArray::new(TwoTransistorOneFefet::paper_default(), c),
+            Err(CimError::InvalidConfig { name: "cells_per_row", .. })
+        ));
+        let mut c = ArrayConfig::paper_default();
+        c.dt = Second(1e-8);
+        assert!(CimArray::new(TwoTransistorOneFefet::paper_default(), c).is_err());
+        let mut c = ArrayConfig::paper_default();
+        c.c_o = Farad(-1.0);
+        assert!(CimArray::new(TwoTransistorOneFefet::paper_default(), c).is_err());
+    }
+
+    #[test]
+    fn operand_length_is_checked() {
+        let array = small_array();
+        let err = array.mac(&[true; 3], &[true; 4], ROOM).unwrap_err();
+        assert!(matches!(err, CimError::MismatchedOperands { .. }));
+    }
+
+    #[test]
+    fn mac_output_is_monotone_in_count() {
+        let array = small_array();
+        let mut last = -1.0;
+        for k in 0..=4 {
+            let (w, x) = mac_operands(4, k);
+            let out = array
+                .mac_analytic(&w, &x, ROOM, &[CellOffsets::NOMINAL; 4])
+                .unwrap();
+            assert_eq!(out.expected, k);
+            assert!(
+                out.v_acc.value() > last,
+                "V_acc must grow with MAC count: k={k}, v={}",
+                out.v_acc.value()
+            );
+            last = out.v_acc.value();
+        }
+    }
+
+    #[test]
+    fn zero_mac_output_is_near_zero() {
+        let array = small_array();
+        let (w, x) = mac_operands(4, 0);
+        let out = array
+            .mac_analytic(&w, &x, ROOM, &[CellOffsets::NOMINAL; 4])
+            .unwrap();
+        let full = array
+            .mac_analytic(&mac_operands(4, 4).0, &mac_operands(4, 4).1, ROOM, &[CellOffsets::NOMINAL; 4])
+            .unwrap();
+        assert!(
+            out.v_acc.value() < 0.05 * full.v_acc.value(),
+            "MAC=0 output {} vs full {}",
+            out.v_acc.value(),
+            full.v_acc.value()
+        );
+    }
+
+    #[test]
+    fn transient_and_analytic_agree() {
+        let array = small_array();
+        let (w, x) = mac_operands(4, 2);
+        let offsets = [CellOffsets::NOMINAL; 4];
+        let fast = array.mac_analytic(&w, &x, ROOM, &offsets).unwrap();
+        let full = array.mac_with_offsets(&w, &x, ROOM, &offsets).unwrap();
+        let rel = (fast.v_acc.value() - full.v_acc.value()).abs()
+            / full.v_acc.value().max(1e-6);
+        assert!(
+            rel < 0.08,
+            "analytic {} vs transient {} (rel {rel})",
+            fast.v_acc.value(),
+            full.v_acc.value()
+        );
+    }
+
+    #[test]
+    fn weights_gate_the_inputs() {
+        // input '1' on a cell storing '0' must contribute ~nothing.
+        let array = small_array();
+        let out_gated = array
+            .mac_analytic(
+                &[false, false, false, false],
+                &[true, true, true, true],
+                ROOM,
+                &[CellOffsets::NOMINAL; 4],
+            )
+            .unwrap();
+        assert_eq!(out_gated.expected, 0);
+        let (w, x) = mac_operands(4, 4);
+        let out_full = array
+            .mac_analytic(&w, &x, ROOM, &[CellOffsets::NOMINAL; 4])
+            .unwrap();
+        assert!(out_gated.v_acc.value() < 0.05 * out_full.v_acc.value());
+    }
+
+    #[test]
+    fn energy_is_positive_and_fj_scale() {
+        let array = small_array();
+        let (w, x) = mac_operands(4, 4);
+        let out = array
+            .mac_with_offsets(&w, &x, ROOM, &[CellOffsets::NOMINAL; 4])
+            .unwrap();
+        let e = out.energy.value();
+        assert!(e > 0.0, "energy {e}");
+        assert!(e < 100e-15, "energy should be fJ-scale, got {e}");
+    }
+
+    #[test]
+    fn mac_operands_pattern() {
+        let (w, x) = mac_operands(8, 3);
+        assert_eq!(w, vec![true; 8]);
+        assert_eq!(x.iter().filter(|b| **b).count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot activate")]
+    fn mac_operands_rejects_excess() {
+        let _ = mac_operands(4, 5);
+    }
+}

@@ -1,0 +1,99 @@
+//! Operating-point (bias) definitions for CIM read operations.
+
+use ferrocim_units::Volt;
+use serde::{Deserialize, Serialize};
+
+/// The rail and word-line voltages applied during a MAC read.
+///
+/// The paper's proposed 2T-1FeFET operating point is `BL = 1.2 V`,
+/// `SL = 0.2 V`, `WL = 0.35 V` when the input bit is '1' (subthreshold
+/// FeFET activation), and WL at the SL level when the input is '0'.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadBias {
+    /// Bit-line voltage.
+    pub v_bl: Volt,
+    /// Source-line voltage.
+    pub v_sl: Volt,
+    /// Word-line voltage for an input bit of '1'.
+    pub v_wl_on: Volt,
+    /// Word-line voltage for an input bit of '0' (device off).
+    pub v_wl_off: Volt,
+}
+
+impl ReadBias {
+    /// The paper's subthreshold bias for the proposed 2T-1FeFET cell:
+    /// `BL = 1.2 V`, `SL = 0.2 V`, `WL_on = 0.35 V` above SL reference.
+    pub fn paper_subthreshold() -> Self {
+        ReadBias {
+            v_bl: Volt(1.2),
+            v_sl: Volt(0.2),
+            // WL drive referenced to ground; the FeFET source sits at
+            // SL = 0.2 V, so a 0.55 V word line gives V_GS = 0.35 V.
+            v_wl_on: Volt(0.55),
+            v_wl_off: Volt(0.0),
+        }
+    }
+
+    /// The baseline 1FeFET-1R read in the *saturation* region
+    /// (`V_read = 1.3 V`, the operating point of the original design).
+    pub fn baseline_saturation() -> Self {
+        ReadBias {
+            v_bl: Volt(1.0),
+            v_sl: Volt(0.0),
+            v_wl_on: Volt(1.3),
+            v_wl_off: Volt(0.0),
+        }
+    }
+
+    /// The baseline 1FeFET-1R read scaled into the *subthreshold* region
+    /// (`V_read = 0.35 V`), the paper's Fig. 3(b)/Fig. 4 configuration.
+    pub fn baseline_subthreshold() -> Self {
+        ReadBias {
+            v_bl: Volt(1.0),
+            v_sl: Volt(0.0),
+            v_wl_on: Volt(0.35),
+            v_wl_off: Volt(0.0),
+        }
+    }
+
+    /// The gate-to-source read voltage seen by the FeFET when the input
+    /// is '1' (`v_wl_on − v_sl`).
+    pub fn v_read(&self) -> Volt {
+        self.v_wl_on - self.v_sl
+    }
+
+    /// The word-line voltage encoding one input bit.
+    pub fn wl_for(&self, input: bool) -> Volt {
+        if input {
+            self.v_wl_on
+        } else {
+            self.v_wl_off
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bias_reads_at_350mv() {
+        let b = ReadBias::paper_subthreshold();
+        assert!((b.v_read().value() - 0.35).abs() < 1e-12);
+        assert_eq!(b.v_bl, Volt(1.2));
+        assert_eq!(b.v_sl, Volt(0.2));
+    }
+
+    #[test]
+    fn baseline_biases_match_fig3() {
+        assert!((ReadBias::baseline_saturation().v_read().value() - 1.3).abs() < 1e-12);
+        assert!((ReadBias::baseline_subthreshold().v_read().value() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wl_for_selects_by_input() {
+        let b = ReadBias::paper_subthreshold();
+        assert_eq!(b.wl_for(true), b.v_wl_on);
+        assert_eq!(b.wl_for(false), b.v_wl_off);
+    }
+}

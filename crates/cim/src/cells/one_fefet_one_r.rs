@@ -1,0 +1,223 @@
+//! The baseline 1FeFET-1R cell (Soliman et al., IEDM'20 — the paper's
+//! Fig. 2 reference design).
+//!
+//! Topology per cell:
+//!
+//! ```text
+//!  BL ──d[FeFET]s── R ── OUT (→ C_o in array mode)
+//!            g
+//!            │
+//!           WL  (V_read when input = '1')
+//! ```
+//!
+//! The resistor sits in the FeFET's source path, so it both converts the
+//! cell current into the output-capacitor charge and provides source
+//! degeneration. In the *saturation* read (`V_read = 1.3 V`) the drop
+//! across R dominates and linearizes the cell — modest temperature
+//! drift (paper: 20.6 %). Scaling the read into *subthreshold*
+//! (`V_read = 0.35 V`) removes that protection: the exponential
+//! `I_D(T)` of the FeFET shows through (paper: 52.1 %), which is the
+//! failure mode motivating the 2T-1FeFET design.
+
+use crate::cells::{CellContext, CellDesign, CellOffsets};
+use crate::{CimError, ReadBias};
+use ferrocim_device::{Fefet, FefetParams, PolarizationState};
+use ferrocim_spice::{Circuit, DcAnalysis, Element, NodeId};
+use ferrocim_units::{Ampere, Celsius, Ohm, Volt};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the baseline 1FeFET-1R cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OneFefetOneR {
+    /// Read bias (saturation or subthreshold).
+    pub bias: ReadBias,
+    /// The FeFET device parameters.
+    pub fefet: FefetParams,
+    /// The series resistor.
+    pub resistance: Ohm,
+    /// Output-clamp voltage used by standalone current measurements.
+    pub v_out_probe: Volt,
+}
+
+impl OneFefetOneR {
+    /// The original operating point: `V_read = 1.3 V` (saturation).
+    pub fn saturation() -> Self {
+        OneFefetOneR {
+            bias: ReadBias::baseline_saturation(),
+            fefet: FefetParams::paper_default(),
+            resistance: Ohm(250e3),
+            v_out_probe: Volt(0.0),
+        }
+    }
+
+    /// The voltage-scaled operating point: `V_read = 0.35 V`
+    /// (subthreshold), as analyzed in the paper's Sec. III-A.
+    pub fn subthreshold() -> Self {
+        OneFefetOneR {
+            bias: ReadBias::baseline_subthreshold(),
+            ..Self::saturation()
+        }
+    }
+
+    fn make_fefet(&self, weight: crate::cells::CellWeight, offset: Volt) -> Fefet {
+        let mut f = Fefet::new(self.fefet.clone());
+        match weight {
+            crate::cells::CellWeight::Bit(bit) => {
+                f.force_state(PolarizationState::from_bit(bit))
+            }
+            analog => f.set_polarization(analog.polarization()),
+        }
+        f.set_vth_offset(offset);
+        f
+    }
+}
+
+impl CellDesign for OneFefetOneR {
+    fn name(&self) -> &'static str {
+        "1FeFET-1R"
+    }
+
+    fn bias(&self) -> ReadBias {
+        self.bias
+    }
+
+    fn build_cell(&self, ckt: &mut Circuit, ctx: &CellContext<'_>) -> Result<(), CimError> {
+        let mid = ckt.node(&format!("cell{}_mid", ctx.index));
+        let fefet = self.make_fefet(ctx.weight, ctx.offsets.fefet);
+        ckt.add(Element::fefet(
+            format!("F{}", ctx.index),
+            ctx.bl,
+            ctx.wl,
+            mid,
+            fefet,
+        ))?;
+        ckt.add(Element::resistor(
+            format!("R{}", ctx.index),
+            mid,
+            ctx.out,
+            self.resistance,
+        ))?;
+        Ok(())
+    }
+
+    fn read_current(
+        &self,
+        stored: bool,
+        input: bool,
+        temp: Celsius,
+        offsets: &CellOffsets,
+    ) -> Result<Ampere, CimError> {
+        let mut ckt = Circuit::new();
+        let bl = ckt.node("bl");
+        let wl = ckt.node("wl");
+        let out = ckt.node("out");
+        ckt.add(Element::vdc("VBL", bl, NodeId::GROUND, self.bias.v_bl))?;
+        ckt.add(Element::vdc("VWL", wl, NodeId::GROUND, self.bias.wl_for(input)))?;
+        // Clamp the output node and measure the current flowing into it.
+        ckt.add(Element::vdc("VOUT", out, NodeId::GROUND, self.v_out_probe))?;
+        let ctx = CellContext {
+            index: 0,
+            bl,
+            sl: NodeId::GROUND,
+            wl,
+            out,
+            weight: crate::cells::CellWeight::Bit(stored),
+            offsets,
+        };
+        self.build_cell(&mut ckt, &ctx)?;
+        let op = DcAnalysis::new(&ckt).at(temp).solve()?;
+        // Current delivered *into* the clamp = cell output current.
+        Ok(Ampere(op.source_current("VOUT")?.value()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::current_fluctuation;
+    use ferrocim_spice::sweep::temperature_sweep;
+
+    const ROOM: Celsius = Celsius(27.0);
+
+    #[test]
+    fn product_truth_table() {
+        let cell = OneFefetOneR::subthreshold();
+        let on = |s, i| {
+            cell.read_current(s, i, ROOM, &CellOffsets::NOMINAL)
+                .unwrap()
+                .value()
+                .abs()
+        };
+        let i11 = on(true, true);
+        let i10 = on(true, false);
+        let i01 = on(false, true);
+        let i00 = on(false, false);
+        assert!(i11 > 1e3 * i10.max(i01).max(i00), "i11 {i11} others {i10} {i01} {i00}");
+    }
+
+    #[test]
+    fn saturation_read_is_much_larger_than_subthreshold() {
+        let sat = OneFefetOneR::saturation();
+        let sub = OneFefetOneR::subthreshold();
+        let i_sat = sat
+            .read_current(true, true, ROOM, &CellOffsets::NOMINAL)
+            .unwrap()
+            .value();
+        let i_sub = sub
+            .read_current(true, true, ROOM, &CellOffsets::NOMINAL)
+            .unwrap()
+            .value();
+        assert!(i_sat / i_sub > 3.0, "sat {i_sat} vs sub {i_sub}");
+    }
+
+    #[test]
+    fn subthreshold_fluctuation_far_exceeds_saturation() {
+        // The paper's headline baseline comparison (Fig. 3):
+        // 20.6 % (saturation) vs 52.1 % (subthreshold).
+        let temps = temperature_sweep(18);
+        let sat = current_fluctuation(&OneFefetOneR::saturation(), &temps, ROOM).unwrap();
+        let sub = current_fluctuation(&OneFefetOneR::subthreshold(), &temps, ROOM).unwrap();
+        assert!(
+            sub > 1.8 * sat,
+            "subthreshold fluctuation {sub} must dwarf saturation {sat}"
+        );
+        assert!(sat < 0.35, "saturation fluctuation unreasonably large: {sat}");
+        assert!(sub > 0.30, "subthreshold fluctuation implausibly small: {sub}");
+    }
+
+    #[test]
+    fn current_rises_with_temperature_in_subthreshold() {
+        let cell = OneFefetOneR::subthreshold();
+        let i_cold = cell
+            .read_current(true, true, Celsius(0.0), &CellOffsets::NOMINAL)
+            .unwrap()
+            .value();
+        let i_hot = cell
+            .read_current(true, true, Celsius(85.0), &CellOffsets::NOMINAL)
+            .unwrap()
+            .value();
+        assert!(i_hot > i_cold);
+    }
+
+    #[test]
+    fn vth_offset_changes_current() {
+        let cell = OneFefetOneR::subthreshold();
+        let nominal = cell
+            .read_current(true, true, ROOM, &CellOffsets::NOMINAL)
+            .unwrap()
+            .value();
+        let slow = cell
+            .read_current(
+                true,
+                true,
+                ROOM,
+                &CellOffsets {
+                    fefet: Volt(0.054),
+                    ..CellOffsets::NOMINAL
+                },
+            )
+            .unwrap()
+            .value();
+        assert!(slow < nominal);
+    }
+}

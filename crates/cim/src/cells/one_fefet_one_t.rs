@@ -1,0 +1,225 @@
+//! The 1FeFET-1T cell (Sk et al., TNANO'23 — Table II row [19]):
+//! a FeFET cascoded by a current-limiting transistor.
+//!
+//! Topology per cell:
+//!
+//! ```text
+//!  BL ──d[FeFET]s──d[T]s── OUT (→ C_o in array mode)
+//!           g          g
+//!           │          │
+//!          WL        V_cas (fixed cascode bias)
+//! ```
+//!
+//! The cascode transistor saturates at a bias-set current, so the cell
+//! output is limited by the *transistor*, not the FeFET — which is how
+//! the original design buys variation tolerance ("current limiting
+//! transistor cascoded FeFET memory array for variation tolerant
+//! vector-matrix multiplication"). The paper under reproduction cites
+//! it as the closest prior subthreshold-capable FeFET design; like the
+//! 1FeFET-1R baseline it has no temperature compensation, so its
+//! subthreshold read drifts with the cascode's own `I_D(T)`.
+
+use crate::cells::{CellContext, CellDesign, CellOffsets, CellWeight};
+use crate::{CimError, ReadBias};
+use ferrocim_device::{Fefet, FefetParams, MosfetModel, MosfetParams, PolarizationState};
+use ferrocim_spice::{Circuit, DcAnalysis, Element, NodeId};
+use ferrocim_units::{Ampere, Celsius, Volt};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the 1FeFET-1T cascode cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OneFefetOneT {
+    /// Read bias.
+    pub bias: ReadBias,
+    /// The FeFET parameters.
+    pub fefet: FefetParams,
+    /// The cascode (current-limiter) transistor.
+    pub cascode: MosfetParams,
+    /// The fixed cascode gate bias.
+    pub v_cascode: Volt,
+    /// Output-clamp voltage for standalone current measurements.
+    pub v_out_probe: Volt,
+}
+
+impl OneFefetOneT {
+    /// A subthreshold operating point comparable to the other baselines:
+    /// the same FeFET, a near-minimum cascode biased so the limited
+    /// current lands in the tens-of-nA MAC regime.
+    pub fn subthreshold() -> Self {
+        OneFefetOneT {
+            bias: ReadBias::baseline_subthreshold(),
+            fefet: FefetParams::paper_default(),
+            cascode: MosfetParams::nmos_14nm().with_wl_ratio(2.0),
+            v_cascode: Volt(0.32),
+            v_out_probe: Volt(0.0),
+        }
+    }
+
+    fn make_fefet(&self, weight: CellWeight, offset: Volt) -> Fefet {
+        let mut f = Fefet::new(self.fefet.clone());
+        match weight {
+            CellWeight::Bit(bit) => f.force_state(PolarizationState::from_bit(bit)),
+            analog => f.set_polarization(analog.polarization()),
+        }
+        f.set_vth_offset(offset);
+        f
+    }
+}
+
+impl CellDesign for OneFefetOneT {
+    fn name(&self) -> &'static str {
+        "1FeFET-1T"
+    }
+
+    fn bias(&self) -> ReadBias {
+        self.bias
+    }
+
+    fn build_cell(&self, ckt: &mut Circuit, ctx: &CellContext<'_>) -> Result<(), CimError> {
+        let mid = ckt.node(&format!("cell{}_mid", ctx.index));
+        let cas = ckt.node(&format!("cell{}_cas", ctx.index));
+        ckt.add(Element::vdc(
+            format!("VCAS{}", ctx.index),
+            cas,
+            NodeId::GROUND,
+            self.v_cascode,
+        ))?;
+        let fefet = self.make_fefet(ctx.weight, ctx.offsets.fefet);
+        ckt.add(Element::fefet(
+            format!("F{}", ctx.index),
+            ctx.bl,
+            ctx.wl,
+            mid,
+            fefet,
+        ))?;
+        // The cascode's threshold offset reuses the M1 variation slot.
+        ckt.add(Element::Mosfet {
+            name: format!("T{}", ctx.index),
+            drain: mid,
+            gate: cas,
+            source: ctx.out,
+            model: MosfetModel::new(self.cascode.clone()),
+            vth_offset: ctx.offsets.m1,
+        })?;
+        Ok(())
+    }
+
+    fn read_current(
+        &self,
+        stored: bool,
+        input: bool,
+        temp: Celsius,
+        offsets: &CellOffsets,
+    ) -> Result<Ampere, CimError> {
+        let mut ckt = Circuit::new();
+        let bl = ckt.node("bl");
+        let wl = ckt.node("wl");
+        let out = ckt.node("out");
+        ckt.add(Element::vdc("VBL", bl, NodeId::GROUND, self.bias.v_bl))?;
+        ckt.add(Element::vdc("VWL", wl, NodeId::GROUND, self.bias.wl_for(input)))?;
+        ckt.add(Element::vdc("VOUT", out, NodeId::GROUND, self.v_out_probe))?;
+        let ctx = CellContext {
+            index: 0,
+            bl,
+            sl: NodeId::GROUND,
+            wl,
+            out,
+            weight: CellWeight::Bit(stored),
+            offsets,
+        };
+        self.build_cell(&mut ckt, &ctx)?;
+        let op = DcAnalysis::new(&ckt).at(temp).solve()?;
+        Ok(Ampere(op.source_current("VOUT")?.value()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::{current_fluctuation, OneFefetOneR, TwoTransistorOneFefet};
+    use ferrocim_spice::sweep::temperature_sweep;
+
+    const ROOM: Celsius = Celsius(27.0);
+
+    #[test]
+    fn product_truth_table() {
+        let cell = OneFefetOneT::subthreshold();
+        let read = |s, i| {
+            cell.read_current(s, i, ROOM, &CellOffsets::NOMINAL)
+                .unwrap()
+                .value()
+                .abs()
+        };
+        let i11 = read(true, true);
+        assert!(
+            i11 > 1e2 * read(true, false).max(read(false, true)).max(read(false, false)),
+            "on current must dominate"
+        );
+    }
+
+    #[test]
+    fn cascode_limits_variation_but_not_temperature() {
+        // The design's claim: FeFET V_TH variation is attenuated by the
+        // cascode compared to the resistor baseline...
+        let cascode = OneFefetOneT::subthreshold();
+        let resistor = OneFefetOneR::subthreshold();
+        let spread = |cell: &dyn CellDesign| {
+            let nominal = cell
+                .read_current(true, true, ROOM, &CellOffsets::NOMINAL)
+                .unwrap()
+                .value();
+            let slow = cell
+                .read_current(
+                    true,
+                    true,
+                    ROOM,
+                    &CellOffsets {
+                        fefet: Volt(0.054),
+                        ..CellOffsets::NOMINAL
+                    },
+                )
+                .unwrap()
+                .value();
+            (nominal / slow - 1.0).abs()
+        };
+        assert!(
+            spread(&cascode) < spread(&resistor),
+            "cascode {} vs resistor {}",
+            spread(&cascode),
+            spread(&resistor)
+        );
+        // ...but its temperature drift stays baseline-class (no
+        // compensation), far above the proposed cell's.
+        let temps = temperature_sweep(10);
+        let drift = current_fluctuation(&cascode, &temps, ROOM).unwrap();
+        let proposed =
+            current_fluctuation(&TwoTransistorOneFefet::paper_default(), &temps, ROOM).unwrap();
+        assert!(
+            drift > 1.5 * proposed,
+            "cascode drift {drift} vs proposed {proposed}"
+        );
+    }
+
+    #[test]
+    fn output_current_is_cascode_limited() {
+        // Doubling the FeFET width barely moves the output current
+        // because the cascode sets the limit.
+        let cell = OneFefetOneT::subthreshold();
+        let mut wide = cell.clone();
+        wide.fefet.channel = wide.fefet.channel.clone().with_wl_ratio(
+            2.0 * cell.fefet.channel.wl_ratio(),
+        );
+        let i1 = cell
+            .read_current(true, true, ROOM, &CellOffsets::NOMINAL)
+            .unwrap()
+            .value();
+        let i2 = wide
+            .read_current(true, true, ROOM, &CellOffsets::NOMINAL)
+            .unwrap()
+            .value();
+        assert!(
+            (i2 / i1 - 1.0).abs() < 0.25,
+            "cascode-limited current moved {i1} -> {i2}"
+        );
+    }
+}

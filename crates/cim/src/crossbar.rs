@@ -1,0 +1,254 @@
+//! A multi-row CIM crossbar: programmable weight storage plus row-wise
+//! MAC execution with a shared readout.
+//!
+//! [`CimArray`] models one row of hardware; a [`Crossbar`] stacks `m`
+//! rows of stored weights over the same cell design and executes
+//! digital matrix–vector products — the unit of work a neural-network
+//! layer maps onto (a `m × n` weight tile multiplied by an `n`-element
+//! binary input vector per step). Rows share the bit/source lines and
+//! the ADC, as in the paper's Fig. 2/Fig. 6 organization.
+
+use crate::array::CimArray;
+use crate::cells::{CellDesign, CellOffsets, CellWeight};
+use crate::transfer::Adc;
+use crate::CimError;
+use ferrocim_units::{Celsius, Joule, Volt};
+use serde::{Deserialize, Serialize};
+
+/// The result of one crossbar matrix–vector product.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatVecOutput {
+    /// Digital per-row MAC readouts.
+    pub digital: Vec<usize>,
+    /// The analog accumulation voltages the readouts were sliced from.
+    pub analog: Vec<Volt>,
+    /// Total energy across all row operations.
+    pub energy: Joule,
+}
+
+/// A programmable `m × n` CIM weight tile.
+#[derive(Debug, Clone)]
+pub struct Crossbar<C> {
+    array: CimArray<C>,
+    rows: Vec<Vec<CellWeight>>,
+    adc: Adc,
+}
+
+impl<C: CellDesign> Crossbar<C> {
+    /// Creates a crossbar of `rows` rows over the given row hardware,
+    /// with every weight erased ('0') and the readout calibrated over
+    /// the 0–85 °C range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration-simulation failures, or
+    /// [`CimError::InvalidConfig`] for a zero row count.
+    pub fn new(array: CimArray<C>, rows: usize) -> Result<Self, CimError> {
+        if rows == 0 {
+            return Err(CimError::InvalidConfig {
+                name: "rows",
+                value: 0.0,
+                requirement: "at least 1",
+            });
+        }
+        let adc = Adc::calibrate_over(&array, &ferrocim_spice::sweep::temperature_sweep(8))?;
+        let n = array.config().cells_per_row;
+        Ok(Crossbar {
+            array,
+            rows: vec![vec![CellWeight::Bit(false); n]; rows],
+            adc,
+        })
+    }
+
+    /// The number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The number of cells (columns) per row.
+    pub fn columns(&self) -> usize {
+        self.array.config().cells_per_row
+    }
+
+    /// The row hardware.
+    pub fn array(&self) -> &CimArray<C> {
+        &self.array
+    }
+
+    /// The stored weights of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row(&self, row: usize) -> &[CellWeight] {
+        &self.rows[row]
+    }
+
+    /// Programs one row with binary weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CimError::MismatchedOperands`] if `weights` length
+    /// differs from the column count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn program_row(&mut self, row: usize, weights: &[bool]) -> Result<(), CimError> {
+        if weights.len() != self.columns() {
+            return Err(CimError::MismatchedOperands {
+                weights: weights.len(),
+                inputs: self.columns(),
+                cells_per_row: self.columns(),
+            });
+        }
+        self.rows[row] = weights.iter().map(|&b| CellWeight::Bit(b)).collect();
+        Ok(())
+    }
+
+    /// Programs one row with multi-level weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CimError::MismatchedOperands`] on a length mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn program_row_levels(
+        &mut self,
+        row: usize,
+        weights: &[CellWeight],
+    ) -> Result<(), CimError> {
+        if weights.len() != self.columns() {
+            return Err(CimError::MismatchedOperands {
+                weights: weights.len(),
+                inputs: self.columns(),
+                cells_per_row: self.columns(),
+            });
+        }
+        self.rows[row] = weights.to_vec();
+        Ok(())
+    }
+
+    /// Executes the matrix–vector product of every stored row with the
+    /// binary input vector at the given temperature (nominal devices),
+    /// returning digital readouts, analog voltages, and total energy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CimError::MismatchedOperands`] for a wrong input
+    /// length, or propagates simulation failures.
+    pub fn matvec(&self, inputs: &[bool], temp: Celsius) -> Result<MatVecOutput, CimError> {
+        if inputs.len() != self.columns() {
+            return Err(CimError::MismatchedOperands {
+                weights: self.columns(),
+                inputs: inputs.len(),
+                cells_per_row: self.columns(),
+            });
+        }
+        let offsets = vec![CellOffsets::NOMINAL; self.columns()];
+        let mut digital = Vec::with_capacity(self.rows.len());
+        let mut analog = Vec::with_capacity(self.rows.len());
+        let mut energy = 0.0;
+        for weights in &self.rows {
+            let out = self
+                .array
+                .mac_analytic_weighted(weights, inputs, temp, &offsets)?;
+            digital.push(self.adc.quantize(out.v_acc));
+            analog.push(out.v_acc);
+            energy += out.energy.value();
+        }
+        Ok(MatVecOutput {
+            digital,
+            analog,
+            energy: Joule(energy),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::TwoTransistorOneFefet;
+    use crate::ArrayConfig;
+    use ferrocim_units::Second;
+
+    const ROOM: Celsius = Celsius(27.0);
+
+    fn small_crossbar(rows: usize) -> Crossbar<TwoTransistorOneFefet> {
+        let config = ArrayConfig {
+            dt: Second(50e-12),
+            ..ArrayConfig::paper_default()
+        };
+        let array = CimArray::new(TwoTransistorOneFefet::paper_default(), config).unwrap();
+        Crossbar::new(array, rows).unwrap()
+    }
+
+    #[test]
+    fn matvec_computes_binary_products_row_wise() {
+        let mut xbar = small_crossbar(3);
+        xbar.program_row(0, &[true; 8]).unwrap();
+        xbar.program_row(1, &[true, false, true, false, true, false, true, false])
+            .unwrap();
+        // Row 2 stays erased.
+        let inputs = [true, true, true, true, false, false, false, false];
+        let out = xbar.matvec(&inputs, ROOM).unwrap();
+        assert_eq!(out.digital, vec![4, 2, 0]);
+        assert!(out.energy.value() > 0.0);
+        assert!(out.analog[0] > out.analog[1]);
+    }
+
+    #[test]
+    fn matvec_is_temperature_stable() {
+        let mut xbar = small_crossbar(2);
+        xbar.program_row(0, &[true, true, true, false, false, true, true, true])
+            .unwrap();
+        xbar.program_row(1, &[false, false, true, true, true, false, false, false])
+            .unwrap();
+        let inputs = [true; 8];
+        let reference = xbar.matvec(&inputs, ROOM).unwrap().digital;
+        for t in [0.0, 55.0, 85.0] {
+            let got = xbar.matvec(&inputs, Celsius(t)).unwrap().digital;
+            assert_eq!(got, reference, "readout drifted at {t} C");
+        }
+        assert_eq!(reference, vec![6, 3]);
+    }
+
+    #[test]
+    fn multilevel_weights_scale_the_analog_output() {
+        let mut xbar = small_crossbar(3);
+        let full = vec![CellWeight::Level { level: 3, max: 3 }; 8];
+        let two_thirds = vec![CellWeight::Level { level: 2, max: 3 }; 8];
+        let third = vec![CellWeight::Level { level: 1, max: 3 }; 8];
+        xbar.program_row_levels(0, &full).unwrap();
+        xbar.program_row_levels(1, &two_thirds).unwrap();
+        xbar.program_row_levels(2, &third).unwrap();
+        let out = xbar.matvec(&[true; 8], ROOM).unwrap();
+        // Analog outputs must be strictly ordered by the stored level.
+        assert!(
+            out.analog[0] > out.analog[1] && out.analog[1] > out.analog[2],
+            "levels not ordered: {:?}",
+            out.analog
+        );
+    }
+
+    #[test]
+    fn dimension_errors_are_typed() {
+        let mut xbar = small_crossbar(1);
+        assert!(matches!(
+            xbar.program_row(0, &[true; 3]),
+            Err(CimError::MismatchedOperands { .. })
+        ));
+        assert!(matches!(
+            xbar.matvec(&[true; 5], ROOM),
+            Err(CimError::MismatchedOperands { .. })
+        ));
+        let config = ArrayConfig::paper_default();
+        let array = CimArray::new(TwoTransistorOneFefet::paper_default(), config).unwrap();
+        assert!(matches!(
+            Crossbar::new(array, 0),
+            Err(CimError::InvalidConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for CIM construction and measurement.
+
+use ferrocim_spice::SpiceError;
+use std::fmt;
+
+/// Errors produced by CIM cells, arrays, and measurements.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CimError {
+    /// An underlying circuit-simulation error.
+    Spice(SpiceError),
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// The parameter name.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// What the parameter must satisfy.
+        requirement: &'static str,
+    },
+    /// `weights` and `inputs` slices had different lengths, or did not
+    /// match the array's configured cells-per-row.
+    MismatchedOperands {
+        /// Length of the weights slice.
+        weights: usize,
+        /// Length of the inputs slice.
+        inputs: usize,
+        /// The array's configured row width.
+        cells_per_row: usize,
+    },
+    /// A measurement needed at least one temperature / MAC level but got
+    /// an empty sweep.
+    EmptySweep {
+        /// Which sweep was empty.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CimError::Spice(e) => write!(f, "circuit simulation failed: {e}"),
+            CimError::InvalidConfig {
+                name,
+                value,
+                requirement,
+            } => write!(f, "cim config `{name}` = {value} must be {requirement}"),
+            CimError::MismatchedOperands {
+                weights,
+                inputs,
+                cells_per_row,
+            } => write!(
+                f,
+                "operand lengths (weights {weights}, inputs {inputs}) must both equal cells_per_row {cells_per_row}"
+            ),
+            CimError::EmptySweep { what } => write!(f, "empty sweep: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CimError::Spice(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpiceError> for CimError {
+    fn from(e: SpiceError) -> Self {
+        CimError::Spice(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_spice_errors_with_source() {
+        use std::error::Error as _;
+        let e = CimError::from(SpiceError::SingularMatrix { row: 1 });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("circuit simulation failed"));
+    }
+
+    #[test]
+    fn mismatch_message_names_all_three_lengths() {
+        let e = CimError::MismatchedOperands {
+            weights: 7,
+            inputs: 8,
+            cells_per_row: 8,
+        };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains('8'));
+    }
+}

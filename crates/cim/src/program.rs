@@ -1,0 +1,245 @@
+//! Write-verify programming: closing the loop on device variation.
+//!
+//! The paper's Fig. 9 accepts the raw `σ_VT = 54 mV` device-to-device
+//! spread; its reference \[9\] (SWIM, DAC'22) shows that a few
+//! program-verify iterations on the cells that matter recovers most of
+//! the induced error. This module implements that scheme for the
+//! simulated cells: after programming, the cell's read current is
+//! compared against the nominal target, and trim pulses adjust the
+//! FeFET polarization until the output falls inside a tolerance band
+//! (or the iteration budget runs out).
+//!
+//! The verify loop operates on the *cell output current* — the
+//! externally observable quantity a real peripheral verify circuit
+//! senses — so it corrects the aggregate effect of all three device
+//! offsets, not just the FeFET's.
+
+use crate::cells::{CellDesign, CellOffsets, CellWeight};
+use crate::CimError;
+use ferrocim_units::{Celsius, Volt};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the write-verify loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WriteVerifyConfig {
+    /// Relative tolerance on the cell read current (e.g. 0.05 = ±5 %).
+    pub tolerance: f64,
+    /// Maximum verify iterations per cell.
+    pub max_iterations: usize,
+    /// Verify temperature (the trim condition; 27 °C in practice).
+    pub temp: Celsius,
+    /// Polarization trim step per iteration (fraction of full scale).
+    pub trim_step: f64,
+}
+
+impl Default for WriteVerifyConfig {
+    fn default() -> Self {
+        WriteVerifyConfig {
+            tolerance: 0.05,
+            max_iterations: 8,
+            temp: Celsius::ROOM,
+            trim_step: 0.05,
+        }
+    }
+}
+
+/// The outcome of write-verifying one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VerifyOutcome {
+    /// The trimmed equivalent threshold offset: the verify loop's
+    /// polarization trim expressed as the residual `V_TH` offset the
+    /// array simulation should use for this cell.
+    pub residual_offset: Volt,
+    /// Iterations spent.
+    pub iterations: usize,
+    /// Whether the cell converged inside the tolerance band.
+    pub converged: bool,
+}
+
+/// Write-verifies one '1'-storing cell: measures its read current under
+/// its variation offsets and trims an equivalent threshold correction
+/// until the output is within `tolerance` of the nominal cell.
+///
+/// Returns the residual per-cell offsets to use in array simulations
+/// (the FeFET offset is reduced by the trim; M1/M2 offsets are
+/// untouchable by programming and pass through).
+///
+/// # Errors
+///
+/// Propagates circuit-simulation failures.
+pub fn write_verify<C: CellDesign>(
+    cell: &C,
+    offsets: &CellOffsets,
+    config: &WriteVerifyConfig,
+) -> Result<(CellOffsets, VerifyOutcome), CimError> {
+    let target = cell
+        .read_current(true, true, config.temp, &CellOffsets::NOMINAL)?
+        .value();
+    // The trimmable quantity: the FeFET's programmed polarization,
+    // equivalent to shifting its threshold inside the memory window.
+    // We express the trim directly as a threshold correction.
+    let mut trimmed = *offsets;
+    let mut iterations = 0;
+    let mut converged = false;
+    // Full-scale trim range: the polarization step maps to a threshold
+    // step of (memory window / 2) · trim_step ≈ tens of mV.
+    let trim_volt = 0.65 * config.trim_step; // half-window of the paper FeFET
+    while iterations < config.max_iterations {
+        let measured = cell
+            .read_current(true, true, config.temp, &trimmed)?
+            .value();
+        let error = measured / target - 1.0;
+        if error.abs() <= config.tolerance {
+            converged = true;
+            break;
+        }
+        iterations += 1;
+        // Too much current → raise the threshold (trim toward erase).
+        let step = trim_volt * error.signum();
+        trimmed.fefet = Volt(trimmed.fefet.value() + step * error.abs().min(1.0));
+    }
+    let residual = Volt(trimmed.fefet.value() - offsets.fefet.value());
+    Ok((
+        trimmed,
+        VerifyOutcome {
+            residual_offset: residual,
+            iterations,
+            converged,
+        },
+    ))
+}
+
+/// Write-verifies a whole row of weights: '1' cells go through the
+/// verify loop; '0' cells are left as-is (their off current is already
+/// orders of magnitude below a level step).
+///
+/// # Errors
+///
+/// Propagates circuit-simulation failures.
+pub fn write_verify_row<C: CellDesign>(
+    cell: &C,
+    weights: &[CellWeight],
+    offsets: &[CellOffsets],
+    config: &WriteVerifyConfig,
+) -> Result<(Vec<CellOffsets>, Vec<VerifyOutcome>), CimError> {
+    assert_eq!(weights.len(), offsets.len(), "row length mismatch");
+    let mut out_offsets = Vec::with_capacity(offsets.len());
+    let mut outcomes = Vec::with_capacity(offsets.len());
+    for (w, o) in weights.iter().zip(offsets) {
+        if w.bit() {
+            let (trimmed, outcome) = write_verify(cell, o, config)?;
+            out_offsets.push(trimmed);
+            outcomes.push(outcome);
+        } else {
+            out_offsets.push(*o);
+            outcomes.push(VerifyOutcome {
+                residual_offset: Volt::ZERO,
+                iterations: 0,
+                converged: true,
+            });
+        }
+    }
+    Ok((out_offsets, outcomes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::TwoTransistorOneFefet;
+
+    #[test]
+    fn verify_trims_a_fast_cell_back_into_band() {
+        let cell = TwoTransistorOneFefet::paper_default();
+        let fast = CellOffsets {
+            fefet: Volt(-0.054), // -1 sigma: conducts too strongly
+            ..CellOffsets::NOMINAL
+        };
+        let config = WriteVerifyConfig::default();
+        let before = cell
+            .read_current(true, true, config.temp, &fast)
+            .unwrap()
+            .value();
+        let target = cell
+            .read_current(true, true, config.temp, &CellOffsets::NOMINAL)
+            .unwrap()
+            .value();
+        assert!(
+            (before / target - 1.0).abs() > config.tolerance,
+            "precondition: the fast cell must start out of band"
+        );
+        let (trimmed, outcome) = write_verify(&cell, &fast, &config).unwrap();
+        assert!(outcome.converged, "did not converge: {outcome:?}");
+        let after = cell
+            .read_current(true, true, config.temp, &trimmed)
+            .unwrap()
+            .value();
+        assert!(
+            (after / target - 1.0).abs() <= config.tolerance,
+            "after trim: {after} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn verify_leaves_nominal_cells_untouched() {
+        let cell = TwoTransistorOneFefet::paper_default();
+        let (trimmed, outcome) =
+            write_verify(&cell, &CellOffsets::NOMINAL, &WriteVerifyConfig::default()).unwrap();
+        assert!(outcome.converged);
+        assert_eq!(outcome.iterations, 0);
+        assert_eq!(trimmed.fefet, Volt::ZERO);
+    }
+
+    #[test]
+    fn row_verify_skips_zero_weights() {
+        let cell = TwoTransistorOneFefet::paper_default();
+        let weights = [CellWeight::Bit(true), CellWeight::Bit(false)];
+        let offsets = [
+            CellOffsets {
+                fefet: Volt(0.08),
+                ..CellOffsets::NOMINAL
+            },
+            CellOffsets {
+                fefet: Volt(0.08),
+                ..CellOffsets::NOMINAL
+            },
+        ];
+        let (trimmed, outcomes) =
+            write_verify_row(&cell, &weights, &offsets, &WriteVerifyConfig::default()).unwrap();
+        assert!(outcomes[0].iterations > 0, "the '1' cell is trimmed");
+        assert_eq!(outcomes[1].iterations, 0, "the '0' cell is skipped");
+        assert_eq!(trimmed[1].fefet, Volt(0.08), "offset untouched");
+    }
+
+    #[test]
+    fn verify_reduces_current_spread_across_sigma_range() {
+        let cell = TwoTransistorOneFefet::paper_default();
+        let config = WriteVerifyConfig::default();
+        let target = cell
+            .read_current(true, true, config.temp, &CellOffsets::NOMINAL)
+            .unwrap()
+            .value();
+        let mut worst_before = 0.0f64;
+        let mut worst_after = 0.0f64;
+        for mv in [-108.0, -54.0, 54.0, 108.0] {
+            let offs = CellOffsets {
+                fefet: Volt(mv * 1e-3),
+                ..CellOffsets::NOMINAL
+            };
+            let before = cell
+                .read_current(true, true, config.temp, &offs)
+                .unwrap()
+                .value();
+            let (trimmed, _) = write_verify(&cell, &offs, &config).unwrap();
+            let after = cell
+                .read_current(true, true, config.temp, &trimmed)
+                .unwrap()
+                .value();
+            worst_before = worst_before.max((before / target - 1.0).abs());
+            worst_after = worst_after.max((after / target - 1.0).abs());
+        }
+        assert!(
+            worst_after < 0.3 * worst_before,
+            "verify must shrink the spread: {worst_before} -> {worst_after}"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Integration tests of the crossbar tile against the row-level API and
+//! the write-verify programming path.
+
+use ferrocim_cim::cells::{CellOffsets, CellWeight, TwoTransistorOneFefet};
+use ferrocim_cim::program::{write_verify_row, WriteVerifyConfig};
+use ferrocim_cim::{mac_operands, ArrayConfig, CimArray, Crossbar};
+use ferrocim_units::{Celsius, Second, Volt};
+
+const ROOM: Celsius = Celsius(27.0);
+
+fn fast_config() -> ArrayConfig {
+    ArrayConfig {
+        dt: Second(50e-12),
+        ..ArrayConfig::paper_default()
+    }
+}
+
+#[test]
+fn crossbar_rows_agree_with_direct_array_macs() {
+    let array = CimArray::new(TwoTransistorOneFefet::paper_default(), fast_config()).unwrap();
+    let mut xbar = Crossbar::new(array.clone(), 2).unwrap();
+    let (w, _) = mac_operands(8, 6);
+    xbar.program_row(0, &w).unwrap();
+    let inputs = [true, false, true, true, false, true, true, true];
+    let out = xbar.matvec(&inputs, ROOM).unwrap();
+    // Direct row-level evaluation of the same operands.
+    let offsets = vec![CellOffsets::NOMINAL; 8];
+    let direct = array.mac_analytic(&w, &inputs, ROOM, &offsets).unwrap();
+    assert!((out.analog[0].value() - direct.v_acc.value()).abs() < 1e-12);
+    assert_eq!(out.digital[0], direct.expected);
+}
+
+#[test]
+fn verify_then_matvec_survives_heavy_variation() {
+    // A ±2σ-skewed row misreads raw but reads correctly after the
+    // write-verify trim.
+    let array = CimArray::new(TwoTransistorOneFefet::paper_default(), fast_config()).unwrap();
+    let adc = ferrocim_cim::transfer::Adc::calibrate(&array, ROOM).unwrap();
+    let (w, x) = mac_operands(8, 5);
+    let weights: Vec<CellWeight> = w.iter().map(|&b| CellWeight::Bit(b)).collect();
+    let skew = [0.10, -0.10, 0.08, -0.09, 0.11, -0.08, 0.09, -0.11];
+    let raw: Vec<CellOffsets> = skew
+        .iter()
+        .map(|&mv| CellOffsets {
+            fefet: Volt(mv),
+            ..CellOffsets::NOMINAL
+        })
+        .collect();
+    let raw_out = array.mac_analytic(&w, &x, ROOM, &raw).unwrap();
+    let raw_read = adc.quantize(raw_out.v_acc);
+    let (trimmed, outcomes) =
+        write_verify_row(array.cell(), &weights, &raw, &WriteVerifyConfig::default()).unwrap();
+    assert!(outcomes.iter().all(|o| o.converged));
+    let verified_out = array.mac_analytic(&w, &x, ROOM, &trimmed).unwrap();
+    let verified_read = adc.quantize(verified_out.v_acc);
+    assert_eq!(verified_read, 5, "verified row must read the true MAC");
+    // The raw row with this skew pattern lands at least as far away.
+    assert!(verified_read.abs_diff(5) <= raw_read.abs_diff(5));
+}
+
+#[test]
+fn packed_analog_levels_are_distinct_rows_in_a_crossbar() {
+    let array = CimArray::new(TwoTransistorOneFefet::paper_default(), fast_config()).unwrap();
+    let mut xbar = Crossbar::new(array, 2).unwrap();
+    xbar.program_row_levels(0, &vec![CellWeight::Analog(1.0); 8]).unwrap();
+    xbar.program_row_levels(1, &vec![CellWeight::Analog(0.9); 8]).unwrap();
+    let out = xbar.matvec(&[true; 8], ROOM).unwrap();
+    assert!(
+        out.analog[0].value() > out.analog[1].value() + 1e-3,
+        "P=1.0 and P=0.9 rows must be analog-distinguishable: {:?}",
+        out.analog
+    );
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the CIM layer: metric algebra and the
+//! physical invariants of the charge-domain MAC.
+
+use ferrocim_cim::metrics::{OutputRange, RangeTable};
+use ferrocim_cim::{ArrayConfig, ReadBias};
+use ferrocim_units::{Farad, Second, Volt};
+use proptest::prelude::*;
+
+/// Builds a valid ascending range table from positive gaps/widths.
+fn table_from(widths: &[f64], gaps: &[f64]) -> RangeTable {
+    let mut lo = 0.0;
+    let mut ranges = Vec::new();
+    for (i, w) in widths.iter().enumerate() {
+        ranges.push(OutputRange {
+            mac: i,
+            lo: Volt(lo),
+            hi: Volt(lo + w),
+        });
+        if i < gaps.len() {
+            lo += w + gaps[i];
+        }
+    }
+    RangeTable::from_ranges(ranges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// NMR_i is positive exactly when the inter-level gap is positive,
+    /// and scales linearly with the gap.
+    #[test]
+    fn nmr_sign_matches_gap_sign(
+        (widths, gaps) in (2usize..10).prop_flat_map(|n| (
+            prop::collection::vec(1e-4f64..1e-2, n),
+            prop::collection::vec(-5e-3f64..5e-3, n - 1),
+        )),
+    ) {
+        let table = table_from(&widths, &gaps);
+        for (i, &gap) in gaps.iter().enumerate() {
+            let nmr = table.nmr(i);
+            prop_assert_eq!(nmr > 0.0, gap > 0.0, "level {} gap {} nmr {}", i, gap, nmr);
+            // Eq. (2): NMR_i = gap / width_i exactly.
+            prop_assert!((nmr - gap / widths[i]).abs() < 1e-9);
+        }
+    }
+
+    /// NMR_min picks the global minimum and `has_overlap` agrees with
+    /// its sign.
+    #[test]
+    fn nmr_min_is_the_minimum(
+        (widths, gaps) in (3usize..9).prop_flat_map(|n| (
+            prop::collection::vec(1e-4f64..1e-2, n),
+            prop::collection::vec(-5e-3f64..5e-3, n - 1),
+        )),
+    ) {
+        let table = table_from(&widths, &gaps);
+        let (idx, val) = table.nmr_min();
+        for i in 0..table.max_mac() {
+            prop_assert!(table.nmr(i) >= val - 1e-15);
+        }
+        prop_assert!((table.nmr(idx) - val).abs() < 1e-15);
+        prop_assert_eq!(table.has_overlap(), val < 0.0);
+    }
+
+    /// The charge-sharing gain of Eq. (1) is in (0, 1) and decreases
+    /// with larger accumulation capacitors.
+    #[test]
+    fn sharing_gain_bounds(
+        n in 1usize..32,
+        c_o in 0.1f64..10.0,   // fF
+        c_acc in 0.1f64..50.0, // fF
+    ) {
+        let config = ArrayConfig {
+            cells_per_row: n,
+            c_o: Farad(c_o * 1e-15),
+            c_acc: Farad(c_acc * 1e-15),
+            t_charge: Second(5e-9),
+            t_settle: Second(0.4e-9),
+            t_share: Second(1.5e-9),
+            dt: Second(20e-12),
+        };
+        let g = config.sharing_gain();
+        prop_assert!(g > 0.0 && g < 1.0, "gain {g}");
+        let bigger = ArrayConfig {
+            c_acc: Farad(2.0 * c_acc * 1e-15),
+            ..config
+        };
+        prop_assert!(bigger.sharing_gain() < g);
+        // Eq. (1) exactly: C_o / (n·C_o + C_acc).
+        let expected = c_o / (n as f64 * c_o + c_acc);
+        prop_assert!((g - expected).abs() < 1e-12);
+    }
+
+    /// Read-bias helper: the WL voltage reflects the input bit, and the
+    /// read voltage is the on-level minus the source-line level.
+    #[test]
+    fn read_bias_algebra(
+        v_sl in 0.0f64..0.5,
+        v_read in 0.1f64..1.5,
+    ) {
+        let bias = ReadBias {
+            v_bl: Volt(1.2),
+            v_sl: Volt(v_sl),
+            v_wl_on: Volt(v_sl + v_read),
+            v_wl_off: Volt(0.0),
+        };
+        prop_assert!((bias.v_read().value() - v_read).abs() < 1e-12);
+        prop_assert_eq!(bias.wl_for(true), bias.v_wl_on);
+        prop_assert_eq!(bias.wl_for(false), bias.v_wl_off);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for device-model construction and use.
+
+use std::fmt;
+
+/// Errors produced when validating device parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A geometric or physical parameter was non-positive or non-finite.
+    InvalidParameter {
+        /// The offending parameter's name.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// What the parameter must satisfy.
+        requirement: &'static str,
+    },
+    /// The low-`V_TH` level was not below the high-`V_TH` level, so the
+    /// FeFET memory window would be empty or inverted.
+    EmptyMemoryWindow {
+        /// The configured low-state threshold voltage in volts.
+        low_vt: f64,
+        /// The configured high-state threshold voltage in volts.
+        high_vt: f64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidParameter {
+                name,
+                value,
+                requirement,
+            } => write!(f, "device parameter `{name}` = {value} must be {requirement}"),
+            DeviceError::EmptyMemoryWindow { low_vt, high_vt } => write!(
+                f,
+                "fefet memory window is empty: low-Vt {low_vt} V is not below high-Vt {high_vt} V"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = DeviceError::InvalidParameter {
+            name: "width",
+            value: -1.0,
+            requirement: "positive and finite",
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("device parameter"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

@@ -1,0 +1,228 @@
+//! FeFET reliability models: retention (polarization decay over time)
+//! and endurance (memory-window evolution over write cycling).
+//!
+//! The paper evaluates a fresh device; real HfO₂ FeFET deployments
+//! must budget for both mechanisms, and any temperature-resilience
+//! claim interacts with them (retention is thermally activated, so the
+//! hot corner that the 2T-1FeFET cell survives electrically is also the
+//! corner that ages the stored weights fastest). These models follow
+//! the standard empirical forms from the HfO₂ ferroelectric literature:
+//!
+//! * **Retention** — stretched-exponential (Kohlrausch) decay of the
+//!   remanent polarization with an Arrhenius-activated time constant:
+//!   `P(t) = P₀ · exp(−(t/τ(T))^β)`, `τ(T) = τ₀ · exp(E_a / kT)`.
+//! * **Endurance** — wake-up followed by fatigue: the memory window
+//!   first widens slightly as pinned domains free up, then shrinks
+//!   logarithmically until breakdown.
+
+use crate::fefet::FefetParams;
+use ferrocim_units::{Celsius, Second, BOLTZMANN, ELEMENTARY_CHARGE};
+use serde::{Deserialize, Serialize};
+
+/// Stretched-exponential retention with Arrhenius temperature
+/// acceleration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionModel {
+    /// Attempt time constant `τ₀`, seconds.
+    pub tau0: Second,
+    /// Activation energy, eV.
+    pub activation_ev: f64,
+    /// Stretching exponent `β ∈ (0, 1]`.
+    pub beta: f64,
+}
+
+impl Default for RetentionModel {
+    /// A 10-year-at-85 °C-class retention calibration, typical of
+    /// reported HfO₂ FeFET data.
+    fn default() -> Self {
+        RetentionModel {
+            tau0: Second(1e-9),
+            activation_ev: 1.35,
+            beta: 0.25,
+        }
+    }
+}
+
+impl RetentionModel {
+    /// The Arrhenius-activated retention time constant at a temperature.
+    pub fn tau(&self, temp: Celsius) -> Second {
+        let kt = BOLTZMANN * temp.to_kelvin().value();
+        let ea = self.activation_ev * ELEMENTARY_CHARGE;
+        Second(self.tau0.value() * (ea / kt).exp())
+    }
+
+    /// The fraction of remanent polarization surviving after `elapsed`
+    /// at `temp`: `exp(−(t/τ)^β)`, in `(0, 1]`.
+    pub fn surviving_fraction(&self, elapsed: Second, temp: Celsius) -> f64 {
+        if elapsed.value() <= 0.0 {
+            return 1.0;
+        }
+        let ratio = elapsed.value() / self.tau(temp).value();
+        (-(ratio.powf(self.beta))).exp()
+    }
+
+    /// The time at which the surviving fraction drops to `fraction`
+    /// at the given temperature (the retention-life metric; e.g.
+    /// `time_to_fraction(0.5, Celsius(85.0))`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction < 1`.
+    pub fn time_to_fraction(&self, fraction: f64, temp: Celsius) -> Second {
+        assert!(
+            (0.0..1.0).contains(&fraction) && fraction > 0.0,
+            "fraction must be in (0, 1)"
+        );
+        let x = (-fraction.ln()).powf(1.0 / self.beta);
+        Second(self.tau(temp).value() * x)
+    }
+}
+
+/// Wake-up / fatigue endurance model for the memory window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnduranceModel {
+    /// Cycle count at which wake-up peaks.
+    pub wakeup_cycles: f64,
+    /// Fractional window increase at the wake-up peak (e.g. 0.05).
+    pub wakeup_gain: f64,
+    /// Cycle count at which fatigue has halved the window.
+    pub fatigue_half_cycles: f64,
+    /// Hard-breakdown cycle count: beyond this the device is dead.
+    pub breakdown_cycles: f64,
+}
+
+impl Default for EnduranceModel {
+    /// A 10⁵-wake-up / 10¹⁰-class-endurance HfO₂ calibration.
+    fn default() -> Self {
+        EnduranceModel {
+            wakeup_cycles: 1e4,
+            wakeup_gain: 0.06,
+            fatigue_half_cycles: 1e10,
+            breakdown_cycles: 1e11,
+        }
+    }
+}
+
+impl EnduranceModel {
+    /// The memory-window scaling factor after `cycles` program/erase
+    /// cycles, or `None` past breakdown.
+    ///
+    /// The factor rises to `1 + wakeup_gain` around `wakeup_cycles`,
+    /// then decays logarithmically, passing 0.5 at
+    /// `fatigue_half_cycles`.
+    pub fn window_factor(&self, cycles: f64) -> Option<f64> {
+        if cycles >= self.breakdown_cycles {
+            return None;
+        }
+        if cycles <= 0.0 {
+            return Some(1.0);
+        }
+        // Wake-up: smooth rise saturating at wakeup_gain.
+        let wake = self.wakeup_gain * (cycles / (cycles + self.wakeup_cycles));
+        // Fatigue: log-linear decay starting two decades past wake-up
+        // and reaching −0.5 at fatigue_half_cycles.
+        let onset = self.wakeup_cycles * 100.0;
+        let fatigue = if cycles > onset {
+            0.5 * ((cycles / onset).ln() / (self.fatigue_half_cycles / onset).ln())
+        } else {
+            0.0
+        };
+        Some((1.0 + wake - fatigue).max(0.0))
+    }
+
+    /// Applies `cycles` of wear to a parameter set: the memory window
+    /// shrinks symmetrically about its midpoint. Returns `None` past
+    /// breakdown.
+    pub fn age_params(&self, params: &FefetParams, cycles: f64) -> Option<FefetParams> {
+        let factor = self.window_factor(cycles)?;
+        let mid = 0.5 * (params.low_vt.value() + params.high_vt.value());
+        let half = 0.5 * (params.high_vt.value() - params.low_vt.value()) * factor;
+        let mut aged = params.clone();
+        aged.low_vt = ferrocim_units::Volt(mid - half);
+        aged.high_vt = ferrocim_units::Volt(mid + half);
+        Some(aged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retention_is_thermally_activated() {
+        let model = RetentionModel::default();
+        let tau_room = model.tau(Celsius(27.0)).value();
+        let tau_hot = model.tau(Celsius(85.0)).value();
+        assert!(tau_hot < tau_room, "hotter must decay faster");
+        // Arrhenius with 1.1 eV over 27→85 °C: several decades.
+        assert!(tau_room / tau_hot > 1e2);
+    }
+
+    #[test]
+    fn ten_year_retention_class_at_85c() {
+        let model = RetentionModel::default();
+        let ten_years = Second(10.0 * 365.25 * 24.0 * 3600.0);
+        let surviving = model.surviving_fraction(ten_years, Celsius(85.0));
+        // The default calibration keeps a solid majority of P after
+        // 10 years at 85 °C.
+        assert!(surviving > 0.5, "survives {surviving}");
+        assert!(surviving < 1.0);
+    }
+
+    #[test]
+    fn surviving_fraction_is_monotone_in_time() {
+        let model = RetentionModel::default();
+        let mut last = 1.0;
+        for exp in 0..12 {
+            let t = Second(10f64.powi(exp));
+            let s = model.surviving_fraction(t, Celsius(85.0));
+            assert!(s <= last + 1e-15);
+            assert!(s > 0.0);
+            last = s;
+        }
+        assert_eq!(model.surviving_fraction(Second(0.0), Celsius(85.0)), 1.0);
+    }
+
+    #[test]
+    fn time_to_fraction_inverts_surviving_fraction() {
+        let model = RetentionModel::default();
+        let t50 = model.time_to_fraction(0.5, Celsius(85.0));
+        let survived = model.surviving_fraction(t50, Celsius(85.0));
+        assert!((survived - 0.5).abs() < 1e-9, "{survived}");
+    }
+
+    #[test]
+    fn endurance_wakeup_then_fatigue() {
+        let model = EnduranceModel::default();
+        let fresh = model.window_factor(0.0).unwrap();
+        let woken = model.window_factor(1e5).unwrap();
+        let tired = model.window_factor(1e9).unwrap();
+        let half = model.window_factor(1e10).unwrap();
+        assert_eq!(fresh, 1.0);
+        assert!(woken > 1.0, "wake-up widens the window ({woken})");
+        assert!(tired < woken && tired > half);
+        assert!((half - 0.55).abs() < 0.1, "≈ half at the rated point: {half}");
+        assert!(model.window_factor(2e11).is_none(), "breakdown");
+    }
+
+    #[test]
+    fn aged_params_shrink_the_window_symmetrically() {
+        let params = FefetParams::paper_default();
+        let model = EnduranceModel::default();
+        let aged = model.age_params(&params, 1e9).unwrap();
+        let mid_before = 0.5 * (params.low_vt.value() + params.high_vt.value());
+        let mid_after = 0.5 * (aged.low_vt.value() + aged.high_vt.value());
+        assert!((mid_before - mid_after).abs() < 1e-12, "midpoint preserved");
+        assert!(aged.memory_window().value() < params.memory_window().value());
+        assert!(model.age_params(&params, 1e12).is_none());
+    }
+
+    #[test]
+    fn aged_device_still_builds_until_breakdown() {
+        let model = EnduranceModel::default();
+        let aged = model
+            .age_params(&FefetParams::paper_default(), 5e9)
+            .unwrap();
+        assert!(aged.build().is_ok());
+    }
+}

@@ -1,0 +1,167 @@
+//! Process-variation sampling utilities.
+//!
+//! The paper's Fig. 9 runs 100 Monte-Carlo simulations with an
+//! experimentally measured FeFET threshold variability of
+//! `σ_VT = 54 mV`. This module provides a deterministic, seedable
+//! Gaussian sampler (polar Box–Muller over the workspace-standard
+//! `rand` generator) and a [`VariationModel`] describing which device
+//! parameters vary and by how much.
+
+use ferrocim_units::Volt;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Draws standard-normal samples from any `rand` RNG using the polar
+/// (Marsaglia) Box–Muller method. Kept in-repo so the workspace does
+/// not need `rand_distr` (see DESIGN.md dependency policy).
+#[derive(Debug, Clone, Default)]
+pub struct GaussianSampler {
+    cached: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// Creates a sampler with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws one standard-normal sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        loop {
+            let u: f64 = rng.random_range(-1.0..1.0);
+            let v: f64 = rng.random_range(-1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.cached = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+
+    /// Draws a normal sample with the given mean and standard deviation.
+    pub fn sample_with<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, sigma: f64) -> f64 {
+        mean + sigma * self.sample(rng)
+    }
+}
+
+/// Describes the device-to-device variation applied in Monte-Carlo runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationModel {
+    /// Standard deviation of the FeFET threshold-voltage offset.
+    pub sigma_vt: Volt,
+    /// Standard deviation of the plain-transistor threshold offset
+    /// (M1/M2 in the 2T-1FeFET cell). FinFETs are better matched than
+    /// FeFETs; the default is one third of the FeFET sigma.
+    pub sigma_vt_mosfet: Volt,
+}
+
+impl VariationModel {
+    /// The paper's Fig. 9 setting: `σ_VT = 54 mV` on FeFETs.
+    pub fn paper_default() -> Self {
+        VariationModel {
+            sigma_vt: Volt(0.054),
+            sigma_vt_mosfet: Volt(0.018),
+        }
+    }
+
+    /// A zero-variation model (all offsets are exactly zero).
+    pub fn none() -> Self {
+        VariationModel {
+            sigma_vt: Volt::ZERO,
+            sigma_vt_mosfet: Volt::ZERO,
+        }
+    }
+
+    /// Samples one FeFET threshold offset.
+    pub fn sample_fefet_offset<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        sampler: &mut GaussianSampler,
+    ) -> Volt {
+        Volt(sampler.sample_with(rng, 0.0, self.sigma_vt.value()))
+    }
+
+    /// Samples one MOSFET threshold offset.
+    pub fn sample_mosfet_offset<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        sampler: &mut GaussianSampler,
+    ) -> Volt {
+        Volt(sampler.sample_with(rng, 0.0, self.sigma_vt_mosfet.value()))
+    }
+}
+
+/// Convenience: a seeded RNG for reproducible Monte-Carlo experiments.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_moments_are_standard_normal() {
+        let mut rng = seeded_rng(42);
+        let mut g = GaussianSampler::new();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_tail_fractions() {
+        let mut rng = seeded_rng(7);
+        let mut g = GaussianSampler::new();
+        let n = 100_000;
+        let beyond_2sigma = (0..n)
+            .filter(|_| g.sample(&mut rng).abs() > 2.0)
+            .count() as f64
+            / n as f64;
+        // True value 4.55 %.
+        assert!((beyond_2sigma - 0.0455).abs() < 0.005, "got {beyond_2sigma}");
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let draw = |seed| {
+            let mut rng = seeded_rng(seed);
+            let mut g = GaussianSampler::new();
+            (0..10).map(|_| g.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(123), draw(123));
+        assert_ne!(draw(123), draw(124));
+    }
+
+    #[test]
+    fn variation_model_scales_sigma() {
+        let model = VariationModel::paper_default();
+        let mut rng = seeded_rng(9);
+        let mut g = GaussianSampler::new();
+        let n = 50_000;
+        let sq_sum: f64 = (0..n)
+            .map(|_| model.sample_fefet_offset(&mut rng, &mut g).value().powi(2))
+            .sum();
+        let sigma = (sq_sum / n as f64).sqrt();
+        assert!((sigma - 0.054).abs() < 0.002, "sigma {sigma}");
+    }
+
+    #[test]
+    fn none_model_is_exactly_zero() {
+        let model = VariationModel::none();
+        let mut rng = seeded_rng(1);
+        let mut g = GaussianSampler::new();
+        for _ in 0..10 {
+            assert_eq!(model.sample_fefet_offset(&mut rng, &mut g), Volt::ZERO);
+            assert_eq!(model.sample_mosfet_offset(&mut rng, &mut g), Volt::ZERO);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of the device models: monotonicities, bounds,
+//! and hysteresis invariants that must hold at every bias point.
+
+use ferrocim_device::preisach::{Preisach, PreisachParams};
+use ferrocim_device::{Fefet, FefetParams, MosfetModel, MosfetParams, PolarizationState};
+use ferrocim_units::{Celsius, Second, Volt};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Drain current is finite and non-negative for forward bias at any
+    /// operating point in the usable envelope.
+    #[test]
+    fn mosfet_current_is_finite_and_forward_positive(
+        vgs in -0.5f64..2.0,
+        vds in 0.0f64..2.0,
+        t in 0.0f64..85.0,
+        wl in 0.5f64..60.0,
+    ) {
+        let m = MosfetModel::new(MosfetParams::nmos_14nm().with_wl_ratio(wl));
+        let i = m.ids(Volt(vgs), Volt(vds), Celsius(t)).value();
+        prop_assert!(i.is_finite());
+        prop_assert!(i >= -1e-18, "negative forward current {i}");
+    }
+
+    /// More gate drive never reduces the current (monotone in V_GS).
+    #[test]
+    fn mosfet_current_is_monotone_in_vgs(
+        vgs in -0.2f64..1.5,
+        delta in 0.001f64..0.3,
+        vds in 0.01f64..1.5,
+        t in 0.0f64..85.0,
+    ) {
+        let m = MosfetModel::new(MosfetParams::nmos_14nm());
+        let lo = m.ids(Volt(vgs), Volt(vds), Celsius(t)).value();
+        let hi = m.ids(Volt(vgs + delta), Volt(vds), Celsius(t)).value();
+        prop_assert!(hi >= lo, "I({}) = {hi} < I({vgs}) = {lo}", vgs + delta);
+    }
+
+    /// Terminal-swap antisymmetry: I(vgs, vds) = −I(vgd, −vds).
+    #[test]
+    fn mosfet_is_source_drain_symmetric(
+        vgs in -0.2f64..1.2,
+        vds in -1.0f64..1.0,
+        t in 0.0f64..85.0,
+    ) {
+        let m = MosfetModel::new(MosfetParams::nmos_14nm());
+        let fwd = m.ids(Volt(vgs), Volt(vds), Celsius(t)).value();
+        let rev = m.ids(Volt(vgs - vds), Volt(-vds), Celsius(t)).value();
+        prop_assert!(
+            (fwd + rev).abs() <= 1e-9 * fwd.abs().max(1e-15),
+            "fwd {fwd}, rev {rev}"
+        );
+    }
+
+    /// The analytic gm matches finite differences everywhere.
+    #[test]
+    fn mosfet_gm_matches_finite_difference(
+        vgs in 0.0f64..1.2,
+        vds in 0.05f64..1.2,
+        t in 0.0f64..85.0,
+    ) {
+        let m = MosfetModel::new(MosfetParams::nmos_14nm());
+        let s = m.evaluate(Volt(vgs), Volt(vds), Celsius(t));
+        let h = 1e-7;
+        let fd = (m.ids(Volt(vgs + h), Volt(vds), Celsius(t)).value()
+            - m.ids(Volt(vgs - h), Volt(vds), Celsius(t)).value())
+            / (2.0 * h);
+        prop_assert!(
+            (s.gm.value() - fd).abs() <= 1e-4 * fd.abs().max(1e-12),
+            "gm {} vs fd {fd}",
+            s.gm.value()
+        );
+    }
+
+    /// Polarization stays in [-1, 1] under any pulse train, and
+    /// saturating pulses drive it to the rails.
+    #[test]
+    fn preisach_polarization_is_bounded(
+        pulses in prop::collection::vec((-5.0f64..5.0, 1e-9f64..1e-6), 0..20),
+    ) {
+        let mut p = Preisach::new(PreisachParams::default());
+        for (v, t) in pulses {
+            p.apply_pulse(Volt(v), Second(t));
+            let pol = p.polarization();
+            prop_assert!((-1.0..=1.0).contains(&pol), "P = {pol}");
+        }
+        p.apply_pulse(Volt(5.0), Second(1e-5));
+        prop_assert!(p.polarization() > 0.99);
+        p.apply_pulse(Volt(-5.0), Second(1e-5));
+        prop_assert!(p.polarization() < -0.99);
+    }
+
+    /// Return-point memory: any excursion below a previous maximum field
+    /// is wiped out when the maximum is re-applied quasi-statically.
+    #[test]
+    fn preisach_wipeout(
+        v_max in 1.0f64..4.0,
+        excursion in -4.0f64..0.5,
+    ) {
+        let mut p = Preisach::new(PreisachParams::default());
+        p.apply_quasi_static(Volt(v_max));
+        let reference = p.polarization();
+        p.apply_quasi_static(Volt(excursion.min(v_max - 0.1)));
+        p.apply_quasi_static(Volt(v_max));
+        prop_assert!((p.polarization() - reference).abs() < 1e-12);
+    }
+
+    /// FeFET threshold interpolates monotonically with polarization.
+    #[test]
+    fn fefet_vth_monotone_in_polarization(
+        p1 in -1.0f64..1.0,
+        p2 in -1.0f64..1.0,
+        t in 0.0f64..85.0,
+    ) {
+        let mut f = Fefet::new(FefetParams::paper_default());
+        f.set_polarization(p1);
+        let v1 = f.effective_vth(Celsius(t)).value();
+        f.set_polarization(p2);
+        let v2 = f.effective_vth(Celsius(t)).value();
+        // Higher polarization (more 'up') → lower threshold.
+        if p1 < p2 {
+            prop_assert!(v1 >= v2 - 1e-12);
+        } else {
+            prop_assert!(v2 >= v1 - 1e-12);
+        }
+    }
+
+    /// The ON/OFF ratio at the subthreshold read point stays large at
+    /// every temperature in range and under ±3σ variation.
+    #[test]
+    fn fefet_on_off_ratio_is_robust(
+        t in 0.0f64..85.0,
+        offset_mv in -160.0f64..160.0,
+    ) {
+        let mut f = Fefet::new(FefetParams::paper_default());
+        f.set_vth_offset(Volt(offset_mv * 1e-3));
+        f.force_state(PolarizationState::LowVt);
+        let ratio = f.on_off_ratio(Volt(0.35), Volt(0.15), Celsius(t));
+        prop_assert!(ratio > 1e3, "ratio {ratio} at {t} C, offset {offset_mv} mV");
+    }
+}

@@ -1,0 +1,438 @@
+//! CIM-mapped network execution with hardware error injection.
+//!
+//! Every inner product of the network is decomposed exactly the way the
+//! paper's 8-cell rows execute it:
+//!
+//! 1. quantize weights (signed, bit-planes split by sign) and
+//!    activations (unsigned),
+//! 2. chunk the operand vectors into rows of
+//!    [`CimMapping::cells_per_row`] elements,
+//! 3. for every (weight-bit, activation-bit, sign) combination, form the
+//!    binary product vector and let the **MAC oracle** read out the
+//!    0..=8 count — the oracle is where circuit behaviour (temperature
+//!    drift + process variation, via
+//!    `ferrocim_cim::transfer::TransferModel`) enters,
+//! 4. recombine with power-of-two shifts and the quantization scales.
+//!
+//! The [`MacOracle`] trait decouples this crate from the circuit layer:
+//! [`IdealMac`] reads back the true count (pure quantization baseline),
+//! while the blanket impl over `TransferModel` samples the measured
+//! confusion matrix.
+
+use crate::layers::{Layer, MaxPool2d};
+use crate::network::Network;
+use crate::quant::{quantize_activations, quantize_weights, QuantizedWeights};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A hardware MAC readout: given the true number of conducting cells in
+/// a row (`0..=cells_per_row`), return the digitized count.
+pub trait MacOracle: Sync {
+    /// Reads out one row MAC.
+    fn read(&self, true_count: usize, rng: &mut StdRng) -> usize;
+
+    /// The row width this oracle models.
+    fn cells_per_row(&self) -> usize;
+}
+
+/// A perfect readout: always returns the true count. Running the
+/// network through [`IdealMac`] isolates the pure quantization loss from
+/// the circuit-induced loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdealMac(pub usize);
+
+impl MacOracle for IdealMac {
+    fn read(&self, true_count: usize, _rng: &mut StdRng) -> usize {
+        true_count
+    }
+
+    fn cells_per_row(&self) -> usize {
+        self.0
+    }
+}
+
+impl MacOracle for ferrocim_cim::transfer::TransferModel {
+    fn read(&self, true_count: usize, rng: &mut StdRng) -> usize {
+        self.sample(true_count, rng)
+    }
+
+    fn cells_per_row(&self) -> usize {
+        self.confusion().len() - 1
+    }
+}
+
+/// Bit widths and row geometry of the CIM mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CimMapping {
+    /// Signed weight bit width (sign + magnitude planes).
+    pub weight_bits: u8,
+    /// Unsigned activation bit width.
+    pub activation_bits: u8,
+    /// Cells per CIM row (must match the oracle).
+    pub cells_per_row: usize,
+}
+
+impl Default for CimMapping {
+    /// The evaluation default: 4-bit weights, 4-bit activations on the
+    /// paper's 8-cell rows.
+    fn default() -> Self {
+        CimMapping {
+            weight_bits: 4,
+            activation_bits: 4,
+            cells_per_row: 8,
+        }
+    }
+}
+
+/// Executes one signed dot product through the CIM row decomposition.
+///
+/// Returns the *integer* accumulation (to be scaled by
+/// `w.scale · a_scale`).
+pub fn cim_dot<O: MacOracle>(
+    w: &QuantizedWeights,
+    a: &[u8],
+    mapping: &CimMapping,
+    oracle: &O,
+    rng: &mut StdRng,
+) -> i64 {
+    assert_eq!(w.values.len(), a.len(), "operand length mismatch");
+    assert_eq!(
+        oracle.cells_per_row(),
+        mapping.cells_per_row,
+        "oracle row width does not match the mapping"
+    );
+    let n = mapping.cells_per_row;
+    let mut acc: i64 = 0;
+    for (wc, ac) in w.values.chunks(n).zip(a.chunks(n)) {
+        for wb in 0..w.magnitude_bits() {
+            for ab in 0..mapping.activation_bits {
+                let mut pos = 0usize;
+                let mut neg = 0usize;
+                for (&wv, &av) in wc.iter().zip(ac) {
+                    if (av >> ab) & 1 == 0 {
+                        continue;
+                    }
+                    let mag = wv.unsigned_abs();
+                    if (mag >> wb) & 1 == 1 {
+                        if wv > 0 {
+                            pos += 1;
+                        } else {
+                            neg += 1;
+                        }
+                    }
+                }
+                let shift = (wb + ab) as u32;
+                if pos > 0 {
+                    acc += (oracle.read(pos, rng) as i64) << shift;
+                }
+                if neg > 0 {
+                    acc -= (oracle.read(neg, rng) as i64) << shift;
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Pre-quantized weights of one network layer (rows of the weight
+/// matrix for linears; one filter per output channel for convolutions).
+#[derive(Debug, Clone)]
+enum MappedLayer {
+    Conv {
+        /// Per-output-channel quantized 27·k-element filters.
+        filters: Vec<QuantizedWeights>,
+        bias: Vec<f32>,
+        in_channels: usize,
+    },
+    Linear {
+        rows: Vec<QuantizedWeights>,
+        bias: Vec<f32>,
+    },
+    /// Non-MAC layer executed digitally.
+    Passthrough(Layer),
+}
+
+/// A network whose MAC layers have been quantized and mapped onto CIM
+/// rows, ready to run against any [`MacOracle`].
+#[derive(Debug, Clone)]
+pub struct CimNetwork {
+    layers: Vec<MappedLayer>,
+    mapping: CimMapping,
+}
+
+impl CimNetwork {
+    /// Quantizes and maps a trained network.
+    pub fn map(network: &Network, mapping: CimMapping) -> CimNetwork {
+        let layers = network
+            .layers()
+            .iter()
+            .map(|layer| match layer {
+                Layer::Conv2d(conv) => {
+                    let (in_c, out_c) = conv.channels();
+                    let per_filter = in_c * 9;
+                    let filters = (0..out_c)
+                        .map(|o| {
+                            quantize_weights(
+                                &conv.weight.data()[o * per_filter..(o + 1) * per_filter],
+                                mapping.weight_bits,
+                            )
+                        })
+                        .collect();
+                    MappedLayer::Conv {
+                        filters,
+                        bias: conv.bias.data().to_vec(),
+                        in_channels: in_c,
+                    }
+                }
+                Layer::Linear(lin) => {
+                    let (in_d, out_d) = lin.dims();
+                    let rows = (0..out_d)
+                        .map(|o| {
+                            quantize_weights(
+                                &lin.weight.data()[o * in_d..(o + 1) * in_d],
+                                mapping.weight_bits,
+                            )
+                        })
+                        .collect();
+                    MappedLayer::Linear {
+                        rows,
+                        bias: lin.bias.data().to_vec(),
+                    }
+                }
+                other => MappedLayer::Passthrough(other.clone()),
+            })
+            .collect();
+        CimNetwork { layers, mapping }
+    }
+
+    /// The mapping geometry.
+    pub fn mapping(&self) -> &CimMapping {
+        &self.mapping
+    }
+
+    /// Runs inference with all inner products executed through the
+    /// oracle. `seed` makes the stochastic readout reproducible.
+    pub fn forward<O: MacOracle>(&self, x: &Tensor, oracle: &O, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = match layer {
+                MappedLayer::Conv {
+                    filters,
+                    bias,
+                    in_channels,
+                } => self.conv_forward(&h, filters, bias, *in_channels, oracle, &mut rng),
+                MappedLayer::Linear { rows, bias } => {
+                    self.linear_forward(&h, rows, bias, oracle, &mut rng)
+                }
+                MappedLayer::Passthrough(l) => {
+                    let (out, _) = l.forward(&h, crate::layers::Mode::Eval, &mut rng);
+                    out
+                }
+            };
+        }
+        h
+    }
+
+    /// Predicted class through the oracle.
+    pub fn predict<O: MacOracle>(&self, x: &Tensor, oracle: &O, seed: u64) -> usize {
+        self.forward(x, oracle, seed).argmax()
+    }
+
+    /// Accuracy over a labelled set, parallelized across images.
+    pub fn accuracy<O: MacOracle>(
+        &self,
+        inputs: &[Tensor],
+        labels: &[usize],
+        oracle: &O,
+        seed: u64,
+    ) -> f64 {
+        assert_eq!(inputs.len(), labels.len());
+        if inputs.is_empty() {
+            return 0.0;
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(inputs.len());
+        let chunk = inputs.len().div_ceil(threads);
+        let hits: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .chunks(chunk)
+                .zip(labels.chunks(chunk))
+                .enumerate()
+                .map(|(t, (xs, ys))| {
+                    scope.spawn(move || {
+                        xs.iter()
+                            .zip(ys)
+                            .enumerate()
+                            .filter(|(i, (x, &y))| {
+                                self.predict(x, oracle, seed ^ ((t * chunk + i) as u64) << 13)
+                                    == y
+                            })
+                            .count()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+        });
+        hits as f64 / inputs.len() as f64
+    }
+
+    fn conv_forward<O: MacOracle>(
+        &self,
+        x: &Tensor,
+        filters: &[QuantizedWeights],
+        bias: &[f32],
+        in_channels: usize,
+        oracle: &O,
+        rng: &mut StdRng,
+    ) -> Tensor {
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        assert_eq!(x.shape()[0], in_channels, "conv input channel mismatch");
+        let qa = quantize_activations(x.data(), self.mapping.activation_bits);
+        let mut out = Tensor::zeros(&[filters.len(), h, w]);
+        // Gather the quantized 3×3 patch per output pixel (im2col row).
+        let mut patch = vec![0u8; in_channels * 9];
+        for oy in 0..h {
+            for ox in 0..w {
+                patch.fill(0);
+                for i in 0..in_channels {
+                    for kh in 0..3usize {
+                        let iy = oy + kh;
+                        if iy < 1 || iy > h {
+                            continue;
+                        }
+                        let iy = iy - 1;
+                        for kw in 0..3usize {
+                            let ix = ox + kw;
+                            if ix < 1 || ix > w {
+                                continue;
+                            }
+                            let ix = ix - 1;
+                            patch[(i * 3 + kh) * 3 + kw] =
+                                qa.values[(i * h + iy) * w + ix];
+                        }
+                    }
+                }
+                for (o, filter) in filters.iter().enumerate() {
+                    let acc = cim_dot(filter, &patch, &self.mapping, oracle, rng);
+                    *out.at3_mut(o, oy, ox) =
+                        acc as f32 * filter.scale * qa.scale + bias[o];
+                }
+            }
+        }
+        out
+    }
+
+    fn linear_forward<O: MacOracle>(
+        &self,
+        x: &Tensor,
+        rows: &[QuantizedWeights],
+        bias: &[f32],
+        oracle: &O,
+        rng: &mut StdRng,
+    ) -> Tensor {
+        let qa = quantize_activations(x.data(), self.mapping.activation_bits);
+        let mut out = Tensor::zeros(&[rows.len()]);
+        for (o, row) in rows.iter().enumerate() {
+            let acc = cim_dot(row, &qa.values, &self.mapping, oracle, rng);
+            out.data_mut()[o] = acc as f32 * row.scale * qa.scale + bias[o];
+        }
+        out
+    }
+}
+
+/// Keeps pools usable in [`MappedLayer::Passthrough`] without exposing
+/// layer internals.
+#[allow(dead_code)]
+fn _pool_type_check(_: MaxPool2d) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use crate::quant::integer_dot;
+    use rand::Rng;
+
+    #[test]
+    fn ideal_cim_dot_equals_integer_dot() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mapping = CimMapping::default();
+        let oracle = IdealMac(8);
+        for _ in 0..50 {
+            let len = rng.random_range(1..40);
+            let w: Vec<f32> = (0..len).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let a: Vec<f32> = (0..len).map(|_| rng.random_range(0.0..1.0)).collect();
+            let qw = quantize_weights(&w, mapping.weight_bits);
+            let qa = quantize_activations(&a, mapping.activation_bits);
+            let exact = integer_dot(&qw, &qa);
+            let cim = cim_dot(&qw, &qa.values, &mapping, &oracle, &mut rng);
+            assert_eq!(cim, exact, "len {len}");
+        }
+    }
+
+    #[test]
+    fn ideal_network_matches_quantized_reference() {
+        // A small linear network through IdealMac must match plain
+        // quantized inference closely (identical integer math).
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new(16, 4, &mut rng);
+        let net = Network::new(vec![Layer::Linear(lin.clone()), Layer::Relu]);
+        let cim = CimNetwork::map(&net, CimMapping::default());
+        let x = Tensor::from_vec(&[16], (0..16).map(|i| (i as f32 * 0.31).sin().abs()).collect());
+        let float_out = net.forward(&x);
+        let cim_out = cim.forward(&x, &IdealMac(8), 7);
+        for (f, c) in float_out.data().iter().zip(cim_out.data()) {
+            assert!((f - c).abs() < 0.15, "float {f} vs cim {c}");
+        }
+    }
+
+    /// An oracle that always reads one count high (when possible) —
+    /// lets tests verify errors actually propagate.
+    struct AlwaysHigh;
+    impl MacOracle for AlwaysHigh {
+        fn read(&self, true_count: usize, _rng: &mut StdRng) -> usize {
+            (true_count + 1).min(8)
+        }
+        fn cells_per_row(&self) -> usize {
+            8
+        }
+    }
+
+    #[test]
+    fn faulty_oracle_changes_outputs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lin = Linear::new(16, 4, &mut rng);
+        let net = Network::new(vec![Layer::Linear(lin)]);
+        let cim = CimNetwork::map(&net, CimMapping::default());
+        let x = Tensor::from_vec(&[16], vec![0.5; 16]);
+        let good = cim.forward(&x, &IdealMac(8), 3);
+        let bad = cim.forward(&x, &AlwaysHigh, 3);
+        assert_ne!(good.data(), bad.data());
+    }
+
+    #[test]
+    fn accuracy_is_deterministic_for_a_seed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = Network::new(vec![Layer::Linear(Linear::new(8, 2, &mut rng))]);
+        let cim = CimNetwork::map(&net, CimMapping::default());
+        let inputs: Vec<Tensor> = (0..10)
+            .map(|i| Tensor::from_vec(&[8], vec![i as f32 * 0.1; 8]))
+            .collect();
+        let labels: Vec<usize> = (0..10).map(|i| i % 2).collect();
+        let a = cim.accuracy(&inputs, &labels, &IdealMac(8), 5);
+        let b = cim.accuracy(&inputs, &labels, &IdealMac(8), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle row width")]
+    fn mapping_oracle_mismatch_is_rejected() {
+        let qw = quantize_weights(&[0.5; 8], 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = cim_dot(&qw, &[1u8; 8], &CimMapping::default(), &IdealMac(4), &mut rng);
+    }
+}

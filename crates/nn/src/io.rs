@@ -1,0 +1,70 @@
+//! Model checkpointing: JSON save/load for trained networks.
+//!
+//! Every layer derives Serde, so a checkpoint is a faithful round trip —
+//! including the quantization-relevant weight values bit-for-bit (JSON
+//! f32 serialization in `serde_json` is exact for finite floats).
+
+use crate::network::Network;
+use std::io;
+use std::path::Path;
+
+/// Saves a network to a JSON checkpoint.
+///
+/// # Errors
+///
+/// Returns file-system or serialization errors.
+pub fn save(network: &Network, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let writer = io::BufWriter::new(file);
+    serde_json::to_writer(writer, network)?;
+    Ok(())
+}
+
+/// Loads a network from a JSON checkpoint.
+///
+/// # Errors
+///
+/// Returns file-system or deserialization errors.
+pub fn load(path: impl AsRef<Path>) -> io::Result<Network> {
+    let file = std::fs::File::open(path)?;
+    let reader = io::BufReader::new(file);
+    Ok(serde_json::from_reader(reader)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Generator;
+    use crate::vgg::vgg_nano;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn checkpoint_round_trip_preserves_predictions() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = vgg_nano(&mut rng);
+        let dir = std::env::temp_dir().join("ferrocim-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nano.json");
+        save(&net, &path).unwrap();
+        let restored = load(&path).unwrap();
+        assert_eq!(net, restored);
+        let ds = Generator::new(4).generate(5);
+        for img in &ds.images {
+            assert_eq!(net.predict(img), restored.predict(img));
+            // Logits are bit-exact.
+            assert_eq!(net.forward(img).data(), restored.forward(img).data());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn loading_garbage_is_an_error() {
+        let dir = std::env::temp_dir().join("ferrocim-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, b"{not json").unwrap();
+        assert!(load(&path).is_err());
+        assert!(load(dir.join("missing.json")).is_err());
+    }
+}

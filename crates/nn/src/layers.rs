@@ -1,0 +1,632 @@
+//! CNN layers with forward and backward passes.
+//!
+//! Layers are an enum rather than trait objects so that a network is a
+//! plain `Vec<Layer>` — easily cloned per worker thread for data-parallel
+//! training and serialized for checkpoints.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Whether a forward pass is for training (dropout active) or inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: dropout masks are sampled.
+    Train,
+    /// Inference: dropout is the identity.
+    Eval,
+}
+
+/// A 3×3, stride-1, pad-1 convolution (the only kind VGG uses).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// `[out_channels, in_channels, 3, 3]`.
+    pub weight: Tensor,
+    /// `[out_channels]`.
+    pub bias: Tensor,
+    in_channels: usize,
+    out_channels: usize,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-uniform initialized convolution.
+    pub fn new<R: Rng + ?Sized>(in_channels: usize, out_channels: usize, rng: &mut R) -> Conv2d {
+        let fan_in = (in_channels * 9) as f32;
+        let bound = (6.0 / fan_in).sqrt();
+        let weight = Tensor::from_vec(
+            &[out_channels, in_channels, 3, 3],
+            (0..out_channels * in_channels * 9)
+                .map(|_| rng.random_range(-bound..bound))
+                .collect(),
+        );
+        Conv2d {
+            weight,
+            bias: Tensor::zeros(&[out_channels]),
+            in_channels,
+            out_channels,
+        }
+    }
+
+    /// The `(in_channels, out_channels)` pair.
+    pub fn channels(&self) -> (usize, usize) {
+        (self.in_channels, self.out_channels)
+    }
+
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        assert_eq!(x.shape()[0], self.in_channels, "conv input channel mismatch");
+        let mut out = Tensor::zeros(&[self.out_channels, h, w]);
+        let wd = self.weight.data();
+        let xd = x.data();
+        let od = out.data_mut();
+        for o in 0..self.out_channels {
+            let b = self.bias.data()[o];
+            for v in od[o * h * w..(o + 1) * h * w].iter_mut() {
+                *v = b;
+            }
+            for i in 0..self.in_channels {
+                let wbase = ((o * self.in_channels) + i) * 9;
+                for kh in 0..3usize {
+                    for kw in 0..3usize {
+                        let wk = wd[wbase + kh * 3 + kw];
+                        if wk == 0.0 {
+                            continue;
+                        }
+                        // Output rows that keep (h + kh - 1) in range.
+                        let oh_lo = 1usize.saturating_sub(kh);
+                        let oh_hi = (h + 1 - kh).min(h);
+                        for oh in oh_lo..oh_hi {
+                            let ih = oh + kh - 1;
+                            let ow_lo = 1usize.saturating_sub(kw);
+                            let ow_hi = (w + 1 - kw).min(w);
+                            let orow = (o * h + oh) * w;
+                            let irow = (i * h + ih) * w;
+                            for ow in ow_lo..ow_hi {
+                                od[orow + ow] += wk * xd[irow + ow + kw - 1];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&self, grad: &Tensor, input: &Tensor) -> (Tensor, ParamGrads) {
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let mut dx = Tensor::zeros(&[self.in_channels, h, w]);
+        let mut dw = Tensor::zeros(&[self.out_channels, self.in_channels, 3, 3]);
+        let mut db = Tensor::zeros(&[self.out_channels]);
+        let gd = grad.data();
+        let xd = input.data();
+        let wd = self.weight.data();
+        {
+            let dxd = dx.data_mut();
+            for o in 0..self.out_channels {
+                let gsum: f32 = gd[o * h * w..(o + 1) * h * w].iter().sum();
+                db.data_mut()[o] = gsum;
+                for i in 0..self.in_channels {
+                    let wbase = ((o * self.in_channels) + i) * 9;
+                    for kh in 0..3usize {
+                        for kw in 0..3usize {
+                            let wk = wd[wbase + kh * 3 + kw];
+                            let mut dwk = 0.0f32;
+                            let oh_lo = 1usize.saturating_sub(kh);
+                            let oh_hi = (h + 1 - kh).min(h);
+                            for oh in oh_lo..oh_hi {
+                                let ih = oh + kh - 1;
+                                let ow_lo = 1usize.saturating_sub(kw);
+                                let ow_hi = (w + 1 - kw).min(w);
+                                let grow = (o * h + oh) * w;
+                                let irow = (i * h + ih) * w;
+                                for ow in ow_lo..ow_hi {
+                                    let g = gd[grow + ow];
+                                    dwk += g * xd[irow + ow + kw - 1];
+                                    dxd[irow + ow + kw - 1] += g * wk;
+                                }
+                            }
+                            dw.data_mut()[wbase + kh * 3 + kw] = dwk;
+                        }
+                    }
+                }
+            }
+        }
+        (
+            dx,
+            ParamGrads {
+                weight: dw,
+                bias: db,
+            },
+        )
+    }
+}
+
+/// A 2×2, stride-2 max pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaxPool2d;
+
+impl MaxPool2d {
+    fn forward(&self, x: &Tensor) -> (Tensor, Vec<usize>) {
+        let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        assert!(h % 2 == 0 && w % 2 == 0, "pool input must have even dims");
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Tensor::zeros(&[c, oh, ow]);
+        let mut argmax = vec![0usize; c * oh * ow];
+        let xd = x.data();
+        let od = out.data_mut();
+        for ci in 0..c {
+            for y in 0..oh {
+                for xw in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for dy in 0..2 {
+                        for dxx in 0..2 {
+                            let idx = (ci * h + 2 * y + dy) * w + 2 * xw + dxx;
+                            if xd[idx] > best {
+                                best = xd[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let oidx = (ci * oh + y) * ow + xw;
+                    od[oidx] = best;
+                    argmax[oidx] = best_idx;
+                }
+            }
+        }
+        (out, argmax)
+    }
+
+    fn backward(&self, grad: &Tensor, input_shape: &[usize], argmax: &[usize]) -> Tensor {
+        let mut dx = Tensor::zeros(input_shape);
+        let dxd = dx.data_mut();
+        for (g, &src) in grad.data().iter().zip(argmax) {
+            dxd[src] += g;
+        }
+        dx
+    }
+}
+
+/// A fully connected layer `y = Wx + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    /// `[out, in]`.
+    pub weight: Tensor,
+    /// `[out]`.
+    pub bias: Tensor,
+}
+
+impl Linear {
+    /// Creates a Kaiming-uniform initialized linear layer.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Linear {
+        let bound = (6.0 / in_dim as f32).sqrt();
+        Linear {
+            weight: Tensor::from_vec(
+                &[out_dim, in_dim],
+                (0..out_dim * in_dim)
+                    .map(|_| rng.random_range(-bound..bound))
+                    .collect(),
+            ),
+            bias: Tensor::zeros(&[out_dim]),
+        }
+    }
+
+    /// `(in, out)` dimensions.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.weight.shape()[1], self.weight.shape()[0])
+    }
+
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let (in_dim, out_dim) = self.dims();
+        assert_eq!(x.len(), in_dim, "linear input dim mismatch");
+        let mut out = Tensor::zeros(&[out_dim]);
+        let wd = self.weight.data();
+        let xd = x.data();
+        for (o, ov) in out.data_mut().iter_mut().enumerate() {
+            let row = &wd[o * in_dim..(o + 1) * in_dim];
+            *ov = self.bias.data()[o]
+                + row.iter().zip(xd).map(|(a, b)| a * b).sum::<f32>();
+        }
+        out
+    }
+
+    fn backward(&self, grad: &Tensor, input: &Tensor) -> (Tensor, ParamGrads) {
+        let (in_dim, out_dim) = self.dims();
+        let mut dx = Tensor::zeros(&[in_dim]);
+        let mut dw = Tensor::zeros(&[out_dim, in_dim]);
+        let db = Tensor::from_vec(&[out_dim], grad.data().to_vec());
+        let wd = self.weight.data();
+        let gd = grad.data();
+        let xd = input.data();
+        {
+            let dxd = dx.data_mut();
+            let dwd = dw.data_mut();
+            for o in 0..out_dim {
+                let g = gd[o];
+                let row = &wd[o * in_dim..(o + 1) * in_dim];
+                let drow = &mut dwd[o * in_dim..(o + 1) * in_dim];
+                for i in 0..in_dim {
+                    dxd[i] += g * row[i];
+                    drow[i] = g * xd[i];
+                }
+            }
+        }
+        (
+            dx,
+            ParamGrads {
+                weight: dw,
+                bias: db,
+            },
+        )
+    }
+}
+
+/// Parameter gradients of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamGrads {
+    /// Gradient of the weight tensor.
+    pub weight: Tensor,
+    /// Gradient of the bias tensor.
+    pub bias: Tensor,
+}
+
+/// One network layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// 3×3 convolution.
+    Conv2d(Conv2d),
+    /// 2×2 max pooling.
+    MaxPool(MaxPool2d),
+    /// Fully connected.
+    Linear(Linear),
+    /// Rectified linear unit.
+    Relu,
+    /// CHW → flat vector.
+    Flatten,
+    /// Dropout with the given drop probability (training only).
+    Dropout(f32),
+    /// Noise-aware-training injection: during training, adds Gaussian
+    /// noise with standard deviation `σ·rms(x)` (relative to the
+    /// activation RMS); identity at inference and in backward (a
+    /// straight-through estimator). This is the standard technique for
+    /// hardening networks against analog CIM readout noise (the paper's
+    /// ref \[13\], "training with right-censored Gaussian noise").
+    Noise(f32),
+}
+
+/// Per-layer cached state from the forward pass, consumed by backward.
+#[derive(Debug, Clone)]
+pub enum Cache {
+    /// Convolution: the input activation.
+    Conv(Tensor),
+    /// Pool: input shape and winning indices.
+    Pool(Vec<usize>, Vec<usize>),
+    /// Linear: the input activation.
+    Linear(Tensor),
+    /// ReLU: the pass-through mask.
+    Relu(Vec<bool>),
+    /// Flatten: the original shape.
+    Flatten(Vec<usize>),
+    /// Dropout: the keep mask and scale.
+    Dropout(Vec<bool>, f32),
+    /// No state needed.
+    None,
+}
+
+impl Layer {
+    /// Runs the layer forward, returning the output and the cache needed
+    /// for [`Layer::backward`].
+    pub fn forward<R: Rng + ?Sized>(&self, x: &Tensor, mode: Mode, rng: &mut R) -> (Tensor, Cache) {
+        match self {
+            Layer::Conv2d(conv) => (conv.forward(x), Cache::Conv(x.clone())),
+            Layer::MaxPool(pool) => {
+                let (out, argmax) = pool.forward(x);
+                (out, Cache::Pool(x.shape().to_vec(), argmax))
+            }
+            Layer::Linear(lin) => (lin.forward(x), Cache::Linear(x.clone())),
+            Layer::Relu => {
+                let mask: Vec<bool> = x.data().iter().map(|&v| v > 0.0).collect();
+                let out = Tensor::from_vec(
+                    x.shape(),
+                    x.data().iter().map(|&v| v.max(0.0)).collect(),
+                );
+                (out, Cache::Relu(mask))
+            }
+            Layer::Flatten => {
+                let shape = x.shape().to_vec();
+                (x.clone().reshape(&[x.len()]), Cache::Flatten(shape))
+            }
+            Layer::Noise(sigma) => match mode {
+                Mode::Eval => (x.clone(), Cache::None),
+                Mode::Train => {
+                    let rms = (x.data().iter().map(|v| v * v).sum::<f32>()
+                        / x.len() as f32)
+                        .sqrt();
+                    let scale = sigma * rms;
+                    let out = Tensor::from_vec(
+                        x.shape(),
+                        x.data()
+                            .iter()
+                            .map(|&v| {
+                                // Irwin–Hall(3) approximates a Gaussian.
+                                let s: f32 =
+                                    (0..3).map(|_| rng.random_range(-1.0f32..1.0)).sum();
+                                v + scale * s / 3.0f32.sqrt()
+                            })
+                            .collect(),
+                    );
+                    (out, Cache::None)
+                }
+            },
+            Layer::Dropout(p) => match mode {
+                Mode::Eval => (x.clone(), Cache::None),
+                Mode::Train => {
+                    let keep = 1.0 - p;
+                    let scale = 1.0 / keep;
+                    let mask: Vec<bool> =
+                        (0..x.len()).map(|_| rng.random::<f32>() < keep).collect();
+                    let out = Tensor::from_vec(
+                        x.shape(),
+                        x.data()
+                            .iter()
+                            .zip(&mask)
+                            .map(|(&v, &m)| if m { v * scale } else { 0.0 })
+                            .collect(),
+                    );
+                    (out, Cache::Dropout(mask, scale))
+                }
+            },
+        }
+    }
+
+    /// Backpropagates through the layer: returns the input gradient and,
+    /// for parameterized layers, the parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache does not match the layer (an internal
+    /// training-loop invariant).
+    pub fn backward(&self, grad: &Tensor, cache: &Cache) -> (Tensor, Option<ParamGrads>) {
+        match (self, cache) {
+            (Layer::Conv2d(conv), Cache::Conv(input)) => {
+                let (dx, pg) = conv.backward(grad, input);
+                (dx, Some(pg))
+            }
+            (Layer::MaxPool(pool), Cache::Pool(shape, argmax)) => {
+                (pool.backward(grad, shape, argmax), None)
+            }
+            (Layer::Linear(lin), Cache::Linear(input)) => {
+                let (dx, pg) = lin.backward(grad, input);
+                (dx, Some(pg))
+            }
+            (Layer::Relu, Cache::Relu(mask)) => {
+                let dx = Tensor::from_vec(
+                    grad.shape(),
+                    grad.data()
+                        .iter()
+                        .zip(mask)
+                        .map(|(&g, &m)| if m { g } else { 0.0 })
+                        .collect(),
+                );
+                (dx, None)
+            }
+            (Layer::Flatten, Cache::Flatten(shape)) => (grad.clone().reshape(shape), None),
+            (Layer::Noise(_), Cache::None) => (grad.clone(), None),
+            (Layer::Dropout(_), Cache::None) => (grad.clone(), None),
+            (Layer::Dropout(_), Cache::Dropout(mask, scale)) => {
+                let dx = Tensor::from_vec(
+                    grad.shape(),
+                    grad.data()
+                        .iter()
+                        .zip(mask)
+                        .map(|(&g, &m)| if m { g * scale } else { 0.0 })
+                        .collect(),
+                );
+                (dx, None)
+            }
+            _ => panic!("layer/cache mismatch in backward"),
+        }
+    }
+
+    /// Applies a gradient step to this layer's parameters (no-op for
+    /// parameterless layers).
+    pub fn apply_grads(&mut self, grads: &ParamGrads, lr: f32) {
+        match self {
+            Layer::Conv2d(conv) => {
+                for (w, g) in conv.weight.data_mut().iter_mut().zip(grads.weight.data()) {
+                    *w -= lr * g;
+                }
+                for (b, g) in conv.bias.data_mut().iter_mut().zip(grads.bias.data()) {
+                    *b -= lr * g;
+                }
+            }
+            Layer::Linear(lin) => {
+                for (w, g) in lin.weight.data_mut().iter_mut().zip(grads.weight.data()) {
+                    *w -= lr * g;
+                }
+                for (b, g) in lin.bias.data_mut().iter_mut().zip(grads.bias.data()) {
+                    *b -= lr * g;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// `true` if the layer has trainable parameters.
+    pub fn has_params(&self) -> bool {
+        matches!(self, Layer::Conv2d(_) | Layer::Linear(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_input_through() {
+        let mut conv = Conv2d::new(1, 1, &mut rng());
+        // Center tap = 1, everything else 0.
+        for w in conv.weight.data_mut().iter_mut() {
+            *w = 0.0;
+        }
+        conv.weight.data_mut()[4] = 1.0;
+        conv.bias.data_mut()[0] = 0.0;
+        let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = conv.forward(&x);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_matches_hand_computed_example() {
+        let mut conv = Conv2d::new(1, 1, &mut rng());
+        for (i, w) in conv.weight.data_mut().iter_mut().enumerate() {
+            *w = i as f32; // kernel 0..9
+        }
+        conv.bias.data_mut()[0] = 0.5;
+        let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = conv.forward(&x);
+        // y[0,0]: kernel taps (kh,kw) hitting in-range pixels:
+        //  (1,1)*x00 + (1,2)*x01 + (2,1)*x10 + (2,2)*x11
+        //  = 4*1 + 5*2 + 7*3 + 8*4 = 67, + bias 0.5.
+        assert!((y.at3(0, 0, 0) - 67.5).abs() < 1e-5, "{}", y.at3(0, 0, 0));
+    }
+
+    #[test]
+    fn conv_backward_matches_finite_differences() {
+        let mut r = rng();
+        let conv = Conv2d::new(2, 3, &mut r);
+        let x = Tensor::from_vec(&[2, 4, 4], (0..32).map(|i| (i as f32 * 0.37).sin()).collect());
+        let y = conv.forward(&x);
+        // Scalar loss: sum of outputs → grad = ones.
+        let grad = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
+        let (dx, pg) = conv.backward(&grad, &x);
+        let h = 1e-3f32;
+        // Check a few dX entries.
+        for &idx in &[0usize, 7, 19, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= h;
+            let fp: f32 = conv.forward(&xp).data().iter().sum();
+            let fm: f32 = conv.forward(&xm).data().iter().sum();
+            let fd = (fp - fm) / (2.0 * h);
+            assert!(
+                (dx.data()[idx] - fd).abs() < 1e-2,
+                "dx[{idx}] {} vs fd {fd}",
+                dx.data()[idx]
+            );
+        }
+        // Check a few dW entries.
+        for &idx in &[0usize, 10, 35, 53] {
+            let mut cp = conv.clone();
+            cp.weight.data_mut()[idx] += h;
+            let mut cm = conv.clone();
+            cm.weight.data_mut()[idx] -= h;
+            let fp: f32 = cp.forward(&x).data().iter().sum();
+            let fm: f32 = cm.forward(&x).data().iter().sum();
+            let fd = (fp - fm) / (2.0 * h);
+            assert!(
+                (pg.weight.data()[idx] - fd).abs() < 1e-2,
+                "dw[{idx}] {} vs fd {fd}",
+                pg.weight.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let x = Tensor::from_vec(
+            &[1, 4, 4],
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        );
+        let (y, argmax) = MaxPool2d.forward(&x);
+        assert_eq!(y.data(), &[4.0, 8.0, 12.0, 16.0]);
+        let grad = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let dx = MaxPool2d.backward(&grad, &[1, 4, 4], &argmax);
+        assert_eq!(dx.data()[5], 1.0); // position of the 4.0
+        assert_eq!(dx.data()[7], 2.0); // position of the 8.0
+        assert_eq!(dx.data()[0], 0.0);
+    }
+
+    #[test]
+    fn linear_backward_matches_finite_differences() {
+        let mut r = rng();
+        let lin = Linear::new(5, 3, &mut r);
+        let x = Tensor::from_vec(&[5], vec![0.3, -0.2, 0.9, 0.1, -0.5]);
+        let grad = Tensor::from_vec(&[3], vec![1.0, -2.0, 0.5]);
+        let (dx, pg) = lin.backward(&grad, &x);
+        let h = 1e-3f32;
+        let loss = |l: &Linear, xx: &Tensor| -> f32 {
+            l.forward(xx)
+                .data()
+                .iter()
+                .zip(grad.data())
+                .map(|(y, g)| y * g)
+                .sum()
+        };
+        for idx in 0..5 {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= h;
+            let fd = (loss(&lin, &xp) - loss(&lin, &xm)) / (2.0 * h);
+            assert!((dx.data()[idx] - fd).abs() < 1e-3);
+        }
+        for idx in [0usize, 6, 14] {
+            let mut lp = lin.clone();
+            lp.weight.data_mut()[idx] += h;
+            let mut lm = lin.clone();
+            lm.weight.data_mut()[idx] -= h;
+            let fd = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * h);
+            assert!((pg.weight.data()[idx] - fd).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn relu_masks_negatives_both_ways() {
+        let x = Tensor::from_vec(&[4], vec![-1.0, 2.0, -3.0, 4.0]);
+        let mut r = rng();
+        let (y, cache) = Layer::Relu.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
+        let grad = Tensor::from_vec(&[4], vec![1.0; 4]);
+        let (dx, _) = Layer::Relu.backward(&grad, &cache);
+        assert_eq!(dx.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn dropout_is_identity_in_eval_and_scales_in_train() {
+        let x = Tensor::from_vec(&[1000], vec![1.0; 1000]);
+        let mut r = rng();
+        let layer = Layer::Dropout(0.5);
+        let (y, _) = layer.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(y.data(), x.data());
+        let (y, _) = layer.forward(&x, Mode::Train, &mut r);
+        let mean: f32 = y.data().iter().sum::<f32>() / 1000.0;
+        // Inverted dropout keeps the expectation ≈ 1.
+        assert!((mean - 1.0).abs() < 0.15, "mean {mean}");
+        let kept = y.data().iter().filter(|&&v| v > 0.0).count();
+        assert!((kept as f32 / 1000.0 - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let x = Tensor::from_vec(&[2, 2, 2], (0..8).map(|i| i as f32).collect());
+        let mut r = rng();
+        let (y, cache) = Layer::Flatten.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(y.shape(), &[8]);
+        let (dx, _) = Layer::Flatten.backward(&y, &cache);
+        assert_eq!(dx.shape(), &[2, 2, 2]);
+        assert_eq!(dx.data(), x.data());
+    }
+}

@@ -1,0 +1,537 @@
+//! Sequential networks, the softmax cross-entropy loss, and a
+//! data-parallel minibatch SGD trainer.
+
+use crate::layers::{Cache, Layer, Mode, ParamGrads};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward network: layers applied in sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Builds a network from layers.
+    pub fn new(layers: Vec<Layer>) -> Network {
+        Network { layers }
+    }
+
+    /// The layers (e.g. for CIM mapping or inspection).
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers.
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                Layer::Conv2d(c) => c.weight.len() + c.bias.len(),
+                Layer::Linear(l) => l.weight.len() + l.bias.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Inference forward pass (dropout disabled).
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(0); // unused in Eval mode
+        let mut h = x.clone();
+        for layer in &self.layers {
+            let (out, _) = layer.forward(&h, Mode::Eval, &mut rng);
+            h = out;
+        }
+        h
+    }
+
+    /// Predicted class index for an input.
+    pub fn predict(&self, x: &Tensor) -> usize {
+        self.forward(x).argmax()
+    }
+
+    /// Training forward pass, keeping per-layer caches.
+    fn forward_train<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> (Tensor, Vec<Cache>) {
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut h = x.clone();
+        for layer in &self.layers {
+            let (out, cache) = layer.forward(&h, Mode::Train, rng);
+            caches.push(cache);
+            h = out;
+        }
+        (h, caches)
+    }
+
+    /// Computes the loss and parameter gradients for one example.
+    fn grads_for<R: Rng + ?Sized>(
+        &self,
+        x: &Tensor,
+        label: usize,
+        rng: &mut R,
+    ) -> (f32, Vec<Option<ParamGrads>>) {
+        let (logits, caches) = self.forward_train(x, rng);
+        let (loss, mut grad) = softmax_cross_entropy(&logits, label);
+        let mut grads: Vec<Option<ParamGrads>> = Vec::with_capacity(self.layers.len());
+        for (layer, cache) in self.layers.iter().zip(&caches).rev() {
+            let (dx, pg) = layer.backward(&grad, cache);
+            grads.push(pg);
+            grad = dx;
+        }
+        grads.reverse();
+        (loss, grads)
+    }
+
+    /// Classification accuracy over a labelled set.
+    pub fn accuracy(&self, inputs: &[Tensor], labels: &[usize]) -> f64 {
+        assert_eq!(inputs.len(), labels.len());
+        if inputs.is_empty() {
+            return 0.0;
+        }
+        let hits = inputs
+            .iter()
+            .zip(labels)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        hits as f64 / inputs.len() as f64
+    }
+}
+
+/// Softmax cross-entropy: returns the loss and `∂L/∂logits`.
+pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> (f32, Tensor) {
+    let max = logits.data().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.data().iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let mut grad = Tensor::zeros(logits.shape());
+    for (i, g) in grad.data_mut().iter_mut().enumerate() {
+        *g = exps[i] / sum - if i == label { 1.0 } else { 0.0 };
+    }
+    let loss = -(exps[label] / sum).ln();
+    (loss, grad)
+}
+
+/// The parameter-update rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Optimizer {
+    /// Stochastic gradient descent with classical momentum.
+    Sgd {
+        /// Momentum coefficient (0 disables momentum).
+        momentum: f32,
+    },
+    /// Adam (Kingma & Ba, 2015) with bias correction.
+    Adam {
+        /// First-moment decay rate.
+        beta1: f32,
+        /// Second-moment decay rate.
+        beta2: f32,
+        /// Denominator stabilizer.
+        epsilon: f32,
+    },
+}
+
+impl Optimizer {
+    /// Adam with the canonical hyperparameters (0.9, 0.999, 1e-8).
+    pub fn adam() -> Optimizer {
+        Optimizer::Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+        }
+    }
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Optimizer::Sgd { momentum: 0.9 }
+    }
+}
+
+/// Training configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Per-epoch multiplicative learning-rate decay (1.0 = constant).
+    pub lr_decay: f32,
+    /// The parameter-update rule.
+    pub optimizer: Optimizer,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// RNG seed (shuffling, dropout).
+    pub seed: u64,
+    /// Worker threads for data-parallel gradient computation.
+    pub threads: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            learning_rate: 0.02,
+            lr_decay: 0.9,
+            optimizer: Optimizer::default(),
+            batch_size: 32,
+            epochs: 10,
+            seed: 42,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Per-layer optimizer state.
+struct OptState {
+    /// Momentum velocity (SGD) or first moment (Adam).
+    m: ParamGrads,
+    /// Second moment (Adam only).
+    v: Option<ParamGrads>,
+    /// Step counter for Adam bias correction.
+    t: u32,
+}
+
+impl OptState {
+    fn new(template: &ParamGrads, adam: bool) -> OptState {
+        let zeros = ParamGrads {
+            weight: Tensor::zeros(template.weight.shape()),
+            bias: Tensor::zeros(template.bias.shape()),
+        };
+        OptState {
+            v: adam.then(|| ParamGrads {
+                weight: Tensor::zeros(template.weight.shape()),
+                bias: Tensor::zeros(template.bias.shape()),
+            }),
+            m: zeros,
+            t: 0,
+        }
+    }
+
+    /// Computes the update to apply (already scaled for `apply_grads`
+    /// with learning rate 1·lr) from the batch-mean gradient.
+    fn update(&mut self, grad: &ParamGrads, optimizer: Optimizer) -> ParamGrads {
+        match optimizer {
+            Optimizer::Sgd { momentum } => {
+                self.m.weight.scale(momentum);
+                self.m.weight.add_assign(&grad.weight);
+                self.m.bias.scale(momentum);
+                self.m.bias.add_assign(&grad.bias);
+                ParamGrads {
+                    weight: self.m.weight.clone(),
+                    bias: self.m.bias.clone(),
+                }
+            }
+            Optimizer::Adam {
+                beta1,
+                beta2,
+                epsilon,
+            } => {
+                self.t += 1;
+                let v = self.v.as_mut().expect("adam state has second moment");
+                let bc1 = 1.0 - beta1.powi(self.t as i32);
+                let bc2 = 1.0 - beta2.powi(self.t as i32);
+                let mut out = ParamGrads {
+                    weight: Tensor::zeros(grad.weight.shape()),
+                    bias: Tensor::zeros(grad.bias.shape()),
+                };
+                for ((m, vv), (g, o)) in self
+                    .m
+                    .weight
+                    .data_mut()
+                    .iter_mut()
+                    .zip(v.weight.data_mut())
+                    .zip(grad.weight.data().iter().zip(out.weight.data_mut()))
+                {
+                    *m = beta1 * *m + (1.0 - beta1) * g;
+                    *vv = beta2 * *vv + (1.0 - beta2) * g * g;
+                    *o = (*m / bc1) / ((*vv / bc2).sqrt() + epsilon);
+                }
+                for ((m, vv), (g, o)) in self
+                    .m
+                    .bias
+                    .data_mut()
+                    .iter_mut()
+                    .zip(v.bias.data_mut())
+                    .zip(grad.bias.data().iter().zip(out.bias.data_mut()))
+                {
+                    *m = beta1 * *m + (1.0 - beta1) * g;
+                    *vv = beta2 * *vv + (1.0 - beta2) * g * g;
+                    *o = (*m / bc1) / ((*vv / bc2).sqrt() + epsilon);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Per-epoch training telemetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss.
+    pub loss: f64,
+    /// Training-set accuracy measured after the epoch.
+    pub train_accuracy: f64,
+}
+
+/// Trains the network in place with minibatch SGD + momentum, returning
+/// per-epoch statistics. Gradients within a batch are computed in
+/// parallel across `threads` workers.
+///
+/// # Panics
+///
+/// Panics if `inputs` and `labels` lengths differ or the set is empty.
+pub fn train(
+    network: &mut Network,
+    inputs: &[Tensor],
+    labels: &[usize],
+    config: &TrainConfig,
+) -> Vec<EpochStats> {
+    assert_eq!(inputs.len(), labels.len(), "inputs/labels length mismatch");
+    assert!(!inputs.is_empty(), "empty training set");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n_layers = network.layers().len();
+    // Optimizer state per parameterized layer.
+    let mut states: Vec<Option<OptState>> = (0..n_layers).map(|_| None).collect();
+    let mut order: Vec<usize> = (0..inputs.len()).collect();
+    let mut stats = Vec::with_capacity(config.epochs);
+    let mut lr = config.learning_rate;
+    for epoch in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut total_loss = 0.0f64;
+        for batch in order.chunks(config.batch_size) {
+            let (loss, grads) = batch_grads(network, inputs, labels, batch, &mut rng, config);
+            total_loss += loss;
+            let scale = 1.0 / batch.len() as f32;
+            for (li, g) in grads.into_iter().enumerate() {
+                let Some(mut g) = g else { continue };
+                g.weight.scale(scale);
+                g.bias.scale(scale);
+                let adam = matches!(config.optimizer, Optimizer::Adam { .. });
+                let state = states[li].get_or_insert_with(|| OptState::new(&g, adam));
+                let update = state.update(&g, config.optimizer);
+                network.layers_mut()[li].apply_grads(&update, lr);
+            }
+        }
+        lr *= config.lr_decay;
+        let train_accuracy = network.accuracy(inputs, labels);
+        stats.push(EpochStats {
+            epoch,
+            loss: total_loss / inputs.len() as f64,
+            train_accuracy,
+        });
+    }
+    stats
+}
+
+/// Computes summed gradients over a batch, fanning examples out across
+/// worker threads (each worker clones the network once per batch).
+fn batch_grads(
+    network: &Network,
+    inputs: &[Tensor],
+    labels: &[usize],
+    batch: &[usize],
+    rng: &mut StdRng,
+    config: &TrainConfig,
+) -> (f64, Vec<Option<ParamGrads>>) {
+    let threads = config.threads.max(1).min(batch.len());
+    let dropout_seed: u64 = rng.random();
+    let results: Vec<(f64, Vec<Option<ParamGrads>>)> = if threads <= 1 {
+        vec![worker(network, inputs, labels, batch, dropout_seed)]
+    } else {
+        let chunk = batch.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = batch
+                .chunks(chunk)
+                .enumerate()
+                .map(|(t, part)| {
+                    scope.spawn(move || {
+                        worker(network, inputs, labels, part, dropout_seed ^ (t as u64) << 17)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+    };
+    let mut total_loss = 0.0;
+    let mut acc: Vec<Option<ParamGrads>> = vec![None; network.layers().len()];
+    for (loss, grads) in results {
+        total_loss += loss;
+        for (slot, g) in acc.iter_mut().zip(grads) {
+            match (slot.as_mut(), g) {
+                (Some(s), Some(g)) => {
+                    s.weight.add_assign(&g.weight);
+                    s.bias.add_assign(&g.bias);
+                }
+                (None, Some(g)) => *slot = Some(g),
+                _ => {}
+            }
+        }
+    }
+    (total_loss, acc)
+}
+
+fn worker(
+    network: &Network,
+    inputs: &[Tensor],
+    labels: &[usize],
+    part: &[usize],
+    seed: u64,
+) -> (f64, Vec<Option<ParamGrads>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total_loss = 0.0f64;
+    let mut acc: Vec<Option<ParamGrads>> = vec![None; network.layers().len()];
+    for &idx in part {
+        let (loss, grads) = network.grads_for(&inputs[idx], labels[idx], &mut rng);
+        total_loss += loss as f64;
+        for (slot, g) in acc.iter_mut().zip(grads) {
+            match (slot.as_mut(), g) {
+                (Some(s), Some(g)) => {
+                    s.weight.add_assign(&g.weight);
+                    s.bias.add_assign(&g.bias);
+                }
+                (None, Some(g)) => *slot = Some(g),
+                _ => {}
+            }
+        }
+    }
+    (total_loss, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+
+    #[test]
+    fn softmax_cross_entropy_grad_sums_to_zero() {
+        let logits = Tensor::from_vec(&[4], vec![1.0, 2.0, 0.5, -1.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, 1);
+        assert!(loss > 0.0);
+        let s: f32 = grad.data().iter().sum();
+        assert!(s.abs() < 1e-6);
+        // The true class has a negative gradient (push its logit up).
+        assert!(grad.data()[1] < 0.0);
+    }
+
+    #[test]
+    fn perfect_logits_give_near_zero_loss() {
+        let logits = Tensor::from_vec(&[3], vec![20.0, 0.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, 0);
+        assert!(loss < 1e-6, "loss {loss}");
+    }
+
+    #[test]
+    fn linear_network_learns_a_separable_problem() {
+        // Two Gaussian blobs in 2-D; a linear classifier must separate
+        // them quickly.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut inputs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            let cls = i % 2;
+            let cx = if cls == 0 { -1.0 } else { 1.0 };
+            inputs.push(Tensor::from_vec(
+                &[2],
+                vec![
+                    cx + rng.random_range(-0.3..0.3),
+                    cx + rng.random_range(-0.3..0.3),
+                ],
+            ));
+            labels.push(cls);
+        }
+        let mut net = Network::new(vec![Layer::Linear(Linear::new(2, 2, &mut rng))]);
+        let config = TrainConfig {
+            epochs: 15,
+            batch_size: 16,
+            learning_rate: 0.2,
+            threads: 2,
+            ..TrainConfig::default()
+        };
+        let stats = train(&mut net, &inputs, &labels, &config);
+        let final_acc = stats.last().unwrap().train_accuracy;
+        assert!(final_acc > 0.98, "accuracy {final_acc}");
+        // Loss decreased.
+        assert!(stats.last().unwrap().loss < stats[0].loss);
+    }
+
+    #[test]
+    fn training_is_deterministic_for_a_seed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let inputs: Vec<Tensor> = (0..20)
+            .map(|i| Tensor::from_vec(&[3], vec![i as f32 * 0.1, 0.5, -0.2]))
+            .collect();
+        let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let build = |rng: &mut StdRng| {
+            Network::new(vec![Layer::Linear(Linear::new(3, 2, rng))])
+        };
+        let config = TrainConfig {
+            epochs: 3,
+            threads: 1,
+            ..TrainConfig::default()
+        };
+        let mut a = build(&mut rng.clone());
+        let mut b = build(&mut rng);
+        let sa = train(&mut a, &inputs, &labels, &config);
+        let sb = train(&mut b, &inputs, &labels, &config);
+        assert_eq!(sa, sb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adam_learns_the_separable_problem_too() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut inputs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            let cls = i % 2;
+            let cx = if cls == 0 { -1.0 } else { 1.0 };
+            inputs.push(Tensor::from_vec(
+                &[2],
+                vec![
+                    cx + rng.random_range(-0.3..0.3),
+                    cx + rng.random_range(-0.3..0.3),
+                ],
+            ));
+            labels.push(cls);
+        }
+        let mut net = Network::new(vec![Layer::Linear(Linear::new(2, 2, &mut rng))]);
+        let config = TrainConfig {
+            epochs: 10,
+            batch_size: 16,
+            learning_rate: 0.05,
+            optimizer: Optimizer::adam(),
+            threads: 1,
+            ..TrainConfig::default()
+        };
+        let stats = train(&mut net, &inputs, &labels, &config);
+        let final_acc = stats.last().unwrap().train_accuracy;
+        assert!(final_acc > 0.97, "adam accuracy {final_acc}");
+    }
+
+    #[test]
+    fn parameter_count_is_correct() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = Network::new(vec![
+            Layer::Linear(Linear::new(10, 5, &mut rng)),
+            Layer::Relu,
+            Layer::Linear(Linear::new(5, 2, &mut rng)),
+        ]);
+        assert_eq!(net.parameter_count(), 10 * 5 + 5 + 5 * 2 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn train_rejects_empty_set() {
+        let mut net = Network::new(vec![]);
+        let _ = train(&mut net, &[], &[], &TrainConfig::default());
+    }
+}

@@ -1,0 +1,170 @@
+//! Fixed-point quantization for CIM-mapped execution.
+//!
+//! Weights are quantized symmetrically to signed `bits`-bit integers
+//! (sign handled by splitting positive/negative bit planes onto separate
+//! CIM rows); activations are quantized unsigned (they are ReLU outputs
+//! or normalized pixels, hence non-negative).
+
+use serde::{Deserialize, Serialize};
+
+/// A symmetric signed quantization of a weight vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedWeights {
+    /// Quantized values in `[-(2^(bits-1)-1), 2^(bits-1)-1]`.
+    pub values: Vec<i8>,
+    /// Dequantization scale: `real ≈ value · scale`.
+    pub scale: f32,
+    /// Bit width (including sign).
+    pub bits: u8,
+}
+
+/// An unsigned affine quantization of an activation vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedActivations {
+    /// Quantized values in `[0, 2^bits - 1]`.
+    pub values: Vec<u8>,
+    /// Dequantization scale: `real ≈ value · scale`.
+    pub scale: f32,
+    /// Bit width.
+    pub bits: u8,
+}
+
+/// Quantizes weights symmetrically.
+///
+/// # Panics
+///
+/// Panics unless `1 < bits <= 8`.
+pub fn quantize_weights(data: &[f32], bits: u8) -> QuantizedWeights {
+    assert!((2..=8).contains(&bits), "weight bits must be in 2..=8");
+    let qmax = ((1i32 << (bits - 1)) - 1) as f32;
+    let max_abs = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    let scale = if max_abs == 0.0 { 1.0 } else { max_abs / qmax };
+    let values = data
+        .iter()
+        .map(|&v| (v / scale).round().clamp(-qmax, qmax) as i8)
+        .collect();
+    QuantizedWeights {
+        values,
+        scale,
+        bits,
+    }
+}
+
+/// Quantizes non-negative activations.
+///
+/// Negative inputs are clamped to zero (activations are ReLU outputs or
+/// normalized pixels, so this is lossless in practice).
+///
+/// # Panics
+///
+/// Panics unless `1 <= bits <= 8`.
+pub fn quantize_activations(data: &[f32], bits: u8) -> QuantizedActivations {
+    assert!((1..=8).contains(&bits), "activation bits must be in 1..=8");
+    let qmax = ((1u32 << bits) - 1) as f32;
+    let max = data.iter().fold(0.0f32, |m, &v| m.max(v));
+    let scale = if max <= 0.0 { 1.0 } else { max / qmax };
+    let values = data
+        .iter()
+        .map(|&v| (v.max(0.0) / scale).round().min(qmax) as u8)
+        .collect();
+    QuantizedActivations {
+        values,
+        scale,
+        bits,
+    }
+}
+
+impl QuantizedWeights {
+    /// Dequantizes back to floats.
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.values.iter().map(|&q| q as f32 * self.scale).collect()
+    }
+
+    /// Number of magnitude bit planes (excluding the sign).
+    pub fn magnitude_bits(&self) -> u8 {
+        self.bits - 1
+    }
+}
+
+impl QuantizedActivations {
+    /// Dequantizes back to floats.
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.values.iter().map(|&q| q as f32 * self.scale).collect()
+    }
+}
+
+/// The exact integer dot product of quantized operands — the ground
+/// truth a CIM execution is compared against.
+pub fn integer_dot(w: &QuantizedWeights, a: &QuantizedActivations) -> i64 {
+    assert_eq!(w.values.len(), a.values.len(), "operand length mismatch");
+    w.values
+        .iter()
+        .zip(&a.values)
+        .map(|(&wv, &av)| wv as i64 * av as i64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_round_trip_error_is_bounded_by_half_lsb() {
+        let data = vec![0.9, -0.45, 0.1, -0.001, 0.0, 0.33];
+        let q = quantize_weights(&data, 4);
+        let deq = q.dequantize();
+        for (orig, back) in data.iter().zip(&deq) {
+            assert!((orig - back).abs() <= q.scale * 0.5 + 1e-7, "{orig} vs {back}");
+        }
+        assert_eq!(q.magnitude_bits(), 3);
+    }
+
+    #[test]
+    fn weights_use_full_signed_range() {
+        let q = quantize_weights(&[1.0, -1.0, 0.5], 4);
+        assert_eq!(q.values[0], 7);
+        assert_eq!(q.values[1], -7);
+        // 0.5/(1/7) = 3.5 exactly, but the f32 scale is slightly above
+        // 1/7, so the quotient lands just under 3.5 and rounds to 3.
+        assert_eq!(q.values[2], 3);
+    }
+
+    #[test]
+    fn activations_are_unsigned_and_clamped() {
+        let q = quantize_activations(&[2.0, 1.0, 0.0, -3.0], 4);
+        // 1.0 / (2/15) = 7.5 exactly; the f32 scale is slightly above
+        // 2/15, so the quotient rounds down to 7.
+        assert_eq!(q.values, vec![15, 7, 0, 0]);
+        let deq = q.dequantize();
+        assert!((deq[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_vectors_do_not_divide_by_zero() {
+        let qw = quantize_weights(&[0.0; 4], 4);
+        assert!(qw.scale.is_finite());
+        assert!(qw.values.iter().all(|&v| v == 0));
+        let qa = quantize_activations(&[0.0; 4], 4);
+        assert!(qa.scale.is_finite());
+    }
+
+    #[test]
+    fn integer_dot_matches_float_dot_approximately() {
+        let w = vec![0.5, -0.25, 1.0, 0.0, -0.75];
+        let a = vec![1.0, 2.0, 0.5, 3.0, 0.25];
+        let qw = quantize_weights(&w, 6);
+        let qa = quantize_activations(&a, 6);
+        let float_dot: f32 = w.iter().zip(&a).map(|(x, y)| x * y).sum();
+        let int_dot = integer_dot(&qw, &qa) as f32 * qw.scale * qa.scale;
+        assert!(
+            (float_dot - int_dot).abs() < 0.1,
+            "float {float_dot} vs quantized {int_dot}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "weight bits")]
+    fn rejects_one_bit_weights() {
+        let _ = quantize_weights(&[1.0], 1);
+    }
+}

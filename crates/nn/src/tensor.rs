@@ -1,0 +1,185 @@
+//! A minimal dense tensor for CNN inference and training.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major `f32` tensor.
+///
+/// Shapes follow the CHW convention for images (`[channels, height,
+/// width]`) and `[out, in]` for linear weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty shape or zero-sized dimension.
+    pub fn zeros(shape: &[usize]) -> Tensor {
+        assert!(!shape.is_empty(), "tensor shape cannot be empty");
+        assert!(shape.iter().all(|&d| d > 0), "zero-sized dimension in {shape:?}");
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Wraps existing data in a tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape volume.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Tensor {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data length does not match shape {shape:?}"
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor has no elements (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volumes differ.
+    pub fn reshape(mut self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            self.data.len(),
+            shape.iter().product::<usize>(),
+            "cannot reshape {:?} to {shape:?}",
+            self.shape
+        );
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Index into a 3-D (CHW) tensor.
+    #[inline]
+    pub fn at3(&self, c: usize, h: usize, w: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 3);
+        let (hh, ww) = (self.shape[1], self.shape[2]);
+        self.data[(c * hh + h) * ww + w]
+    }
+
+    /// Mutable index into a 3-D (CHW) tensor.
+    #[inline]
+    pub fn at3_mut(&mut self, c: usize, h: usize, w: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 3);
+        let (hh, ww) = (self.shape[1], self.shape[2]);
+        &mut self.data[(c * hh + h) * ww + w]
+    }
+
+    /// The index of the largest element (ties broken by the last
+    /// occurrence, following `Iterator::max_by`).
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Elementwise in-place addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Scales every element in place.
+    pub fn scale(&mut self, factor: f32) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::zeros(&[3, 4, 4]);
+        assert_eq!(t.shape(), &[3, 4, 4]);
+        assert_eq!(t.len(), 48);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_checks_volume() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0; 3]);
+    }
+
+    #[test]
+    fn chw_indexing_is_row_major() {
+        let mut t = Tensor::zeros(&[2, 2, 3]);
+        *t.at3_mut(1, 1, 2) = 7.0;
+        assert_eq!(t.at3(1, 1, 2), 7.0);
+        assert_eq!(t.data()[2 * 3 + 3 + 2], 7.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let r = t.reshape(&[6]);
+        assert_eq!(r.shape(), &[6]);
+        assert_eq!(r.data()[4], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_checks_volume() {
+        let _ = Tensor::zeros(&[2, 3]).reshape(&[5]);
+    }
+
+    #[test]
+    fn argmax_and_arithmetic() {
+        let mut a = Tensor::from_vec(&[4], vec![0.1, 0.7, 0.3, 0.7]);
+        assert_eq!(a.argmax(), 3); // last of the tie (Iterator::max_by)
+        let b = Tensor::from_vec(&[4], vec![1.0, 0.0, 1.0, 0.0]);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[1.1, 0.7, 1.3, 0.7]);
+        a.scale(2.0);
+        assert_eq!(a.data()[2], 2.6);
+    }
+}

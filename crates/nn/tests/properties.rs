@@ -1,0 +1,122 @@
+//! Property-based tests of the NN stack: quantizer bounds, layer
+//! linearity, and exactness of the ideal CIM decomposition.
+
+use ferrocim_nn::cim_exec::{cim_dot, CimMapping, IdealMac};
+use ferrocim_nn::layers::{Conv2d, Linear};
+use ferrocim_nn::quant::{integer_dot, quantize_activations, quantize_weights};
+use ferrocim_nn::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Weight quantization error is bounded by half an LSB.
+    #[test]
+    fn weight_quantization_error_bounded(
+        data in prop::collection::vec(-3.0f32..3.0, 1..64),
+        bits in 2u8..=8,
+    ) {
+        let q = quantize_weights(&data, bits);
+        for (orig, back) in data.iter().zip(q.dequantize()) {
+            prop_assert!(
+                (orig - back).abs() <= q.scale * 0.5 + 1e-6,
+                "{orig} -> {back} (scale {})",
+                q.scale
+            );
+        }
+    }
+
+    /// Activation quantization clamps negatives and bounds error.
+    #[test]
+    fn activation_quantization_error_bounded(
+        data in prop::collection::vec(0.0f32..5.0, 1..64),
+        bits in 1u8..=8,
+    ) {
+        let q = quantize_activations(&data, bits);
+        for (orig, back) in data.iter().zip(q.dequantize()) {
+            prop_assert!((orig - back).abs() <= q.scale * 0.5 + 1e-6);
+        }
+    }
+
+    /// The bit-serial CIM decomposition with an ideal oracle reproduces
+    /// the exact integer dot product for any operands and geometry.
+    #[test]
+    fn ideal_cim_dot_is_exact(
+        w in prop::collection::vec(-1.0f32..1.0, 1..48),
+        seed in 0u64..1000,
+        w_bits in 2u8..=6,
+        a_bits in 1u8..=6,
+    ) {
+        let a: Vec<f32> = w.iter().map(|v| (v * 7.3).abs() % 1.0).collect();
+        let qw = quantize_weights(&w, w_bits);
+        let qa = quantize_activations(&a, a_bits);
+        let mapping = CimMapping {
+            weight_bits: w_bits,
+            activation_bits: a_bits,
+            cells_per_row: 8,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let exact = integer_dot(&qw, &qa);
+        let cim = cim_dot(&qw, &qa.values, &mapping, &IdealMac(8), &mut rng);
+        prop_assert_eq!(cim, exact);
+    }
+
+    /// Linear layers are affine: f(αx) − b = α(f(x) − b).
+    #[test]
+    fn linear_layer_is_affine(
+        x in prop::collection::vec(-1.0f32..1.0, 6..12),
+        alpha in 0.1f32..3.0,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lin = Linear::new(x.len(), 4, &mut rng);
+        let net = ferrocim_nn::Network::new(vec![ferrocim_nn::layers::Layer::Linear(lin.clone())]);
+        let y1 = net.forward(&Tensor::from_vec(&[x.len()], x.clone()));
+        let scaled: Vec<f32> = x.iter().map(|v| v * alpha).collect();
+        let y2 = net.forward(&Tensor::from_vec(&[x.len()], scaled));
+        for ((a, b), bias) in y1.data().iter().zip(y2.data()).zip(lin.bias.data()) {
+            let lhs = b - bias;
+            let rhs = alpha * (a - bias);
+            prop_assert!((lhs - rhs).abs() < 1e-3 * rhs.abs().max(1.0));
+        }
+    }
+
+    /// Convolution is linear in the input (bias removed).
+    #[test]
+    fn conv_is_linear(
+        seed in 0u64..100,
+        alpha in 0.1f32..2.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut conv = Conv2d::new(2, 3, &mut rng);
+        for b in conv.bias.data_mut() {
+            *b = 0.0;
+        }
+        let net = ferrocim_nn::Network::new(vec![ferrocim_nn::layers::Layer::Conv2d(conv)]);
+        let x: Vec<f32> = (0..2 * 4 * 4).map(|i| ((i * 13 % 7) as f32 - 3.0) / 3.0).collect();
+        let y1 = net.forward(&Tensor::from_vec(&[2, 4, 4], x.clone()));
+        let scaled: Vec<f32> = x.iter().map(|v| v * alpha).collect();
+        let y2 = net.forward(&Tensor::from_vec(&[2, 4, 4], scaled));
+        for (a, b) in y1.data().iter().zip(y2.data()) {
+            prop_assert!((b - alpha * a).abs() < 1e-3 * a.abs().max(1.0));
+        }
+    }
+
+    /// Softmax cross-entropy gradients always sum to zero and the loss
+    /// is non-negative.
+    #[test]
+    fn cross_entropy_invariants(
+        logits in prop::collection::vec(-10.0f32..10.0, 2..12),
+        label_pick in 0usize..12,
+    ) {
+        let label = label_pick % logits.len();
+        let t = Tensor::from_vec(&[logits.len()], logits);
+        let (loss, grad) = ferrocim_nn::network::softmax_cross_entropy(&t, label);
+        prop_assert!(loss >= -1e-6, "loss {loss}");
+        let sum: f32 = grad.data().iter().sum();
+        prop_assert!(sum.abs() < 1e-4, "grad sum {sum}");
+        prop_assert!(grad.data()[label] <= 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Error types for circuit construction and analysis.
+
+use std::fmt;
+
+/// Errors produced while building a [`crate::Circuit`] or running an
+/// analysis on it.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// An element referenced a node id that does not exist in the
+    /// circuit it was added to.
+    UnknownNode {
+        /// The element's name.
+        element: String,
+        /// The out-of-range node index.
+        node: usize,
+    },
+    /// Two elements share the same name; names must be unique so that
+    /// probes (currents, energies) are unambiguous.
+    DuplicateElement {
+        /// The clashing name.
+        name: String,
+    },
+    /// An element parameter was invalid (non-positive resistance,
+    /// capacitance, timestep, …).
+    InvalidValue {
+        /// The element or analysis parameter name.
+        name: String,
+        /// The rejected value.
+        value: f64,
+        /// What it must satisfy.
+        requirement: &'static str,
+    },
+    /// The Newton–Raphson iteration failed to converge within the
+    /// iteration budget.
+    NoConvergence {
+        /// Number of iterations attempted.
+        iterations: usize,
+        /// The residual voltage change at the last iteration, volts.
+        residual: f64,
+    },
+    /// The linear system was singular — typically a floating node or an
+    /// all-capacitor cut-set without the built-in `GMIN` leak.
+    SingularMatrix {
+        /// Row index at which elimination found no usable pivot.
+        row: usize,
+    },
+    /// An analysis probe referenced an element name that does not exist.
+    UnknownElement {
+        /// The missing name.
+        name: String,
+    },
+    /// An analysis probe referenced a node name that does not exist.
+    UnknownNodeName {
+        /// The missing name.
+        name: String,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::UnknownNode { element, node } => {
+                write!(f, "element `{element}` references unknown node index {node}")
+            }
+            SpiceError::DuplicateElement { name } => {
+                write!(f, "duplicate element name `{name}`")
+            }
+            SpiceError::InvalidValue {
+                name,
+                value,
+                requirement,
+            } => write!(f, "value `{name}` = {value} must be {requirement}"),
+            SpiceError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "newton iteration did not converge after {iterations} iterations (residual {residual:.3e} V)"
+            ),
+            SpiceError::SingularMatrix { row } => {
+                write!(f, "singular MNA matrix at row {row} (floating node?)")
+            }
+            SpiceError::UnknownElement { name } => {
+                write!(f, "no element named `{name}` in the circuit")
+            }
+            SpiceError::UnknownNodeName { name } => {
+                write!(f, "no node named `{name}` in the circuit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync>() {}
+        assert_traits::<SpiceError>();
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SpiceError::NoConvergence {
+            iterations: 500,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("500"));
+        let e = SpiceError::SingularMatrix { row: 3 };
+        assert!(e.to_string().contains("row 3"));
+    }
+}

@@ -1,0 +1,225 @@
+//! SPICE-format netlist export, for inspecting the circuits the CIM
+//! builders generate and for cross-checking against external
+//! simulators.
+//!
+//! The emitted deck uses standard SPICE conventions where a direct
+//! mapping exists (R/C/V/I cards) and comment-annotated behavioural
+//! cards for the compact-model devices (which external simulators would
+//! replace with their own `.model` definitions).
+
+use crate::netlist::{Circuit, Element};
+use ferrocim_units::Second;
+use std::fmt::Write as _;
+
+/// Renders a circuit as a SPICE-like netlist deck.
+///
+/// # Examples
+///
+/// ```
+/// use ferrocim_spice::{export_netlist, Circuit, Element, NodeId};
+/// use ferrocim_units::{Ohm, Volt};
+///
+/// # fn main() -> Result<(), ferrocim_spice::SpiceError> {
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("in");
+/// ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.2)))?;
+/// ckt.add(Element::resistor("R1", a, NodeId::GROUND, Ohm(1e3)))?;
+/// let deck = export_netlist(&ckt, "divider");
+/// assert!(deck.contains("V1 in 0 DC 1.2"));
+/// assert!(deck.contains("R1 in 0 1000"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn export_netlist(circuit: &Circuit, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "* {title}");
+    let _ = writeln!(out, "* exported by ferrocim-spice");
+    let node = |id| circuit.node_name(id);
+    for e in circuit.elements() {
+        match e {
+            Element::Resistor {
+                name,
+                a,
+                b,
+                resistance,
+            } => {
+                let _ = writeln!(out, "{name} {} {} {}", node(*a), node(*b), resistance.value());
+            }
+            Element::Capacitor {
+                name,
+                a,
+                b,
+                capacitance,
+                initial,
+            } => {
+                let ic = initial
+                    .map(|v| format!(" IC={}", v.value()))
+                    .unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "{name} {} {} {:e}{ic}",
+                    node(*a),
+                    node(*b),
+                    capacitance.value()
+                );
+            }
+            Element::VoltageSource {
+                name,
+                pos,
+                neg,
+                waveform,
+            } => {
+                let v0 = waveform.at(Second::ZERO).value();
+                let breakpoints = waveform.breakpoints();
+                if breakpoints.is_empty() {
+                    let _ = writeln!(out, "{name} {} {} DC {v0}", node(*pos), node(*neg));
+                } else {
+                    // Render as PWL samples at the breakpoints.
+                    let mut card = format!("{name} {} {} PWL(0 {v0}", node(*pos), node(*neg));
+                    for bp in breakpoints {
+                        let _ = write!(card, " {:e} {}", bp.value(), waveform.at(bp).value());
+                    }
+                    card.push(')');
+                    let _ = writeln!(out, "{card}");
+                }
+            }
+            Element::CurrentSource {
+                name,
+                pos,
+                neg,
+                current,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{name} {} {} DC {:e}",
+                    node(*pos),
+                    node(*neg),
+                    current.value()
+                );
+            }
+            Element::Switch {
+                name,
+                a,
+                b,
+                r_on,
+                r_off,
+                schedule,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "* switch {name}: Ron={} Roff={} initial={}",
+                    r_on.value(),
+                    r_off.value(),
+                    if schedule.state_at(Second::ZERO) { "closed" } else { "open" }
+                );
+                let _ = writeln!(out, "S{name} {} {} ctrl_{name} 0 SW_{name}", node(*a), node(*b));
+            }
+            Element::Mosfet {
+                name,
+                drain,
+                gate,
+                source,
+                model,
+                vth_offset,
+            } => {
+                let p = model.params();
+                let _ = writeln!(
+                    out,
+                    "M{name} {} {} {} {} NMOS_EKV W={:e} L={:e} * vth0={} dvth={}",
+                    node(*drain),
+                    node(*gate),
+                    node(*source),
+                    node(*source),
+                    p.width,
+                    p.length,
+                    p.vth0.value(),
+                    vth_offset.value()
+                );
+            }
+            Element::Fefet {
+                name,
+                drain,
+                gate,
+                source,
+                device,
+            } => {
+                let p = device.params();
+                let _ = writeln!(
+                    out,
+                    "X{name} {} {} {} FEFET_PREISACH P={:.3} lowVt={} highVt={} dvth={}",
+                    node(*drain),
+                    node(*gate),
+                    node(*source),
+                    device.polarization(),
+                    p.low_vt.value(),
+                    p.high_vt.value(),
+                    device.vth_offset().value()
+                );
+            }
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{NodeId, SwitchSchedule};
+    use crate::Waveform;
+    use ferrocim_device::{Fefet, FefetParams, MosfetModel, MosfetParams, PolarizationState};
+    use ferrocim_units::{Farad, Ohm, Volt};
+
+    #[test]
+    fn deck_contains_every_element_card() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.2))).unwrap();
+        ckt.add(Element::resistor("R1", a, b, Ohm(250e3))).unwrap();
+        ckt.add(Element::capacitor("C1", b, NodeId::GROUND, Farad(1e-15))).unwrap();
+        ckt.add(Element::switch(
+            "EN",
+            a,
+            b,
+            SwitchSchedule::open().then_at(Second(1e-9), true),
+        ))
+        .unwrap();
+        ckt.add(Element::mosfet(
+            "1",
+            a,
+            b,
+            NodeId::GROUND,
+            MosfetModel::new(MosfetParams::nmos_14nm()),
+        ))
+        .unwrap();
+        let mut f = Fefet::new(FefetParams::paper_default());
+        f.force_state(PolarizationState::LowVt);
+        ckt.add(Element::fefet("F1", a, b, NodeId::GROUND, f)).unwrap();
+        let deck = export_netlist(&ckt, "everything");
+        assert!(deck.starts_with("* everything\n"));
+        assert!(deck.contains("V1 a 0 DC 1.2"));
+        assert!(deck.contains("R1 a b 250000"));
+        assert!(deck.contains("C1 b 0 1e-15"));
+        assert!(deck.contains("SEN a b"));
+        assert!(deck.contains("M1 a b 0 0 NMOS_EKV"));
+        assert!(deck.contains("XF1 a b 0 FEFET_PREISACH P=1.000"));
+        assert!(deck.ends_with(".end\n"));
+    }
+
+    #[test]
+    fn pulse_sources_render_as_pwl() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add(Element::vsource(
+            "VW",
+            a,
+            NodeId::GROUND,
+            Waveform::step(Volt(0.0), Volt(0.55), Second(5e-9)),
+        ))
+        .unwrap();
+        let deck = export_netlist(&ckt, "pwl");
+        assert!(deck.contains("VW a 0 PWL(0 0"), "{deck}");
+        assert!(deck.contains("0.55"));
+    }
+}

@@ -1,0 +1,68 @@
+//! A small analog circuit simulator for the `ferrocim` workspace.
+//!
+//! This crate replaces the Cadence Virtuoso Spectre runs of the paper
+//! with an in-repo Modified Nodal Analysis (MNA) engine:
+//!
+//! * [`Circuit`] — netlist construction from [`Element`]s (resistors,
+//!   capacitors, sources, scheduled switches, EKV MOSFETs and FeFETs
+//!   from [`ferrocim_device`]).
+//! * [`DcAnalysis`] — damped Newton–Raphson operating point.
+//! * [`TransientAnalysis`] — fixed-step implicit integration (backward
+//!   Euler or trapezoidal) with breakpoint alignment and per-source
+//!   energy integrals, which is how the paper's fJ/op numbers are
+//!   measured.
+//! * [`MonteCarlo`] — deterministic seeded fan-out for process-variation
+//!   studies (the paper's Fig. 9).
+//! * [`sweep`] — temperature/voltage grids for the 0–85 °C evaluations.
+//!
+//! # Example: a subthreshold FeFET read
+//!
+//! ```
+//! use ferrocim_spice::{Circuit, DcAnalysis, Element, NodeId};
+//! use ferrocim_device::{Fefet, FefetParams, PolarizationState};
+//! use ferrocim_units::{Celsius, Ohm, Volt};
+//!
+//! # fn main() -> Result<(), ferrocim_spice::SpiceError> {
+//! let mut ckt = Circuit::new();
+//! let bl = ckt.node("bl");
+//! let mid = ckt.node("mid");
+//! let wl = ckt.node("wl");
+//! ckt.add(Element::vdc("VBL", bl, NodeId::GROUND, Volt(1.2)))?;
+//! ckt.add(Element::vdc("VWL", wl, NodeId::GROUND, Volt(0.35)))?;
+//! ckt.add(Element::resistor("R", bl, mid, Ohm(250e3)))?;
+//! let mut fefet = Fefet::new(FefetParams::paper_default());
+//! fefet.force_state(PolarizationState::LowVt);
+//! ckt.add(Element::fefet("F1", mid, wl, NodeId::GROUND, fefet))?;
+//!
+//! let op = DcAnalysis::new(&ckt).at(Celsius(27.0)).solve()?;
+//! let i_cell = op.source_current("VBL")?; // the cell read current
+//! assert!(i_cell.value().abs() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dc;
+mod dcsweep;
+mod error;
+mod export;
+mod linear;
+mod mna;
+mod montecarlo;
+mod netlist;
+pub mod sweep;
+mod transient;
+mod waveform;
+
+pub use dc::{DcAnalysis, OperatingPoint};
+pub use dcsweep::DcSweep;
+pub use error::SpiceError;
+pub use export::export_netlist;
+pub use linear::Matrix;
+pub use mna::NewtonOptions;
+pub use montecarlo::{histogram, MonteCarlo, SampleStats};
+pub use netlist::{Circuit, Element, NodeId, SwitchSchedule};
+pub use transient::{Integrator, TransientAnalysis, TransientResult};
+pub use waveform::Waveform;

@@ -1,0 +1,214 @@
+//! Dense linear algebra for the MNA system.
+//!
+//! Circuit matrices in this workspace are small (an 8-cell CIM row is
+//! ≈ 30 unknowns), so a dense LU factorization with partial pivoting is
+//! both simpler and faster than a sparse solver at this scale.
+
+use crate::SpiceError;
+
+/// A dense, row-major square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// The dimension of the matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Reads entry `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.n + col]
+    }
+
+    /// Writes entry `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Adds `value` to entry `(row, col)` — the stamp primitive.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        self.data[row * self.n + col] += value;
+    }
+
+    /// Resets all entries to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Computes `self · x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.n..(r + 1) * self.n];
+            *yr = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Solves `self · x = b` in place via LU with partial pivoting,
+    /// destroying the matrix. Returns the solution vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] when no usable pivot is
+    /// found, which for MNA systems means a floating node or a
+    /// short-circuit loop of ideal sources.
+    pub fn solve_destructive(mut self, b: &[f64]) -> Result<Vec<f64>, SpiceError> {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        let mut x: Vec<f64> = b.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            // Partial pivoting: find the largest magnitude in this column.
+            let mut pivot_row = col;
+            let mut pivot_val = self.get(perm[col], col).abs();
+            for (r, &pr) in perm.iter().enumerate().skip(col + 1) {
+                let v = self.get(pr, col).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 || !pivot_val.is_finite() {
+                return Err(SpiceError::SingularMatrix { row: col });
+            }
+            perm.swap(col, pivot_row);
+            let p = perm[col];
+            let pivot = self.get(p, col);
+            for &r in &perm[col + 1..] {
+                let factor = self.get(r, col) / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    let v = self.get(p, c);
+                    self.add(r, c, -factor * v);
+                }
+                x[r] -= factor * x[p];
+            }
+        }
+        // Back substitution.
+        let mut out = vec![0.0; n];
+        for col in (0..n).rev() {
+            let p = perm[col];
+            let mut sum = x[p];
+            for (c, &oc) in out.iter().enumerate().take(n).skip(col + 1) {
+                sum -= self.get(p, c) * oc;
+            }
+            out[col] = sum / self.get(p, col);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_rows(rows: &[&[f64]]) -> Matrix {
+        let n = rows.len();
+        let mut m = Matrix::zeros(n);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n);
+            for (c, &v) in row.iter().enumerate() {
+                m.set(r, c, v);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn identity_solve() {
+        let m = from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let x = m.solve_destructive(&[3.0, -4.0]).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solves_a_known_3x3_system() {
+        // A = [[2,1,0],[1,3,1],[0,1,4]], x = [1,2,3] → b = [4,10,14].
+        let m = from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 4.0]]);
+        let x = m.solve_destructive(&[4.0, 10.0, 14.0]).unwrap();
+        for (got, want) in x.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let m = from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = m.solve_destructive(&[5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12 && (x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let m = from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            m.solve_destructive(&[1.0, 2.0]),
+            Err(SpiceError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn residual_is_tiny_for_ill_scaled_systems() {
+        // Conductances spanning 12 decades, like gmin next to a switch.
+        let m = from_rows(&[
+            &[1e-12 + 1e-3, -1e-3, 0.0],
+            &[-1e-3, 2e-3, -1e-3],
+            &[0.0, -1e-3, 1e-3 + 1e4],
+        ]);
+        let b = [1e-6, 0.0, 2.0];
+        let x = m.clone().solve_destructive(&b).unwrap();
+        let r = m.mul_vec(&x);
+        for (ri, bi) in r.iter().zip(b) {
+            assert!((ri - bi).abs() < 1e-9 * bi.abs().max(1.0), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let m = from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn random_round_trip() {
+        // Deterministic pseudo-random matrix; verify A·solve(A,b) = b.
+        let n = 12;
+        let mut seed = 0x12345678u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut m = Matrix::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                m.set(r, c, next());
+            }
+            m.add(r, r, 4.0); // diagonally dominant → well conditioned
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = m.clone().solve_destructive(&b).unwrap();
+        let back = m.mul_vec(&x);
+        for (got, want) in back.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Modified nodal analysis: system layout, stamping, and the shared
+//! Newton–Raphson solve used by both DC and transient analyses.
+
+use crate::linear::Matrix;
+use crate::netlist::{Circuit, Element, NodeId};
+use crate::SpiceError;
+use ferrocim_units::{Celsius, Second};
+use std::collections::HashMap;
+
+/// Tiny conductance from every node to ground, preventing singular
+/// systems from floating nodes (e.g. capacitor-only nodes in DC).
+pub(crate) const GMIN: f64 = 1e-12;
+
+/// Knobs for the Newton iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Maximum iterations before giving up.
+    pub max_iterations: usize,
+    /// Absolute node-voltage convergence tolerance, volts.
+    pub vtol: f64,
+    /// Relative convergence tolerance on all unknowns.
+    pub reltol: f64,
+    /// Per-iteration clamp on node-voltage updates, volts. Limiting the
+    /// step keeps the exponential subthreshold models inside the range
+    /// where their linearization is meaningful.
+    pub max_step: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            max_iterations: 500,
+            vtol: 1e-9,
+            reltol: 1e-9,
+            max_step: 0.2,
+        }
+    }
+}
+
+/// Index layout of the MNA unknown vector: node voltages (ground
+/// excluded) followed by voltage-source branch currents.
+#[derive(Debug, Clone)]
+pub(crate) struct Layout {
+    /// Number of non-ground nodes.
+    pub n_nodes: usize,
+    /// Element-vector index → branch-current row for voltage sources.
+    pub branch_of_element: HashMap<usize, usize>,
+    /// Total unknown count.
+    pub size: usize,
+}
+
+impl Layout {
+    pub fn of(circuit: &Circuit) -> Layout {
+        let n_nodes = circuit.node_count() - 1;
+        let mut branch_of_element = HashMap::new();
+        let mut next = n_nodes;
+        for (idx, e) in circuit.elements().iter().enumerate() {
+            if matches!(e, Element::VoltageSource { .. }) {
+                branch_of_element.insert(idx, next);
+                next += 1;
+            }
+        }
+        Layout {
+            n_nodes,
+            branch_of_element,
+            size: next,
+        }
+    }
+
+    /// The unknown-vector row of a node, or `None` for ground.
+    #[inline]
+    pub fn row_of(&self, node: NodeId) -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    }
+
+    /// Node voltage from the unknown vector (0 for ground).
+    #[inline]
+    pub fn voltage(&self, x: &[f64], node: NodeId) -> f64 {
+        match self.row_of(node) {
+            Some(r) => x[r],
+            None => 0.0,
+        }
+    }
+}
+
+/// Per-capacitor companion state carried across transient steps.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CapState {
+    /// Branch voltage `v(a) − v(b)` at the previous accepted step.
+    pub v_prev: f64,
+    /// Branch current at the previous accepted step (trapezoidal only).
+    pub i_prev: f64,
+}
+
+/// What the stamper should do with capacitors.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CapMode<'a> {
+    /// DC: capacitors are open circuits.
+    Open,
+    /// Transient step of size `dt` with previous-step states, using the
+    /// given integration method.
+    Companion {
+        dt: f64,
+        states: &'a HashMap<usize, CapState>,
+        trapezoidal: bool,
+    },
+}
+
+/// Assembles the linearized MNA system `A·x = z` around the candidate
+/// solution `x0` at time `t`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble(
+    circuit: &Circuit,
+    layout: &Layout,
+    x0: &[f64],
+    t: Second,
+    temp: Celsius,
+    caps: CapMode<'_>,
+    a: &mut Matrix,
+    z: &mut [f64],
+) {
+    a.clear();
+    z.fill(0.0);
+
+    let stamp_conductance = |a: &mut Matrix, na: NodeId, nb: NodeId, g: f64| {
+        if let Some(ra) = layout.row_of(na) {
+            a.add(ra, ra, g);
+            if let Some(rb) = layout.row_of(nb) {
+                a.add(ra, rb, -g);
+            }
+        }
+        if let Some(rb) = layout.row_of(nb) {
+            a.add(rb, rb, g);
+            if let Some(ra) = layout.row_of(na) {
+                a.add(rb, ra, -g);
+            }
+        }
+    };
+
+    for (idx, e) in circuit.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a: na, b: nb, resistance, .. } => {
+                stamp_conductance(a, *na, *nb, 1.0 / resistance.value());
+            }
+            Element::Switch {
+                a: na,
+                b: nb,
+                r_on,
+                r_off,
+                schedule,
+                ..
+            } => {
+                let r = if schedule.state_at(t) { r_on } else { r_off };
+                stamp_conductance(a, *na, *nb, 1.0 / r.value());
+            }
+            Element::Capacitor {
+                a: na,
+                b: nb,
+                capacitance,
+                ..
+            } => match caps {
+                CapMode::Open => {}
+                CapMode::Companion {
+                    dt,
+                    states,
+                    trapezoidal,
+                } => {
+                    let state = states.get(&idx).copied().unwrap_or(CapState {
+                        v_prev: 0.0,
+                        i_prev: 0.0,
+                    });
+                    let c = capacitance.value();
+                    // Companion: i = g·v − i_eq, with
+                    //   BE:   g = C/dt,   i_eq = g·v_prev
+                    //   trap: g = 2C/dt,  i_eq = g·v_prev + i_prev
+                    let (g, i_eq) = if trapezoidal {
+                        let g = 2.0 * c / dt;
+                        (g, g * state.v_prev + state.i_prev)
+                    } else {
+                        let g = c / dt;
+                        (g, g * state.v_prev)
+                    };
+                    stamp_conductance(a, *na, *nb, g);
+                    if let Some(ra) = layout.row_of(*na) {
+                        z[ra] += i_eq;
+                    }
+                    if let Some(rb) = layout.row_of(*nb) {
+                        z[rb] -= i_eq;
+                    }
+                }
+            },
+            Element::VoltageSource { pos, neg, waveform, .. } => {
+                let row = layout.branch_of_element[&idx];
+                if let Some(rp) = layout.row_of(*pos) {
+                    a.add(rp, row, 1.0);
+                    a.add(row, rp, 1.0);
+                }
+                if let Some(rn) = layout.row_of(*neg) {
+                    a.add(rn, row, -1.0);
+                    a.add(row, rn, -1.0);
+                }
+                z[row] = waveform.at(t).value();
+            }
+            Element::CurrentSource { pos, neg, current, .. } => {
+                if let Some(rp) = layout.row_of(*pos) {
+                    z[rp] += current.value();
+                }
+                if let Some(rn) = layout.row_of(*neg) {
+                    z[rn] -= current.value();
+                }
+            }
+            Element::Mosfet {
+                drain,
+                gate,
+                source,
+                model,
+                vth_offset,
+                ..
+            } => {
+                let vg = layout.voltage(x0, *gate);
+                let vd = layout.voltage(x0, *drain);
+                let vs = layout.voltage(x0, *source);
+                let ss = model.evaluate_shifted(
+                    ferrocim_units::Volt(vg - vs),
+                    ferrocim_units::Volt(vd - vs),
+                    temp,
+                    *vth_offset,
+                );
+                stamp_transistor(a, z, layout, *drain, *gate, *source, vg, vd, vs, ss);
+            }
+            Element::Fefet {
+                drain,
+                gate,
+                source,
+                device,
+                ..
+            } => {
+                let vg = layout.voltage(x0, *gate);
+                let vd = layout.voltage(x0, *drain);
+                let vs = layout.voltage(x0, *source);
+                let ss = device.evaluate(
+                    ferrocim_units::Volt(vg - vs),
+                    ferrocim_units::Volt(vd - vs),
+                    temp,
+                );
+                stamp_transistor(a, z, layout, *drain, *gate, *source, vg, vd, vs, ss);
+            }
+        }
+    }
+
+    // GMIN from every node to ground keeps the system non-singular.
+    for r in 0..layout.n_nodes {
+        a.add(r, r, GMIN);
+    }
+}
+
+/// Stamps the linearized transistor companion model:
+/// `I_ds ≈ I₀ + gm·Δv_gs + gds·Δv_ds`, as a VCCS pair plus an
+/// equivalent current source.
+#[allow(clippy::too_many_arguments)]
+fn stamp_transistor(
+    a: &mut Matrix,
+    z: &mut [f64],
+    layout: &Layout,
+    drain: NodeId,
+    gate: NodeId,
+    source: NodeId,
+    vg: f64,
+    vd: f64,
+    vs: f64,
+    ss: ferrocim_device::SmallSignal,
+) {
+    let gm = ss.gm.value();
+    let gds = ss.gds.value();
+    let i_eq = ss.ids.value() - gm * (vg - vs) - gds * (vd - vs);
+    // Current I leaves `drain` and enters `source`:
+    //   row(drain):  +gm·(vg−vs) + gds·(vd−vs) stamped on the LHS,
+    //                −i_eq on the RHS,
+    //   row(source): the negation.
+    let rd = layout.row_of(drain);
+    let rg = layout.row_of(gate);
+    let rs = layout.row_of(source);
+    if let Some(rd) = rd {
+        if let Some(rg) = rg {
+            a.add(rd, rg, gm);
+        }
+        if let Some(rdd) = layout.row_of(drain) {
+            a.add(rd, rdd, gds);
+        }
+        if let Some(rs) = rs {
+            a.add(rd, rs, -(gm + gds));
+        }
+        z[rd] -= i_eq;
+    }
+    if let Some(rs_row) = rs {
+        if let Some(rg) = rg {
+            a.add(rs_row, rg, -gm);
+        }
+        if let Some(rd_col) = layout.row_of(drain) {
+            a.add(rs_row, rd_col, -gds);
+        }
+        a.add(rs_row, rs_row, gm + gds);
+        z[rs_row] += i_eq;
+    }
+}
+
+/// Runs the damped Newton iteration: repeatedly assembles the linearized
+/// system around the current candidate and solves, until the unknown
+/// vector stops moving.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn newton_solve(
+    circuit: &Circuit,
+    layout: &Layout,
+    t: Second,
+    temp: Celsius,
+    caps: CapMode<'_>,
+    x_init: &[f64],
+    options: &NewtonOptions,
+) -> Result<Vec<f64>, SpiceError> {
+    let mut x = x_init.to_vec();
+    let mut a = Matrix::zeros(layout.size);
+    let mut z = vec![0.0; layout.size];
+    let mut last_delta = f64::INFINITY;
+    for _iter in 0..options.max_iterations {
+        assemble(circuit, layout, &x, t, temp, caps, &mut a, &mut z);
+        let x_new = a.clone().solve_destructive(&z)?;
+        let mut converged = true;
+        let mut max_delta = 0.0f64;
+        for i in 0..layout.size {
+            let mut delta = x_new[i] - x[i];
+            if i < layout.n_nodes {
+                // Damp node-voltage updates only; branch currents are
+                // linear consequences and may jump freely.
+                delta = delta.clamp(-options.max_step, options.max_step);
+                max_delta = max_delta.max(delta.abs());
+                if delta.abs() > options.vtol + options.reltol * x[i].abs() {
+                    converged = false;
+                }
+            }
+            x[i] += delta;
+        }
+        if converged {
+            return Ok(x);
+        }
+        last_delta = max_delta;
+    }
+    Err(SpiceError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: last_delta,
+    })
+}

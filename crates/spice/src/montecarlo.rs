@@ -1,0 +1,211 @@
+//! Monte-Carlo driver: runs a seeded closure many times, optionally in
+//! parallel across OS threads.
+//!
+//! The paper's Fig. 9 runs 100 samples of the 2T-1FeFET array with
+//! `σ_VT = 54 mV`; this driver provides the deterministic seeding and
+//! fan-out for that experiment (and any other statistical sweep).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic Monte-Carlo experiment runner.
+///
+/// Each run `i` receives its own RNG derived from `(seed, i)` by
+/// SplitMix64 scrambling, so results are reproducible regardless of
+/// thread scheduling and independent of how many runs execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarlo {
+    runs: usize,
+    seed: u64,
+    parallel: bool,
+}
+
+impl MonteCarlo {
+    /// Creates a runner for `runs` samples from a base seed.
+    pub fn new(runs: usize, seed: u64) -> Self {
+        MonteCarlo {
+            runs,
+            seed,
+            parallel: true,
+        }
+    }
+
+    /// Disables thread fan-out (useful when the closure is not `Sync`
+    /// friendly or for debugging).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Number of runs.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// The per-run RNG for run index `i` (exposed so callers can
+    /// reproduce a single interesting run in isolation).
+    pub fn rng_for(&self, run: usize) -> StdRng {
+        StdRng::seed_from_u64(splitmix64(self.seed ^ (run as u64).wrapping_mul(0x9E3779B97F4A7C15)))
+    }
+
+    /// Executes `f(run_index, rng)` for every run and collects the
+    /// results in run order.
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut StdRng) -> T + Sync,
+    {
+        if !self.parallel || self.runs < 2 {
+            return (0..self.runs)
+                .map(|i| {
+                    let mut rng = self.rng_for(i);
+                    f(i, &mut rng)
+                })
+                .collect();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(self.runs);
+        let mut results: Vec<Option<T>> = (0..self.runs).map(|_| None).collect();
+        let chunk = self.runs.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                let this = *self;
+                scope.spawn(move || {
+                    for (j, slot) in slot_chunk.iter_mut().enumerate() {
+                        let run = t * chunk + j;
+                        let mut rng = this.rng_for(run);
+                        *slot = Some(f(run, &mut rng));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every run slot filled"))
+            .collect()
+    }
+}
+
+/// SplitMix64 scrambler for decorrelating per-run seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Summary statistics over a sample of scalars.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl SampleStats {
+    /// Computes statistics over the given samples. Returns `None` for an
+    /// empty sample.
+    pub fn of(samples: &[f64]) -> Option<SampleStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(SampleStats {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        })
+    }
+}
+
+/// Builds a histogram of the samples over `bins` equal-width bins
+/// between `lo` and `hi`; out-of-range samples are clamped into the end
+/// bins. Returns the per-bin counts.
+pub fn histogram(samples: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "histogram needs at least one bin");
+    assert!(hi > lo, "histogram range must be non-empty");
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &s in samples {
+        let idx = (((s - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn results_are_in_run_order_and_reproducible() {
+        let mc = MonteCarlo::new(32, 7);
+        let a: Vec<u64> = mc.run(|i, rng| (i as u64) << 32 | rng.random::<u32>() as u64);
+        let b: Vec<u64> = mc.run(|i, rng| (i as u64) << 32 | rng.random::<u32>() as u64);
+        assert_eq!(a, b);
+        for (i, v) in a.iter().enumerate() {
+            assert_eq!(v >> 32, i as u64);
+        }
+    }
+
+    #[test]
+    fn sequential_matches_parallel() {
+        let par = MonteCarlo::new(17, 99);
+        let seq = par.sequential();
+        let f = |i: usize, rng: &mut StdRng| (i, rng.random::<u64>());
+        assert_eq!(par.run(f), seq.run(f));
+    }
+
+    #[test]
+    fn per_run_rngs_are_decorrelated() {
+        let mc = MonteCarlo::new(100, 5);
+        let firsts: Vec<u64> = mc.run(|_, rng| rng.random());
+        let mut sorted = firsts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), firsts.len(), "duplicate rng streams detected");
+    }
+
+    #[test]
+    fn stats_of_known_sample() {
+        let stats = SampleStats::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(stats.n, 4);
+        assert!((stats.mean - 2.5).abs() < 1e-12);
+        assert!((stats.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(stats.min, 1.0);
+        assert_eq!(stats.max, 4.0);
+        assert!(SampleStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn histogram_bins_and_clamps() {
+        let h = histogram(&[0.1, 0.1, 0.5, 0.9, -3.0, 7.0], 0.0, 1.0, 10);
+        assert_eq!(h.iter().sum::<usize>(), 6);
+        assert_eq!(h[1], 2); // the two 0.1 samples
+        assert_eq!(h[0], 1); // clamped -3.0
+        assert_eq!(h[9], 2); // 0.9 and clamped 7.0
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        let _ = histogram(&[1.0], 0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Parameter-sweep helpers: temperature grids and generic linear sweeps.
+
+use ferrocim_units::{Celsius, Volt};
+
+/// An inclusive linear sweep producing `points` equally spaced values.
+///
+/// # Examples
+///
+/// ```
+/// use ferrocim_spice::sweep::linspace;
+/// let v = linspace(0.0, 1.0, 5);
+/// assert_eq!(v, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// ```
+pub fn linspace(start: f64, stop: f64, points: usize) -> Vec<f64> {
+    match points {
+        0 => Vec::new(),
+        1 => vec![start],
+        _ => (0..points)
+            .map(|i| start + (stop - start) * i as f64 / (points - 1) as f64)
+            .collect(),
+    }
+}
+
+/// The paper's standard temperature grid: 0 °C to 85 °C.
+pub fn temperature_sweep(points: usize) -> Vec<Celsius> {
+    linspace(0.0, 85.0, points).into_iter().map(Celsius).collect()
+}
+
+/// The paper's restricted "optimized" range: 20 °C to 85 °C.
+pub fn warm_temperature_sweep(points: usize) -> Vec<Celsius> {
+    linspace(20.0, 85.0, points).into_iter().map(Celsius).collect()
+}
+
+/// A voltage sweep between two rails.
+pub fn voltage_sweep(start: Volt, stop: Volt, points: usize) -> Vec<Volt> {
+    linspace(start.value(), stop.value(), points)
+        .into_iter()
+        .map(Volt)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_are_exact() {
+        let v = linspace(0.0, 85.0, 18);
+        assert_eq!(v.len(), 18);
+        assert_eq!(v[0], 0.0);
+        assert_eq!(*v.last().unwrap(), 85.0);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(linspace(1.0, 2.0, 0).is_empty());
+        assert_eq!(linspace(1.0, 2.0, 1), vec![1.0]);
+    }
+
+    #[test]
+    fn temperature_sweep_covers_paper_range() {
+        let ts = temperature_sweep(18);
+        assert_eq!(ts.first().unwrap().value(), 0.0);
+        assert_eq!(ts.last().unwrap().value(), 85.0);
+        let warm = warm_temperature_sweep(14);
+        assert_eq!(warm.first().unwrap().value(), 20.0);
+        assert_eq!(warm.last().unwrap().value(), 85.0);
+    }
+
+    #[test]
+    fn voltage_sweep_maps_linspace() {
+        let vs = voltage_sweep(Volt(0.0), Volt(1.2), 4);
+        assert_eq!(vs.len(), 4);
+        assert!((vs[1].value() - 0.4).abs() < 1e-12);
+    }
+}

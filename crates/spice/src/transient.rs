@@ -1,0 +1,549 @@
+//! Transient analysis: fixed-step implicit integration with breakpoint
+//! alignment, per-source energy accounting, and full waveform capture.
+
+use crate::dc::OperatingPoint;
+use crate::mna::{newton_solve, CapMode, CapState, Layout, NewtonOptions};
+use crate::netlist::{Circuit, Element, NodeId};
+use crate::SpiceError;
+use ferrocim_units::{Ampere, Celsius, Joule, Second, Volt};
+use std::collections::HashMap;
+
+/// The implicit integration method for capacitors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// Backward Euler: first-order, L-stable, no numerical ringing.
+    /// The default — charge-sharing steps with ideal switches are stiff.
+    #[default]
+    BackwardEuler,
+    /// Trapezoidal rule: second-order accurate, may ring on sharp edges.
+    Trapezoidal,
+}
+
+/// Result of a transient run: sampled node voltages, source currents,
+/// and delivered-energy integrals.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    /// `voltages[sample][node_index]`.
+    voltages: Vec<Vec<f64>>,
+    /// Per-source sampled branch currents.
+    source_currents: HashMap<String, Vec<f64>>,
+    /// Per-source delivered energy integral.
+    energy: HashMap<String, f64>,
+}
+
+impl TransientResult {
+    /// The sampled time points.
+    pub fn times(&self) -> Vec<Second> {
+        self.times.iter().map(|&t| Second(t)).collect()
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if the run produced no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The node voltage at a sample index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is out of range.
+    pub fn voltage_at(&self, node: NodeId, sample: usize) -> Volt {
+        Volt(self.voltages[sample][node.index()])
+    }
+
+    /// The node voltage at the final time point.
+    pub fn final_voltage(&self, node: NodeId) -> Volt {
+        Volt(self.voltages[self.voltages.len() - 1][node.index()])
+    }
+
+    /// The full `(t, v)` trace of a node.
+    pub fn trace(&self, node: NodeId) -> Vec<(Second, Volt)> {
+        self.times
+            .iter()
+            .zip(&self.voltages)
+            .map(|(&t, row)| (Second(t), Volt(row[node.index()])))
+            .collect()
+    }
+
+    /// The branch current of a voltage source at the final time point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownElement`] for unknown source names.
+    pub fn final_source_current(&self, name: &str) -> Result<Ampere, SpiceError> {
+        self.source_currents
+            .get(name)
+            .and_then(|v| v.last().copied())
+            .map(Ampere)
+            .ok_or_else(|| SpiceError::UnknownElement {
+                name: name.to_string(),
+            })
+    }
+
+    /// The energy delivered by a voltage source over the run (positive
+    /// when the source did net work on the circuit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownElement`] for unknown source names.
+    pub fn energy_delivered(&self, name: &str) -> Result<Joule, SpiceError> {
+        self.energy
+            .get(name)
+            .map(|&e| Joule(e))
+            .ok_or_else(|| SpiceError::UnknownElement {
+                name: name.to_string(),
+            })
+    }
+
+    /// Total energy delivered by all sources.
+    pub fn total_energy_delivered(&self) -> Joule {
+        Joule(self.energy.values().sum())
+    }
+}
+
+/// A fixed-step transient analysis.
+///
+/// Steps are aligned to waveform/switch breakpoints so sharp edges are
+/// never stepped over. The initial condition is the DC operating point
+/// at `t = 0` unless capacitors carry explicit initial voltages, which
+/// take precedence on their branch.
+#[derive(Debug, Clone)]
+pub struct TransientAnalysis<'a> {
+    circuit: &'a Circuit,
+    temp: Celsius,
+    dt: Second,
+    t_stop: Second,
+    integrator: Integrator,
+    options: NewtonOptions,
+    start_from: Option<&'a OperatingPoint>,
+}
+
+impl<'a> TransientAnalysis<'a> {
+    /// Creates a transient analysis with the mandatory timestep and stop
+    /// time.
+    pub fn new(circuit: &'a Circuit, dt: Second, t_stop: Second) -> Self {
+        TransientAnalysis {
+            circuit,
+            temp: Celsius::ROOM,
+            dt,
+            t_stop,
+            integrator: Integrator::default(),
+            options: NewtonOptions::default(),
+            start_from: None,
+        }
+    }
+
+    /// Sets the simulation temperature.
+    pub fn at(mut self, temp: Celsius) -> Self {
+        self.temp = temp;
+        self
+    }
+
+    /// Selects the integration method.
+    pub fn with_integrator(mut self, integrator: Integrator) -> Self {
+        self.integrator = integrator;
+        self
+    }
+
+    /// Overrides the Newton options.
+    pub fn with_options(mut self, options: NewtonOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Starts from a previously solved operating point instead of
+    /// re-solving DC at `t = 0`.
+    pub fn start_from(mut self, op: &'a OperatingPoint) -> Self {
+        self.start_from = Some(op);
+        self
+    }
+
+    /// Runs the transient.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::InvalidValue`] for a non-positive `dt` or stop
+    ///   time before the first step.
+    /// * [`SpiceError::NoConvergence`] / [`SpiceError::SingularMatrix`]
+    ///   from the per-step Newton solve.
+    pub fn run(&self) -> Result<TransientResult, SpiceError> {
+        if !(self.dt.value() > 0.0 && self.dt.value().is_finite()) {
+            return Err(SpiceError::InvalidValue {
+                name: "dt".to_string(),
+                value: self.dt.value(),
+                requirement: "a positive finite timestep",
+            });
+        }
+        if self.t_stop.value() < self.dt.value() {
+            return Err(SpiceError::InvalidValue {
+                name: "t_stop".to_string(),
+                value: self.t_stop.value(),
+                requirement: "at least one timestep long",
+            });
+        }
+        let layout = Layout::of(self.circuit);
+
+        // Initial state: DC operating point at t = 0.
+        let initial = match self.start_from {
+            Some(op) => op.clone(),
+            None => crate::DcAnalysis::new(self.circuit)
+                .at(self.temp)
+                .with_options(self.options)
+                .solve()?,
+        };
+
+        // Capacitor companion states seeded from the initial solution or
+        // explicit initial conditions.
+        let mut cap_states: HashMap<usize, CapState> = HashMap::new();
+        for (idx, e) in self.circuit.elements().iter().enumerate() {
+            if let Element::Capacitor { a, b, initial: ic, .. } = e {
+                let v = match ic {
+                    Some(v) => v.value(),
+                    None => initial.voltage(*a).value() - initial.voltage(*b).value(),
+                };
+                cap_states.insert(idx, CapState { v_prev: v, i_prev: 0.0 });
+            }
+        }
+
+        // Breakpoint-aligned time grid.
+        let breakpoints = self.circuit.breakpoints();
+        let mut times = Vec::new();
+        let mut t = 0.0;
+        let dt = self.dt.value();
+        let t_stop = self.t_stop.value();
+        let mut bp_iter = breakpoints
+            .iter()
+            .map(|b| b.value())
+            .filter(|&b| b > 1e-18 && b < t_stop)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .peekable();
+        while t < t_stop - 1e-18 {
+            let mut next = t + dt;
+            while let Some(&bp) = bp_iter.peek() {
+                if bp <= t + 1e-18 {
+                    bp_iter.next();
+                    continue;
+                }
+                if bp < next {
+                    next = bp;
+                }
+                break;
+            }
+            if next > t_stop {
+                next = t_stop;
+            }
+            times.push(next);
+            t = next;
+        }
+
+        let mut x = initial.raw.clone();
+        let trapezoidal = matches!(self.integrator, Integrator::Trapezoidal);
+
+        let mut samples_v: Vec<Vec<f64>> = Vec::with_capacity(times.len() + 1);
+        let mut sample_times: Vec<f64> = Vec::with_capacity(times.len() + 1);
+        let mut source_currents: HashMap<String, Vec<f64>> = HashMap::new();
+        let mut energy: HashMap<String, f64> = HashMap::new();
+        for (idx, e) in self.circuit.elements().iter().enumerate() {
+            if let Element::VoltageSource { name, .. } = e {
+                let _ = idx;
+                source_currents.insert(name.clone(), Vec::with_capacity(times.len() + 1));
+                energy.insert(name.clone(), 0.0);
+            }
+        }
+
+        let mut record = |t: f64, x: &[f64], sc: &mut HashMap<String, Vec<f64>>| {
+            sample_times.push(t);
+            let n = self.circuit.node_count();
+            let mut row = vec![0.0; n];
+            row[1..n].copy_from_slice(&x[..n - 1]);
+            samples_v.push(row);
+            for (idx, e) in self.circuit.elements().iter().enumerate() {
+                if let Element::VoltageSource { name, .. } = e {
+                    let r = layout.branch_of_element[&idx];
+                    sc.get_mut(name).expect("source registered").push(x[r]);
+                }
+            }
+        };
+        record(0.0, &x, &mut source_currents);
+
+        let mut t_prev = 0.0;
+        for &t_now in &times {
+            let step = t_now - t_prev;
+            let caps = CapMode::Companion {
+                dt: step,
+                states: &cap_states,
+                trapezoidal,
+            };
+            x = newton_solve(
+                self.circuit,
+                &layout,
+                Second(t_now),
+                self.temp,
+                caps,
+                &x,
+                &self.options,
+            )?;
+
+            // Update capacitor companion states.
+            for (idx, e) in self.circuit.elements().iter().enumerate() {
+                if let Element::Capacitor { a, b, capacitance, .. } = e {
+                    let va = layout.voltage(&x, *a);
+                    let vb = layout.voltage(&x, *b);
+                    let v_new = va - vb;
+                    let state = cap_states.get_mut(&idx).expect("cap state seeded");
+                    let c = capacitance.value();
+                    let i_new = if trapezoidal {
+                        2.0 * c / step * (v_new - state.v_prev) - state.i_prev
+                    } else {
+                        c / step * (v_new - state.v_prev)
+                    };
+                    state.v_prev = v_new;
+                    state.i_prev = i_new;
+                }
+            }
+
+            // Energy accounting: E += v·(−i)·dt per voltage source, with
+            // the MNA branch current flowing pos→neg inside the source.
+            for (idx, e) in self.circuit.elements().iter().enumerate() {
+                if let Element::VoltageSource { name, waveform, .. } = e {
+                    let r = layout.branch_of_element[&idx];
+                    let v = waveform.at(Second(t_now)).value();
+                    let delivered = -v * x[r] * step;
+                    *energy.get_mut(name).expect("source registered") += delivered;
+                }
+            }
+
+            record(t_now, &x, &mut source_currents);
+            t_prev = t_now;
+        }
+
+        Ok(TransientResult {
+            times: sample_times,
+            voltages: samples_v,
+            source_currents,
+            energy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{Element, SwitchSchedule};
+    use crate::Waveform;
+    use ferrocim_units::{Farad, Ohm};
+
+    #[test]
+    fn rc_charging_matches_analytic() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add(Element::vsource(
+            "V1",
+            vin,
+            NodeId::GROUND,
+            Waveform::step(Volt(0.0), Volt(1.0), Second(1e-12)),
+        ))
+        .unwrap();
+        ckt.add(Element::resistor("R1", vin, out, Ohm(1e3))).unwrap();
+        ckt.add(Element::Capacitor {
+            name: "C1".into(),
+            a: out,
+            b: NodeId::GROUND,
+            capacitance: Farad(1e-12),
+            initial: Some(Volt(0.0)),
+        })
+        .unwrap();
+        // τ = 1 ns; simulate 5 τ with 1000 steps.
+        let res = TransientAnalysis::new(&ckt, Second(5e-12), Second(5e-9))
+            .run()
+            .unwrap();
+        let v_end = res.final_voltage(out).value();
+        let expected = 1.0 - (-5.0f64).exp();
+        assert!((v_end - expected).abs() < 0.01, "v_end {v_end} vs {expected}");
+        // Check a mid-trace point at t ≈ τ.
+        let trace = res.trace(out);
+        let (_, v_tau) = trace
+            .iter()
+            .min_by(|a, b| {
+                (a.0.value() - 1e-9).abs().total_cmp(&(b.0.value() - 1e-9).abs())
+            })
+            .copied()
+            .unwrap();
+        let expected_tau = 1.0 - (-1.0f64).exp();
+        assert!((v_tau.value() - expected_tau).abs() < 0.02);
+    }
+
+    #[test]
+    fn trapezoidal_is_more_accurate_than_be_on_coarse_grid() {
+        let build = || {
+            let mut ckt = Circuit::new();
+            let vin = ckt.node("in");
+            let out = ckt.node("out");
+            ckt.add(Element::vdc("V1", vin, NodeId::GROUND, Volt(1.0))).unwrap();
+            ckt.add(Element::resistor("R1", vin, out, Ohm(1e3))).unwrap();
+            ckt.add(Element::Capacitor {
+                name: "C1".into(),
+                a: out,
+                b: NodeId::GROUND,
+                capacitance: Farad(1e-12),
+                initial: Some(Volt(0.0)),
+            })
+            .unwrap();
+            ckt
+        };
+        let exact = 1.0 - (-2.0f64).exp(); // at t = 2τ
+        let ckt = build();
+        let be = TransientAnalysis::new(&ckt, Second(2e-10), Second(2e-9))
+            .run()
+            .unwrap()
+            .final_voltage(ckt.find_node("out").unwrap())
+            .value();
+        let trap = TransientAnalysis::new(&ckt, Second(2e-10), Second(2e-9))
+            .with_integrator(Integrator::Trapezoidal)
+            .run()
+            .unwrap()
+            .final_voltage(ckt.find_node("out").unwrap())
+            .value();
+        assert!(
+            (trap - exact).abs() < (be - exact).abs(),
+            "trap err {} vs be err {}",
+            (trap - exact).abs(),
+            (be - exact).abs()
+        );
+    }
+
+    #[test]
+    fn charge_sharing_between_capacitors() {
+        // C1 (1 fF) charged to 1 V shares into C2 (1 fF) at 0 V through
+        // a switch closing at 1 ns: both settle at 0.5 V.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add(Element::Capacitor {
+            name: "C1".into(),
+            a,
+            b: NodeId::GROUND,
+            capacitance: Farad(1e-15),
+            initial: Some(Volt(1.0)),
+        })
+        .unwrap();
+        ckt.add(Element::Capacitor {
+            name: "C2".into(),
+            a: b,
+            b: NodeId::GROUND,
+            capacitance: Farad(1e-15),
+            initial: Some(Volt(0.0)),
+        })
+        .unwrap();
+        ckt.add(Element::switch(
+            "S1",
+            a,
+            b,
+            SwitchSchedule::open().then_at(Second(1e-9), true),
+        ))
+        .unwrap();
+        let res = TransientAnalysis::new(&ckt, Second(1e-12), Second(3e-9))
+            .run()
+            .unwrap();
+        let va = res.final_voltage(a).value();
+        let vb = res.final_voltage(b).value();
+        assert!((va - 0.5).abs() < 0.01, "va {va}");
+        assert!((vb - 0.5).abs() < 0.01, "vb {vb}");
+    }
+
+    #[test]
+    fn energy_accounting_matches_rc_dissipation() {
+        // Charging C through R from a step source: the source delivers
+        // C·V² total; half stores on C, half burns in R.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add(Element::vdc("V1", vin, NodeId::GROUND, Volt(1.0))).unwrap();
+        ckt.add(Element::resistor("R1", vin, out, Ohm(1e3))).unwrap();
+        ckt.add(Element::Capacitor {
+            name: "C1".into(),
+            a: out,
+            b: NodeId::GROUND,
+            capacitance: Farad(1e-12),
+            initial: Some(Volt(0.0)),
+        })
+        .unwrap();
+        let res = TransientAnalysis::new(&ckt, Second(2e-12), Second(10e-9))
+            .run()
+            .unwrap();
+        let delivered = res.energy_delivered("V1").unwrap().value();
+        let expected = 1e-12 * 1.0 * 1.0; // C·V²
+        assert!(
+            (delivered - expected).abs() < 0.03 * expected,
+            "delivered {delivered} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_timestep() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0))).unwrap();
+        assert!(matches!(
+            TransientAnalysis::new(&ckt, Second(0.0), Second(1e-9)).run(),
+            Err(SpiceError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            TransientAnalysis::new(&ckt, Second(1e-9), Second(0.0)).run(),
+            Err(SpiceError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn breakpoints_are_not_stepped_over() {
+        // A 10 ps pulse inside a 1 ns-step simulation must still be seen.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add(Element::vsource(
+            "V1",
+            a,
+            NodeId::GROUND,
+            Waveform::Pulse {
+                v0: Volt(0.0),
+                v1: Volt(1.0),
+                delay: Second(0.5e-9),
+                rise: Second(1e-12),
+                width: Second(10e-12),
+                fall: Second(1e-12),
+            },
+        ))
+        .unwrap();
+        ckt.add(Element::resistor("R1", a, NodeId::GROUND, Ohm(1e3))).unwrap();
+        let res = TransientAnalysis::new(&ckt, Second(1e-9), Second(3e-9))
+            .run()
+            .unwrap();
+        let peak = res
+            .trace(a)
+            .iter()
+            .map(|(_, v)| v.value())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(peak > 0.99, "pulse peak missed: {peak}");
+    }
+
+    #[test]
+    fn final_source_current_probe() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0))).unwrap();
+        ckt.add(Element::resistor("R1", a, NodeId::GROUND, Ohm(1e3))).unwrap();
+        let res = TransientAnalysis::new(&ckt, Second(1e-10), Second(1e-9))
+            .run()
+            .unwrap();
+        let i = res.final_source_current("V1").unwrap().value();
+        assert!((i + 1e-3).abs() < 1e-8, "i {i}");
+        assert!(res.final_source_current("nope").is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! Time-dependent source waveforms.
+
+use ferrocim_units::{Second, Volt};
+use serde::{Deserialize, Serialize};
+
+/// A voltage waveform for independent sources.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(Volt),
+    /// A single trapezoidal pulse: `v0` before `delay`, ramping to `v1`
+    /// over `rise`, holding for `width`, ramping back over `fall`, and
+    /// `v0` afterwards.
+    Pulse {
+        /// Baseline level.
+        v0: Volt,
+        /// Pulse level.
+        v1: Volt,
+        /// Time at which the rising edge starts.
+        delay: Second,
+        /// Rise time (0 is snapped to an instantaneous edge).
+        rise: Second,
+        /// Time at the pulse level.
+        width: Second,
+        /// Fall time (0 is snapped to an instantaneous edge).
+        fall: Second,
+    },
+    /// Piecewise-linear interpolation through `(time, value)` points,
+    /// clamped at the first/last values outside the range. Points must
+    /// be sorted by time.
+    Pwl(Vec<(Second, Volt)>),
+}
+
+impl Waveform {
+    /// Convenience constructor for a DC level.
+    pub fn dc(v: Volt) -> Self {
+        Waveform::Dc(v)
+    }
+
+    /// Convenience constructor for an instantaneous step from `v0` to
+    /// `v1` at time `at`.
+    pub fn step(v0: Volt, v1: Volt, at: Second) -> Self {
+        Waveform::Pwl(vec![
+            (Second::ZERO, v0),
+            (at, v0),
+            (Second(at.value() + 1e-15), v1),
+        ])
+    }
+
+    /// The value of the waveform at time `t` (with `t ≤ 0` meaning the
+    /// initial value, used by the DC operating point).
+    pub fn at(&self, t: Second) -> Volt {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                width,
+                fall,
+            } => {
+                let t = t.value();
+                let t1 = delay.value();
+                let t2 = t1 + rise.value();
+                let t3 = t2 + width.value();
+                let t4 = t3 + fall.value();
+                if t <= t1 {
+                    *v0
+                } else if t < t2 {
+                    *v0 + (*v1 - *v0) * ((t - t1) / (t2 - t1))
+                } else if t <= t3 {
+                    *v1
+                } else if t < t4 {
+                    *v1 + (*v0 - *v1) * ((t - t3) / (t4 - t3))
+                } else {
+                    *v0
+                }
+            }
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return Volt::ZERO;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                if t >= points[points.len() - 1].0 {
+                    return points[points.len() - 1].1;
+                }
+                let idx = points.partition_point(|(pt, _)| pt.value() <= t.value());
+                let (t0, v0) = points[idx - 1];
+                let (t1, v1) = points[idx];
+                let frac = (t.value() - t0.value()) / (t1.value() - t0.value());
+                v0 + (v1 - v0) * frac
+            }
+        }
+    }
+
+    /// Times at which the waveform has corners (derivative
+    /// discontinuities). The transient engine aligns timesteps to these
+    /// so that fast edges are never stepped over.
+    pub fn breakpoints(&self) -> Vec<Second> {
+        match self {
+            Waveform::Dc(_) => Vec::new(),
+            Waveform::Pulse {
+                delay,
+                rise,
+                width,
+                fall,
+                ..
+            } => {
+                let t1 = delay.value();
+                let t2 = t1 + rise.value();
+                let t3 = t2 + width.value();
+                let t4 = t3 + fall.value();
+                vec![Second(t1), Second(t2), Second(t3), Second(t4)]
+            }
+            Waveform::Pwl(points) => points.iter().map(|(t, _)| *t).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::dc(Volt(1.2));
+        assert_eq!(w.at(Second::ZERO), Volt(1.2));
+        assert_eq!(w.at(Second(1.0)), Volt(1.2));
+        assert!(w.breakpoints().is_empty());
+    }
+
+    #[test]
+    fn pulse_shape() {
+        let w = Waveform::Pulse {
+            v0: Volt(0.0),
+            v1: Volt(1.0),
+            delay: Second(1e-9),
+            rise: Second(1e-10),
+            width: Second(2e-9),
+            fall: Second(1e-10),
+        };
+        assert_eq!(w.at(Second(0.5e-9)), Volt(0.0));
+        assert!((w.at(Second(1.05e-9)).value() - 0.5).abs() < 1e-9); // mid-rise
+        assert_eq!(w.at(Second(2e-9)), Volt(1.0));
+        assert_eq!(w.at(Second(5e-9)), Volt(0.0));
+        assert_eq!(w.breakpoints().len(), 4);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::Pwl(vec![
+            (Second(1e-9), Volt(0.0)),
+            (Second(2e-9), Volt(2.0)),
+        ]);
+        assert_eq!(w.at(Second(0.0)), Volt(0.0)); // clamp left
+        assert!((w.at(Second(1.5e-9)).value() - 1.0).abs() < 1e-12);
+        assert_eq!(w.at(Second(3e-9)), Volt(2.0)); // clamp right
+    }
+
+    #[test]
+    fn step_is_sharp() {
+        let w = Waveform::step(Volt(0.0), Volt(1.0), Second(1e-9));
+        assert_eq!(w.at(Second(0.999e-9)), Volt(0.0));
+        assert_eq!(w.at(Second(1.01e-9)), Volt(1.0));
+    }
+
+    #[test]
+    fn empty_pwl_is_zero() {
+        let w = Waveform::Pwl(Vec::new());
+        assert_eq!(w.at(Second(1.0)), Volt::ZERO);
+    }
+}

@@ -1,0 +1,114 @@
+//! Failure-injection tests: degenerate circuits and hostile inputs must
+//! produce typed errors (or well-defined fallbacks), never panics.
+
+use ferrocim_spice::{
+    Circuit, DcAnalysis, Element, NewtonOptions, NodeId, SpiceError, TransientAnalysis,
+};
+use ferrocim_units::{Celsius, Farad, Ohm, Second, Volt};
+
+#[test]
+fn floating_node_is_rescued_by_gmin() {
+    // A node connected only through a capacitor has no DC path; the
+    // built-in GMIN leak must keep the matrix solvable.
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0))).unwrap();
+    ckt.add(Element::capacitor("C1", a, b, Farad(1e-15))).unwrap();
+    let op = DcAnalysis::new(&ckt).solve().expect("gmin rescues the float");
+    assert!(op.voltage(b).value().abs() < 1.5);
+}
+
+#[test]
+fn voltage_source_loop_is_singular() {
+    // Two ideal sources forcing different voltages across the same pair
+    // of nodes → contradictory constraints → singular system.
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0))).unwrap();
+    ckt.add(Element::vdc("V2", a, NodeId::GROUND, Volt(2.0))).unwrap();
+    let err = DcAnalysis::new(&ckt).solve().unwrap_err();
+    assert!(matches!(err, SpiceError::SingularMatrix { .. }), "{err}");
+}
+
+#[test]
+fn impossible_iteration_budget_reports_no_convergence() {
+    use ferrocim_device::{MosfetModel, MosfetParams};
+    // A nonlinear circuit with a 1-iteration budget cannot converge.
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let d = ckt.node("d");
+    ckt.add(Element::vdc("VDD", vdd, NodeId::GROUND, Volt(1.2))).unwrap();
+    ckt.add(Element::resistor("R", vdd, d, Ohm(1e5))).unwrap();
+    ckt.add(Element::mosfet(
+        "M1",
+        d,
+        d,
+        NodeId::GROUND,
+        MosfetModel::new(MosfetParams::nmos_14nm()),
+    ))
+    .unwrap();
+    let options = NewtonOptions {
+        max_iterations: 1,
+        ..NewtonOptions::default()
+    };
+    let err = DcAnalysis::new(&ckt)
+        .with_options(options)
+        .solve()
+        .unwrap_err();
+    assert!(matches!(err, SpiceError::NoConvergence { iterations: 1, .. }), "{err}");
+}
+
+#[test]
+fn empty_circuit_solves_trivially() {
+    let ckt = Circuit::new();
+    let op = DcAnalysis::new(&ckt).solve().expect("empty system");
+    assert_eq!(op.voltage(NodeId::GROUND), Volt(0.0));
+}
+
+#[test]
+fn transient_rejects_nan_timestep() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0))).unwrap();
+    let err = TransientAnalysis::new(&ckt, Second(f64::NAN), Second(1e-9))
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, SpiceError::InvalidValue { .. }));
+}
+
+#[test]
+fn extreme_temperatures_do_not_break_the_solver() {
+    use ferrocim_device::{Fefet, FefetParams, PolarizationState};
+    let mut ckt = Circuit::new();
+    let bl = ckt.node("bl");
+    let wl = ckt.node("wl");
+    let out = ckt.node("out");
+    ckt.add(Element::vdc("VBL", bl, NodeId::GROUND, Volt(1.2))).unwrap();
+    ckt.add(Element::vdc("VWL", wl, NodeId::GROUND, Volt(0.35))).unwrap();
+    ckt.add(Element::resistor("R", bl, out, Ohm(2.5e5))).unwrap();
+    let mut f = Fefet::new(FefetParams::paper_default());
+    f.force_state(PolarizationState::LowVt);
+    ckt.add(Element::fefet("F1", out, wl, NodeId::GROUND, f)).unwrap();
+    // Well outside the paper's range, still must converge cleanly.
+    for t in [-40.0, 125.0] {
+        let op = DcAnalysis::new(&ckt).at(Celsius(t)).solve().expect("solves");
+        assert!(op.voltage(out).value().is_finite());
+    }
+}
+
+#[test]
+fn duplicate_and_unknown_probes_are_typed_errors() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0))).unwrap();
+    assert!(matches!(
+        ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(2.0))),
+        Err(SpiceError::DuplicateElement { .. })
+    ));
+    let op = DcAnalysis::new(&ckt).solve().unwrap();
+    assert!(matches!(
+        op.source_current("VX"),
+        Err(SpiceError::UnknownElement { .. })
+    ));
+}

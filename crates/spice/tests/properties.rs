@@ -1,0 +1,188 @@
+//! Property-based tests of the circuit solver: physical invariants that
+//! must hold for *any* valid circuit, not just hand-picked examples.
+
+use ferrocim_spice::{
+    Circuit, DcAnalysis, Element, NodeId, SwitchSchedule, TransientAnalysis,
+};
+use ferrocim_units::{Celsius, Farad, Ohm, Second, Volt};
+use proptest::prelude::*;
+
+/// Builds a random resistor network: `n` internal nodes, a source on
+/// node 1, and a set of resistor edges guaranteeing connectivity (a
+/// chain plus random chords).
+fn resistor_network(
+    n: usize,
+    chord_targets: &[usize],
+    resistances: &[f64],
+    v_src: f64,
+) -> Circuit {
+    let mut ckt = Circuit::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| ckt.node(&format!("n{i}"))).collect();
+    ckt.add(Element::vdc("V1", nodes[0], NodeId::GROUND, Volt(v_src)))
+        .expect("add source");
+    let mut r_iter = resistances.iter().cycle();
+    // Chain guaranteeing connectivity to ground.
+    for i in 0..n {
+        let next = if i + 1 < n { nodes[i + 1] } else { NodeId::GROUND };
+        ckt.add(Element::resistor(
+            format!("Rchain{i}"),
+            nodes[i],
+            next,
+            Ohm(*r_iter.next().expect("cycle")),
+        ))
+        .expect("add chain resistor");
+    }
+    // Random chords.
+    for (k, &target) in chord_targets.iter().enumerate() {
+        let a = nodes[k % n];
+        let b = if target % (n + 1) == n {
+            NodeId::GROUND
+        } else {
+            nodes[target % (n + 1)]
+        };
+        if a == b {
+            continue;
+        }
+        ckt.add(Element::resistor(
+            format!("Rchord{k}"),
+            a,
+            b,
+            Ohm(*r_iter.next().expect("cycle")),
+        ))
+        .expect("add chord resistor");
+    }
+    ckt
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// KCL: at the solved operating point of any resistor network, the
+    /// net current into every non-source node is (near) zero.
+    #[test]
+    fn kcl_holds_at_dc_solution(
+        n in 2usize..8,
+        chords in prop::collection::vec(0usize..9, 0..6),
+        rs in prop::collection::vec(1e2f64..1e6, 4..10),
+        v in -2.0f64..2.0,
+    ) {
+        let ckt = resistor_network(n, &chords, &rs, v);
+        let op = DcAnalysis::new(&ckt).solve().expect("dc");
+        // For every internal node, sum resistor currents.
+        for i in 1..n {
+            let node = ckt.find_node(&format!("n{i}")).expect("node exists");
+            let vn = op.voltage(node).value();
+            let mut net = 0.0;
+            for e in ckt.elements() {
+                if let Element::Resistor { a, b, resistance, .. } = e {
+                    if *a == node {
+                        net += (vn - op.voltage(*b).value()) / resistance.value();
+                    } else if *b == node {
+                        net += (vn - op.voltage(*a).value()) / resistance.value();
+                    }
+                }
+            }
+            prop_assert!(net.abs() < 1e-9 + 1e-6 * vn.abs(), "node n{i} residual {net}");
+        }
+    }
+
+    /// Superposition: doubling the only source doubles every node
+    /// voltage in a linear network.
+    #[test]
+    fn linear_network_scales_with_source(
+        n in 2usize..6,
+        chords in prop::collection::vec(0usize..7, 0..4),
+        rs in prop::collection::vec(1e3f64..1e5, 4..8),
+        v in 0.1f64..2.0,
+    ) {
+        let ckt1 = resistor_network(n, &chords, &rs, v);
+        let ckt2 = resistor_network(n, &chords, &rs, 2.0 * v);
+        let op1 = DcAnalysis::new(&ckt1).solve().expect("dc1");
+        let op2 = DcAnalysis::new(&ckt2).solve().expect("dc2");
+        for i in 0..n {
+            let node = ckt1.find_node(&format!("n{i}")).expect("node");
+            let v1 = op1.voltage(node).value();
+            let v2 = op2.voltage(node).value();
+            prop_assert!((v2 - 2.0 * v1).abs() < 1e-9 + 1e-6 * v1.abs());
+        }
+    }
+
+    /// Charge conservation: sharing between two floating capacitors
+    /// preserves total charge for any initial voltages and sizes.
+    #[test]
+    fn charge_sharing_conserves_charge(
+        v1 in -1.0f64..1.0,
+        v2 in -1.0f64..1.0,
+        c1 in 0.5f64..4.0, // fF
+        c2 in 0.5f64..4.0,
+    ) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let (c1, c2) = (c1 * 1e-15, c2 * 1e-15);
+        ckt.add(Element::Capacitor {
+            name: "C1".into(),
+            a,
+            b: NodeId::GROUND,
+            capacitance: Farad(c1),
+            initial: Some(Volt(v1)),
+        }).expect("add");
+        ckt.add(Element::Capacitor {
+            name: "C2".into(),
+            a: b,
+            b: NodeId::GROUND,
+            capacitance: Farad(c2),
+            initial: Some(Volt(v2)),
+        }).expect("add");
+        ckt.add(Element::switch(
+            "S",
+            a,
+            b,
+            SwitchSchedule::open().then_at(Second(0.5e-9), true),
+        )).expect("add");
+        let res = TransientAnalysis::new(&ckt, Second(2e-12), Second(4e-9))
+            .at(Celsius(27.0))
+            .run()
+            .expect("transient");
+        let q_before = c1 * v1 + c2 * v2;
+        let q_after = c1 * res.final_voltage(a).value() + c2 * res.final_voltage(b).value();
+        prop_assert!(
+            (q_after - q_before).abs() < 1e-17 + 0.02 * q_before.abs(),
+            "charge {q_before} -> {q_after}"
+        );
+        // And both plates equalized.
+        prop_assert!((res.final_voltage(a).value() - res.final_voltage(b).value()).abs() < 5e-3);
+    }
+
+    /// The transient of a driven RC settles to the DC solution.
+    #[test]
+    fn transient_settles_to_dc(
+        r in 1e2f64..1e4,
+        c in 0.1f64..2.0, // pF
+        v in 0.1f64..1.5,
+    ) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add(Element::vdc("V1", vin, NodeId::GROUND, Volt(v))).expect("add");
+        ckt.add(Element::resistor("R", vin, out, Ohm(r))).expect("add");
+        ckt.add(Element::Capacitor {
+            name: "C".into(),
+            a: out,
+            b: NodeId::GROUND,
+            capacitance: Farad(c * 1e-12),
+            initial: Some(Volt(0.0)),
+        }).expect("add");
+        let tau = r * c * 1e-12;
+        let res = TransientAnalysis::new(&ckt, Second(tau / 50.0), Second(10.0 * tau))
+            .run()
+            .expect("transient");
+        let dc = DcAnalysis::new(&ckt).solve().expect("dc");
+        prop_assert!(
+            (res.final_voltage(out).value() - dc.voltage(out).value()).abs() < 0.01 * v,
+            "transient {} vs dc {}",
+            res.final_voltage(out).value(),
+            dc.voltage(out).value()
+        );
+    }
+}

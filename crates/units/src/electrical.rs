@@ -1,0 +1,183 @@
+//! Electrical quantities: voltage, current, resistance, conductance,
+//! capacitance, and charge — plus the dimensionally correct products and
+//! ratios between them (Ohm's law, `Q = C·V`, `I = dQ/dt`, …).
+
+use crate::energy::{Joule, Second, Watt};
+
+quantity! {
+    /// Electric potential in volts.
+    ///
+    /// The paper's operating points expressed in this type: the
+    /// subthreshold read voltage is `Volt(0.35)`, the saturation read is
+    /// `Volt(1.3)`, the bit line sits at `Volt(1.2)` and the source line
+    /// at `Volt(0.2)`, while program/erase pulses are `Volt(±4.0)`.
+    Volt, "V"
+}
+
+quantity! {
+    /// Electric current in amperes.
+    Ampere, "A"
+}
+
+quantity! {
+    /// Resistance in ohms.
+    Ohm, "Ω"
+}
+
+quantity! {
+    /// Conductance in siemens (the reciprocal of [`Ohm`]).
+    Siemens, "S"
+}
+
+quantity! {
+    /// Capacitance in farads.
+    Farad, "F"
+}
+
+quantity! {
+    /// Electric charge in coulombs.
+    Charge, "C"
+}
+
+impl Volt {
+    /// Ohm's law: the current through a resistance held at this voltage.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ferrocim_units::{Volt, Ohm, Ampere};
+    /// let i = Volt(1.0).across(Ohm(1e6));
+    /// assert_eq!(i, Ampere(1e-6));
+    /// ```
+    #[inline]
+    pub fn across(self, r: Ohm) -> Ampere {
+        Ampere(self.0 / r.0)
+    }
+
+    /// The charge stored on a capacitance held at this voltage (`Q = CV`).
+    #[inline]
+    pub fn on(self, c: Farad) -> Charge {
+        Charge(self.0 * c.0)
+    }
+}
+
+impl Ampere {
+    /// The voltage developed across a resistance carrying this current.
+    #[inline]
+    pub fn through(self, r: Ohm) -> Volt {
+        Volt(self.0 * r.0)
+    }
+
+    /// The charge transported by this current over a duration (`Q = I·t`).
+    #[inline]
+    pub fn over(self, t: Second) -> Charge {
+        Charge(self.0 * t.0)
+    }
+
+    /// Instantaneous power delivered into a node at the given potential.
+    #[inline]
+    pub fn power_at(self, v: Volt) -> Watt {
+        Watt(self.0 * v.0)
+    }
+}
+
+impl Ohm {
+    /// Converts to conductance. Returns an infinite conductance for a
+    /// zero resistance, mirroring `f64` division semantics.
+    #[inline]
+    pub fn to_siemens(self) -> Siemens {
+        Siemens(1.0 / self.0)
+    }
+}
+
+impl Siemens {
+    /// Converts to resistance. Returns an infinite resistance for a zero
+    /// conductance, mirroring `f64` division semantics.
+    #[inline]
+    pub fn to_ohms(self) -> Ohm {
+        Ohm(1.0 / self.0)
+    }
+}
+
+impl Charge {
+    /// The voltage this charge develops on a capacitance (`V = Q/C`).
+    #[inline]
+    pub fn voltage_on(self, c: Farad) -> Volt {
+        Volt(self.0 / c.0)
+    }
+
+    /// The energy required to place this charge through a potential
+    /// difference (`E = Q·V`).
+    #[inline]
+    pub fn energy_through(self, v: Volt) -> Joule {
+        Joule(self.0 * v.0)
+    }
+}
+
+impl Farad {
+    /// Electrostatic energy stored at a given voltage (`E = ½CV²`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ferrocim_units::{Farad, Volt};
+    /// // A 1 fF cell capacitor charged to 1 V stores 0.5 fJ.
+    /// let e = Farad(1e-15).stored_energy(Volt(1.0));
+    /// assert!((e.0 - 0.5e-15).abs() < 1e-30);
+    /// ```
+    #[inline]
+    pub fn stored_energy(self, v: Volt) -> Joule {
+        Joule(0.5 * self.0 * v.0 * v.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_round_trip() {
+        let v = Volt(0.35);
+        let r = Ohm(2.5e5);
+        let i = v.across(r);
+        assert!((i.through(r).0 - v.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn conductance_resistance_reciprocal() {
+        let r = Ohm(1e4);
+        let g = r.to_siemens();
+        assert!((g.0 - 1e-4).abs() < 1e-18);
+        assert!((g.to_ohms().0 - r.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charge_voltage_capacitance_triangle() {
+        let c = Farad(2e-15);
+        let v = Volt(0.8);
+        let q = v.on(c);
+        assert!((q.0 - 1.6e-15).abs() < 1e-30);
+        assert!((q.voltage_on(c).0 - v.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_time_charge() {
+        let i = Ampere(1e-9);
+        let q = i.over(Second(10e-9));
+        assert!((q.0 - 1e-17).abs() < 1e-30);
+    }
+
+    #[test]
+    fn power_and_energy() {
+        let p = Ampere(1e-6).power_at(Volt(1.2));
+        assert!((p.0 - 1.2e-6).abs() < 1e-18);
+        let e = Charge(1e-15).energy_through(Volt(1.0));
+        assert!((e.0 - 1e-15).abs() < 1e-30);
+    }
+
+    #[test]
+    fn capacitor_stored_energy() {
+        let e = Farad(10e-15).stored_energy(Volt(1.2));
+        assert!((e.0 - 0.5 * 10e-15 * 1.44).abs() < 1e-28);
+    }
+}

@@ -1,0 +1,109 @@
+//! Time, energy, and power quantities, with the conversions used by the
+//! energy-efficiency accounting of the paper (fJ/op → TOPS/W).
+
+
+quantity! {
+    /// Time in seconds. Simulation timesteps, pulse widths (e.g. the
+    /// paper's 115 ns / 200 ns program pulses), and MAC latencies
+    /// (6.9 ns) are all expressed in this type.
+    Second, "s"
+}
+
+quantity! {
+    /// Energy in joules. The paper reports 3.14 fJ per MAC operation.
+    Joule, "J"
+}
+
+quantity! {
+    /// Power in watts.
+    Watt, "W"
+}
+
+impl Joule {
+    /// Average power when this energy is spent over the given duration.
+    #[inline]
+    pub fn over(self, t: Second) -> Watt {
+        Watt(self.0 / t.0)
+    }
+
+    /// Converts a per-*operation* energy into an energy-efficiency figure
+    /// in TOPS/W (tera-operations per second per watt), the unit used by
+    /// Table II of the paper.
+    ///
+    /// `ops_per_mac` is the number of elementary operations one measured
+    /// "operation" is credited with. The paper counts each MAC over 8
+    /// cells as 8 multiplications + 8 accumulations = 16 OPs; calling
+    /// this on the per-MAC energy with `ops_per_mac = 16` mirrors that
+    /// accounting. Pass `1.0` if `self` is already the per-OP energy.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ferrocim_units::Joule;
+    /// // 3.14 fJ per 8-cell MAC ≈ 5.1e3 TOPS/W at 16 OPs per MAC.
+    /// let tops_w = Joule(3.14e-15).tops_per_watt(16.0);
+    /// assert!(tops_w > 1.0e3 && tops_w < 1.0e4);
+    /// ```
+    #[inline]
+    pub fn tops_per_watt(self, ops_per_mac: f64) -> f64 {
+        // TOPS/W = (ops / energy[J]) / 1e12
+        ops_per_mac / self.0 / 1e12
+    }
+}
+
+impl Watt {
+    /// Energy dissipated at this power over the given duration.
+    #[inline]
+    pub fn over(self, t: Second) -> Joule {
+        Joule(self.0 * t.0)
+    }
+}
+
+impl Second {
+    /// Convenience constructor from nanoseconds.
+    #[inline]
+    pub fn from_nanos(ns: f64) -> Self {
+        Second(ns * 1e-9)
+    }
+
+    /// The value expressed in nanoseconds.
+    #[inline]
+    pub fn as_nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanosecond_round_trip() {
+        let t = Second::from_nanos(6.9);
+        assert!((t.0 - 6.9e-9).abs() < 1e-20);
+        assert!((t.as_nanos() - 6.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_energy_round_trip() {
+        let p = Watt(1e-6);
+        let e = p.over(Second(1e-9));
+        assert!((e.0 - 1e-15).abs() < 1e-28);
+        assert!((e.over(Second(1e-9)).0 - p.0).abs() < 1e-16);
+    }
+
+    #[test]
+    fn tops_per_watt_matches_hand_calc() {
+        // 1 fJ per op → 1e15 ops/J → 1000 TOPS/W.
+        let eff = Joule(1e-15).tops_per_watt(1.0);
+        assert!((eff - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_headline_efficiency_order() {
+        // The paper credits ~2866 TOPS/W for ~3.14 fJ per 8-cell MAC.
+        // 16 OPs / 3.14 fJ ≈ 5.1e3; with 9 OPs (8 mul + 1 acc) ≈ 2866.
+        let eff = Joule(3.14e-15).tops_per_watt(9.0);
+        assert!((eff - 2866.0).abs() / 2866.0 < 0.01);
+    }
+}

@@ -1,0 +1,105 @@
+//! SI-prefixed human-readable formatting shared by all quantity types.
+
+/// Formats a magnitude with an engineering SI prefix and the given unit
+/// suffix: `si_format(3.14e-15, "J")` → `"3.14 fJ"`.
+///
+/// Values are rendered with up to four significant digits and trailing
+/// zeros trimmed; zero, NaN and infinities are passed through verbatim.
+///
+/// # Examples
+///
+/// ```
+/// use ferrocim_units::si_format;
+/// assert_eq!(si_format(0.35, "V"), "350 mV");
+/// assert_eq!(si_format(2.5e-5, "A"), "25 µA");
+/// assert_eq!(si_format(0.0, "V"), "0 V");
+/// ```
+pub fn si_format(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    if !value.is_finite() {
+        return format!("{value} {unit}");
+    }
+    const PREFIXES: [(f64, &str); 17] = [
+        (1e24, "Y"),
+        (1e21, "Z"),
+        (1e18, "E"),
+        (1e15, "P"),
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "µ"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+        (1e-18, "a"),
+        (1e-21, "z"),
+        (1e-24, "y"),
+    ];
+    let magnitude = value.abs();
+    let (scale, prefix) = PREFIXES
+        .iter()
+        .find(|(s, _)| magnitude >= *s * 0.9995)
+        .copied()
+        .unwrap_or((1e-24, "y"));
+    let scaled = value / scale;
+    // Up to 4 significant digits, trailing zeros trimmed.
+    let digits = (4 - (scaled.abs().log10().floor() as i32 + 1)).clamp(0, 4) as usize;
+    let mut s = format!("{scaled:.digits$}");
+    if s.contains('.') {
+        while s.ends_with('0') {
+            s.pop();
+        }
+        if s.ends_with('.') {
+            s.pop();
+        }
+    }
+    format!("{s} {prefix}{unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::si_format;
+
+    #[test]
+    fn core_prefixes() {
+        assert_eq!(si_format(1.0, "V"), "1 V");
+        assert_eq!(si_format(1.5e3, "Ω"), "1.5 kΩ");
+        assert_eq!(si_format(1e-3, "A"), "1 mA");
+        assert_eq!(si_format(1e-6, "A"), "1 µA");
+        assert_eq!(si_format(1e-9, "A"), "1 nA");
+        assert_eq!(si_format(1e-12, "F"), "1 pF");
+        assert_eq!(si_format(1e-15, "J"), "1 fJ");
+    }
+
+    #[test]
+    fn negative_values_keep_sign() {
+        assert_eq!(si_format(-4.0, "V"), "-4 V");
+        assert_eq!(si_format(-2.5e-9, "A"), "-2.5 nA");
+    }
+
+    #[test]
+    fn rounding_boundary_does_not_show_1000() {
+        // 0.9999e-3 should render as ~1 mA, not 999.9 µA vs 1000 µA noise.
+        let s = si_format(0.99999e-3, "A");
+        assert!(s.starts_with('1'), "got {s}");
+    }
+
+    #[test]
+    fn zero_and_non_finite() {
+        assert_eq!(si_format(0.0, "V"), "0 V");
+        assert!(si_format(f64::NAN, "V").contains("NaN"));
+        assert!(si_format(f64::INFINITY, "V").contains("inf"));
+    }
+
+    #[test]
+    fn significant_digits_trimmed() {
+        assert_eq!(si_format(3.14e-15, "J"), "3.14 fJ");
+        assert_eq!(si_format(3.140e-15, "J"), "3.14 fJ");
+        assert_eq!(si_format(123.456e-9, "A"), "123.5 nA");
+    }
+}

@@ -1,0 +1,231 @@
+//! Physical-quantity newtypes for the `ferrocim` simulation stack.
+//!
+//! Circuit and device code in this workspace never passes bare `f64`s for
+//! physical quantities: voltages are [`Volt`], currents are [`Ampere`],
+//! temperatures are [`Celsius`] or [`Kelvin`], and so on. The newtypes are
+//! zero-cost (`#[repr(transparent)]` over `f64`) but make unit confusion a
+//! compile error instead of a silent simulation bug — exactly the failure
+//! mode that matters when a 0.35 V subthreshold read and a 4 V program
+//! pulse flow through the same APIs.
+//!
+//! # Examples
+//!
+//! ```
+//! use ferrocim_units::{Volt, Celsius, Kelvin, ThermalVoltage};
+//!
+//! let v_read = Volt(0.35);
+//! let room = Celsius(27.0);
+//! let t: Kelvin = room.to_kelvin();
+//! assert!((t.0 - 300.15).abs() < 1e-9);
+//!
+//! // Thermal voltage kT/q at room temperature is ~25.9 mV.
+//! let ut = ThermalVoltage::at(t);
+//! assert!((ut.volts().0 - 0.02585).abs() < 1e-3);
+//! assert!(v_read > Volt(0.0));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Constructs the quantity-newtype boilerplate shared by every unit type:
+/// arithmetic against `Self` and scalar `f64`, ordering helpers, and the
+/// common trait suite (`C-COMMON-TRAITS`).
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default,
+                 serde::Serialize, serde::Deserialize)]
+        #[repr(transparent)]
+        #[serde(transparent)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns the raw `f64` magnitude in base SI units.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value of the quantity.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// `true` if the magnitude is a finite number (not NaN/inf).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div<$name> for $name {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "{}", crate::fmt::si_format(self.0, $suffix))
+            }
+        }
+
+        impl From<f64> for $name {
+            #[inline]
+            fn from(v: f64) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+
+
+mod electrical;
+mod energy;
+mod fmt;
+mod thermal;
+
+pub use electrical::{Ampere, Charge, Farad, Ohm, Siemens, Volt};
+pub use energy::{Joule, Second, Watt};
+pub use fmt::si_format;
+pub use thermal::{Celsius, Kelvin, ThermalVoltage, BOLTZMANN, ELEMENTARY_CHARGE};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volt_arithmetic_behaves_like_f64() {
+        let a = Volt(1.2);
+        let b = Volt(0.2);
+        assert_eq!((a - b).0, 1.0);
+        assert_eq!((a + b).0, 1.4);
+        assert_eq!((a * 2.0).0, 2.4);
+        assert_eq!((2.0 * b).0, 0.4);
+        assert!((a / b - 6.0).abs() < 1e-12);
+        assert_eq!((-b).0, -0.2);
+    }
+
+    #[test]
+    fn sum_of_voltages() {
+        let vs = [Volt(0.1), Volt(0.2), Volt(0.3)];
+        let total: Volt = vs.iter().copied().sum();
+        assert!((total.0 - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_uses_si_prefixes() {
+        assert_eq!(Volt(0.35).to_string(), "350 mV");
+        assert_eq!(Ampere(3.2e-9).to_string(), "3.2 nA");
+        assert_eq!(Joule(3.14e-15).to_string(), "3.14 fJ");
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(Volt(1.3) > Volt(0.35));
+        assert_eq!(Volt(2.0).max(Volt(1.0)), Volt(2.0));
+        assert_eq!(Volt(2.0).min(Volt(1.0)), Volt(1.0));
+        assert_eq!(Volt(-3.0).abs(), Volt(3.0));
+    }
+
+    #[test]
+    fn zero_and_default_agree() {
+        assert_eq!(Volt::ZERO, Volt::default());
+        assert_eq!(Ampere::ZERO.value(), 0.0);
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Volt(1.0).is_finite());
+        assert!(!Volt(f64::NAN).is_finite());
+        assert!(!Volt(f64::INFINITY).is_finite());
+    }
+}

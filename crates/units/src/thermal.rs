@@ -1,0 +1,161 @@
+//! Temperature quantities and thermally derived values.
+//!
+//! The paper's entire contribution is about behaviour across the 0 °C to
+//! 85 °C industrial range, so temperatures get first-class types with an
+//! explicit Celsius/Kelvin distinction. The thermal voltage `kT/q` — the
+//! quantity that makes subthreshold conduction exponentially
+//! temperature-sensitive — is provided as its own type.
+
+use crate::electrical::Volt;
+
+/// Boltzmann constant in J/K (2019 SI exact value).
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Elementary charge in coulombs (2019 SI exact value).
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+quantity! {
+    /// Absolute temperature in kelvin.
+    Kelvin, "K"
+}
+
+quantity! {
+    /// Temperature in degrees Celsius.
+    ///
+    /// The paper sweeps `Celsius(0.0)..=Celsius(85.0)` with the reference
+    /// at `Celsius(27.0)` (room temperature).
+    Celsius, "°C"
+}
+
+impl Celsius {
+    /// The 0 °C ↔ 273.15 K offset.
+    pub const KELVIN_OFFSET: f64 = 273.15;
+
+    /// The paper's reference (room) temperature, 27 °C.
+    pub const ROOM: Celsius = Celsius(27.0);
+
+    /// Converts to absolute temperature.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ferrocim_units::{Celsius, Kelvin};
+    /// assert_eq!(Celsius(27.0).to_kelvin(), Kelvin(300.15));
+    /// ```
+    #[inline]
+    pub fn to_kelvin(self) -> Kelvin {
+        Kelvin(self.0 + Self::KELVIN_OFFSET)
+    }
+}
+
+impl Kelvin {
+    /// Converts to the Celsius scale.
+    #[inline]
+    pub fn to_celsius(self) -> Celsius {
+        Celsius(self.0 - Celsius::KELVIN_OFFSET)
+    }
+}
+
+impl From<Celsius> for Kelvin {
+    #[inline]
+    fn from(c: Celsius) -> Kelvin {
+        c.to_kelvin()
+    }
+}
+
+impl From<Kelvin> for Celsius {
+    #[inline]
+    fn from(k: Kelvin) -> Celsius {
+        k.to_celsius()
+    }
+}
+
+/// The thermal voltage `U_T = kT/q`.
+///
+/// Subthreshold drain current scales as `exp(V_GS / (n·U_T))`, so `U_T`
+/// appears everywhere in the device models. At 27 °C it is ≈ 25.9 mV; at
+/// 85 °C ≈ 30.9 mV — the 20 % swing that drives the paper's Fig. 3
+/// fluctuations.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+pub struct ThermalVoltage(Volt);
+
+impl ThermalVoltage {
+    /// Computes `kT/q` at an absolute temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not strictly positive — a non-positive absolute
+    /// temperature is always a caller bug, not a recoverable condition.
+    #[inline]
+    pub fn at(t: Kelvin) -> Self {
+        assert!(t.0 > 0.0, "absolute temperature must be positive, got {t:?}");
+        ThermalVoltage(Volt(BOLTZMANN * t.0 / ELEMENTARY_CHARGE))
+    }
+
+    /// Computes `kT/q` at a Celsius temperature.
+    #[inline]
+    pub fn at_celsius(t: Celsius) -> Self {
+        Self::at(t.to_kelvin())
+    }
+
+    /// The thermal voltage as a [`Volt`] quantity.
+    #[inline]
+    pub fn volts(self) -> Volt {
+        self.0
+    }
+
+    /// The raw magnitude in volts.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0 .0
+    }
+}
+
+impl core::fmt::Display for ThermalVoltage {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_kelvin_round_trip() {
+        let c = Celsius(85.0);
+        let k = c.to_kelvin();
+        assert!((k.0 - 358.15).abs() < 1e-12);
+        assert!((k.to_celsius().0 - 85.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_impls_match_methods() {
+        let k: Kelvin = Celsius(0.0).into();
+        assert_eq!(k, Kelvin(273.15));
+        let c: Celsius = Kelvin(300.15).into();
+        assert!((c.0 - 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thermal_voltage_at_room() {
+        let ut = ThermalVoltage::at_celsius(Celsius::ROOM);
+        assert!((ut.value() - 0.025_85).abs() < 1e-4, "got {}", ut.value());
+    }
+
+    #[test]
+    fn thermal_voltage_grows_with_temperature() {
+        let cold = ThermalVoltage::at_celsius(Celsius(0.0));
+        let hot = ThermalVoltage::at_celsius(Celsius(85.0));
+        assert!(hot.value() > cold.value());
+        // ~31 % swing over the industrial range.
+        let swing = (hot.value() - cold.value()) / cold.value();
+        assert!(swing > 0.25 && swing < 0.35, "swing {swing}");
+    }
+
+    #[test]
+    #[should_panic(expected = "absolute temperature must be positive")]
+    fn thermal_voltage_rejects_nonpositive() {
+        let _ = ThermalVoltage::at(Kelvin(0.0));
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: program a 2T-1FeFET CIM row, run a MAC, and read the
+//! result back through the ADC.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ferrocim::cim::cells::TwoTransistorOneFefet;
+use ferrocim::cim::transfer::Adc;
+use ferrocim::cim::{ArrayConfig, CimArray};
+use ferrocim::units::Celsius;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's tuned cell and 8-cell row geometry.
+    let cell = TwoTransistorOneFefet::paper_default();
+    let array = CimArray::new(cell, ArrayConfig::paper_default())?;
+
+    // Store an 8-bit weight word and apply an 8-bit input word.
+    let weights = [true, true, false, true, true, false, true, true];
+    let inputs = [true, false, true, true, true, true, false, true];
+    let expected: usize = weights.iter().zip(&inputs).filter(|(w, x)| **w && **x).count();
+
+    // Calibrate the readout thresholds against the full temperature
+    // range (the sense-margin-aware placement the NMR analysis enables).
+    let adc = Adc::calibrate_over(&array, &ferrocim::spice::sweep::temperature_sweep(8))?;
+
+    println!("weights: {weights:?}");
+    println!("inputs:  {inputs:?}");
+    println!("expected MAC = {expected}\n");
+
+    // The headline claim: the digital readout is stable from 0 to 85 C.
+    for temp_c in [0.0, 27.0, 55.0, 85.0] {
+        let out = array.mac(&weights, &inputs, Celsius(temp_c))?;
+        let digital = adc.quantize(out.v_acc);
+        println!(
+            "T = {temp_c:>4} C: V_acc = {}, readout = {digital}, energy = {}",
+            out.v_acc, out.energy
+        );
+        assert_eq!(digital, expected, "readout must be temperature-stable");
+    }
+    println!("\nMAC latency: {}", array.config().latency());
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Reliability outlook: how retention and endurance interact with the
+//! temperature-resilient CIM array — the deployment questions the paper
+//! leaves as future work.
+//!
+//! ```sh
+//! cargo run --release --example reliability
+//! ```
+
+use ferrocim::cim::cells::TwoTransistorOneFefet;
+use ferrocim::cim::metrics::RangeTable;
+use ferrocim::cim::{ArrayConfig, CimArray};
+use ferrocim::device::reliability::{EnduranceModel, RetentionModel};
+use ferrocim::spice::sweep::temperature_sweep;
+use ferrocim::units::{Celsius, Second};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Retention: how long do the stored weights last where the array
+    //    is rated to operate?
+    let retention = RetentionModel::default();
+    println!("retention (time to 50 % remanent polarization):");
+    for temp_c in [27.0, 55.0, 85.0] {
+        let t50 = retention.time_to_fraction(0.5, Celsius(temp_c));
+        println!(
+            "  {temp_c:>4} C: {:.1} years",
+            t50.value() / (365.25 * 24.0 * 3600.0)
+        );
+    }
+    let ten_years = Second(10.0 * 365.25 * 24.0 * 3600.0);
+    println!(
+        "  surviving polarization after 10 years at 85 C: {:.1} %",
+        retention.surviving_fraction(ten_years, Celsius(85.0)) * 100.0
+    );
+
+    // 2. Endurance: how does write cycling erode the noise margin?
+    let endurance = EnduranceModel::default();
+    let temps = temperature_sweep(8);
+    println!("\nendurance (memory window and array NMR_min vs write cycles):");
+    println!("{:>12} {:>14} {:>12}", "cycles", "window factor", "NMR_min");
+    for exp in [0, 4, 6, 8, 9, 10] {
+        let cycles = 10f64.powi(exp);
+        let Some(factor) = endurance.window_factor(cycles) else {
+            println!("{cycles:>12.0} {:>14} {:>12}", "breakdown", "-");
+            continue;
+        };
+        let mut cell = TwoTransistorOneFefet::paper_default();
+        cell.fefet = endurance
+            .age_params(&cell.fefet, cycles)
+            .expect("below breakdown");
+        let array = CimArray::new(cell, ArrayConfig::paper_default())?;
+        let nmr = RangeTable::measure(&array, &temps)?.nmr_min().1;
+        println!("{cycles:>12.0} {factor:>14.3} {nmr:>12.3}");
+    }
+    println!(
+        "\n(the array stays overlap-free as long as NMR_min > 0; the fresh\n\
+         design's margin budget is what absorbs the window fatigue)"
+    );
+    Ok(())
+}

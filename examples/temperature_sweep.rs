@@ -1,0 +1,61 @@
+//! Temperature-resilience study: compares the proposed 2T-1FeFET cell
+//! against both 1FeFET-1R baselines across 0–85 °C and prints the
+//! normalized current curves plus the array-level noise margins —
+//! a condensed version of the paper's Figs. 3, 4, 7 and 8(a).
+//!
+//! ```sh
+//! cargo run --release --example temperature_sweep
+//! ```
+
+use ferrocim::cim::cells::{
+    normalized_current_curve, CellDesign, OneFefetOneR, TwoTransistorOneFefet,
+};
+use ferrocim::cim::metrics::RangeTable;
+use ferrocim::cim::{ArrayConfig, CimArray};
+use ferrocim::spice::sweep::temperature_sweep;
+use ferrocim::units::Celsius;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let reference = Celsius(27.0);
+    let temps = temperature_sweep(18);
+
+    println!("normalized output current I(T)/I(27C):");
+    println!("{:>8} {:>14} {:>14} {:>14}", "T [C]", "2T-1FeFET", "1F1R sat", "1F1R sub");
+    let proposed = TwoTransistorOneFefet::paper_default();
+    let sat = OneFefetOneR::saturation();
+    let sub = OneFefetOneR::subthreshold();
+    let curve_p = normalized_current_curve(&proposed, &temps, reference)?;
+    let curve_sat = normalized_current_curve(&sat, &temps, reference)?;
+    let curve_sub = normalized_current_curve(&sub, &temps, reference)?;
+    for ((tp, p), ((_, s), (_, u))) in curve_p
+        .iter()
+        .zip(curve_sat.iter().zip(curve_sub.iter()))
+    {
+        println!("{:>8.1} {:>14.3} {:>14.3} {:>14.3}", tp.value(), p, s, u);
+    }
+
+    println!("\narray-level noise margins over 0-85 C (Eq. 2-3):");
+    for (name, table) in [
+        (
+            proposed.name(),
+            RangeTable::measure(
+                &CimArray::new(proposed.clone(), ArrayConfig::paper_default())?,
+                &temps,
+            )?,
+        ),
+        (
+            "1FeFET-1R (subthreshold)",
+            RangeTable::measure(
+                &CimArray::new(sub.clone(), ArrayConfig::paper_default())?,
+                &temps,
+            )?,
+        ),
+    ] {
+        let (idx, nmr) = table.nmr_min();
+        println!(
+            "  {name:<28} NMR_min = NMR_{idx} = {nmr:>7.3}   overlap: {}",
+            table.has_overlap()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! `ferrocim` — temperature-resilient subthreshold-FeFET
+//! compute-in-memory, reproduced end-to-end in Rust.
+//!
+//! This is the façade crate of the workspace: it re-exports the five
+//! member crates under stable module names so downstream users depend on
+//! a single package. See the README for the architecture overview and
+//! DESIGN.md for the paper-reproduction inventory.
+//!
+//! * [`units`] — physical-quantity newtypes (volts, amps, kelvin…).
+//! * [`device`] — EKV MOSFET and Preisach FeFET compact models.
+//! * [`spice`] — the MNA circuit simulator (DC, transient, Monte-Carlo).
+//! * [`cim`] — the paper's contribution: 2T-1FeFET cells, arrays,
+//!   noise-margin metrics, readout models, and the design tuner.
+//! * [`nn`] — the CNN stack with CIM-mapped execution for the VGG
+//!   accuracy evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ferrocim::cim::cells::TwoTransistorOneFefet;
+//! use ferrocim::cim::{ArrayConfig, CimArray};
+//! use ferrocim::units::Celsius;
+//!
+//! # fn main() -> Result<(), ferrocim::cim::CimError> {
+//! let array = CimArray::new(
+//!     TwoTransistorOneFefet::paper_default(),
+//!     ArrayConfig::paper_default(),
+//! )?;
+//! let weights = [true; 8];
+//! let inputs = [true, true, true, false, false, false, false, false];
+//! let out = array.mac(&weights, &inputs, Celsius(27.0))?;
+//! assert_eq!(out.expected, 3);
+//! assert!(out.v_acc.value() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use ferrocim_cim as cim;
+pub use ferrocim_device as device;
+pub use ferrocim_nn as nn;
+pub use ferrocim_spice as spice;
+pub use ferrocim_units as units;
