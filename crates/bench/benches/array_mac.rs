@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ferrocim_cim::cells::{CellOffsets, TwoTransistorOneFefet};
-use ferrocim_cim::{mac_operands, ArrayConfig, CimArray};
+use ferrocim_cim::{mac_operands, ArrayConfig, CimArray, MacPath, MacRequest};
 use ferrocim_units::{Celsius, Farad};
 use std::hint::black_box;
 
@@ -21,19 +21,34 @@ fn bench_array_mac(c: &mut Criterion) {
     group.bench_function("full_transient_mac8", |b| {
         b.iter(|| {
             array
-                .mac_with_offsets(&w, &x, black_box(Celsius(27.0)), &offsets)
+                .run(
+                    &MacRequest::new(&x)
+                        .weights(&w)
+                        .at(black_box(Celsius(27.0)))
+                        .offsets(&offsets),
+                )
                 .expect("transient")
         })
     });
     group.bench_function("analytic_mac8", |b| {
         b.iter(|| {
             array
-                .mac_analytic(&w, &x, black_box(Celsius(27.0)), &offsets)
+                .run(
+                    &MacRequest::new(&x)
+                        .weights(&w)
+                        .at(black_box(Celsius(27.0)))
+                        .offsets(&offsets)
+                        .path(MacPath::Analytic),
+                )
                 .expect("analytic")
         })
     });
     group.bench_function("level_table", |b| {
-        b.iter(|| array.level_voltages(black_box(Celsius(27.0))).expect("levels"))
+        b.iter(|| {
+            array
+                .level_voltages(black_box(Celsius(27.0)))
+                .expect("levels")
+        })
     });
     // Ablation: C_acc sizing trade (bigger C_acc → smaller signal,
     // same solve cost; the interesting output is the NMR, measured in
@@ -43,15 +58,20 @@ fn bench_array_mac(c: &mut Criterion) {
             c_acc: Farad(c_acc_ff * 1e-15),
             ..ArrayConfig::paper_default()
         };
-        let array = CimArray::new(TwoTransistorOneFefet::paper_default(), config)
-            .expect("valid config");
+        let array =
+            CimArray::new(TwoTransistorOneFefet::paper_default(), config).expect("valid config");
         group.bench_with_input(
             BenchmarkId::new("transient_vs_cacc_ff", c_acc_ff as u64),
             &array,
             |b, array| {
                 b.iter(|| {
                     array
-                        .mac_with_offsets(&w, &x, Celsius(27.0), &offsets)
+                        .run(
+                            &MacRequest::new(&x)
+                                .weights(&w)
+                                .at(Celsius(27.0))
+                                .offsets(&offsets),
+                        )
                         .expect("transient")
                 })
             },

@@ -1,0 +1,56 @@
+//! Criterion bench for the batched MAC engine: `ArrayEngine::mac_batch`
+//! throughput against the per-call `CimArray::run` loop it replaces.
+//!
+//! The workload models a bit-serial NN step: a burst of row MACs whose
+//! input vectors repeat heavily (bit-planes of nearby activations are
+//! mostly identical). The batch path builds the row netlist once,
+//! reuses one solver workspace per worker thread, and collapses
+//! duplicate `(inputs, temperature)` jobs onto a single transient —
+//! the per-call loop pays netlist construction, workspace allocation,
+//! and the full solve for every job.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ferrocim_cim::cells::TwoTransistorOneFefet;
+use ferrocim_cim::{ArrayConfig, ArrayEngine, CimArray};
+use ferrocim_units::Celsius;
+use std::hint::black_box;
+
+/// 16 jobs over 2 distinct input patterns on the paper's 8-cell row.
+fn burst_inputs() -> Vec<Vec<bool>> {
+    let a: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+    let b: Vec<bool> = (0..8).map(|i| i < 5).collect();
+    (0..16)
+        .map(|j| if j % 2 == 0 { a.clone() } else { b.clone() })
+        .collect()
+}
+
+fn bench_batch_mac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_mac");
+    group.sample_size(10);
+    let array = CimArray::new(
+        TwoTransistorOneFefet::paper_default(),
+        ArrayConfig::paper_default(),
+    )
+    .expect("valid config");
+    let weights = [true, true, false, true, true, false, true, true];
+    let engine = ArrayEngine::new(&array, &weights).expect("valid weights");
+    let inputs = burst_inputs();
+    group.bench_function("per_call_loop_16", |b| {
+        b.iter(|| {
+            engine
+                .mac_serial(black_box(&inputs), Celsius(27.0))
+                .expect("serial")
+        })
+    });
+    group.bench_function("mac_batch_16", |b| {
+        b.iter(|| {
+            engine
+                .mac_batch(black_box(&inputs), Celsius(27.0))
+                .expect("batch")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_mac);
+criterion_main!(benches);

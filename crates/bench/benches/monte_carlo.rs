@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ferrocim_cim::cells::{CellOffsets, TwoTransistorOneFefet};
-use ferrocim_cim::{mac_operands, ArrayConfig, CimArray};
+use ferrocim_cim::{mac_operands, ArrayConfig, CimArray, MacPath, MacRequest};
 use ferrocim_device::variation::{GaussianSampler, VariationModel};
 use ferrocim_spice::MonteCarlo;
 use ferrocim_units::{Celsius, Volt};
@@ -32,7 +32,13 @@ fn bench_monte_carlo(c: &mut Criterion) {
                 })
                 .collect();
             array
-                .mac_analytic(&w, &x, Celsius(27.0), &offsets)
+                .run(
+                    &MacRequest::new(&x)
+                        .weights(&w)
+                        .at(Celsius(27.0))
+                        .offsets(&offsets)
+                        .path(MacPath::Analytic),
+                )
                 .expect("mac")
         })
     });
@@ -49,7 +55,13 @@ fn bench_monte_carlo(c: &mut Criterion) {
                     })
                     .collect();
                 array
-                    .mac_analytic(&w, &x, Celsius(27.0), &offsets)
+                    .run(
+                        &MacRequest::new(&x)
+                            .weights(&w)
+                            .at(Celsius(27.0))
+                            .offsets(&offsets)
+                            .path(MacPath::Analytic),
+                    )
                     .expect("mac")
                     .v_acc
                     .value()

@@ -25,7 +25,9 @@ fn bench_nn(c: &mut Criterion) {
         b.iter(|| black_box(cim.forward(&ds.images[0], &IdealMac(8), 3)))
     });
     group.bench_function("cim_dot_64_elements", |b| {
-        let w: Vec<f32> = (0..64).map(|i| ((i * 37) % 13) as f32 / 13.0 - 0.5).collect();
+        let w: Vec<f32> = (0..64)
+            .map(|i| ((i * 37) % 13) as f32 / 13.0 - 0.5)
+            .collect();
         let a: Vec<f32> = (0..64).map(|i| ((i * 17) % 7) as f32 / 7.0).collect();
         let qw = quantize_weights(&w, 4);
         let qa = quantize_activations(&a, 4);

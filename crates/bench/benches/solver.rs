@@ -11,12 +11,19 @@ use std::hint::black_box;
 fn ladder(n: usize) -> Circuit {
     let mut ckt = Circuit::new();
     let mut prev = ckt.node("in");
-    ckt.add(Element::vdc("V1", prev, NodeId::GROUND, Volt(1.0))).expect("add");
+    ckt.add(Element::vdc("V1", prev, NodeId::GROUND, Volt(1.0)))
+        .expect("add");
     for i in 0..n {
         let node = ckt.node(&format!("n{i}"));
-        ckt.add(Element::resistor(format!("R{i}"), prev, node, Ohm(1e3))).expect("add");
-        ckt.add(Element::capacitor(format!("C{i}"), node, NodeId::GROUND, Farad(1e-12)))
+        ckt.add(Element::resistor(format!("R{i}"), prev, node, Ohm(1e3)))
             .expect("add");
+        ckt.add(Element::capacitor(
+            format!("C{i}"),
+            node,
+            NodeId::GROUND,
+            Farad(1e-12),
+        ))
+        .expect("add");
         prev = node;
     }
     ckt
@@ -27,10 +34,20 @@ fn bench_solver(c: &mut Criterion) {
     let small = ladder(8);
     let large = ladder(32);
     group.bench_function("dc_ladder_8", |b| {
-        b.iter(|| DcAnalysis::new(&small).at(black_box(Celsius(27.0))).solve().expect("dc"))
+        b.iter(|| {
+            DcAnalysis::new(&small)
+                .at(black_box(Celsius(27.0)))
+                .solve()
+                .expect("dc")
+        })
     });
     group.bench_function("dc_ladder_32", |b| {
-        b.iter(|| DcAnalysis::new(&large).at(black_box(Celsius(27.0))).solve().expect("dc"))
+        b.iter(|| {
+            DcAnalysis::new(&large)
+                .at(black_box(Celsius(27.0)))
+                .solve()
+                .expect("dc")
+        })
     });
     group.sample_size(20);
     group.bench_function("transient_be_1000_steps", |b| {

@@ -45,7 +45,13 @@ impl CellDesign for OpenLoopCell {
         let mut fefet = ferrocim_device::Fefet::new(self.inner.fefet.clone());
         fefet.set_polarization(ctx.weight.polarization());
         fefet.set_vth_offset(ctx.offsets.fefet);
-        ckt.add(Element::fefet(format!("F{}", ctx.index), ctx.bl, ctx.wl, a, fefet))?;
+        ckt.add(Element::fefet(
+            format!("F{}", ctx.index),
+            ctx.bl,
+            ctx.wl,
+            a,
+            fefet,
+        ))?;
         let m2_source = if self.inner.m2_source_grounded {
             NodeId::GROUND
         } else {
@@ -88,10 +94,30 @@ impl CellDesign for OpenLoopCell {
         let sl = ckt.node("sl");
         let wl = ckt.node("wl");
         let out = ckt.node("out");
-        ckt.add(Element::vdc("VBL", bl, NodeId::GROUND, self.inner.bias.v_bl))?;
-        ckt.add(Element::vdc("VSL", sl, NodeId::GROUND, self.inner.bias.v_sl))?;
-        ckt.add(Element::vdc("VWL", wl, NodeId::GROUND, self.inner.bias.wl_for(input)))?;
-        ckt.add(Element::vdc("VOUT", out, NodeId::GROUND, self.inner.v_out_probe))?;
+        ckt.add(Element::vdc(
+            "VBL",
+            bl,
+            NodeId::GROUND,
+            self.inner.bias.v_bl,
+        ))?;
+        ckt.add(Element::vdc(
+            "VSL",
+            sl,
+            NodeId::GROUND,
+            self.inner.bias.v_sl,
+        ))?;
+        ckt.add(Element::vdc(
+            "VWL",
+            wl,
+            NodeId::GROUND,
+            self.inner.bias.wl_for(input),
+        ))?;
+        ckt.add(Element::vdc(
+            "VOUT",
+            out,
+            NodeId::GROUND,
+            self.inner.v_out_probe,
+        ))?;
         let ctx = CellContext {
             index: 0,
             bl,

@@ -5,7 +5,7 @@
 
 use ferrocim_bench::{dump_json, print_table};
 use ferrocim_cim::cells::{CellOffsets, CellWeight, TwoTransistorOneFefet};
-use ferrocim_cim::{ArrayConfig, CimArray};
+use ferrocim_cim::{ArrayConfig, CimArray, MacPath, MacRequest};
 use ferrocim_spice::sweep::temperature_sweep;
 use serde::Serialize;
 
@@ -31,7 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         for t in temperature_sweep(10) {
-            let out = array.mac_analytic_weighted(&weights, &inputs, t, &offsets)?;
+            let out = array.run(
+                &MacRequest::new(&inputs)
+                    .weighted(&weights)
+                    .at(t)
+                    .offsets(&offsets)
+                    .path(MacPath::Analytic),
+            )?;
             lo = lo.min(out.v_acc.value());
             hi = hi.max(out.v_acc.value());
         }
@@ -72,7 +78,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         for t in temperature_sweep(10) {
-            let out = array.mac_analytic_weighted(&weights, &inputs, t, &offsets)?;
+            let out = array.run(
+                &MacRequest::new(&inputs)
+                    .weighted(&weights)
+                    .at(t)
+                    .offsets(&offsets)
+                    .path(MacPath::Analytic),
+            )?;
             lo = lo.min(out.v_acc.value());
             hi = hi.max(out.v_acc.value());
         }

@@ -7,7 +7,7 @@ use ferrocim_bench::{dump_json, print_table};
 use ferrocim_cim::cells::{CellOffsets, CellWeight, TwoTransistorOneFefet};
 use ferrocim_cim::program::{write_verify_row, WriteVerifyConfig};
 use ferrocim_cim::transfer::Adc;
-use ferrocim_cim::{mac_operands, ArrayConfig, CimArray};
+use ferrocim_cim::{mac_operands, ArrayConfig, CimArray, MacPath, MacRequest};
 use ferrocim_device::variation::{GaussianSampler, VariationModel};
 use ferrocim_spice::MonteCarlo;
 use ferrocim_units::Celsius;
@@ -34,42 +34,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     for verify in [false, true] {
         let mc = MonteCarlo::new(runs, 0xA11CE);
-        let samples: Vec<Result<(usize, f64, f64), ferrocim_cim::CimError>> =
-            mc.run(|_, rng| {
-                let mut sampler = GaussianSampler::new();
-                let mut worst = 0usize;
-                let mut total = 0.0f64;
-                let mut iters = 0.0f64;
-                for k in [2usize, 5, 8] {
-                    let (w, x) = mac_operands(n, k);
-                    let raw: Vec<CellOffsets> = (0..n)
-                        .map(|_| CellOffsets {
-                            fefet: variation.sample_fefet_offset(rng, &mut sampler),
-                            m1: variation.sample_mosfet_offset(rng, &mut sampler),
-                            m2: variation.sample_mosfet_offset(rng, &mut sampler),
-                        })
-                        .collect();
-                    let offsets = if verify {
-                        let weights: Vec<CellWeight> =
-                            w.iter().map(|&b| CellWeight::Bit(b)).collect();
-                        let (trimmed, outcomes) = write_verify_row(
-                            array.cell(),
-                            &weights,
-                            &raw,
-                            &WriteVerifyConfig::default(),
-                        )?;
-                        iters += outcomes.iter().map(|o| o.iterations as f64).sum::<f64>();
-                        trimmed
-                    } else {
-                        raw
-                    };
-                    let out = array.mac_analytic(&w, &x, Celsius(27.0), &offsets)?;
-                    let read = adc.quantize(out.v_acc);
-                    worst = worst.max(read.abs_diff(k));
-                    total += read.abs_diff(k) as f64;
-                }
-                Ok((worst, total / 3.0, iters / 3.0))
-            });
+        let samples: Vec<Result<(usize, f64, f64), ferrocim_cim::CimError>> = mc.run(|_, rng| {
+            let mut sampler = GaussianSampler::new();
+            let mut worst = 0usize;
+            let mut total = 0.0f64;
+            let mut iters = 0.0f64;
+            for k in [2usize, 5, 8] {
+                let (w, x) = mac_operands(n, k);
+                let raw: Vec<CellOffsets> = (0..n)
+                    .map(|_| CellOffsets {
+                        fefet: variation.sample_fefet_offset(rng, &mut sampler),
+                        m1: variation.sample_mosfet_offset(rng, &mut sampler),
+                        m2: variation.sample_mosfet_offset(rng, &mut sampler),
+                    })
+                    .collect();
+                let offsets = if verify {
+                    let weights: Vec<CellWeight> = w.iter().map(|&b| CellWeight::Bit(b)).collect();
+                    let (trimmed, outcomes) = write_verify_row(
+                        array.cell(),
+                        &weights,
+                        &raw,
+                        &WriteVerifyConfig::default(),
+                    )?;
+                    iters += outcomes.iter().map(|o| o.iterations as f64).sum::<f64>();
+                    trimmed
+                } else {
+                    raw
+                };
+                let out = array.run(
+                    &MacRequest::new(&x)
+                        .weights(&w)
+                        .at(Celsius(27.0))
+                        .offsets(&offsets)
+                        .path(MacPath::Analytic),
+                )?;
+                let read = adc.quantize(out.v_acc);
+                worst = worst.max(read.abs_diff(k));
+                total += read.abs_diff(k) as f64;
+            }
+            Ok((worst, total / 3.0, iters / 3.0))
+        });
         let mut worst = 0usize;
         let mut mean = 0.0;
         let mut iters = 0.0;
@@ -80,14 +84,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             iters += i / runs as f64;
         }
         rows.push(Row {
-            scheme: if verify { "write-verify (ref [9])" } else { "raw write" }.into(),
+            scheme: if verify {
+                "write-verify (ref [9])"
+            } else {
+                "raw write"
+            }
+            .into(),
             max_abs_error_levels: worst,
             mean_abs_error_levels: mean,
             mean_verify_iterations_per_row: iters,
         });
     }
     print_table(
-        &["scheme", "max |err| (levels)", "mean |err| (levels)", "verify iters/row"],
+        &[
+            "scheme",
+            "max |err| (levels)",
+            "mean |err| (levels)",
+            "verify iters/row",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -28,7 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("I(27C) = {i_ref}");
     println!("normalized current vs temperature:");
     for (t, ratio) in normalized_current_curve(&cell, &temperature_sweep(18), Celsius(27.0))? {
-        println!("  {:5.1} C : {:.4}  (fluct {:+.1} %)", t.value(), ratio, (ratio - 1.0) * 100.0);
+        println!(
+            "  {:5.1} C : {:.4}  (fluct {:+.1} %)",
+            t.value(),
+            ratio,
+            (ratio - 1.0) * 100.0
+        );
     }
     Ok(())
 }

@@ -2,9 +2,9 @@
 //! whole-row NMR_min objective and prints the resulting level table.
 
 use ferrocim_cim::metrics::RangeTable;
-use ferrocim_device::variation::VariationModel;
 use ferrocim_cim::tune::ArrayTuneProblem;
 use ferrocim_cim::CimArray;
+use ferrocim_device::variation::VariationModel;
 use ferrocim_spice::sweep::{temperature_sweep, warm_temperature_sweep};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let (ir, nr) = robust.nmr_min();
     println!("fine grid: variation-aware NMR_min(0-85C, 2 sigma) = NMR_{ir} = {nr:.3}");
-    let (s_on, s_off) = array.cell_sigma(ferrocim_units::Celsius(27.0), &VariationModel::paper_default())?;
+    let (s_on, s_off) = array.cell_sigma(
+        ferrocim_units::Celsius(27.0),
+        &VariationModel::paper_default(),
+    )?;
     println!("cell sigma at 27C: on {}, off {}", s_on, s_off);
     let (i_full, nmr_full) = full.nmr_min();
     let (i_warm, nmr_warm) = warm.nmr_min();

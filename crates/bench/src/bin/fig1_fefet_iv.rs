@@ -66,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     println!("\nread-point temperature swing I(85C)/I(0C):");
     println!("  low-Vt  branch: {:.2}x", spread(&low));
-    println!("  high-Vt branch: {:.2}x (must exceed the low-Vt swing)", spread(&high));
+    println!(
+        "  high-Vt branch: {:.2}x (must exceed the low-Vt swing)",
+        spread(&high)
+    );
     println!(
         "  I_ON/I_OFF at V_read, 27C: {:.2e}",
         low.on_off_ratio(v_read, vds, Celsius(27.0))

@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("# Fig. 3 — 1FeFET-1R cell output current vs temperature\n");
     for (cell, region, paper) in [
         (OneFefetOneR::saturation(), "saturation (Fig. 3a)", 0.206),
-        (OneFefetOneR::subthreshold(), "subthreshold (Fig. 3b)", 0.521),
+        (
+            OneFefetOneR::subthreshold(),
+            "subthreshold (Fig. 3b)",
+            0.521,
+        ),
     ] {
         let curve: Vec<(f64, f64)> = normalized_current_curve(&cell, &temps, reference)?
             .into_iter()
@@ -44,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "normalized I",
             &curve,
         );
-        println!("  worst-case fluctuation: {:.1} % (paper: {:.1} %)\n", worst * 100.0, paper * 100.0);
+        println!(
+            "  worst-case fluctuation: {:.1} % (paper: {:.1} %)\n",
+            worst * 100.0,
+            paper * 100.0
+        );
         results.push(RegionResult {
             region,
             v_read: cell.bias.v_read().value(),

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nNMR_min(0-85 C)  = NMR_{if_} = {nf:.3}   (paper: NMR_0 = 0.22)");
     println!("NMR_min(20-85 C) = NMR_{iw} = {nw:.3}   (paper: NMR_7 = 2.3)");
     println!("has_overlap = {}\n", full.has_overlap());
-    assert!(!full.has_overlap(), "shape check: proposed array must not overlap");
+    assert!(
+        !full.has_overlap(),
+        "shape check: proposed array must not overlap"
+    );
 
     println!("## (b) energy per operation at 27 C");
     let report = EnergyReport::measure(&array, Celsius(27.0))?;
@@ -68,11 +71,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .enumerate()
         .map(|(k, e)| (k as f64, e.value() * 1e15))
         .collect();
-    print_series("energy per MAC operation", "MAC value", "energy [fJ]", &energy_curve);
-    println!(
-        "\naverage energy = {}   (paper: 3.14 fJ)",
-        report.average
+    print_series(
+        "energy per MAC operation",
+        "MAC value",
+        "energy [fJ]",
+        &energy_curve,
     );
+    println!("\naverage energy = {}   (paper: 3.14 fJ)", report.average);
     println!(
         "energy efficiency = {:.0} TOPS/W   (paper: 2866 TOPS/W)",
         report.tops_per_watt

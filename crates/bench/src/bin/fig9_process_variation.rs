@@ -25,10 +25,7 @@ fn run(cells: usize) -> Result<Output, Box<dyn std::error::Error>> {
         ..ArrayConfig::paper_default()
     };
     let array = CimArray::new(TwoTransistorOneFefet::paper_default(), config)?;
-    let model = TransferModel::measure(
-        &array,
-        &TransferConfig::paper_default(Celsius(27.0)),
-    )?;
+    let model = TransferModel::measure(&array, &TransferConfig::paper_default(Celsius(27.0)))?;
     Ok(Output {
         cells_per_row: cells,
         max_relative_error: model.max_relative_error(),
@@ -70,7 +67,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 vec![
                     o.cells_per_row.to_string(),
                     format!("{:.1} %", o.max_relative_error * 100.0),
-                    if o.cells_per_row == 8 { "~25 %" } else { "<10 %" }.into(),
+                    if o.cells_per_row == 8 {
+                        "~25 %"
+                    } else {
+                        "<10 %"
+                    }
+                    .into(),
                 ]
             })
             .collect::<Vec<_>>(),

@@ -20,13 +20,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let temps = temperature_sweep(18);
     let table = RangeTable::measure(&proposed, &temps)?;
     let (i, nmr) = table.nmr_min();
-    println!("  NMR_min = NMR_{i} = {nmr:.3}, overlap = {}", table.has_overlap());
+    println!(
+        "  NMR_min = NMR_{i} = {nmr:.3}, overlap = {}",
+        table.has_overlap()
+    );
 
     let baseline = CimArray::new(OneFefetOneR::subthreshold(), config)?;
     let table_b = RangeTable::measure(&baseline, &temps)?;
     let (ib, nmrb) = table_b.nmr_min();
     println!("baseline subthreshold 1FeFET-1R array:");
-    println!("  NMR_min = NMR_{ib} = {nmrb:.3}, overlap = {}", table_b.has_overlap());
+    println!(
+        "  NMR_min = NMR_{ib} = {nmrb:.3}, overlap = {}",
+        table_b.has_overlap()
+    );
     for r in table_b.ranges() {
         println!(
             "  MAC={}: [{:.2} mV, {:.2} mV]",

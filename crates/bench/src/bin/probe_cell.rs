@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .skip(1)
         .map(|a| a.parse().expect("numeric argument"))
         .collect();
-    assert_eq!(args.len(), 4, "usage: probe_cell M1_WL M2_WL FEFET_WL M1_VTH0");
+    assert_eq!(
+        args.len(),
+        4,
+        "usage: probe_cell M1_WL M2_WL FEFET_WL M1_VTH0"
+    );
     let problem = TuneProblem::paper_default();
     let cell = problem.cell_for(&args);
     let room = Celsius(27.0);

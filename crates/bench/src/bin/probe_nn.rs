@@ -14,8 +14,14 @@ use rand::SeedableRng;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n_train: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
-    let epochs: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let n_train: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let epochs: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
     let n_test = 300;
     let train_set = Generator::new(1).generate(n_train);
     let test_set = Generator::new(999).generate(n_test);
@@ -36,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("trained in {:.1}s", t0.elapsed().as_secs_f64());
     for s in &stats {
-        println!("  epoch {}: loss {:.3}, train acc {:.3}", s.epoch, s.loss, s.train_accuracy);
+        println!(
+            "  epoch {}: loss {:.3}, train acc {:.3}",
+            s.epoch, s.loss, s.train_accuracy
+        );
     }
     let clean = net.accuracy(&test_set.images, &test_set.labels);
     println!("clean test accuracy: {clean:.4}");
@@ -44,9 +53,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cim = CimNetwork::map(&net, CimMapping::default());
     let t1 = Instant::now();
     let ideal = cim.accuracy(&test_set.images, &test_set.labels, &IdealMac(8), 11);
-    println!("quantized(ideal CIM) accuracy: {ideal:.4} in {:.1}s", t1.elapsed().as_secs_f64());
+    println!(
+        "quantized(ideal CIM) accuracy: {ideal:.4} in {:.1}s",
+        t1.elapsed().as_secs_f64()
+    );
 
-    let array = CimArray::new(TwoTransistorOneFefet::paper_default(), ArrayConfig::paper_default())?;
+    let array = CimArray::new(
+        TwoTransistorOneFefet::paper_default(),
+        ArrayConfig::paper_default(),
+    )?;
     for temp in [0.0, 27.0, 85.0] {
         let t2 = Instant::now();
         let model = TransferModel::measure(&array, &TransferConfig::paper_default(Celsius(temp)))?;
@@ -63,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  readout bias per level: [{}]", biases.join(", "));
         let t3 = Instant::now();
         let noisy = cim.accuracy(&test_set.images, &test_set.labels, &model, 13);
-        println!("  CIM accuracy @ {temp} C: {noisy:.4} ({:.1}s)", t3.elapsed().as_secs_f64());
+        println!(
+            "  CIM accuracy @ {temp} C: {noisy:.4} ({:.1}s)",
+            t3.elapsed().as_secs_f64()
+        );
     }
     Ok(())
 }

@@ -115,9 +115,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The paper's ratios divide the competitors' per-op figures by
         // the 3.14 fJ per-MAC energy directly (1.4 pJ / 3.14 fJ = 445.9).
         let (reram, mtj) = energy_ratios(e);
-        println!(
-            "\nenergy ratios vs this work (paper: ReRAM 64.6x, MTJ 445.9x):"
-        );
+        println!("\nenergy ratios vs this work (paper: ReRAM 64.6x, MTJ 445.9x):");
         println!("  ReRAM [14]: {reram:.1}x more energy per op");
         println!("  MTJ   [36]: {mtj:.1}x more energy per op");
     }

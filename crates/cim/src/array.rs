@@ -22,7 +22,9 @@
 
 use crate::cells::{CellContext, CellDesign, CellOffsets, CellWeight};
 use crate::CimError;
-use ferrocim_spice::{Circuit, Element, NodeId, SwitchSchedule, TransientAnalysis, Waveform};
+use ferrocim_spice::{
+    Circuit, Element, NodeId, SwitchSchedule, TransientAnalysis, Waveform, Workspace,
+};
 use ferrocim_units::{Celsius, Farad, Joule, Second, Volt};
 use serde::{Deserialize, Serialize};
 
@@ -70,8 +72,7 @@ impl ArrayConfig {
 
     /// The charge-sharing gain `C_o / (n·C_o + C_acc)` of Eq. (1).
     pub fn sharing_gain(&self) -> f64 {
-        self.c_o.value()
-            / (self.cells_per_row as f64 * self.c_o.value() + self.c_acc.value())
+        self.c_o.value() / (self.cells_per_row as f64 * self.c_o.value() + self.c_acc.value())
     }
 
     fn validate(&self) -> Result<(), CimError> {
@@ -139,6 +140,127 @@ impl MacOutput {
     }
 }
 
+/// Which evaluation path executes a [`MacRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MacPath {
+    /// The entire row simulated as one transient netlist — the
+    /// energy-accurate reference path, and the default.
+    #[default]
+    Transient,
+    /// Per-cell charge transients (deduplicated by operand/offset
+    /// pattern) plus the closed-form Eq. (1) charge-sharing step — the
+    /// fast path used by sweeps, tuning, and neural-network evaluation.
+    Analytic,
+}
+
+/// A declarative MAC operation: operands, conditions, and evaluation
+/// path, executed by [`CimArray::run`].
+///
+/// This is the single entry point that replaces the four historical
+/// methods `mac` / `mac_with_offsets` / `mac_analytic` /
+/// `mac_analytic_weighted`. Build a request from the input vector, then
+/// chain whatever deviates from the defaults (room temperature, nominal
+/// devices, transient path, all-ones weights are *not* defaulted —
+/// weights must always be supplied):
+///
+/// ```
+/// use ferrocim_cim::cells::TwoTransistorOneFefet;
+/// use ferrocim_cim::{ArrayConfig, CimArray, MacPath, MacRequest};
+/// use ferrocim_units::Celsius;
+///
+/// # fn main() -> Result<(), ferrocim_cim::CimError> {
+/// let config = ArrayConfig { cells_per_row: 2, ..ArrayConfig::paper_default() };
+/// let array = CimArray::new(TwoTransistorOneFefet::paper_default(), config)?;
+/// let request = MacRequest::new(&[true, false])
+///     .weights(&[true, true])
+///     .at(Celsius(85.0))
+///     .path(MacPath::Analytic);
+/// let out = array.run(&request)?;
+/// assert_eq!(out.expected, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacRequest {
+    inputs: Vec<bool>,
+    weights: Vec<CellWeight>,
+    temp: Celsius,
+    offsets: Option<Vec<CellOffsets>>,
+    path: MacPath,
+}
+
+impl MacRequest {
+    /// Starts a request from the word-line input vector. Weights start
+    /// empty and must be set via [`MacRequest::weights`] or
+    /// [`MacRequest::weighted`] before [`CimArray::run`] accepts the
+    /// request.
+    pub fn new(inputs: &[bool]) -> Self {
+        MacRequest {
+            inputs: inputs.to_vec(),
+            weights: Vec::new(),
+            temp: Celsius::ROOM,
+            offsets: None,
+            path: MacPath::default(),
+        }
+    }
+
+    /// Sets binary stored weights.
+    pub fn weights(mut self, weights: &[bool]) -> Self {
+        self.weights = weights.iter().map(|&b| CellWeight::Bit(b)).collect();
+        self
+    }
+
+    /// Sets multi-level stored weights.
+    pub fn weighted(mut self, weights: &[CellWeight]) -> Self {
+        self.weights = weights.to_vec();
+        self
+    }
+
+    /// Sets per-cell variation offsets (one Monte-Carlo draw). Without
+    /// this, cells are nominal.
+    pub fn offsets(mut self, offsets: &[CellOffsets]) -> Self {
+        self.offsets = Some(offsets.to_vec());
+        self
+    }
+
+    /// Sets the simulation temperature (default 27 °C).
+    pub fn at(mut self, temp: Celsius) -> Self {
+        self.temp = temp;
+        self
+    }
+
+    /// Selects the evaluation path (default [`MacPath::Transient`]).
+    pub fn path(mut self, path: MacPath) -> Self {
+        self.path = path;
+        self
+    }
+
+    /// The word-line input vector.
+    pub fn inputs(&self) -> &[bool] {
+        &self.inputs
+    }
+
+    /// The stored weights.
+    pub fn cell_weights(&self) -> &[CellWeight] {
+        &self.weights
+    }
+
+    /// The simulation temperature.
+    pub fn temperature(&self) -> Celsius {
+        self.temp
+    }
+
+    /// The per-cell offsets, if any were set.
+    pub fn cell_offsets(&self) -> Option<&[CellOffsets]> {
+        self.offsets.as_deref()
+    }
+
+    /// The selected evaluation path.
+    pub fn mac_path(&self) -> MacPath {
+        self.path
+    }
+}
+
 /// A single row of a CIM array built from any [`CellDesign`].
 #[derive(Debug, Clone)]
 pub struct CimArray<C> {
@@ -169,8 +291,7 @@ impl<C: CellDesign> CimArray<C> {
     }
 
     fn check_operands(&self, weights: &[bool], inputs: &[bool]) -> Result<(), CimError> {
-        if weights.len() != self.config.cells_per_row || inputs.len() != self.config.cells_per_row
-        {
+        if weights.len() != self.config.cells_per_row || inputs.len() != self.config.cells_per_row {
             return Err(CimError::MismatchedOperands {
                 weights: weights.len(),
                 inputs: inputs.len(),
@@ -184,44 +305,65 @@ impl<C: CellDesign> CimArray<C> {
         vec![CellOffsets::NOMINAL; self.config.cells_per_row]
     }
 
-    /// Runs one MAC with nominal (variation-free) cells through the full
-    /// row transient.
+    /// Executes one MAC described by a [`MacRequest`].
     ///
     /// # Errors
     ///
-    /// Returns [`CimError::MismatchedOperands`] for wrong operand
-    /// lengths, or propagates simulation failures.
-    pub fn mac(
-        &self,
-        weights: &[bool],
-        inputs: &[bool],
-        temp: Celsius,
-    ) -> Result<MacOutput, CimError> {
-        self.mac_with_offsets(weights, inputs, temp, &self.nominal_offsets())
+    /// Returns [`CimError::MismatchedOperands`] when the request's
+    /// weights, inputs, or offsets do not match the row width, or
+    /// propagates simulation failures.
+    pub fn run(&self, request: &MacRequest) -> Result<MacOutput, CimError> {
+        self.run_in(request, &mut Workspace::new())
     }
 
-    /// Runs one MAC through the full row transient with per-cell
-    /// variation offsets (one Monte-Carlo draw).
+    /// [`CimArray::run`] with a caller-owned solver [`Workspace`], so
+    /// batched callers skip the per-operation solver allocations. The
+    /// result is bitwise identical to [`CimArray::run`].
     ///
     /// # Errors
     ///
-    /// As [`CimArray::mac`]; additionally if `offsets` has the wrong
-    /// length.
-    pub fn mac_with_offsets(
-        &self,
-        weights: &[bool],
-        inputs: &[bool],
-        temp: Celsius,
-        offsets: &[CellOffsets],
-    ) -> Result<MacOutput, CimError> {
-        self.check_operands(weights, inputs)?;
-        if offsets.len() != self.config.cells_per_row {
+    /// As [`CimArray::run`].
+    pub fn run_in(&self, request: &MacRequest, ws: &mut Workspace) -> Result<MacOutput, CimError> {
+        let n = self.config.cells_per_row;
+        if request.weights.len() != n
+            || request.inputs.len() != n
+            || request.offsets.as_ref().is_some_and(|o| o.len() != n)
+        {
             return Err(CimError::MismatchedOperands {
-                weights: offsets.len(),
-                inputs: inputs.len(),
-                cells_per_row: self.config.cells_per_row,
+                weights: request.weights.len(),
+                inputs: request.inputs.len(),
+                cells_per_row: n,
             });
         }
+        let nominal;
+        let offsets: &[CellOffsets] = match &request.offsets {
+            Some(o) => o,
+            None => {
+                nominal = self.nominal_offsets();
+                &nominal
+            }
+        };
+        match request.path {
+            MacPath::Transient => {
+                self.run_transient(&request.weights, &request.inputs, request.temp, offsets, ws)
+            }
+            MacPath::Analytic => {
+                self.run_analytic(&request.weights, &request.inputs, request.temp, offsets, ws)
+            }
+        }
+    }
+
+    /// Builds the full-row MAC netlist for the given weights/inputs and
+    /// returns it with the per-cell output nodes and the accumulation
+    /// node. The word-line sources are named `VWL{i}`, which is how
+    /// [`crate::ArrayEngine`] retargets a built circuit to a new input
+    /// vector without rebuilding the cells.
+    pub(crate) fn build_row_circuit(
+        &self,
+        weights: &[CellWeight],
+        inputs: &[bool],
+        offsets: &[CellOffsets],
+    ) -> Result<(Circuit, Vec<NodeId>, NodeId), CimError> {
         let n = self.config.cells_per_row;
         let bias = self.cell.bias();
         let mut ckt = Circuit::new();
@@ -266,8 +408,7 @@ impl<C: CellDesign> CimArray<C> {
                 format!("EN{i}"),
                 out,
                 acc,
-                SwitchSchedule::open()
-                    .then_at(self.config.t_charge + self.config.t_settle, true),
+                SwitchSchedule::open().then_at(self.config.t_charge + self.config.t_settle, true),
             ))?;
             let ctx = CellContext {
                 index: i,
@@ -275,15 +416,58 @@ impl<C: CellDesign> CimArray<C> {
                 sl,
                 wl,
                 out,
-                weight: crate::cells::CellWeight::Bit(weights[i]),
+                weight: weights[i],
                 offsets: &offsets[i],
             };
             self.cell.build_cell(&mut ckt, &ctx)?;
         }
+        Ok((ckt, outs, acc))
+    }
+
+    /// Retargets a circuit built by [`CimArray::build_row_circuit`] to a
+    /// new input vector by rewriting the `VWL{i}` waveforms in place.
+    pub(crate) fn retarget_inputs(
+        &self,
+        ckt: &mut Circuit,
+        inputs: &[bool],
+    ) -> Result<(), CimError> {
+        let bias = self.cell.bias();
+        for (i, &input) in inputs.iter().enumerate() {
+            match ckt.element_mut(&format!("VWL{i}")) {
+                Some(Element::VoltageSource { waveform, .. }) => {
+                    *waveform =
+                        Waveform::step(bias.wl_for(input), bias.v_wl_off, self.config.t_charge);
+                }
+                _ => {
+                    return Err(CimError::InvalidConfig {
+                        name: "inputs",
+                        value: i as f64,
+                        requirement: "a circuit built by build_row_circuit",
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the full-row transient on a built circuit and packs the
+    /// result. Split from [`CimArray::run_transient`] so the batch
+    /// engine can reuse one circuit across jobs.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn eval_row_transient(
+        &self,
+        ckt: &Circuit,
+        outs: &[NodeId],
+        acc: NodeId,
+        weights: &[CellWeight],
+        inputs: &[bool],
+        temp: Celsius,
+        ws: &mut Workspace,
+    ) -> Result<MacOutput, CimError> {
         let t_stop = self.config.latency();
-        let result = TransientAnalysis::new(&ckt, self.config.dt, t_stop)
+        let result = TransientAnalysis::new(ckt, self.config.dt, t_stop)
             .at(temp)
-            .run()?;
+            .run_in(ws)?;
         // Cell voltages at the end of the charge phase (the sample
         // closest to t_charge from below).
         let times = result.times();
@@ -293,75 +477,48 @@ impl<C: CellDesign> CimArray<C> {
             .unwrap_or(times.len() - 1);
         // All outputs are reported differentially against the source
         // line, which is what the sense circuit compares to.
-        let v_sl = bias.v_sl.value();
+        let v_sl = self.cell.bias().v_sl.value();
         let cell_voltages: Vec<Volt> = outs
             .iter()
             .map(|&o| Volt(result.voltage_at(o, charge_idx).value() - v_sl))
             .collect();
-        let expected = weights
-            .iter()
-            .zip(inputs)
-            .filter(|(w, x)| **w && **x)
-            .count();
         Ok(MacOutput {
             v_acc: Volt(result.final_voltage(acc).value() - v_sl),
             cell_voltages,
             energy: result.total_energy_delivered(),
             latency: t_stop,
-            expected,
+            expected: expected_count(weights, inputs),
         })
     }
 
-    /// Fast MAC evaluation: each cell is simulated in its own small
-    /// transient (deduplicated by operand/offset pattern), then the
-    /// charge-sharing step is applied in closed form (Eq. (1)).
-    ///
-    /// Energies are the summed per-cell supply energies; the share phase
-    /// is lossless in the ideal-switch limit and contributes none.
-    ///
-    /// # Errors
-    ///
-    /// As [`CimArray::mac_with_offsets`].
-    pub fn mac_analytic(
-        &self,
-        weights: &[bool],
-        inputs: &[bool],
-        temp: Celsius,
-        offsets: &[CellOffsets],
-    ) -> Result<MacOutput, CimError> {
-        self.check_operands(weights, inputs)?;
-        let weighted: Vec<CellWeight> = weights.iter().map(|&w| CellWeight::Bit(w)).collect();
-        self.mac_analytic_weighted(&weighted, inputs, temp, offsets)
-    }
-
-    /// [`CimArray::mac_analytic`] generalized to analog (multi-level)
-    /// stored weights — the multi-bit-per-cell extension in the spirit
-    /// of the cited 1FeFET multi-bit MAC design.
-    ///
-    /// The digital ground truth (`expected`) counts a weight as '1'
-    /// when its polarization is positive; multi-level users should
-    /// interpret `v_acc` directly.
-    ///
-    /// # Errors
-    ///
-    /// As [`CimArray::mac_with_offsets`].
-    pub fn mac_analytic_weighted(
+    /// The full-row transient path behind [`MacPath::Transient`].
+    fn run_transient(
         &self,
         weights: &[CellWeight],
         inputs: &[bool],
         temp: Celsius,
         offsets: &[CellOffsets],
+        ws: &mut Workspace,
     ) -> Result<MacOutput, CimError> {
-        if weights.len() != self.config.cells_per_row
-            || inputs.len() != self.config.cells_per_row
-            || offsets.len() != self.config.cells_per_row
-        {
-            return Err(CimError::MismatchedOperands {
-                weights: weights.len(),
-                inputs: inputs.len(),
-                cells_per_row: self.config.cells_per_row,
-            });
-        }
+        let (ckt, outs, acc) = self.build_row_circuit(weights, inputs, offsets)?;
+        self.eval_row_transient(&ckt, &outs, acc, weights, inputs, temp, ws)
+    }
+
+    /// The fast path behind [`MacPath::Analytic`]: each cell is
+    /// simulated in its own small transient (deduplicated by
+    /// operand/offset pattern), then the charge-sharing step is applied
+    /// in closed form (Eq. (1)).
+    ///
+    /// Energies are the summed per-cell supply energies; the share phase
+    /// is lossless in the ideal-switch limit and contributes none.
+    fn run_analytic(
+        &self,
+        weights: &[CellWeight],
+        inputs: &[bool],
+        temp: Celsius,
+        offsets: &[CellOffsets],
+        ws: &mut Workspace,
+    ) -> Result<MacOutput, CimError> {
         let n = self.config.cells_per_row;
         let mut cell_voltages = Vec::with_capacity(n);
         let mut energy = 0.0;
@@ -388,6 +545,7 @@ impl<C: CellDesign> CimArray<C> {
                         inputs[i],
                         temp,
                         &offsets[i],
+                        ws,
                     )?;
                     cache.push((key, r));
                     r
@@ -398,18 +556,119 @@ impl<C: CellDesign> CimArray<C> {
         }
         let v_sum: f64 = cell_voltages.iter().map(|v| v.value()).sum();
         let v_acc = self.config.sharing_gain() * v_sum;
-        let expected = weights
-            .iter()
-            .zip(inputs)
-            .filter(|(w, x)| w.bit() && **x)
-            .count();
         Ok(MacOutput {
             v_acc: Volt(v_acc),
             cell_voltages,
             energy: Joule(energy),
             latency: self.config.latency(),
-            expected,
+            expected: expected_count(weights, inputs),
         })
+    }
+
+    /// Runs one MAC with nominal (variation-free) cells through the full
+    /// row transient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CimError::MismatchedOperands`] for wrong operand
+    /// lengths, or propagates simulation failures.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `MacRequest` and call `CimArray::run`"
+    )]
+    pub fn mac(
+        &self,
+        weights: &[bool],
+        inputs: &[bool],
+        temp: Celsius,
+    ) -> Result<MacOutput, CimError> {
+        self.check_operands(weights, inputs)?;
+        self.run(&MacRequest::new(inputs).weights(weights).at(temp))
+    }
+
+    /// Runs one MAC through the full row transient with per-cell
+    /// variation offsets (one Monte-Carlo draw).
+    ///
+    /// # Errors
+    ///
+    /// As [`CimArray::mac`]; additionally if `offsets` has the wrong
+    /// length.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `MacRequest` and call `CimArray::run`"
+    )]
+    pub fn mac_with_offsets(
+        &self,
+        weights: &[bool],
+        inputs: &[bool],
+        temp: Celsius,
+        offsets: &[CellOffsets],
+    ) -> Result<MacOutput, CimError> {
+        self.check_operands(weights, inputs)?;
+        self.run(
+            &MacRequest::new(inputs)
+                .weights(weights)
+                .at(temp)
+                .offsets(offsets),
+        )
+    }
+
+    /// Fast MAC evaluation via per-cell transients and the closed-form
+    /// Eq. (1) charge-sharing step.
+    ///
+    /// # Errors
+    ///
+    /// As [`CimArray::mac_with_offsets`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `MacRequest` and call `CimArray::run`"
+    )]
+    pub fn mac_analytic(
+        &self,
+        weights: &[bool],
+        inputs: &[bool],
+        temp: Celsius,
+        offsets: &[CellOffsets],
+    ) -> Result<MacOutput, CimError> {
+        self.check_operands(weights, inputs)?;
+        self.run(
+            &MacRequest::new(inputs)
+                .weights(weights)
+                .at(temp)
+                .offsets(offsets)
+                .path(MacPath::Analytic),
+        )
+    }
+
+    /// Fast MAC evaluation generalized to analog (multi-level) stored
+    /// weights — the multi-bit-per-cell extension in the spirit of the
+    /// cited 1FeFET multi-bit MAC design.
+    ///
+    /// The digital ground truth (`expected`) counts a weight as '1'
+    /// when its polarization is positive; multi-level users should
+    /// interpret `v_acc` directly.
+    ///
+    /// # Errors
+    ///
+    /// As [`CimArray::mac_with_offsets`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `MacRequest` and call `CimArray::run`"
+    )]
+    pub fn mac_analytic_weighted(
+        &self,
+        weights: &[CellWeight],
+        inputs: &[bool],
+        temp: Celsius,
+        offsets: &[CellOffsets],
+    ) -> Result<MacOutput, CimError> {
+        self.run(
+            &MacRequest::new(inputs)
+                .weighted(weights)
+                .at(temp)
+                .offsets(offsets)
+                .path(MacPath::Analytic),
+        )
     }
 
     /// The nominal analog output level for every MAC value `0..=n` at a
@@ -422,8 +681,11 @@ impl<C: CellDesign> CimArray<C> {
     /// Propagates simulation failures.
     pub fn level_voltages(&self, temp: Celsius) -> Result<Vec<Volt>, CimError> {
         let n = self.config.cells_per_row;
-        let (v_on, _) = self.single_cell_charge(true, true, temp, &CellOffsets::NOMINAL)?;
-        let (v_off, _) = self.single_cell_charge(true, false, temp, &CellOffsets::NOMINAL)?;
+        let mut ws = Workspace::new();
+        let (v_on, _) =
+            self.single_cell_charge(true, true, temp, &CellOffsets::NOMINAL, &mut ws)?;
+        let (v_off, _) =
+            self.single_cell_charge(true, false, temp, &CellOffsets::NOMINAL, &mut ws)?;
         let gain = self.config.sharing_gain();
         Ok((0..=n)
             .map(|k| Volt(gain * (k as f64 * v_on + (n - k) as f64 * v_off)))
@@ -458,6 +720,7 @@ impl<C: CellDesign> CimArray<C> {
             },
         ];
         let mut var = [0.0f64; 2];
+        let mut ws = Workspace::new();
         for (slot, &on) in [true, false].iter().enumerate() {
             for plus in &axes {
                 let minus = CellOffsets {
@@ -465,8 +728,8 @@ impl<C: CellDesign> CimArray<C> {
                     m1: -plus.m1,
                     m2: -plus.m2,
                 };
-                let (vp, _) = self.single_cell_charge(true, on, temp, plus)?;
-                let (vm, _) = self.single_cell_charge(true, on, temp, &minus)?;
+                let (vp, _) = self.single_cell_charge(true, on, temp, plus, &mut ws)?;
+                let (vm, _) = self.single_cell_charge(true, on, temp, &minus, &mut ws)?;
                 let delta = 0.5 * (vp - vm);
                 var[slot] += delta * delta;
             }
@@ -482,8 +745,9 @@ impl<C: CellDesign> CimArray<C> {
         input: bool,
         temp: Celsius,
         offsets: &CellOffsets,
+        ws: &mut Workspace,
     ) -> Result<(f64, f64), CimError> {
-        self.single_cell_charge_weighted(CellWeight::Bit(weight), input, temp, offsets)
+        self.single_cell_charge_weighted(CellWeight::Bit(weight), input, temp, offsets, ws)
     }
 
     /// [`CimArray::single_cell_charge`] for an arbitrary stored weight.
@@ -493,6 +757,7 @@ impl<C: CellDesign> CimArray<C> {
         input: bool,
         temp: Celsius,
         offsets: &CellOffsets,
+        ws: &mut Workspace,
     ) -> Result<(f64, f64), CimError> {
         let bias = self.cell.bias();
         let mut ckt = Circuit::new();
@@ -522,7 +787,7 @@ impl<C: CellDesign> CimArray<C> {
         self.cell.build_cell(&mut ckt, &ctx)?;
         let result = TransientAnalysis::new(&ckt, self.config.dt, self.config.t_charge)
             .at(temp)
-            .run()?;
+            .run_in(ws)?;
         Ok((
             result.final_voltage(out).value() - bias.v_sl.value(),
             result.total_energy_delivered().value(),
@@ -530,10 +795,23 @@ impl<C: CellDesign> CimArray<C> {
     }
 }
 
+/// The digital ground truth `Σ wᵢ·xᵢ`, counting a weight as '1' when
+/// its polarization is positive.
+fn expected_count(weights: &[CellWeight], inputs: &[bool]) -> usize {
+    weights
+        .iter()
+        .zip(inputs)
+        .filter(|(w, x)| w.bit() && **x)
+        .count()
+}
+
 /// Builds the all-ones weight vector and an input vector with `k` active
 /// bits — the operand pattern used to exercise `MAC = k`.
 pub fn mac_operands(cells_per_row: usize, k: usize) -> (Vec<bool>, Vec<bool>) {
-    assert!(k <= cells_per_row, "cannot activate {k} of {cells_per_row} cells");
+    assert!(
+        k <= cells_per_row,
+        "cannot activate {k} of {cells_per_row} cells"
+    );
     let weights = vec![true; cells_per_row];
     let inputs = (0..cells_per_row).map(|i| i < k).collect();
     (weights, inputs)
@@ -570,7 +848,10 @@ mod tests {
         c.cells_per_row = 0;
         assert!(matches!(
             CimArray::new(TwoTransistorOneFefet::paper_default(), c),
-            Err(CimError::InvalidConfig { name: "cells_per_row", .. })
+            Err(CimError::InvalidConfig {
+                name: "cells_per_row",
+                ..
+            })
         ));
         let mut c = ArrayConfig::paper_default();
         c.dt = Second(1e-8);
@@ -580,10 +861,31 @@ mod tests {
         assert!(CimArray::new(TwoTransistorOneFefet::paper_default(), c).is_err());
     }
 
+    fn analytic(inputs: &[bool], weights: &[bool]) -> MacRequest {
+        MacRequest::new(inputs)
+            .weights(weights)
+            .at(ROOM)
+            .path(MacPath::Analytic)
+    }
+
     #[test]
     fn operand_length_is_checked() {
         let array = small_array();
-        let err = array.mac(&[true; 3], &[true; 4], ROOM).unwrap_err();
+        let err = array
+            .run(&MacRequest::new(&[true; 4]).weights(&[true; 3]).at(ROOM))
+            .unwrap_err();
+        assert!(matches!(err, CimError::MismatchedOperands { .. }));
+        // A request with no weights at all is rejected, not defaulted.
+        let err = array.run(&MacRequest::new(&[true; 4])).unwrap_err();
+        assert!(matches!(err, CimError::MismatchedOperands { .. }));
+        // Wrong offsets length too.
+        let err = array
+            .run(
+                &MacRequest::new(&[true; 4])
+                    .weights(&[true; 4])
+                    .offsets(&[CellOffsets::NOMINAL; 3]),
+            )
+            .unwrap_err();
         assert!(matches!(err, CimError::MismatchedOperands { .. }));
     }
 
@@ -593,9 +895,7 @@ mod tests {
         let mut last = -1.0;
         for k in 0..=4 {
             let (w, x) = mac_operands(4, k);
-            let out = array
-                .mac_analytic(&w, &x, ROOM, &[CellOffsets::NOMINAL; 4])
-                .unwrap();
+            let out = array.run(&analytic(&x, &w)).unwrap();
             assert_eq!(out.expected, k);
             assert!(
                 out.v_acc.value() > last,
@@ -610,12 +910,9 @@ mod tests {
     fn zero_mac_output_is_near_zero() {
         let array = small_array();
         let (w, x) = mac_operands(4, 0);
-        let out = array
-            .mac_analytic(&w, &x, ROOM, &[CellOffsets::NOMINAL; 4])
-            .unwrap();
-        let full = array
-            .mac_analytic(&mac_operands(4, 4).0, &mac_operands(4, 4).1, ROOM, &[CellOffsets::NOMINAL; 4])
-            .unwrap();
+        let out = array.run(&analytic(&x, &w)).unwrap();
+        let (wf, xf) = mac_operands(4, 4);
+        let full = array.run(&analytic(&xf, &wf)).unwrap();
         assert!(
             out.v_acc.value() < 0.05 * full.v_acc.value(),
             "MAC=0 output {} vs full {}",
@@ -628,11 +925,11 @@ mod tests {
     fn transient_and_analytic_agree() {
         let array = small_array();
         let (w, x) = mac_operands(4, 2);
-        let offsets = [CellOffsets::NOMINAL; 4];
-        let fast = array.mac_analytic(&w, &x, ROOM, &offsets).unwrap();
-        let full = array.mac_with_offsets(&w, &x, ROOM, &offsets).unwrap();
-        let rel = (fast.v_acc.value() - full.v_acc.value()).abs()
-            / full.v_acc.value().max(1e-6);
+        let fast = array.run(&analytic(&x, &w)).unwrap();
+        let full = array
+            .run(&MacRequest::new(&x).weights(&w).at(ROOM))
+            .unwrap();
+        let rel = (fast.v_acc.value() - full.v_acc.value()).abs() / full.v_acc.value().max(1e-6);
         assert!(
             rel < 0.08,
             "analytic {} vs transient {} (rel {rel})",
@@ -645,19 +942,10 @@ mod tests {
     fn weights_gate_the_inputs() {
         // input '1' on a cell storing '0' must contribute ~nothing.
         let array = small_array();
-        let out_gated = array
-            .mac_analytic(
-                &[false, false, false, false],
-                &[true, true, true, true],
-                ROOM,
-                &[CellOffsets::NOMINAL; 4],
-            )
-            .unwrap();
+        let out_gated = array.run(&analytic(&[true; 4], &[false; 4])).unwrap();
         assert_eq!(out_gated.expected, 0);
         let (w, x) = mac_operands(4, 4);
-        let out_full = array
-            .mac_analytic(&w, &x, ROOM, &[CellOffsets::NOMINAL; 4])
-            .unwrap();
+        let out_full = array.run(&analytic(&x, &w)).unwrap();
         assert!(out_gated.v_acc.value() < 0.05 * out_full.v_acc.value());
     }
 
@@ -666,11 +954,55 @@ mod tests {
         let array = small_array();
         let (w, x) = mac_operands(4, 4);
         let out = array
-            .mac_with_offsets(&w, &x, ROOM, &[CellOffsets::NOMINAL; 4])
+            .run(&MacRequest::new(&x).weights(&w).at(ROOM))
             .unwrap();
         let e = out.energy.value();
         assert!(e > 0.0, "energy {e}");
         assert!(e < 100e-15, "energy should be fJ-scale, got {e}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_request_api() {
+        // The four historical entry points must keep working and agree
+        // exactly with the `MacRequest` executor they delegate to.
+        let array = small_array();
+        let (w, x) = mac_operands(4, 3);
+        let offsets = [CellOffsets::NOMINAL; 4];
+        let via_run = array
+            .run(&MacRequest::new(&x).weights(&w).at(ROOM))
+            .unwrap();
+        assert_eq!(array.mac(&w, &x, ROOM).unwrap(), via_run);
+        assert_eq!(
+            array.mac_with_offsets(&w, &x, ROOM, &offsets).unwrap(),
+            via_run
+        );
+        let via_run_fast = array.run(&analytic(&x, &w).offsets(&offsets)).unwrap();
+        assert_eq!(
+            array.mac_analytic(&w, &x, ROOM, &offsets).unwrap(),
+            via_run_fast
+        );
+        let weighted: Vec<CellWeight> = w.iter().map(|&b| CellWeight::Bit(b)).collect();
+        assert_eq!(
+            array
+                .mac_analytic_weighted(&weighted, &x, ROOM, &offsets)
+                .unwrap(),
+            via_run_fast
+        );
+    }
+
+    #[test]
+    fn run_in_reuses_a_workspace_bitwise() {
+        let array = small_array();
+        let (w, x) = mac_operands(4, 2);
+        let request = MacRequest::new(&x).weights(&w).at(ROOM);
+        let fresh = array.run(&request).unwrap();
+        let mut ws = Workspace::new();
+        let first = array.run_in(&request, &mut ws).unwrap();
+        // Second run through the warm workspace must be bitwise equal.
+        let second = array.run_in(&request, &mut ws).unwrap();
+        assert_eq!(fresh, first);
+        assert_eq!(first, second);
     }
 
     #[test]

@@ -62,9 +62,7 @@ impl OneFefetOneR {
     fn make_fefet(&self, weight: crate::cells::CellWeight, offset: Volt) -> Fefet {
         let mut f = Fefet::new(self.fefet.clone());
         match weight {
-            crate::cells::CellWeight::Bit(bit) => {
-                f.force_state(PolarizationState::from_bit(bit))
-            }
+            crate::cells::CellWeight::Bit(bit) => f.force_state(PolarizationState::from_bit(bit)),
             analog => f.set_polarization(analog.polarization()),
         }
         f.set_vth_offset(offset);
@@ -112,7 +110,12 @@ impl CellDesign for OneFefetOneR {
         let wl = ckt.node("wl");
         let out = ckt.node("out");
         ckt.add(Element::vdc("VBL", bl, NodeId::GROUND, self.bias.v_bl))?;
-        ckt.add(Element::vdc("VWL", wl, NodeId::GROUND, self.bias.wl_for(input)))?;
+        ckt.add(Element::vdc(
+            "VWL",
+            wl,
+            NodeId::GROUND,
+            self.bias.wl_for(input),
+        ))?;
         // Clamp the output node and measure the current flowing into it.
         ckt.add(Element::vdc("VOUT", out, NodeId::GROUND, self.v_out_probe))?;
         let ctx = CellContext {
@@ -152,7 +155,10 @@ mod tests {
         let i10 = on(true, false);
         let i01 = on(false, true);
         let i00 = on(false, false);
-        assert!(i11 > 1e3 * i10.max(i01).max(i00), "i11 {i11} others {i10} {i01} {i00}");
+        assert!(
+            i11 > 1e3 * i10.max(i01).max(i00),
+            "i11 {i11} others {i10} {i01} {i00}"
+        );
     }
 
     #[test]
@@ -181,8 +187,14 @@ mod tests {
             sub > 1.8 * sat,
             "subthreshold fluctuation {sub} must dwarf saturation {sat}"
         );
-        assert!(sat < 0.35, "saturation fluctuation unreasonably large: {sat}");
-        assert!(sub > 0.30, "subthreshold fluctuation implausibly small: {sub}");
+        assert!(
+            sat < 0.35,
+            "saturation fluctuation unreasonably large: {sat}"
+        );
+        assert!(
+            sub > 0.30,
+            "subthreshold fluctuation implausibly small: {sub}"
+        );
     }
 
     #[test]

@@ -116,7 +116,12 @@ impl CellDesign for OneFefetOneT {
         let wl = ckt.node("wl");
         let out = ckt.node("out");
         ckt.add(Element::vdc("VBL", bl, NodeId::GROUND, self.bias.v_bl))?;
-        ckt.add(Element::vdc("VWL", wl, NodeId::GROUND, self.bias.wl_for(input)))?;
+        ckt.add(Element::vdc(
+            "VWL",
+            wl,
+            NodeId::GROUND,
+            self.bias.wl_for(input),
+        ))?;
         ckt.add(Element::vdc("VOUT", out, NodeId::GROUND, self.v_out_probe))?;
         let ctx = CellContext {
             index: 0,
@@ -152,7 +157,10 @@ mod tests {
         };
         let i11 = read(true, true);
         assert!(
-            i11 > 1e2 * read(true, false).max(read(false, true)).max(read(false, false)),
+            i11 > 1e2
+                * read(true, false)
+                    .max(read(false, true))
+                    .max(read(false, false)),
             "on current must dominate"
         );
     }
@@ -206,9 +214,11 @@ mod tests {
         // because the cascode sets the limit.
         let cell = OneFefetOneT::subthreshold();
         let mut wide = cell.clone();
-        wide.fefet.channel = wide.fefet.channel.clone().with_wl_ratio(
-            2.0 * cell.fefet.channel.wl_ratio(),
-        );
+        wide.fefet.channel = wide
+            .fefet
+            .channel
+            .clone()
+            .with_wl_ratio(2.0 * cell.fefet.channel.wl_ratio());
         let i1 = cell
             .read_current(true, true, ROOM, &CellOffsets::NOMINAL)
             .unwrap()

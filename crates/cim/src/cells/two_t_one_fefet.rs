@@ -100,9 +100,7 @@ impl TwoTransistorOneFefet {
     fn make_fefet(&self, weight: crate::cells::CellWeight, offset: Volt) -> Fefet {
         let mut f = Fefet::new(self.fefet.clone());
         match weight {
-            crate::cells::CellWeight::Bit(bit) => {
-                f.force_state(PolarizationState::from_bit(bit))
-            }
+            crate::cells::CellWeight::Bit(bit) => f.force_state(PolarizationState::from_bit(bit)),
             analog => f.set_polarization(analog.polarization()),
         }
         f.set_vth_offset(offset);
@@ -178,7 +176,12 @@ impl CellDesign for TwoTransistorOneFefet {
         let out = ckt.node("out");
         ckt.add(Element::vdc("VBL", bl, NodeId::GROUND, self.bias.v_bl))?;
         ckt.add(Element::vdc("VSL", sl, NodeId::GROUND, self.bias.v_sl))?;
-        ckt.add(Element::vdc("VWL", wl, NodeId::GROUND, self.bias.wl_for(input)))?;
+        ckt.add(Element::vdc(
+            "VWL",
+            wl,
+            NodeId::GROUND,
+            self.bias.wl_for(input),
+        ))?;
         ckt.add(Element::vdc("VOUT", out, NodeId::GROUND, self.v_out_probe))?;
         let ctx = CellContext {
             index: 0,
@@ -240,10 +243,9 @@ mod tests {
         // proposed cell's worst-case fluctuation must be far below the
         // subthreshold 1FeFET-1R baseline.
         let temps = temperature_sweep(18);
-        let ours = current_fluctuation(&TwoTransistorOneFefet::paper_default(), &temps, ROOM)
-            .unwrap();
-        let baseline =
-            current_fluctuation(&OneFefetOneR::subthreshold(), &temps, ROOM).unwrap();
+        let ours =
+            current_fluctuation(&TwoTransistorOneFefet::paper_default(), &temps, ROOM).unwrap();
+        let baseline = current_fluctuation(&OneFefetOneR::subthreshold(), &temps, ROOM).unwrap();
         assert!(
             ours < 0.6 * baseline,
             "proposed {ours} must beat subthreshold baseline {baseline}"
@@ -296,10 +298,14 @@ mod tests {
             let sl = ckt.node("sl");
             let wl = ckt.node("wl");
             let out = ckt.node("out");
-            ckt.add(Element::vdc("VBL", bl, NodeId::GROUND, cell.bias.v_bl)).unwrap();
-            ckt.add(Element::vdc("VSL", sl, NodeId::GROUND, cell.bias.v_sl)).unwrap();
-            ckt.add(Element::vdc("VWL", wl, NodeId::GROUND, cell.bias.v_wl_on)).unwrap();
-            ckt.add(Element::vdc("VOUT", out, NodeId::GROUND, cell.v_out_probe)).unwrap();
+            ckt.add(Element::vdc("VBL", bl, NodeId::GROUND, cell.bias.v_bl))
+                .unwrap();
+            ckt.add(Element::vdc("VSL", sl, NodeId::GROUND, cell.bias.v_sl))
+                .unwrap();
+            ckt.add(Element::vdc("VWL", wl, NodeId::GROUND, cell.bias.v_wl_on))
+                .unwrap();
+            ckt.add(Element::vdc("VOUT", out, NodeId::GROUND, cell.v_out_probe))
+                .unwrap();
             let ctx = CellContext {
                 index: 0,
                 bl,

@@ -8,8 +8,8 @@
 //! binary input vector per step). Rows share the bit/source lines and
 //! the ADC, as in the paper's Fig. 2/Fig. 6 organization.
 
-use crate::array::CimArray;
-use crate::cells::{CellDesign, CellOffsets, CellWeight};
+use crate::array::{CimArray, MacPath, MacRequest};
+use crate::cells::{CellDesign, CellWeight};
 use crate::transfer::Adc;
 use crate::CimError;
 use ferrocim_units::{Celsius, Joule, Volt};
@@ -147,14 +147,16 @@ impl<C: CellDesign> Crossbar<C> {
                 cells_per_row: self.columns(),
             });
         }
-        let offsets = vec![CellOffsets::NOMINAL; self.columns()];
         let mut digital = Vec::with_capacity(self.rows.len());
         let mut analog = Vec::with_capacity(self.rows.len());
         let mut energy = 0.0;
+        let mut ws = ferrocim_spice::Workspace::new();
         for weights in &self.rows {
-            let out = self
-                .array
-                .mac_analytic_weighted(weights, inputs, temp, &offsets)?;
+            let request = MacRequest::new(inputs)
+                .weighted(weights)
+                .at(temp)
+                .path(MacPath::Analytic);
+            let out = self.array.run_in(&request, &mut ws)?;
             digital.push(self.adc.quantize(out.v_acc));
             analog.push(out.v_acc);
             energy += out.energy.value();
@@ -164,6 +166,87 @@ impl<C: CellDesign> Crossbar<C> {
             analog,
             energy: Joule(energy),
         })
+    }
+
+    /// Executes one matrix–vector product per input vector, fanning the
+    /// `rows × inputs` row-MAC jobs across OS threads with per-thread
+    /// solver workspaces and collapsing duplicate `(row, input)` jobs
+    /// onto one simulation. Output `i` equals
+    /// [`Crossbar::matvec`]`(&inputs[i], temp)` exactly.
+    ///
+    /// # Errors
+    ///
+    /// As [`Crossbar::matvec`].
+    pub fn matvec_batch(
+        &self,
+        inputs: &[Vec<bool>],
+        temp: Celsius,
+    ) -> Result<Vec<MatVecOutput>, CimError>
+    where
+        C: Sync,
+    {
+        for input in inputs {
+            if input.len() != self.columns() {
+                return Err(CimError::MismatchedOperands {
+                    weights: self.columns(),
+                    inputs: input.len(),
+                    cells_per_row: self.columns(),
+                });
+            }
+        }
+        // One job per (input vector, stored row); duplicates (repeated
+        // input vectors or identically programmed rows) run once.
+        let jobs: Vec<(usize, usize)> = (0..inputs.len())
+            .flat_map(|i| (0..self.rows.len()).map(move |r| (i, r)))
+            .collect();
+        let mut unique: Vec<(usize, usize)> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(jobs.len());
+        for &(i, r) in &jobs {
+            let found = unique
+                .iter()
+                .position(|&(j, s)| inputs[j] == inputs[i] && self.rows[s] == self.rows[r]);
+            slot_of.push(found.unwrap_or_else(|| {
+                unique.push((i, r));
+                unique.len() - 1
+            }));
+        }
+        let solved = ferrocim_spice::fan_out(
+            unique.len(),
+            true,
+            ferrocim_spice::Workspace::new,
+            |ws, u| {
+                let (i, r) = unique[u];
+                let request = MacRequest::new(&inputs[i])
+                    .weighted(&self.rows[r])
+                    .at(temp)
+                    .path(MacPath::Analytic);
+                self.array.run_in(&request, ws)
+            },
+        );
+        let mut row_macs = Vec::with_capacity(unique.len());
+        for result in solved {
+            row_macs.push(result?);
+        }
+        Ok(inputs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let mut digital = Vec::with_capacity(self.rows.len());
+                let mut analog = Vec::with_capacity(self.rows.len());
+                let mut energy = 0.0;
+                for r in 0..self.rows.len() {
+                    let out = &row_macs[slot_of[i * self.rows.len() + r]];
+                    digital.push(self.adc.quantize(out.v_acc));
+                    analog.push(out.v_acc);
+                    energy += out.energy.value();
+                }
+                MatVecOutput {
+                    digital,
+                    analog,
+                    energy: Joule(energy),
+                }
+            })
+            .collect())
     }
 }
 
@@ -231,6 +314,29 @@ mod tests {
             "levels not ordered: {:?}",
             out.analog
         );
+    }
+
+    #[test]
+    fn matvec_batch_matches_per_call_matvec() {
+        let mut xbar = small_crossbar(2);
+        xbar.program_row(0, &[true, true, true, false, false, true, true, true])
+            .unwrap();
+        xbar.program_row(1, &[false, false, true, true, true, false, false, false])
+            .unwrap();
+        let inputs: Vec<Vec<bool>> = vec![
+            vec![true; 8],
+            vec![true, false, true, false, true, false, true, false],
+            vec![true; 8], // duplicate of job 0
+        ];
+        let batch = xbar.matvec_batch(&inputs, ROOM).unwrap();
+        for (x, got) in inputs.iter().zip(&batch) {
+            assert_eq!(got, &xbar.matvec(x, ROOM).unwrap());
+        }
+        assert_eq!(batch[0], batch[2]);
+        assert!(matches!(
+            xbar.matvec_batch(&[vec![true; 3]], ROOM),
+            Err(CimError::MismatchedOperands { .. })
+        ));
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //!   `EN`-switched accumulation capacitor `C_acc`, and full-transient or
 //!   analytic charge-sharing MAC evaluation (the paper's Fig. 6 array
 //!   and Eq. (1)); [`Crossbar`] stacks programmable rows into
-//!   matrix–vector tiles.
+//!   matrix–vector tiles. [`ArrayEngine`] batches many input vectors
+//!   over one built row netlist, and [`Crossbar::matvec_batch`] fans
+//!   whole matrix–vector products across threads.
 //! * [`metrics`] — the Noise Margin Rate of Eqs. (2)–(3), output-range
 //!   tables over temperature (optionally variation-inflated), and
 //!   energy-efficiency accounting.
@@ -49,13 +51,15 @@ mod bias;
 pub mod cells;
 pub mod compare;
 mod crossbar;
+mod engine;
 mod error;
 pub mod metrics;
 pub mod program;
 pub mod transfer;
 pub mod tune;
 
-pub use array::{mac_operands, ArrayConfig, CimArray, MacOutput};
+pub use array::{mac_operands, ArrayConfig, CimArray, MacOutput, MacPath, MacRequest};
 pub use bias::ReadBias;
 pub use crossbar::{Crossbar, MatVecOutput};
+pub use engine::ArrayEngine;
 pub use error::CimError;

@@ -3,7 +3,7 @@
 //! energy-efficiency summaries.
 
 use crate::array::{mac_operands, CimArray};
-use crate::cells::{CellDesign, CellOffsets};
+use crate::cells::CellDesign;
 use crate::CimError;
 use ferrocim_units::{Celsius, Joule, Second, Volt};
 use serde::{Deserialize, Serialize};
@@ -96,9 +96,8 @@ impl RangeTable {
             let (s_on, s_off) = array.cell_sigma(t, variation)?;
             for (k, v) in levels.iter().enumerate() {
                 let sigma = gain
-                    * (k as f64 * s_on.value().powi(2)
-                        + (n - k) as f64 * s_off.value().powi(2))
-                    .sqrt();
+                    * (k as f64 * s_on.value().powi(2) + (n - k) as f64 * s_off.value().powi(2))
+                        .sqrt();
                 lo[k] = lo[k].min(v.value() - z * sigma);
                 hi[k] = hi[k].max(v.value() + z * sigma);
             }
@@ -203,16 +202,15 @@ impl EnergyReport {
         temp: Celsius,
     ) -> Result<EnergyReport, CimError> {
         let n = array.config().cells_per_row;
-        let offsets = vec![CellOffsets::NOMINAL; n];
         let mut per_mac = Vec::with_capacity(n + 1);
+        let mut ws = ferrocim_spice::Workspace::new();
         for k in 0..=n {
             let (w, x) = mac_operands(n, k);
-            let out = array.mac_with_offsets(&w, &x, temp, &offsets)?;
+            let request = crate::MacRequest::new(&x).weights(&w).at(temp);
+            let out = array.run_in(&request, &mut ws)?;
             per_mac.push(out.energy);
         }
-        let average = Joule(
-            per_mac.iter().map(|e| e.value()).sum::<f64>() / per_mac.len() as f64,
-        );
+        let average = Joule(per_mac.iter().map(|e| e.value()).sum::<f64>() / per_mac.len() as f64);
         let tops_per_watt = average.tops_per_watt(n as f64 + 1.0);
         Ok(EnergyReport {
             per_mac,

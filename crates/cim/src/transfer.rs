@@ -105,8 +105,7 @@ impl Adc {
 
     /// Quantizes an analog output: the number of thresholds below it.
     pub fn quantize(&self, v: Volt) -> usize {
-        self.thresholds
-            .partition_point(|&t| t < v.value())
+        self.thresholds.partition_point(|&t| t < v.value())
     }
 }
 
@@ -206,7 +205,12 @@ impl TransferModel {
                         m2: config.variation.sample_mosfet_offset(rng, &mut sampler),
                     })
                     .collect();
-                let out = array.mac_analytic(&w, &x, config.temp, &offsets)?;
+                let request = crate::MacRequest::new(&x)
+                    .weights(&w)
+                    .at(config.temp)
+                    .offsets(&offsets)
+                    .path(crate::MacPath::Analytic);
+                let out = array.run(&request)?;
                 Ok(adc.quantize(out.v_acc))
             });
             for read in reads {

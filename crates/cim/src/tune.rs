@@ -192,7 +192,10 @@ impl TuneProblem {
         off_cell.v_out_probe = off_cell.bias.v_sl;
         let mut i_off: f64 = 0.0;
         for &(w, inp) in &[(true, false), (false, true), (false, false)] {
-            for &t in [self.temps.first(), self.temps.last()].into_iter().flatten() {
+            for &t in [self.temps.first(), self.temps.last()]
+                .into_iter()
+                .flatten()
+            {
                 let i = off_cell
                     .read_current(w, inp, t, &CellOffsets::NOMINAL)?
                     .value()
@@ -244,7 +247,10 @@ impl TuneProblem {
                 .collect();
             let outcome = coordinate_search(&params, |x| self.objective(x), per_start)?;
             total_evals += outcome.evaluations;
-            if best.as_ref().is_none_or(|b| outcome.objective < b.objective) {
+            if best
+                .as_ref()
+                .is_none_or(|b| outcome.objective < b.objective)
+            {
                 best = Some(outcome);
             }
         }
@@ -395,7 +401,10 @@ impl ArrayTuneProblem {
                 .collect();
             let outcome = coordinate_search(&params, |x| self.objective(x), per_start)?;
             total_evals += outcome.evaluations;
-            if best.as_ref().is_none_or(|b| outcome.objective < b.objective) {
+            if best
+                .as_ref()
+                .is_none_or(|b| outcome.objective < b.objective)
+            {
                 best = Some(outcome);
             }
         }
@@ -445,8 +454,7 @@ mod tests {
             max: 1.0,
         }];
         // Unbounded optimum at x = 5; search must stop at the bound.
-        let out =
-            coordinate_search::<()>(&params, |x| Ok((x[0] - 5.0).powi(2)), 1_000).unwrap();
+        let out = coordinate_search::<()>(&params, |x| Ok((x[0] - 5.0).powi(2)), 1_000).unwrap();
         assert!((out.best[0] - 1.0).abs() < 1e-9);
     }
 
@@ -473,12 +481,8 @@ mod tests {
         };
         let x: Vec<f64> = problem.params().iter().map(|p| p.start).collect();
         let with_penalty = problem.objective(&x).unwrap();
-        let plain = current_fluctuation(
-            &problem.cell_for(&x),
-            &problem.temps,
-            problem.reference,
-        )
-        .unwrap();
+        let plain =
+            current_fluctuation(&problem.cell_for(&x), &problem.temps, problem.reference).unwrap();
         assert!(with_penalty > plain + 1.0);
     }
 }

@@ -3,7 +3,7 @@
 
 use ferrocim_cim::cells::{CellOffsets, CellWeight, TwoTransistorOneFefet};
 use ferrocim_cim::program::{write_verify_row, WriteVerifyConfig};
-use ferrocim_cim::{mac_operands, ArrayConfig, CimArray, Crossbar};
+use ferrocim_cim::{mac_operands, ArrayConfig, CimArray, Crossbar, MacPath, MacRequest};
 use ferrocim_units::{Celsius, Second, Volt};
 
 const ROOM: Celsius = Celsius(27.0);
@@ -25,7 +25,15 @@ fn crossbar_rows_agree_with_direct_array_macs() {
     let out = xbar.matvec(&inputs, ROOM).unwrap();
     // Direct row-level evaluation of the same operands.
     let offsets = vec![CellOffsets::NOMINAL; 8];
-    let direct = array.mac_analytic(&w, &inputs, ROOM, &offsets).unwrap();
+    let direct = array
+        .run(
+            &MacRequest::new(&inputs)
+                .weights(&w)
+                .at(ROOM)
+                .offsets(&offsets)
+                .path(MacPath::Analytic),
+        )
+        .unwrap();
     assert!((out.analog[0].value() - direct.v_acc.value()).abs() < 1e-12);
     assert_eq!(out.digital[0], direct.expected);
 }
@@ -46,12 +54,28 @@ fn verify_then_matvec_survives_heavy_variation() {
             ..CellOffsets::NOMINAL
         })
         .collect();
-    let raw_out = array.mac_analytic(&w, &x, ROOM, &raw).unwrap();
+    let raw_out = array
+        .run(
+            &MacRequest::new(&x)
+                .weights(&w)
+                .at(ROOM)
+                .offsets(&raw)
+                .path(MacPath::Analytic),
+        )
+        .unwrap();
     let raw_read = adc.quantize(raw_out.v_acc);
     let (trimmed, outcomes) =
         write_verify_row(array.cell(), &weights, &raw, &WriteVerifyConfig::default()).unwrap();
     assert!(outcomes.iter().all(|o| o.converged));
-    let verified_out = array.mac_analytic(&w, &x, ROOM, &trimmed).unwrap();
+    let verified_out = array
+        .run(
+            &MacRequest::new(&x)
+                .weights(&w)
+                .at(ROOM)
+                .offsets(&trimmed)
+                .path(MacPath::Analytic),
+        )
+        .unwrap();
     let verified_read = adc.quantize(verified_out.v_acc);
     assert_eq!(verified_read, 5, "verified row must read the true MAC");
     // The raw row with this skew pattern lands at least as far away.
@@ -62,8 +86,10 @@ fn verify_then_matvec_survives_heavy_variation() {
 fn packed_analog_levels_are_distinct_rows_in_a_crossbar() {
     let array = CimArray::new(TwoTransistorOneFefet::paper_default(), fast_config()).unwrap();
     let mut xbar = Crossbar::new(array, 2).unwrap();
-    xbar.program_row_levels(0, &vec![CellWeight::Analog(1.0); 8]).unwrap();
-    xbar.program_row_levels(1, &vec![CellWeight::Analog(0.9); 8]).unwrap();
+    xbar.program_row_levels(0, &[CellWeight::Analog(1.0); 8])
+        .unwrap();
+    xbar.program_row_levels(1, &[CellWeight::Analog(0.9); 8])
+        .unwrap();
     let out = xbar.matvec(&[true; 8], ROOM).unwrap();
     assert!(
         out.analog[0].value() > out.analog[1].value() + 1e-3,

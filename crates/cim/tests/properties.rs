@@ -109,3 +109,64 @@ proptest! {
         prop_assert_eq!(bias.wl_for(false), bias.v_wl_off);
     }
 }
+
+mod batch {
+    use ferrocim_cim::cells::TwoTransistorOneFefet;
+    use ferrocim_cim::{ArrayConfig, ArrayEngine, CimArray, MacPath, MacRequest};
+    use ferrocim_units::{Celsius, Second};
+    use proptest::prelude::*;
+
+    proptest! {
+        // Full transients are expensive; a handful of random batches
+        // over a small row already exercises the dedupe, retarget, and
+        // scatter paths.
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// `ArrayEngine::mac_batch` must agree with looping
+        /// `CimArray::run` over the same jobs to 1e-12 (they are in
+        /// fact bitwise identical) for any weights, inputs — with
+        /// duplicates — and temperature.
+        #[test]
+        fn mac_batch_matches_per_call_runs(
+            weights in prop::collection::vec(any::<bool>(), 4),
+            inputs in prop::collection::vec(prop::collection::vec(any::<bool>(), 4), 1..4),
+            dup in 0usize..3,
+            temp_c in prop::sample::select(vec![0.0, 27.0, 85.0]),
+        ) {
+            let config = ArrayConfig {
+                cells_per_row: 4,
+                dt: Second(100e-12),
+                ..ArrayConfig::paper_default()
+            };
+            let array =
+                CimArray::new(TwoTransistorOneFefet::paper_default(), config).unwrap();
+            // Duplicate one job so the dedupe path always runs.
+            let mut inputs = inputs;
+            inputs.push(inputs[dup % inputs.len()].clone());
+            let temp = Celsius(temp_c);
+            let engine = ArrayEngine::new(&array, &weights).unwrap();
+            let batch = engine.mac_batch(&inputs, temp).unwrap();
+            prop_assert_eq!(batch.len(), inputs.len());
+            for (x, got) in inputs.iter().zip(&batch) {
+                let solo = array
+                    .run(
+                        &MacRequest::new(x)
+                            .weights(&weights)
+                            .at(temp)
+                            .path(MacPath::Transient),
+                    )
+                    .unwrap();
+                prop_assert!(
+                    (got.v_acc.value() - solo.v_acc.value()).abs() < 1e-12,
+                    "v_acc {} vs {}", got.v_acc.value(), solo.v_acc.value()
+                );
+                prop_assert!(
+                    (got.energy.value() - solo.energy.value()).abs()
+                        < 1e-12 * solo.energy.value().abs().max(1e-30),
+                    "energy {} vs {}", got.energy.value(), solo.energy.value()
+                );
+                prop_assert_eq!(got, &solo);
+            }
+        }
+    }
+}

@@ -32,7 +32,10 @@ impl fmt::Display for DeviceError {
                 name,
                 value,
                 requirement,
-            } => write!(f, "device parameter `{name}` = {value} must be {requirement}"),
+            } => write!(
+                f,
+                "device parameter `{name}` = {value} must be {requirement}"
+            ),
             DeviceError::EmptyMemoryWindow { low_vt, high_vt } => write!(
                 f,
                 "fefet memory window is empty: low-Vt {low_vt} V is not below high-Vt {high_vt} V"

@@ -415,7 +415,10 @@ mod tests {
     #[test]
     fn bit_round_trip() {
         assert_eq!(PolarizationState::from_bit(true), PolarizationState::LowVt);
-        assert_eq!(PolarizationState::from_bit(false), PolarizationState::HighVt);
+        assert_eq!(
+            PolarizationState::from_bit(false),
+            PolarizationState::HighVt
+        );
         assert!(PolarizationState::LowVt.bit());
         assert!(!PolarizationState::HighVt.bit());
     }

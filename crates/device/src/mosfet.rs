@@ -239,7 +239,10 @@ impl MosfetModel {
     /// (includes the linear temperature drift and DIBL).
     pub fn vth_at(&self, temp: Celsius, vds: Volt) -> Volt {
         let dt = temp.value() - MosfetParams::T_REF.value();
-        Volt(self.params.vth0.value() + self.params.vth_temp_coeff * dt - self.params.dibl * vds.value())
+        Volt(
+            self.params.vth0.value() + self.params.vth_temp_coeff * dt
+                - self.params.dibl * vds.value(),
+        )
     }
 
     /// Specific (normalization) current `I_S = 2 n µ(T) C_ox (W/L) U_T²`.
@@ -400,7 +403,13 @@ mod tests {
     fn derivatives_match_finite_differences() {
         let m = model();
         let h = 1e-7;
-        for &(vgs, vds) in &[(0.35, 0.2), (0.35, 0.05), (0.8, 0.6), (1.3, 1.3), (0.1, 0.01)] {
+        for &(vgs, vds) in &[
+            (0.35, 0.2),
+            (0.35, 0.05),
+            (0.8, 0.6),
+            (1.3, 1.3),
+            (0.1, 0.01),
+        ] {
             let s = m.evaluate(Volt(vgs), Volt(vds), ROOM);
             let ip = m.ids(Volt(vgs + h), Volt(vds), ROOM).value();
             let im = m.ids(Volt(vgs - h), Volt(vds), ROOM).value();
@@ -427,7 +436,10 @@ mod tests {
         // I(vgs, vds) with swapped terminals: I(vg−vd as vgs, −vds).
         let fwd = m.ids(Volt(0.5), Volt(0.3), ROOM).value();
         let rev = m.ids(Volt(0.5 - 0.3), Volt(-0.3), ROOM).value();
-        assert!((fwd + rev).abs() < 1e-9 * fwd.abs().max(1e-12), "fwd {fwd} rev {rev}");
+        assert!(
+            (fwd + rev).abs() < 1e-9 * fwd.abs().max(1e-12),
+            "fwd {fwd} rev {rev}"
+        );
     }
 
     #[test]

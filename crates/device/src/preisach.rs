@@ -102,12 +102,30 @@ impl Preisach {
     /// Panics if `params.domains == 0` or any voltage/time parameter is
     /// non-positive — these are construction-time configuration bugs.
     pub fn new(params: PreisachParams) -> Self {
-        assert!(params.domains > 0, "preisach ensemble needs at least one domain");
-        assert!(params.coercive.value() > 0.0, "coercive voltage must be positive");
-        assert!(params.sigma.value() > 0.0, "threshold spread must be positive");
-        assert!(params.attempt_time.value() > 0.0, "attempt time must be positive");
-        assert!(params.activation.value() > 0.0, "activation voltage must be positive");
-        assert!(params.erase_slowdown > 0.0, "erase slowdown must be positive");
+        assert!(
+            params.domains > 0,
+            "preisach ensemble needs at least one domain"
+        );
+        assert!(
+            params.coercive.value() > 0.0,
+            "coercive voltage must be positive"
+        );
+        assert!(
+            params.sigma.value() > 0.0,
+            "threshold spread must be positive"
+        );
+        assert!(
+            params.attempt_time.value() > 0.0,
+            "attempt time must be positive"
+        );
+        assert!(
+            params.activation.value() > 0.0,
+            "activation voltage must be positive"
+        );
+        assert!(
+            params.erase_slowdown > 0.0,
+            "erase slowdown must be positive"
+        );
         let n = params.domains;
         let mut v_up = Vec::with_capacity(n);
         let mut v_dn = Vec::with_capacity(n);
@@ -255,7 +273,10 @@ mod tests {
         let mut p = fresh();
         p.apply_pulse(Volt(2.2), Second(115e-9));
         let pol = p.polarization();
-        assert!(pol > -1.0 && pol < 0.9, "partial switching expected, P = {pol}");
+        assert!(
+            pol > -1.0 && pol < 0.9,
+            "partial switching expected, P = {pol}"
+        );
     }
 
     #[test]
@@ -287,7 +308,10 @@ mod tests {
         for mv in (0..=4000).step_by(250) {
             p.apply_quasi_static(Volt(mv as f64 * 1e-3));
             let pol = p.polarization();
-            assert!(pol >= last - 1e-12, "polarization decreased on rising field");
+            assert!(
+                pol >= last - 1e-12,
+                "polarization decreased on rising field"
+            );
             last = pol;
         }
         assert!((last - 1.0).abs() < 1e-12, "4 V quasi-static must saturate");

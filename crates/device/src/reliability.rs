@@ -201,7 +201,10 @@ mod tests {
         assert_eq!(fresh, 1.0);
         assert!(woken > 1.0, "wake-up widens the window ({woken})");
         assert!(tired < woken && tired > half);
-        assert!((half - 0.55).abs() < 0.1, "≈ half at the rated point: {half}");
+        assert!(
+            (half - 0.55).abs() < 0.1,
+            "≈ half at the rated point: {half}"
+        );
         assert!(model.window_factor(2e11).is_none(), "breakdown");
     }
 

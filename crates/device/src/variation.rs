@@ -122,12 +122,13 @@ mod tests {
         let mut rng = seeded_rng(7);
         let mut g = GaussianSampler::new();
         let n = 100_000;
-        let beyond_2sigma = (0..n)
-            .filter(|_| g.sample(&mut rng).abs() > 2.0)
-            .count() as f64
-            / n as f64;
+        let beyond_2sigma =
+            (0..n).filter(|_| g.sample(&mut rng).abs() > 2.0).count() as f64 / n as f64;
         // True value 4.55 %.
-        assert!((beyond_2sigma - 0.0455).abs() < 0.005, "got {beyond_2sigma}");
+        assert!(
+            (beyond_2sigma - 0.0455).abs() < 0.005,
+            "got {beyond_2sigma}"
+        );
     }
 
     #[test]

@@ -33,6 +33,19 @@ pub trait MacOracle: Sync {
     /// Reads out one row MAC.
     fn read(&self, true_count: usize, rng: &mut StdRng) -> usize;
 
+    /// Reads out a batch of row MACs into `out` (cleared first), one
+    /// readout per entry of `true_counts`, in order.
+    ///
+    /// The default implementation loops [`MacOracle::read`]. Oracles
+    /// backed by batched hardware simulation can override it for
+    /// throughput, but an override must consume RNG draws in exactly
+    /// the slice order the default does, so seeded network evaluations
+    /// are independent of how reads are batched.
+    fn read_batch(&self, true_counts: &[usize], out: &mut Vec<usize>, rng: &mut StdRng) {
+        out.clear();
+        out.extend(true_counts.iter().map(|&c| self.read(c, rng)));
+    }
+
     /// The row width this oracle models.
     fn cells_per_row(&self) -> usize;
 }
@@ -86,6 +99,15 @@ impl Default for CimMapping {
     }
 }
 
+/// Reusable buffers for the bit-serial decomposition, so the inner
+/// loops of a convolution pay no per-dot-product allocation.
+#[derive(Debug, Clone, Default)]
+pub struct DotScratch {
+    counts: Vec<usize>,
+    terms: Vec<i64>,
+    reads: Vec<usize>,
+}
+
 /// Executes one signed dot product through the CIM row decomposition.
 ///
 /// Returns the *integer* accumulation (to be scaled by
@@ -97,6 +119,24 @@ pub fn cim_dot<O: MacOracle>(
     oracle: &O,
     rng: &mut StdRng,
 ) -> i64 {
+    cim_dot_in(w, a, mapping, oracle, rng, &mut DotScratch::default())
+}
+
+/// [`cim_dot`] with caller-owned scratch buffers.
+///
+/// All row reads of the dot product are gathered first — per operand
+/// chunk, weight bit, activation bit: the positive then the negative
+/// partial count — and issued as one [`MacOracle::read_batch`] call in
+/// exactly that order, which keeps seeded results identical to reading
+/// one at a time.
+pub fn cim_dot_in<O: MacOracle>(
+    w: &QuantizedWeights,
+    a: &[u8],
+    mapping: &CimMapping,
+    oracle: &O,
+    rng: &mut StdRng,
+    scratch: &mut DotScratch,
+) -> i64 {
     assert_eq!(w.values.len(), a.len(), "operand length mismatch");
     assert_eq!(
         oracle.cells_per_row(),
@@ -104,7 +144,8 @@ pub fn cim_dot<O: MacOracle>(
         "oracle row width does not match the mapping"
     );
     let n = mapping.cells_per_row;
-    let mut acc: i64 = 0;
+    scratch.counts.clear();
+    scratch.terms.clear();
     for (wc, ac) in w.values.chunks(n).zip(a.chunks(n)) {
         for wb in 0..w.magnitude_bits() {
             for ab in 0..mapping.activation_bits {
@@ -125,15 +166,24 @@ pub fn cim_dot<O: MacOracle>(
                 }
                 let shift = (wb + ab) as u32;
                 if pos > 0 {
-                    acc += (oracle.read(pos, rng) as i64) << shift;
+                    scratch.counts.push(pos);
+                    scratch.terms.push(1i64 << shift);
                 }
                 if neg > 0 {
-                    acc -= (oracle.read(neg, rng) as i64) << shift;
+                    scratch.counts.push(neg);
+                    scratch.terms.push(-(1i64 << shift));
                 }
             }
         }
     }
-    acc
+    oracle.read_batch(&scratch.counts, &mut scratch.reads, rng);
+    debug_assert_eq!(scratch.reads.len(), scratch.counts.len());
+    scratch
+        .terms
+        .iter()
+        .zip(&scratch.reads)
+        .map(|(&term, &read)| term * read as i64)
+        .sum()
 }
 
 /// Pre-quantized weights of one network layer (rows of the weight
@@ -269,14 +319,16 @@ impl CimNetwork {
                             .zip(ys)
                             .enumerate()
                             .filter(|(i, (x, &y))| {
-                                self.predict(x, oracle, seed ^ ((t * chunk + i) as u64) << 13)
-                                    == y
+                                self.predict(x, oracle, seed ^ ((t * chunk + i) as u64) << 13) == y
                             })
                             .count()
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum()
         });
         hits as f64 / inputs.len() as f64
     }
@@ -296,6 +348,7 @@ impl CimNetwork {
         let mut out = Tensor::zeros(&[filters.len(), h, w]);
         // Gather the quantized 3×3 patch per output pixel (im2col row).
         let mut patch = vec![0u8; in_channels * 9];
+        let mut scratch = DotScratch::default();
         for oy in 0..h {
             for ox in 0..w {
                 patch.fill(0);
@@ -312,15 +365,13 @@ impl CimNetwork {
                                 continue;
                             }
                             let ix = ix - 1;
-                            patch[(i * 3 + kh) * 3 + kw] =
-                                qa.values[(i * h + iy) * w + ix];
+                            patch[(i * 3 + kh) * 3 + kw] = qa.values[(i * h + iy) * w + ix];
                         }
                     }
                 }
                 for (o, filter) in filters.iter().enumerate() {
-                    let acc = cim_dot(filter, &patch, &self.mapping, oracle, rng);
-                    *out.at3_mut(o, oy, ox) =
-                        acc as f32 * filter.scale * qa.scale + bias[o];
+                    let acc = cim_dot_in(filter, &patch, &self.mapping, oracle, rng, &mut scratch);
+                    *out.at3_mut(o, oy, ox) = acc as f32 * filter.scale * qa.scale + bias[o];
                 }
             }
         }
@@ -337,8 +388,9 @@ impl CimNetwork {
     ) -> Tensor {
         let qa = quantize_activations(x.data(), self.mapping.activation_bits);
         let mut out = Tensor::zeros(&[rows.len()]);
+        let mut scratch = DotScratch::default();
         for (o, row) in rows.iter().enumerate() {
-            let acc = cim_dot(row, &qa.values, &self.mapping, oracle, rng);
+            let acc = cim_dot_in(row, &qa.values, &self.mapping, oracle, rng, &mut scratch);
             out.data_mut()[o] = acc as f32 * row.scale * qa.scale + bias[o];
         }
         out
@@ -382,11 +434,114 @@ mod tests {
         let lin = Linear::new(16, 4, &mut rng);
         let net = Network::new(vec![Layer::Linear(lin.clone()), Layer::Relu]);
         let cim = CimNetwork::map(&net, CimMapping::default());
-        let x = Tensor::from_vec(&[16], (0..16).map(|i| (i as f32 * 0.31).sin().abs()).collect());
+        let x = Tensor::from_vec(
+            &[16],
+            (0..16).map(|i| (i as f32 * 0.31).sin().abs()).collect(),
+        );
         let float_out = net.forward(&x);
         let cim_out = cim.forward(&x, &IdealMac(8), 7);
         for (f, c) in float_out.data().iter().zip(cim_out.data()) {
             assert!((f - c).abs() < 0.15, "float {f} vs cim {c}");
+        }
+    }
+
+    /// A stochastic oracle whose reads each consume one RNG draw, so
+    /// tests can detect any change in draw order.
+    struct Noisy;
+    impl MacOracle for Noisy {
+        fn read(&self, true_count: usize, rng: &mut StdRng) -> usize {
+            (true_count + rng.random_range(0..2)).min(8)
+        }
+        fn cells_per_row(&self) -> usize {
+            8
+        }
+    }
+
+    #[test]
+    fn read_batch_consumes_rng_in_read_order() {
+        let counts = [3usize, 5, 1, 0, 8, 2];
+        let mut batch_rng = StdRng::seed_from_u64(9);
+        let mut batched = Vec::new();
+        Noisy.read_batch(&counts, &mut batched, &mut batch_rng);
+        let mut serial_rng = StdRng::seed_from_u64(9);
+        let serial: Vec<usize> = counts
+            .iter()
+            .map(|&c| Noisy.read(c, &mut serial_rng))
+            .collect();
+        assert_eq!(batched, serial);
+        // Both paths must have consumed the same number of draws.
+        assert_eq!(batch_rng.random::<u64>(), serial_rng.random::<u64>());
+    }
+
+    #[test]
+    fn batched_dot_matches_draw_by_draw_reference() {
+        // cim_dot gathers all reads into one read_batch call; a seeded
+        // stochastic oracle must see the exact same draw sequence as
+        // the historical read-one-at-a-time loop.
+        let mut rng = StdRng::seed_from_u64(12);
+        let mapping = CimMapping::default();
+        for _ in 0..20 {
+            let len = rng.random_range(1..40);
+            let w: Vec<f32> = (0..len).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let a: Vec<f32> = (0..len).map(|_| rng.random_range(0.0..1.0)).collect();
+            let qw = quantize_weights(&w, mapping.weight_bits);
+            let qa = quantize_activations(&a, mapping.activation_bits);
+
+            let mut batch_rng = StdRng::seed_from_u64(77);
+            let batched = cim_dot(&qw, &qa.values, &mapping, &Noisy, &mut batch_rng);
+
+            // Reference: the pre-batching formulation, reading each
+            // partial count as soon as it is formed.
+            let mut serial_rng = StdRng::seed_from_u64(77);
+            let n = mapping.cells_per_row;
+            let mut acc: i64 = 0;
+            for (wc, ac) in qw.values.chunks(n).zip(qa.values.chunks(n)) {
+                for wb in 0..qw.magnitude_bits() {
+                    for ab in 0..mapping.activation_bits {
+                        let mut pos = 0usize;
+                        let mut neg = 0usize;
+                        for (&wv, &av) in wc.iter().zip(ac) {
+                            if (av >> ab) & 1 == 0 {
+                                continue;
+                            }
+                            if (wv.unsigned_abs() >> wb) & 1 == 1 {
+                                if wv > 0 {
+                                    pos += 1;
+                                } else {
+                                    neg += 1;
+                                }
+                            }
+                        }
+                        let shift = (wb + ab) as u32;
+                        if pos > 0 {
+                            acc += (Noisy.read(pos, &mut serial_rng) as i64) << shift;
+                        }
+                        if neg > 0 {
+                            acc -= (Noisy.read(neg, &mut serial_rng) as i64) << shift;
+                        }
+                    }
+                }
+            }
+            assert_eq!(batched, acc, "len {len}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_change_results() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mapping = CimMapping::default();
+        let mut scratch = DotScratch::default();
+        for _ in 0..10 {
+            let len = rng.random_range(1..30);
+            let w: Vec<f32> = (0..len).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let a: Vec<f32> = (0..len).map(|_| rng.random_range(0.0..1.0)).collect();
+            let qw = quantize_weights(&w, mapping.weight_bits);
+            let qa = quantize_activations(&a, mapping.activation_bits);
+            let mut r1 = StdRng::seed_from_u64(5);
+            let mut r2 = StdRng::seed_from_u64(5);
+            let fresh = cim_dot(&qw, &qa.values, &mapping, &Noisy, &mut r1);
+            let reused = cim_dot_in(&qw, &qa.values, &mapping, &Noisy, &mut r2, &mut scratch);
+            assert_eq!(fresh, reused);
         }
     }
 
@@ -433,6 +588,12 @@ mod tests {
     fn mapping_oracle_mismatch_is_rejected() {
         let qw = quantize_weights(&[0.5; 8], 4);
         let mut rng = StdRng::seed_from_u64(0);
-        let _ = cim_dot(&qw, &[1u8; 8], &CimMapping::default(), &IdealMac(4), &mut rng);
+        let _ = cim_dot(
+            &qw,
+            &[1u8; 8],
+            &CimMapping::default(),
+            &IdealMac(4),
+            &mut rng,
+        );
     }
 }

@@ -91,9 +91,8 @@ impl Generator {
         let mut labels = Vec::with_capacity(n);
         for i in 0..n {
             let class = i % CLASSES;
-            let mut rng = StdRng::seed_from_u64(
-                self.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
-            );
+            let mut rng =
+                StdRng::seed_from_u64(self.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
             images.push(self.render(class, &mut rng));
             labels.push(class);
         }
@@ -153,7 +152,11 @@ impl Generator {
                 // Vertical gradient + horizontal stripe band.
                 3 => {
                     let g = fy / SIDE as f32;
-                    let band = if (fy - cy).abs() < 4.0 * scale { 0.9 } else { 0.0 };
+                    let band = if (fy - cy).abs() < 4.0 * scale {
+                        0.9
+                    } else {
+                        0.0
+                    };
                     (g * 0.6 + band).min(1.0)
                 }
                 // Cross.

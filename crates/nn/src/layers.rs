@@ -54,7 +54,11 @@ impl Conv2d {
 
     fn forward(&self, x: &Tensor) -> Tensor {
         let (h, w) = (x.shape()[1], x.shape()[2]);
-        assert_eq!(x.shape()[0], self.in_channels, "conv input channel mismatch");
+        assert_eq!(
+            x.shape()[0],
+            self.in_channels,
+            "conv input channel mismatch"
+        );
         let mut out = Tensor::zeros(&[self.out_channels, h, w]);
         let wd = self.weight.data();
         let xd = x.data();
@@ -224,8 +228,7 @@ impl Linear {
         let xd = x.data();
         for (o, ov) in out.data_mut().iter_mut().enumerate() {
             let row = &wd[o * in_dim..(o + 1) * in_dim];
-            *ov = self.bias.data()[o]
-                + row.iter().zip(xd).map(|(a, b)| a * b).sum::<f32>();
+            *ov = self.bias.data()[o] + row.iter().zip(xd).map(|(a, b)| a * b).sum::<f32>();
         }
         out
     }
@@ -326,10 +329,8 @@ impl Layer {
             Layer::Linear(lin) => (lin.forward(x), Cache::Linear(x.clone())),
             Layer::Relu => {
                 let mask: Vec<bool> = x.data().iter().map(|&v| v > 0.0).collect();
-                let out = Tensor::from_vec(
-                    x.shape(),
-                    x.data().iter().map(|&v| v.max(0.0)).collect(),
-                );
+                let out =
+                    Tensor::from_vec(x.shape(), x.data().iter().map(|&v| v.max(0.0)).collect());
                 (out, Cache::Relu(mask))
             }
             Layer::Flatten => {
@@ -339,9 +340,7 @@ impl Layer {
             Layer::Noise(sigma) => match mode {
                 Mode::Eval => (x.clone(), Cache::None),
                 Mode::Train => {
-                    let rms = (x.data().iter().map(|v| v * v).sum::<f32>()
-                        / x.len() as f32)
-                        .sqrt();
+                    let rms = (x.data().iter().map(|v| v * v).sum::<f32>() / x.len() as f32).sqrt();
                     let scale = sigma * rms;
                     let out = Tensor::from_vec(
                         x.shape(),
@@ -349,8 +348,7 @@ impl Layer {
                             .iter()
                             .map(|&v| {
                                 // Irwin–Hall(3) approximates a Gaussian.
-                                let s: f32 =
-                                    (0..3).map(|_| rng.random_range(-1.0f32..1.0)).sum();
+                                let s: f32 = (0..3).map(|_| rng.random_range(-1.0f32..1.0)).sum();
                                 v + scale * s / 3.0f32.sqrt()
                             })
                             .collect(),
@@ -501,7 +499,10 @@ mod tests {
     fn conv_backward_matches_finite_differences() {
         let mut r = rng();
         let conv = Conv2d::new(2, 3, &mut r);
-        let x = Tensor::from_vec(&[2, 4, 4], (0..32).map(|i| (i as f32 * 0.37).sin()).collect());
+        let x = Tensor::from_vec(
+            &[2, 4, 4],
+            (0..32).map(|i| (i as f32 * 0.37).sin()).collect(),
+        );
         let y = conv.forward(&x);
         // Scalar loss: sum of outputs → grad = ones.
         let grad = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);

@@ -73,7 +73,10 @@ impl ConfusionMatrix {
 
     /// Total recorded observations.
     pub fn total(&self) -> usize {
-        self.counts.iter().map(|row| row.iter().sum::<usize>()).sum()
+        self.counts
+            .iter()
+            .map(|row| row.iter().sum::<usize>())
+            .sum()
     }
 
     /// Overall accuracy (0 for an empty matrix).

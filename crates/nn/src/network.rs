@@ -106,7 +106,11 @@ impl Network {
 
 /// Softmax cross-entropy: returns the loss and `∂L/∂logits`.
 pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> (f32, Tensor) {
-    let max = logits.data().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let max = logits
+        .data()
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = logits.data().iter().map(|&v| (v - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
     let mut grad = Tensor::zeros(logits.shape());
@@ -354,11 +358,20 @@ fn batch_grads(
                 .enumerate()
                 .map(|(t, part)| {
                     scope.spawn(move || {
-                        worker(network, inputs, labels, part, dropout_seed ^ (t as u64) << 17)
+                        worker(
+                            network,
+                            inputs,
+                            labels,
+                            part,
+                            dropout_seed ^ (t as u64) << 17,
+                        )
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         })
     };
     let mut total_loss = 0.0;
@@ -470,9 +483,7 @@ mod tests {
             .map(|i| Tensor::from_vec(&[3], vec![i as f32 * 0.1, 0.5, -0.2]))
             .collect();
         let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
-        let build = |rng: &mut StdRng| {
-            Network::new(vec![Layer::Linear(Linear::new(3, 2, rng))])
-        };
+        let build = |rng: &mut StdRng| Network::new(vec![Layer::Linear(Linear::new(3, 2, rng))]);
         let config = TrainConfig {
             epochs: 3,
             threads: 1,

@@ -114,7 +114,10 @@ mod tests {
         let q = quantize_weights(&data, 4);
         let deq = q.dequantize();
         for (orig, back) in data.iter().zip(&deq) {
-            assert!((orig - back).abs() <= q.scale * 0.5 + 1e-7, "{orig} vs {back}");
+            assert!(
+                (orig - back).abs() <= q.scale * 0.5 + 1e-7,
+                "{orig} vs {back}"
+            );
         }
         assert_eq!(q.magnitude_bits(), 3);
     }

@@ -20,7 +20,10 @@ impl Tensor {
     /// Panics on an empty shape or zero-sized dimension.
     pub fn zeros(shape: &[usize]) -> Tensor {
         assert!(!shape.is_empty(), "tensor shape cannot be empty");
-        assert!(shape.iter().all(|&d| d > 0), "zero-sized dimension in {shape:?}");
+        assert!(
+            shape.iter().all(|&d| d > 0),
+            "zero-sized dimension in {shape:?}"
+        );
         Tensor {
             shape: shape.to_vec(),
             data: vec![0.0; shape.iter().product()],

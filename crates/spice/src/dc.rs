@@ -1,8 +1,8 @@
 //! DC operating-point analysis.
 
-use crate::mna::{newton_solve, CapMode, Layout, NewtonOptions};
+use crate::mna::{newton_solve_in, CapMode, Layout, NewtonOptions};
 use crate::netlist::{Circuit, Element, NodeId};
-use crate::SpiceError;
+use crate::{SpiceError, Workspace};
 use ferrocim_units::{Ampere, Celsius, Second, Volt};
 use std::collections::HashMap;
 
@@ -52,7 +52,9 @@ impl OperatingPoint {
     pub fn source_power(&self, circuit: &Circuit, name: &str) -> Result<f64, SpiceError> {
         let i = self.source_current(name)?.value();
         match circuit.element(name) {
-            Some(Element::VoltageSource { pos, neg, waveform, .. }) => {
+            Some(Element::VoltageSource {
+                pos, neg, waveform, ..
+            }) => {
                 let v = waveform.at(Second::ZERO).value();
                 let _ = (pos, neg);
                 Ok(-v * i)
@@ -132,29 +134,38 @@ impl<'a> DcAnalysis<'a> {
     /// * [`SpiceError::NoConvergence`] if Newton iteration fails.
     /// * [`SpiceError::SingularMatrix`] for degenerate circuits.
     pub fn solve(&self) -> Result<OperatingPoint, SpiceError> {
+        self.solve_in(&mut Workspace::new())
+    }
+
+    /// [`DcAnalysis::solve`] using a caller-owned [`Workspace`] for all
+    /// solver buffers. Repeated solves through the same workspace skip
+    /// the per-solve matrix/vector allocations; the numerical result is
+    /// bitwise identical to [`DcAnalysis::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DcAnalysis::solve`].
+    pub fn solve_in(&self, ws: &mut Workspace) -> Result<OperatingPoint, SpiceError> {
         let layout = Layout::of(self.circuit);
-        let x0 = match &self.initial_guess {
+        let mut x = match &self.initial_guess {
             Some(guess) if guess.len() == layout.size => guess.clone(),
             _ => vec![0.0; layout.size],
         };
-        let x = newton_solve(
+        newton_solve_in(
             self.circuit,
             &layout,
             Second::ZERO,
             self.temp,
             CapMode::Open,
-            &x0,
+            &mut x,
             &self.options,
+            ws,
         )?;
         Ok(pack_solution(self.circuit, &layout, x))
     }
 }
 
-pub(crate) fn pack_solution(
-    circuit: &Circuit,
-    layout: &Layout,
-    x: Vec<f64>,
-) -> OperatingPoint {
+pub(crate) fn pack_solution(circuit: &Circuit, layout: &Layout, x: Vec<f64>) -> OperatingPoint {
     let mut voltages = vec![0.0; circuit.node_count()];
     let n = circuit.node_count();
     voltages[1..n].copy_from_slice(&x[..n - 1]);
@@ -186,9 +197,12 @@ mod tests {
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
         let out = ckt.node("out");
-        ckt.add(Element::vdc("V1", vin, NodeId::GROUND, Volt(1.2))).unwrap();
-        ckt.add(Element::resistor("R1", vin, out, Ohm(2e3))).unwrap();
-        ckt.add(Element::resistor("R2", out, NodeId::GROUND, Ohm(1e3))).unwrap();
+        ckt.add(Element::vdc("V1", vin, NodeId::GROUND, Volt(1.2)))
+            .unwrap();
+        ckt.add(Element::resistor("R1", vin, out, Ohm(2e3)))
+            .unwrap();
+        ckt.add(Element::resistor("R2", out, NodeId::GROUND, Ohm(1e3)))
+            .unwrap();
         let op = DcAnalysis::new(&ckt).solve().unwrap();
         assert!((op.voltage(out).value() - 0.4).abs() < 1e-6);
         // Battery delivers 1.2 V / 3 kΩ = 0.4 mA: branch current is −0.4 mA.
@@ -209,7 +223,8 @@ mod tests {
             current: Ampere(1e-6),
         })
         .unwrap();
-        ckt.add(Element::resistor("R1", out, NodeId::GROUND, Ohm(1e5))).unwrap();
+        ckt.add(Element::resistor("R1", out, NodeId::GROUND, Ohm(1e5)))
+            .unwrap();
         let op = DcAnalysis::new(&ckt).solve().unwrap();
         assert!((op.voltage(out).value() - 0.1).abs() < 1e-6);
     }
@@ -219,10 +234,17 @@ mod tests {
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
         let out = ckt.node("out");
-        ckt.add(Element::vdc("V1", vin, NodeId::GROUND, Volt(1.0))).unwrap();
-        ckt.add(Element::resistor("R1", vin, out, Ohm(1e3))).unwrap();
-        ckt.add(Element::capacitor("C1", out, NodeId::GROUND, ferrocim_units::Farad(1e-15)))
+        ckt.add(Element::vdc("V1", vin, NodeId::GROUND, Volt(1.0)))
             .unwrap();
+        ckt.add(Element::resistor("R1", vin, out, Ohm(1e3)))
+            .unwrap();
+        ckt.add(Element::capacitor(
+            "C1",
+            out,
+            NodeId::GROUND,
+            ferrocim_units::Farad(1e-15),
+        ))
+        .unwrap();
         let op = DcAnalysis::new(&ckt).solve().unwrap();
         // No DC path from `out` except GMIN: node floats up to the rail.
         assert!((op.voltage(out).value() - 1.0).abs() < 1e-3);
@@ -235,21 +257,34 @@ mod tests {
         let vdd = ckt.node("vdd");
         let gate = ckt.node("g");
         let drain = ckt.node("d");
-        ckt.add(Element::vdc("VDD", vdd, NodeId::GROUND, Volt(1.2))).unwrap();
-        ckt.add(Element::vdc("VG", gate, NodeId::GROUND, Volt(0.9))).unwrap();
-        ckt.add(Element::resistor("RD", vdd, drain, Ohm(20e3))).unwrap();
-        let model = MosfetModel::new(MosfetParams::nmos_14nm().with_wl_ratio(8.0));
-        ckt.add(Element::mosfet("M1", drain, gate, NodeId::GROUND, model.clone()))
+        ckt.add(Element::vdc("VDD", vdd, NodeId::GROUND, Volt(1.2)))
             .unwrap();
+        ckt.add(Element::vdc("VG", gate, NodeId::GROUND, Volt(0.9)))
+            .unwrap();
+        ckt.add(Element::resistor("RD", vdd, drain, Ohm(20e3)))
+            .unwrap();
+        let model = MosfetModel::new(MosfetParams::nmos_14nm().with_wl_ratio(8.0));
+        ckt.add(Element::mosfet(
+            "M1",
+            drain,
+            gate,
+            NodeId::GROUND,
+            model.clone(),
+        ))
+        .unwrap();
         let op = DcAnalysis::new(&ckt).solve().unwrap();
         let vd = op.voltage(drain).value();
-        assert!(vd > 0.0 && vd < 1.2, "drain must bias between rails, got {vd}");
+        assert!(
+            vd > 0.0 && vd < 1.2,
+            "drain must bias between rails, got {vd}"
+        );
         // KCL check: resistor current equals transistor current.
         let ir = (1.2 - vd) / 20e3;
-        let it = model
-            .ids(Volt(0.9), Volt(vd), ROOM)
-            .value();
-        assert!((ir - it).abs() < 1e-6 * ir.abs().max(1e-9), "ir {ir} vs it {it}");
+        let it = model.ids(Volt(0.9), Volt(vd), ROOM).value();
+        assert!(
+            (ir - it).abs() < 1e-6 * ir.abs().max(1e-9),
+            "ir {ir} vs it {it}"
+        );
     }
 
     #[test]
@@ -257,10 +292,12 @@ mod tests {
         let mut ckt = Circuit::new();
         let vdd = ckt.node("vdd");
         let d = ckt.node("d");
-        ckt.add(Element::vdc("VDD", vdd, NodeId::GROUND, Volt(1.2))).unwrap();
+        ckt.add(Element::vdc("VDD", vdd, NodeId::GROUND, Volt(1.2)))
+            .unwrap();
         ckt.add(Element::resistor("R", vdd, d, Ohm(1e6))).unwrap();
         let model = MosfetModel::new(MosfetParams::nmos_14nm().with_wl_ratio(4.0));
-        ckt.add(Element::mosfet("M1", d, d, NodeId::GROUND, model)).unwrap();
+        ckt.add(Element::mosfet("M1", d, d, NodeId::GROUND, model))
+            .unwrap();
         let op = DcAnalysis::new(&ckt).solve().unwrap();
         let vd = op.voltage(d).value();
         // With ~1 µA through a diode-connected device the gate settles
@@ -275,9 +312,12 @@ mod tests {
             let bl = ckt.node("bl");
             let sl = ckt.node("sl");
             let wl = ckt.node("wl");
-            ckt.add(Element::vdc("VBL", bl, NodeId::GROUND, Volt(1.2))).unwrap();
-            ckt.add(Element::vdc("VSL", sl, NodeId::GROUND, Volt(0.2))).unwrap();
-            ckt.add(Element::vdc("VWL", wl, NodeId::GROUND, Volt(0.35))).unwrap();
+            ckt.add(Element::vdc("VBL", bl, NodeId::GROUND, Volt(1.2)))
+                .unwrap();
+            ckt.add(Element::vdc("VSL", sl, NodeId::GROUND, Volt(0.2)))
+                .unwrap();
+            ckt.add(Element::vdc("VWL", wl, NodeId::GROUND, Volt(0.35)))
+                .unwrap();
             let mut dev = Fefet::new(FefetParams::paper_default());
             dev.force_state(state);
             // FeFET pulls current from BL to SL: drain at bl, source at sl,
@@ -296,9 +336,12 @@ mod tests {
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
         let out = ckt.node("out");
-        ckt.add(Element::vdc("V1", vin, NodeId::GROUND, Volt(1.0))).unwrap();
-        ckt.add(Element::resistor("R1", vin, out, Ohm(1e3))).unwrap();
-        ckt.add(Element::resistor("R2", out, NodeId::GROUND, Ohm(3e3))).unwrap();
+        ckt.add(Element::vdc("V1", vin, NodeId::GROUND, Volt(1.0)))
+            .unwrap();
+        ckt.add(Element::resistor("R1", vin, out, Ohm(1e3)))
+            .unwrap();
+        ckt.add(Element::resistor("R2", out, NodeId::GROUND, Ohm(3e3)))
+            .unwrap();
         let cold = DcAnalysis::new(&ckt).solve().unwrap();
         let warm = DcAnalysis::new(&ckt).warm_start(&cold).solve().unwrap();
         assert!((cold.voltage(out).value() - warm.voltage(out).value()).abs() < 1e-12);
@@ -308,7 +351,8 @@ mod tests {
     fn unknown_probe_is_an_error() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0))).unwrap();
+        ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0)))
+            .unwrap();
         let op = DcAnalysis::new(&ckt).solve().unwrap();
         assert!(matches!(
             op.source_current("nope"),
@@ -322,11 +366,14 @@ mod tests {
         let vdd = ckt.node("vdd");
         let d = ckt.node("d");
         let g = ckt.node("g");
-        ckt.add(Element::vdc("VDD", vdd, NodeId::GROUND, Volt(1.2))).unwrap();
-        ckt.add(Element::vdc("VG", g, NodeId::GROUND, Volt(0.35))).unwrap();
+        ckt.add(Element::vdc("VDD", vdd, NodeId::GROUND, Volt(1.2)))
+            .unwrap();
+        ckt.add(Element::vdc("VG", g, NodeId::GROUND, Volt(0.35)))
+            .unwrap();
         ckt.add(Element::resistor("RD", vdd, d, Ohm(1e6))).unwrap();
         let model = MosfetModel::new(MosfetParams::nmos_14nm().with_wl_ratio(8.0));
-        ckt.add(Element::mosfet("M1", d, g, NodeId::GROUND, model)).unwrap();
+        ckt.add(Element::mosfet("M1", d, g, NodeId::GROUND, model))
+            .unwrap();
         let cold = DcAnalysis::new(&ckt).at(Celsius(0.0)).solve().unwrap();
         let hot = DcAnalysis::new(&ckt).at(Celsius(85.0)).solve().unwrap();
         // Subthreshold device conducts more when hot → drain pulled lower.

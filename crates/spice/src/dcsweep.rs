@@ -5,7 +5,7 @@
 use crate::dc::{DcAnalysis, OperatingPoint};
 use crate::mna::NewtonOptions;
 use crate::netlist::{Circuit, Element};
-use crate::{SpiceError, Waveform};
+use crate::{SpiceError, Waveform, Workspace};
 use ferrocim_units::{Celsius, Volt};
 
 /// A DC sweep of one voltage source over a list of values.
@@ -88,20 +88,30 @@ impl<'a> DcSweep<'a> {
         }
         let mut working = self.circuit.clone();
         let mut results = Vec::with_capacity(self.values.len());
+        let mut ws = Workspace::new();
         let mut previous: Option<OperatingPoint> = None;
         for &value in &self.values {
-            if let Some(Element::VoltageSource { waveform, .. }) =
-                working.element_mut(&self.source)
+            if let Some(Element::VoltageSource { waveform, .. }) = working.element_mut(&self.source)
             {
                 *waveform = Waveform::dc(value);
             }
-            let mut analysis = DcAnalysis::new(&working)
+            let cold = DcAnalysis::new(&working)
                 .at(self.temp)
                 .with_options(self.options);
-            if let Some(prev) = &previous {
-                analysis = analysis.warm_start(prev);
-            }
-            let op = analysis.solve()?;
+            let op = match &previous {
+                Some(prev) => {
+                    match cold.clone().warm_start(prev).solve_in(&mut ws) {
+                        Ok(op) => op,
+                        // Continuation fallback: a sweep step large
+                        // enough to throw the warm start out of the
+                        // Newton basin retries from a cold start before
+                        // the whole sweep is declared failed.
+                        Err(SpiceError::NoConvergence { .. }) => cold.solve_in(&mut ws)?,
+                        Err(e) => return Err(e),
+                    }
+                }
+                None => cold.solve_in(&mut ws)?,
+            };
             previous = Some(op.clone());
             results.push((value, op));
         }
@@ -122,8 +132,10 @@ mod tests {
         let mut ckt = Circuit::new();
         let g = ckt.node("g");
         let d = ckt.node("d");
-        ckt.add(Element::vdc("VG", g, NodeId::GROUND, Volt(0.0))).unwrap();
-        ckt.add(Element::vdc("VD", d, NodeId::GROUND, Volt(0.6))).unwrap();
+        ckt.add(Element::vdc("VG", g, NodeId::GROUND, Volt(0.0)))
+            .unwrap();
+        ckt.add(Element::vdc("VD", d, NodeId::GROUND, Volt(0.6)))
+            .unwrap();
         ckt.add(Element::mosfet(
             "M1",
             d,
@@ -151,8 +163,10 @@ mod tests {
     fn sweep_rejects_unknown_or_non_source_targets() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0))).unwrap();
-        ckt.add(Element::resistor("R1", a, NodeId::GROUND, Ohm(1e3))).unwrap();
+        ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0)))
+            .unwrap();
+        ckt.add(Element::resistor("R1", a, NodeId::GROUND, Ohm(1e3)))
+            .unwrap();
         assert!(matches!(
             DcSweep::new(&ckt, "VX", vec![Volt(0.0)]).solve(),
             Err(SpiceError::UnknownElement { .. })
@@ -167,8 +181,10 @@ mod tests {
     fn sweep_does_not_mutate_the_input_circuit() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(0.5))).unwrap();
-        ckt.add(Element::resistor("R1", a, NodeId::GROUND, Ohm(1e3))).unwrap();
+        ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(0.5)))
+            .unwrap();
+        ckt.add(Element::resistor("R1", a, NodeId::GROUND, Ohm(1e3)))
+            .unwrap();
         let _ = DcSweep::new(&ckt, "V1", voltage_sweep(Volt(0.0), Volt(1.0), 3))
             .solve()
             .unwrap();
@@ -184,7 +200,8 @@ mod tests {
     fn empty_sweep_is_empty() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0))).unwrap();
+        ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0)))
+            .unwrap();
         let points = DcSweep::new(&ckt, "V1", Vec::new()).solve().unwrap();
         assert!(points.is_empty());
     }

@@ -43,7 +43,13 @@ pub fn export_netlist(circuit: &Circuit, title: &str) -> String {
                 b,
                 resistance,
             } => {
-                let _ = writeln!(out, "{name} {} {} {}", node(*a), node(*b), resistance.value());
+                let _ = writeln!(
+                    out,
+                    "{name} {} {} {}",
+                    node(*a),
+                    node(*b),
+                    resistance.value()
+                );
             }
             Element::Capacitor {
                 name,
@@ -110,9 +116,18 @@ pub fn export_netlist(circuit: &Circuit, title: &str) -> String {
                     "* switch {name}: Ron={} Roff={} initial={}",
                     r_on.value(),
                     r_off.value(),
-                    if schedule.state_at(Second::ZERO) { "closed" } else { "open" }
+                    if schedule.state_at(Second::ZERO) {
+                        "closed"
+                    } else {
+                        "open"
+                    }
                 );
-                let _ = writeln!(out, "S{name} {} {} ctrl_{name} 0 SW_{name}", node(*a), node(*b));
+                let _ = writeln!(
+                    out,
+                    "S{name} {} {} ctrl_{name} 0 SW_{name}",
+                    node(*a),
+                    node(*b)
+                );
             }
             Element::Mosfet {
                 name,
@@ -175,9 +190,11 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let b = ckt.node("b");
-        ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.2))).unwrap();
+        ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.2)))
+            .unwrap();
         ckt.add(Element::resistor("R1", a, b, Ohm(250e3))).unwrap();
-        ckt.add(Element::capacitor("C1", b, NodeId::GROUND, Farad(1e-15))).unwrap();
+        ckt.add(Element::capacitor("C1", b, NodeId::GROUND, Farad(1e-15)))
+            .unwrap();
         ckt.add(Element::switch(
             "EN",
             a,
@@ -195,7 +212,8 @@ mod tests {
         .unwrap();
         let mut f = Fefet::new(FefetParams::paper_default());
         f.force_state(PolarizationState::LowVt);
-        ckt.add(Element::fefet("F1", a, b, NodeId::GROUND, f)).unwrap();
+        ckt.add(Element::fefet("F1", a, b, NodeId::GROUND, f))
+            .unwrap();
         let deck = export_netlist(&ckt, "everything");
         assert!(deck.starts_with("* everything\n"));
         assert!(deck.contains("V1 a 0 DC 1.2"));

@@ -46,6 +46,7 @@
 
 mod dc;
 mod dcsweep;
+mod engine;
 mod error;
 mod export;
 mod linear;
@@ -58,11 +59,12 @@ mod waveform;
 
 pub use dc::{DcAnalysis, OperatingPoint};
 pub use dcsweep::DcSweep;
+pub use engine::{SimEngine, Workspace};
 pub use error::SpiceError;
 pub use export::export_netlist;
 pub use linear::Matrix;
 pub use mna::NewtonOptions;
-pub use montecarlo::{histogram, MonteCarlo, SampleStats};
+pub use montecarlo::{fan_out, histogram, MonteCarlo, SampleStats};
 pub use netlist::{Circuit, Element, NodeId, SwitchSchedule};
 pub use transient::{Integrator, TransientAnalysis, TransientResult};
 pub use waveform::Waveform;

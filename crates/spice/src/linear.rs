@@ -7,7 +7,7 @@
 use crate::SpiceError;
 
 /// A dense, row-major square matrix.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Matrix {
     n: usize,
     data: Vec<f64>,
@@ -50,14 +50,24 @@ impl Matrix {
         self.data.fill(0.0);
     }
 
-    /// Computes `self · x`.
-    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+    /// Computes `self · x` into `y` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is not of length `dim()`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
-        let mut y = vec![0.0; self.n];
+        assert_eq!(y.len(), self.n);
         for (r, yr) in y.iter_mut().enumerate() {
             let row = &self.data[r * self.n..(r + 1) * self.n];
             *yr = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
+    }
+
+    /// Computes `self · x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        self.mul_vec_into(x, &mut y);
         y
     }
 
@@ -70,10 +80,43 @@ impl Matrix {
     /// found, which for MNA systems means a floating node or a
     /// short-circuit loop of ideal sources.
     pub fn solve_destructive(mut self, b: &[f64]) -> Result<Vec<f64>, SpiceError> {
+        let mut rhs = Vec::new();
+        let mut perm = Vec::new();
+        let mut out = Vec::new();
+        self.solve_into(b, &mut rhs, &mut perm, &mut out)?;
+        Ok(out)
+    }
+
+    /// Solves `self · x = b` into `out`, destroying the matrix contents
+    /// and using `rhs` / `perm` as scratch. When the buffers already
+    /// hold capacity `dim()` (as they do after the first call on a
+    /// reused [`crate::Workspace`]), this performs no heap allocation.
+    ///
+    /// The elimination sequence is identical to [`Matrix::solve_destructive`]
+    /// — results are bitwise equal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] when no usable pivot is
+    /// found (floating node or ideal-source loop in MNA terms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not of length `dim()`.
+    pub fn solve_into(
+        &mut self,
+        b: &[f64],
+        rhs: &mut Vec<f64>,
+        perm: &mut Vec<usize>,
+        out: &mut Vec<f64>,
+    ) -> Result<(), SpiceError> {
         assert_eq!(b.len(), self.n);
         let n = self.n;
-        let mut x: Vec<f64> = b.to_vec();
-        let mut perm: Vec<usize> = (0..n).collect();
+        let x = rhs;
+        x.clear();
+        x.extend_from_slice(b);
+        perm.clear();
+        perm.extend(0..n);
         for col in 0..n {
             // Partial pivoting: find the largest magnitude in this column.
             let mut pivot_row = col;
@@ -104,7 +147,8 @@ impl Matrix {
             }
         }
         // Back substitution.
-        let mut out = vec![0.0; n];
+        out.clear();
+        out.resize(n, 0.0);
         for col in (0..n).rev() {
             let p = perm[col];
             let mut sum = x[p];
@@ -113,7 +157,7 @@ impl Matrix {
             }
             out[col] = sum / self.get(p, col);
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -189,12 +233,43 @@ mod tests {
     }
 
     #[test]
+    fn mul_vec_into_matches_mul_vec() {
+        let m = from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut y = vec![9.9, 9.9];
+        m.mul_vec_into(&[0.5, -2.0], &mut y);
+        assert_eq!(y, m.mul_vec(&[0.5, -2.0]));
+    }
+
+    #[test]
+    fn solve_into_is_bitwise_identical_to_solve_destructive() {
+        // Ill-scaled system: any change to the elimination order or
+        // arithmetic would show up in the low bits.
+        let m = from_rows(&[
+            &[1e-12 + 1e-3, -1e-3, 0.0],
+            &[-1e-3, 2e-3, -1e-3],
+            &[0.0, -1e-3, 1e-3 + 1e4],
+        ]);
+        let b = [1e-6, 0.0, 2.0];
+        let reference = m.clone().solve_destructive(&b).unwrap();
+        let (mut rhs, mut perm, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        let mut work = m.clone();
+        work.solve_into(&b, &mut rhs, &mut perm, &mut out).unwrap();
+        assert_eq!(out, reference);
+        // Reusing the (now warm) buffers must give the same answer.
+        let mut work = m;
+        work.solve_into(&b, &mut rhs, &mut perm, &mut out).unwrap();
+        assert_eq!(out, reference);
+    }
+
+    #[test]
     fn random_round_trip() {
         // Deterministic pseudo-random matrix; verify A·solve(A,b) = b.
         let n = 12;
         let mut seed = 0x12345678u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mut m = Matrix::zeros(n);

@@ -143,7 +143,12 @@ pub(crate) fn assemble(
 
     for (idx, e) in circuit.elements().iter().enumerate() {
         match e {
-            Element::Resistor { a: na, b: nb, resistance, .. } => {
+            Element::Resistor {
+                a: na,
+                b: nb,
+                resistance,
+                ..
+            } => {
                 stamp_conductance(a, *na, *nb, 1.0 / resistance.value());
             }
             Element::Switch {
@@ -193,7 +198,9 @@ pub(crate) fn assemble(
                     }
                 }
             },
-            Element::VoltageSource { pos, neg, waveform, .. } => {
+            Element::VoltageSource {
+                pos, neg, waveform, ..
+            } => {
                 let row = layout.branch_of_element[&idx];
                 if let Some(rp) = layout.row_of(*pos) {
                     a.add(rp, row, 1.0);
@@ -205,7 +212,9 @@ pub(crate) fn assemble(
                 }
                 z[row] = waveform.at(t).value();
             }
-            Element::CurrentSource { pos, neg, current, .. } => {
+            Element::CurrentSource {
+                pos, neg, current, ..
+            } => {
                 if let Some(rp) = layout.row_of(*pos) {
                     z[rp] += current.value();
                 }
@@ -308,26 +317,41 @@ fn stamp_transistor(
     }
 }
 
-/// Runs the damped Newton iteration: repeatedly assembles the linearized
-/// system around the current candidate and solves, until the unknown
-/// vector stops moving.
+/// Runs the damped Newton iteration through a caller-owned
+/// [`crate::Workspace`]: repeatedly assembles the linearized system
+/// around the current candidate and solves, until the unknown vector
+/// stops moving. `x` holds the initial guess on entry and the solution
+/// on success, and all matrix/vector buffers come from `ws`, so a
+/// converged solve performs no heap allocation after the workspace is
+/// warm.
+///
+/// The iteration sequence is identical to a fresh-buffer solve; results
+/// are bitwise equal regardless of what the workspace previously held.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn newton_solve(
+pub(crate) fn newton_solve_in(
     circuit: &Circuit,
     layout: &Layout,
     t: Second,
     temp: Celsius,
     caps: CapMode<'_>,
-    x_init: &[f64],
+    x: &mut [f64],
     options: &NewtonOptions,
-) -> Result<Vec<f64>, SpiceError> {
-    let mut x = x_init.to_vec();
-    let mut a = Matrix::zeros(layout.size);
-    let mut z = vec![0.0; layout.size];
+    ws: &mut crate::Workspace,
+) -> Result<(), SpiceError> {
+    debug_assert_eq!(x.len(), layout.size);
+    ws.ensure_size(layout.size);
+    let crate::Workspace {
+        a,
+        z,
+        rhs,
+        perm,
+        x_new,
+        ..
+    } = ws;
     let mut last_delta = f64::INFINITY;
     for _iter in 0..options.max_iterations {
-        assemble(circuit, layout, &x, t, temp, caps, &mut a, &mut z);
-        let x_new = a.clone().solve_destructive(&z)?;
+        assemble(circuit, layout, x, t, temp, caps, a, z);
+        a.solve_into(z, rhs, perm, x_new)?;
         let mut converged = true;
         let mut max_delta = 0.0f64;
         for i in 0..layout.size {
@@ -344,7 +368,7 @@ pub(crate) fn newton_solve(
             x[i] += delta;
         }
         if converged {
-            return Ok(x);
+            return Ok(());
         }
         last_delta = max_delta;
     }

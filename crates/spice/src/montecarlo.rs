@@ -45,7 +45,9 @@ impl MonteCarlo {
     /// The per-run RNG for run index `i` (exposed so callers can
     /// reproduce a single interesting run in isolation).
     pub fn rng_for(&self, run: usize) -> StdRng {
-        StdRng::seed_from_u64(splitmix64(self.seed ^ (run as u64).wrapping_mul(0x9E3779B97F4A7C15)))
+        StdRng::seed_from_u64(splitmix64(
+            self.seed ^ (run as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        ))
     }
 
     /// Executes `f(run_index, rng)` for every run and collects the
@@ -55,38 +57,62 @@ impl MonteCarlo {
         T: Send,
         F: Fn(usize, &mut StdRng) -> T + Sync,
     {
-        if !self.parallel || self.runs < 2 {
-            return (0..self.runs)
-                .map(|i| {
-                    let mut rng = self.rng_for(i);
-                    f(i, &mut rng)
-                })
-                .collect();
-        }
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(self.runs);
-        let mut results: Vec<Option<T>> = (0..self.runs).map(|_| None).collect();
-        let chunk = self.runs.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
-                let f = &f;
-                let this = *self;
-                scope.spawn(move || {
-                    for (j, slot) in slot_chunk.iter_mut().enumerate() {
-                        let run = t * chunk + j;
-                        let mut rng = this.rng_for(run);
-                        *slot = Some(f(run, &mut rng));
-                    }
-                });
-            }
-        });
-        results
-            .into_iter()
-            .map(|r| r.expect("every run slot filled"))
-            .collect()
+        fan_out(
+            self.runs,
+            self.parallel,
+            || (),
+            |(), run| {
+                let mut rng = self.rng_for(run);
+                f(run, &mut rng)
+            },
+        )
     }
+}
+
+/// Runs `jobs` independent jobs, fanned out over OS threads when
+/// `parallel`, and collects the results in job order.
+///
+/// Each worker thread builds one scratch state with `init` and hands it
+/// to `f` for every job in its chunk, so per-job allocations (solver
+/// workspaces, cloned circuits) are paid once per thread rather than
+/// once per job. This is the machinery behind [`MonteCarlo::run`],
+/// exposed for other batch drivers such as the CIM batched MAC engine.
+///
+/// Results depend only on the job index, never on the thread layout:
+/// `f` must not leak state between jobs through `S` if callers compare
+/// against a sequential reference bit for bit.
+pub fn fan_out<S, T, I, F>(jobs: usize, parallel: bool, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if !parallel || jobs < 2 {
+        let mut state = init();
+        return (0..jobs).map(|i| f(&mut state, i)).collect();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(jobs);
+    let mut results: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    let chunk = jobs.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
+            let init = &init;
+            let f = &f;
+            scope.spawn(move || {
+                let mut state = init();
+                for (j, slot) in slot_chunk.iter_mut().enumerate() {
+                    *slot = Some(f(&mut state, t * chunk + j));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every job slot filled"))
+        .collect()
 }
 
 /// SplitMix64 scrambler for decorrelating per-run seeds.
@@ -171,6 +197,35 @@ mod tests {
         let seq = par.sequential();
         let f = |i: usize, rng: &mut StdRng| (i, rng.random::<u64>());
         assert_eq!(par.run(f), seq.run(f));
+    }
+
+    #[test]
+    fn fewer_runs_than_threads_matches_sequential() {
+        // The chunked fan-out must fill every slot even when the run
+        // count is below the thread count (including the empty batch).
+        let f = |i: usize, rng: &mut StdRng| (i as u64) ^ rng.random::<u64>();
+        for runs in 0..4 {
+            let par = MonteCarlo::new(runs, 3).run(f);
+            let seq = MonteCarlo::new(runs, 3).sequential().run(f);
+            assert_eq!(par, seq, "diverged at {runs} runs");
+            assert_eq!(par.len(), runs);
+        }
+    }
+
+    #[test]
+    fn fan_out_keeps_job_order_and_thread_state() {
+        // Per-thread scratch state must never change the results, only
+        // amortize allocations; job order must be preserved.
+        let par = fan_out(37, true, Vec::<usize>::new, |scratch, i| {
+            scratch.push(i);
+            i * i
+        });
+        let seq = fan_out(37, false, Vec::<usize>::new, |scratch, i| {
+            scratch.push(i);
+            i * i
+        });
+        assert_eq!(par, seq);
+        assert_eq!(par[5], 25);
     }
 
     #[test]

@@ -538,7 +538,12 @@ mod tests {
     fn foreign_node_rejected() {
         let mut c = Circuit::new();
         let err = c
-            .add(Element::resistor("R1", NodeId(57), NodeId::GROUND, Ohm(1.0)))
+            .add(Element::resistor(
+                "R1",
+                NodeId(57),
+                NodeId::GROUND,
+                Ohm(1.0),
+            ))
             .unwrap_err();
         assert!(matches!(err, SpiceError::UnknownNode { .. }));
     }

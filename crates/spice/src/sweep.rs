@@ -23,12 +23,18 @@ pub fn linspace(start: f64, stop: f64, points: usize) -> Vec<f64> {
 
 /// The paper's standard temperature grid: 0 °C to 85 °C.
 pub fn temperature_sweep(points: usize) -> Vec<Celsius> {
-    linspace(0.0, 85.0, points).into_iter().map(Celsius).collect()
+    linspace(0.0, 85.0, points)
+        .into_iter()
+        .map(Celsius)
+        .collect()
 }
 
 /// The paper's restricted "optimized" range: 20 °C to 85 °C.
 pub fn warm_temperature_sweep(points: usize) -> Vec<Celsius> {
-    linspace(20.0, 85.0, points).into_iter().map(Celsius).collect()
+    linspace(20.0, 85.0, points)
+        .into_iter()
+        .map(Celsius)
+        .collect()
 }
 
 /// A voltage sweep between two rails.

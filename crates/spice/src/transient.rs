@@ -2,9 +2,9 @@
 //! alignment, per-source energy accounting, and full waveform capture.
 
 use crate::dc::OperatingPoint;
-use crate::mna::{newton_solve, CapMode, CapState, Layout, NewtonOptions};
+use crate::mna::{newton_solve_in, CapMode, CapState, Layout, NewtonOptions};
 use crate::netlist::{Circuit, Element, NodeId};
-use crate::SpiceError;
+use crate::{SpiceError, Workspace};
 use ferrocim_units::{Ampere, Celsius, Joule, Second, Volt};
 use std::collections::HashMap;
 
@@ -102,8 +102,13 @@ impl TransientResult {
     }
 
     /// Total energy delivered by all sources.
+    ///
+    /// Summed in source-name order so the value is reproducible to the
+    /// last bit across runs (hash-map iteration order is not).
     pub fn total_energy_delivered(&self) -> Joule {
-        Joule(self.energy.values().sum())
+        let mut names: Vec<&String> = self.energy.keys().collect();
+        names.sort_unstable();
+        Joule(names.iter().map(|n| self.energy[*n]).sum())
     }
 }
 
@@ -173,6 +178,19 @@ impl<'a> TransientAnalysis<'a> {
     /// * [`SpiceError::NoConvergence`] / [`SpiceError::SingularMatrix`]
     ///   from the per-step Newton solve.
     pub fn run(&self) -> Result<TransientResult, SpiceError> {
+        self.run_in(&mut Workspace::new())
+    }
+
+    /// [`TransientAnalysis::run`] using a caller-owned [`Workspace`] for
+    /// all solver buffers (including the implicit `t = 0` DC solve).
+    /// Repeated runs through the same workspace skip the per-step
+    /// matrix/vector allocations; the numerical result is bitwise
+    /// identical to [`TransientAnalysis::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TransientAnalysis::run`].
+    pub fn run_in(&self, ws: &mut Workspace) -> Result<TransientResult, SpiceError> {
         if !(self.dt.value() > 0.0 && self.dt.value().is_finite()) {
             return Err(SpiceError::InvalidValue {
                 name: "dt".to_string(),
@@ -195,19 +213,28 @@ impl<'a> TransientAnalysis<'a> {
             None => crate::DcAnalysis::new(self.circuit)
                 .at(self.temp)
                 .with_options(self.options)
-                .solve()?,
+                .solve_in(ws)?,
         };
 
         // Capacitor companion states seeded from the initial solution or
         // explicit initial conditions.
         let mut cap_states: HashMap<usize, CapState> = HashMap::new();
         for (idx, e) in self.circuit.elements().iter().enumerate() {
-            if let Element::Capacitor { a, b, initial: ic, .. } = e {
+            if let Element::Capacitor {
+                a, b, initial: ic, ..
+            } = e
+            {
                 let v = match ic {
                     Some(v) => v.value(),
                     None => initial.voltage(*a).value() - initial.voltage(*b).value(),
                 };
-                cap_states.insert(idx, CapState { v_prev: v, i_prev: 0.0 });
+                cap_states.insert(
+                    idx,
+                    CapState {
+                        v_prev: v,
+                        i_prev: 0.0,
+                    },
+                );
             }
         }
 
@@ -281,19 +308,23 @@ impl<'a> TransientAnalysis<'a> {
                 states: &cap_states,
                 trapezoidal,
             };
-            x = newton_solve(
+            newton_solve_in(
                 self.circuit,
                 &layout,
                 Second(t_now),
                 self.temp,
                 caps,
-                &x,
+                &mut x,
                 &self.options,
+                ws,
             )?;
 
             // Update capacitor companion states.
             for (idx, e) in self.circuit.elements().iter().enumerate() {
-                if let Element::Capacitor { a, b, capacitance, .. } = e {
+                if let Element::Capacitor {
+                    a, b, capacitance, ..
+                } = e
+                {
                     let va = layout.voltage(&x, *a);
                     let vb = layout.voltage(&x, *b);
                     let v_new = va - vb;
@@ -352,7 +383,8 @@ mod tests {
             Waveform::step(Volt(0.0), Volt(1.0), Second(1e-12)),
         ))
         .unwrap();
-        ckt.add(Element::resistor("R1", vin, out, Ohm(1e3))).unwrap();
+        ckt.add(Element::resistor("R1", vin, out, Ohm(1e3)))
+            .unwrap();
         ckt.add(Element::Capacitor {
             name: "C1".into(),
             a: out,
@@ -367,13 +399,18 @@ mod tests {
             .unwrap();
         let v_end = res.final_voltage(out).value();
         let expected = 1.0 - (-5.0f64).exp();
-        assert!((v_end - expected).abs() < 0.01, "v_end {v_end} vs {expected}");
+        assert!(
+            (v_end - expected).abs() < 0.01,
+            "v_end {v_end} vs {expected}"
+        );
         // Check a mid-trace point at t ≈ τ.
         let trace = res.trace(out);
         let (_, v_tau) = trace
             .iter()
             .min_by(|a, b| {
-                (a.0.value() - 1e-9).abs().total_cmp(&(b.0.value() - 1e-9).abs())
+                (a.0.value() - 1e-9)
+                    .abs()
+                    .total_cmp(&(b.0.value() - 1e-9).abs())
             })
             .copied()
             .unwrap();
@@ -387,8 +424,10 @@ mod tests {
             let mut ckt = Circuit::new();
             let vin = ckt.node("in");
             let out = ckt.node("out");
-            ckt.add(Element::vdc("V1", vin, NodeId::GROUND, Volt(1.0))).unwrap();
-            ckt.add(Element::resistor("R1", vin, out, Ohm(1e3))).unwrap();
+            ckt.add(Element::vdc("V1", vin, NodeId::GROUND, Volt(1.0)))
+                .unwrap();
+            ckt.add(Element::resistor("R1", vin, out, Ohm(1e3)))
+                .unwrap();
             ckt.add(Element::Capacitor {
                 name: "C1".into(),
                 a: out,
@@ -466,8 +505,10 @@ mod tests {
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
         let out = ckt.node("out");
-        ckt.add(Element::vdc("V1", vin, NodeId::GROUND, Volt(1.0))).unwrap();
-        ckt.add(Element::resistor("R1", vin, out, Ohm(1e3))).unwrap();
+        ckt.add(Element::vdc("V1", vin, NodeId::GROUND, Volt(1.0)))
+            .unwrap();
+        ckt.add(Element::resistor("R1", vin, out, Ohm(1e3)))
+            .unwrap();
         ckt.add(Element::Capacitor {
             name: "C1".into(),
             a: out,
@@ -491,7 +532,8 @@ mod tests {
     fn rejects_bad_timestep() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0))).unwrap();
+        ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0)))
+            .unwrap();
         assert!(matches!(
             TransientAnalysis::new(&ckt, Second(0.0), Second(1e-9)).run(),
             Err(SpiceError::InvalidValue { .. })
@@ -521,7 +563,8 @@ mod tests {
             },
         ))
         .unwrap();
-        ckt.add(Element::resistor("R1", a, NodeId::GROUND, Ohm(1e3))).unwrap();
+        ckt.add(Element::resistor("R1", a, NodeId::GROUND, Ohm(1e3)))
+            .unwrap();
         let res = TransientAnalysis::new(&ckt, Second(1e-9), Second(3e-9))
             .run()
             .unwrap();
@@ -537,8 +580,10 @@ mod tests {
     fn final_source_current_probe() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0))).unwrap();
-        ckt.add(Element::resistor("R1", a, NodeId::GROUND, Ohm(1e3))).unwrap();
+        ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0)))
+            .unwrap();
+        ckt.add(Element::resistor("R1", a, NodeId::GROUND, Ohm(1e3)))
+            .unwrap();
         let res = TransientAnalysis::new(&ckt, Second(1e-10), Second(1e-9))
             .run()
             .unwrap();

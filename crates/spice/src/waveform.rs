@@ -151,10 +151,7 @@ mod tests {
 
     #[test]
     fn pwl_interpolates_and_clamps() {
-        let w = Waveform::Pwl(vec![
-            (Second(1e-9), Volt(0.0)),
-            (Second(2e-9), Volt(2.0)),
-        ]);
+        let w = Waveform::Pwl(vec![(Second(1e-9), Volt(0.0)), (Second(2e-9), Volt(2.0))]);
         assert_eq!(w.at(Second(0.0)), Volt(0.0)); // clamp left
         assert!((w.at(Second(1.5e-9)).value() - 1.0).abs() < 1e-12);
         assert_eq!(w.at(Second(3e-9)), Volt(2.0)); // clamp right

@@ -13,9 +13,13 @@ fn floating_node_is_rescued_by_gmin() {
     let mut ckt = Circuit::new();
     let a = ckt.node("a");
     let b = ckt.node("b");
-    ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0))).unwrap();
-    ckt.add(Element::capacitor("C1", a, b, Farad(1e-15))).unwrap();
-    let op = DcAnalysis::new(&ckt).solve().expect("gmin rescues the float");
+    ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0)))
+        .unwrap();
+    ckt.add(Element::capacitor("C1", a, b, Farad(1e-15)))
+        .unwrap();
+    let op = DcAnalysis::new(&ckt)
+        .solve()
+        .expect("gmin rescues the float");
     assert!(op.voltage(b).value().abs() < 1.5);
 }
 
@@ -25,8 +29,10 @@ fn voltage_source_loop_is_singular() {
     // of nodes → contradictory constraints → singular system.
     let mut ckt = Circuit::new();
     let a = ckt.node("a");
-    ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0))).unwrap();
-    ckt.add(Element::vdc("V2", a, NodeId::GROUND, Volt(2.0))).unwrap();
+    ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0)))
+        .unwrap();
+    ckt.add(Element::vdc("V2", a, NodeId::GROUND, Volt(2.0)))
+        .unwrap();
     let err = DcAnalysis::new(&ckt).solve().unwrap_err();
     assert!(matches!(err, SpiceError::SingularMatrix { .. }), "{err}");
 }
@@ -38,7 +44,8 @@ fn impossible_iteration_budget_reports_no_convergence() {
     let mut ckt = Circuit::new();
     let vdd = ckt.node("vdd");
     let d = ckt.node("d");
-    ckt.add(Element::vdc("VDD", vdd, NodeId::GROUND, Volt(1.2))).unwrap();
+    ckt.add(Element::vdc("VDD", vdd, NodeId::GROUND, Volt(1.2)))
+        .unwrap();
     ckt.add(Element::resistor("R", vdd, d, Ohm(1e5))).unwrap();
     ckt.add(Element::mosfet(
         "M1",
@@ -56,7 +63,10 @@ fn impossible_iteration_budget_reports_no_convergence() {
         .with_options(options)
         .solve()
         .unwrap_err();
-    assert!(matches!(err, SpiceError::NoConvergence { iterations: 1, .. }), "{err}");
+    assert!(
+        matches!(err, SpiceError::NoConvergence { iterations: 1, .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -70,7 +80,8 @@ fn empty_circuit_solves_trivially() {
 fn transient_rejects_nan_timestep() {
     let mut ckt = Circuit::new();
     let a = ckt.node("a");
-    ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0))).unwrap();
+    ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0)))
+        .unwrap();
     let err = TransientAnalysis::new(&ckt, Second(f64::NAN), Second(1e-9))
         .run()
         .unwrap_err();
@@ -84,15 +95,22 @@ fn extreme_temperatures_do_not_break_the_solver() {
     let bl = ckt.node("bl");
     let wl = ckt.node("wl");
     let out = ckt.node("out");
-    ckt.add(Element::vdc("VBL", bl, NodeId::GROUND, Volt(1.2))).unwrap();
-    ckt.add(Element::vdc("VWL", wl, NodeId::GROUND, Volt(0.35))).unwrap();
-    ckt.add(Element::resistor("R", bl, out, Ohm(2.5e5))).unwrap();
+    ckt.add(Element::vdc("VBL", bl, NodeId::GROUND, Volt(1.2)))
+        .unwrap();
+    ckt.add(Element::vdc("VWL", wl, NodeId::GROUND, Volt(0.35)))
+        .unwrap();
+    ckt.add(Element::resistor("R", bl, out, Ohm(2.5e5)))
+        .unwrap();
     let mut f = Fefet::new(FefetParams::paper_default());
     f.force_state(PolarizationState::LowVt);
-    ckt.add(Element::fefet("F1", out, wl, NodeId::GROUND, f)).unwrap();
+    ckt.add(Element::fefet("F1", out, wl, NodeId::GROUND, f))
+        .unwrap();
     // Well outside the paper's range, still must converge cleanly.
     for t in [-40.0, 125.0] {
-        let op = DcAnalysis::new(&ckt).at(Celsius(t)).solve().expect("solves");
+        let op = DcAnalysis::new(&ckt)
+            .at(Celsius(t))
+            .solve()
+            .expect("solves");
         assert!(op.voltage(out).value().is_finite());
     }
 }
@@ -101,7 +119,8 @@ fn extreme_temperatures_do_not_break_the_solver() {
 fn duplicate_and_unknown_probes_are_typed_errors() {
     let mut ckt = Circuit::new();
     let a = ckt.node("a");
-    ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0))).unwrap();
+    ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0)))
+        .unwrap();
     assert!(matches!(
         ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(2.0))),
         Err(SpiceError::DuplicateElement { .. })

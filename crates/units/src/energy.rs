@@ -1,7 +1,6 @@
 //! Time, energy, and power quantities, with the conversions used by the
 //! energy-efficiency accounting of the paper (fJ/op → TOPS/W).
 
-
 quantity! {
     /// Time in seconds. Simulation timesteps, pulse widths (e.g. the
     /// paper's 115 ns / 200 ns program pulses), and MAC latencies

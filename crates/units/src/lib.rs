@@ -166,8 +166,6 @@ macro_rules! quantity {
     };
 }
 
-
-
 mod electrical;
 mod energy;
 mod fmt;

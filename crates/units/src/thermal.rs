@@ -88,7 +88,10 @@ impl ThermalVoltage {
     /// temperature is always a caller bug, not a recoverable condition.
     #[inline]
     pub fn at(t: Kelvin) -> Self {
-        assert!(t.0 > 0.0, "absolute temperature must be positive, got {t:?}");
+        assert!(
+            t.0 > 0.0,
+            "absolute temperature must be positive, got {t:?}"
+        );
         ThermalVoltage(Volt(BOLTZMANN * t.0 / ELEMENTARY_CHARGE))
     }
 

@@ -7,7 +7,7 @@
 
 use ferrocim::cim::cells::TwoTransistorOneFefet;
 use ferrocim::cim::transfer::Adc;
-use ferrocim::cim::{ArrayConfig, CimArray};
+use ferrocim::cim::{ArrayConfig, CimArray, MacRequest};
 use ferrocim::units::Celsius;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Store an 8-bit weight word and apply an 8-bit input word.
     let weights = [true, true, false, true, true, false, true, true];
     let inputs = [true, false, true, true, true, true, false, true];
-    let expected: usize = weights.iter().zip(&inputs).filter(|(w, x)| **w && **x).count();
+    let expected: usize = weights
+        .iter()
+        .zip(&inputs)
+        .filter(|(w, x)| **w && **x)
+        .count();
 
     // Calibrate the readout thresholds against the full temperature
     // range (the sense-margin-aware placement the NMR analysis enables).
@@ -30,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The headline claim: the digital readout is stable from 0 to 85 C.
     for temp_c in [0.0, 27.0, 55.0, 85.0] {
-        let out = array.mac(&weights, &inputs, Celsius(temp_c))?;
+        let out = array.run(
+            &MacRequest::new(&inputs)
+                .weights(&weights)
+                .at(Celsius(temp_c)),
+        )?;
         let digital = adc.quantize(out.v_acc);
         println!(
             "T = {temp_c:>4} C: V_acc = {}, readout = {digital}, energy = {}",

@@ -20,17 +20,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let temps = temperature_sweep(18);
 
     println!("normalized output current I(T)/I(27C):");
-    println!("{:>8} {:>14} {:>14} {:>14}", "T [C]", "2T-1FeFET", "1F1R sat", "1F1R sub");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "T [C]", "2T-1FeFET", "1F1R sat", "1F1R sub"
+    );
     let proposed = TwoTransistorOneFefet::paper_default();
     let sat = OneFefetOneR::saturation();
     let sub = OneFefetOneR::subthreshold();
     let curve_p = normalized_current_curve(&proposed, &temps, reference)?;
     let curve_sat = normalized_current_curve(&sat, &temps, reference)?;
     let curve_sub = normalized_current_curve(&sub, &temps, reference)?;
-    for ((tp, p), ((_, s), (_, u))) in curve_p
-        .iter()
-        .zip(curve_sat.iter().zip(curve_sub.iter()))
-    {
+    for ((tp, p), ((_, s), (_, u))) in curve_p.iter().zip(curve_sat.iter().zip(curve_sub.iter())) {
         println!("{:>8.1} {:>14.3} {:>14.3} {:>14.3}", tp.value(), p, s, u);
     }
 

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: formatting, lints, then the tier-1 build+test
+# sweep from ROADMAP.md. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release --offline
+cargo test -q --offline
+
+echo "==> all checks passed"

@@ -18,7 +18,7 @@
 //!
 //! ```
 //! use ferrocim::cim::cells::TwoTransistorOneFefet;
-//! use ferrocim::cim::{ArrayConfig, CimArray};
+//! use ferrocim::cim::{ArrayConfig, CimArray, MacRequest};
 //! use ferrocim::units::Celsius;
 //!
 //! # fn main() -> Result<(), ferrocim::cim::CimError> {
@@ -28,7 +28,7 @@
 //! )?;
 //! let weights = [true; 8];
 //! let inputs = [true, true, true, false, false, false, false, false];
-//! let out = array.mac(&weights, &inputs, Celsius(27.0))?;
+//! let out = array.run(&MacRequest::new(&inputs).weights(&weights).at(Celsius(27.0)))?;
 //! assert_eq!(out.expected, 3);
 //! assert!(out.v_acc.value() > 0.0);
 //! # Ok(())

@@ -2,12 +2,10 @@
 //! resolution, exercising device models → circuit solver → CIM arrays →
 //! metrics exactly as the experiment binaries do.
 
-use ferrocim::cim::cells::{
-    current_fluctuation, CellOffsets, OneFefetOneR, TwoTransistorOneFefet,
-};
+use ferrocim::cim::cells::{current_fluctuation, CellOffsets, OneFefetOneR, TwoTransistorOneFefet};
 use ferrocim::cim::metrics::{EnergyReport, RangeTable};
 use ferrocim::cim::transfer::Adc;
-use ferrocim::cim::{mac_operands, ArrayConfig, CimArray};
+use ferrocim::cim::{mac_operands, ArrayConfig, CimArray, MacPath, MacRequest};
 use ferrocim::spice::sweep::temperature_sweep;
 use ferrocim::units::Celsius;
 
@@ -105,8 +103,18 @@ fn full_transient_and_analytic_agree_on_the_8cell_row() {
     let array = proposed_array();
     let (w, x) = mac_operands(8, 5);
     let offsets = vec![CellOffsets::NOMINAL; 8];
-    let fast = array.mac_analytic(&w, &x, ROOM, &offsets).unwrap();
-    let full = array.mac_with_offsets(&w, &x, ROOM, &offsets).unwrap();
+    let fast = array
+        .run(
+            &MacRequest::new(&x)
+                .weights(&w)
+                .at(ROOM)
+                .offsets(&offsets)
+                .path(MacPath::Analytic),
+        )
+        .unwrap();
+    let full = array
+        .run(&MacRequest::new(&x).weights(&w).at(ROOM).offsets(&offsets))
+        .unwrap();
     let rel = (fast.v_acc.value() - full.v_acc.value()).abs() / full.v_acc.value();
     assert!(rel < 0.08, "analytic vs transient rel err {rel}");
     assert_eq!(fast.expected, 5);
@@ -195,5 +203,8 @@ fn energy_report_is_consistent_between_row_widths() {
     let per_cell8 = e8.per_mac.last().unwrap().value() / 8.0;
     let per_cell4 = e4.per_mac.last().unwrap().value() / 4.0;
     let ratio = per_cell8 / per_cell4;
-    assert!((0.8..1.25).contains(&ratio), "per-cell energy ratio {ratio}");
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "per-cell energy ratio {ratio}"
+    );
 }

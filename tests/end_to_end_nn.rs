@@ -178,5 +178,8 @@ fn replica_tracking_outperforms_global_thresholds_at_the_cold_corner() {
         replica < global,
         "replica bias {replica} must beat global bias {global}"
     );
-    assert!(replica < 0.15, "replica tracking keeps readouts unbiased: {replica}");
+    assert!(
+        replica < 0.15,
+        "replica tracking keeps readouts unbiased: {replica}"
+    );
 }

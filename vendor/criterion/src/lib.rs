@@ -1,0 +1,330 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the group/bencher API subset the workspace's benches use,
+//! measuring wall-clock time with `std::time::Instant` and printing a
+//! per-benchmark summary line (median / mean / spread over samples).
+//! There is no statistical regression analysis or HTML report. The
+//! harness honours the arguments cargo passes to `harness = false`
+//! targets: `--test` (run every benchmark body once, fast) and a
+//! positional substring filter.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark, split across samples.
+const TARGET_TOTAL: Duration = Duration::from_millis(600);
+/// Warm-up time before sampling starts.
+const WARM_UP: Duration = Duration::from_millis(80);
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    /// `--test` mode: run each body once and skip measurement.
+    test_mode: bool,
+    /// Positional substring filter on benchmark IDs.
+    filter: Option<String>,
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Builds a harness from the process arguments (`--test`, `--bench`,
+    /// an optional positional filter; other flags are ignored).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                "--sample-size" | "--warm-up-time" | "--measurement-time" => {
+                    let _ = args.next();
+                }
+                other if !other.starts_with('-') => {
+                    c.filter = Some(other.to_string());
+                }
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            header_printed: false,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    /// Prints the closing line after all groups ran.
+    pub fn final_summary(&self) {
+        if self.test_mode {
+            println!(
+                "criterion-compat: {} benchmarks checked",
+                self.benchmarks_run
+            );
+        }
+    }
+
+    fn wants(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A named benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An ID made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    header_printed: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = if self.name.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        if !self.criterion.wants(&full) {
+            return self;
+        }
+        if !self.header_printed && !self.name.is_empty() {
+            println!("{}", self.name);
+            self.header_printed = true;
+        }
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut bencher);
+        self.criterion.benchmarks_run += 1;
+        match bencher.report {
+            Some(report) => println!("  {full:<40} {report}"),
+            None if self.criterion.test_mode => println!("  {full:<40} ok (test mode)"),
+            None => println!("  {full:<40} (no measurement: b.iter never called)"),
+        }
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    report: Option<String>,
+}
+
+impl Bencher {
+    /// Times the routine, amortizing over enough iterations per sample
+    /// for `Instant` resolution not to dominate.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARM_UP || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let per_sample = TARGET_TOTAL.as_secs_f64() / self.sample_size as f64;
+        let iters = ((per_sample / est.max(1e-9)).round() as u64).max(1);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let spread = samples[samples.len() - 1] - samples[0];
+
+        let mut report = String::new();
+        let _ = write!(
+            report,
+            "median {} mean {} spread {} ({} samples x {} iters)",
+            format_time(median),
+            format_time(mean),
+            format_time(spread),
+            self.sample_size,
+            iters
+        );
+        self.report = Some(report);
+    }
+}
+
+/// Renders a duration in engineering units.
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a group callable by
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_body_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+            benchmarks_run: 0,
+        };
+        let mut calls = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(10);
+            group.bench_function("a", |b| b.iter(|| calls += 1));
+            group.bench_with_input(BenchmarkId::new("b", 7), &3usize, |b, &n| {
+                b.iter(|| calls += n)
+            });
+            group.finish();
+        }
+        assert_eq!(calls, 4);
+        assert_eq!(c.benchmarks_run, 2);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("match-me".into()),
+            benchmarks_run: 0,
+        };
+        let mut ran = false;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("skipped", |b| b.iter(|| ran = true));
+        group.bench_function("match-me", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(ran);
+        assert_eq!(c.benchmarks_run, 1);
+    }
+
+    #[test]
+    fn measurement_produces_a_report() {
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 2,
+            report: None,
+        };
+        b.iter(|| black_box(1 + 1));
+        let report = b.report.expect("report");
+        assert!(report.contains("median"), "{report}");
+    }
+}

@@ -1,0 +1,391 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! a minimal-but-functional replacement: serialization goes through a
+//! concrete JSON [`Value`] tree instead of serde's zero-copy visitor
+//! machinery. [`Serialize`]/[`Deserialize`] are single-method traits,
+//! and the companion `serde_derive` proc-macros generate real
+//! field-by-field implementations, so `#[derive(Serialize,
+//! Deserialize)]` types round-trip faithfully (externally tagged enums,
+//! transparent newtypes — the subset this workspace uses).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A JSON document: the serialization data model of this stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any number (integers are preserved exactly up to 2^53).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+/// Deserialization errors (also reused by `serde_json`).
+pub mod de {
+    use std::fmt;
+
+    /// A deserialization failure with a human-readable message.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl Error {
+        /// Creates an error from a message.
+        pub fn msg(m: impl Into<String>) -> Self {
+            Error(m.into())
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "deserialization error: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+/// Types that can reconstruct themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a JSON value.
+    fn from_json(v: &Value) -> Result<Self, de::Error>;
+}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! serde_number {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Number(n) => Ok(*n as $t),
+                    other => Err(de::Error::msg(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"),
+                        other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+serde_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(de::Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the parsed string. Only sound for long-lived configuration
+    /// data (tables of static labels deserialized at most a handful of
+    /// times), which is the only way the workspace uses it.
+    fn from_json(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(de::Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json).collect(),
+            other => Err(de::Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_json(other)?)),
+        }
+    }
+}
+
+macro_rules! serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Array(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(de::Error::msg(format!(
+                                "expected {expected}-tuple, got {} items",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::from_json(&items[$idx])?,)+))
+                    }
+                    other => Err(de::Error::msg(format!("expected array, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_json(&self) -> Value {
+        // Sort keys so serialization is deterministic.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_json(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+                .collect(),
+            other => Err(de::Error::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_value(f, self, None, 0)
+    }
+}
+
+/// Renders a value as JSON text; `indent = Some(width)` pretty-prints.
+pub fn write_value(
+    out: &mut impl fmt::Write,
+    value: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> fmt::Result {
+    let (open_sep, item_sep, close_sep) = match indent {
+        Some(w) => (
+            format!("\n{}", " ".repeat(w * (depth + 1))),
+            format!(",\n{}", " ".repeat(w * (depth + 1))),
+            format!("\n{}", " ".repeat(w * depth)),
+        ),
+        None => (String::new(), ",".to_string(), String::new()),
+    };
+    match value {
+        Value::Null => out.write_str("null"),
+        Value::Bool(b) => write!(out, "{b}"),
+        Value::Number(n) => {
+            if !n.is_finite() {
+                out.write_str("null")
+            } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                write!(out, "{}", *n as i64)
+            } else {
+                write!(out, "{n}")
+            }
+        }
+        Value::String(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                return out.write_str("[]");
+            }
+            out.write_str("[")?;
+            out.write_str(&open_sep)?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.write_str(&item_sep)?;
+                }
+                write_value(out, item, indent, depth + 1)?;
+            }
+            out.write_str(&close_sep)?;
+            out.write_str("]")
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                return out.write_str("{}");
+            }
+            out.write_str("{")?;
+            out.write_str(&open_sep)?;
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.write_str(&item_sep)?;
+                }
+                write_json_string(out, k)?;
+                out.write_str(": ")?;
+                write_value(out, v, indent, depth + 1)?;
+            }
+            out.write_str(&close_sep)?;
+            out.write_str("}")
+        }
+    }
+}
+
+fn write_json_string(out: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    out.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_str("\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_impls_round_trip() {
+        let original: (Vec<f64>, Option<String>, bool) =
+            (vec![1.5, -2.0], Some("hi \"there\"".into()), true);
+        let v = original.to_json();
+        let back = <(Vec<f64>, Option<String>, bool)>::from_json(&v).unwrap();
+        assert_eq!(original, back);
+    }
+
+    #[test]
+    fn rendering_is_json() {
+        let v = Value::Object(vec![
+            ("x".into(), Value::Number(1.0)),
+            (
+                "y".into(),
+                Value::Array(vec![Value::Null, Value::Bool(false)]),
+            ),
+        ]);
+        assert_eq!(v.to_string(), r#"{"x": 1,"y": [null,false]}"#);
+    }
+
+    #[test]
+    fn f32_values_survive_the_f64_detour() {
+        for bits in [0x3f80_0001u32, 0x0000_0001, 0x7f7f_ffff, 0xc248_0a3d] {
+            let x = f32::from_bits(bits);
+            let text = format!("{}", x.to_json());
+            let parsed: f64 = text.parse().unwrap();
+            assert_eq!(parsed as f32, x, "bits {bits:#x} text {text}");
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates real field-by-field `Serialize`/`Deserialize`
+//! implementations for the companion vendored `serde` crate (whose
+//! traits are `to_json(&self) -> Value` / `from_json(&Value)`), using
+//! hand-rolled token parsing instead of `syn`/`quote` so the crate has
+//! zero dependencies. Supported shapes — the ones this workspace uses:
+//!
+//! - structs with named fields → JSON objects;
+//! - newtype (1-field tuple) structs → transparent, like upstream serde;
+//! - multi-field tuple structs → JSON arrays;
+//! - unit structs → `null`;
+//! - enums, externally tagged: unit variants → `"Name"`, newtype
+//!   variants → `{"Name": value}`, tuple variants → `{"Name": [..]}`,
+//!   struct variants → `{"Name": {..}}`.
+//!
+//! Generic types are rejected with a `compile_error!`. `#[serde(...)]`
+//! attributes are accepted and ignored; the only one appearing in the
+//! workspace is `#[serde(transparent)]` on newtype structs, whose
+//! behaviour is the default here anyway.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored `to_json` flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+/// Derives `serde::Deserialize` (the vendored `from_json` flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    let code = match parse_type(input) {
+        Ok(def) => match which {
+            Which::Serialize => gen_serialize(&def),
+            Which::Deserialize => gen_deserialize(&def),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde_derive generated invalid code: {e}\");")
+            .parse()
+            .unwrap()
+    })
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct TypeDef {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Struct with named fields.
+    Named(Vec<String>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many fields (1 = newtype).
+    Tuple(usize),
+    /// Struct variant with named fields.
+    Named(Vec<String>),
+}
+
+fn parse_type(input: TokenStream) -> Result<TypeDef, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    pos += 1;
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the vendored serde derive does not support generic types ({name})"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(TypeDef {
+                name,
+                kind: Kind::Named(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(TypeDef {
+                name,
+                kind: Kind::Tuple(count_tuple_fields(g.stream())),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(TypeDef {
+                name,
+                kind: Kind::Unit,
+            }),
+            other => Err(format!("unsupported struct body for {name}: {other:?}")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(TypeDef {
+                name,
+                kind: Kind::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("expected enum body for {name}, got {other:?}")),
+        },
+        other => Err(format!("expected `struct` or `enum`, got `{other}`")),
+    }
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // `#` and the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts the field names of a named-field body (`a: T, b: U, ...`).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after field {name}, got {other:?}")),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(name);
+        // skip_type stops at (and we consume) the separating comma
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past one type expression, stopping at a top-level `,`.
+/// Tracks `<`/`>` nesting; bracketed constructs arrive as single
+/// `Group` tokens so only angle brackets need counting.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Counts the fields of a tuple body (`T, U, ...`). Top-level commas
+/// delimit fields; a trailing comma does not add one.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.kind {
+        Kind::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_json(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{enum_name}::{vname} => \
+             ::serde::Value::String(::std::string::String::from({vname:?})),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let inner = if *n == 1 {
+                "::serde::Serialize::to_json(f0)".to_string()
+            } else {
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_json({b})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::Value::Object(vec![\
+                 (::std::string::String::from({vname:?}), {inner})]),",
+                binds.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_json({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {} }} => ::serde::Value::Object(vec![\
+                 (::std::string::String::from({vname:?}), \
+                 ::serde::Value::Object(vec![{}]))]),",
+                fields.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.kind {
+        Kind::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json(\
+                         v.get({f:?}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "if !matches!(v, ::serde::Value::Object(_)) {{\n\
+                     return ::core::result::Result::Err(::serde::de::Error::msg(\
+                         format!(\"expected object for {name}, got {{v:?}}\")));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Tuple(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_json(v)?))")
+        }
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} =>\n\
+                         ::core::result::Result::Ok({name}({})),\n\
+                     other => ::core::result::Result::Err(::serde::de::Error::msg(\
+                         format!(\"expected {n}-element array for {name}, got {{other:?}}\"))),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Kind::Unit => format!(
+            "match v {{\n\
+                 ::serde::Value::Null => ::core::result::Result::Ok({name}),\n\
+                 other => ::core::result::Result::Err(::serde::de::Error::msg(\
+                     format!(\"expected null for {name}, got {{other:?}}\"))),\n\
+             }}"
+        ),
+        Kind::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json(v: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::de::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "{vname:?} => ::core::result::Result::Ok({name}::{vname}),",
+                vname = v.name
+            )
+        })
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| de_tagged_arm(name, v))
+        .collect();
+    format!(
+        "match v {{\n\
+             ::serde::Value::String(tag) => match tag.as_str() {{\n\
+                 {}\n\
+                 _ => ::core::result::Result::Err(::serde::de::Error::msg(\
+                     format!(\"unknown unit variant {{tag}} for {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, value) = &entries[0];\n\
+                 let _ = value;\n\
+                 match tag.as_str() {{\n\
+                     {}\n\
+                     _ => ::core::result::Result::Err(::serde::de::Error::msg(\
+                         format!(\"unknown variant {{tag}} for {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             other => ::core::result::Result::Err(::serde::de::Error::msg(\
+                 format!(\"expected enum value for {name}, got {{other:?}}\"))),\n\
+         }}",
+        unit_arms.join("\n"),
+        tagged_arms.join("\n")
+    )
+}
+
+fn de_tagged_arm(name: &str, v: &Variant) -> Option<String> {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => None,
+        VariantKind::Tuple(1) => Some(format!(
+            "{vname:?} => ::core::result::Result::Ok(\
+             {name}::{vname}(::serde::Deserialize::from_json(value)?)),"
+        )),
+        VariantKind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json(&items[{i}])?"))
+                .collect();
+            Some(format!(
+                "{vname:?} => match value {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} =>\n\
+                         ::core::result::Result::Ok({name}::{vname}({})),\n\
+                     other => ::core::result::Result::Err(::serde::de::Error::msg(\
+                         format!(\"expected {n}-element array for {name}::{vname}, \
+                         got {{other:?}}\"))),\n\
+                 }},",
+                items.join(", ")
+            ))
+        }
+        VariantKind::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json(\
+                         value.get({f:?}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            Some(format!(
+                "{vname:?} => ::core::result::Result::Ok({name}::{vname} {{ {} }}),",
+                inits.join(", ")
+            ))
+        }
+    }
+}
