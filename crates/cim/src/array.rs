@@ -21,12 +21,18 @@
 //! integration tests.
 
 use crate::cells::{CellContext, CellDesign, CellOffsets, CellWeight};
+use crate::fault::CellFault;
 use crate::CimError;
 use ferrocim_spice::{
     Circuit, Element, NodeId, SwitchSchedule, TransientAnalysis, Waveform, Workspace,
 };
-use ferrocim_units::{Celsius, Farad, Joule, Second, Volt};
+use ferrocim_units::{Celsius, Farad, Joule, Ohm, Second, Volt};
 use serde::{Deserialize, Serialize};
+
+/// Residual resistance of a [`CellFault::ShortDevice`] path from the
+/// bit line to the cell output — low enough to saturate `C_o` within
+/// any realistic charge phase.
+const SHORT_RESISTANCE: Ohm = Ohm(1e5);
 
 /// Geometry and timing of a CIM row.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -266,6 +272,8 @@ impl MacRequest {
 pub struct CimArray<C> {
     cell: C,
     config: ArrayConfig,
+    /// Per-column injected hardware faults (all `None` by default).
+    faults: Vec<Option<CellFault>>,
 }
 
 impl<C: CellDesign> CimArray<C> {
@@ -277,7 +285,63 @@ impl<C: CellDesign> CimArray<C> {
     /// timing values.
     pub fn new(cell: C, config: ArrayConfig) -> Result<Self, CimError> {
         config.validate()?;
-        Ok(CimArray { cell, config })
+        let faults = vec![None; config.cells_per_row];
+        Ok(CimArray {
+            cell,
+            config,
+            faults,
+        })
+    }
+
+    /// Installs per-column hardware faults (one entry per cell; `None`
+    /// = healthy). Faults apply to every MAC path: stuck-at faults
+    /// override the stored weight, a dead word line forces the input
+    /// off, and open/short faults rewrite the cell's devices. The
+    /// digital ground truth (`expected`) is still computed from the
+    /// *requested* operands, so faulted outputs can be scored against
+    /// the intent.
+    ///
+    /// # Errors
+    ///
+    /// [`CimError::MismatchedOperands`] when `faults` does not have one
+    /// entry per cell.
+    pub fn with_faults(mut self, faults: &[Option<CellFault>]) -> Result<Self, CimError> {
+        if faults.len() != self.config.cells_per_row {
+            return Err(CimError::MismatchedOperands {
+                weights: faults.len(),
+                inputs: faults.len(),
+                cells_per_row: self.config.cells_per_row,
+            });
+        }
+        self.faults = faults.to_vec();
+        Ok(self)
+    }
+
+    /// The installed per-column faults.
+    pub fn faults(&self) -> &[Option<CellFault>] {
+        &self.faults
+    }
+
+    /// True when at least one cell has an injected fault.
+    pub fn has_faults(&self) -> bool {
+        self.faults.iter().any(|f| f.is_some())
+    }
+
+    /// The weight cell `i` effectively stores, after stuck-at faults.
+    fn effective_weight(&self, i: usize, weight: CellWeight) -> CellWeight {
+        match self.faults[i] {
+            Some(CellFault::StuckAtLvt) => CellWeight::Bit(true),
+            Some(CellFault::StuckAtHvt) => CellWeight::Bit(false),
+            _ => weight,
+        }
+    }
+
+    /// The input cell `i` effectively sees, after dead-wordline faults.
+    fn effective_input(&self, i: usize, input: bool) -> bool {
+        match self.faults[i] {
+            Some(CellFault::DeadWordline) => false,
+            _ => input,
+        }
     }
 
     /// The cell design.
@@ -395,7 +459,11 @@ impl<C: CellDesign> CimArray<C> {
                 format!("VWL{i}"),
                 wl,
                 NodeId::GROUND,
-                Waveform::step(bias.wl_for(inputs[i]), bias.v_wl_off, self.config.t_charge),
+                Waveform::step(
+                    bias.wl_for(self.effective_input(i, inputs[i])),
+                    bias.v_wl_off,
+                    self.config.t_charge,
+                ),
             ))?;
             ckt.add(Element::Capacitor {
                 name: format!("CO{i}"),
@@ -410,16 +478,32 @@ impl<C: CellDesign> CimArray<C> {
                 acc,
                 SwitchSchedule::open().then_at(self.config.t_charge + self.config.t_settle, true),
             ))?;
-            let ctx = CellContext {
-                index: i,
-                bl,
-                sl,
-                wl,
-                out,
-                weight: weights[i],
-                offsets: &offsets[i],
-            };
-            self.cell.build_cell(&mut ckt, &ctx)?;
+            match self.faults[i] {
+                // The cell's devices never connect: only CO and EN remain.
+                Some(CellFault::OpenDevice) => {}
+                // A damaged device ties the output to the bit line
+                // through a residual resistance instead of the cell.
+                Some(CellFault::ShortDevice) => {
+                    ckt.add(Element::resistor(
+                        format!("FAULT{i}"),
+                        bl,
+                        out,
+                        SHORT_RESISTANCE,
+                    ))?;
+                }
+                _ => {
+                    let ctx = CellContext {
+                        index: i,
+                        bl,
+                        sl,
+                        wl,
+                        out,
+                        weight: self.effective_weight(i, weights[i]),
+                        offsets: &offsets[i],
+                    };
+                    self.cell.build_cell(&mut ckt, &ctx)?;
+                }
+            }
         }
         Ok((ckt, outs, acc))
     }
@@ -435,8 +519,11 @@ impl<C: CellDesign> CimArray<C> {
         for (i, &input) in inputs.iter().enumerate() {
             match ckt.element_mut(&format!("VWL{i}")) {
                 Some(Element::VoltageSource { waveform, .. }) => {
-                    *waveform =
-                        Waveform::step(bias.wl_for(input), bias.v_wl_off, self.config.t_charge);
+                    *waveform = Waveform::step(
+                        bias.wl_for(self.effective_input(i, input)),
+                        bias.v_wl_off,
+                        self.config.t_charge,
+                    );
                 }
                 _ => {
                     return Err(CimError::InvalidConfig {
@@ -525,8 +612,27 @@ impl<C: CellDesign> CimArray<C> {
         // Dedupe identical (weight, input, offsets) cells.
         type CellKey = (CellWeight, bool, CellOffsets);
         let mut cache: Vec<(CellKey, (f64, f64))> = Vec::new();
+        let bias = self.cell.bias();
         for i in 0..n {
-            let key = (weights[i], inputs[i], offsets[i]);
+            // Open/short faults bypass the cell simulation entirely.
+            match self.faults[i] {
+                Some(CellFault::OpenDevice) => {
+                    cell_voltages.push(Volt(0.0));
+                    continue;
+                }
+                Some(CellFault::ShortDevice) => {
+                    // The residual short charges C_o all the way to the
+                    // bit line; the supply delivers ~C_o·ΔV² doing so.
+                    let dv = bias.v_bl.value() - bias.v_sl.value();
+                    cell_voltages.push(Volt(dv));
+                    energy += self.config.c_o.value() * dv * dv;
+                    continue;
+                }
+                _ => {}
+            }
+            let weight = self.effective_weight(i, weights[i]);
+            let input = self.effective_input(i, inputs[i]);
+            let key = (weight, input, offsets[i]);
             let hit = cache
                 .iter()
                 .find(|(k, _)| {
@@ -540,13 +646,8 @@ impl<C: CellDesign> CimArray<C> {
             let (v_o, e) = match hit {
                 Some(v) => v,
                 None => {
-                    let r = self.single_cell_charge_weighted(
-                        weights[i],
-                        inputs[i],
-                        temp,
-                        &offsets[i],
-                        ws,
-                    )?;
+                    let r =
+                        self.single_cell_charge_weighted(weight, input, temp, &offsets[i], ws)?;
                     cache.push((key, r));
                     r
                 }

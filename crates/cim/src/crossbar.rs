@@ -10,8 +10,12 @@
 
 use crate::array::{CimArray, MacPath, MacRequest};
 use crate::cells::{CellDesign, CellWeight};
+use crate::fault::{CellFault, FaultPlan};
 use crate::transfer::Adc;
 use crate::CimError;
+use ferrocim_spice::{
+    apply_policy, try_fan_out, FailurePolicy, FanOutError, FanOutReport, JobError,
+};
 use ferrocim_units::{Celsius, Joule, Volt};
 use serde::{Deserialize, Serialize};
 
@@ -32,6 +36,10 @@ pub struct Crossbar<C> {
     array: CimArray<C>,
     rows: Vec<Vec<CellWeight>>,
     adc: Adc,
+    faults: FaultPlan,
+    /// Faulted hardware clones for rows the plan touches; fault-free
+    /// rows stay `None` and share `array`.
+    row_arrays: Vec<Option<CimArray<C>>>,
 }
 
 impl<C: CellDesign> Crossbar<C> {
@@ -54,10 +62,65 @@ impl<C: CellDesign> Crossbar<C> {
         let adc = Adc::calibrate_over(&array, &ferrocim_spice::sweep::temperature_sweep(8))?;
         let n = array.config().cells_per_row;
         Ok(Crossbar {
+            faults: FaultPlan::none(rows, n),
+            row_arrays: (0..rows).map(|_| None).collect(),
             array,
             rows: vec![vec![CellWeight::Bit(false); n]; rows],
             adc,
         })
+    }
+
+    /// Installs a fault plan: every cell fault in `plan` is applied to
+    /// the corresponding `(row, column)` cell of this crossbar, for
+    /// both transient and analytic evaluation. Rows the plan leaves
+    /// untouched keep sharing the original row hardware. Pass
+    /// [`FaultPlan::none`] to clear previously installed faults.
+    ///
+    /// # Errors
+    ///
+    /// [`CimError::InvalidConfig`] when the plan's tile shape differs
+    /// from this crossbar's `rows × columns`.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Result<Self, CimError>
+    where
+        C: Clone,
+    {
+        if plan.rows() != self.rows.len() || plan.cols() != self.columns() {
+            return Err(CimError::InvalidConfig {
+                name: "fault_plan_shape",
+                value: plan.rows() as f64,
+                requirement: "a tile shape matching the crossbar",
+            });
+        }
+        self.row_arrays = (0..self.rows.len())
+            .map(|r| {
+                if plan.row_has_faults(r) {
+                    self.array
+                        .clone()
+                        .with_faults(&plan.row_faults(r))
+                        .map(Some)
+                } else {
+                    Ok(None)
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        self.faults = plan;
+        Ok(self)
+    }
+
+    /// The installed fault plan (empty by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The hardware used to evaluate one row: the shared fault-free
+    /// array, or the row's faulted clone.
+    fn row_array(&self, row: usize) -> &CimArray<C> {
+        self.row_arrays[row].as_ref().unwrap_or(&self.array)
+    }
+
+    /// The per-column faults of one row, as installed.
+    fn row_fault_vec(&self, row: usize) -> Vec<Option<CellFault>> {
+        self.faults.row_faults(row)
     }
 
     /// The number of rows.
@@ -151,12 +214,12 @@ impl<C: CellDesign> Crossbar<C> {
         let mut analog = Vec::with_capacity(self.rows.len());
         let mut energy = 0.0;
         let mut ws = ferrocim_spice::Workspace::new();
-        for weights in &self.rows {
+        for (r, weights) in self.rows.iter().enumerate() {
             let request = MacRequest::new(inputs)
                 .weighted(weights)
                 .at(temp)
                 .path(MacPath::Analytic);
-            let out = self.array.run_in(&request, &mut ws)?;
+            let out = self.row_array(r).run_in(&request, &mut ws)?;
             digital.push(self.adc.quantize(out.v_acc));
             analog.push(out.v_acc);
             energy += out.energy.value();
@@ -194,22 +257,7 @@ impl<C: CellDesign> Crossbar<C> {
                 });
             }
         }
-        // One job per (input vector, stored row); duplicates (repeated
-        // input vectors or identically programmed rows) run once.
-        let jobs: Vec<(usize, usize)> = (0..inputs.len())
-            .flat_map(|i| (0..self.rows.len()).map(move |r| (i, r)))
-            .collect();
-        let mut unique: Vec<(usize, usize)> = Vec::new();
-        let mut slot_of: Vec<usize> = Vec::with_capacity(jobs.len());
-        for &(i, r) in &jobs {
-            let found = unique
-                .iter()
-                .position(|&(j, s)| inputs[j] == inputs[i] && self.rows[s] == self.rows[r]);
-            slot_of.push(found.unwrap_or_else(|| {
-                unique.push((i, r));
-                unique.len() - 1
-            }));
-        }
+        let (unique, slot_of) = self.dedupe_row_jobs(inputs);
         let solved = ferrocim_spice::fan_out(
             unique.len(),
             true,
@@ -220,7 +268,7 @@ impl<C: CellDesign> Crossbar<C> {
                     .weighted(&self.rows[r])
                     .at(temp)
                     .path(MacPath::Analytic);
-                self.array.run_in(&request, ws)
+                self.row_array(r).run_in(&request, ws)
             },
         );
         let mut row_macs = Vec::with_capacity(unique.len());
@@ -247,6 +295,115 @@ impl<C: CellDesign> Crossbar<C> {
                 }
             })
             .collect())
+    }
+
+    /// Deduplicates the `inputs × rows` row-MAC jobs: two jobs collapse
+    /// when their input vectors, stored weights, and per-row faults all
+    /// match. Returns the unique `(input, row)` jobs and, for every
+    /// original job in input-major order, its unique-slot index.
+    fn dedupe_row_jobs(&self, inputs: &[Vec<bool>]) -> (Vec<(usize, usize)>, Vec<usize>) {
+        let row_faults: Vec<Vec<Option<CellFault>>> = (0..self.rows.len())
+            .map(|r| self.row_fault_vec(r))
+            .collect();
+        let mut unique: Vec<(usize, usize)> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(inputs.len() * self.rows.len());
+        for i in 0..inputs.len() {
+            for r in 0..self.rows.len() {
+                let found = unique.iter().position(|&(j, s)| {
+                    inputs[j] == inputs[i]
+                        && self.rows[s] == self.rows[r]
+                        && row_faults[s] == row_faults[r]
+                });
+                slot_of.push(found.unwrap_or_else(|| {
+                    unique.push((i, r));
+                    unique.len() - 1
+                }));
+            }
+        }
+        (unique, slot_of)
+    }
+
+    /// Fault-tolerant variant of [`Crossbar::matvec_batch`]: each input
+    /// vector is one job, which succeeds only when every one of its row
+    /// MACs succeeds (failures include both typed errors and panics
+    /// inside the solver). `policy` decides whether the batch aborts on
+    /// the first failed input, reports failures per input, or
+    /// substitutes a fallback output.
+    ///
+    /// # Errors
+    ///
+    /// [`FanOutError::Job`] under [`FailurePolicy::FailFast`] when any
+    /// input fails; [`FanOutError::TooManyFailures`] under
+    /// [`FailurePolicy::SkipAndReport`] when the failure budget is
+    /// exceeded. Under [`FailurePolicy::Substitute`] the call never
+    /// fails.
+    pub fn try_matvec_batch(
+        &self,
+        inputs: &[Vec<bool>],
+        temp: Celsius,
+        policy: &FailurePolicy<MatVecOutput>,
+    ) -> Result<FanOutReport<MatVecOutput, CimError>, FanOutError<CimError>>
+    where
+        C: Sync,
+    {
+        let (unique, slot_of) = self.dedupe_row_jobs(inputs);
+        let solved = try_fan_out(
+            unique.len(),
+            true,
+            &FailurePolicy::SkipAndReport {
+                max_failures: usize::MAX,
+            },
+            ferrocim_spice::Workspace::new,
+            |ws, u| {
+                let (i, r) = unique[u];
+                if inputs[i].len() != self.columns() {
+                    return Err(CimError::MismatchedOperands {
+                        weights: self.columns(),
+                        inputs: inputs[i].len(),
+                        cells_per_row: self.columns(),
+                    });
+                }
+                let request = MacRequest::new(&inputs[i])
+                    .weighted(&self.rows[r])
+                    .at(temp)
+                    .path(MacPath::Analytic);
+                self.row_array(r).run_in(&request, ws)
+            },
+        )?;
+        // One *input vector* is one job from the policy's point of
+        // view: it succeeds only when all of its row MACs succeeded,
+        // and it fails with the first row failure otherwise.
+        let mut results: Vec<Result<MatVecOutput, JobError<CimError>>> =
+            Vec::with_capacity(inputs.len());
+        for i in 0..inputs.len() {
+            let mut digital = Vec::with_capacity(self.rows.len());
+            let mut analog = Vec::with_capacity(self.rows.len());
+            let mut energy = 0.0;
+            let mut error: Option<JobError<CimError>> = None;
+            for r in 0..self.rows.len() {
+                match &solved.results[slot_of[i * self.rows.len() + r]] {
+                    Ok(out) => {
+                        digital.push(self.adc.quantize(out.v_acc));
+                        analog.push(out.v_acc);
+                        energy += out.energy.value();
+                    }
+                    Err(e) => {
+                        error = Some(e.clone());
+                        break;
+                    }
+                }
+            }
+            results.push(match error {
+                Some(e) => Err(e),
+                None => Ok(MatVecOutput {
+                    digital,
+                    analog,
+                    energy: Joule(energy),
+                }),
+            });
+        }
+        let failures = results.iter().filter(|r| r.is_err()).count();
+        apply_policy(results, failures, policy)
     }
 }
 
@@ -336,6 +493,79 @@ mod tests {
         assert!(matches!(
             xbar.matvec_batch(&[vec![true; 3]], ROOM),
             Err(CimError::MismatchedOperands { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_plan_perturbs_only_faulted_rows() {
+        let mut xbar = small_crossbar(2);
+        xbar.program_row(0, &[true; 8]).unwrap();
+        xbar.program_row(1, &[true; 8]).unwrap();
+        let clean = xbar.matvec(&[true; 8], ROOM).unwrap();
+        let plan = FaultPlan::none(2, 8)
+            .with_fault(1, 0, CellFault::StuckAtHvt)
+            .unwrap()
+            .with_fault(1, 1, CellFault::DeadWordline)
+            .unwrap();
+        let faulted = xbar.clone().with_fault_plan(plan).unwrap();
+        assert_eq!(faulted.fault_plan().fault_count(), 2);
+        let out = faulted.matvec(&[true; 8], ROOM).unwrap();
+        // Row 0 is untouched; row 1 loses exactly the two killed products.
+        assert_eq!(out.digital[0], clean.digital[0]);
+        assert_eq!(out.digital[1], clean.digital[1] - 2);
+        // The batched path (whose dedup key includes faults — rows 0 and
+        // 1 store identical weights but may not collapse) agrees.
+        let batch = faulted.matvec_batch(&[vec![true; 8]], ROOM).unwrap();
+        assert_eq!(batch[0], out);
+        // And the fault-tolerant path returns the identical clean result.
+        let report = faulted
+            .try_matvec_batch(&[vec![true; 8]], ROOM, &FailurePolicy::FailFast)
+            .unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.results[0].as_ref().unwrap(), &out);
+    }
+
+    #[test]
+    fn fault_plan_shape_is_checked() {
+        let xbar = small_crossbar(2);
+        assert!(matches!(
+            xbar.clone().with_fault_plan(FaultPlan::none(3, 8)),
+            Err(CimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            xbar.with_fault_plan(FaultPlan::none(2, 4)),
+            Err(CimError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn try_matvec_batch_isolates_bad_inputs() {
+        let mut xbar = small_crossbar(2);
+        xbar.program_row(0, &[true; 8]).unwrap();
+        let inputs = vec![vec![true; 8], vec![true; 3], vec![false; 8]];
+        let report = xbar
+            .try_matvec_batch(
+                &inputs,
+                ROOM,
+                &FailurePolicy::SkipAndReport { max_failures: 1 },
+            )
+            .unwrap();
+        assert_eq!(report.failures, 1);
+        assert!(matches!(
+            report.results[1],
+            Err(JobError::Failed(CimError::MismatchedOperands { .. }))
+        ));
+        assert_eq!(
+            report.results[0].as_ref().unwrap(),
+            &xbar.matvec(&inputs[0], ROOM).unwrap()
+        );
+        assert_eq!(
+            report.results[2].as_ref().unwrap(),
+            &xbar.matvec(&inputs[2], ROOM).unwrap()
+        );
+        assert!(matches!(
+            xbar.try_matvec_batch(&inputs, ROOM, &FailurePolicy::FailFast),
+            Err(FanOutError::Job { index: 1, .. })
         ));
     }
 

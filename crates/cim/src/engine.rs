@@ -21,7 +21,10 @@
 use crate::array::{CimArray, MacOutput, MacPath, MacRequest};
 use crate::cells::{CellDesign, CellOffsets, CellWeight};
 use crate::CimError;
-use ferrocim_spice::{fan_out, Circuit, NodeId, Workspace};
+use ferrocim_spice::{
+    apply_policy, fan_out, try_fan_out, Circuit, FailurePolicy, FanOutError, FanOutReport,
+    JobError, NodeId, Workspace,
+};
 use ferrocim_units::Celsius;
 
 /// A reusable batched-MAC executor over one set of stored weights.
@@ -224,14 +227,84 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
                 )
             },
         );
-        let mut outs: Vec<Option<MacOutput>> = vec![None; unique.len()];
-        for (slot, result) in outs.iter_mut().zip(results) {
-            *slot = Some(result?);
+        let mut solved: Vec<MacOutput> = Vec::with_capacity(unique.len());
+        for result in results {
+            solved.push(result?);
         }
-        Ok(slot_of
+        Ok(slot_of.into_iter().map(|u| solved[u].clone()).collect())
+    }
+
+    /// Fault-tolerant variant of [`ArrayEngine::mac_batch`]: each input
+    /// vector is one job, failures (typed errors *or* panics inside the
+    /// solver) are collected per job, and `policy` decides whether the
+    /// batch aborts, reports, or substitutes a fallback output.
+    /// Duplicated input vectors still share one simulation — and share
+    /// its outcome, success or failure.
+    ///
+    /// # Errors
+    ///
+    /// [`FanOutError::Job`] under [`FailurePolicy::FailFast`] when any
+    /// job fails; [`FanOutError::TooManyFailures`] under
+    /// [`FailurePolicy::SkipAndReport`] when the failure budget is
+    /// exceeded. Under [`FailurePolicy::Substitute`] the call never
+    /// fails.
+    pub fn try_mac_batch(
+        &self,
+        inputs: &[Vec<bool>],
+        temp: Celsius,
+        policy: &FailurePolicy<MacOutput>,
+    ) -> Result<FanOutReport<MacOutput, CimError>, FanOutError<CimError>>
+    where
+        C: Sync,
+    {
+        let n = self.array.config().cells_per_row;
+        let mut unique: Vec<usize> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(inputs.len());
+        for i in 0..inputs.len() {
+            let found = unique.iter().position(|&j| inputs[j] == inputs[i]);
+            slot_of.push(found.unwrap_or_else(|| {
+                unique.push(i);
+                unique.len() - 1
+            }));
+        }
+        // Solve the unique jobs tolerating every failure, then scatter
+        // results back to input slots and apply the caller's policy at
+        // that granularity — so the failure budget counts inputs, not
+        // deduplicated simulations.
+        let solved = try_fan_out(
+            unique.len(),
+            self.parallel,
+            &FailurePolicy::SkipAndReport {
+                max_failures: usize::MAX,
+            },
+            || (Workspace::new(), self.base.clone()),
+            |(ws, ckt), u| {
+                let i = unique[u];
+                if inputs[i].len() != n {
+                    return Err(CimError::MismatchedOperands {
+                        weights: self.weights.len(),
+                        inputs: inputs[i].len(),
+                        cells_per_row: n,
+                    });
+                }
+                self.array.retarget_inputs(ckt, &inputs[i])?;
+                self.array.eval_row_transient(
+                    ckt,
+                    &self.outs,
+                    self.acc,
+                    &self.weights,
+                    &inputs[i],
+                    temp,
+                    ws,
+                )
+            },
+        )?;
+        let results: Vec<Result<MacOutput, JobError<CimError>>> = slot_of
             .into_iter()
-            .map(|u| outs[u].clone().expect("unique job solved"))
-            .collect())
+            .map(|u| solved.results[u].clone())
+            .collect();
+        let failures = results.iter().filter(|r| r.is_err()).count();
+        apply_policy(results, failures, policy)
     }
 
     /// The per-call reference this engine accelerates: one
@@ -350,5 +423,54 @@ mod tests {
         let array = small_array();
         let engine = ArrayEngine::new(&array, &[true; 4]).unwrap();
         assert_eq!(engine.mac_batch(&[], ROOM).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn try_batch_matches_batch_when_clean() {
+        let array = small_array();
+        let engine = ArrayEngine::new(&array, &[true; 4]).unwrap();
+        let inputs = input_set();
+        let report = engine
+            .try_mac_batch(
+                &inputs,
+                ROOM,
+                &FailurePolicy::SkipAndReport { max_failures: 0 },
+            )
+            .unwrap();
+        assert!(report.is_clean());
+        let reference = engine.mac_batch(&inputs, ROOM).unwrap();
+        let values: Vec<MacOutput> = report.values().cloned().collect();
+        assert_eq!(values, reference);
+    }
+
+    #[test]
+    fn try_batch_isolates_bad_inputs_per_policy() {
+        let array = small_array();
+        let engine = ArrayEngine::new(&array, &[true; 4]).unwrap();
+        // Job 1 has the wrong width; jobs 0 and 2 are fine.
+        let inputs = vec![vec![true; 4], vec![true; 7], vec![false; 4]];
+        let report = engine
+            .try_mac_batch(
+                &inputs,
+                ROOM,
+                &FailurePolicy::SkipAndReport { max_failures: 1 },
+            )
+            .unwrap();
+        assert_eq!(report.failures, 1);
+        assert!(report.results[0].is_ok());
+        assert!(matches!(
+            report.results[1],
+            Err(JobError::Failed(CimError::MismatchedOperands { .. }))
+        ));
+        let reference = engine
+            .mac_batch(&[inputs[0].clone(), inputs[2].clone()], ROOM)
+            .unwrap();
+        assert_eq!(report.results[0].as_ref().unwrap(), &reference[0]);
+        assert_eq!(report.results[2].as_ref().unwrap(), &reference[1]);
+        // FailFast surfaces the same failure as a batch error.
+        assert!(matches!(
+            engine.try_mac_batch(&inputs, ROOM, &FailurePolicy::FailFast),
+            Err(FanOutError::Job { index: 1, .. })
+        ));
     }
 }

@@ -1,0 +1,252 @@
+//! Device/cell fault injection for robustness experiments.
+//!
+//! Real FeFET arrays ship with defects: cells whose ferroelectric is
+//! stuck in one polarization, word lines that never assert, devices
+//! with open or shorted channels. A [`FaultPlan`] describes a set of
+//! such faults over a `(rows × cells_per_row)` tile, deterministically
+//! derived from a seed, and is applied by [`crate::CimArray`] /
+//! [`crate::Crossbar`] when building or evaluating row netlists — so
+//! accuracy-vs-fault-rate curves are a first-class experiment rather
+//! than an ad-hoc patch of the weight matrix.
+
+use crate::CimError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A single-cell hardware fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellFault {
+    /// The FeFET is stuck in the low-`V_TH` state: the cell behaves as
+    /// if it stored '1' regardless of what was programmed.
+    StuckAtLvt,
+    /// The FeFET is stuck in the high-`V_TH` state: the cell behaves as
+    /// if it stored '0'.
+    StuckAtHvt,
+    /// The cell's word line never asserts: the input is always '0'.
+    DeadWordline,
+    /// The cell's devices are disconnected from the bit line: the cell
+    /// output capacitor never charges.
+    OpenDevice,
+    /// A damaged device shorts the cell output to the bit line through
+    /// a residual resistance: the output saturates high.
+    ShortDevice,
+}
+
+impl CellFault {
+    /// A short human-readable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellFault::StuckAtLvt => "stuck-at-LVT",
+            CellFault::StuckAtHvt => "stuck-at-HVT",
+            CellFault::DeadWordline => "dead-wordline",
+            CellFault::OpenDevice => "open-device",
+            CellFault::ShortDevice => "short-device",
+        }
+    }
+}
+
+/// The five fault kinds, in the order [`FaultPlan::random`] samples
+/// them.
+const FAULT_KINDS: [CellFault; 5] = [
+    CellFault::StuckAtLvt,
+    CellFault::StuckAtHvt,
+    CellFault::DeadWordline,
+    CellFault::OpenDevice,
+    CellFault::ShortDevice,
+];
+
+/// A deterministic map of cell faults over a `(rows × cols)` tile.
+///
+/// Plans are value types: build one with [`FaultPlan::none`] /
+/// [`FaultPlan::random`] / [`FaultPlan::with_fault`] and install it
+/// into a [`crate::Crossbar`] (or a single-row [`crate::CimArray`] via
+/// `with_faults`). Two plans with the same dimensions, seed, and rate
+/// are identical — fault experiments reproduce bit for bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    rows: usize,
+    cols: usize,
+    /// Sorted by `(row, col)`, one entry per faulted cell.
+    faults: Vec<((usize, usize), CellFault)>,
+}
+
+impl FaultPlan {
+    /// An empty (fault-free) plan for a `(rows × cols)` tile.
+    pub fn none(rows: usize, cols: usize) -> FaultPlan {
+        FaultPlan {
+            rows,
+            cols,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Samples a plan where every cell independently faults with
+    /// probability `rate`, the fault kind drawn uniformly from the five
+    /// [`CellFault`] variants. Deterministic: the same `(rows, cols,
+    /// rate, seed)` always produces the same plan, regardless of any
+    /// other RNG activity in the process.
+    ///
+    /// # Errors
+    ///
+    /// [`CimError::InvalidConfig`] when `rate` is outside `[0, 1]`.
+    pub fn random(rows: usize, cols: usize, rate: f64, seed: u64) -> Result<FaultPlan, CimError> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(CimError::InvalidConfig {
+                name: "fault_rate",
+                value: rate,
+                requirement: "within [0, 1]",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::none(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                // Draw both values unconditionally so the stream
+                // position of cell (r, c) is independent of the rate.
+                let hit = rng.random::<f64>() < rate;
+                let kind = FAULT_KINDS[rng.random_range(0..FAULT_KINDS.len())];
+                if hit {
+                    // Iteration order is already sorted by (r, c).
+                    plan.faults.push(((r, c), kind));
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Adds (or overwrites) one fault at `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CimError::InvalidConfig`] when the coordinate is outside the
+    /// plan's tile.
+    pub fn with_fault(
+        mut self,
+        row: usize,
+        col: usize,
+        fault: CellFault,
+    ) -> Result<Self, CimError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(CimError::InvalidConfig {
+                name: "fault_coordinate",
+                value: if row >= self.rows {
+                    row as f64
+                } else {
+                    col as f64
+                },
+                requirement: "within the plan's tile",
+            });
+        }
+        match self.faults.binary_search_by_key(&(row, col), |&(k, _)| k) {
+            Ok(i) => self.faults[i].1 = fault,
+            Err(i) => self.faults.insert(i, ((row, col), fault)),
+        }
+        Ok(self)
+    }
+
+    /// The plan's row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The plan's column count (cells per row).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The fault at `(row, col)`, if any.
+    pub fn fault_at(&self, row: usize, col: usize) -> Option<CellFault> {
+        self.faults
+            .binary_search_by_key(&(row, col), |&(k, _)| k)
+            .ok()
+            .map(|i| self.faults[i].1)
+    }
+
+    /// Total number of faulted cells.
+    pub fn fault_count(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when row `row` has at least one faulted cell.
+    pub fn row_has_faults(&self, row: usize) -> bool {
+        let start = self.faults.partition_point(|&((r, _), _)| r < row);
+        self.faults.get(start).is_some_and(|&((r, _), _)| r == row)
+    }
+
+    /// The per-column fault vector of one row (length
+    /// [`FaultPlan::cols`]), as consumed by `CimArray::with_faults`.
+    pub fn row_faults(&self, row: usize) -> Vec<Option<CellFault>> {
+        let mut out = vec![None; self.cols];
+        let start = self.faults.partition_point(|&((r, _), _)| r < row);
+        for &((r, c), fault) in &self.faults[start..] {
+            if r != row {
+                break;
+            }
+            out[c] = Some(fault);
+        }
+        out
+    }
+
+    /// Iterates over all faults as `((row, col), fault)` in `(row, col)`
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), CellFault)> + '_ {
+        self.faults.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        let a = FaultPlan::random(8, 8, 0.2, 42).unwrap();
+        let b = FaultPlan::random(8, 8, 0.2, 42).unwrap();
+        assert_eq!(a, b);
+        let c = FaultPlan::random(8, 8, 0.2, 43).unwrap();
+        assert_ne!(a, c, "different seeds should (generically) differ");
+    }
+
+    #[test]
+    fn rate_bounds_are_enforced() {
+        assert!(FaultPlan::random(4, 4, -0.1, 0).is_err());
+        assert!(FaultPlan::random(4, 4, 1.5, 0).is_err());
+        assert!(FaultPlan::random(4, 4, f64::NAN, 0).is_err());
+        assert_eq!(FaultPlan::random(4, 4, 0.0, 0).unwrap().fault_count(), 0);
+        assert_eq!(FaultPlan::random(4, 4, 1.0, 0).unwrap().fault_count(), 16);
+    }
+
+    #[test]
+    fn row_queries_match_the_map() {
+        let plan = FaultPlan::none(3, 4)
+            .with_fault(1, 2, CellFault::OpenDevice)
+            .unwrap()
+            .with_fault(1, 0, CellFault::StuckAtLvt)
+            .unwrap();
+        assert!(!plan.row_has_faults(0));
+        assert!(plan.row_has_faults(1));
+        assert_eq!(
+            plan.row_faults(1),
+            vec![
+                Some(CellFault::StuckAtLvt),
+                None,
+                Some(CellFault::OpenDevice),
+                None
+            ]
+        );
+        assert_eq!(plan.fault_at(1, 2), Some(CellFault::OpenDevice));
+        assert_eq!(plan.fault_at(0, 0), None);
+        assert_eq!(plan.fault_count(), 2);
+    }
+
+    #[test]
+    fn out_of_tile_faults_are_rejected() {
+        assert!(FaultPlan::none(2, 2)
+            .with_fault(2, 0, CellFault::StuckAtHvt)
+            .is_err());
+        assert!(FaultPlan::none(2, 2)
+            .with_fault(0, 2, CellFault::StuckAtHvt)
+            .is_err());
+    }
+}

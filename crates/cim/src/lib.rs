@@ -53,6 +53,7 @@ pub mod compare;
 mod crossbar;
 mod engine;
 mod error;
+pub mod fault;
 pub mod metrics;
 pub mod program;
 pub mod transfer;
@@ -63,3 +64,4 @@ pub use bias::ReadBias;
 pub use crossbar::{Crossbar, MatVecOutput};
 pub use engine::ArrayEngine;
 pub use error::CimError;
+pub use fault::{CellFault, FaultPlan};

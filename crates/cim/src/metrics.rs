@@ -160,12 +160,17 @@ impl RangeTable {
     ///
     /// Returns `(i, NMR_i)` for the minimizing level pair. A positive
     /// value certifies that no two adjacent MAC outputs overlap anywhere
-    /// in the sweep.
+    /// in the sweep. A degenerate single-level table has no adjacent
+    /// pair and reports `(0, f64::INFINITY)`.
     pub fn nmr_min(&self) -> (usize, f64) {
-        (0..self.max_mac())
-            .map(|i| (i, self.nmr(i)))
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("table has at least two levels")
+        let mut min = (0, f64::INFINITY);
+        for i in 0..self.max_mac() {
+            let nmr = self.nmr(i);
+            if nmr < min.1 {
+                min = (i, nmr);
+            }
+        }
+        min
     }
 
     /// `true` if any pair of adjacent MAC output ranges overlaps — the

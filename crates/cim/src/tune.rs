@@ -254,7 +254,9 @@ impl TuneProblem {
                 best = Some(outcome);
             }
         }
-        let mut best = best.expect("at least one start");
+        let mut best = best.ok_or(CimError::EmptySweep {
+            what: "tuning starts",
+        })?;
         best.evaluations = total_evals;
         Ok(best)
     }
@@ -408,7 +410,9 @@ impl ArrayTuneProblem {
                 best = Some(outcome);
             }
         }
-        let mut best = best.expect("at least one start");
+        let mut best = best.ok_or(CimError::EmptySweep {
+            what: "tuning starts",
+        })?;
         best.evaluations = total_evals;
         Ok(best)
     }

@@ -76,6 +76,63 @@ impl MacOracle for ferrocim_cim::transfer::TransferModel {
     }
 }
 
+/// Wraps any [`MacOracle`] so inference survives a panicking readout.
+///
+/// Each [`MacOracle::read`] that panics is caught, counted, and
+/// substituted by the ideal readout (the true count, clamped to the row
+/// width) — the skip-and-substitute failure policy at per-read
+/// granularity. A long accuracy sweep over a flaky hardware model thus
+/// completes, and [`FaultTolerant::fault_count`] reports how many reads
+/// actually failed.
+///
+/// A read that panics may already have consumed RNG draws, so seeded
+/// results downstream of a fault are reproducible only for the same
+/// inner oracle (the substitution itself draws nothing).
+#[derive(Debug, Default)]
+pub struct FaultTolerant<O> {
+    inner: O,
+    faults: std::sync::atomic::AtomicUsize,
+}
+
+impl<O> FaultTolerant<O> {
+    /// Wraps an oracle.
+    pub fn new(inner: O) -> Self {
+        FaultTolerant {
+            inner,
+            faults: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of reads that panicked and were substituted so far.
+    pub fn fault_count(&self) -> usize {
+        self.faults.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Unwraps the inner oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: MacOracle> MacOracle for FaultTolerant<O> {
+    fn read(&self, true_count: usize, rng: &mut StdRng) -> usize {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.inner.read(true_count, rng)
+        })) {
+            Ok(v) => v,
+            Err(_) => {
+                self.faults
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                true_count.min(self.inner.cells_per_row())
+            }
+        }
+    }
+
+    fn cells_per_row(&self) -> usize {
+        self.inner.cells_per_row()
+    }
+}
+
 /// Bit widths and row geometry of the CIM mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CimMapping {
@@ -581,6 +638,61 @@ mod tests {
         let a = cim.accuracy(&inputs, &labels, &IdealMac(8), 5);
         let b = cim.accuracy(&inputs, &labels, &IdealMac(8), 5);
         assert_eq!(a, b);
+    }
+
+    /// Panics on every odd true count — a flaky hardware model.
+    struct Flaky;
+    impl MacOracle for Flaky {
+        fn read(&self, true_count: usize, _rng: &mut StdRng) -> usize {
+            assert!(
+                true_count.is_multiple_of(2),
+                "flaky oracle hit an odd count"
+            );
+            true_count
+        }
+        fn cells_per_row(&self) -> usize {
+            8
+        }
+    }
+
+    #[test]
+    fn fault_tolerant_oracle_substitutes_and_counts() {
+        let oracle = FaultTolerant::new(Flaky);
+        let mut rng = StdRng::seed_from_u64(0);
+        let counts = [1usize, 2, 3, 4, 5];
+        let mut out = Vec::new();
+        oracle.read_batch(&counts, &mut out, &mut rng);
+        // Panicked reads are substituted by the true count, so the
+        // batch completes with ideal values in the failed slots.
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        assert_eq!(oracle.fault_count(), 3);
+        assert_eq!(oracle.cells_per_row(), 8);
+    }
+
+    /// Panics on every read.
+    struct AlwaysPanics;
+    impl MacOracle for AlwaysPanics {
+        fn read(&self, _true_count: usize, _rng: &mut StdRng) -> usize {
+            panic!("hardware model exploded");
+        }
+        fn cells_per_row(&self) -> usize {
+            8
+        }
+    }
+
+    #[test]
+    fn fault_tolerant_inference_completes_under_total_failure() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lin = Linear::new(16, 4, &mut rng);
+        let net = Network::new(vec![Layer::Linear(lin)]);
+        let cim = CimNetwork::map(&net, CimMapping::default());
+        let x = Tensor::from_vec(&[16], vec![0.5; 16]);
+        let ideal = cim.forward(&x, &IdealMac(8), 3);
+        let oracle = FaultTolerant::new(AlwaysPanics);
+        let survived = cim.forward(&x, &oracle, 3);
+        // Every read failed and was replaced by the ideal readout.
+        assert_eq!(ideal.data(), survived.data());
+        assert!(oracle.fault_count() > 0);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! DC operating-point analysis.
 
-use crate::mna::{newton_solve_in, CapMode, Layout, NewtonOptions};
+use crate::mna::{newton_solve_in, CapMode, Layout, NewtonOptions, SolveSettings};
 use crate::netlist::{Circuit, Element, NodeId};
+use crate::rescue::{is_rescuable, rescue_solve, RescuePolicy, RescueReport};
 use crate::{SpiceError, Workspace};
 use ferrocim_units::{Ampere, Celsius, Second, Volt};
 use std::collections::HashMap;
@@ -18,9 +19,18 @@ pub struct OperatingPoint {
     branch_currents: HashMap<String, f64>,
     /// Raw unknown vector, used to warm-start subsequent analyses.
     pub(crate) raw: Vec<f64>,
+    /// How the solve converged (which rescue rungs ran, if any).
+    rescue: RescueReport,
 }
 
 impl OperatingPoint {
+    /// How this operating point was obtained: the rescue-ladder rungs
+    /// that were attempted and which one converged. A plain solve
+    /// reports a single converged [`crate::RescueRung::PlainNewton`]
+    /// attempt.
+    pub fn rescue_report(&self) -> &RescueReport {
+        &self.rescue
+    }
     /// The voltage at a node.
     pub fn voltage(&self, node: NodeId) -> Volt {
         Volt(self.voltages[node.index()])
@@ -95,16 +105,19 @@ pub struct DcAnalysis<'a> {
     temp: Celsius,
     options: NewtonOptions,
     initial_guess: Option<Vec<f64>>,
+    rescue: RescuePolicy,
 }
 
 impl<'a> DcAnalysis<'a> {
-    /// Creates an analysis at the default temperature (27 °C).
+    /// Creates an analysis at the default temperature (27 °C) with the
+    /// full rescue ladder enabled.
     pub fn new(circuit: &'a Circuit) -> Self {
         DcAnalysis {
             circuit,
             temp: Celsius::ROOM,
             options: NewtonOptions::default(),
             initial_guess: None,
+            rescue: RescuePolicy::default(),
         }
     }
 
@@ -120,6 +133,13 @@ impl<'a> DcAnalysis<'a> {
         self
     }
 
+    /// Overrides the convergence-rescue policy
+    /// ([`RescuePolicy::none`] restores fail-fast behaviour).
+    pub fn with_rescue(mut self, policy: RescuePolicy) -> Self {
+        self.rescue = policy;
+        self
+    }
+
     /// Warm-starts from a previous operating point (useful when sweeping
     /// temperature in small steps).
     pub fn warm_start(mut self, op: &OperatingPoint) -> Self {
@@ -127,11 +147,16 @@ impl<'a> DcAnalysis<'a> {
         self
     }
 
-    /// Solves for the operating point.
+    /// Solves for the operating point. If plain Newton fails and the
+    /// rescue policy enables it, the solve escalates through the
+    /// rescue ladder (see [`RescuePolicy`]) before giving up.
     ///
     /// # Errors
     ///
-    /// * [`SpiceError::NoConvergence`] if Newton iteration fails.
+    /// * [`SpiceError::NoConvergence`] if Newton iteration (and every
+    ///   enabled rescue rung) fails.
+    /// * [`SpiceError::NumericalBlowup`] if an iteration produced a
+    ///   non-finite update.
     /// * [`SpiceError::SingularMatrix`] for degenerate circuits.
     pub fn solve(&self) -> Result<OperatingPoint, SpiceError> {
         self.solve_in(&mut Workspace::new())
@@ -147,21 +172,39 @@ impl<'a> DcAnalysis<'a> {
     /// Same as [`DcAnalysis::solve`].
     pub fn solve_in(&self, ws: &mut Workspace) -> Result<OperatingPoint, SpiceError> {
         let layout = Layout::of(self.circuit);
-        let mut x = match &self.initial_guess {
+        let initial: Vec<f64> = match &self.initial_guess {
             Some(guess) if guess.len() == layout.size => guess.clone(),
             _ => vec![0.0; layout.size],
         };
-        newton_solve_in(
+        let mut x = initial.clone();
+        let report = match newton_solve_in(
             self.circuit,
             &layout,
             Second::ZERO,
             self.temp,
             CapMode::Open,
+            &SolveSettings::NOMINAL,
             &mut x,
             &self.options,
             ws,
-        )?;
-        Ok(pack_solution(self.circuit, &layout, x))
+        ) {
+            Ok(iterations) => RescueReport::plain(iterations),
+            Err(err) if self.rescue.is_enabled() && is_rescuable(&err) => rescue_solve(
+                self.circuit,
+                &layout,
+                Second::ZERO,
+                self.temp,
+                CapMode::Open,
+                &mut x,
+                &initial,
+                &self.options,
+                &self.rescue,
+                ws,
+                err,
+            )?,
+            Err(err) => return Err(err),
+        };
+        Ok(pack_solution(self.circuit, &layout, x).with_rescue(report))
     }
 }
 
@@ -180,6 +223,14 @@ pub(crate) fn pack_solution(circuit: &Circuit, layout: &Layout, x: Vec<f64>) -> 
         voltages,
         branch_currents,
         raw: x,
+        rescue: RescueReport::default(),
+    }
+}
+
+impl OperatingPoint {
+    pub(crate) fn with_rescue(mut self, report: RescueReport) -> OperatingPoint {
+        self.rescue = report;
+        self
     }
 }
 

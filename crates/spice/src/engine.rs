@@ -23,6 +23,7 @@ use crate::dc::{DcAnalysis, OperatingPoint};
 use crate::linear::Matrix;
 use crate::mna::NewtonOptions;
 use crate::netlist::Circuit;
+use crate::rescue::RescuePolicy;
 use crate::transient::{Integrator, TransientAnalysis, TransientResult};
 use crate::SpiceError;
 use ferrocim_units::{Celsius, Second};
@@ -128,6 +129,7 @@ pub struct SimEngine {
     temp: Celsius,
     options: NewtonOptions,
     integrator: Integrator,
+    rescue: Option<RescuePolicy>,
     workspace: Workspace,
     last_op: Option<OperatingPoint>,
 }
@@ -156,6 +158,14 @@ impl SimEngine {
     /// Selects the transient integration method.
     pub fn with_integrator(mut self, integrator: Integrator) -> Self {
         self.integrator = integrator;
+        self
+    }
+
+    /// Overrides the convergence-rescue policy used by DC solves. The
+    /// default is the full ladder ([`RescuePolicy::default`]); pass
+    /// [`RescuePolicy::none`] for fail-fast behaviour.
+    pub fn with_rescue(mut self, policy: RescuePolicy) -> Self {
+        self.rescue = Some(policy);
         self
     }
 
@@ -199,18 +209,24 @@ impl SimEngine {
     ///   from a cold start.
     /// * [`SpiceError::SingularMatrix`] for degenerate circuits.
     pub fn dc(&mut self, circuit: &Circuit) -> Result<OperatingPoint, SpiceError> {
-        let cold = DcAnalysis::new(circuit)
+        let mut cold = DcAnalysis::new(circuit)
             .at(self.temp)
             .with_options(self.options);
+        if let Some(policy) = &self.rescue {
+            cold = cold.with_rescue(policy.clone());
+        }
         let op = match &self.last_op {
             Some(prev) => {
                 let warm = cold.clone().warm_start(prev);
                 match warm.solve_in(&mut self.workspace) {
                     Ok(op) => op,
                     // Continuation fallback: a warm start far from the
-                    // new solution can diverge where a cold start would
-                    // not. Retry once from zero before giving up.
-                    Err(SpiceError::NoConvergence { .. }) => cold.solve_in(&mut self.workspace)?,
+                    // new solution can diverge (or blow up) where a cold
+                    // start would not. Retry once from zero before
+                    // giving up.
+                    Err(SpiceError::NoConvergence { .. } | SpiceError::NumericalBlowup { .. }) => {
+                        cold.solve_in(&mut self.workspace)?
+                    }
                     Err(e) => return Err(e),
                 }
             }

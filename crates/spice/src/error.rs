@@ -39,6 +39,14 @@ pub enum SpiceError {
         /// The residual voltage change at the last iteration, volts.
         residual: f64,
     },
+    /// A Newton iteration produced a non-finite (NaN/Inf) update — the
+    /// solve was aborted instead of silently iterating on garbage.
+    NumericalBlowup {
+        /// The iteration at which the blowup was detected.
+        iteration: usize,
+        /// The index of the first non-finite unknown.
+        unknown: usize,
+    },
     /// The linear system was singular — typically a floating node or an
     /// all-capacitor cut-set without the built-in `GMIN` leak.
     SingularMatrix {
@@ -77,6 +85,10 @@ impl fmt::Display for SpiceError {
             } => write!(
                 f,
                 "newton iteration did not converge after {iterations} iterations (residual {residual:.3e} V)"
+            ),
+            SpiceError::NumericalBlowup { iteration, unknown } => write!(
+                f,
+                "newton iteration {iteration} produced a non-finite update at unknown {unknown} (numerical blowup)"
             ),
             SpiceError::SingularMatrix { row } => {
                 write!(f, "singular MNA matrix at row {row} (floating node?)")

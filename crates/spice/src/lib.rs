@@ -53,6 +53,7 @@ mod linear;
 mod mna;
 mod montecarlo;
 mod netlist;
+mod rescue;
 pub mod sweep;
 mod transient;
 mod waveform;
@@ -64,7 +65,11 @@ pub use error::SpiceError;
 pub use export::export_netlist;
 pub use linear::Matrix;
 pub use mna::NewtonOptions;
-pub use montecarlo::{fan_out, histogram, MonteCarlo, SampleStats};
+pub use montecarlo::{
+    apply_policy, fan_out, histogram, try_fan_out, FailurePolicy, FanOutError, FanOutReport,
+    JobError, MonteCarlo, SampleStats,
+};
 pub use netlist::{Circuit, Element, NodeId, SwitchSchedule};
+pub use rescue::{RescuePolicy, RescueReport, RescueRung, RungAttempt};
 pub use transient::{Integrator, TransientAnalysis, TransientResult};
 pub use waveform::Waveform;

@@ -11,6 +11,26 @@ use std::collections::HashMap;
 /// systems from floating nodes (e.g. capacitor-only nodes in DC).
 pub(crate) const GMIN: f64 = 1e-12;
 
+/// Continuation knobs threaded through [`assemble`] by the rescue
+/// ladder. The nominal settings reproduce the plain solve exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct SolveSettings {
+    /// Node-to-ground leak conductance, siemens. Gmin stepping starts
+    /// this far above [`GMIN`] and relaxes it back to nominal.
+    pub gmin: f64,
+    /// Scale factor on every independent source value in `[0, 1]`.
+    /// Source stepping ramps this from 0 to 1.
+    pub source_scale: f64,
+}
+
+impl SolveSettings {
+    /// Nominal settings: built-in GMIN, full-strength sources.
+    pub const NOMINAL: SolveSettings = SolveSettings {
+        gmin: GMIN,
+        source_scale: 1.0,
+    };
+}
+
 /// Knobs for the Newton iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NewtonOptions {
@@ -120,6 +140,7 @@ pub(crate) fn assemble(
     t: Second,
     temp: Celsius,
     caps: CapMode<'_>,
+    settings: &SolveSettings,
     a: &mut Matrix,
     z: &mut [f64],
 ) {
@@ -210,16 +231,16 @@ pub(crate) fn assemble(
                     a.add(rn, row, -1.0);
                     a.add(row, rn, -1.0);
                 }
-                z[row] = waveform.at(t).value();
+                z[row] = waveform.at(t).value() * settings.source_scale;
             }
             Element::CurrentSource {
                 pos, neg, current, ..
             } => {
                 if let Some(rp) = layout.row_of(*pos) {
-                    z[rp] += current.value();
+                    z[rp] += current.value() * settings.source_scale;
                 }
                 if let Some(rn) = layout.row_of(*neg) {
-                    z[rn] -= current.value();
+                    z[rn] -= current.value() * settings.source_scale;
                 }
             }
             Element::Mosfet {
@@ -263,7 +284,7 @@ pub(crate) fn assemble(
 
     // GMIN from every node to ground keeps the system non-singular.
     for r in 0..layout.n_nodes {
-        a.add(r, r, GMIN);
+        a.add(r, r, settings.gmin);
     }
 }
 
@@ -327,6 +348,10 @@ fn stamp_transistor(
 ///
 /// The iteration sequence is identical to a fresh-buffer solve; results
 /// are bitwise equal regardless of what the workspace previously held.
+///
+/// Returns the number of iterations used (including the converging one).
+/// A non-finite entry in the linear-solve result aborts with
+/// [`SpiceError::NumericalBlowup`] rather than iterating on garbage.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn newton_solve_in(
     circuit: &Circuit,
@@ -334,10 +359,11 @@ pub(crate) fn newton_solve_in(
     t: Second,
     temp: Celsius,
     caps: CapMode<'_>,
+    settings: &SolveSettings,
     x: &mut [f64],
     options: &NewtonOptions,
     ws: &mut crate::Workspace,
-) -> Result<(), SpiceError> {
+) -> Result<usize, SpiceError> {
     debug_assert_eq!(x.len(), layout.size);
     ws.ensure_size(layout.size);
     let crate::Workspace {
@@ -349,9 +375,15 @@ pub(crate) fn newton_solve_in(
         ..
     } = ws;
     let mut last_delta = f64::INFINITY;
-    for _iter in 0..options.max_iterations {
-        assemble(circuit, layout, x, t, temp, caps, a, z);
+    for iter in 0..options.max_iterations {
+        assemble(circuit, layout, x, t, temp, caps, settings, a, z);
         a.solve_into(z, rhs, perm, x_new)?;
+        if let Some(unknown) = x_new[..layout.size].iter().position(|v| !v.is_finite()) {
+            return Err(SpiceError::NumericalBlowup {
+                iteration: iter + 1,
+                unknown,
+            });
+        }
         let mut converged = true;
         let mut max_delta = 0.0f64;
         for i in 0..layout.size {
@@ -368,7 +400,7 @@ pub(crate) fn newton_solve_in(
             x[i] += delta;
         }
         if converged {
-            return Ok(());
+            return Ok(iter + 1);
         }
         last_delta = max_delta;
     }

@@ -7,6 +7,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// A deterministic Monte-Carlo experiment runner.
 ///
@@ -67,6 +70,150 @@ impl MonteCarlo {
             },
         )
     }
+
+    /// Fault-tolerant variant of [`MonteCarlo::run`]: `f` may fail with
+    /// a typed error or panic, and the batch outcome is governed by
+    /// `policy` (see [`FailurePolicy`]). Because every run derives its
+    /// RNG from `(seed, run)` alone, the results of *successful* runs
+    /// are bitwise identical to what [`MonteCarlo::run`] would have
+    /// produced — failures never perturb other runs' draws.
+    ///
+    /// # Errors
+    ///
+    /// See [`try_fan_out`].
+    pub fn try_run<T, E, F>(
+        &self,
+        policy: &FailurePolicy<T>,
+        f: F,
+    ) -> Result<FanOutReport<T, E>, FanOutError<E>>
+    where
+        T: Send + Clone,
+        E: Send,
+        F: Fn(usize, &mut StdRng) -> Result<T, E> + Sync,
+    {
+        try_fan_out(
+            self.runs,
+            self.parallel,
+            policy,
+            || (),
+            |(), run| {
+                let mut rng = self.rng_for(run);
+                f(run, &mut rng)
+            },
+        )
+    }
+}
+
+/// How a fault-tolerant fan-out treats failed jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailurePolicy<T> {
+    /// The first failure (in job order) aborts the whole batch.
+    FailFast,
+    /// Failed jobs keep their per-job error in the report; the batch
+    /// only fails once more than `max_failures` jobs have failed.
+    SkipAndReport {
+        /// Largest tolerated number of failed jobs.
+        max_failures: usize,
+    },
+    /// Failed jobs are replaced by a clone of the fallback value and
+    /// counted in [`FanOutReport::failures`]; the batch never fails.
+    Substitute(T),
+}
+
+/// Why a single job of a fault-tolerant fan-out failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError<E> {
+    /// The job returned a typed error.
+    Failed(E),
+    /// The job panicked; the payload is rendered to a string so the
+    /// batch stays `Send` and comparable.
+    Panicked {
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl<E: fmt::Display> fmt::Display for JobError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Failed(e) => write!(f, "job failed: {e}"),
+            JobError::Panicked { message } => write!(f, "job panicked: {message}"),
+        }
+    }
+}
+
+/// A batch-level failure of [`try_fan_out`] under a [`FailurePolicy`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FanOutError<E> {
+    /// `FailFast`: the first failed job, in job order.
+    Job {
+        /// Index of the failed job.
+        index: usize,
+        /// What went wrong.
+        error: JobError<E>,
+    },
+    /// `SkipAndReport`: more jobs failed than the policy tolerates.
+    TooManyFailures {
+        /// Number of failed jobs.
+        failed: usize,
+        /// The policy's failure budget.
+        max_failures: usize,
+        /// The first failure, for diagnosis.
+        first: Box<JobError<E>>,
+    },
+}
+
+impl<E: fmt::Display> fmt::Display for FanOutError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FanOutError::Job { index, error } => write!(f, "job {index}: {error}"),
+            FanOutError::TooManyFailures {
+                failed,
+                max_failures,
+                first,
+            } => write!(
+                f,
+                "{failed} jobs failed (budget {max_failures}); first: {first}"
+            ),
+        }
+    }
+}
+
+impl<E: fmt::Display + fmt::Debug> std::error::Error for FanOutError<E> {}
+
+/// The outcome of a fault-tolerant fan-out that was allowed to finish.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FanOutReport<T, E> {
+    /// Per-job results, in job order. Under
+    /// [`FailurePolicy::Substitute`] every entry is `Ok` (failures were
+    /// replaced by the fallback); under
+    /// [`FailurePolicy::SkipAndReport`] failed jobs keep their error.
+    pub results: Vec<Result<T, JobError<E>>>,
+    /// Number of jobs that failed (including substituted ones).
+    pub failures: usize,
+}
+
+impl<T, E> FanOutReport<T, E> {
+    /// The successful values, in job order (skipping failed jobs).
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.results.iter().filter_map(|r| r.as_ref().ok())
+    }
+
+    /// True when every job succeeded.
+    pub fn is_clean(&self) -> bool {
+        self.failures == 0
+    }
+}
+
+/// Renders a panic payload (as produced by `catch_unwind`) to a string.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Runs `jobs` independent jobs, fanned out over OS threads when
@@ -87,32 +234,164 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
+    let mut out = Vec::with_capacity(jobs);
+    for slot in fan_out_raw(jobs, parallel, &init, &f) {
+        match slot {
+            Ok(v) => out.push(v),
+            // Preserve the historical contract: a panicking job takes
+            // the whole fan-out down with its original payload.
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// Panic-isolating fan-out core: every job runs under `catch_unwind`,
+/// and a panicked job yields its payload instead of poisoning the
+/// batch. A worker whose scratch state witnessed a panic rebuilds it
+/// with `init` before the next job, since `f` may have been interrupted
+/// mid-mutation.
+fn fan_out_raw<S, T, I, F>(
+    jobs: usize,
+    parallel: bool,
+    init: &I,
+    f: &F,
+) -> Vec<Result<T, Box<dyn Any + Send>>>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let run_job = |state: &mut S, i: usize| -> Result<T, Box<dyn Any + Send>> {
+        let result = catch_unwind(AssertUnwindSafe(|| f(state, i)));
+        if result.is_err() {
+            *state = init();
+        }
+        result
+    };
     if !parallel || jobs < 2 {
         let mut state = init();
-        return (0..jobs).map(|i| f(&mut state, i)).collect();
+        return (0..jobs).map(|i| run_job(&mut state, i)).collect();
     }
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(jobs);
-    let mut results: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    let mut results: Vec<Option<Result<T, Box<dyn Any + Send>>>> =
+        (0..jobs).map(|_| None).collect();
     let chunk = jobs.div_ceil(threads);
     std::thread::scope(|scope| {
         for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
+            let run_job = &run_job;
             let init = &init;
-            let f = &f;
             scope.spawn(move || {
                 let mut state = init();
                 for (j, slot) in slot_chunk.iter_mut().enumerate() {
-                    *slot = Some(f(&mut state, t * chunk + j));
+                    *slot = Some(run_job(&mut state, t * chunk + j));
                 }
             });
         }
     });
     results
         .into_iter()
-        .map(|r| r.expect("every job slot filled"))
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                Err(Box::new("fan-out job slot never filled".to_string()) as Box<dyn Any + Send>)
+            })
+        })
         .collect()
+}
+
+/// Fault-tolerant fan-out: like [`fan_out`] for fallible jobs, with the
+/// batch outcome governed by a [`FailurePolicy`]. A job that returns
+/// `Err` or panics becomes a [`JobError`] in the per-job results; the
+/// other jobs are unaffected (each worker rebuilds its scratch state
+/// after a panic).
+///
+/// # Errors
+///
+/// * [`FanOutError::Job`] under [`FailurePolicy::FailFast`] when any
+///   job failed — carrying the first failure in job order.
+/// * [`FanOutError::TooManyFailures`] under
+///   [`FailurePolicy::SkipAndReport`] when more than `max_failures`
+///   jobs failed.
+///
+/// [`FailurePolicy::Substitute`] never fails the batch.
+pub fn try_fan_out<S, T, E, I, F>(
+    jobs: usize,
+    parallel: bool,
+    policy: &FailurePolicy<T>,
+    init: I,
+    f: F,
+) -> Result<FanOutReport<T, E>, FanOutError<E>>
+where
+    T: Send + Clone,
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> Result<T, E> + Sync,
+{
+    let raw = fan_out_raw(jobs, parallel, &init, &f);
+    let mut results: Vec<Result<T, JobError<E>>> = Vec::with_capacity(raw.len());
+    let mut failures = 0usize;
+    for slot in raw {
+        let item = match slot {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => Err(JobError::Failed(e)),
+            Err(payload) => Err(JobError::Panicked {
+                message: panic_message(payload.as_ref()),
+            }),
+        };
+        if item.is_err() {
+            failures += 1;
+        }
+        results.push(item);
+    }
+    apply_policy(results, failures, policy)
+}
+
+/// Folds per-job results and a failure count into the policy-governed
+/// batch outcome. Shared by [`try_fan_out`] and higher-level batch
+/// engines that count failures at their own job granularity (e.g. a
+/// matrix-vector batch whose "job" spans several row solves).
+pub fn apply_policy<T, E>(
+    mut results: Vec<Result<T, JobError<E>>>,
+    failures: usize,
+    policy: &FailurePolicy<T>,
+) -> Result<FanOutReport<T, E>, FanOutError<E>>
+where
+    T: Clone,
+{
+    match policy {
+        FailurePolicy::FailFast if failures > 0 => {
+            for (index, slot) in results.into_iter().enumerate() {
+                if let Err(error) = slot {
+                    return Err(FanOutError::Job { index, error });
+                }
+            }
+            unreachable!("failures > 0 implies an Err slot")
+        }
+        FailurePolicy::SkipAndReport { max_failures } if failures > *max_failures => {
+            for slot in results {
+                if let Err(error) = slot {
+                    return Err(FanOutError::TooManyFailures {
+                        failed: failures,
+                        max_failures: *max_failures,
+                        first: Box::new(error),
+                    });
+                }
+            }
+            unreachable!("failures > max_failures implies an Err slot")
+        }
+        FailurePolicy::Substitute(fallback) => {
+            for slot in results.iter_mut() {
+                if slot.is_err() {
+                    *slot = Ok(fallback.clone());
+                }
+            }
+            Ok(FanOutReport { results, failures })
+        }
+        _ => Ok(FanOutReport { results, failures }),
+    }
 }
 
 /// SplitMix64 scrambler for decorrelating per-run seeds.

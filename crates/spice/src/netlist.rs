@@ -340,10 +340,22 @@ impl Element {
                     return invalid(name, r_off.value(), "a positive finite off-resistance");
                 }
             }
-            Element::VoltageSource { .. }
-            | Element::CurrentSource { .. }
-            | Element::Mosfet { .. }
-            | Element::Fefet { .. } => {}
+            Element::VoltageSource { name, waveform, .. } => {
+                waveform.validate(name)?;
+            }
+            Element::CurrentSource { name, current, .. } => {
+                if !current.value().is_finite() {
+                    return invalid(name, current.value(), "a finite source current");
+                }
+            }
+            Element::Mosfet {
+                name, vth_offset, ..
+            } => {
+                if !vth_offset.value().is_finite() {
+                    return invalid(name, vth_offset.value(), "a finite threshold offset");
+                }
+            }
+            Element::Fefet { .. } => {}
         }
         Ok(())
     }

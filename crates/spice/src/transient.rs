@@ -294,7 +294,9 @@ impl<'a> TransientAnalysis<'a> {
             for (idx, e) in self.circuit.elements().iter().enumerate() {
                 if let Element::VoltageSource { name, .. } = e {
                     let r = layout.branch_of_element[&idx];
-                    sc.get_mut(name).expect("source registered").push(x[r]);
+                    if let Some(trace) = sc.get_mut(name) {
+                        trace.push(x[r]);
+                    }
                 }
             }
         };
@@ -314,6 +316,7 @@ impl<'a> TransientAnalysis<'a> {
                 Second(t_now),
                 self.temp,
                 caps,
+                &crate::mna::SolveSettings::NOMINAL,
                 &mut x,
                 &self.options,
                 ws,
@@ -328,15 +331,16 @@ impl<'a> TransientAnalysis<'a> {
                     let va = layout.voltage(&x, *a);
                     let vb = layout.voltage(&x, *b);
                     let v_new = va - vb;
-                    let state = cap_states.get_mut(&idx).expect("cap state seeded");
-                    let c = capacitance.value();
-                    let i_new = if trapezoidal {
-                        2.0 * c / step * (v_new - state.v_prev) - state.i_prev
-                    } else {
-                        c / step * (v_new - state.v_prev)
-                    };
-                    state.v_prev = v_new;
-                    state.i_prev = i_new;
+                    if let Some(state) = cap_states.get_mut(&idx) {
+                        let c = capacitance.value();
+                        let i_new = if trapezoidal {
+                            2.0 * c / step * (v_new - state.v_prev) - state.i_prev
+                        } else {
+                            c / step * (v_new - state.v_prev)
+                        };
+                        state.v_prev = v_new;
+                        state.i_prev = i_new;
+                    }
                 }
             }
 
@@ -347,7 +351,9 @@ impl<'a> TransientAnalysis<'a> {
                     let r = layout.branch_of_element[&idx];
                     let v = waveform.at(Second(t_now)).value();
                     let delivered = -v * x[r] * step;
-                    *energy.get_mut(name).expect("source registered") += delivered;
+                    if let Some(e) = energy.get_mut(name) {
+                        *e += delivered;
+                    }
                 }
             }
 

@@ -1,5 +1,6 @@
 //! Time-dependent source waveforms.
 
+use crate::SpiceError;
 use ferrocim_units::{Second, Volt};
 use serde::{Deserialize, Serialize};
 
@@ -45,6 +46,90 @@ impl Waveform {
             (at, v0),
             (Second(at.value() + 1e-15), v1),
         ])
+    }
+
+    /// Validating constructor for a piecewise-linear waveform: every
+    /// time and voltage must be finite and the times nondecreasing.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::InvalidValue`] on a NaN/Inf point or an
+    /// out-of-order time.
+    pub fn pwl(points: Vec<(Second, Volt)>) -> Result<Waveform, SpiceError> {
+        for (i, (t, v)) in points.iter().enumerate() {
+            if !t.value().is_finite() {
+                return Err(SpiceError::InvalidValue {
+                    name: format!("pwl[{i}].time"),
+                    value: t.value(),
+                    requirement: "a finite time",
+                });
+            }
+            if !v.value().is_finite() {
+                return Err(SpiceError::InvalidValue {
+                    name: format!("pwl[{i}].voltage"),
+                    value: v.value(),
+                    requirement: "a finite voltage",
+                });
+            }
+            if i > 0 && points[i - 1].0.value() > t.value() {
+                return Err(SpiceError::InvalidValue {
+                    name: format!("pwl[{i}].time"),
+                    value: t.value(),
+                    requirement: "nondecreasing in time",
+                });
+            }
+        }
+        Ok(Waveform::Pwl(points))
+    }
+
+    /// Checks that every voltage and time in the waveform is finite.
+    /// Called by [`crate::Circuit::add`] on source elements so NaN/Inf
+    /// never reaches the solver.
+    pub(crate) fn validate(&self, element: &str) -> Result<(), SpiceError> {
+        let bad = |what: &'static str, value: f64| SpiceError::InvalidValue {
+            name: format!("{element}.{what}"),
+            value,
+            requirement: "finite",
+        };
+        match self {
+            Waveform::Dc(v) => {
+                if !v.value().is_finite() {
+                    return Err(bad("voltage", v.value()));
+                }
+            }
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                width,
+                fall,
+            } => {
+                for (what, value) in [
+                    ("v0", v0.value()),
+                    ("v1", v1.value()),
+                    ("delay", delay.value()),
+                    ("rise", rise.value()),
+                    ("width", width.value()),
+                    ("fall", fall.value()),
+                ] {
+                    if !value.is_finite() {
+                        return Err(bad(what, value));
+                    }
+                }
+            }
+            Waveform::Pwl(points) => {
+                for (t, v) in points {
+                    if !t.value().is_finite() {
+                        return Err(bad("pwl time", t.value()));
+                    }
+                    if !v.value().is_finite() {
+                        return Err(bad("pwl voltage", v.value()));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The value of the waveform at time `t` (with `t ≤ 0` meaning the

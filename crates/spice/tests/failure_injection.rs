@@ -2,9 +2,11 @@
 //! produce typed errors (or well-defined fallbacks), never panics.
 
 use ferrocim_spice::{
-    Circuit, DcAnalysis, Element, NewtonOptions, NodeId, SpiceError, TransientAnalysis,
+    Circuit, DcAnalysis, Element, FailurePolicy, FanOutError, JobError, MonteCarlo, NewtonOptions,
+    NodeId, RescuePolicy, RescueRung, SpiceError, TransientAnalysis, Waveform,
 };
-use ferrocim_units::{Celsius, Farad, Ohm, Second, Volt};
+use ferrocim_units::{Ampere, Celsius, Farad, Ohm, Second, Volt};
+use rand::Rng;
 
 #[test]
 fn floating_node_is_rescued_by_gmin() {
@@ -112,6 +114,240 @@ fn extreme_temperatures_do_not_break_the_solver() {
             .solve()
             .expect("solves");
         assert!(op.voltage(out).value().is_finite());
+    }
+}
+
+#[test]
+fn non_finite_source_values_are_rejected_at_add() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    assert!(matches!(
+        ckt.add(Element::vdc("VN", a, NodeId::GROUND, Volt(f64::NAN))),
+        Err(SpiceError::InvalidValue { .. })
+    ));
+    assert!(matches!(
+        ckt.add(Element::vdc("VI", a, NodeId::GROUND, Volt(f64::INFINITY))),
+        Err(SpiceError::InvalidValue { .. })
+    ));
+    assert!(matches!(
+        ckt.add(Element::CurrentSource {
+            name: "IN".into(),
+            pos: a,
+            neg: NodeId::GROUND,
+            current: Ampere(f64::NAN),
+        }),
+        Err(SpiceError::InvalidValue { .. })
+    ));
+    // The rejected elements must not have been half-added.
+    assert!(ckt
+        .add(Element::vdc("VN", a, NodeId::GROUND, Volt(1.0)))
+        .is_ok());
+}
+
+#[test]
+fn pwl_waveforms_validate_their_points() {
+    assert!(matches!(
+        Waveform::pwl(vec![(Second(0.0), Volt(f64::NAN))]),
+        Err(SpiceError::InvalidValue { .. })
+    ));
+    assert!(matches!(
+        Waveform::pwl(vec![(Second(f64::NAN), Volt(0.0))]),
+        Err(SpiceError::InvalidValue { .. })
+    ));
+    assert!(matches!(
+        Waveform::pwl(vec![(Second(1e-9), Volt(0.0)), (Second(0.5e-9), Volt(1.0))]),
+        Err(SpiceError::InvalidValue { .. })
+    ));
+    assert!(Waveform::pwl(vec![(Second(0.0), Volt(0.0)), (Second(1e-9), Volt(1.0))]).is_ok());
+}
+
+/// A 3 V rail through 10 kΩ into two stacked diode-connected NMOS: with
+/// the default 0.2 V/iteration step clamp, plain Newton from the zero
+/// guess is travel-limited and cannot converge within a small budget.
+fn travel_limited_stack() -> (Circuit, NodeId) {
+    use ferrocim_device::{MosfetModel, MosfetParams};
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let d = ckt.node("d");
+    let m = ckt.node("m");
+    ckt.add(Element::vdc("VDD", vdd, NodeId::GROUND, Volt(3.0)))
+        .unwrap();
+    ckt.add(Element::resistor("R", vdd, d, Ohm(1e4))).unwrap();
+    ckt.add(Element::mosfet(
+        "M1",
+        d,
+        d,
+        m,
+        MosfetModel::new(MosfetParams::nmos_14nm()),
+    ))
+    .unwrap();
+    ckt.add(Element::mosfet(
+        "M2",
+        m,
+        m,
+        NodeId::GROUND,
+        MosfetModel::new(MosfetParams::nmos_14nm()),
+    ))
+    .unwrap();
+    (ckt, d)
+}
+
+#[test]
+fn rescue_ladder_recovers_what_plain_newton_cannot() {
+    let (ckt, d) = travel_limited_stack();
+    let options = NewtonOptions {
+        max_iterations: 8,
+        ..NewtonOptions::default()
+    };
+    // With the ladder disabled, the iteration-starved solve fails.
+    let err = DcAnalysis::new(&ckt)
+        .with_options(options)
+        .with_rescue(RescuePolicy::none())
+        .solve()
+        .unwrap_err();
+    assert!(matches!(err, SpiceError::NoConvergence { .. }), "{err}");
+    // The default policy escalates through the ladder and converges.
+    let op = DcAnalysis::new(&ckt)
+        .with_options(options)
+        .solve()
+        .expect("ladder rescues the solve");
+    let report = op.rescue_report();
+    assert!(report.was_rescued());
+    let rung = report.succeeded_by().expect("some rung succeeded");
+    assert!(
+        matches!(rung, RescueRung::GminStepping | RescueRung::SourceStepping),
+        "unexpected rung {rung}"
+    );
+    // Every earlier rung must be recorded as a failed attempt.
+    assert!(report.attempts.len() > 1);
+    assert!(report.attempts.iter().rev().skip(1).all(|a| !a.converged));
+    // The rescued solution agrees with an unconstrained plain solve.
+    let reference = DcAnalysis::new(&ckt)
+        .with_rescue(RescuePolicy::none())
+        .solve()
+        .expect("500 iterations suffice");
+    assert!(!reference.rescue_report().was_rescued());
+    assert!((op.voltage(d).value() - reference.voltage(d).value()).abs() < 1e-6);
+}
+
+#[test]
+fn overflow_reports_numerical_blowup() {
+    // An (absurd but finite) source current overflows the solved node
+    // voltage to infinity — the solver must name the iteration and
+    // unknown rather than propagate non-finite values.
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    ckt.add(Element::CurrentSource {
+        name: "I1".into(),
+        pos: a,
+        neg: NodeId::GROUND,
+        current: Ampere(1e308),
+    })
+    .unwrap();
+    ckt.add(Element::resistor("R1", a, NodeId::GROUND, Ohm(1e5)))
+        .unwrap();
+    let err = DcAnalysis::new(&ckt)
+        .with_rescue(RescuePolicy::none())
+        .solve()
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SpiceError::NumericalBlowup {
+                iteration: 1,
+                unknown: 0
+            }
+        ),
+        "{err}"
+    );
+    // The default ladder cannot fix an overflow either, and must hand
+    // back the original typed error instead of a rescue artifact.
+    let err = DcAnalysis::new(&ckt).solve().map(|_| ()).unwrap_err();
+    assert!(matches!(err, SpiceError::NumericalBlowup { .. }), "{err}");
+}
+
+#[test]
+fn panicking_monte_carlo_job_is_contained() {
+    let mc = MonteCarlo::new(8, 1234);
+    let policy = FailurePolicy::SkipAndReport { max_failures: 1 };
+    let report = mc
+        .try_run::<f64, SpiceError, _>(&policy, |run, rng| {
+            assert!(run != 3, "injected panic in run 3");
+            Ok(rng.random::<f64>())
+        })
+        .expect("one failure is within budget");
+    assert_eq!(report.failures, 1);
+    assert!(matches!(
+        &report.results[3],
+        Err(JobError::Panicked { message }) if message.contains("injected panic")
+    ));
+    // Every other job's value is bitwise identical to a clean run: the
+    // per-run RNG stream does not depend on its neighbours' fate.
+    let clean = mc.run(|_, rng| rng.random::<f64>());
+    for (run, slot) in report.results.iter().enumerate() {
+        if run != 3 {
+            assert_eq!(slot.as_ref().ok(), Some(&clean[run]), "run {run}");
+        }
+    }
+    // FailFast surfaces the panic as the first failed job.
+    let err = mc
+        .try_run::<f64, SpiceError, _>(&FailurePolicy::FailFast, |run, rng| {
+            assert!(run != 3, "injected panic in run 3");
+            Ok(rng.random::<f64>())
+        })
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        FanOutError::Job {
+            index: 3,
+            error: JobError::Panicked { .. }
+        }
+    ));
+    // And a zero-tolerance budget converts the panic into a typed
+    // too-many-failures error.
+    let err = mc
+        .try_run::<f64, SpiceError, _>(
+            &FailurePolicy::SkipAndReport { max_failures: 0 },
+            |run, rng| {
+                assert!(run != 3, "injected panic in run 3");
+                Ok(rng.random::<f64>())
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        FanOutError::TooManyFailures {
+            failed: 1,
+            max_failures: 0,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn substitute_policy_completes_with_fallback() {
+    let mc = MonteCarlo::new(6, 9).sequential();
+    let report = mc
+        .try_run(&FailurePolicy::Substitute(-1.0f64), |run, rng| {
+            if run % 2 == 0 {
+                Err(SpiceError::NoConvergence {
+                    iterations: 1,
+                    residual: 1.0,
+                })
+            } else {
+                Ok(rng.random::<f64>())
+            }
+        })
+        .expect("substitute never fails");
+    assert_eq!(report.failures, 3);
+    assert_eq!(report.results.len(), 6);
+    for (run, slot) in report.results.iter().enumerate() {
+        let value = *slot.as_ref().expect("all substituted");
+        if run % 2 == 0 {
+            assert_eq!(value, -1.0);
+        } else {
+            assert!((0.0..1.0).contains(&value));
+        }
     }
 }
 

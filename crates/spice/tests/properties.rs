@@ -253,3 +253,90 @@ mod continuation {
         }
     }
 }
+
+mod fault_tolerant_fan_out {
+    use super::*;
+    use ferrocim_spice::{FailurePolicy, FanOutError, JobError, MonteCarlo, SpiceError};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// For every failure policy and failure pattern, the jobs that
+        /// succeed under `try_run` produce results bitwise identical to
+        /// a plain `run` with the same seed: fault tolerance must never
+        /// perturb healthy work.
+        #[test]
+        fn try_run_successes_match_run_bitwise(
+            runs in 1usize..12,
+            seed in any::<u64>(),
+            fail_mask in prop::collection::vec(any::<bool>(), 12),
+            policy_kind in 0u8..3,
+            parallel in any::<bool>(),
+        ) {
+            let mut mc = MonteCarlo::new(runs, seed);
+            if !parallel {
+                mc = mc.sequential();
+            }
+            let clean: Vec<f64> = mc.run(|_, rng| rng.random::<f64>());
+            let policy = match policy_kind {
+                0 => FailurePolicy::FailFast,
+                1 => FailurePolicy::SkipAndReport { max_failures: runs },
+                _ => FailurePolicy::Substitute(f64::NEG_INFINITY),
+            };
+            let job = |run: usize, rng: &mut StdRng| -> Result<f64, SpiceError> {
+                // Draw before deciding to fail, so failing jobs consume
+                // the same stream prefix as their healthy counterparts.
+                let v = rng.random::<f64>();
+                if fail_mask[run] {
+                    Err(SpiceError::NoConvergence {
+                        iterations: 1,
+                        residual: 1.0,
+                    })
+                } else {
+                    Ok(v)
+                }
+            };
+            let first_failure = fail_mask[..runs].iter().position(|&f| f);
+            match mc.try_run(&policy, job) {
+                Ok(report) => {
+                    prop_assert_eq!(report.results.len(), runs);
+                    prop_assert_eq!(
+                        report.failures,
+                        fail_mask[..runs].iter().filter(|&&f| f).count()
+                    );
+                    for run in 0..runs {
+                        if fail_mask[run] {
+                            match &policy {
+                                FailurePolicy::Substitute(fallback) => prop_assert_eq!(
+                                    report.results[run].as_ref().ok().map(|v| v.to_bits()),
+                                    Some(fallback.to_bits())
+                                ),
+                                _ => prop_assert!(matches!(
+                                    report.results[run],
+                                    Err(JobError::Failed(SpiceError::NoConvergence { .. }))
+                                )),
+                            }
+                        } else {
+                            // The healthy job's value is bit-for-bit the
+                            // plain run's value.
+                            prop_assert_eq!(
+                                report.results[run].as_ref().ok().map(|v| v.to_bits()),
+                                Some(clean[run].to_bits())
+                            );
+                        }
+                    }
+                    if matches!(policy, FailurePolicy::FailFast) {
+                        prop_assert_eq!(first_failure, None);
+                    }
+                }
+                Err(FanOutError::Job { index, .. }) => {
+                    prop_assert!(matches!(policy, FailurePolicy::FailFast));
+                    prop_assert_eq!(Some(index), first_failure);
+                }
+                Err(e) => prop_assert!(false, "unexpected batch error {e}"),
+            }
+        }
+    }
+}

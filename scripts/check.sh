@@ -10,8 +10,15 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> clippy (no unwrap/expect in spice+cim lib code)"
+cargo clippy --offline --no-deps -p ferrocim-spice -p ferrocim-cim --lib -- \
+  -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release --offline
 cargo test -q --offline
+
+echo "==> failure-injection suite (full backtraces)"
+RUST_BACKTRACE=1 cargo test -q --offline -p ferrocim-spice --test failure_injection
 
 echo "==> all checks passed"
