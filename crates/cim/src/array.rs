@@ -24,7 +24,7 @@ use crate::cells::{CellContext, CellDesign, CellOffsets, CellWeight};
 use crate::fault::CellFault;
 use crate::CimError;
 use ferrocim_spice::{
-    Circuit, Element, NodeId, SwitchSchedule, TransientAnalysis, Waveform, Workspace,
+    Budget, Circuit, Element, NodeId, SwitchSchedule, TransientAnalysis, Waveform, Workspace,
 };
 use ferrocim_units::{Celsius, Farad, Joule, Ohm, Second, Volt};
 use serde::{Deserialize, Serialize};
@@ -274,6 +274,8 @@ pub struct CimArray<C> {
     config: ArrayConfig,
     /// Per-column injected hardware faults (all `None` by default).
     faults: Vec<Option<CellFault>>,
+    /// Resource budget threaded into every underlying transient solve.
+    budget: Budget,
 }
 
 impl<C: CellDesign> CimArray<C> {
@@ -290,7 +292,24 @@ impl<C: CellDesign> CimArray<C> {
             cell,
             config,
             faults,
+            budget: Budget::unlimited(),
         })
+    }
+
+    /// Attaches a resource [`Budget`]: every underlying transient solve
+    /// charges Newton iterations and time steps against it, so a
+    /// deadline or cancellation aborts a MAC mid-solve with a typed
+    /// [`ferrocim_spice::SpiceError`] wrapped in [`CimError::Spice`].
+    /// Clones of the budget share one spend pool, so the same budget
+    /// can govern a whole fleet of arrays and engines.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The attached resource budget (unlimited by default).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// Installs per-column hardware faults (one entry per cell; `None`
@@ -415,6 +434,29 @@ impl<C: CellDesign> CimArray<C> {
                 self.run_analytic(&request.weights, &request.inputs, request.temp, offsets, ws)
             }
         }
+    }
+
+    /// Builds the full-row MAC readout netlist with nominal
+    /// (variation-free) cells and returns it together with the
+    /// accumulation node and the readout duration. This is the same
+    /// circuit the MAC entry points simulate, exposed so probes and
+    /// benchmarks can run the readout transient under their own
+    /// stepping or budget configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CimError::MismatchedOperands`] when `weights` or
+    /// `inputs` do not match the row width.
+    pub fn readout_circuit(
+        &self,
+        weights: &[bool],
+        inputs: &[bool],
+    ) -> Result<(Circuit, NodeId, Second), CimError> {
+        self.check_operands(weights, inputs)?;
+        let weights: Vec<CellWeight> = weights.iter().map(|&b| CellWeight::Bit(b)).collect();
+        let offsets = self.nominal_offsets();
+        let (ckt, _outs, acc) = self.build_row_circuit(&weights, inputs, &offsets)?;
+        Ok((ckt, acc, self.config.latency()))
     }
 
     /// Builds the full-row MAC netlist for the given weights/inputs and
@@ -549,11 +591,13 @@ impl<C: CellDesign> CimArray<C> {
         weights: &[CellWeight],
         inputs: &[bool],
         temp: Celsius,
+        budget: &Budget,
         ws: &mut Workspace,
     ) -> Result<MacOutput, CimError> {
         let t_stop = self.config.latency();
         let result = TransientAnalysis::new(ckt, self.config.dt, t_stop)
             .at(temp)
+            .with_budget(budget.clone())
             .run_in(ws)?;
         // Cell voltages at the end of the charge phase (the sample
         // closest to t_charge from below).
@@ -588,7 +632,7 @@ impl<C: CellDesign> CimArray<C> {
         ws: &mut Workspace,
     ) -> Result<MacOutput, CimError> {
         let (ckt, outs, acc) = self.build_row_circuit(weights, inputs, offsets)?;
-        self.eval_row_transient(&ckt, &outs, acc, weights, inputs, temp, ws)
+        self.eval_row_transient(&ckt, &outs, acc, weights, inputs, temp, &self.budget, ws)
     }
 
     /// The fast path behind [`MacPath::Analytic`]: each cell is
@@ -888,6 +932,7 @@ impl<C: CellDesign> CimArray<C> {
         self.cell.build_cell(&mut ckt, &ctx)?;
         let result = TransientAnalysis::new(&ckt, self.config.dt, self.config.t_charge)
             .at(temp)
+            .with_budget(self.budget.clone())
             .run_in(ws)?;
         Ok((
             result.final_voltage(out).value() - bias.v_sl.value(),

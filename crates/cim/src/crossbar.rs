@@ -14,7 +14,7 @@ use crate::fault::{CellFault, FaultPlan};
 use crate::transfer::Adc;
 use crate::CimError;
 use ferrocim_spice::{
-    apply_policy, try_fan_out, FailurePolicy, FanOutError, FanOutReport, JobError,
+    apply_policy, try_fan_out, Budget, FailurePolicy, FanOutError, FanOutReport, JobError,
 };
 use ferrocim_units::{Celsius, Joule, Volt};
 use serde::{Deserialize, Serialize};
@@ -40,6 +40,8 @@ pub struct Crossbar<C> {
     /// Faulted hardware clones for rows the plan touches; fault-free
     /// rows stay `None` and share `array`.
     row_arrays: Vec<Option<CimArray<C>>>,
+    /// Resource budget governing every matrix–vector product.
+    budget: Budget,
 }
 
 impl<C: CellDesign> Crossbar<C> {
@@ -64,10 +66,28 @@ impl<C: CellDesign> Crossbar<C> {
         Ok(Crossbar {
             faults: FaultPlan::none(rows, n),
             row_arrays: (0..rows).map(|_| None).collect(),
+            budget: array.budget().clone(),
             array,
             rows: vec![vec![CellWeight::Bit(false); n]; rows],
             adc,
         })
+    }
+
+    /// Attaches a resource [`Budget`]: one step is charged per unique
+    /// row-MAC job, every underlying solver iteration counts against
+    /// the shared pool, and a deadline or cancellation aborts the
+    /// product with a typed error. The budget is propagated to the row
+    /// hardware (including faulted row clones), so solver-level charges
+    /// land in the same pool as the per-job charges.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.array = self.array.with_budget(budget.clone());
+        self.row_arrays = self
+            .row_arrays
+            .into_iter()
+            .map(|ra| ra.map(|a| a.with_budget(budget.clone())))
+            .collect();
+        self.budget = budget;
+        self
     }
 
     /// Installs a fault plan: every cell fault in `plan` is applied to
@@ -215,6 +235,8 @@ impl<C: CellDesign> Crossbar<C> {
         let mut energy = 0.0;
         let mut ws = ferrocim_spice::Workspace::new();
         for (r, weights) in self.rows.iter().enumerate() {
+            self.budget.check()?;
+            self.budget.charge_steps(1)?;
             let request = MacRequest::new(inputs)
                 .weighted(weights)
                 .at(temp)
@@ -263,6 +285,8 @@ impl<C: CellDesign> Crossbar<C> {
             true,
             ferrocim_spice::Workspace::new,
             |ws, u| {
+                self.budget.check()?;
+                self.budget.charge_steps(1)?;
                 let (i, r) = unique[u];
                 let request = MacRequest::new(&inputs[i])
                     .weighted(&self.rows[r])
@@ -355,6 +379,8 @@ impl<C: CellDesign> Crossbar<C> {
             },
             ferrocim_spice::Workspace::new,
             |ws, u| {
+                self.budget.check()?;
+                self.budget.charge_steps(1)?;
                 let (i, r) = unique[u];
                 if inputs[i].len() != self.columns() {
                     return Err(CimError::MismatchedOperands {

@@ -22,7 +22,7 @@ use crate::array::{CimArray, MacOutput, MacPath, MacRequest};
 use crate::cells::{CellDesign, CellOffsets, CellWeight};
 use crate::CimError;
 use ferrocim_spice::{
-    apply_policy, fan_out, try_fan_out, Circuit, FailurePolicy, FanOutError, FanOutReport,
+    apply_policy, fan_out, try_fan_out, Budget, Circuit, FailurePolicy, FanOutError, FanOutReport,
     JobError, NodeId, Workspace,
 };
 use ferrocim_units::Celsius;
@@ -64,6 +64,7 @@ pub struct ArrayEngine<'a, C> {
     outs: Vec<NodeId>,
     acc: NodeId,
     parallel: bool,
+    budget: Budget,
 }
 
 impl<'a, C: CellDesign> ArrayEngine<'a, C> {
@@ -113,12 +114,23 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
             outs,
             acc,
             parallel: true,
+            budget: array.budget().clone(),
         })
     }
 
     /// Disables the thread fan-out; jobs run on the calling thread.
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
+        self
+    }
+
+    /// Attaches a resource [`Budget`] governing every batch: one step
+    /// is charged per unique simulation, every Newton iteration counts
+    /// against the shared pool, and a deadline or cancellation aborts
+    /// the fan-out with a typed error. By default the engine inherits
+    /// the array's budget (the two then share one spend pool).
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -214,6 +226,8 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
             self.parallel,
             || (Workspace::new(), self.base.clone()),
             |(ws, ckt), u| {
+                self.budget.check()?;
+                self.budget.charge_steps(1)?;
                 let (i, t) = unique[u];
                 self.array.retarget_inputs(ckt, &inputs[i])?;
                 self.array.eval_row_transient(
@@ -223,6 +237,7 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
                     &self.weights,
                     &inputs[i],
                     t,
+                    &self.budget,
                     ws,
                 )
             },
@@ -279,6 +294,8 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
             },
             || (Workspace::new(), self.base.clone()),
             |(ws, ckt), u| {
+                self.budget.check()?;
+                self.budget.charge_steps(1)?;
                 let i = unique[u];
                 if inputs[i].len() != n {
                     return Err(CimError::MismatchedOperands {
@@ -295,6 +312,7 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
                     &self.weights,
                     &inputs[i],
                     temp,
+                    &self.budget,
                     ws,
                 )
             },

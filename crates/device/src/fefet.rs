@@ -151,7 +151,10 @@ impl Fefet {
     /// Panics on invalid parameters; use [`Fefet::try_new`] to handle
     /// the error instead.
     pub fn new(params: FefetParams) -> Self {
-        Self::try_new(params).expect("invalid FeFET parameters")
+        match Self::try_new(params) {
+            Ok(fefet) => fefet,
+            Err(e) => panic!("invalid FeFET parameters: {e}"),
+        }
     }
 
     /// Fallible constructor.

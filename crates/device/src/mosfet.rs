@@ -179,7 +179,10 @@ impl MosfetModel {
     /// [`MosfetParams::build`]. Use [`MosfetModel::try_new`] for a
     /// fallible variant.
     pub fn new(params: MosfetParams) -> Self {
-        Self::try_new(params).expect("invalid MOSFET parameters")
+        match Self::try_new(params) {
+            Ok(model) => model,
+            Err(e) => panic!("invalid MOSFET parameters: {e}"),
+        }
     }
 
     /// Constructs a model, validating the parameters.

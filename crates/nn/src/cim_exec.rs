@@ -23,9 +23,62 @@ use crate::layers::{Layer, MaxPool2d};
 use crate::network::Network;
 use crate::quant::{quantize_activations, quantize_weights, QuantizedWeights};
 use crate::tensor::Tensor;
+use ferrocim_spice::{Budget, SpiceError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Typed failures of [`CimNetwork::try_accuracy`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// `inputs` and `labels` had different lengths.
+    LengthMismatch {
+        /// Number of input tensors.
+        inputs: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// The resource budget ran out or the evaluation was cancelled
+    /// (carries [`SpiceError::BudgetExceeded`] or
+    /// [`SpiceError::Cancelled`]).
+    Budget(SpiceError),
+    /// An inference worker panicked (e.g. inside a hardware oracle).
+    /// The panic is contained rather than unwinding through the sweep.
+    WorkerPanicked {
+        /// The panic payload, rendered to a string when possible.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::LengthMismatch { inputs, labels } => {
+                write!(f, "inputs ({inputs}) and labels ({labels}) lengths differ")
+            }
+            ExecError::Budget(e) => write!(f, "accuracy sweep stopped: {e}"),
+            ExecError::WorkerPanicked { message } => {
+                write!(f, "inference worker panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Budget(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpiceError> for ExecError {
+    fn from(e: SpiceError) -> Self {
+        ExecError::Budget(e)
+    }
+}
 
 /// A hardware MAC readout: given the true number of conducting cells in
 /// a row (`0..=cells_per_row`), return the digitized count.
@@ -349,6 +402,12 @@ impl CimNetwork {
     }
 
     /// Accuracy over a labelled set, parallelized across images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ or an inference worker panicked
+    /// ([`CimNetwork::try_accuracy`] reports both as typed errors
+    /// instead).
     pub fn accuracy<O: MacOracle>(
         &self,
         inputs: &[Tensor],
@@ -356,9 +415,41 @@ impl CimNetwork {
         oracle: &O,
         seed: u64,
     ) -> f64 {
-        assert_eq!(inputs.len(), labels.len());
+        match self.try_accuracy(inputs, labels, oracle, seed, &Budget::unlimited()) {
+            Ok(acc) => acc,
+            Err(e @ ExecError::LengthMismatch { .. }) => {
+                panic!("inputs/labels length mismatch: {e}")
+            }
+            Err(e) => panic!("accuracy sweep failed: {e}"),
+        }
+    }
+
+    /// Fallible, resource-governed [`CimNetwork::accuracy`]: one step
+    /// of `budget` is charged per image, the cancel token and deadline
+    /// are polled between images, and a panicking oracle is contained
+    /// as [`ExecError::WorkerPanicked`] instead of unwinding through
+    /// the sweep.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`]. Budget exhaustion mid-sweep aborts with
+    /// [`ExecError::Budget`]; images already evaluated are discarded.
+    pub fn try_accuracy<O: MacOracle>(
+        &self,
+        inputs: &[Tensor],
+        labels: &[usize],
+        oracle: &O,
+        seed: u64,
+        budget: &Budget,
+    ) -> Result<f64, ExecError> {
+        if inputs.len() != labels.len() {
+            return Err(ExecError::LengthMismatch {
+                inputs: inputs.len(),
+                labels: labels.len(),
+            });
+        }
         if inputs.is_empty() {
-            return 0.0;
+            return Ok(0.0);
         }
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -371,23 +462,44 @@ impl CimNetwork {
                 .zip(labels.chunks(chunk))
                 .enumerate()
                 .map(|(t, (xs, ys))| {
-                    scope.spawn(move || {
-                        xs.iter()
-                            .zip(ys)
-                            .enumerate()
-                            .filter(|(i, (x, &y))| {
-                                self.predict(x, oracle, seed ^ ((t * chunk + i) as u64) << 13) == y
-                            })
-                            .count()
+                    scope.spawn(move || -> Result<usize, ExecError> {
+                        let mut hits = 0usize;
+                        for (i, (x, &y)) in xs.iter().zip(ys).enumerate() {
+                            budget.check()?;
+                            budget.charge_steps(1)?;
+                            let image_seed = seed ^ ((t * chunk + i) as u64) << 13;
+                            let predicted =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    self.predict(x, oracle, image_seed)
+                                }))
+                                .map_err(|payload| {
+                                    ExecError::WorkerPanicked {
+                                        message: crate::network::panic_message(payload),
+                                    }
+                                })?;
+                            if predicted == y {
+                                hits += 1;
+                            }
+                        }
+                        Ok(hits)
                     })
                 })
                 .collect();
-            handles
+            // Join every handle before surfacing the first failure, so
+            // `scope` never sees an unjoined panicked thread.
+            let joined: Vec<_> = handles
                 .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .sum()
-        });
-        hits as f64 / inputs.len() as f64
+                .map(|h| {
+                    h.join().unwrap_or_else(|payload| {
+                        Err(ExecError::WorkerPanicked {
+                            message: crate::network::panic_message(payload),
+                        })
+                    })
+                })
+                .collect();
+            joined.into_iter().sum::<Result<usize, ExecError>>()
+        })?;
+        Ok(hits as f64 / inputs.len() as f64)
     }
 
     fn conv_forward<O: MacOracle>(

@@ -43,5 +43,5 @@ pub mod quant;
 pub mod tensor;
 pub mod vgg;
 
-pub use network::{train, EpochStats, Network, Optimizer, TrainConfig};
+pub use network::{train, try_train, EpochStats, Network, Optimizer, TrainConfig, TrainError};
 pub use tensor::Tensor;

@@ -286,21 +286,103 @@ pub struct EpochStats {
     pub train_accuracy: f64,
 }
 
+/// Typed failures of [`try_train`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TrainError {
+    /// `inputs` and `labels` had different lengths.
+    LengthMismatch {
+        /// Number of input tensors.
+        inputs: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// The training set was empty.
+    EmptyTrainingSet,
+    /// A gradient worker panicked (e.g. a poisoned layer or a numeric
+    /// assertion inside backprop). The panic is contained: the network
+    /// is left as of the last completed batch, and the payload message
+    /// is carried here instead of unwinding through the trainer.
+    WorkerPanicked {
+        /// The panic payload, rendered to a string when possible.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::LengthMismatch { inputs, labels } => {
+                write!(f, "inputs ({inputs}) and labels ({labels}) lengths differ")
+            }
+            TrainError::EmptyTrainingSet => write!(f, "empty training set"),
+            TrainError::WorkerPanicked { message } => {
+                write!(f, "gradient worker panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Renders a panic payload for [`TrainError::WorkerPanicked`].
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 /// Trains the network in place with minibatch SGD + momentum, returning
 /// per-epoch statistics. Gradients within a batch are computed in
 /// parallel across `threads` workers.
 ///
 /// # Panics
 ///
-/// Panics if `inputs` and `labels` lengths differ or the set is empty.
+/// Panics if `inputs` and `labels` lengths differ, the set is empty, or
+/// a gradient worker panicked ([`try_train`] reports all three as typed
+/// errors instead).
 pub fn train(
     network: &mut Network,
     inputs: &[Tensor],
     labels: &[usize],
     config: &TrainConfig,
 ) -> Vec<EpochStats> {
-    assert_eq!(inputs.len(), labels.len(), "inputs/labels length mismatch");
-    assert!(!inputs.is_empty(), "empty training set");
+    match try_train(network, inputs, labels, config) {
+        Ok(stats) => stats,
+        Err(TrainError::EmptyTrainingSet) => panic!("empty training set"),
+        Err(e @ TrainError::LengthMismatch { .. }) => {
+            panic!("inputs/labels length mismatch: {e}")
+        }
+        Err(e) => panic!("training failed: {e}"),
+    }
+}
+
+/// Fallible [`train`]: worker panics are contained and surfaced as
+/// [`TrainError::WorkerPanicked`], and operand problems are typed
+/// errors rather than panics.
+///
+/// # Errors
+///
+/// See [`TrainError`].
+pub fn try_train(
+    network: &mut Network,
+    inputs: &[Tensor],
+    labels: &[usize],
+    config: &TrainConfig,
+) -> Result<Vec<EpochStats>, TrainError> {
+    if inputs.len() != labels.len() {
+        return Err(TrainError::LengthMismatch {
+            inputs: inputs.len(),
+            labels: labels.len(),
+        });
+    }
+    if inputs.is_empty() {
+        return Err(TrainError::EmptyTrainingSet);
+    }
     let mut rng = StdRng::seed_from_u64(config.seed);
     let n_layers = network.layers().len();
     // Optimizer state per parameterized layer.
@@ -312,7 +394,7 @@ pub fn train(
         order.shuffle(&mut rng);
         let mut total_loss = 0.0f64;
         for batch in order.chunks(config.batch_size) {
-            let (loss, grads) = batch_grads(network, inputs, labels, batch, &mut rng, config);
+            let (loss, grads) = batch_grads(network, inputs, labels, batch, &mut rng, config)?;
             total_loss += loss;
             let scale = 1.0 / batch.len() as f32;
             for (li, g) in grads.into_iter().enumerate() {
@@ -333,7 +415,7 @@ pub fn train(
             train_accuracy,
         });
     }
-    stats
+    Ok(stats)
 }
 
 /// Computes summed gradients over a batch, fanning examples out across
@@ -345,11 +427,20 @@ fn batch_grads(
     batch: &[usize],
     rng: &mut StdRng,
     config: &TrainConfig,
-) -> (f64, Vec<Option<ParamGrads>>) {
+) -> Result<(f64, Vec<Option<ParamGrads>>), TrainError> {
     let threads = config.threads.max(1).min(batch.len());
     let dropout_seed: u64 = rng.random();
+    // Both paths contain worker panics so a flaky layer surfaces as a
+    // typed error instead of unwinding through (or aborting) the
+    // trainer.
     let results: Vec<(f64, Vec<Option<ParamGrads>>)> = if threads <= 1 {
-        vec![worker(network, inputs, labels, batch, dropout_seed)]
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            worker(network, inputs, labels, batch, dropout_seed)
+        }))
+        .map_err(|payload| TrainError::WorkerPanicked {
+            message: panic_message(payload),
+        })?;
+        vec![result]
     } else {
         let chunk = batch.len().div_ceil(threads);
         std::thread::scope(|scope| {
@@ -368,11 +459,19 @@ fn batch_grads(
                     })
                 })
                 .collect();
-            handles
+            // Join every handle before surfacing the first panic, so
+            // `scope` never sees an unjoined panicked thread (which
+            // would re-panic at scope exit).
+            let joined: Vec<_> = handles
                 .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
+                .map(|h| {
+                    h.join().map_err(|payload| TrainError::WorkerPanicked {
+                        message: panic_message(payload),
+                    })
+                })
+                .collect();
+            joined.into_iter().collect::<Result<Vec<_>, TrainError>>()
+        })?
     };
     let mut total_loss = 0.0;
     let mut acc: Vec<Option<ParamGrads>> = vec![None; network.layers().len()];
@@ -389,7 +488,7 @@ fn batch_grads(
             }
         }
     }
-    (total_loss, acc)
+    Ok((total_loss, acc))
 }
 
 fn worker(

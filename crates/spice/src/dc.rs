@@ -3,7 +3,7 @@
 use crate::mna::{newton_solve_in, CapMode, Layout, NewtonOptions, SolveSettings};
 use crate::netlist::{Circuit, Element, NodeId};
 use crate::rescue::{is_rescuable, rescue_solve, RescuePolicy, RescueReport};
-use crate::{SpiceError, Workspace};
+use crate::{Budget, SpiceError, Workspace};
 use ferrocim_units::{Ampere, Celsius, Second, Volt};
 use std::collections::HashMap;
 
@@ -106,6 +106,7 @@ pub struct DcAnalysis<'a> {
     options: NewtonOptions,
     initial_guess: Option<Vec<f64>>,
     rescue: RescuePolicy,
+    budget: Budget,
 }
 
 impl<'a> DcAnalysis<'a> {
@@ -118,6 +119,7 @@ impl<'a> DcAnalysis<'a> {
             options: NewtonOptions::default(),
             initial_guess: None,
             rescue: RescuePolicy::default(),
+            budget: Budget::unlimited(),
         }
     }
 
@@ -137,6 +139,15 @@ impl<'a> DcAnalysis<'a> {
     /// ([`RescuePolicy::none`] restores fail-fast behaviour).
     pub fn with_rescue(mut self, policy: RescuePolicy) -> Self {
         self.rescue = policy;
+        self
+    }
+
+    /// Attaches a resource [`Budget`]. Newton iterations (including
+    /// rescue-ladder retries) are charged against it, and the solve
+    /// aborts with [`SpiceError::BudgetExceeded`] /
+    /// [`SpiceError::Cancelled`] once it is exhausted.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -186,6 +197,7 @@ impl<'a> DcAnalysis<'a> {
             &SolveSettings::NOMINAL,
             &mut x,
             &self.options,
+            &self.budget,
             ws,
         ) {
             Ok(iterations) => RescueReport::plain(iterations),
@@ -199,6 +211,7 @@ impl<'a> DcAnalysis<'a> {
                 &initial,
                 &self.options,
                 &self.rescue,
+                &self.budget,
                 ws,
                 err,
             )?,

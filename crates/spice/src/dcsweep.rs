@@ -5,7 +5,7 @@
 use crate::dc::{DcAnalysis, OperatingPoint};
 use crate::mna::NewtonOptions;
 use crate::netlist::{Circuit, Element};
-use crate::{SpiceError, Waveform, Workspace};
+use crate::{Budget, SpiceError, Waveform, Workspace};
 use ferrocim_units::{Celsius, Volt};
 
 /// A DC sweep of one voltage source over a list of values.
@@ -44,6 +44,7 @@ pub struct DcSweep<'a> {
     values: Vec<Volt>,
     temp: Celsius,
     options: NewtonOptions,
+    budget: Budget,
 }
 
 impl<'a> DcSweep<'a> {
@@ -55,6 +56,7 @@ impl<'a> DcSweep<'a> {
             values,
             temp: Celsius::ROOM,
             options: NewtonOptions::default(),
+            budget: Budget::unlimited(),
         }
     }
 
@@ -67,6 +69,14 @@ impl<'a> DcSweep<'a> {
     /// Overrides the Newton options.
     pub fn with_options(mut self, options: NewtonOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Attaches a resource [`Budget`]: one step is charged per sweep
+    /// point and every Newton iteration counts against the pool, so a
+    /// deadline or cancellation aborts mid-sweep with a typed error.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -91,13 +101,16 @@ impl<'a> DcSweep<'a> {
         let mut ws = Workspace::new();
         let mut previous: Option<OperatingPoint> = None;
         for &value in &self.values {
+            self.budget.check()?;
+            self.budget.charge_steps(1)?;
             if let Some(Element::VoltageSource { waveform, .. }) = working.element_mut(&self.source)
             {
                 *waveform = Waveform::dc(value);
             }
             let cold = DcAnalysis::new(&working)
                 .at(self.temp)
-                .with_options(self.options);
+                .with_options(self.options)
+                .with_budget(self.budget.clone());
             let op = match &previous {
                 Some(prev) => {
                     match cold.clone().warm_start(prev).solve_in(&mut ws) {

@@ -24,8 +24,8 @@ use crate::linear::Matrix;
 use crate::mna::NewtonOptions;
 use crate::netlist::Circuit;
 use crate::rescue::RescuePolicy;
-use crate::transient::{Integrator, TransientAnalysis, TransientResult};
-use crate::SpiceError;
+use crate::transient::{AdaptiveOptions, Integrator, TransientAnalysis, TransientResult};
+use crate::{Budget, SpiceError};
 use ferrocim_units::{Celsius, Second};
 
 /// Reusable solver buffers: the stamped MNA matrix (destroyed by each
@@ -130,6 +130,7 @@ pub struct SimEngine {
     options: NewtonOptions,
     integrator: Integrator,
     rescue: Option<RescuePolicy>,
+    budget: Budget,
     workspace: Workspace,
     last_op: Option<OperatingPoint>,
 }
@@ -167,6 +168,20 @@ impl SimEngine {
     pub fn with_rescue(mut self, policy: RescuePolicy) -> Self {
         self.rescue = Some(policy);
         self
+    }
+
+    /// Attaches a resource [`Budget`] governing every solve issued
+    /// through this engine. An exhausted budget surfaces as
+    /// [`SpiceError::BudgetExceeded`] / [`SpiceError::Cancelled`] from
+    /// the analysis in flight.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The budget governing this engine's solves.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// The current simulation temperature.
@@ -211,7 +226,8 @@ impl SimEngine {
     pub fn dc(&mut self, circuit: &Circuit) -> Result<OperatingPoint, SpiceError> {
         let mut cold = DcAnalysis::new(circuit)
             .at(self.temp)
-            .with_options(self.options);
+            .with_options(self.options)
+            .with_budget(self.budget.clone());
         if let Some(policy) = &self.rescue {
             cold = cold.with_rescue(policy.clone());
         }
@@ -254,8 +270,39 @@ impl SimEngine {
             .at(self.temp)
             .with_options(self.options)
             .with_integrator(self.integrator)
+            .with_budget(self.budget.clone())
             .start_from(&op)
             .run_in(&mut self.workspace)
+    }
+
+    /// Runs an adaptive (LTE-controlled) transient analysis whose
+    /// initial condition is the (warm-started) DC operating point of
+    /// `circuit`. Pass [`AdaptiveOptions::for_duration`] or tweak it.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::InvalidValue`] for bad adaptive options.
+    /// * DC / per-step Newton errors as for [`SimEngine::dc`].
+    /// * [`SpiceError::BudgetExceeded`] / [`SpiceError::Cancelled`]
+    ///   when the engine budget runs out.
+    pub fn transient_adaptive(
+        &mut self,
+        circuit: &Circuit,
+        t_stop: Second,
+        opts: AdaptiveOptions,
+    ) -> Result<TransientResult, SpiceError> {
+        let op = self.dc(circuit)?;
+        let mut analysis = TransientAnalysis::adaptive(circuit, t_stop)
+            .with_adaptive_options(opts)
+            .at(self.temp)
+            .with_options(self.options)
+            .with_integrator(self.integrator)
+            .with_budget(self.budget.clone())
+            .start_from(&op);
+        if let Some(policy) = &self.rescue {
+            analysis = analysis.with_rescue(policy.clone());
+        }
+        analysis.run_in(&mut self.workspace)
     }
 }
 

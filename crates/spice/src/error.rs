@@ -63,6 +63,14 @@ pub enum SpiceError {
         /// The missing name.
         name: String,
     },
+    /// A configured [`crate::Budget`] limit (iterations, steps, or
+    /// wall-clock deadline) was exhausted before the analysis finished.
+    BudgetExceeded {
+        /// Which resource ran out.
+        resource: crate::BudgetResource,
+    },
+    /// A [`crate::CancelToken`] attached to the analysis budget fired.
+    Cancelled,
 }
 
 impl fmt::Display for SpiceError {
@@ -99,6 +107,10 @@ impl fmt::Display for SpiceError {
             SpiceError::UnknownNodeName { name } => {
                 write!(f, "no node named `{name}` in the circuit")
             }
+            SpiceError::BudgetExceeded { resource } => {
+                write!(f, "analysis budget exceeded: {resource}")
+            }
+            SpiceError::Cancelled => write!(f, "analysis cancelled"),
         }
     }
 }

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod budget;
 mod dc;
 mod dcsweep;
 mod engine;
@@ -58,6 +59,7 @@ pub mod sweep;
 mod transient;
 mod waveform;
 
+pub use budget::{Budget, BudgetResource, CancelToken, Deadline};
 pub use dc::{DcAnalysis, OperatingPoint};
 pub use dcsweep::DcSweep;
 pub use engine::{SimEngine, Workspace};
@@ -67,9 +69,9 @@ pub use linear::Matrix;
 pub use mna::NewtonOptions;
 pub use montecarlo::{
     apply_policy, fan_out, histogram, try_fan_out, FailurePolicy, FanOutError, FanOutReport,
-    JobError, MonteCarlo, SampleStats,
+    JobError, McCheckpoint, McError, MonteCarlo, SampleStats,
 };
 pub use netlist::{Circuit, Element, NodeId, SwitchSchedule};
 pub use rescue::{RescuePolicy, RescueReport, RescueRung, RungAttempt};
-pub use transient::{Integrator, TransientAnalysis, TransientResult};
+pub use transient::{AdaptiveOptions, Integrator, StepReport, TransientAnalysis, TransientResult};
 pub use waveform::Waveform;

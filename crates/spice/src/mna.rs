@@ -352,6 +352,10 @@ fn stamp_transistor(
 /// Returns the number of iterations used (including the converging one).
 /// A non-finite entry in the linear-solve result aborts with
 /// [`SpiceError::NumericalBlowup`] rather than iterating on garbage.
+///
+/// Each iteration is charged against `budget` and the budget's
+/// cancel/deadline state is polled, so even a single pathological solve
+/// honours [`SpiceError::BudgetExceeded`] / [`SpiceError::Cancelled`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn newton_solve_in(
     circuit: &Circuit,
@@ -362,6 +366,7 @@ pub(crate) fn newton_solve_in(
     settings: &SolveSettings,
     x: &mut [f64],
     options: &NewtonOptions,
+    budget: &crate::Budget,
     ws: &mut crate::Workspace,
 ) -> Result<usize, SpiceError> {
     debug_assert_eq!(x.len(), layout.size);
@@ -374,8 +379,13 @@ pub(crate) fn newton_solve_in(
         x_new,
         ..
     } = ws;
+    let limited = budget.is_limited();
     let mut last_delta = f64::INFINITY;
     for iter in 0..options.max_iterations {
+        if limited {
+            budget.check()?;
+            budget.charge_newton(1)?;
+        }
         assemble(circuit, layout, x, t, temp, caps, settings, a, z);
         a.solve_into(z, rhs, perm, x_new)?;
         if let Some(unknown) = x_new[..layout.size].iter().position(|v| !v.is_finite()) {

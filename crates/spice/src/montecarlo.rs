@@ -5,11 +5,14 @@
 //! `σ_VT = 54 mV`; this driver provides the deterministic seeding and
 //! fan-out for that experiment (and any other statistical sweep).
 
+use crate::{Budget, SpiceError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{de, Deserialize, Serialize, Value};
 use std::any::Any;
 use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 
 /// A deterministic Monte-Carlo experiment runner.
 ///
@@ -102,7 +105,371 @@ impl MonteCarlo {
             },
         )
     }
+
+    /// Checkpointable, resumable variant of [`MonteCarlo::run`].
+    ///
+    /// Samples run in chunks of `checkpoint_every`; after each chunk
+    /// the completed-sample state (seed, run count, per-run results) is
+    /// atomically rewritten to `path`. If the file already exists the
+    /// sweep **resumes**: finished samples are skipped and only pending
+    /// runs execute. Because every run derives its RNG from
+    /// `(seed, run)` alone, a killed-and-resumed sweep returns results
+    /// bitwise identical to an uninterrupted one.
+    ///
+    /// The `budget` is consulted at every chunk boundary (one step
+    /// charged per sample, up front per chunk). On exhaustion or
+    /// cancellation the current state is saved and the sweep fails with
+    /// [`McError::Interrupted`] carrying the partial results — rerun
+    /// with the same arguments to continue where it stopped.
+    ///
+    /// The checkpoint file is left in place after a successful sweep
+    /// (rerunning is then a pure replay from disk); delete it to start
+    /// fresh.
+    ///
+    /// # Errors
+    ///
+    /// * [`McError::Io`] / [`McError::Corrupt`] for filesystem or
+    ///   parse failures on the checkpoint file.
+    /// * [`McError::Mismatch`] when the checkpoint belongs to a sweep
+    ///   with a different seed or run count.
+    /// * [`McError::Interrupted`] when the budget ran out.
+    pub fn run_resumable<T, F>(
+        &self,
+        path: impl AsRef<Path>,
+        checkpoint_every: usize,
+        budget: &Budget,
+        f: F,
+    ) -> Result<Vec<T>, McError<T>>
+    where
+        T: Send + Clone + Serialize + Deserialize,
+        F: Fn(usize, &mut StdRng) -> T + Sync,
+    {
+        let path = path.as_ref();
+        let mut ckpt = if path.exists() {
+            let ckpt = McCheckpoint::resume_from(path)?;
+            ckpt.matches(self)?;
+            ckpt
+        } else {
+            McCheckpoint::empty(self)
+        };
+        let every = checkpoint_every.max(1);
+        loop {
+            let pending: Vec<usize> = ckpt.pending().take(every).collect();
+            if pending.is_empty() {
+                break;
+            }
+            if let Err(reason) = budget
+                .check()
+                .and_then(|()| budget.charge_steps(pending.len() as u64))
+            {
+                ckpt.save(path)?;
+                return Err(McError::Interrupted {
+                    reason,
+                    partial: ckpt.partial(),
+                });
+            }
+            let chunk = fan_out(
+                pending.len(),
+                self.parallel,
+                || (),
+                |(), k| {
+                    let mut rng = self.rng_for(pending[k]);
+                    f(pending[k], &mut rng)
+                },
+            );
+            for (k, value) in chunk.into_iter().enumerate() {
+                ckpt.completed[pending[k]] = Some(value);
+            }
+            ckpt.save(path)?;
+        }
+        let total = ckpt.runs;
+        let results: Vec<T> = ckpt.completed.into_iter().flatten().collect();
+        if results.len() != total {
+            return Err(McError::Corrupt {
+                path: path.to_path_buf(),
+                message: "checkpoint is missing completed samples".to_string(),
+            });
+        }
+        Ok(results)
+    }
 }
+
+const CHECKPOINT_FORMAT: &str = "ferrocim-mc-checkpoint-v1";
+
+/// A persisted snapshot of a partially completed Monte-Carlo sweep: the
+/// sweep identity (seed, run count) plus every finished sample.
+///
+/// Produced and consumed by [`MonteCarlo::run_resumable`]; exposed so
+/// tooling can inspect a checkpoint (progress reporting, salvage of a
+/// dead sweep's partial results).
+#[derive(Debug, Clone, PartialEq)]
+pub struct McCheckpoint<T> {
+    seed: u64,
+    runs: usize,
+    completed: Vec<Option<T>>,
+}
+
+impl<T> McCheckpoint<T> {
+    fn empty(mc: &MonteCarlo) -> McCheckpoint<T> {
+        McCheckpoint {
+            seed: mc.seed,
+            runs: mc.runs,
+            completed: (0..mc.runs).map(|_| None).collect(),
+        }
+    }
+
+    /// The base seed of the sweep this checkpoint belongs to.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Total number of runs in the sweep.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// Number of samples already completed.
+    pub fn completed_runs(&self) -> usize {
+        self.completed.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True once every sample is present.
+    pub fn is_complete(&self) -> bool {
+        self.completed.iter().all(|s| s.is_some())
+    }
+
+    /// Indices of the runs still to do, ascending.
+    pub fn pending(&self) -> impl Iterator<Item = usize> + '_ {
+        self.completed
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(i, _)| i)
+    }
+
+    /// The completed `(run, value)` pairs, in run order.
+    pub fn partial(&self) -> Vec<(usize, T)>
+    where
+        T: Clone,
+    {
+        self.completed
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i, v.clone())))
+            .collect()
+    }
+
+    /// Loads a checkpoint from disk.
+    ///
+    /// # Errors
+    ///
+    /// [`McError::Io`] if the file cannot be read, [`McError::Corrupt`]
+    /// if it does not parse as a checkpoint.
+    pub fn resume_from(path: impl AsRef<Path>) -> Result<McCheckpoint<T>, McError<T>>
+    where
+        T: Deserialize,
+    {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| McError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        serde_json::from_str(&text).map_err(|e| McError::Corrupt {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })
+    }
+
+    /// Atomically writes the checkpoint to `path` (via a sibling
+    /// temporary file and rename, so a crash mid-write never corrupts
+    /// an existing checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// [`McError::Io`] on any filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), McError<T>>
+    where
+        T: Serialize,
+    {
+        let path = path.as_ref();
+        let io_err = |e: std::io::Error| McError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        };
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        let tmp = PathBuf::from(tmp_name);
+        let text = serde_json::to_string_pretty(self).map_err(|e| McError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        std::fs::write(&tmp, text).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)?;
+        Ok(())
+    }
+
+    /// Fails unless the checkpoint's identity matches the runner's.
+    fn matches(&self, mc: &MonteCarlo) -> Result<(), McError<T>> {
+        if self.seed != mc.seed {
+            return Err(McError::Mismatch {
+                field: "seed",
+                expected: mc.seed,
+                found: self.seed,
+            });
+        }
+        if self.runs != mc.runs {
+            return Err(McError::Mismatch {
+                field: "runs",
+                expected: mc.runs as u64,
+                found: self.runs as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<T: Serialize> Serialize for McCheckpoint<T> {
+    // Hand-written (not derived): the vendored derive macro does not
+    // support generic types. The seed is stored as a hex string so
+    // values above 2^53 survive the f64-backed JSON number type.
+    fn to_json(&self) -> Value {
+        let samples = self
+            .completed
+            .iter()
+            .enumerate()
+            .filter_map(|(run, slot)| {
+                slot.as_ref().map(|v| {
+                    Value::Object(vec![
+                        ("run".to_string(), Value::Number(run as f64)),
+                        ("value".to_string(), v.to_json()),
+                    ])
+                })
+            })
+            .collect();
+        Value::Object(vec![
+            (
+                "format".to_string(),
+                Value::String(CHECKPOINT_FORMAT.to_string()),
+            ),
+            (
+                "seed".to_string(),
+                Value::String(format!("{:016x}", self.seed)),
+            ),
+            ("runs".to_string(), Value::Number(self.runs as f64)),
+            ("samples".to_string(), Value::Array(samples)),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for McCheckpoint<T> {
+    fn from_json(v: &Value) -> Result<Self, de::Error> {
+        let field = |key: &str| {
+            v.get(key)
+                .ok_or_else(|| de::Error::msg(format!("missing `{key}`")))
+        };
+        match field("format")? {
+            Value::String(s) if s == CHECKPOINT_FORMAT => {}
+            _ => return Err(de::Error::msg("unrecognized checkpoint format")),
+        }
+        let seed = match field("seed")? {
+            Value::String(s) => {
+                u64::from_str_radix(s, 16).map_err(|e| de::Error::msg(format!("bad seed: {e}")))?
+            }
+            _ => return Err(de::Error::msg("seed must be a hex string")),
+        };
+        let runs = usize::from_json(field("runs")?)?;
+        let mut completed: Vec<Option<T>> = (0..runs).map(|_| None).collect();
+        let samples = match field("samples")? {
+            Value::Array(a) => a,
+            _ => return Err(de::Error::msg("samples must be an array")),
+        };
+        for s in samples {
+            let run = usize::from_json(
+                s.get("run")
+                    .ok_or_else(|| de::Error::msg("sample missing `run`"))?,
+            )?;
+            if run >= runs {
+                return Err(de::Error::msg(format!("sample run {run} out of range")));
+            }
+            let value = T::from_json(
+                s.get("value")
+                    .ok_or_else(|| de::Error::msg("sample missing `value`"))?,
+            )?;
+            completed[run] = Some(value);
+        }
+        Ok(McCheckpoint {
+            seed,
+            runs,
+            completed,
+        })
+    }
+}
+
+/// Failures of a resumable Monte-Carlo sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum McError<T> {
+    /// The checkpoint file could not be read or written.
+    Io {
+        /// The checkpoint path involved.
+        path: PathBuf,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
+    /// The checkpoint file exists but does not parse.
+    Corrupt {
+        /// The checkpoint path involved.
+        path: PathBuf,
+        /// What failed to parse.
+        message: String,
+    },
+    /// The checkpoint belongs to a different sweep (seed or run count
+    /// differ); refusing to mix samples from two experiments.
+    Mismatch {
+        /// Which identity field differed.
+        field: &'static str,
+        /// The runner's value.
+        expected: u64,
+        /// The checkpoint's value.
+        found: u64,
+    },
+    /// The budget ran out or the sweep was cancelled. Completed
+    /// samples are preserved on disk and carried here; rerunning with
+    /// the same checkpoint path continues from them.
+    Interrupted {
+        /// The budget error that stopped the sweep.
+        reason: SpiceError,
+        /// The completed `(run, value)` pairs so far.
+        partial: Vec<(usize, T)>,
+    },
+}
+
+impl<T> fmt::Display for McError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McError::Io { path, message } => {
+                write!(f, "checkpoint I/O failed at {}: {message}", path.display())
+            }
+            McError::Corrupt { path, message } => {
+                write!(f, "corrupt checkpoint {}: {message}", path.display())
+            }
+            McError::Mismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint `{field}` mismatch: sweep has {expected}, file has {found}"
+            ),
+            McError::Interrupted { reason, partial } => write!(
+                f,
+                "sweep interrupted ({reason}); {} samples completed and checkpointed",
+                partial.len()
+            ),
+        }
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for McError<T> {}
 
 /// How a fault-tolerant fan-out treats failed jobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -457,6 +824,7 @@ pub fn histogram(samples: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CancelToken;
     use rand::Rng;
 
     #[test]
@@ -541,5 +909,99 @@ mod tests {
     #[should_panic(expected = "at least one bin")]
     fn histogram_rejects_zero_bins() {
         let _ = histogram(&[1.0], 0.0, 1.0, 0);
+    }
+
+    fn scratch_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ferrocim-mc-{tag}-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn checkpoint_round_trips_exactly_through_json() {
+        let mc = MonteCarlo::new(5, 0xDEAD_BEEF_CAFE_F00D);
+        let mut ckpt: McCheckpoint<f64> = McCheckpoint::empty(&mc);
+        ckpt.completed[0] = Some(1.0 / 3.0);
+        ckpt.completed[3] = Some(-2.5e-18);
+        let path = scratch_path("roundtrip");
+        ckpt.save(&path).unwrap();
+        let back: McCheckpoint<f64> = McCheckpoint::resume_from(&path).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.seed(), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(back.completed_runs(), 2);
+        assert_eq!(back.pending().collect::<Vec<_>>(), vec![1, 2, 4]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resumable_run_matches_uninterrupted_run_bitwise() {
+        let mc = MonteCarlo::new(17, 42).sequential();
+        let direct: Vec<f64> = mc.run(|i, rng| rng.random::<f64>() * (i as f64 + 1.0));
+        let path = scratch_path("resume");
+
+        // Interrupt the sweep after 6 samples via a step budget.
+        let tight = Budget::unlimited().with_max_steps(6);
+        let err = mc
+            .run_resumable(&path, 3, &tight, |i, rng| {
+                rng.random::<f64>() * (i as f64 + 1.0)
+            })
+            .unwrap_err();
+        match &err {
+            McError::Interrupted { reason, partial } => {
+                assert!(matches!(reason, SpiceError::BudgetExceeded { .. }));
+                assert_eq!(partial.len(), 6);
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+
+        // Resume with no limit: must complete and match bit for bit.
+        let resumed = mc
+            .run_resumable(&path, 3, &Budget::unlimited(), |i, rng| {
+                rng.random::<f64>() * (i as f64 + 1.0)
+            })
+            .unwrap();
+        assert_eq!(resumed, direct);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resumable_run_rejects_mismatched_checkpoints() {
+        let path = scratch_path("mismatch");
+        let mc = MonteCarlo::new(4, 1).sequential();
+        mc.run_resumable(&path, 2, &Budget::unlimited(), |i, _| i as f64)
+            .unwrap();
+        let other = MonteCarlo::new(4, 2).sequential();
+        let err = other
+            .run_resumable(&path, 2, &Budget::unlimited(), |i, _| i as f64)
+            .unwrap_err();
+        assert!(matches!(err, McError::Mismatch { field: "seed", .. }));
+        let wrong_runs = MonteCarlo::new(5, 1).sequential();
+        let err = wrong_runs
+            .run_resumable(&path, 2, &Budget::unlimited(), |i, _| i as f64)
+            .unwrap_err();
+        assert!(matches!(err, McError::Mismatch { field: "runs", .. }));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cancelled_resumable_run_saves_progress() {
+        let path = scratch_path("cancel");
+        let mc = MonteCarlo::new(8, 9).sequential();
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel_token(&token);
+        let err = mc
+            .run_resumable(&path, 4, &budget, |i, _| i as f64)
+            .unwrap_err();
+        match err {
+            McError::Interrupted { reason, partial } => {
+                assert!(matches!(reason, SpiceError::Cancelled));
+                assert!(partial.is_empty());
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+        assert!(path.exists());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -165,6 +165,10 @@ pub(crate) fn is_rescuable(err: &SpiceError) -> bool {
 ///
 /// On success the report's last attempt names the winning rung and the
 /// preceding entries record the failed ones (including the plain solve).
+///
+/// Rescue retries are charged against `budget` like any other Newton
+/// work; a budget/cancellation failure aborts the ladder immediately
+/// rather than being mistaken for a failed rung.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn rescue_solve(
     circuit: &Circuit,
@@ -176,6 +180,7 @@ pub(crate) fn rescue_solve(
     initial_guess: &[f64],
     options: &NewtonOptions,
     policy: &RescuePolicy,
+    budget: &crate::Budget,
     ws: &mut Workspace,
     plain_error: SpiceError,
 ) -> Result<RescueReport, SpiceError> {
@@ -204,6 +209,7 @@ pub(crate) fn rescue_solve(
             &SolveSettings::NOMINAL,
             x,
             &damped,
+            budget,
             ws,
         ) {
             Ok(iters) => {
@@ -214,6 +220,7 @@ pub(crate) fn rescue_solve(
                 });
                 return Ok(report);
             }
+            Err(e) if !is_rescuable(&e) => return Err(e),
             Err(_) => report.attempts.push(RungAttempt {
                 rung,
                 iterations: damped.max_iterations,
@@ -233,9 +240,10 @@ pub(crate) fn rescue_solve(
                 source_scale: 1.0,
             };
             match crate::mna::newton_solve_in(
-                circuit, layout, t, temp, caps, &settings, x, options, ws,
+                circuit, layout, t, temp, caps, &settings, x, options, budget, ws,
             ) {
                 Ok(iters) => iterations += iters,
+                Err(e) if !is_rescuable(&e) => return Err(e),
                 Err(_) => {
                     iterations += options.max_iterations;
                     converged = false;
@@ -264,9 +272,10 @@ pub(crate) fn rescue_solve(
                 source_scale: k as f64 / policy.source_steps as f64,
             };
             match crate::mna::newton_solve_in(
-                circuit, layout, t, temp, caps, &settings, x, options, ws,
+                circuit, layout, t, temp, caps, &settings, x, options, budget, ws,
             ) {
                 Ok(iters) => iterations += iters,
+                Err(e) if !is_rescuable(&e) => return Err(e),
                 Err(_) => {
                     iterations += options.max_iterations;
                     converged = false;

@@ -1,10 +1,24 @@
-//! Transient analysis: fixed-step implicit integration with breakpoint
-//! alignment, per-source energy accounting, and full waveform capture.
+//! Transient analysis: implicit integration with breakpoint alignment,
+//! per-source energy accounting, and full waveform capture.
+//!
+//! Two stepping modes share one engine:
+//!
+//! * **Fixed-step** ([`TransientAnalysis::new`]) — the caller picks
+//!   `dt`; every step lands on the uniform grid (plus breakpoints).
+//! * **Adaptive** ([`TransientAnalysis::adaptive`]) — the step size is
+//!   controlled by a step-doubling local-truncation-error estimate:
+//!   each step is solved once at full size and again as two half
+//!   steps; the difference bounds the LTE, steps violating the
+//!   tolerance are rejected and halved (composing with the
+//!   [`RescuePolicy`] ladder once the floor `dt_min` is reached), and
+//!   easy stretches grow the step toward `dt_max`. The accepted
+//!   solution is always the more accurate half-step one.
 
 use crate::dc::OperatingPoint;
 use crate::mna::{newton_solve_in, CapMode, CapState, Layout, NewtonOptions};
 use crate::netlist::{Circuit, Element, NodeId};
-use crate::{SpiceError, Workspace};
+use crate::rescue::{is_rescuable, rescue_solve, RescuePolicy};
+use crate::{Budget, SpiceError, Workspace};
 use ferrocim_units::{Ampere, Celsius, Joule, Second, Volt};
 use std::collections::HashMap;
 
@@ -19,6 +33,123 @@ pub enum Integrator {
     Trapezoidal,
 }
 
+/// Step accounting for a transient run.
+///
+/// A fixed-step run reports every grid step as accepted; an adaptive
+/// run additionally counts the steps rejected by the LTE controller or
+/// Newton divergence, and the steps that only converged through the
+/// [`RescuePolicy`] ladder at the `dt_min` floor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepReport {
+    /// Steps whose solution was kept.
+    pub accepted: usize,
+    /// Steps discarded (LTE violation or Newton divergence) and retried
+    /// at a smaller size.
+    pub rejected: usize,
+    /// Accepted steps that required the rescue ladder to converge.
+    pub rescued: usize,
+}
+
+impl StepReport {
+    /// Total step attempts, accepted plus rejected.
+    pub fn attempted(&self) -> usize {
+        self.accepted + self.rejected
+    }
+}
+
+/// Knobs for the adaptive step controller.
+///
+/// Defaults come from [`AdaptiveOptions::for_duration`], which scales
+/// the step bounds to the simulated interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveOptions {
+    /// Per-step local-truncation-error tolerance on any node voltage,
+    /// volts.
+    pub lte_tol: f64,
+    /// Smallest allowed step. At this floor an LTE violation is
+    /// force-accepted (never livelocks) and Newton divergence escalates
+    /// to the rescue ladder.
+    pub dt_min: Second,
+    /// Largest allowed step.
+    pub dt_max: Second,
+    /// First step attempted after `t = 0`.
+    pub dt_init: Second,
+    /// Cap on per-step growth of the step size (≥ 1).
+    pub max_growth: f64,
+    /// Safety factor applied to the optimal-step estimate, in `(0, 1]`.
+    pub safety: f64,
+}
+
+impl AdaptiveOptions {
+    /// Defaults scaled to a run of length `t_stop`: tolerance 100 µV,
+    /// steps between `t_stop/10⁹` and `t_stop/20`, starting at
+    /// `t_stop/1000`.
+    pub fn for_duration(t_stop: Second) -> AdaptiveOptions {
+        let t = t_stop.value();
+        AdaptiveOptions {
+            lte_tol: 1e-4,
+            dt_min: Second(t * 1e-9),
+            dt_max: Second(t / 20.0),
+            dt_init: Second(t * 1e-3),
+            max_growth: 2.0,
+            safety: 0.9,
+        }
+    }
+
+    fn validate(&self) -> Result<(), SpiceError> {
+        let check = |name: &str, value: f64, ok: bool, requirement: &'static str| {
+            if ok {
+                Ok(())
+            } else {
+                Err(SpiceError::InvalidValue {
+                    name: name.to_string(),
+                    value,
+                    requirement,
+                })
+            }
+        };
+        check(
+            "lte_tol",
+            self.lte_tol,
+            self.lte_tol > 0.0 && self.lte_tol.is_finite(),
+            "a positive finite voltage tolerance",
+        )?;
+        let dt_min = self.dt_min.value();
+        let dt_max = self.dt_max.value();
+        let dt_init = self.dt_init.value();
+        check(
+            "dt_min",
+            dt_min,
+            dt_min > 0.0 && dt_min.is_finite(),
+            "a positive finite step floor",
+        )?;
+        check(
+            "dt_max",
+            dt_max,
+            dt_max >= dt_min && dt_max.is_finite(),
+            "a finite step ceiling at least dt_min",
+        )?;
+        check(
+            "dt_init",
+            dt_init,
+            dt_init > 0.0 && dt_init.is_finite(),
+            "a positive finite initial step",
+        )?;
+        check(
+            "max_growth",
+            self.max_growth,
+            self.max_growth >= 1.0 && self.max_growth.is_finite(),
+            "a growth cap of at least 1",
+        )?;
+        check(
+            "safety",
+            self.safety,
+            self.safety > 0.0 && self.safety <= 1.0,
+            "a safety factor in (0, 1]",
+        )
+    }
+}
+
 /// Result of a transient run: sampled node voltages, source currents,
 /// and delivered-energy integrals.
 #[derive(Debug, Clone)]
@@ -30,6 +161,8 @@ pub struct TransientResult {
     source_currents: HashMap<String, Vec<f64>>,
     /// Per-source delivered energy integral.
     energy: HashMap<String, f64>,
+    /// Step accounting for the run.
+    steps: StepReport,
 }
 
 impl TransientResult {
@@ -46,6 +179,11 @@ impl TransientResult {
     /// `true` if the run produced no samples.
     pub fn is_empty(&self) -> bool {
         self.times.is_empty()
+    }
+
+    /// How many steps were accepted, rejected, and rescued.
+    pub fn step_report(&self) -> StepReport {
+        self.steps
     }
 
     /// The node voltage at a sample index.
@@ -69,6 +207,27 @@ impl TransientResult {
             .zip(&self.voltages)
             .map(|(&t, row)| (Second(t), Volt(row[node.index()])))
             .collect()
+    }
+
+    /// The node voltage linearly interpolated at an arbitrary time
+    /// inside the simulated interval (clamped outside it). Useful for
+    /// comparing runs sampled on different grids.
+    pub fn voltage_interp(&self, node: NodeId, t: Second) -> Volt {
+        let t = t.value();
+        let idx = node.index();
+        match self.times.iter().position(|&ti| ti >= t) {
+            None => Volt(self.voltages[self.voltages.len() - 1][idx]),
+            Some(0) => Volt(self.voltages[0][idx]),
+            Some(i) => {
+                let (t0, t1) = (self.times[i - 1], self.times[i]);
+                let (v0, v1) = (self.voltages[i - 1][idx], self.voltages[i][idx]);
+                if t1 <= t0 {
+                    Volt(v1)
+                } else {
+                    Volt(v0 + (v1 - v0) * (t - t0) / (t1 - t0))
+                }
+            }
+        }
     }
 
     /// The branch current of a voltage source at the final time point.
@@ -112,7 +271,14 @@ impl TransientResult {
     }
 }
 
-/// A fixed-step transient analysis.
+/// How the transient advances time.
+#[derive(Debug, Clone)]
+enum Stepping {
+    Fixed(Second),
+    Adaptive(AdaptiveOptions),
+}
+
+/// A transient analysis, fixed-step or adaptive.
 ///
 /// Steps are aligned to waveform/switch breakpoints so sharp edges are
 /// never stepped over. The initial condition is the DC operating point
@@ -122,25 +288,45 @@ impl TransientResult {
 pub struct TransientAnalysis<'a> {
     circuit: &'a Circuit,
     temp: Celsius,
-    dt: Second,
+    stepping: Stepping,
     t_stop: Second,
     integrator: Integrator,
     options: NewtonOptions,
     start_from: Option<&'a OperatingPoint>,
+    rescue: RescuePolicy,
+    budget: Budget,
 }
 
 impl<'a> TransientAnalysis<'a> {
-    /// Creates a transient analysis with the mandatory timestep and stop
-    /// time.
+    /// Creates a fixed-step transient analysis with the mandatory
+    /// timestep and stop time.
     pub fn new(circuit: &'a Circuit, dt: Second, t_stop: Second) -> Self {
         TransientAnalysis {
             circuit,
             temp: Celsius::ROOM,
-            dt,
+            stepping: Stepping::Fixed(dt),
             t_stop,
             integrator: Integrator::default(),
             options: NewtonOptions::default(),
             start_from: None,
+            rescue: RescuePolicy::default(),
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Creates an adaptive transient analysis with LTE-controlled step
+    /// sizing (defaults from [`AdaptiveOptions::for_duration`]).
+    pub fn adaptive(circuit: &'a Circuit, t_stop: Second) -> Self {
+        TransientAnalysis {
+            circuit,
+            temp: Celsius::ROOM,
+            stepping: Stepping::Adaptive(AdaptiveOptions::for_duration(t_stop)),
+            t_stop,
+            integrator: Integrator::default(),
+            options: NewtonOptions::default(),
+            start_from: None,
+            rescue: RescuePolicy::default(),
+            budget: Budget::unlimited(),
         }
     }
 
@@ -162,6 +348,29 @@ impl<'a> TransientAnalysis<'a> {
         self
     }
 
+    /// Switches to adaptive stepping with explicit controller options.
+    pub fn with_adaptive_options(mut self, opts: AdaptiveOptions) -> Self {
+        self.stepping = Stepping::Adaptive(opts);
+        self
+    }
+
+    /// Overrides the convergence-rescue policy used when an adaptive
+    /// step diverges at the `dt_min` floor ([`RescuePolicy::none`]
+    /// fails fast instead).
+    pub fn with_rescue(mut self, policy: RescuePolicy) -> Self {
+        self.rescue = policy;
+        self
+    }
+
+    /// Attaches a resource [`Budget`]: one step is charged per
+    /// attempted time step and every Newton iteration counts against
+    /// the pool, so a deadline or cancellation aborts mid-run with
+    /// [`SpiceError::BudgetExceeded`] / [`SpiceError::Cancelled`].
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Starts from a previously solved operating point instead of
     /// re-solving DC at `t = 0`.
     pub fn start_from(mut self, op: &'a OperatingPoint) -> Self {
@@ -177,6 +386,8 @@ impl<'a> TransientAnalysis<'a> {
     ///   time before the first step.
     /// * [`SpiceError::NoConvergence`] / [`SpiceError::SingularMatrix`]
     ///   from the per-step Newton solve.
+    /// * [`SpiceError::BudgetExceeded`] / [`SpiceError::Cancelled`]
+    ///   when an attached [`Budget`] runs out.
     pub fn run(&self) -> Result<TransientResult, SpiceError> {
         self.run_in(&mut Workspace::new())
     }
@@ -191,33 +402,26 @@ impl<'a> TransientAnalysis<'a> {
     ///
     /// Same as [`TransientAnalysis::run`].
     pub fn run_in(&self, ws: &mut Workspace) -> Result<TransientResult, SpiceError> {
-        if !(self.dt.value() > 0.0 && self.dt.value().is_finite()) {
-            return Err(SpiceError::InvalidValue {
-                name: "dt".to_string(),
-                value: self.dt.value(),
-                requirement: "a positive finite timestep",
-            });
+        match &self.stepping {
+            Stepping::Fixed(dt) => self.run_fixed(*dt, ws),
+            Stepping::Adaptive(opts) => self.run_adaptive(opts, ws),
         }
-        if self.t_stop.value() < self.dt.value() {
-            return Err(SpiceError::InvalidValue {
-                name: "t_stop".to_string(),
-                value: self.t_stop.value(),
-                requirement: "at least one timestep long",
-            });
-        }
-        let layout = Layout::of(self.circuit);
+    }
 
-        // Initial state: DC operating point at t = 0.
+    /// Solves the `t = 0` starting point and seeds capacitor companion
+    /// states from it (explicit initial conditions take precedence).
+    fn initial_state(
+        &self,
+        ws: &mut Workspace,
+    ) -> Result<(OperatingPoint, HashMap<usize, CapState>), SpiceError> {
         let initial = match self.start_from {
             Some(op) => op.clone(),
             None => crate::DcAnalysis::new(self.circuit)
                 .at(self.temp)
                 .with_options(self.options)
+                .with_budget(self.budget.clone())
                 .solve_in(ws)?,
         };
-
-        // Capacitor companion states seeded from the initial solution or
-        // explicit initial conditions.
         let mut cap_states: HashMap<usize, CapState> = HashMap::new();
         for (idx, e) in self.circuit.elements().iter().enumerate() {
             if let Element::Capacitor {
@@ -237,20 +441,43 @@ impl<'a> TransientAnalysis<'a> {
                 );
             }
         }
+        Ok((initial, cap_states))
+    }
 
-        // Breakpoint-aligned time grid.
-        let breakpoints = self.circuit.breakpoints();
-        let mut times = Vec::new();
-        let mut t = 0.0;
-        let dt = self.dt.value();
-        let t_stop = self.t_stop.value();
-        let mut bp_iter = breakpoints
+    /// Breakpoint instants strictly inside `(0, t_stop)`, ascending.
+    fn inner_breakpoints(&self, t_stop: f64) -> Vec<f64> {
+        self.circuit
+            .breakpoints()
             .iter()
             .map(|b| b.value())
             .filter(|&b| b > 1e-18 && b < t_stop)
-            .collect::<Vec<_>>()
-            .into_iter()
-            .peekable();
+            .collect()
+    }
+
+    fn run_fixed(&self, dt: Second, ws: &mut Workspace) -> Result<TransientResult, SpiceError> {
+        if !(dt.value() > 0.0 && dt.value().is_finite()) {
+            return Err(SpiceError::InvalidValue {
+                name: "dt".to_string(),
+                value: dt.value(),
+                requirement: "a positive finite timestep",
+            });
+        }
+        if self.t_stop.value() < dt.value() {
+            return Err(SpiceError::InvalidValue {
+                name: "t_stop".to_string(),
+                value: self.t_stop.value(),
+                requirement: "at least one timestep long",
+            });
+        }
+        let layout = Layout::of(self.circuit);
+        let (initial, mut cap_states) = self.initial_state(ws)?;
+
+        // Breakpoint-aligned time grid.
+        let mut times = Vec::new();
+        let mut t = 0.0;
+        let dt = dt.value();
+        let t_stop = self.t_stop.value();
+        let mut bp_iter = self.inner_breakpoints(t_stop).into_iter().peekable();
         while t < t_stop - 1e-18 {
             let mut next = t + dt;
             while let Some(&bp) = bp_iter.peek() {
@@ -273,37 +500,13 @@ impl<'a> TransientAnalysis<'a> {
         let mut x = initial.raw.clone();
         let trapezoidal = matches!(self.integrator, Integrator::Trapezoidal);
 
-        let mut samples_v: Vec<Vec<f64>> = Vec::with_capacity(times.len() + 1);
-        let mut sample_times: Vec<f64> = Vec::with_capacity(times.len() + 1);
-        let mut source_currents: HashMap<String, Vec<f64>> = HashMap::new();
-        let mut energy: HashMap<String, f64> = HashMap::new();
-        for (idx, e) in self.circuit.elements().iter().enumerate() {
-            if let Element::VoltageSource { name, .. } = e {
-                let _ = idx;
-                source_currents.insert(name.clone(), Vec::with_capacity(times.len() + 1));
-                energy.insert(name.clone(), 0.0);
-            }
-        }
-
-        let mut record = |t: f64, x: &[f64], sc: &mut HashMap<String, Vec<f64>>| {
-            sample_times.push(t);
-            let n = self.circuit.node_count();
-            let mut row = vec![0.0; n];
-            row[1..n].copy_from_slice(&x[..n - 1]);
-            samples_v.push(row);
-            for (idx, e) in self.circuit.elements().iter().enumerate() {
-                if let Element::VoltageSource { name, .. } = e {
-                    let r = layout.branch_of_element[&idx];
-                    if let Some(trace) = sc.get_mut(name) {
-                        trace.push(x[r]);
-                    }
-                }
-            }
-        };
-        record(0.0, &x, &mut source_currents);
+        let mut rec = Recording::new(self.circuit, times.len() + 1);
+        rec.record(&layout, 0.0, &x);
 
         let mut t_prev = 0.0;
         for &t_now in &times {
+            self.budget.check()?;
+            self.budget.charge_steps(1)?;
             let step = t_now - t_prev;
             let caps = CapMode::Companion {
                 dt: step,
@@ -319,54 +522,390 @@ impl<'a> TransientAnalysis<'a> {
                 &crate::mna::SolveSettings::NOMINAL,
                 &mut x,
                 &self.options,
+                &self.budget,
                 ws,
             )?;
-
-            // Update capacitor companion states.
-            for (idx, e) in self.circuit.elements().iter().enumerate() {
-                if let Element::Capacitor {
-                    a, b, capacitance, ..
-                } = e
-                {
-                    let va = layout.voltage(&x, *a);
-                    let vb = layout.voltage(&x, *b);
-                    let v_new = va - vb;
-                    if let Some(state) = cap_states.get_mut(&idx) {
-                        let c = capacitance.value();
-                        let i_new = if trapezoidal {
-                            2.0 * c / step * (v_new - state.v_prev) - state.i_prev
-                        } else {
-                            c / step * (v_new - state.v_prev)
-                        };
-                        state.v_prev = v_new;
-                        state.i_prev = i_new;
-                    }
-                }
-            }
-
-            // Energy accounting: E += v·(−i)·dt per voltage source, with
-            // the MNA branch current flowing pos→neg inside the source.
-            for (idx, e) in self.circuit.elements().iter().enumerate() {
-                if let Element::VoltageSource { name, waveform, .. } = e {
-                    let r = layout.branch_of_element[&idx];
-                    let v = waveform.at(Second(t_now)).value();
-                    let delivered = -v * x[r] * step;
-                    if let Some(e) = energy.get_mut(name) {
-                        *e += delivered;
-                    }
-                }
-            }
-
-            record(t_now, &x, &mut source_currents);
+            update_cap_states(
+                self.circuit,
+                &layout,
+                &x,
+                &mut cap_states,
+                step,
+                trapezoidal,
+            );
+            rec.accumulate_energy(&layout, t_now, &x, step);
+            rec.record(&layout, t_now, &x);
             t_prev = t_now;
         }
 
-        Ok(TransientResult {
-            times: sample_times,
-            voltages: samples_v,
+        let steps = StepReport {
+            accepted: times.len(),
+            rejected: 0,
+            rescued: 0,
+        };
+        Ok(rec.finish(steps))
+    }
+
+    fn run_adaptive(
+        &self,
+        opts: &AdaptiveOptions,
+        ws: &mut Workspace,
+    ) -> Result<TransientResult, SpiceError> {
+        let t_stop = self.t_stop.value();
+        if !(t_stop > 0.0 && t_stop.is_finite()) {
+            return Err(SpiceError::InvalidValue {
+                name: "t_stop".to_string(),
+                value: t_stop,
+                requirement: "a positive finite stop time",
+            });
+        }
+        opts.validate()?;
+
+        let layout = Layout::of(self.circuit);
+        let (initial, mut cap_states) = self.initial_state(ws)?;
+        let trapezoidal = matches!(self.integrator, Integrator::Trapezoidal);
+        // Step-doubling error constant: ‖x_full − x_half‖ ≈ (2^p − 1)·LTE
+        // with p = 1 for backward Euler, p = 2 for trapezoidal; the dt
+        // controller exponent is 1/(p + 1).
+        let denom = if trapezoidal { 3.0 } else { 1.0 };
+        let inv_order = if trapezoidal { 1.0 / 3.0 } else { 1.0 / 2.0 };
+        const FACTOR_MIN: f64 = 0.2;
+
+        let dt_min = opts.dt_min.value();
+        let dt_max = opts.dt_max.value().min(t_stop);
+        let mut dt = opts.dt_init.value().clamp(dt_min, dt_max);
+        let bps = self.inner_breakpoints(t_stop);
+        let mut bp_idx = 0usize;
+
+        let mut rec = Recording::new(self.circuit, 128);
+        let mut x = initial.raw.clone();
+        rec.record(&layout, 0.0, &x);
+
+        let mut x_full = x.clone();
+        let mut x_half = x.clone();
+        let mut states_half = cap_states.clone();
+        let mut report = StepReport::default();
+        let mut t = 0.0;
+
+        while t < t_stop - 1e-18 {
+            self.budget.check()?;
+            self.budget.charge_steps(1)?;
+
+            while bp_idx < bps.len() && bps[bp_idx] <= t + 1e-18 {
+                bp_idx += 1;
+            }
+            let mut target = t + dt;
+            let mut clipped = false;
+            if bp_idx < bps.len() && bps[bp_idx] < target {
+                target = bps[bp_idx];
+                clipped = true;
+            }
+            if target > t_stop {
+                target = t_stop;
+                clipped = true;
+            }
+            let h = target - t;
+            let at_floor = h <= dt_min * (1.0 + 1e-9);
+
+            let trial = attempt_step(
+                self.circuit,
+                &layout,
+                self.temp,
+                &self.options,
+                &self.budget,
+                trapezoidal,
+                t,
+                h,
+                &x,
+                &cap_states,
+                &mut x_full,
+                &mut x_half,
+                &mut states_half,
+                ws,
+            )?;
+
+            match trial {
+                StepTrial::Solved { max_diff } => {
+                    let lte = max_diff / denom;
+                    if lte <= opts.lte_tol || at_floor {
+                        // Accept the half-step solution (the more
+                        // accurate of the two trials); at the floor an
+                        // out-of-tolerance step is accepted anyway so
+                        // the run can never livelock.
+                        std::mem::swap(&mut x, &mut x_half);
+                        std::mem::swap(&mut cap_states, &mut states_half);
+                        rec.accumulate_energy(&layout, target, &x, h);
+                        rec.record(&layout, target, &x);
+                        t = target;
+                        report.accepted += 1;
+                        let factor = if lte > 0.0 {
+                            (opts.safety * (opts.lte_tol / lte).powf(inv_order))
+                                .clamp(FACTOR_MIN, opts.max_growth)
+                        } else {
+                            opts.max_growth
+                        };
+                        let proposed = h * factor;
+                        // A breakpoint-clipped easy step says nothing
+                        // about the full cruising dt — keep it.
+                        dt = if clipped && proposed >= h {
+                            dt
+                        } else {
+                            proposed
+                        }
+                        .clamp(dt_min, dt_max);
+                    } else {
+                        report.rejected += 1;
+                        dt = (0.5 * h).max(dt_min);
+                    }
+                }
+                StepTrial::Diverged(err) => {
+                    if !at_floor {
+                        report.rejected += 1;
+                        dt = (0.5 * h).max(dt_min);
+                    } else if self.rescue.is_enabled() {
+                        // Last resort at the floor: the full rescue
+                        // ladder on the single full-size step.
+                        x_full.copy_from_slice(&x);
+                        let caps = CapMode::Companion {
+                            dt: h,
+                            states: &cap_states,
+                            trapezoidal,
+                        };
+                        rescue_solve(
+                            self.circuit,
+                            &layout,
+                            Second(target),
+                            self.temp,
+                            caps,
+                            &mut x_full,
+                            &x,
+                            &self.options,
+                            &self.rescue,
+                            &self.budget,
+                            ws,
+                            err,
+                        )?;
+                        update_cap_states(
+                            self.circuit,
+                            &layout,
+                            &x_full,
+                            &mut cap_states,
+                            h,
+                            trapezoidal,
+                        );
+                        std::mem::swap(&mut x, &mut x_full);
+                        rec.accumulate_energy(&layout, target, &x, h);
+                        rec.record(&layout, target, &x);
+                        t = target;
+                        report.accepted += 1;
+                        report.rescued += 1;
+                        dt = dt_min;
+                    } else {
+                        return Err(err);
+                    }
+                }
+            }
+        }
+
+        Ok(rec.finish(report))
+    }
+}
+
+/// Outcome of one adaptive trial step.
+enum StepTrial {
+    /// All three solves converged; `max_diff` is the largest
+    /// node-voltage difference between the full-step and half-step
+    /// solutions.
+    Solved { max_diff: f64 },
+    /// A solve failed with a rescuable error (kept for the floor-level
+    /// escalation path).
+    Diverged(SpiceError),
+}
+
+/// Solves one candidate step of size `h` from `(t, x_prev, cap_states)`
+/// twice: once whole into `x_full`, once as two half steps into
+/// `x_half`/`states_half`. Non-rescuable errors (budget, cancellation)
+/// propagate immediately.
+#[allow(clippy::too_many_arguments)]
+fn attempt_step(
+    circuit: &Circuit,
+    layout: &Layout,
+    temp: Celsius,
+    options: &NewtonOptions,
+    budget: &Budget,
+    trapezoidal: bool,
+    t: f64,
+    h: f64,
+    x_prev: &[f64],
+    cap_states: &HashMap<usize, CapState>,
+    x_full: &mut [f64],
+    x_half: &mut [f64],
+    states_half: &mut HashMap<usize, CapState>,
+    ws: &mut Workspace,
+) -> Result<StepTrial, SpiceError> {
+    x_full.copy_from_slice(x_prev);
+    let caps = CapMode::Companion {
+        dt: h,
+        states: cap_states,
+        trapezoidal,
+    };
+    if let Err(e) = newton_solve_in(
+        circuit,
+        layout,
+        Second(t + h),
+        temp,
+        caps,
+        &crate::mna::SolveSettings::NOMINAL,
+        x_full,
+        options,
+        budget,
+        ws,
+    ) {
+        return if is_rescuable(&e) {
+            Ok(StepTrial::Diverged(e))
+        } else {
+            Err(e)
+        };
+    }
+
+    x_half.copy_from_slice(x_prev);
+    states_half.clone_from(cap_states);
+    let hh = 0.5 * h;
+    for k in 0..2 {
+        let t_sub = if k == 0 { t + hh } else { t + h };
+        let caps = CapMode::Companion {
+            dt: hh,
+            states: states_half,
+            trapezoidal,
+        };
+        if let Err(e) = newton_solve_in(
+            circuit,
+            layout,
+            Second(t_sub),
+            temp,
+            caps,
+            &crate::mna::SolveSettings::NOMINAL,
+            x_half,
+            options,
+            budget,
+            ws,
+        ) {
+            return if is_rescuable(&e) {
+                Ok(StepTrial::Diverged(e))
+            } else {
+                Err(e)
+            };
+        }
+        update_cap_states(circuit, layout, x_half, states_half, hh, trapezoidal);
+    }
+
+    let mut max_diff = 0.0f64;
+    for i in 0..layout.n_nodes {
+        max_diff = max_diff.max((x_full[i] - x_half[i]).abs());
+    }
+    Ok(StepTrial::Solved { max_diff })
+}
+
+/// Advances every capacitor companion state to the solution `x` reached
+/// with step size `step`.
+fn update_cap_states(
+    circuit: &Circuit,
+    layout: &Layout,
+    x: &[f64],
+    states: &mut HashMap<usize, CapState>,
+    step: f64,
+    trapezoidal: bool,
+) {
+    for (idx, e) in circuit.elements().iter().enumerate() {
+        if let Element::Capacitor {
+            a, b, capacitance, ..
+        } = e
+        {
+            let va = layout.voltage(x, *a);
+            let vb = layout.voltage(x, *b);
+            let v_new = va - vb;
+            if let Some(state) = states.get_mut(&idx) {
+                let c = capacitance.value();
+                let i_new = if trapezoidal {
+                    2.0 * c / step * (v_new - state.v_prev) - state.i_prev
+                } else {
+                    c / step * (v_new - state.v_prev)
+                };
+                state.v_prev = v_new;
+                state.i_prev = i_new;
+            }
+        }
+    }
+}
+
+/// Sampled-waveform and energy accumulation shared by both stepping
+/// modes.
+struct Recording<'c> {
+    circuit: &'c Circuit,
+    sample_times: Vec<f64>,
+    samples_v: Vec<Vec<f64>>,
+    source_currents: HashMap<String, Vec<f64>>,
+    energy: HashMap<String, f64>,
+}
+
+impl<'c> Recording<'c> {
+    fn new(circuit: &'c Circuit, capacity: usize) -> Recording<'c> {
+        let mut source_currents = HashMap::new();
+        let mut energy = HashMap::new();
+        for e in circuit.elements() {
+            if let Element::VoltageSource { name, .. } = e {
+                source_currents.insert(name.clone(), Vec::with_capacity(capacity));
+                energy.insert(name.clone(), 0.0);
+            }
+        }
+        Recording {
+            circuit,
+            sample_times: Vec::with_capacity(capacity),
+            samples_v: Vec::with_capacity(capacity),
             source_currents,
             energy,
-        })
+        }
+    }
+
+    fn record(&mut self, layout: &Layout, t: f64, x: &[f64]) {
+        self.sample_times.push(t);
+        let n = self.circuit.node_count();
+        let mut row = vec![0.0; n];
+        row[1..n].copy_from_slice(&x[..n - 1]);
+        self.samples_v.push(row);
+        for (idx, e) in self.circuit.elements().iter().enumerate() {
+            if let Element::VoltageSource { name, .. } = e {
+                let r = layout.branch_of_element[&idx];
+                if let Some(trace) = self.source_currents.get_mut(name) {
+                    trace.push(x[r]);
+                }
+            }
+        }
+    }
+
+    /// Energy accounting: E += v·(−i)·dt per voltage source, with the
+    /// MNA branch current flowing pos→neg inside the source.
+    fn accumulate_energy(&mut self, layout: &Layout, t: f64, x: &[f64], step: f64) {
+        for (idx, e) in self.circuit.elements().iter().enumerate() {
+            if let Element::VoltageSource { name, waveform, .. } = e {
+                let r = layout.branch_of_element[&idx];
+                let v = waveform.at(Second(t)).value();
+                let delivered = -v * x[r] * step;
+                if let Some(e) = self.energy.get_mut(name) {
+                    *e += delivered;
+                }
+            }
+        }
+    }
+
+    fn finish(self, steps: StepReport) -> TransientResult {
+        TransientResult {
+            times: self.sample_times,
+            voltages: self.samples_v,
+            source_currents: self.source_currents,
+            energy: self.energy,
+            steps,
+        }
     }
 }
 
@@ -377,8 +916,7 @@ mod tests {
     use crate::Waveform;
     use ferrocim_units::{Farad, Ohm};
 
-    #[test]
-    fn rc_charging_matches_analytic() {
+    fn rc_circuit() -> Circuit {
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
         let out = ckt.node("out");
@@ -399,6 +937,13 @@ mod tests {
             initial: Some(Volt(0.0)),
         })
         .unwrap();
+        ckt
+    }
+
+    #[test]
+    fn rc_charging_matches_analytic() {
+        let ckt = rc_circuit();
+        let out = ckt.find_node("out").unwrap();
         // τ = 1 ns; simulate 5 τ with 1000 steps.
         let res = TransientAnalysis::new(&ckt, Second(5e-12), Second(5e-9))
             .run()
@@ -422,6 +967,127 @@ mod tests {
             .unwrap();
         let expected_tau = 1.0 - (-1.0f64).exp();
         assert!((v_tau.value() - expected_tau).abs() < 0.02);
+        let report = res.step_report();
+        assert_eq!(report.accepted, res.len() - 1);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.rescued, 0);
+    }
+
+    #[test]
+    fn adaptive_rc_matches_analytic_with_fewer_steps() {
+        let ckt = rc_circuit();
+        let out = ckt.find_node("out").unwrap();
+        let adaptive = TransientAnalysis::adaptive(&ckt, Second(5e-9))
+            .run()
+            .unwrap();
+        let report = adaptive.step_report();
+        assert!(report.accepted > 0);
+        // Endpoint against the analytic exponential.
+        let v_end = adaptive.final_voltage(out).value();
+        let expected = 1.0 - (-5.0f64).exp();
+        assert!(
+            (v_end - expected).abs() < 5e-3,
+            "v_end {v_end} vs {expected}"
+        );
+        // Far fewer steps than the fine fixed-step reference.
+        let fixed = TransientAnalysis::new(&ckt, Second(5e-13), Second(5e-9))
+            .run()
+            .unwrap();
+        assert!(
+            report.attempted() < fixed.len() / 4,
+            "adaptive attempted {} vs fixed {}",
+            report.attempted(),
+            fixed.len()
+        );
+    }
+
+    #[test]
+    fn adaptive_grows_steps_on_easy_stretches() {
+        let ckt = rc_circuit();
+        let res = TransientAnalysis::adaptive(&ckt, Second(5e-9))
+            .run()
+            .unwrap();
+        let times = res.times();
+        let first = times[1].value() - times[0].value();
+        let mut largest = 0.0f64;
+        for w in times.windows(2) {
+            largest = largest.max(w[1].value() - w[0].value());
+        }
+        assert!(
+            largest > 4.0 * first,
+            "steps never grew: first {first}, largest {largest}"
+        );
+    }
+
+    #[test]
+    fn adaptive_respects_breakpoints() {
+        // A 10 ps pulse must still be resolved by the adaptive grid.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add(Element::vsource(
+            "V1",
+            a,
+            NodeId::GROUND,
+            Waveform::Pulse {
+                v0: Volt(0.0),
+                v1: Volt(1.0),
+                delay: Second(0.5e-9),
+                rise: Second(1e-12),
+                width: Second(10e-12),
+                fall: Second(1e-12),
+            },
+        ))
+        .unwrap();
+        ckt.add(Element::resistor("R1", a, NodeId::GROUND, Ohm(1e3)))
+            .unwrap();
+        let res = TransientAnalysis::adaptive(&ckt, Second(3e-9))
+            .run()
+            .unwrap();
+        let peak = res
+            .trace(a)
+            .iter()
+            .map(|(_, v)| v.value())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(peak > 0.99, "pulse peak missed: {peak}");
+    }
+
+    #[test]
+    fn adaptive_trapezoidal_matches_analytic() {
+        let ckt = rc_circuit();
+        let out = ckt.find_node("out").unwrap();
+        let res = TransientAnalysis::adaptive(&ckt, Second(5e-9))
+            .with_integrator(Integrator::Trapezoidal)
+            .run()
+            .unwrap();
+        let v_end = res.final_voltage(out).value();
+        let expected = 1.0 - (-5.0f64).exp();
+        assert!((v_end - expected).abs() < 5e-3, "v_end {v_end}");
+    }
+
+    #[test]
+    fn adaptive_rejects_bad_options() {
+        let ckt = rc_circuit();
+        let bad = AdaptiveOptions {
+            lte_tol: -1.0,
+            ..AdaptiveOptions::for_duration(Second(1e-9))
+        };
+        assert!(matches!(
+            TransientAnalysis::adaptive(&ckt, Second(1e-9))
+                .with_adaptive_options(bad)
+                .run(),
+            Err(SpiceError::InvalidValue { .. })
+        ));
+        let bad = AdaptiveOptions {
+            dt_min: Second(1e-9),
+            dt_max: Second(1e-12),
+            ..AdaptiveOptions::for_duration(Second(1e-9))
+        };
+        assert!(matches!(
+            TransientAnalysis::adaptive(&ckt, Second(1e-9))
+                .with_adaptive_options(bad)
+                .run(),
+            Err(SpiceError::InvalidValue { .. })
+        ));
     }
 
     #[test]
@@ -496,6 +1162,43 @@ mod tests {
         ))
         .unwrap();
         let res = TransientAnalysis::new(&ckt, Second(1e-12), Second(3e-9))
+            .run()
+            .unwrap();
+        let va = res.final_voltage(a).value();
+        let vb = res.final_voltage(b).value();
+        assert!((va - 0.5).abs() < 0.01, "va {va}");
+        assert!((vb - 0.5).abs() < 0.01, "vb {vb}");
+    }
+
+    #[test]
+    fn adaptive_charge_sharing_settles_correctly() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add(Element::Capacitor {
+            name: "C1".into(),
+            a,
+            b: NodeId::GROUND,
+            capacitance: Farad(1e-15),
+            initial: Some(Volt(1.0)),
+        })
+        .unwrap();
+        ckt.add(Element::Capacitor {
+            name: "C2".into(),
+            a: b,
+            b: NodeId::GROUND,
+            capacitance: Farad(1e-15),
+            initial: Some(Volt(0.0)),
+        })
+        .unwrap();
+        ckt.add(Element::switch(
+            "S1",
+            a,
+            b,
+            SwitchSchedule::open().then_at(Second(1e-9), true),
+        ))
+        .unwrap();
+        let res = TransientAnalysis::adaptive(&ckt, Second(3e-9))
             .run()
             .unwrap();
         let va = res.final_voltage(a).value();

@@ -10,8 +10,8 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> clippy (no unwrap/expect in spice+cim lib code)"
-cargo clippy --offline --no-deps -p ferrocim-spice -p ferrocim-cim --lib -- \
+echo "==> clippy (no unwrap/expect in device+spice+cim lib code)"
+cargo clippy --offline --no-deps -p ferrocim-device -p ferrocim-spice -p ferrocim-cim --lib -- \
   -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 echo "==> tier-1: cargo build --release && cargo test -q"
