@@ -142,6 +142,7 @@ struct AblationResult {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = ferrocim_bench::Trace::from_args()?;
     println!("# Ablation — the value of the M2 feedback connection\n");
     println!(
         "The feedback acts through the output trajectory (M2's gate rides\n\
@@ -158,8 +159,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         inner: closed_cell.clone(),
     };
     let config = ArrayConfig::paper_default();
-    let closed = RangeTable::measure(&CimArray::new(closed_cell, config)?, &temps)?;
-    let open = RangeTable::measure(&CimArray::new(open_cell, config)?, &temps)?;
+    let closed = RangeTable::measure(
+        &CimArray::new(closed_cell, config)?.with_recorder(trace.telemetry()),
+        &temps,
+    )?;
+    let open = RangeTable::measure(
+        &CimArray::new(open_cell, config)?.with_recorder(trace.telemetry()),
+        &temps,
+    )?;
     let (ci, cn) = closed.nmr_min();
     let (oi, on) = open.nmr_min();
     print_table(
@@ -197,5 +204,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let path = dump_json("ablation_feedback", &results)?;
     println!("wrote {}", path.display());
+    trace.finish()?;
     Ok(())
 }

@@ -17,11 +17,13 @@ struct LevelRange {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = ferrocim_bench::Trace::from_args()?;
     println!("# Ablation — 2-bit-per-cell weights on the proposed array\n");
     let array = CimArray::new(
         TwoTransistorOneFefet::paper_default(),
         ArrayConfig::paper_default(),
-    )?;
+    )?
+    .with_recorder(trace.telemetry());
     let n = array.config().cells_per_row;
     let offsets = vec![CellOffsets::NOMINAL; n];
     let inputs = vec![true; n];
@@ -117,5 +119,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let all = (ranges, packed_ranges);
     let path = dump_json("ablation_multilevel", &all)?;
     println!("wrote {}", path.display());
+    trace.finish()?;
     Ok(())
 }

@@ -22,18 +22,20 @@ struct Row {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = ferrocim_bench::Trace::from_args()?;
     println!("# Ablation — write-verify programming (paper ref [9]) vs raw writes\n");
     let array = CimArray::new(
         TwoTransistorOneFefet::paper_default(),
         ArrayConfig::paper_default(),
-    )?;
+    )?
+    .with_recorder(trace.telemetry());
     let adc = Adc::calibrate(&array, Celsius(27.0))?;
     let variation = VariationModel::paper_default();
     let n = array.config().cells_per_row;
     let runs = 60;
     let mut rows = Vec::new();
     for verify in [false, true] {
-        let mc = MonteCarlo::new(runs, 0xA11CE);
+        let mc = MonteCarlo::new(runs, 0xA11CE).with_recorder(trace.telemetry());
         let samples: Vec<Result<(usize, f64, f64), ferrocim_cim::CimError>> = mc.run(|_, rng| {
             let mut sampler = GaussianSampler::new();
             let mut worst = 0usize;
@@ -120,5 +122,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let path = dump_json("ablation_write_verify", &rows)?;
     println!("\nwrote {}", path.display());
+    trace.finish()?;
     Ok(())
 }

@@ -8,6 +8,7 @@ use ferrocim_spice::sweep::temperature_sweep;
 use ferrocim_units::Celsius;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = ferrocim_bench::Trace::from_args()?;
     let budget: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -35,5 +36,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (ratio - 1.0) * 100.0
         );
     }
+    trace.finish()?;
     Ok(())
 }

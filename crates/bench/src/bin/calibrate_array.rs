@@ -8,6 +8,7 @@ use ferrocim_device::variation::VariationModel;
 use ferrocim_spice::sweep::{temperature_sweep, warm_temperature_sweep};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = ferrocim_bench::Trace::from_args()?;
     let budget: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -20,7 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {:>14} = {v:.4}", p.name);
     }
     // Validate on a fine grid, full and warm ranges.
-    let array = CimArray::new(problem.cell_for(&outcome.best), problem.config)?;
+    let array = CimArray::new(problem.cell_for(&outcome.best), problem.config)?
+        .with_recorder(trace.telemetry());
     let full = RangeTable::measure(&array, &temperature_sweep(18))?;
     let warm = RangeTable::measure(&array, &warm_temperature_sweep(14))?;
     let robust = RangeTable::measure_with_variation(
@@ -49,5 +51,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.hi.value() * 1e3
         );
     }
+    trace.finish()?;
     Ok(())
 }

@@ -20,6 +20,7 @@ struct Curve {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = ferrocim_bench::Trace::from_args()?;
     let temps = [Celsius(0.0), Celsius(27.0), Celsius(85.0)];
     let vds = Volt(0.15);
     let mut curves = Vec::new();
@@ -76,5 +77,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let path = dump_json("fig1_fefet_iv", &curves)?;
     println!("\nwrote {}", path.display());
+    trace.finish()?;
     Ok(())
 }

@@ -24,6 +24,7 @@ struct RegionResult {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = ferrocim_bench::Trace::from_args()?;
     let reference = Celsius(27.0);
     let temps = temperature_sweep(18);
     let mut results = Vec::new();
@@ -81,5 +82,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let path = dump_json("fig3_cell_fluctuation", &results)?;
     println!("\nwrote {}", path.display());
+    trace.finish()?;
     Ok(())
 }

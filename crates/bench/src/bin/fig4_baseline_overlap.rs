@@ -18,8 +18,10 @@ struct Output {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = ferrocim_bench::Trace::from_args()?;
     println!("# Fig. 4 — subthreshold 1FeFET-1R array output ranges, 0-85 C\n");
-    let array = CimArray::new(OneFefetOneR::subthreshold(), ArrayConfig::paper_default())?;
+    let array = CimArray::new(OneFefetOneR::subthreshold(), ArrayConfig::paper_default())?
+        .with_recorder(trace.telemetry());
     let table = RangeTable::measure(&array, &temperature_sweep(18))?;
     let rows: Vec<Vec<String>> = table
         .ranges()
@@ -61,5 +63,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let path = dump_json("fig4_baseline_overlap", &out)?;
     println!("wrote {}", path.display());
+    trace.finish()?;
     Ok(())
 }

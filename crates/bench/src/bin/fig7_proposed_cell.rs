@@ -38,6 +38,7 @@ fn measure<C: CellDesign>(cell: &C) -> Result<CellResult, ferrocim_cim::CimError
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = ferrocim_bench::Trace::from_args()?;
     println!("# Fig. 7 — 2T-1FeFET cell temperature resilience\n");
     let proposed = measure(&TwoTransistorOneFefet::paper_default())?;
     let sat = measure(&OneFefetOneR::saturation())?;
@@ -93,5 +94,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let results = [proposed, sat, sub, cascode];
     let path = dump_json("fig7_proposed_cell", &results)?;
     println!("\nwrote {}", path.display());
+    trace.finish()?;
     Ok(())
 }

@@ -26,11 +26,13 @@ struct Output {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = ferrocim_bench::Trace::from_args()?;
     println!("# Fig. 8 — proposed 2T-1FeFET 8-cell array\n");
     let array = CimArray::new(
         TwoTransistorOneFefet::paper_default(),
         ArrayConfig::paper_default(),
-    )?;
+    )?
+    .with_recorder(trace.telemetry());
     let full = RangeTable::measure(&array, &temperature_sweep(18))?;
     let warm = RangeTable::measure(&array, &warm_temperature_sweep(14))?;
 
@@ -100,5 +102,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let path = dump_json("fig8_proposed_array", &out)?;
     println!("\nwrote {}", path.display());
+    trace.finish()?;
     Ok(())
 }

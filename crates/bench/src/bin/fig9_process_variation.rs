@@ -19,12 +19,16 @@ struct Output {
     confusion: Vec<Vec<f64>>,
 }
 
-fn run(cells: usize) -> Result<Output, Box<dyn std::error::Error>> {
+fn run(
+    cells: usize,
+    tele: &ferrocim_telemetry::Telemetry,
+) -> Result<Output, Box<dyn std::error::Error>> {
     let config = ArrayConfig {
         cells_per_row: cells,
         ..ArrayConfig::paper_default()
     };
-    let array = CimArray::new(TwoTransistorOneFefet::paper_default(), config)?;
+    let array =
+        CimArray::new(TwoTransistorOneFefet::paper_default(), config)?.with_recorder(tele.clone());
     let model = TransferModel::measure(&array, &TransferConfig::paper_default(Celsius(27.0)))?;
     Ok(Output {
         cells_per_row: cells,
@@ -35,10 +39,11 @@ fn run(cells: usize) -> Result<Output, Box<dyn std::error::Error>> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = ferrocim_bench::Trace::from_args()?;
     println!("# Fig. 9 — Monte-Carlo process variation (sigma_VT = 54 mV, 27 C)\n");
     let mut outputs = Vec::new();
     for cells in [8usize, 4] {
-        let out = run(cells)?;
+        let out = run(cells, &trace.telemetry())?;
         println!("## {cells} cells per row");
         let histogram: Vec<(f64, f64)> = out
             .correct_probability
@@ -80,5 +85,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n(6T SRAM CIM reference from the paper: up to 50 % error)");
     let path = dump_json("fig9_process_variation", &outputs)?;
     println!("wrote {}", path.display());
+    trace.finish()?;
     Ok(())
 }

@@ -82,6 +82,7 @@ fn stats_row(label: &str, s: &PathStats) -> Vec<String> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = ferrocim_bench::Trace::from_args()?;
     println!("# Probe — adaptive vs. fixed stepping on the MAC readout\n");
     let config = ArrayConfig::paper_default();
     let array = CimArray::new(TwoTransistorOneFefet::paper_default(), config)?;
@@ -92,9 +93,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (ckt, acc, t_stop): (Circuit, NodeId, Second) = array.readout_circuit(&weights, &inputs)?;
 
     let opts = AdaptiveOptions::for_duration(t_stop);
-    let (fixed, v_fixed) = time_run(|| TransientAnalysis::new(&ckt, config.dt, t_stop), acc)?;
+    let (fixed, v_fixed) = time_run(
+        || TransientAnalysis::new(&ckt, config.dt, t_stop).with_recorder(trace.telemetry()),
+        acc,
+    )?;
     let (adaptive, v_adaptive) = time_run(
-        || TransientAnalysis::adaptive(&ckt, t_stop).with_adaptive_options(opts),
+        || {
+            TransientAnalysis::adaptive(&ckt, t_stop)
+                .with_adaptive_options(opts)
+                .with_recorder(trace.telemetry())
+        },
         acc,
     )?;
 
@@ -132,5 +140,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let path = dump_json("probe_adaptive", &out)?;
     println!("\nwrote {}", path.display());
+    trace.finish()?;
     Ok(())
 }

@@ -8,8 +8,10 @@ use ferrocim_spice::sweep::temperature_sweep;
 use ferrocim_units::Celsius;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = ferrocim_bench::Trace::from_args()?;
     let config = ArrayConfig::paper_default();
-    let proposed = CimArray::new(TwoTransistorOneFefet::paper_default(), config)?;
+    let proposed = CimArray::new(TwoTransistorOneFefet::paper_default(), config)?
+        .with_recorder(trace.telemetry());
     let report = EnergyReport::measure(&proposed, Celsius(27.0))?;
     println!("proposed 2T-1FeFET array:");
     println!("  average energy/MAC = {}", report.average);
@@ -25,7 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         table.has_overlap()
     );
 
-    let baseline = CimArray::new(OneFefetOneR::subthreshold(), config)?;
+    let baseline =
+        CimArray::new(OneFefetOneR::subthreshold(), config)?.with_recorder(trace.telemetry());
     let table_b = RangeTable::measure(&baseline, &temps)?;
     let (ib, nmrb) = table_b.nmr_min();
     println!("baseline subthreshold 1FeFET-1R array:");
@@ -41,5 +44,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.hi.value() * 1e3
         );
     }
+    trace.finish()?;
     Ok(())
 }

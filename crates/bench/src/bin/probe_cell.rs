@@ -8,6 +8,7 @@ use ferrocim_spice::sweep::temperature_sweep;
 use ferrocim_units::Celsius;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = ferrocim_bench::Trace::from_args()?;
     if std::env::args().any(|a| a == "--r-sweep") {
         // Sweep the 1FeFET-1R series resistance: saturation-read and
         // subthreshold-read worst-case fluctuation vs R.
@@ -63,5 +64,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (t, r) in normalized_current_curve(&cell, &temperature_sweep(18), room)? {
         println!("  {:5.1} C : {:+.1} %", t.value(), (r - 1.0) * 100.0);
     }
+    trace.finish()?;
     Ok(())
 }

@@ -39,9 +39,11 @@ fn empirical_nmr_min(ranges: &[Option<(f64, f64)>]) -> Option<f64> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = ferrocim_bench::Trace::from_args()?;
     let config = ArrayConfig::paper_default();
     let cols = config.cells_per_row;
-    let array = CimArray::new(TwoTransistorOneFefet::paper_default(), config)?;
+    let array = CimArray::new(TwoTransistorOneFefet::paper_default(), config)?
+        .with_recorder(trace.telemetry());
     let mut xbar = Crossbar::new(array, ROWS)?;
 
     // Deterministic weights and inputs, independent of the fault plan.
@@ -105,5 +107,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             abs_err as f64 / reads as f64,
         );
     }
+    trace.finish()?;
     Ok(())
 }

@@ -7,13 +7,14 @@ use ferrocim_cim::{ArrayConfig, CimArray};
 use ferrocim_nn::cim_exec::{CimMapping, CimNetwork, IdealMac};
 use ferrocim_nn::data::Generator;
 use ferrocim_nn::vgg::vgg_nano;
-use ferrocim_nn::{train, TrainConfig};
+use ferrocim_nn::{try_train_recorded, TrainConfig};
 use ferrocim_units::Celsius;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = ferrocim_bench::Trace::from_args()?;
     let n_train: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -30,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut net = vgg_nano(&mut rng);
     println!("params: {}", net.parameter_count());
     let t0 = Instant::now();
-    let stats = train(
+    let stats = try_train_recorded(
         &mut net,
         &train_set.images,
         &train_set.labels,
@@ -39,7 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             learning_rate: 0.01,
             ..TrainConfig::default()
         },
-    );
+        &trace.telemetry(),
+    )?;
     println!("trained in {:.1}s", t0.elapsed().as_secs_f64());
     for s in &stats {
         println!(
@@ -50,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clean = net.accuracy(&test_set.images, &test_set.labels);
     println!("clean test accuracy: {clean:.4}");
 
-    let cim = CimNetwork::map(&net, CimMapping::default());
+    let cim = CimNetwork::map(&net, CimMapping::default()).with_recorder(trace.telemetry());
     let t1 = Instant::now();
     let ideal = cim.accuracy(&test_set.images, &test_set.labels, &IdealMac(8), 11);
     println!(
@@ -61,7 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let array = CimArray::new(
         TwoTransistorOneFefet::paper_default(),
         ArrayConfig::paper_default(),
-    )?;
+    )?
+    .with_recorder(trace.telemetry());
     for temp in [0.0, 27.0, 85.0] {
         let t2 = Instant::now();
         let model = TransferModel::measure(&array, &TransferConfig::paper_default(Celsius(temp)))?;
@@ -83,5 +86,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             t3.elapsed().as_secs_f64()
         );
     }
+    trace.finish()?;
     Ok(())
 }

@@ -17,6 +17,7 @@ struct Row {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = ferrocim_bench::Trace::from_args()?;
     let mut rng = StdRng::seed_from_u64(0);
     println!("# Table I — VGG structure (from the live model)\n");
     let paper_net = vgg_paper(&mut rng);
@@ -67,5 +68,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let path = dump_json("table1_vgg_structure", &json)?;
     println!("\nwrote {}", path.display());
+    trace.finish()?;
     Ok(())
 }

@@ -12,7 +12,7 @@ use ferrocim_cim::{ArrayConfig, CimArray};
 use ferrocim_nn::cim_exec::{CimMapping, CimNetwork};
 use ferrocim_nn::data::Generator;
 use ferrocim_nn::vgg::vgg_nano;
-use ferrocim_nn::{train, TrainConfig};
+use ferrocim_nn::{try_train_recorded, Telemetry, TrainConfig};
 use ferrocim_units::Celsius;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,13 +25,13 @@ fn energy_cell(e: &EnergyFigure) -> String {
     }
 }
 
-fn measure_accuracy() -> Result<f64, Box<dyn std::error::Error>> {
+fn measure_accuracy(tele: &Telemetry) -> Result<f64, Box<dyn std::error::Error>> {
     eprintln!("training VGG-nano on the synthetic dataset (noise-aware)...");
     let train_set = Generator::new(1).generate(1500);
     let test_set = Generator::new(999).generate(400);
     let mut rng = StdRng::seed_from_u64(7);
     let mut net = vgg_nano(&mut rng);
-    let stats = train(
+    let stats = try_train_recorded(
         &mut net,
         &train_set.images,
         &train_set.labels,
@@ -40,7 +40,8 @@ fn measure_accuracy() -> Result<f64, Box<dyn std::error::Error>> {
             learning_rate: 0.01,
             ..TrainConfig::default()
         },
-    );
+        tele,
+    )?;
     eprintln!(
         "clean train accuracy after {} epochs: {:.3}",
         stats.len(),
@@ -51,8 +52,9 @@ fn measure_accuracy() -> Result<f64, Box<dyn std::error::Error>> {
     let array = CimArray::new(
         TwoTransistorOneFefet::paper_default(),
         ArrayConfig::paper_default(),
-    )?;
-    let cim = CimNetwork::map(&net, CimMapping::default());
+    )?
+    .with_recorder(tele.clone());
+    let cim = CimNetwork::map(&net, CimMapping::default()).with_recorder(tele.clone());
     // The paper's headline number is at nominal conditions; the
     // temperature corners demonstrate the resilience claim.
     let mut acc_27 = 0.0;
@@ -69,9 +71,10 @@ fn measure_accuracy() -> Result<f64, Box<dyn std::error::Error>> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = ferrocim_bench::Trace::from_args()?;
     let with_accuracy = std::env::args().any(|a| a == "--accuracy");
     let accuracy = if with_accuracy {
-        Some(measure_accuracy()?)
+        Some(measure_accuracy(&trace.telemetry())?)
     } else {
         None
     };
@@ -121,5 +124,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let path = dump_json("table2_summary", &rows)?;
     println!("\nwrote {}", path.display());
+    trace.finish()?;
     Ok(())
 }

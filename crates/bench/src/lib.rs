@@ -8,9 +8,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use ferrocim_telemetry::{Event, JsonlSink, Telemetry};
 use serde::Serialize;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Prints an aligned console table.
 ///
@@ -98,6 +100,113 @@ pub fn dump_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf
     Ok(path)
 }
 
+/// Optional JSONL trace capture shared by every experiment binary.
+///
+/// `--trace <path>` (or `--trace=<path>`) on the command line opens a
+/// [`JsonlSink`] there: the first recorded event is an
+/// [`Event::Manifest`] naming the binary and its argument list, and the
+/// run's telemetry streams after it. Without the flag the handle is
+/// off, so the instrumentation sites the binaries thread it into cost
+/// nothing.
+#[derive(Debug)]
+pub struct Trace {
+    sink: Option<Arc<JsonlSink>>,
+    telemetry: Telemetry,
+}
+
+impl Trace {
+    /// Builds the trace from the process arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from opening the sink, and `InvalidInput`
+    /// when `--trace` is given without a path.
+    pub fn from_args() -> std::io::Result<Trace> {
+        let args: Vec<String> = std::env::args().collect();
+        Trace::from_arg_list(&args)
+    }
+
+    /// [`Trace::from_args`] over an explicit argument list (with
+    /// `argv[0]` first), split out so tests can drive it.
+    ///
+    /// # Errors
+    ///
+    /// See [`Trace::from_args`].
+    pub fn from_arg_list(args: &[String]) -> std::io::Result<Trace> {
+        let Some(path) = parse_trace_path(args)? else {
+            return Ok(Trace {
+                sink: None,
+                telemetry: Telemetry::off(),
+            });
+        };
+        let sink = Arc::new(JsonlSink::create(path)?);
+        let telemetry = Telemetry::new(sink.clone());
+        let bin = args
+            .first()
+            .map(|arg0| {
+                std::path::Path::new(arg0)
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| arg0.clone())
+            })
+            .unwrap_or_default();
+        telemetry.record(&Event::Manifest {
+            bin,
+            args: args.iter().skip(1).cloned().collect(),
+        });
+        Ok(Trace {
+            sink: Some(sink),
+            telemetry,
+        })
+    }
+
+    /// The handle to thread into simulation builders (`with_recorder`)
+    /// and recorded entry points. Off when `--trace` was not given.
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
+    }
+
+    /// Whether a trace file is being written.
+    pub fn is_on(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Flushes and atomically publishes the trace file, printing where
+    /// it landed. A no-op without `--trace`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sink's first latched write error, or flush/rename
+    /// failures.
+    pub fn finish(self) -> std::io::Result<()> {
+        if let Some(sink) = self.sink {
+            let events = sink.events_written();
+            let path = sink.finish()?;
+            println!("wrote trace {} ({events} events)", path.display());
+        }
+        Ok(())
+    }
+}
+
+fn parse_trace_path(args: &[String]) -> std::io::Result<Option<PathBuf>> {
+    let mut iter = args.iter().skip(1);
+    while let Some(arg) = iter.next() {
+        if arg == "--trace" {
+            return match iter.next() {
+                Some(path) => Ok(Some(PathBuf::from(path))),
+                None => Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "--trace requires a path argument",
+                )),
+            };
+        }
+        if let Some(path) = arg.strip_prefix("--trace=") {
+            return Ok(Some(PathBuf::from(path)));
+        }
+    }
+    Ok(None)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +217,52 @@ mod tests {
             print_table(&["a", "b"], &[vec!["1".into()]]);
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn trace_is_off_without_the_flag() {
+        let args = vec!["bench-bin".to_string(), "--other".to_string()];
+        let trace = Trace::from_arg_list(&args).expect("no flag parses");
+        assert!(!trace.is_on());
+        assert!(!trace.telemetry().is_on());
+        trace.finish().expect("off finish is a no-op");
+    }
+
+    #[test]
+    fn trace_flag_without_path_is_rejected() {
+        let args = vec!["bench-bin".to_string(), "--trace".to_string()];
+        let err = Trace::from_arg_list(&args).expect_err("missing path");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn trace_writes_a_manifest_header() {
+        let path =
+            std::env::temp_dir().join(format!("ferrocim-bench-trace-{}.jsonl", std::process::id()));
+        let args = vec![
+            "/usr/bin/probe_x".to_string(),
+            format!("--trace={}", path.display()),
+            "--runs".to_string(),
+            "5".to_string(),
+        ];
+        let trace = Trace::from_arg_list(&args).expect("sink opens");
+        assert!(trace.is_on());
+        trace.telemetry().record(&Event::McRunStarted { run: 0 });
+        trace.finish().expect("finish");
+        let events = ferrocim_telemetry::read_trace(&path).expect("readable");
+        assert_eq!(
+            events[0],
+            Event::Manifest {
+                bin: "probe_x".to_string(),
+                args: vec![
+                    format!("--trace={}", path.display()),
+                    "--runs".to_string(),
+                    "5".to_string(),
+                ],
+            }
+        );
+        assert_eq!(events[1], Event::McRunStarted { run: 0 });
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::CimError;
 use ferrocim_spice::{
     Budget, Circuit, Element, NodeId, SwitchSchedule, TransientAnalysis, Waveform, Workspace,
 };
+use ferrocim_telemetry::Telemetry;
 use ferrocim_units::{Celsius, Farad, Joule, Ohm, Second, Volt};
 use serde::{Deserialize, Serialize};
 
@@ -162,10 +163,10 @@ pub enum MacPath {
 /// A declarative MAC operation: operands, conditions, and evaluation
 /// path, executed by [`CimArray::run`].
 ///
-/// This is the single entry point that replaces the four historical
-/// methods `mac` / `mac_with_offsets` / `mac_analytic` /
-/// `mac_analytic_weighted`. Build a request from the input vector, then
-/// chain whatever deviates from the defaults (room temperature, nominal
+/// This is the single MAC entry point (the four historical methods
+/// `mac` / `mac_with_offsets` / `mac_analytic` / `mac_analytic_weighted`
+/// it once shimmed have been removed). Build a request from the input
+/// vector, then chain whatever deviates from the defaults (room temperature, nominal
 /// devices, transient path, all-ones weights are *not* defaulted —
 /// weights must always be supplied):
 ///
@@ -276,6 +277,8 @@ pub struct CimArray<C> {
     faults: Vec<Option<CellFault>>,
     /// Resource budget threaded into every underlying transient solve.
     budget: Budget,
+    /// Telemetry handle threaded into every underlying solve.
+    telemetry: Telemetry,
 }
 
 impl<C: CellDesign> CimArray<C> {
@@ -293,6 +296,7 @@ impl<C: CellDesign> CimArray<C> {
             config,
             faults,
             budget: Budget::unlimited(),
+            telemetry: Telemetry::off(),
         })
     }
 
@@ -310,6 +314,21 @@ impl<C: CellDesign> CimArray<C> {
     /// The attached resource budget (unlimited by default).
     pub fn budget(&self) -> &Budget {
         &self.budget
+    }
+
+    /// Attaches a telemetry handle: every underlying transient solve
+    /// reports its Newton iterations and accepted steps through it, and
+    /// batch layers built on this array additionally emit
+    /// [`ferrocim_telemetry::Event::MacIssued`] per batch. The default handle is off and
+    /// adds no measurable cost.
+    pub fn with_recorder(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry handle (off by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Installs per-column hardware faults (one entry per cell; `None`
@@ -592,12 +611,14 @@ impl<C: CellDesign> CimArray<C> {
         inputs: &[bool],
         temp: Celsius,
         budget: &Budget,
+        tele: &Telemetry,
         ws: &mut Workspace,
     ) -> Result<MacOutput, CimError> {
         let t_stop = self.config.latency();
         let result = TransientAnalysis::new(ckt, self.config.dt, t_stop)
             .at(temp)
             .with_budget(budget.clone())
+            .with_recorder(tele.clone())
             .run_in(ws)?;
         // Cell voltages at the end of the charge phase (the sample
         // closest to t_charge from below).
@@ -632,7 +653,17 @@ impl<C: CellDesign> CimArray<C> {
         ws: &mut Workspace,
     ) -> Result<MacOutput, CimError> {
         let (ckt, outs, acc) = self.build_row_circuit(weights, inputs, offsets)?;
-        self.eval_row_transient(&ckt, &outs, acc, weights, inputs, temp, &self.budget, ws)
+        self.eval_row_transient(
+            &ckt,
+            &outs,
+            acc,
+            weights,
+            inputs,
+            temp,
+            &self.budget,
+            &self.telemetry,
+            ws,
+        )
     }
 
     /// The fast path behind [`MacPath::Analytic`]: each cell is
@@ -708,112 +739,6 @@ impl<C: CellDesign> CimArray<C> {
             latency: self.config.latency(),
             expected: expected_count(weights, inputs),
         })
-    }
-
-    /// Runs one MAC with nominal (variation-free) cells through the full
-    /// row transient.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CimError::MismatchedOperands`] for wrong operand
-    /// lengths, or propagates simulation failures.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `MacRequest` and call `CimArray::run`"
-    )]
-    pub fn mac(
-        &self,
-        weights: &[bool],
-        inputs: &[bool],
-        temp: Celsius,
-    ) -> Result<MacOutput, CimError> {
-        self.check_operands(weights, inputs)?;
-        self.run(&MacRequest::new(inputs).weights(weights).at(temp))
-    }
-
-    /// Runs one MAC through the full row transient with per-cell
-    /// variation offsets (one Monte-Carlo draw).
-    ///
-    /// # Errors
-    ///
-    /// As [`CimArray::mac`]; additionally if `offsets` has the wrong
-    /// length.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `MacRequest` and call `CimArray::run`"
-    )]
-    pub fn mac_with_offsets(
-        &self,
-        weights: &[bool],
-        inputs: &[bool],
-        temp: Celsius,
-        offsets: &[CellOffsets],
-    ) -> Result<MacOutput, CimError> {
-        self.check_operands(weights, inputs)?;
-        self.run(
-            &MacRequest::new(inputs)
-                .weights(weights)
-                .at(temp)
-                .offsets(offsets),
-        )
-    }
-
-    /// Fast MAC evaluation via per-cell transients and the closed-form
-    /// Eq. (1) charge-sharing step.
-    ///
-    /// # Errors
-    ///
-    /// As [`CimArray::mac_with_offsets`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `MacRequest` and call `CimArray::run`"
-    )]
-    pub fn mac_analytic(
-        &self,
-        weights: &[bool],
-        inputs: &[bool],
-        temp: Celsius,
-        offsets: &[CellOffsets],
-    ) -> Result<MacOutput, CimError> {
-        self.check_operands(weights, inputs)?;
-        self.run(
-            &MacRequest::new(inputs)
-                .weights(weights)
-                .at(temp)
-                .offsets(offsets)
-                .path(MacPath::Analytic),
-        )
-    }
-
-    /// Fast MAC evaluation generalized to analog (multi-level) stored
-    /// weights — the multi-bit-per-cell extension in the spirit of the
-    /// cited 1FeFET multi-bit MAC design.
-    ///
-    /// The digital ground truth (`expected`) counts a weight as '1'
-    /// when its polarization is positive; multi-level users should
-    /// interpret `v_acc` directly.
-    ///
-    /// # Errors
-    ///
-    /// As [`CimArray::mac_with_offsets`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `MacRequest` and call `CimArray::run`"
-    )]
-    pub fn mac_analytic_weighted(
-        &self,
-        weights: &[CellWeight],
-        inputs: &[bool],
-        temp: Celsius,
-        offsets: &[CellOffsets],
-    ) -> Result<MacOutput, CimError> {
-        self.run(
-            &MacRequest::new(inputs)
-                .weighted(weights)
-                .at(temp)
-                .offsets(offsets)
-                .path(MacPath::Analytic),
-        )
     }
 
     /// The nominal analog output level for every MAC value `0..=n` at a
@@ -933,6 +858,7 @@ impl<C: CellDesign> CimArray<C> {
         let result = TransientAnalysis::new(&ckt, self.config.dt, self.config.t_charge)
             .at(temp)
             .with_budget(self.budget.clone())
+            .with_recorder(self.telemetry.clone())
             .run_in(ws)?;
         Ok((
             result.final_voltage(out).value() - bias.v_sl.value(),
@@ -1105,36 +1031,6 @@ mod tests {
         let e = out.energy.value();
         assert!(e > 0.0, "energy {e}");
         assert!(e < 100e-15, "energy should be fJ-scale, got {e}");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_request_api() {
-        // The four historical entry points must keep working and agree
-        // exactly with the `MacRequest` executor they delegate to.
-        let array = small_array();
-        let (w, x) = mac_operands(4, 3);
-        let offsets = [CellOffsets::NOMINAL; 4];
-        let via_run = array
-            .run(&MacRequest::new(&x).weights(&w).at(ROOM))
-            .unwrap();
-        assert_eq!(array.mac(&w, &x, ROOM).unwrap(), via_run);
-        assert_eq!(
-            array.mac_with_offsets(&w, &x, ROOM, &offsets).unwrap(),
-            via_run
-        );
-        let via_run_fast = array.run(&analytic(&x, &w).offsets(&offsets)).unwrap();
-        assert_eq!(
-            array.mac_analytic(&w, &x, ROOM, &offsets).unwrap(),
-            via_run_fast
-        );
-        let weighted: Vec<CellWeight> = w.iter().map(|&b| CellWeight::Bit(b)).collect();
-        assert_eq!(
-            array
-                .mac_analytic_weighted(&weighted, &x, ROOM, &offsets)
-                .unwrap(),
-            via_run_fast
-        );
     }
 
     #[test]

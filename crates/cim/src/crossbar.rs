@@ -16,6 +16,7 @@ use crate::CimError;
 use ferrocim_spice::{
     apply_policy, try_fan_out, Budget, FailurePolicy, FanOutError, FanOutReport, JobError,
 };
+use ferrocim_telemetry::{Event, Telemetry};
 use ferrocim_units::{Celsius, Joule, Volt};
 use serde::{Deserialize, Serialize};
 
@@ -42,6 +43,8 @@ pub struct Crossbar<C> {
     row_arrays: Vec<Option<CimArray<C>>>,
     /// Resource budget governing every matrix–vector product.
     budget: Budget,
+    /// Telemetry handle shared with the row hardware.
+    telemetry: Telemetry,
 }
 
 impl<C: CellDesign> Crossbar<C> {
@@ -67,6 +70,7 @@ impl<C: CellDesign> Crossbar<C> {
             faults: FaultPlan::none(rows, n),
             row_arrays: (0..rows).map(|_| None).collect(),
             budget: array.budget().clone(),
+            telemetry: array.telemetry().clone(),
             array,
             rows: vec![vec![CellWeight::Bit(false); n]; rows],
             adc,
@@ -87,6 +91,22 @@ impl<C: CellDesign> Crossbar<C> {
             .map(|ra| ra.map(|a| a.with_budget(budget.clone())))
             .collect();
         self.budget = budget;
+        self
+    }
+
+    /// Attaches a telemetry handle: each matrix–vector product emits one
+    /// [`Event::MacIssued`] covering its row-MAC jobs (batch paths also
+    /// report how many unique simulations were actually solved), and
+    /// the handle is propagated to the row hardware — including faulted
+    /// row clones — so solver-level events land on the same recorder.
+    pub fn with_recorder(mut self, telemetry: Telemetry) -> Self {
+        self.array = self.array.with_recorder(telemetry.clone());
+        self.row_arrays = self
+            .row_arrays
+            .into_iter()
+            .map(|ra| ra.map(|a| a.with_recorder(telemetry.clone())))
+            .collect();
+        self.telemetry = telemetry;
         self
     }
 
@@ -230,6 +250,11 @@ impl<C: CellDesign> Crossbar<C> {
                 cells_per_row: self.columns(),
             });
         }
+        let row_jobs = self.rows.len() as u64;
+        self.telemetry.emit(|| Event::MacIssued {
+            jobs: row_jobs,
+            solves: row_jobs,
+        });
         let mut digital = Vec::with_capacity(self.rows.len());
         let mut analog = Vec::with_capacity(self.rows.len());
         let mut energy = 0.0;
@@ -280,6 +305,12 @@ impl<C: CellDesign> Crossbar<C> {
             }
         }
         let (unique, slot_of) = self.dedupe_row_jobs(inputs);
+        let job_count = (inputs.len() * self.rows.len()) as u64;
+        let solve_count = unique.len() as u64;
+        self.telemetry.emit(|| Event::MacIssued {
+            jobs: job_count,
+            solves: solve_count,
+        });
         let solved = ferrocim_spice::fan_out(
             unique.len(),
             true,
@@ -371,6 +402,12 @@ impl<C: CellDesign> Crossbar<C> {
         C: Sync,
     {
         let (unique, slot_of) = self.dedupe_row_jobs(inputs);
+        let job_count = (inputs.len() * self.rows.len()) as u64;
+        let solve_count = unique.len() as u64;
+        self.telemetry.emit(|| Event::MacIssued {
+            jobs: job_count,
+            solves: solve_count,
+        });
         let solved = try_fan_out(
             unique.len(),
             true,
@@ -429,7 +466,14 @@ impl<C: CellDesign> Crossbar<C> {
             });
         }
         let failures = results.iter().filter(|r| r.is_err()).count();
-        apply_policy(results, failures, policy)
+        let report = apply_policy(results, failures, policy)?;
+        if matches!(policy, FailurePolicy::Substitute(_)) && report.failures > 0 {
+            let substituted = report.failures as u64;
+            self.telemetry.emit(|| Event::FaultSubstituted {
+                substitute: substituted,
+            });
+        }
+        Ok(report)
     }
 }
 

@@ -25,6 +25,7 @@ use ferrocim_spice::{
     apply_policy, fan_out, try_fan_out, Budget, Circuit, FailurePolicy, FanOutError, FanOutReport,
     JobError, NodeId, Workspace,
 };
+use ferrocim_telemetry::{Event, Telemetry};
 use ferrocim_units::Celsius;
 
 /// A reusable batched-MAC executor over one set of stored weights.
@@ -65,6 +66,7 @@ pub struct ArrayEngine<'a, C> {
     acc: NodeId,
     parallel: bool,
     budget: Budget,
+    telemetry: Telemetry,
 }
 
 impl<'a, C: CellDesign> ArrayEngine<'a, C> {
@@ -115,6 +117,7 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
             acc,
             parallel: true,
             budget: array.budget().clone(),
+            telemetry: array.telemetry().clone(),
         })
     }
 
@@ -131,6 +134,16 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
     /// the array's budget (the two then share one spend pool).
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Attaches a telemetry handle: each batch emits one
+    /// [`Event::MacIssued`] carrying the requested job count and the
+    /// number of unique simulations actually solved, and every
+    /// underlying transient solve reports through the same handle. By
+    /// default the engine inherits the array's handle.
+    pub fn with_recorder(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -221,6 +234,12 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
                 unique.len() - 1
             }));
         }
+        let job_count = jobs.len() as u64;
+        let solve_count = unique.len() as u64;
+        self.telemetry.emit(|| Event::MacIssued {
+            jobs: job_count,
+            solves: solve_count,
+        });
         let results = fan_out(
             unique.len(),
             self.parallel,
@@ -238,6 +257,7 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
                     &inputs[i],
                     t,
                     &self.budget,
+                    &self.telemetry,
                     ws,
                 )
             },
@@ -286,6 +306,12 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
         // results back to input slots and apply the caller's policy at
         // that granularity — so the failure budget counts inputs, not
         // deduplicated simulations.
+        let job_count = inputs.len() as u64;
+        let solve_count = unique.len() as u64;
+        self.telemetry.emit(|| Event::MacIssued {
+            jobs: job_count,
+            solves: solve_count,
+        });
         let solved = try_fan_out(
             unique.len(),
             self.parallel,
@@ -313,6 +339,7 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
                     &inputs[i],
                     temp,
                     &self.budget,
+                    &self.telemetry,
                     ws,
                 )
             },
@@ -322,7 +349,14 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
             .map(|u| solved.results[u].clone())
             .collect();
         let failures = results.iter().filter(|r| r.is_err()).count();
-        apply_policy(results, failures, policy)
+        let report = apply_policy(results, failures, policy)?;
+        if matches!(policy, FailurePolicy::Substitute(_)) && report.failures > 0 {
+            let substituted = report.failures as u64;
+            self.telemetry.emit(|| Event::FaultSubstituted {
+                substitute: substituted,
+            });
+        }
+        Ok(report)
     }
 
     /// The per-call reference this engine accelerates: one

@@ -65,3 +65,8 @@ pub use crossbar::{Crossbar, MatVecOutput};
 pub use engine::ArrayEngine;
 pub use error::CimError;
 pub use fault::{CellFault, FaultPlan};
+
+/// Re-exported telemetry handle: [`CimArray`], [`ArrayEngine`], and
+/// [`Crossbar`] all accept one via their `with_recorder` builders (see
+/// [`ferrocim_telemetry`] for recorders, aggregation, and trace sinks).
+pub use ferrocim_telemetry::Telemetry;

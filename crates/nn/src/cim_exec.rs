@@ -24,6 +24,7 @@ use crate::network::Network;
 use crate::quant::{quantize_activations, quantize_weights, QuantizedWeights};
 use crate::tensor::Tensor;
 use ferrocim_spice::{Budget, SpiceError};
+use ferrocim_telemetry::{Event, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -145,6 +146,7 @@ impl MacOracle for ferrocim_cim::transfer::TransferModel {
 pub struct FaultTolerant<O> {
     inner: O,
     faults: std::sync::atomic::AtomicUsize,
+    telemetry: Telemetry,
 }
 
 impl<O> FaultTolerant<O> {
@@ -153,7 +155,17 @@ impl<O> FaultTolerant<O> {
         FaultTolerant {
             inner,
             faults: std::sync::atomic::AtomicUsize::new(0),
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry handle: every substituted read additionally
+    /// emits [`Event::FaultSubstituted`] with `substitute: 1`, so an
+    /// aggregator's `faults_substituted` count equals
+    /// [`FaultTolerant::fault_count`].
+    pub fn with_recorder(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Number of reads that panicked and were substituted so far.
@@ -176,6 +188,8 @@ impl<O: MacOracle> MacOracle for FaultTolerant<O> {
             Err(_) => {
                 self.faults
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.telemetry
+                    .emit(|| Event::FaultSubstituted { substitute: 1 });
                 true_count.min(self.inner.cells_per_row())
             }
         }
@@ -320,6 +334,7 @@ enum MappedLayer {
 pub struct CimNetwork {
     layers: Vec<MappedLayer>,
     mapping: CimMapping,
+    telemetry: Telemetry,
 }
 
 impl CimNetwork {
@@ -364,7 +379,20 @@ impl CimNetwork {
                 other => MappedLayer::Passthrough(other.clone()),
             })
             .collect();
-        CimNetwork { layers, mapping }
+        CimNetwork {
+            layers,
+            mapping,
+            telemetry: Telemetry::off(),
+        }
+    }
+
+    /// Attaches a telemetry handle: every CIM-mapped layer execution in
+    /// [`CimNetwork::forward`] is wrapped in a wall-clock span
+    /// (`cim.conv2d`, `cim.linear`, `cim.passthrough`), so per-layer
+    /// inference time shows up in span histograms.
+    pub fn with_recorder(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The mapping geometry.
@@ -383,11 +411,16 @@ impl CimNetwork {
                     filters,
                     bias,
                     in_channels,
-                } => self.conv_forward(&h, filters, bias, *in_channels, oracle, &mut rng),
+                } => {
+                    let _timer = self.telemetry.span("cim.conv2d");
+                    self.conv_forward(&h, filters, bias, *in_channels, oracle, &mut rng)
+                }
                 MappedLayer::Linear { rows, bias } => {
+                    let _timer = self.telemetry.span("cim.linear");
                     self.linear_forward(&h, rows, bias, oracle, &mut rng)
                 }
                 MappedLayer::Passthrough(l) => {
+                    let _timer = self.telemetry.span("cim.passthrough");
                     let (out, _) = l.forward(&h, crate::layers::Mode::Eval, &mut rng);
                     out
                 }
@@ -805,6 +838,38 @@ mod tests {
         // Every read failed and was replaced by the ideal readout.
         assert_eq!(ideal.data(), survived.data());
         assert!(oracle.fault_count() > 0);
+    }
+
+    #[test]
+    fn fault_events_match_the_fault_count() {
+        use ferrocim_telemetry::Aggregator;
+        use std::sync::Arc;
+        let agg = Arc::new(Aggregator::new());
+        let tele = Telemetry::new(agg.clone());
+        let oracle = FaultTolerant::new(Flaky).with_recorder(tele.clone());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut out = Vec::new();
+        oracle.read_batch(&[1usize, 2, 3, 4, 5, 7], &mut out, &mut rng);
+        assert_eq!(oracle.fault_count(), 4);
+        assert_eq!(agg.counts().faults_substituted, 4);
+    }
+
+    #[test]
+    fn recorded_forward_emits_one_span_per_layer() {
+        use ferrocim_telemetry::Aggregator;
+        use std::sync::Arc;
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = Network::new(vec![
+            Layer::Linear(Linear::new(16, 8, &mut rng)),
+            Layer::Relu,
+            Layer::Linear(Linear::new(8, 4, &mut rng)),
+        ]);
+        let agg = Arc::new(Aggregator::new());
+        let cim =
+            CimNetwork::map(&net, CimMapping::default()).with_recorder(Telemetry::new(agg.clone()));
+        let x = Tensor::from_vec(&[16], vec![0.5; 16]);
+        let _ = cim.forward(&x, &IdealMac(8), 3);
+        assert_eq!(agg.counts().spans, 3);
     }
 
     #[test]

@@ -43,5 +43,13 @@ pub mod quant;
 pub mod tensor;
 pub mod vgg;
 
-pub use network::{train, try_train, EpochStats, Network, Optimizer, TrainConfig, TrainError};
+pub use network::{
+    train, try_train, try_train_recorded, EpochStats, Network, Optimizer, TrainConfig, TrainError,
+};
 pub use tensor::Tensor;
+
+/// Re-exported telemetry handle: [`try_train_recorded`] takes one, and
+/// [`cim_exec::CimNetwork::with_recorder`] /
+/// [`cim_exec::FaultTolerant::with_recorder`] accept one (see
+/// [`ferrocim_telemetry`] for recorders, aggregation, and trace sinks).
+pub use ferrocim_telemetry::Telemetry;

@@ -3,6 +3,7 @@
 
 use crate::layers::{Cache, Layer, Mode, ParamGrads};
 use crate::tensor::Tensor;
+use ferrocim_telemetry::{Event, Telemetry};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -238,7 +239,10 @@ impl OptState {
                 epsilon,
             } => {
                 self.t += 1;
-                let v = self.v.as_mut().expect("adam state has second moment");
+                let v = self.v.get_or_insert_with(|| ParamGrads {
+                    weight: Tensor::zeros(grad.weight.shape()),
+                    bias: Tensor::zeros(grad.bias.shape()),
+                });
                 let bc1 = 1.0 - beta1.powi(self.t as i32);
                 let bc2 = 1.0 - beta2.powi(self.t as i32);
                 let mut out = ParamGrads {
@@ -374,6 +378,26 @@ pub fn try_train(
     labels: &[usize],
     config: &TrainConfig,
 ) -> Result<Vec<EpochStats>, TrainError> {
+    try_train_recorded(network, inputs, labels, config, &Telemetry::off())
+}
+
+/// [`try_train`] with a telemetry handle: one [`Event::EpochDone`] is
+/// emitted per completed epoch, carrying the same loss and accuracy
+/// pushed into the returned [`EpochStats`].
+///
+/// `TrainConfig` stays a plain `Copy + Serialize` value, so the handle
+/// is a separate argument rather than a config field.
+///
+/// # Errors
+///
+/// See [`TrainError`].
+pub fn try_train_recorded(
+    network: &mut Network,
+    inputs: &[Tensor],
+    labels: &[usize],
+    config: &TrainConfig,
+    tele: &Telemetry,
+) -> Result<Vec<EpochStats>, TrainError> {
     if inputs.len() != labels.len() {
         return Err(TrainError::LengthMismatch {
             inputs: inputs.len(),
@@ -409,10 +433,17 @@ pub fn try_train(
         }
         lr *= config.lr_decay;
         let train_accuracy = network.accuracy(inputs, labels);
+        let loss = total_loss / inputs.len() as f64;
         stats.push(EpochStats {
             epoch,
-            loss: total_loss / inputs.len() as f64,
+            loss,
             train_accuracy,
+        });
+        let epoch_index = epoch as u64;
+        tele.emit(|| Event::EpochDone {
+            epoch: epoch_index,
+            loss,
+            accuracy: train_accuracy,
         });
     }
     Ok(stats)
@@ -636,6 +667,43 @@ mod tests {
             Layer::Linear(Linear::new(5, 2, &mut rng)),
         ]);
         assert_eq!(net.parameter_count(), 10 * 5 + 5 + 5 * 2 + 2);
+    }
+
+    #[test]
+    fn recorded_training_emits_one_epoch_event_per_epoch() {
+        use ferrocim_telemetry::Aggregator;
+        use std::sync::Arc;
+        let mut rng = StdRng::seed_from_u64(8);
+        let inputs: Vec<Tensor> = (0..12)
+            .map(|i| Tensor::from_vec(&[3], vec![i as f32 * 0.1, 0.2, -0.1]))
+            .collect();
+        let labels: Vec<usize> = (0..12).map(|i| i % 2).collect();
+        let mut net = Network::new(vec![Layer::Linear(Linear::new(3, 2, &mut rng))]);
+        let config = TrainConfig {
+            epochs: 4,
+            threads: 1,
+            ..TrainConfig::default()
+        };
+        let agg = Arc::new(Aggregator::new());
+        let tele = Telemetry::new(agg.clone());
+        let stats = try_train_recorded(&mut net, &inputs, &labels, &config, &tele).expect("trains");
+        assert_eq!(stats.len(), 4);
+        assert_eq!(agg.counts().epochs_done, 4);
+    }
+
+    #[test]
+    fn adam_state_recovers_a_missing_second_moment() {
+        // The optimizer state lazily materializes `v`, so an Adam
+        // update on SGD-initialized state works instead of panicking.
+        let grad = ParamGrads {
+            weight: Tensor::from_vec(&[2], vec![0.1, -0.2]),
+            bias: Tensor::from_vec(&[1], vec![0.05]),
+        };
+        let mut state = OptState::new(&grad, false);
+        assert!(state.v.is_none());
+        let update = state.update(&grad, Optimizer::adam());
+        assert!(state.v.is_some());
+        assert!(update.weight.data().iter().all(|u| u.is_finite()));
     }
 
     #[test]

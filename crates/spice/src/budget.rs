@@ -14,6 +14,7 @@
 //! per-thread quotas.
 
 use crate::SpiceError;
+use ferrocim_telemetry::{Event, ResourceKind, Telemetry};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -126,6 +127,7 @@ pub struct Budget {
     cancel: Option<CancelToken>,
     newton_spent: Arc<AtomicU64>,
     steps_spent: Arc<AtomicU64>,
+    telemetry: Telemetry,
 }
 
 impl Budget {
@@ -157,6 +159,14 @@ impl Budget {
     /// [`SpiceError::Cancelled`] once the token fires.
     pub fn with_cancel_token(mut self, token: &CancelToken) -> Budget {
         self.cancel = Some(token.clone());
+        self
+    }
+
+    /// Attaches a telemetry handle: every charge against a configured
+    /// cap additionally emits [`Event::BudgetSpend`]. Clones share the
+    /// recorder along with the spend pool.
+    pub fn with_recorder(mut self, telemetry: Telemetry) -> Budget {
+        self.telemetry = telemetry;
         self
     }
 
@@ -202,6 +212,10 @@ impl Budget {
     /// cumulative total exceeds a configured cap.
     pub fn charge_newton(&self, n: u64) -> Result<(), SpiceError> {
         if let Some(limit) = self.max_newton_iterations {
+            self.telemetry.emit(|| Event::BudgetSpend {
+                resource: ResourceKind::NewtonIterations,
+                amount: n,
+            });
             let spent = self.newton_spent.fetch_add(n, Ordering::Relaxed) + n;
             if spent > limit {
                 return Err(SpiceError::BudgetExceeded {
@@ -216,6 +230,10 @@ impl Budget {
     /// total exceeds a configured cap.
     pub fn charge_steps(&self, n: u64) -> Result<(), SpiceError> {
         if let Some(limit) = self.max_steps {
+            self.telemetry.emit(|| Event::BudgetSpend {
+                resource: ResourceKind::Steps,
+                amount: n,
+            });
             let spent = self.steps_spent.fetch_add(n, Ordering::Relaxed) + n;
             if spent > limit {
                 return Err(SpiceError::BudgetExceeded {

@@ -4,6 +4,7 @@ use crate::mna::{newton_solve_in, CapMode, Layout, NewtonOptions, SolveSettings}
 use crate::netlist::{Circuit, Element, NodeId};
 use crate::rescue::{is_rescuable, rescue_solve, RescuePolicy, RescueReport};
 use crate::{Budget, SpiceError, Workspace};
+use ferrocim_telemetry::Telemetry;
 use ferrocim_units::{Ampere, Celsius, Second, Volt};
 use std::collections::HashMap;
 
@@ -107,6 +108,7 @@ pub struct DcAnalysis<'a> {
     initial_guess: Option<Vec<f64>>,
     rescue: RescuePolicy,
     budget: Budget,
+    telemetry: Telemetry,
 }
 
 impl<'a> DcAnalysis<'a> {
@@ -120,6 +122,7 @@ impl<'a> DcAnalysis<'a> {
             initial_guess: None,
             rescue: RescuePolicy::default(),
             budget: Budget::unlimited(),
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -148,6 +151,13 @@ impl<'a> DcAnalysis<'a> {
     /// [`SpiceError::Cancelled`] once it is exhausted.
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Attaches a telemetry handle: the solve emits Newton-iteration
+    /// and rescue-ladder events through it (see `ferrocim_telemetry`).
+    pub fn with_recorder(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -198,6 +208,7 @@ impl<'a> DcAnalysis<'a> {
             &mut x,
             &self.options,
             &self.budget,
+            &self.telemetry,
             ws,
         ) {
             Ok(iterations) => RescueReport::plain(iterations),
@@ -212,6 +223,7 @@ impl<'a> DcAnalysis<'a> {
                 &self.options,
                 &self.rescue,
                 &self.budget,
+                &self.telemetry,
                 ws,
                 err,
             )?,

@@ -6,6 +6,7 @@ use crate::dc::{DcAnalysis, OperatingPoint};
 use crate::mna::NewtonOptions;
 use crate::netlist::{Circuit, Element};
 use crate::{Budget, SpiceError, Waveform, Workspace};
+use ferrocim_telemetry::Telemetry;
 use ferrocim_units::{Celsius, Volt};
 
 /// A DC sweep of one voltage source over a list of values.
@@ -45,6 +46,7 @@ pub struct DcSweep<'a> {
     temp: Celsius,
     options: NewtonOptions,
     budget: Budget,
+    telemetry: Telemetry,
 }
 
 impl<'a> DcSweep<'a> {
@@ -57,6 +59,7 @@ impl<'a> DcSweep<'a> {
             temp: Celsius::ROOM,
             options: NewtonOptions::default(),
             budget: Budget::unlimited(),
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -77,6 +80,14 @@ impl<'a> DcSweep<'a> {
     /// deadline or cancellation aborts mid-sweep with a typed error.
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Attaches a telemetry handle forwarded to every per-point DC
+    /// solve, so a recorder observes the warm-started Newton work of
+    /// the whole sweep. The default handle is off.
+    pub fn with_recorder(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -110,7 +121,8 @@ impl<'a> DcSweep<'a> {
             let cold = DcAnalysis::new(&working)
                 .at(self.temp)
                 .with_options(self.options)
-                .with_budget(self.budget.clone());
+                .with_budget(self.budget.clone())
+                .with_recorder(self.telemetry.clone());
             let op = match &previous {
                 Some(prev) => {
                     match cold.clone().warm_start(prev).solve_in(&mut ws) {

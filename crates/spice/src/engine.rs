@@ -26,6 +26,7 @@ use crate::netlist::Circuit;
 use crate::rescue::RescuePolicy;
 use crate::transient::{AdaptiveOptions, Integrator, TransientAnalysis, TransientResult};
 use crate::{Budget, SpiceError};
+use ferrocim_telemetry::Telemetry;
 use ferrocim_units::{Celsius, Second};
 
 /// Reusable solver buffers: the stamped MNA matrix (destroyed by each
@@ -131,6 +132,7 @@ pub struct SimEngine {
     integrator: Integrator,
     rescue: Option<RescuePolicy>,
     budget: Budget,
+    telemetry: Telemetry,
     workspace: Workspace,
     last_op: Option<OperatingPoint>,
 }
@@ -184,6 +186,19 @@ impl SimEngine {
         &self.budget
     }
 
+    /// Attaches a telemetry handle forwarded to every DC and transient
+    /// analysis issued through this engine, so one recorder observes a
+    /// whole warm-started campaign. The default handle is off.
+    pub fn with_recorder(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The telemetry handle forwarded to this engine's analyses.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// The current simulation temperature.
     pub fn temperature(&self) -> Celsius {
         self.temp
@@ -227,7 +242,8 @@ impl SimEngine {
         let mut cold = DcAnalysis::new(circuit)
             .at(self.temp)
             .with_options(self.options)
-            .with_budget(self.budget.clone());
+            .with_budget(self.budget.clone())
+            .with_recorder(self.telemetry.clone());
         if let Some(policy) = &self.rescue {
             cold = cold.with_rescue(policy.clone());
         }
@@ -271,6 +287,7 @@ impl SimEngine {
             .with_options(self.options)
             .with_integrator(self.integrator)
             .with_budget(self.budget.clone())
+            .with_recorder(self.telemetry.clone())
             .start_from(&op)
             .run_in(&mut self.workspace)
     }
@@ -298,6 +315,7 @@ impl SimEngine {
             .with_options(self.options)
             .with_integrator(self.integrator)
             .with_budget(self.budget.clone())
+            .with_recorder(self.telemetry.clone())
             .start_from(&op);
         if let Some(policy) = &self.rescue {
             analysis = analysis.with_rescue(policy.clone());

@@ -75,3 +75,8 @@ pub use netlist::{Circuit, Element, NodeId, SwitchSchedule};
 pub use rescue::{RescuePolicy, RescueReport, RescueRung, RungAttempt};
 pub use transient::{AdaptiveOptions, Integrator, StepReport, TransientAnalysis, TransientResult};
 pub use waveform::Waveform;
+
+/// Re-exported telemetry handle: every analysis builder in this crate
+/// accepts one via its `with_recorder` method (see
+/// [`ferrocim_telemetry`] for recorders, aggregation, and trace sinks).
+pub use ferrocim_telemetry::Telemetry;

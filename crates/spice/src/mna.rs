@@ -4,6 +4,7 @@
 use crate::linear::Matrix;
 use crate::netlist::{Circuit, Element, NodeId};
 use crate::SpiceError;
+use ferrocim_telemetry::{Event, Telemetry};
 use ferrocim_units::{Celsius, Second};
 use std::collections::HashMap;
 
@@ -356,6 +357,10 @@ fn stamp_transistor(
 /// Each iteration is charged against `budget` and the budget's
 /// cancel/deadline state is polled, so even a single pathological solve
 /// honours [`SpiceError::BudgetExceeded`] / [`SpiceError::Cancelled`].
+///
+/// Each iteration also emits [`Event::NewtonIter`] (and a converging
+/// solve [`Event::NewtonConverged`]) through `tele`; like the budget
+/// check, the off state is hoisted to one boolean test per iteration.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn newton_solve_in(
     circuit: &Circuit,
@@ -367,6 +372,7 @@ pub(crate) fn newton_solve_in(
     x: &mut [f64],
     options: &NewtonOptions,
     budget: &crate::Budget,
+    tele: &Telemetry,
     ws: &mut crate::Workspace,
 ) -> Result<usize, SpiceError> {
     debug_assert_eq!(x.len(), layout.size);
@@ -380,11 +386,17 @@ pub(crate) fn newton_solve_in(
         ..
     } = ws;
     let limited = budget.is_limited();
+    let observed = tele.is_on();
     let mut last_delta = f64::INFINITY;
     for iter in 0..options.max_iterations {
         if limited {
             budget.check()?;
             budget.charge_newton(1)?;
+        }
+        if observed {
+            tele.emit(|| Event::NewtonIter {
+                iteration: iter as u64 + 1,
+            });
         }
         assemble(circuit, layout, x, t, temp, caps, settings, a, z);
         a.solve_into(z, rhs, perm, x_new)?;
@@ -410,6 +422,11 @@ pub(crate) fn newton_solve_in(
             x[i] += delta;
         }
         if converged {
+            if observed {
+                tele.emit(|| Event::NewtonConverged {
+                    iterations: iter as u64 + 1,
+                });
+            }
             return Ok(iter + 1);
         }
         last_delta = max_delta;

@@ -6,6 +6,7 @@
 //! fan-out for that experiment (and any other statistical sweep).
 
 use crate::{Budget, SpiceError};
+use ferrocim_telemetry::{Event, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{de, Deserialize, Serialize, Value};
@@ -19,12 +20,23 @@ use std::path::{Path, PathBuf};
 /// Each run `i` receives its own RNG derived from `(seed, i)` by
 /// SplitMix64 scrambling, so results are reproducible regardless of
 /// thread scheduling and independent of how many runs execute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct MonteCarlo {
     runs: usize,
     seed: u64,
     parallel: bool,
+    telemetry: Telemetry,
 }
+
+/// Equality is the sweep identity (runs, seed, fan-out mode); the
+/// attached telemetry handle is an observer, not part of the identity.
+impl PartialEq for MonteCarlo {
+    fn eq(&self, other: &Self) -> bool {
+        self.runs == other.runs && self.seed == other.seed && self.parallel == other.parallel
+    }
+}
+
+impl Eq for MonteCarlo {}
 
 impl MonteCarlo {
     /// Creates a runner for `runs` samples from a base seed.
@@ -33,6 +45,7 @@ impl MonteCarlo {
             runs,
             seed,
             parallel: true,
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -40,6 +53,16 @@ impl MonteCarlo {
     /// friendly or for debugging).
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
+        self
+    }
+
+    /// Attaches a telemetry handle: every sample emits
+    /// [`Event::McRunStarted`] when it begins and [`Event::McRunDone`]
+    /// when it finishes (with `ok: false` for typed failures under
+    /// [`MonteCarlo::try_run`]; a panicked run emits no `McRunDone`, so
+    /// started minus done counts panics). The default handle is off.
+    pub fn with_recorder(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -68,8 +91,15 @@ impl MonteCarlo {
             self.parallel,
             || (),
             |(), run| {
+                self.telemetry
+                    .emit(|| Event::McRunStarted { run: run as u64 });
                 let mut rng = self.rng_for(run);
-                f(run, &mut rng)
+                let out = f(run, &mut rng);
+                self.telemetry.emit(|| Event::McRunDone {
+                    run: run as u64,
+                    ok: true,
+                });
+                out
             },
         )
     }
@@ -100,8 +130,16 @@ impl MonteCarlo {
             policy,
             || (),
             |(), run| {
+                self.telemetry
+                    .emit(|| Event::McRunStarted { run: run as u64 });
                 let mut rng = self.rng_for(run);
-                f(run, &mut rng)
+                let out = f(run, &mut rng);
+                let ok = out.is_ok();
+                self.telemetry.emit(|| Event::McRunDone {
+                    run: run as u64,
+                    ok,
+                });
+                out
             },
         )
     }
@@ -128,8 +166,10 @@ impl MonteCarlo {
     ///
     /// # Errors
     ///
-    /// * [`McError::Io`] / [`McError::Corrupt`] for filesystem or
-    ///   parse failures on the checkpoint file.
+    /// * [`McError::Io`] / [`McError::CorruptCheckpoint`] for
+    ///   filesystem or parse failures on the checkpoint file (a
+    ///   truncated or garbage file is reported with the path and the
+    ///   offending content, never as a raw serde error).
     /// * [`McError::Mismatch`] when the checkpoint belongs to a sweep
     ///   with a different seed or run count.
     /// * [`McError::Interrupted`] when the budget ran out.
@@ -173,8 +213,16 @@ impl MonteCarlo {
                 self.parallel,
                 || (),
                 |(), k| {
-                    let mut rng = self.rng_for(pending[k]);
-                    f(pending[k], &mut rng)
+                    let run = pending[k];
+                    self.telemetry
+                        .emit(|| Event::McRunStarted { run: run as u64 });
+                    let mut rng = self.rng_for(run);
+                    let out = f(run, &mut rng);
+                    self.telemetry.emit(|| Event::McRunDone {
+                        run: run as u64,
+                        ok: true,
+                    });
+                    out
                 },
             );
             for (k, value) in chunk.into_iter().enumerate() {
@@ -185,9 +233,9 @@ impl MonteCarlo {
         let total = ckpt.runs;
         let results: Vec<T> = ckpt.completed.into_iter().flatten().collect();
         if results.len() != total {
-            return Err(McError::Corrupt {
+            return Err(McError::CorruptCheckpoint {
                 path: path.to_path_buf(),
-                message: "checkpoint is missing completed samples".to_string(),
+                detail: "checkpoint is missing completed samples".to_string(),
             });
         }
         Ok(results)
@@ -263,8 +311,13 @@ impl<T> McCheckpoint<T> {
     ///
     /// # Errors
     ///
-    /// [`McError::Io`] if the file cannot be read, [`McError::Corrupt`]
-    /// if it does not parse as a checkpoint.
+    /// [`McError::Io`] if the file cannot be read,
+    /// [`McError::CorruptCheckpoint`] if it does not parse as a
+    /// checkpoint — covering truncated files, non-JSON garbage, and
+    /// well-formed JSON that is not a checkpoint. The error carries the
+    /// path and enough parse context (the serde failure plus a preview
+    /// of the offending content) to identify the damaged file without
+    /// opening it.
     pub fn resume_from(path: impl AsRef<Path>) -> Result<McCheckpoint<T>, McError<T>>
     where
         T: Deserialize,
@@ -274,9 +327,9 @@ impl<T> McCheckpoint<T> {
             path: path.to_path_buf(),
             message: e.to_string(),
         })?;
-        serde_json::from_str(&text).map_err(|e| McError::Corrupt {
+        serde_json::from_str(&text).map_err(|e| McError::CorruptCheckpoint {
             path: path.to_path_buf(),
-            message: e.to_string(),
+            detail: corrupt_detail(&text, &e.to_string()),
         })
     }
 
@@ -415,12 +468,14 @@ pub enum McError<T> {
         /// The underlying I/O error, rendered.
         message: String,
     },
-    /// The checkpoint file exists but does not parse.
-    Corrupt {
+    /// The checkpoint file exists but is not a parseable checkpoint
+    /// (truncated write, garbage content, or wrong JSON shape).
+    CorruptCheckpoint {
         /// The checkpoint path involved.
         path: PathBuf,
-        /// What failed to parse.
-        message: String,
+        /// What failed to parse, with a preview of the offending
+        /// content.
+        detail: String,
     },
     /// The checkpoint belongs to a different sweep (seed or run count
     /// differ); refusing to mix samples from two experiments.
@@ -449,8 +504,8 @@ impl<T> fmt::Display for McError<T> {
             McError::Io { path, message } => {
                 write!(f, "checkpoint I/O failed at {}: {message}", path.display())
             }
-            McError::Corrupt { path, message } => {
-                write!(f, "corrupt checkpoint {}: {message}", path.display())
+            McError::CorruptCheckpoint { path, detail } => {
+                write!(f, "corrupt checkpoint {}: {detail}", path.display())
             }
             McError::Mismatch {
                 field,
@@ -761,6 +816,26 @@ where
     }
 }
 
+/// Builds the parse-context string for a corrupt checkpoint: the serde
+/// failure plus a bounded preview of the file content (empty and
+/// truncated files are called out explicitly).
+fn corrupt_detail(text: &str, parse_error: &str) -> String {
+    const PREVIEW: usize = 120;
+    if text.trim().is_empty() {
+        return format!("{parse_error} (file is empty)");
+    }
+    let flat: String = text
+        .chars()
+        .take(PREVIEW)
+        .map(|c| if c.is_control() { ' ' } else { c })
+        .collect();
+    if text.chars().count() > PREVIEW {
+        format!("{parse_error} (content starts {flat:?}…)")
+    } else {
+        format!("{parse_error} (content {flat:?})")
+    }
+}
+
 /// SplitMix64 scrambler for decorrelating per-run seeds.
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E3779B97F4A7C15);
@@ -841,7 +916,7 @@ mod tests {
     #[test]
     fn sequential_matches_parallel() {
         let par = MonteCarlo::new(17, 99);
-        let seq = par.sequential();
+        let seq = par.clone().sequential();
         let f = |i: usize, rng: &mut StdRng| (i, rng.random::<u64>());
         assert_eq!(par.run(f), seq.run(f));
     }
@@ -981,6 +1056,52 @@ mod tests {
             .run_resumable(&path, 2, &Budget::unlimited(), |i, _| i as f64)
             .unwrap_err();
         assert!(matches!(err, McError::Mismatch { field: "runs", .. }));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_or_garbage_checkpoints_are_typed_errors() {
+        let path = scratch_path("corrupt");
+        let mc = MonteCarlo::new(4, 11).sequential();
+
+        // Garbage bytes (e.g. a crashed editor or disk corruption).
+        std::fs::write(&path, "not json at all").unwrap();
+        let err = mc
+            .run_resumable(&path, 2, &Budget::unlimited(), |i, _| i as f64)
+            .unwrap_err();
+        match &err {
+            McError::CorruptCheckpoint { path: p, detail } => {
+                assert_eq!(p, &path);
+                assert!(detail.contains("not json at all"), "detail: {detail}");
+            }
+            other => panic!("expected CorruptCheckpoint, got {other:?}"),
+        }
+
+        // A truncated write of an otherwise valid checkpoint.
+        let _ = std::fs::remove_file(&path);
+        mc.run_resumable(&path, 2, &Budget::unlimited(), |i, _| i as f64)
+            .unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = mc
+            .run_resumable(&path, 2, &Budget::unlimited(), |i, _| i as f64)
+            .unwrap_err();
+        assert!(matches!(err, McError::CorruptCheckpoint { .. }), "{err:?}");
+
+        // An empty file is called out explicitly.
+        std::fs::write(&path, "").unwrap();
+        let err = McCheckpoint::<f64>::resume_from(&path).unwrap_err();
+        match err {
+            McError::CorruptCheckpoint { detail, .. } => {
+                assert!(detail.contains("file is empty"), "detail: {detail}");
+            }
+            other => panic!("expected CorruptCheckpoint, got {other:?}"),
+        }
+
+        // Valid JSON with the wrong shape is still a checkpoint error.
+        std::fs::write(&path, "{\"format\":\"something-else\"}").unwrap();
+        let err = McCheckpoint::<f64>::resume_from(&path).unwrap_err();
+        assert!(matches!(err, McError::CorruptCheckpoint { .. }), "{err:?}");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -23,6 +23,7 @@
 use crate::mna::{CapMode, Layout, NewtonOptions, SolveSettings, GMIN};
 use crate::netlist::Circuit;
 use crate::{SpiceError, Workspace};
+use ferrocim_telemetry::{Event, RungKind, Telemetry};
 use ferrocim_units::{Celsius, Second};
 
 /// One rung of the rescue ladder.
@@ -148,6 +149,16 @@ impl RescuePolicy {
     }
 }
 
+/// The telemetry-event mirror of a rung (parameter-free, `Copy`).
+fn rung_kind(rung: &RescueRung) -> RungKind {
+    match rung {
+        RescueRung::PlainNewton => RungKind::PlainNewton,
+        RescueRung::Damping { .. } => RungKind::Damping,
+        RescueRung::GminStepping => RungKind::GminStepping,
+        RescueRung::SourceStepping => RungKind::SourceStepping,
+    }
+}
+
 /// True for errors the ladder can plausibly fix by continuation.
 pub(crate) fn is_rescuable(err: &SpiceError) -> bool {
     matches!(
@@ -169,6 +180,11 @@ pub(crate) fn is_rescuable(err: &SpiceError) -> bool {
 /// Rescue retries are charged against `budget` like any other Newton
 /// work; a budget/cancellation failure aborts the ladder immediately
 /// rather than being mistaken for a failed rung.
+///
+/// Every rung attempt recorded in the report is mirrored as an
+/// [`Event::RescueAttempt`] through `tele` (including the failed plain
+/// solve that started the ladder), so an aggregator's attempt counts
+/// match the report's `attempts` exactly.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn rescue_solve(
     circuit: &Circuit,
@@ -181,9 +197,20 @@ pub(crate) fn rescue_solve(
     options: &NewtonOptions,
     policy: &RescuePolicy,
     budget: &crate::Budget,
+    tele: &Telemetry,
     ws: &mut Workspace,
     plain_error: SpiceError,
 ) -> Result<RescueReport, SpiceError> {
+    let attempt = |a: &RungAttempt| {
+        let kind = rung_kind(&a.rung);
+        let iterations = a.iterations as u64;
+        let converged = a.converged;
+        tele.emit(|| Event::RescueAttempt {
+            rung: kind,
+            iterations,
+            converged,
+        });
+    };
     let mut report = RescueReport {
         attempts: vec![RungAttempt {
             rung: RescueRung::PlainNewton,
@@ -191,6 +218,7 @@ pub(crate) fn rescue_solve(
             converged: false,
         }],
     };
+    attempt(&report.attempts[0]);
 
     // Rung 2: stronger damping at nominal settings.
     for &max_step in &policy.damping_steps {
@@ -210,22 +238,29 @@ pub(crate) fn rescue_solve(
             x,
             &damped,
             budget,
+            tele,
             ws,
         ) {
             Ok(iters) => {
-                report.attempts.push(RungAttempt {
+                let won = RungAttempt {
                     rung,
                     iterations: iters,
                     converged: true,
-                });
+                };
+                attempt(&won);
+                report.attempts.push(won);
                 return Ok(report);
             }
             Err(e) if !is_rescuable(&e) => return Err(e),
-            Err(_) => report.attempts.push(RungAttempt {
-                rung,
-                iterations: damped.max_iterations,
-                converged: false,
-            }),
+            Err(_) => {
+                let failed = RungAttempt {
+                    rung,
+                    iterations: damped.max_iterations,
+                    converged: false,
+                };
+                attempt(&failed);
+                report.attempts.push(failed);
+            }
         }
     }
 
@@ -240,7 +275,7 @@ pub(crate) fn rescue_solve(
                 source_scale: 1.0,
             };
             match crate::mna::newton_solve_in(
-                circuit, layout, t, temp, caps, &settings, x, options, budget, ws,
+                circuit, layout, t, temp, caps, &settings, x, options, budget, tele, ws,
             ) {
                 Ok(iters) => iterations += iters,
                 Err(e) if !is_rescuable(&e) => return Err(e),
@@ -251,11 +286,13 @@ pub(crate) fn rescue_solve(
                 }
             }
         }
-        report.attempts.push(RungAttempt {
+        let tried = RungAttempt {
             rung: RescueRung::GminStepping,
             iterations,
             converged,
-        });
+        };
+        attempt(&tried);
+        report.attempts.push(tried);
         if converged {
             return Ok(report);
         }
@@ -272,7 +309,7 @@ pub(crate) fn rescue_solve(
                 source_scale: k as f64 / policy.source_steps as f64,
             };
             match crate::mna::newton_solve_in(
-                circuit, layout, t, temp, caps, &settings, x, options, budget, ws,
+                circuit, layout, t, temp, caps, &settings, x, options, budget, tele, ws,
             ) {
                 Ok(iters) => iterations += iters,
                 Err(e) if !is_rescuable(&e) => return Err(e),
@@ -283,11 +320,13 @@ pub(crate) fn rescue_solve(
                 }
             }
         }
-        report.attempts.push(RungAttempt {
+        let tried = RungAttempt {
             rung: RescueRung::SourceStepping,
             iterations,
             converged,
-        });
+        };
+        attempt(&tried);
+        report.attempts.push(tried);
         if converged {
             return Ok(report);
         }

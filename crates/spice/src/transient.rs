@@ -19,6 +19,7 @@ use crate::mna::{newton_solve_in, CapMode, CapState, Layout, NewtonOptions};
 use crate::netlist::{Circuit, Element, NodeId};
 use crate::rescue::{is_rescuable, rescue_solve, RescuePolicy};
 use crate::{Budget, SpiceError, Workspace};
+use ferrocim_telemetry::{Event, Telemetry};
 use ferrocim_units::{Ampere, Celsius, Joule, Second, Volt};
 use std::collections::HashMap;
 
@@ -295,6 +296,7 @@ pub struct TransientAnalysis<'a> {
     start_from: Option<&'a OperatingPoint>,
     rescue: RescuePolicy,
     budget: Budget,
+    telemetry: Telemetry,
 }
 
 impl<'a> TransientAnalysis<'a> {
@@ -311,6 +313,7 @@ impl<'a> TransientAnalysis<'a> {
             start_from: None,
             rescue: RescuePolicy::default(),
             budget: Budget::unlimited(),
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -327,6 +330,7 @@ impl<'a> TransientAnalysis<'a> {
             start_from: None,
             rescue: RescuePolicy::default(),
             budget: Budget::unlimited(),
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -368,6 +372,15 @@ impl<'a> TransientAnalysis<'a> {
     /// [`SpiceError::BudgetExceeded`] / [`SpiceError::Cancelled`].
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Attaches a telemetry handle: every Newton iteration, accepted or
+    /// rejected step, and rescue-ladder attempt is emitted through it
+    /// (see `ferrocim_telemetry::Event`). The default handle is off and
+    /// adds no measurable cost.
+    pub fn with_recorder(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -420,6 +433,7 @@ impl<'a> TransientAnalysis<'a> {
                 .at(self.temp)
                 .with_options(self.options)
                 .with_budget(self.budget.clone())
+                .with_recorder(self.telemetry.clone())
                 .solve_in(ws)?,
         };
         let mut cap_states: HashMap<usize, CapState> = HashMap::new();
@@ -523,8 +537,13 @@ impl<'a> TransientAnalysis<'a> {
                 &mut x,
                 &self.options,
                 &self.budget,
+                &self.telemetry,
                 ws,
             )?;
+            self.telemetry.emit(|| Event::StepAccepted {
+                time: t_now,
+                dt: step,
+            });
             update_cap_states(
                 self.circuit,
                 &layout,
@@ -613,6 +632,7 @@ impl<'a> TransientAnalysis<'a> {
                 self.temp,
                 &self.options,
                 &self.budget,
+                &self.telemetry,
                 trapezoidal,
                 t,
                 h,
@@ -636,6 +656,10 @@ impl<'a> TransientAnalysis<'a> {
                         std::mem::swap(&mut cap_states, &mut states_half);
                         rec.accumulate_energy(&layout, target, &x, h);
                         rec.record(&layout, target, &x);
+                        self.telemetry.emit(|| Event::StepAccepted {
+                            time: target,
+                            dt: h,
+                        });
                         t = target;
                         report.accepted += 1;
                         let factor = if lte > 0.0 {
@@ -654,12 +678,16 @@ impl<'a> TransientAnalysis<'a> {
                         }
                         .clamp(dt_min, dt_max);
                     } else {
+                        self.telemetry
+                            .emit(|| Event::StepRejected { time: t, dt: h });
                         report.rejected += 1;
                         dt = (0.5 * h).max(dt_min);
                     }
                 }
                 StepTrial::Diverged(err) => {
                     if !at_floor {
+                        self.telemetry
+                            .emit(|| Event::StepRejected { time: t, dt: h });
                         report.rejected += 1;
                         dt = (0.5 * h).max(dt_min);
                     } else if self.rescue.is_enabled() {
@@ -682,6 +710,7 @@ impl<'a> TransientAnalysis<'a> {
                             &self.options,
                             &self.rescue,
                             &self.budget,
+                            &self.telemetry,
                             ws,
                             err,
                         )?;
@@ -696,6 +725,10 @@ impl<'a> TransientAnalysis<'a> {
                         std::mem::swap(&mut x, &mut x_full);
                         rec.accumulate_energy(&layout, target, &x, h);
                         rec.record(&layout, target, &x);
+                        self.telemetry.emit(|| Event::StepAccepted {
+                            time: target,
+                            dt: h,
+                        });
                         t = target;
                         report.accepted += 1;
                         report.rescued += 1;
@@ -733,6 +766,7 @@ fn attempt_step(
     temp: Celsius,
     options: &NewtonOptions,
     budget: &Budget,
+    tele: &Telemetry,
     trapezoidal: bool,
     t: f64,
     h: f64,
@@ -759,6 +793,7 @@ fn attempt_step(
         x_full,
         options,
         budget,
+        tele,
         ws,
     ) {
         return if is_rescuable(&e) {
@@ -788,6 +823,7 @@ fn attempt_step(
             x_half,
             options,
             budget,
+            tele,
             ws,
         ) {
             return if is_rescuable(&e) {

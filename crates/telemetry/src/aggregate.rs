@@ -1,0 +1,573 @@
+//! In-memory aggregation: atomic counters, fixed-bucket histograms,
+//! and a Prometheus-style text exposition.
+
+use crate::event::Event;
+use crate::recorder::Recorder;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Adds `value` into an `AtomicU64` holding `f64` bits, lock-free.
+fn atomic_f64_add(cell: &AtomicU64, value: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(current) + value).to_bits();
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+/// A fixed-bucket histogram with atomic counts.
+///
+/// Bucket `i` counts observations `value <= bounds[i]` (the smallest
+/// such bound wins, Prometheus `le` semantics); one extra overflow
+/// bucket catches everything above the last bound. Recording is
+/// lock-free, and two histograms with identical bounds can be merged
+/// bucket-wise (the `fan_out` per-thread pattern).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    /// Sum of observed values, stored as `f64` bits.
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Builds a histogram over ascending upper bounds. Out-of-order
+    /// bounds are sorted; an empty bound list yields a single overflow
+    /// bucket.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        let mut bounds = bounds.to_vec();
+        bounds.sort_by(f64::total_cmp);
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            counts,
+            sum: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    /// The bucket upper bounds (ascending, exclusive of the overflow
+    /// bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot].fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum, value);
+    }
+
+    /// Per-bucket counts (the last entry is the overflow bucket).
+    pub fn counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum.load(Ordering::Relaxed))
+    }
+
+    /// Adds `other`'s buckets into `self`. When the bucket bounds
+    /// differ, `other`'s observations land in the overflow bucket (the
+    /// totals and sums stay exact; only their placement degrades).
+    pub fn merge_from(&self, other: &Histogram) {
+        if self.bounds == other.bounds {
+            for (mine, theirs) in self.counts.iter().zip(&other.counts) {
+                mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+        } else if let Some(overflow) = self.counts.last() {
+            overflow.fetch_add(other.total(), Ordering::Relaxed);
+        }
+        atomic_f64_add(&self.sum, other.sum());
+    }
+
+    /// Renders the histogram in Prometheus text exposition format.
+    fn render_prometheus_into(&self, name: &str, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in self.bounds.iter().zip(&self.counts) {
+            cumulative += count.load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let total = self.total();
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {total}");
+        let _ = writeln!(out, "{name}_sum {}", self.sum());
+        let _ = writeln!(out, "{name}_count {total}");
+    }
+}
+
+/// A point-in-time snapshot of every [`Aggregator`] counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counts {
+    /// Newton iterations run ([`Event::NewtonIter`]).
+    pub newton_iters: u64,
+    /// Newton solves that converged ([`Event::NewtonConverged`]).
+    pub newton_converged: u64,
+    /// Transient steps accepted ([`Event::StepAccepted`]).
+    pub steps_accepted: u64,
+    /// Transient steps rejected ([`Event::StepRejected`]).
+    pub steps_rejected: u64,
+    /// Rescue-ladder rung attempts ([`Event::RescueAttempt`]).
+    pub rescue_attempts: u64,
+    /// Rescue-ladder attempts that converged (one per rescued solve).
+    pub rescues_succeeded: u64,
+    /// Newton iterations charged to a limited budget.
+    pub budget_newton: u64,
+    /// Steps charged to a limited budget.
+    pub budget_steps: u64,
+    /// Monte-Carlo runs started ([`Event::McRunStarted`]).
+    pub mc_runs_started: u64,
+    /// Monte-Carlo runs that produced a sample.
+    pub mc_runs_ok: u64,
+    /// Monte-Carlo runs that failed or were skipped.
+    pub mc_runs_failed: u64,
+    /// MAC jobs requested across all batches ([`Event::MacIssued`]).
+    pub mac_jobs: u64,
+    /// MAC transients actually solved after duplicate collapsing.
+    pub mac_solves: u64,
+    /// Fault substitutions ([`Event::FaultSubstituted`]).
+    pub faults_substituted: u64,
+    /// Training epochs completed ([`Event::EpochDone`]).
+    pub epochs_done: u64,
+    /// Scoped timers closed ([`Event::Span`]).
+    pub spans: u64,
+    /// Run manifests seen ([`Event::Manifest`]).
+    pub manifests: u64,
+}
+
+/// A lock-free in-memory [`Recorder`]: atomic counters per event kind
+/// plus fixed-bucket histograms of Newton iterations per converged
+/// solve and span latencies.
+///
+/// The aggregator is `Sync`, so one instance can be shared across
+/// `fan_out` worker threads directly; alternatively, give each thread
+/// its own and combine them with [`Aggregator::merge_from`].
+#[derive(Debug)]
+pub struct Aggregator {
+    newton_iters: AtomicU64,
+    newton_converged: AtomicU64,
+    steps_accepted: AtomicU64,
+    steps_rejected: AtomicU64,
+    rescue_attempts: AtomicU64,
+    rescues_succeeded: AtomicU64,
+    budget_newton: AtomicU64,
+    budget_steps: AtomicU64,
+    mc_runs_started: AtomicU64,
+    mc_runs_ok: AtomicU64,
+    mc_runs_failed: AtomicU64,
+    mac_jobs: AtomicU64,
+    mac_solves: AtomicU64,
+    faults_substituted: AtomicU64,
+    epochs_done: AtomicU64,
+    spans: AtomicU64,
+    manifests: AtomicU64,
+    newton_histogram: Histogram,
+    span_histogram: Histogram,
+}
+
+/// Upper bounds (iterations) for the Newton-per-solve histogram.
+const NEWTON_BOUNDS: &[f64] = &[1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 64.0];
+
+/// Upper bounds (microseconds) for the span-latency histogram.
+const SPAN_BOUNDS: &[f64] = &[1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8];
+
+impl Aggregator {
+    /// An empty aggregator with the default histogram buckets.
+    pub fn new() -> Aggregator {
+        Aggregator {
+            newton_iters: AtomicU64::new(0),
+            newton_converged: AtomicU64::new(0),
+            steps_accepted: AtomicU64::new(0),
+            steps_rejected: AtomicU64::new(0),
+            rescue_attempts: AtomicU64::new(0),
+            rescues_succeeded: AtomicU64::new(0),
+            budget_newton: AtomicU64::new(0),
+            budget_steps: AtomicU64::new(0),
+            mc_runs_started: AtomicU64::new(0),
+            mc_runs_ok: AtomicU64::new(0),
+            mc_runs_failed: AtomicU64::new(0),
+            mac_jobs: AtomicU64::new(0),
+            mac_solves: AtomicU64::new(0),
+            faults_substituted: AtomicU64::new(0),
+            epochs_done: AtomicU64::new(0),
+            spans: AtomicU64::new(0),
+            manifests: AtomicU64::new(0),
+            newton_histogram: Histogram::new(NEWTON_BOUNDS),
+            span_histogram: Histogram::new(SPAN_BOUNDS),
+        }
+    }
+
+    /// Snapshot of every counter.
+    pub fn counts(&self) -> Counts {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        Counts {
+            newton_iters: load(&self.newton_iters),
+            newton_converged: load(&self.newton_converged),
+            steps_accepted: load(&self.steps_accepted),
+            steps_rejected: load(&self.steps_rejected),
+            rescue_attempts: load(&self.rescue_attempts),
+            rescues_succeeded: load(&self.rescues_succeeded),
+            budget_newton: load(&self.budget_newton),
+            budget_steps: load(&self.budget_steps),
+            mc_runs_started: load(&self.mc_runs_started),
+            mc_runs_ok: load(&self.mc_runs_ok),
+            mc_runs_failed: load(&self.mc_runs_failed),
+            mac_jobs: load(&self.mac_jobs),
+            mac_solves: load(&self.mac_solves),
+            faults_substituted: load(&self.faults_substituted),
+            epochs_done: load(&self.epochs_done),
+            spans: load(&self.spans),
+            manifests: load(&self.manifests),
+        }
+    }
+
+    /// The histogram of Newton iterations per converged solve.
+    pub fn newton_histogram(&self) -> &Histogram {
+        &self.newton_histogram
+    }
+
+    /// The histogram of span latencies (microseconds).
+    pub fn span_histogram(&self) -> &Histogram {
+        &self.span_histogram
+    }
+
+    /// Adds `other`'s counters and histograms into `self` (the
+    /// per-thread `fan_out` merge pattern).
+    pub fn merge_from(&self, other: &Aggregator) {
+        let add = |mine: &AtomicU64, theirs: &AtomicU64| {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        };
+        add(&self.newton_iters, &other.newton_iters);
+        add(&self.newton_converged, &other.newton_converged);
+        add(&self.steps_accepted, &other.steps_accepted);
+        add(&self.steps_rejected, &other.steps_rejected);
+        add(&self.rescue_attempts, &other.rescue_attempts);
+        add(&self.rescues_succeeded, &other.rescues_succeeded);
+        add(&self.budget_newton, &other.budget_newton);
+        add(&self.budget_steps, &other.budget_steps);
+        add(&self.mc_runs_started, &other.mc_runs_started);
+        add(&self.mc_runs_ok, &other.mc_runs_ok);
+        add(&self.mc_runs_failed, &other.mc_runs_failed);
+        add(&self.mac_jobs, &other.mac_jobs);
+        add(&self.mac_solves, &other.mac_solves);
+        add(&self.faults_substituted, &other.faults_substituted);
+        add(&self.epochs_done, &other.epochs_done);
+        add(&self.spans, &other.spans);
+        add(&self.manifests, &other.manifests);
+        self.newton_histogram.merge_from(&other.newton_histogram);
+        self.span_histogram.merge_from(&other.span_histogram);
+    }
+
+    /// Renders every counter and histogram in the Prometheus text
+    /// exposition format (`# TYPE` + sample lines), for future serving.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let counts = self.counts();
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter(
+            "ferrocim_newton_iterations_total",
+            "Newton-Raphson iterations run.",
+            counts.newton_iters,
+        );
+        counter(
+            "ferrocim_newton_converged_total",
+            "Newton solves that converged.",
+            counts.newton_converged,
+        );
+        counter(
+            "ferrocim_steps_accepted_total",
+            "Transient steps accepted.",
+            counts.steps_accepted,
+        );
+        counter(
+            "ferrocim_steps_rejected_total",
+            "Transient steps rejected.",
+            counts.steps_rejected,
+        );
+        counter(
+            "ferrocim_rescue_attempts_total",
+            "Convergence-rescue rung attempts.",
+            counts.rescue_attempts,
+        );
+        counter(
+            "ferrocim_rescues_succeeded_total",
+            "Rescue rungs that converged.",
+            counts.rescues_succeeded,
+        );
+        counter(
+            "ferrocim_budget_newton_total",
+            "Newton iterations charged to a limited budget.",
+            counts.budget_newton,
+        );
+        counter(
+            "ferrocim_budget_steps_total",
+            "Steps charged to a limited budget.",
+            counts.budget_steps,
+        );
+        counter(
+            "ferrocim_mc_runs_started_total",
+            "Monte-Carlo runs started.",
+            counts.mc_runs_started,
+        );
+        counter(
+            "ferrocim_mc_runs_ok_total",
+            "Monte-Carlo runs that produced a sample.",
+            counts.mc_runs_ok,
+        );
+        counter(
+            "ferrocim_mc_runs_failed_total",
+            "Monte-Carlo runs that failed or were skipped.",
+            counts.mc_runs_failed,
+        );
+        counter(
+            "ferrocim_mac_jobs_total",
+            "Row-MAC jobs requested.",
+            counts.mac_jobs,
+        );
+        counter(
+            "ferrocim_mac_solves_total",
+            "Row-MAC transients solved after dedup.",
+            counts.mac_solves,
+        );
+        counter(
+            "ferrocim_faults_substituted_total",
+            "Fault-tolerant oracle substitutions.",
+            counts.faults_substituted,
+        );
+        counter(
+            "ferrocim_epochs_done_total",
+            "Training epochs completed.",
+            counts.epochs_done,
+        );
+        counter(
+            "ferrocim_spans_total",
+            "Scoped timers closed.",
+            counts.spans,
+        );
+        self.newton_histogram
+            .render_prometheus_into("ferrocim_newton_iterations_per_solve", &mut out);
+        self.span_histogram
+            .render_prometheus_into("ferrocim_span_micros", &mut out);
+        out
+    }
+}
+
+impl Default for Aggregator {
+    fn default() -> Self {
+        Aggregator::new()
+    }
+}
+
+impl Recorder for Aggregator {
+    fn record(&self, event: &Event) {
+        match event {
+            Event::NewtonIter { .. } => {
+                self.newton_iters.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::NewtonConverged { iterations } => {
+                self.newton_converged.fetch_add(1, Ordering::Relaxed);
+                self.newton_histogram.record(*iterations as f64);
+            }
+            Event::StepAccepted { .. } => {
+                self.steps_accepted.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::StepRejected { .. } => {
+                self.steps_rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::RescueAttempt { converged, .. } => {
+                self.rescue_attempts.fetch_add(1, Ordering::Relaxed);
+                if *converged {
+                    self.rescues_succeeded.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Event::BudgetSpend { resource, amount } => match resource {
+                crate::event::ResourceKind::NewtonIterations => {
+                    self.budget_newton.fetch_add(*amount, Ordering::Relaxed);
+                }
+                crate::event::ResourceKind::Steps => {
+                    self.budget_steps.fetch_add(*amount, Ordering::Relaxed);
+                }
+            },
+            Event::McRunStarted { .. } => {
+                self.mc_runs_started.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::McRunDone { ok, .. } => {
+                if *ok {
+                    self.mc_runs_ok.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.mc_runs_failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Event::MacIssued { jobs, solves } => {
+                self.mac_jobs.fetch_add(*jobs, Ordering::Relaxed);
+                self.mac_solves.fetch_add(*solves, Ordering::Relaxed);
+            }
+            Event::FaultSubstituted { .. } => {
+                self.faults_substituted.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::EpochDone { .. } => {
+                self.epochs_done.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::Span { micros, .. } => {
+                self.spans.fetch_add(1, Ordering::Relaxed);
+                self.span_histogram.record(*micros);
+            }
+            Event::Manifest { .. } => {
+                self.manifests.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ResourceKind, RungKind};
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.record(0.5);
+        h.record(1.0); // le="1" (inclusive)
+        h.record(5.0);
+        h.record(100.0); // overflow
+        assert_eq!(h.counts(), vec![2, 1, 1]);
+        assert_eq!(h.total(), 4);
+        assert!((h.sum() - 106.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_same_shape_is_bucketwise() {
+        let a = Histogram::new(&[1.0, 10.0]);
+        let b = Histogram::new(&[1.0, 10.0]);
+        a.record(0.5);
+        b.record(5.0);
+        b.record(50.0);
+        a.merge_from(&b);
+        assert_eq!(a.counts(), vec![1, 1, 1]);
+        assert!((a.sum() - 55.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_shape_mismatch_keeps_totals() {
+        let a = Histogram::new(&[1.0]);
+        let b = Histogram::new(&[2.0]);
+        b.record(0.5);
+        b.record(3.0);
+        a.merge_from(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.counts(), vec![0, 2]);
+    }
+
+    #[test]
+    fn aggregator_counts_every_event_kind() {
+        let agg = Aggregator::new();
+        agg.record(&Event::NewtonIter { iteration: 1 });
+        agg.record(&Event::NewtonIter { iteration: 2 });
+        agg.record(&Event::NewtonConverged { iterations: 2 });
+        agg.record(&Event::StepAccepted { time: 0.0, dt: 1.0 });
+        agg.record(&Event::StepRejected { time: 0.0, dt: 1.0 });
+        agg.record(&Event::RescueAttempt {
+            rung: RungKind::PlainNewton,
+            iterations: 3,
+            converged: false,
+        });
+        agg.record(&Event::RescueAttempt {
+            rung: RungKind::GminStepping,
+            iterations: 9,
+            converged: true,
+        });
+        agg.record(&Event::BudgetSpend {
+            resource: ResourceKind::NewtonIterations,
+            amount: 4,
+        });
+        agg.record(&Event::BudgetSpend {
+            resource: ResourceKind::Steps,
+            amount: 2,
+        });
+        agg.record(&Event::McRunStarted { run: 0 });
+        agg.record(&Event::McRunDone { run: 0, ok: true });
+        agg.record(&Event::McRunDone { run: 1, ok: false });
+        agg.record(&Event::MacIssued {
+            jobs: 16,
+            solves: 2,
+        });
+        agg.record(&Event::FaultSubstituted { substitute: 4 });
+        agg.record(&Event::EpochDone {
+            epoch: 0,
+            loss: 1.0,
+            accuracy: 0.5,
+        });
+        agg.record(&Event::Span {
+            name: "x".into(),
+            micros: 5.0,
+        });
+        let c = agg.counts();
+        assert_eq!(c.newton_iters, 2);
+        assert_eq!(c.newton_converged, 1);
+        assert_eq!(c.steps_accepted, 1);
+        assert_eq!(c.steps_rejected, 1);
+        assert_eq!(c.rescue_attempts, 2);
+        assert_eq!(c.rescues_succeeded, 1);
+        assert_eq!(c.budget_newton, 4);
+        assert_eq!(c.budget_steps, 2);
+        assert_eq!(c.mc_runs_started, 1);
+        assert_eq!(c.mc_runs_ok, 1);
+        assert_eq!(c.mc_runs_failed, 1);
+        assert_eq!(c.mac_jobs, 16);
+        assert_eq!(c.mac_solves, 2);
+        assert_eq!(c.faults_substituted, 1);
+        assert_eq!(c.epochs_done, 1);
+        assert_eq!(c.spans, 1);
+        assert_eq!(agg.newton_histogram().total(), 1);
+        assert_eq!(agg.span_histogram().total(), 1);
+    }
+
+    #[test]
+    fn merge_from_adds_counters_and_histograms() {
+        let a = Aggregator::new();
+        let b = Aggregator::new();
+        a.record(&Event::StepAccepted { time: 0.0, dt: 1.0 });
+        b.record(&Event::StepAccepted { time: 1.0, dt: 1.0 });
+        b.record(&Event::NewtonConverged { iterations: 3 });
+        a.merge_from(&b);
+        assert_eq!(a.counts().steps_accepted, 2);
+        assert_eq!(a.counts().newton_converged, 1);
+        assert_eq!(a.newton_histogram().total(), 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_counters_and_buckets() {
+        let agg = Aggregator::new();
+        agg.record(&Event::StepAccepted { time: 0.0, dt: 1.0 });
+        agg.record(&Event::NewtonConverged { iterations: 5 });
+        let text = agg.render_prometheus();
+        assert!(text.contains("# TYPE ferrocim_steps_accepted_total counter"));
+        assert!(text.contains("ferrocim_steps_accepted_total 1"));
+        assert!(text.contains("# TYPE ferrocim_newton_iterations_per_solve histogram"));
+        assert!(text.contains("ferrocim_newton_iterations_per_solve_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("ferrocim_newton_iterations_per_solve_count 1"));
+    }
+}

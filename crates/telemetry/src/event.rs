@@ -1,0 +1,189 @@
+//! The typed event vocabulary shared by every instrumented layer.
+
+use serde::{Deserialize, Serialize};
+
+/// Schema version string carried by the header line of every JSONL
+/// trace (see [`crate::JsonlSink`]), mirroring the versioned
+/// `ferrocim-mc-checkpoint-v1` convention of `McCheckpoint`.
+pub const TRACE_FORMAT: &str = "ferrocim-trace-v1";
+
+/// Which budgeted resource a [`Event::BudgetSpend`] charge drew from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Newton–Raphson iterations (`Budget::charge_newton`).
+    NewtonIterations,
+    /// Transient/sweep/batch steps (`Budget::charge_steps`).
+    Steps,
+}
+
+/// Which rung of the convergence-rescue ladder an attempt ran on.
+///
+/// Mirrors `ferrocim_spice::RescueRung` without the rung parameters, so
+/// the event stays `Copy` and allocation-free on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RungKind {
+    /// The plain Newton retry from the last good state.
+    PlainNewton,
+    /// Newton with a tighter damping clamp.
+    Damping,
+    /// Gmin stepping (conductance ladder).
+    GminStepping,
+    /// Source stepping (supplies ramped from zero).
+    SourceStepping,
+}
+
+/// One observation from an instrumented hot loop.
+///
+/// Events are deliberately flat and (except for [`Event::Span`] and
+/// [`Event::Manifest`]) allocation-free, so constructing one costs a
+/// handful of register writes; sites behind a disabled [`crate::Telemetry`]
+/// handle never construct them at all.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// One Newton–Raphson iteration ran (converged or not).
+    NewtonIter {
+        /// 1-based iteration index within the enclosing solve.
+        iteration: u64,
+    },
+    /// A Newton solve converged.
+    NewtonConverged {
+        /// Iterations the solve needed.
+        iterations: u64,
+    },
+    /// An adaptive (or fixed-grid) transient step was accepted.
+    StepAccepted {
+        /// Simulation time at the end of the step, in seconds.
+        time: f64,
+        /// The accepted step size, in seconds.
+        dt: f64,
+    },
+    /// An adaptive transient step was rejected (LTE too large or the
+    /// solve diverged above the `dt_min` floor).
+    StepRejected {
+        /// Simulation time at the start of the rejected step, in seconds.
+        time: f64,
+        /// The rejected step size, in seconds.
+        dt: f64,
+    },
+    /// One rung of the convergence-rescue ladder was attempted.
+    RescueAttempt {
+        /// The ladder rung.
+        rung: RungKind,
+        /// Newton iterations the rung consumed.
+        iterations: u64,
+        /// Whether the rung converged (ending the ladder).
+        converged: bool,
+    },
+    /// A limited `Budget` was charged.
+    BudgetSpend {
+        /// The resource pool charged.
+        resource: ResourceKind,
+        /// Units charged.
+        amount: u64,
+    },
+    /// A Monte-Carlo run started.
+    McRunStarted {
+        /// The deterministic run index.
+        run: u64,
+    },
+    /// A Monte-Carlo run finished.
+    McRunDone {
+        /// The deterministic run index.
+        run: u64,
+        /// Whether the run produced a sample (`false` = failed/skipped).
+        ok: bool,
+    },
+    /// A batch of row MACs was issued to the array engine.
+    MacIssued {
+        /// Jobs requested by the caller.
+        jobs: u64,
+        /// Transients actually solved after duplicate collapsing.
+        solves: u64,
+    },
+    /// A fault-tolerant oracle substituted a fallback value for a
+    /// panicked CIM read.
+    FaultSubstituted {
+        /// The substituted read-out count.
+        substitute: u64,
+    },
+    /// A training epoch (forward+backward over the set, plus the
+    /// post-epoch accuracy pass) completed.
+    EpochDone {
+        /// 0-based epoch index.
+        epoch: u64,
+        /// Mean training loss over the epoch.
+        loss: f64,
+        /// Training-set accuracy measured after the epoch.
+        accuracy: f64,
+    },
+    /// A scoped timer closed (see [`crate::Span`]).
+    Span {
+        /// The span label.
+        name: String,
+        /// Elapsed wall-clock time in microseconds.
+        micros: f64,
+    },
+    /// A run manifest: which binary produced this trace, with what
+    /// command line. Emitted once at the head of `--trace` files.
+    Manifest {
+        /// Binary name.
+        bin: String,
+        /// Command-line arguments (excluding the binary path).
+        args: Vec<String>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            Event::NewtonIter { iteration: 3 },
+            Event::NewtonConverged { iterations: 4 },
+            Event::StepAccepted {
+                time: 1e-9,
+                dt: 2e-12,
+            },
+            Event::StepRejected {
+                time: 2e-9,
+                dt: 4e-12,
+            },
+            Event::RescueAttempt {
+                rung: RungKind::GminStepping,
+                iterations: 17,
+                converged: true,
+            },
+            Event::BudgetSpend {
+                resource: ResourceKind::Steps,
+                amount: 1,
+            },
+            Event::McRunStarted { run: 7 },
+            Event::McRunDone { run: 7, ok: false },
+            Event::MacIssued {
+                jobs: 16,
+                solves: 2,
+            },
+            Event::FaultSubstituted { substitute: 5 },
+            Event::EpochDone {
+                epoch: 0,
+                loss: 2.3,
+                accuracy: 0.11,
+            },
+            Event::Span {
+                name: "solve".into(),
+                micros: 12.5,
+            },
+            Event::Manifest {
+                bin: "probe_telemetry".into(),
+                args: vec!["--overhead".into()],
+            },
+        ];
+        for event in events {
+            let text = serde_json::to_string(&event).expect("serialize");
+            let back: Event = serde_json::from_str(&text).expect("deserialize");
+            assert_eq!(back, event);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Zero-overhead-when-off observability for the `ferrocim` stack.
+//!
+//! The paper's evaluation is a fleet of long-running sweeps (Monte-Carlo
+//! over device variation, 0–85 °C temperature grids, VGG/CIFAR-10
+//! inference through simulated rows). This crate is the substrate for
+//! watching those runs without slowing them down:
+//!
+//! * [`Event`] — the typed vocabulary emitted by the hot loops of
+//!   `ferrocim-spice` (Newton iterations, adaptive-step accept/reject,
+//!   rescue-ladder rungs, budget spend, Monte-Carlo runs),
+//!   `ferrocim-cim` (batched MAC issues, fault substitutions), and
+//!   `ferrocim-nn` (training epochs).
+//! * [`Recorder`] — the sink trait; [`NoopRecorder`], [`Aggregator`]
+//!   (atomic counters + fixed-bucket histograms, mergeable across
+//!   `fan_out` threads, with a Prometheus-style text exposition), and
+//!   [`JsonlSink`] (buffered JSONL stream with a versioned schema and
+//!   atomic tmp+rename close) implement it. [`Tee`] fans one event
+//!   stream out to several sinks.
+//! * [`Telemetry`] — the cheap clone-shared handle plumbed through the
+//!   simulation builders (the same way `Budget` is). The default
+//!   handle is enum-dispatched to a no-op: when telemetry is off, an
+//!   instrumentation site costs one discriminant check and the event
+//!   is never even constructed.
+//! * [`Span`] — scoped wall-clock timers that emit [`Event::Span`] on
+//!   drop (and skip the clock read entirely when telemetry is off).
+//!
+//! # Example
+//!
+//! ```
+//! use ferrocim_telemetry::{Aggregator, Event, Telemetry};
+//! use std::sync::Arc;
+//!
+//! let agg = Arc::new(Aggregator::new());
+//! let tele = Telemetry::new(agg.clone());
+//! tele.emit(|| Event::StepAccepted { time: 0.0, dt: 1e-12 });
+//! {
+//!     let _timer = tele.span("solve");
+//! } // emits Event::Span on drop
+//! assert_eq!(agg.counts().steps_accepted, 1);
+//! assert_eq!(agg.counts().spans, 1);
+//!
+//! // The default handle is off: the closure is never run.
+//! let off = Telemetry::off();
+//! off.emit(|| unreachable!("not constructed when telemetry is off"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod aggregate;
+mod event;
+mod recorder;
+mod sink;
+
+pub use aggregate::{Aggregator, Counts, Histogram};
+pub use event::{Event, ResourceKind, RungKind, TRACE_FORMAT};
+pub use recorder::{NoopRecorder, Recorder, Span, Tee, Telemetry};
+pub use sink::{read_trace, JsonlSink, TraceError};

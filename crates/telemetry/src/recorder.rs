@@ -1,0 +1,236 @@
+//! The [`Recorder`] sink trait and the [`Telemetry`] handle plumbed
+//! through the simulation builders.
+
+use crate::event::Event;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A sink for telemetry [`Event`]s.
+///
+/// Implementations must be thread-safe: one recorder is shared (via the
+/// clone-cheap [`Telemetry`] handle) across every `fan_out` worker of a
+/// batched run, exactly like the `Arc`-pooled `Budget`.
+pub trait Recorder: Send + Sync {
+    /// Consumes one event. Must not panic; sinks with fallible
+    /// back-ends (files, sockets) latch the first error and surface it
+    /// at close instead.
+    fn record(&self, event: &Event);
+}
+
+/// A recorder that discards every event.
+///
+/// This is the semantic default. In practice a default [`Telemetry`]
+/// handle does not even dispatch to it: the handle is enum-dispatched,
+/// and its off state skips event construction entirely — the
+/// [`NoopRecorder`] type exists for explicitly exercising the full
+/// dispatch path (e.g. the `probe_telemetry --overhead` bench guard).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Fans one event stream out to several recorders, in order.
+pub struct Tee {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl Tee {
+    /// Builds a tee over `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn Recorder>>) -> Tee {
+        Tee { sinks }
+    }
+}
+
+impl Recorder for Tee {
+    fn record(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+}
+
+impl fmt::Debug for Tee {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tee({} sinks)", self.sinks.len())
+    }
+}
+
+/// The clone-cheap telemetry handle threaded through `SimEngine`,
+/// `TransientAnalysis`, `MonteCarlo`, `CimArray`, and friends (the same
+/// builder pattern as `Budget`).
+///
+/// The default handle is **off**: instrumentation sites behind it cost
+/// one enum-discriminant check and never construct their event. An on
+/// handle shares one [`Recorder`] across all clones.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    handle: Option<Arc<dyn Recorder>>,
+}
+
+impl Telemetry {
+    /// The disabled handle (the default): events are skipped before
+    /// they are constructed.
+    pub fn off() -> Telemetry {
+        Telemetry { handle: None }
+    }
+
+    /// A handle recording into an existing shared recorder.
+    pub fn new(recorder: Arc<dyn Recorder>) -> Telemetry {
+        Telemetry {
+            handle: Some(recorder),
+        }
+    }
+
+    /// Convenience: wraps a recorder value in an `Arc` and enables it.
+    pub fn to(recorder: impl Recorder + 'static) -> Telemetry {
+        Telemetry::new(Arc::new(recorder))
+    }
+
+    /// Whether events are being recorded. Hot loops hoist this check
+    /// (like `Budget::is_limited`) so the off path stays branch-cheap.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.handle.is_some()
+    }
+
+    /// Records the event produced by `make`, constructing it only when
+    /// the handle is on.
+    #[inline]
+    pub fn emit(&self, make: impl FnOnce() -> Event) {
+        if let Some(recorder) = &self.handle {
+            recorder.record(&make());
+        }
+    }
+
+    /// Records an already-constructed event (for callers that built it
+    /// anyway, e.g. to also print it).
+    #[inline]
+    pub fn record(&self, event: &Event) {
+        if let Some(recorder) = &self.handle {
+            recorder.record(event);
+        }
+    }
+
+    /// Opens a scoped wall-clock timer that emits [`Event::Span`] when
+    /// dropped. When the handle is off, the clock is never read.
+    #[must_use = "the span measures until it is dropped"]
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        Span {
+            telemetry: self,
+            name,
+            start: self.is_on().then(Instant::now),
+        }
+    }
+}
+
+/// A [`Telemetry`] handle is itself a recorder (a no-op while off), so
+/// one handle can sit inside a [`Tee`] next to plain sinks — e.g. an
+/// aggregator plus an optional trace file.
+impl Recorder for Telemetry {
+    fn record(&self, event: &Event) {
+        Telemetry::record(self, event);
+    }
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.handle {
+            None => write!(f, "Telemetry(off)"),
+            Some(_) => write!(f, "Telemetry(on)"),
+        }
+    }
+}
+
+/// A span-style scoped timer borrowed from [`Telemetry::span`].
+///
+/// Emits [`Event::Span`] with the elapsed wall-clock time when dropped
+/// (or via [`Span::finish`], which is just an explicit drop point).
+#[derive(Debug)]
+pub struct Span<'a> {
+    telemetry: &'a Telemetry,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span<'_> {
+    /// Ends the span now, emitting its event.
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            let micros = start.elapsed().as_secs_f64() * 1e6;
+            self.telemetry.record(&Event::Span {
+                name: self.name.to_string(),
+                micros,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Capture(Mutex<Vec<Event>>);
+
+    impl Recorder for Capture {
+        fn record(&self, event: &Event) {
+            if let Ok(mut events) = self.0.lock() {
+                events.push(event.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn off_handle_never_constructs_events() {
+        let tele = Telemetry::off();
+        assert!(!tele.is_on());
+        tele.emit(|| unreachable!("must not run"));
+        // Spans from an off handle never read the clock or emit.
+        tele.span("noop").finish();
+    }
+
+    #[test]
+    fn on_handle_records_in_order() {
+        let capture = Arc::new(Capture::default());
+        let tele = Telemetry::new(capture.clone());
+        assert!(tele.is_on());
+        tele.emit(|| Event::McRunStarted { run: 0 });
+        tele.emit(|| Event::McRunDone { run: 0, ok: true });
+        tele.span("work").finish();
+        let events = capture.0.lock().expect("no poison");
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0], Event::McRunStarted { run: 0 });
+        assert_eq!(events[1], Event::McRunDone { run: 0, ok: true });
+        assert!(
+            matches!(&events[2], Event::Span { name, micros } if name == "work" && *micros >= 0.0)
+        );
+    }
+
+    #[test]
+    fn tee_duplicates_events() {
+        let a = Arc::new(Capture::default());
+        let b = Arc::new(Capture::default());
+        let tele = Telemetry::to(Tee::new(vec![a.clone(), b.clone()]));
+        tele.emit(|| Event::NewtonConverged { iterations: 2 });
+        assert_eq!(a.0.lock().expect("no poison").len(), 1);
+        assert_eq!(b.0.lock().expect("no poison").len(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_recorder() {
+        let capture = Arc::new(Capture::default());
+        let tele = Telemetry::new(capture.clone());
+        let clone = tele.clone();
+        clone.emit(|| Event::NewtonIter { iteration: 1 });
+        tele.emit(|| Event::NewtonIter { iteration: 2 });
+        assert_eq!(capture.0.lock().expect("no poison").len(), 2);
+    }
+}

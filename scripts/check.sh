@@ -10,9 +10,15 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> clippy (no unwrap/expect in device+spice+cim lib code)"
-cargo clippy --offline --no-deps -p ferrocim-device -p ferrocim-spice -p ferrocim-cim --lib -- \
+echo "==> clippy (no unwrap/expect in units+device+telemetry+spice+cim+nn lib code)"
+cargo clippy --offline --no-deps -p ferrocim-units -p ferrocim-device -p ferrocim-telemetry \
+  -p ferrocim-spice -p ferrocim-cim -p ferrocim-nn --lib -- \
   -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
+echo "==> cargo doc (rustdoc warnings are errors; our crates only, not vendor/)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps \
+  -p ferrocim-units -p ferrocim-device -p ferrocim-telemetry \
+  -p ferrocim-spice -p ferrocim-cim -p ferrocim-nn -p ferrocim-bench -p ferrocim
 
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release --offline

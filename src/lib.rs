@@ -42,4 +42,5 @@ pub use ferrocim_cim as cim;
 pub use ferrocim_device as device;
 pub use ferrocim_nn as nn;
 pub use ferrocim_spice as spice;
+pub use ferrocim_telemetry as telemetry;
 pub use ferrocim_units as units;
