@@ -3,14 +3,13 @@
 //! which M2's gate is tied to a constant bias (the feedback path cut),
 //! everything else identical.
 
+use ferrocim_bench::schema::AblationFeedbackRow;
 use ferrocim_bench::{dump_json, print_table};
 use ferrocim_cim::cells::{CellContext, CellDesign, CellOffsets, TwoTransistorOneFefet};
 use ferrocim_cim::{CimError, ReadBias};
 use ferrocim_spice::sweep::temperature_sweep;
 use ferrocim_spice::{Circuit, DcAnalysis, Element, NodeId};
 use ferrocim_units::{Ampere, Celsius, Volt};
-use serde::Serialize;
-
 /// The proposed cell with the feedback loop cut: M2's gate is tied to a
 /// fixed bias node instead of the cell output.
 #[derive(Debug, Clone)]
@@ -133,14 +132,6 @@ impl CellDesign for OpenLoopCell {
     }
 }
 
-#[derive(Serialize)]
-struct AblationResult {
-    variant: String,
-    nmr_min: f64,
-    nmr_min_index: usize,
-    has_overlap: bool,
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = ferrocim_bench::Trace::from_args()?;
     println!("# Ablation — the value of the M2 feedback connection\n");
@@ -189,13 +180,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         on, cn
     );
     let results = vec![
-        AblationResult {
+        AblationFeedbackRow {
             variant: "closed".into(),
             nmr_min: cn,
             nmr_min_index: ci,
             has_overlap: closed.has_overlap(),
         },
-        AblationResult {
+        AblationFeedbackRow {
             variant: "open".into(),
             nmr_min: on,
             nmr_min_index: oi,

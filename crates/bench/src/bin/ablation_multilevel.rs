@@ -3,19 +3,11 @@
 //! polarization levels across 0–85 °C, extending the paper's binary
 //! evaluation toward the cited multi-bit MAC design \[23\].
 
+use ferrocim_bench::schema::LevelRange;
 use ferrocim_bench::{dump_json, print_table};
 use ferrocim_cim::cells::{CellOffsets, CellWeight, TwoTransistorOneFefet};
 use ferrocim_cim::{ArrayConfig, CimArray, MacPath, MacRequest};
 use ferrocim_spice::sweep::temperature_sweep;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct LevelRange {
-    level: u8,
-    lo_mv: f64,
-    hi_mv: f64,
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = ferrocim_bench::Trace::from_args()?;
     println!("# Ablation — 2-bit-per-cell weights on the proposed array\n");

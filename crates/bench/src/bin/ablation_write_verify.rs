@@ -3,6 +3,7 @@
 //! program-verify loop (the paper's ref \[9\] technique) and compares the
 //! readout-error profile.
 
+use ferrocim_bench::schema::WriteVerifyRow;
 use ferrocim_bench::{dump_json, print_table};
 use ferrocim_cim::cells::{CellOffsets, CellWeight, TwoTransistorOneFefet};
 use ferrocim_cim::program::{write_verify_row, WriteVerifyConfig};
@@ -11,16 +12,6 @@ use ferrocim_cim::{mac_operands, ArrayConfig, CimArray, MacPath, MacRequest};
 use ferrocim_device::variation::{GaussianSampler, VariationModel};
 use ferrocim_spice::MonteCarlo;
 use ferrocim_units::Celsius;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    scheme: String,
-    max_abs_error_levels: usize,
-    mean_abs_error_levels: f64,
-    mean_verify_iterations_per_row: f64,
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = ferrocim_bench::Trace::from_args()?;
     println!("# Ablation — write-verify programming (paper ref [9]) vs raw writes\n");
@@ -85,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             mean += m / runs as f64;
             iters += i / runs as f64;
         }
-        rows.push(Row {
+        rows.push(WriteVerifyRow {
             scheme: if verify {
                 "write-verify (ref [9])"
             } else {

@@ -6,19 +6,11 @@
 //! `V_TH` branches of the programmed FeFET, their temperature spread,
 //! and that the high-`V_TH` branch moves more than the low-`V_TH` one.
 
+use ferrocim_bench::schema::IvCurve;
 use ferrocim_bench::{dump_json, print_series};
 use ferrocim_device::{Fefet, FefetParams, PolarizationState};
 use ferrocim_spice::sweep::voltage_sweep;
 use ferrocim_units::{Celsius, Volt};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Curve {
-    state: &'static str,
-    temp_c: f64,
-    points: Vec<(f64, f64)>,
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = ferrocim_bench::Trace::from_args()?;
     let temps = [Celsius(0.0), Celsius(27.0), Celsius(85.0)];
@@ -43,12 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "log10(I_D [A])",
                 &points,
             );
-            curves.push(Curve {
+            curves.push(IvCurve {
                 state: if state == PolarizationState::LowVt {
                     "low_vt"
                 } else {
                     "high_vt"
-                },
+                }
+                .into(),
                 temp_c: t.value(),
                 points,
             });

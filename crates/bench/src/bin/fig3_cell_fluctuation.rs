@@ -6,23 +6,13 @@
 //! Paper numbers: 20.6 % worst-case fluctuation in saturation,
 //! 52.1 % in subthreshold.
 
+use ferrocim_bench::schema::RegionResult;
 use ferrocim_bench::{dump_json, print_series, print_table};
 use ferrocim_cim::cells::{
     current_fluctuation, normalized_current_curve, CellDesign, CellOffsets, OneFefetOneR,
 };
 use ferrocim_spice::sweep::temperature_sweep;
 use ferrocim_units::Celsius;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct RegionResult {
-    region: &'static str,
-    v_read: f64,
-    worst_fluctuation: f64,
-    paper_fluctuation: f64,
-    curve: Vec<(f64, f64)>,
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = ferrocim_bench::Trace::from_args()?;
     let reference = Celsius(27.0);
@@ -55,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             paper * 100.0
         );
         results.push(RegionResult {
-            region,
+            region: region.into(),
             v_read: cell.bias.v_read().value(),
             worst_fluctuation: worst,
             paper_fluctuation: paper,
@@ -68,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|r| {
                 vec![
-                    r.region.to_string(),
+                    r.region.clone(),
                     format!("{:.2} V", r.v_read),
                     format!("{:.1} %", r.worst_fluctuation * 100.0),
                     format!("{:.1} %", r.paper_fluctuation * 100.0),

@@ -2,21 +2,12 @@
 //! 1FeFET-1R 8-cell array over 0–85 °C: adjacent levels overlap, which
 //! is the computation-failure mode the proposed cell fixes.
 
+use ferrocim_bench::schema::BaselineOverlap;
 use ferrocim_bench::{dump_json, print_table};
 use ferrocim_cim::cells::OneFefetOneR;
 use ferrocim_cim::metrics::RangeTable;
 use ferrocim_cim::{ArrayConfig, CimArray};
 use ferrocim_spice::sweep::temperature_sweep;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Output {
-    nmr_min: f64,
-    nmr_min_index: usize,
-    has_overlap: bool,
-    ranges_mv: Vec<(usize, f64, f64)>,
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = ferrocim_bench::Trace::from_args()?;
     println!("# Fig. 4 — subthreshold 1FeFET-1R array output ranges, 0-85 C\n");
@@ -51,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         table.has_overlap(),
         "shape check: the subthreshold baseline array must overlap over 0-85 C"
     );
-    let out = Output {
+    let out = BaselineOverlap {
         nmr_min: nmr,
         nmr_min_index: idx,
         has_overlap: table.has_overlap(),

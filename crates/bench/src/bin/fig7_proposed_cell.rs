@@ -5,6 +5,7 @@
 //! restricted to 20–85 °C — close to the *saturation* baseline
 //! (20.6 %) and far better than the subthreshold baseline (52.1 %).
 
+use ferrocim_bench::schema::ProposedCellRow;
 use ferrocim_bench::{dump_json, print_series, print_table};
 use ferrocim_cim::cells::{
     current_fluctuation, normalized_current_curve, CellDesign, OneFefetOneR, OneFefetOneT,
@@ -12,21 +13,11 @@ use ferrocim_cim::cells::{
 };
 use ferrocim_spice::sweep::{temperature_sweep, warm_temperature_sweep};
 use ferrocim_units::Celsius;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct CellResult {
-    cell: String,
-    fluct_full_range: f64,
-    fluct_warm_range: f64,
-    curve: Vec<(f64, f64)>,
-}
-
-fn measure<C: CellDesign>(cell: &C) -> Result<CellResult, ferrocim_cim::CimError> {
+fn measure<C: CellDesign>(cell: &C) -> Result<ProposedCellRow, ferrocim_cim::CimError> {
     let reference = Celsius(27.0);
     let full = temperature_sweep(18);
     let warm = warm_temperature_sweep(14);
-    Ok(CellResult {
+    Ok(ProposedCellRow {
         cell: cell.name().to_string(),
         fluct_full_range: current_fluctuation(cell, &full, reference)?,
         fluct_warm_range: current_fluctuation(cell, &warm, reference)?,

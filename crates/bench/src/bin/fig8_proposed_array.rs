@@ -5,26 +5,13 @@
 //! `NMR_7 = 2.3`), average energy (paper: 3.14 fJ/op) and TOPS/W
 //! (paper: 2866).
 
+use ferrocim_bench::schema::ProposedArraySummary;
 use ferrocim_bench::{dump_json, print_series, print_table};
 use ferrocim_cim::cells::TwoTransistorOneFefet;
 use ferrocim_cim::metrics::{EnergyReport, RangeTable};
 use ferrocim_cim::{ArrayConfig, CimArray};
 use ferrocim_spice::sweep::{temperature_sweep, warm_temperature_sweep};
 use ferrocim_units::Celsius;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Output {
-    nmr_min_full: (usize, f64),
-    nmr_min_warm: (usize, f64),
-    has_overlap: bool,
-    ranges_mv: Vec<(usize, f64, f64)>,
-    energy_per_mac_fj: Vec<f64>,
-    average_energy_fj: f64,
-    tops_per_watt: f64,
-    latency_ns: f64,
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = ferrocim_bench::Trace::from_args()?;
     println!("# Fig. 8 — proposed 2T-1FeFET 8-cell array\n");
@@ -86,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("MAC latency = {}   (paper: 6.9 ns)", report.latency);
 
-    let out = Output {
+    let out = ProposedArraySummary {
         nmr_min_full: (if_, nf),
         nmr_min_warm: (iw, nw),
         has_overlap: full.has_overlap(),

@@ -4,25 +4,16 @@
 //! Paper numbers: highest error ≈ 25 % with 8 cells per row, below 10 %
 //! with 4 cells per row (both ≪ the 6T SRAM CIM's 50 %).
 
+use ferrocim_bench::schema::ProcessVariationPoint;
 use ferrocim_bench::{dump_json, print_series, print_table};
 use ferrocim_cim::cells::TwoTransistorOneFefet;
 use ferrocim_cim::transfer::{TransferConfig, TransferModel};
 use ferrocim_cim::{ArrayConfig, CimArray};
 use ferrocim_units::Celsius;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Output {
-    cells_per_row: usize,
-    max_relative_error: f64,
-    correct_probability: Vec<f64>,
-    confusion: Vec<Vec<f64>>,
-}
-
 fn run(
     cells: usize,
     tele: &ferrocim_telemetry::Telemetry,
-) -> Result<Output, Box<dyn std::error::Error>> {
+) -> Result<ProcessVariationPoint, Box<dyn std::error::Error>> {
     let config = ArrayConfig {
         cells_per_row: cells,
         ..ArrayConfig::paper_default()
@@ -30,7 +21,7 @@ fn run(
     let array =
         CimArray::new(TwoTransistorOneFefet::paper_default(), config)?.with_recorder(tele.clone());
     let model = TransferModel::measure(&array, &TransferConfig::paper_default(Celsius(27.0)))?;
-    Ok(Output {
+    Ok(ProcessVariationPoint {
         cells_per_row: cells,
         max_relative_error: model.max_relative_error(),
         correct_probability: (0..=cells).map(|k| model.correct_probability(k)).collect(),

@@ -5,41 +5,17 @@
 //! stepping modes, reports accepted/rejected/rescued step counts and
 //! wall-clock timings, and dumps `results/probe_adaptive.json`.
 
+use ferrocim_bench::schema::{AdaptiveProbe, PathStats};
 use ferrocim_bench::{dump_json, print_table};
 use ferrocim_cim::cells::TwoTransistorOneFefet;
 use ferrocim_cim::{mac_operands, ArrayConfig, CimArray};
 use ferrocim_spice::{AdaptiveOptions, Circuit, NodeId, TransientAnalysis};
 use ferrocim_units::Second;
-use serde::Serialize;
 use std::time::Instant;
 
 /// Wall-clock repetitions per stepping mode; the minimum is reported so
 /// a background hiccup on one run does not skew the comparison.
 const REPS: usize = 5;
-
-#[derive(Serialize)]
-struct PathStats {
-    samples: usize,
-    accepted: usize,
-    rejected: usize,
-    rescued: usize,
-    wall_clock_us: f64,
-    v_acc_mv: f64,
-}
-
-#[derive(Serialize)]
-struct Output {
-    cells_per_row: usize,
-    mac_level: usize,
-    t_stop_ns: f64,
-    fixed_dt_ps: f64,
-    lte_tol: f64,
-    fixed: PathStats,
-    adaptive: PathStats,
-    endpoint_delta_uv: f64,
-    step_ratio: f64,
-    speedup: f64,
-}
 
 fn time_run<'a>(
     make: impl Fn() -> TransientAnalysis<'a>,
@@ -126,7 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("step ratio (fixed/adaptive accepted) = {step_ratio:.2}x");
     println!("wall-clock speedup = {speedup:.2}x");
 
-    let out = Output {
+    let out = AdaptiveProbe {
         cells_per_row: config.cells_per_row,
         mac_level,
         t_stop_ns: t_stop.value() * 1e9,

@@ -12,6 +12,7 @@
 //!
 //! Dumps `results/probe_telemetry.json`.
 
+use ferrocim_bench::schema::{CountCheck, Overhead, TelemetryProbe};
 use ferrocim_bench::{dump_json, print_table, Trace};
 use ferrocim_cim::cells::TwoTransistorOneFefet;
 use ferrocim_cim::{mac_operands, ArrayConfig, ArrayEngine, CimArray};
@@ -19,7 +20,6 @@ use ferrocim_spice::{AdaptiveOptions, FailurePolicy, MonteCarlo, TransientAnalys
 use ferrocim_telemetry::{Aggregator, NoopRecorder, Recorder, Tee, Telemetry};
 use ferrocim_units::Celsius;
 use rand::Rng as _;
-use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,37 +29,12 @@ const OVERHEAD_LIMIT_PCT: f64 = 2.0;
 /// Monte-Carlo samples in the consistency sweep.
 const MC_RUNS: usize = 40;
 
-#[derive(Serialize)]
-struct CountCheck {
-    name: &'static str,
-    expected: u64,
-    observed: u64,
-}
-
-fn check(name: &'static str, expected: u64, observed: u64) -> CountCheck {
+fn check(name: &str, expected: u64, observed: u64) -> CountCheck {
     CountCheck {
-        name,
+        name: name.to_string(),
         expected,
         observed,
     }
-}
-
-#[derive(Serialize)]
-struct Overhead {
-    reps: usize,
-    batches_per_rep: usize,
-    jobs_per_batch: usize,
-    off_us_per_batch: f64,
-    noop_us_per_batch: f64,
-    overhead_pct: f64,
-    limit_pct: f64,
-}
-
-#[derive(Serialize)]
-struct Output {
-    checks: Vec<CountCheck>,
-    consistent: bool,
-    overhead: Option<Overhead>,
 }
 
 /// Runs the instrumented transient + Monte-Carlo demo and returns the
@@ -197,7 +172,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|c| {
                 vec![
-                    c.name.into(),
+                    c.name.clone(),
                     c.expected.to_string(),
                     c.observed.to_string(),
                     if c.expected == c.observed {
@@ -228,7 +203,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None
     };
 
-    let out = Output {
+    let out = TelemetryProbe {
         checks,
         consistent,
         overhead,

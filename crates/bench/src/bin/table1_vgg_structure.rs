@@ -2,20 +2,11 @@
 //! from the live network object (not hard-coded), plus the scaled
 //! VGG-nano actually trained in this reproduction.
 
+use ferrocim_bench::schema::VggLayerRow;
 use ferrocim_bench::{dump_json, print_table};
 use ferrocim_nn::vgg::{describe, vgg_nano, vgg_paper};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    layer: String,
-    input_map: String,
-    output_map: String,
-    non_linearity: String,
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = ferrocim_bench::Trace::from_args()?;
     let mut rng = StdRng::seed_from_u64(0);
@@ -57,9 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("parameters: {}", nano.parameter_count());
 
-    let json: Vec<Row> = rows
+    let json: Vec<VggLayerRow> = rows
         .into_iter()
-        .map(|r| Row {
+        .map(|r| VggLayerRow {
             layer: r.layer,
             input_map: r.input_map,
             output_map: r.output_map,

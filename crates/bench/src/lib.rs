@@ -8,11 +8,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use ferrocim_telemetry::{Event, JsonlSink, Telemetry};
+use ferrocim_telemetry::{DetailLevel, Event, JsonlSink, Recorder as _, Telemetry};
 use serde::Serialize;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
+
+pub mod schema;
 
 /// Prints an aligned console table.
 ///
@@ -108,6 +110,11 @@ pub fn dump_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf
 /// run's telemetry streams after it. Without the flag the handle is
 /// off, so the instrumentation sites the binaries thread it into cost
 /// nothing.
+///
+/// `--trace-detail <off|reports|iterations>` selects the
+/// [`DetailLevel`] of the handle (default `reports`); `iterations`
+/// additionally records per-iteration Newton residuals and fine-grained
+/// MAC spans, at a substantial trace-size cost.
 #[derive(Debug)]
 pub struct Trace {
     sink: Option<Arc<JsonlSink>>,
@@ -133,6 +140,7 @@ impl Trace {
     ///
     /// See [`Trace::from_args`].
     pub fn from_arg_list(args: &[String]) -> std::io::Result<Trace> {
+        let detail = parse_trace_detail(args)?;
         let Some(path) = parse_trace_path(args)? else {
             return Ok(Trace {
                 sink: None,
@@ -140,7 +148,8 @@ impl Trace {
             });
         };
         let sink = Arc::new(JsonlSink::create(path)?);
-        let telemetry = Telemetry::new(sink.clone());
+        let telemetry =
+            Telemetry::new(sink.clone()).with_detail(detail.unwrap_or(DetailLevel::Reports));
         let bin = args
             .first()
             .map(|arg0| {
@@ -150,7 +159,9 @@ impl Trace {
                     .unwrap_or_else(|| arg0.clone())
             })
             .unwrap_or_default();
-        telemetry.record(&Event::Manifest {
+        // The manifest goes through the sink directly so the header
+        // lands even when `--trace-detail off` silences the handle.
+        sink.record(&Event::Manifest {
             bin,
             args: args.iter().skip(1).cloned().collect(),
         });
@@ -202,6 +213,35 @@ fn parse_trace_path(args: &[String]) -> std::io::Result<Option<PathBuf>> {
         }
         if let Some(path) = arg.strip_prefix("--trace=") {
             return Ok(Some(PathBuf::from(path)));
+        }
+    }
+    Ok(None)
+}
+
+fn parse_trace_detail(args: &[String]) -> std::io::Result<Option<DetailLevel>> {
+    let bad = |value: &str| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("--trace-detail expects off|reports|iterations, got {value:?}"),
+        )
+    };
+    let mut iter = args.iter().skip(1);
+    while let Some(arg) = iter.next() {
+        if arg == "--trace-detail" {
+            return match iter.next() {
+                Some(value) => DetailLevel::parse(value)
+                    .map(Some)
+                    .ok_or_else(|| bad(value)),
+                None => Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "--trace-detail requires a level argument",
+                )),
+            };
+        }
+        if let Some(value) = arg.strip_prefix("--trace-detail=") {
+            return DetailLevel::parse(value)
+                .map(Some)
+                .ok_or_else(|| bad(value));
         }
     }
     Ok(None)
@@ -263,6 +303,53 @@ mod tests {
         );
         assert_eq!(events[1], Event::McRunStarted { run: 0 });
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_detail_selects_the_level() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let deep = dir.join(format!("ferrocim-bench-detail-deep-{pid}.jsonl"));
+        let args = vec![
+            "bench-bin".to_string(),
+            format!("--trace={}", deep.display()),
+            "--trace-detail".to_string(),
+            "iterations".to_string(),
+        ];
+        let trace = Trace::from_arg_list(&args).expect("parses");
+        assert!(trace.telemetry().wants_iterations());
+        drop(trace);
+        let _ = std::fs::remove_file(&deep);
+
+        // `off` silences the handle but still writes the manifest
+        // header, so the file remains a valid (near-empty) trace.
+        let off = dir.join(format!("ferrocim-bench-detail-off-{pid}.jsonl"));
+        let args = vec![
+            "bench-bin".to_string(),
+            format!("--trace={}", off.display()),
+            "--trace-detail=off".to_string(),
+        ];
+        let trace = Trace::from_arg_list(&args).expect("parses");
+        assert!(trace.is_on(), "the sink is open");
+        assert!(!trace.telemetry().is_on(), "the handle is silenced");
+        trace.finish().expect("finish");
+        let events = ferrocim_telemetry::read_trace(&off).expect("readable");
+        assert_eq!(events.len(), 1, "manifest only");
+        assert!(matches!(events[0], Event::Manifest { .. }));
+        let _ = std::fs::remove_file(&off);
+    }
+
+    #[test]
+    fn trace_detail_rejects_unknown_levels() {
+        let args = vec![
+            "bench-bin".to_string(),
+            "--trace-detail=verbose".to_string(),
+        ];
+        let err = Trace::from_arg_list(&args).expect_err("bad level");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        let args = vec!["bench-bin".to_string(), "--trace-detail".to_string()];
+        let err = Trace::from_arg_list(&args).expect_err("missing level");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! Serde schemas for every artifact under `results/`.
+//!
+//! Each reproduction binary dumps its JSON through one of these types
+//! instead of a private ad-hoc struct, and the tier-1 test
+//! `tests/results_schema.rs` deserializes every checked-in
+//! `results/*.json` back through the same types. A bin therefore cannot
+//! silently drift its output shape away from what the checked-in
+//! artifacts (and EXPERIMENTS.md) promise: renaming or retyping a field
+//! fails the schema test until the artifact is regenerated.
+//!
+//! Naming convention: the type for `results/<name>.json` is listed next
+//! to each definition. Roots that are JSON arrays are validated as
+//! `Vec<Row>` of the row type given here.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of `results/ablation_feedback.json` (root: array).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationFeedbackRow {
+    /// Ablation variant label (for example `proposed` or `open-loop`).
+    pub variant: String,
+    /// Worst-case noise-margin ratio across adjacent level pairs.
+    pub nmr_min: f64,
+    /// Index of the level pair attaining `nmr_min`.
+    pub nmr_min_index: usize,
+    /// Whether any adjacent output ranges overlap.
+    pub has_overlap: bool,
+}
+
+/// One MAC-level output range of `results/ablation_multilevel.json`
+/// (root: array of per-configuration arrays of these).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelRange {
+    /// MAC output level.
+    pub level: u8,
+    /// Lower edge of the accumulated voltage range, in millivolts.
+    pub lo_mv: f64,
+    /// Upper edge of the accumulated voltage range, in millivolts.
+    pub hi_mv: f64,
+}
+
+/// One row of `results/ablation_write_verify.json` (root: array).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WriteVerifyRow {
+    /// Programming scheme label.
+    pub scheme: String,
+    /// Worst per-cell error in quantized levels.
+    pub max_abs_error_levels: usize,
+    /// Mean per-cell error in quantized levels.
+    pub mean_abs_error_levels: f64,
+    /// Mean verify iterations needed per programmed row.
+    pub mean_verify_iterations_per_row: f64,
+}
+
+/// One curve of `results/fig1_fefet_iv.json` (root: array).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IvCurve {
+    /// Polarization state (`low_vt` / `high_vt`).
+    pub state: String,
+    /// Simulation temperature in Celsius.
+    pub temp_c: f64,
+    /// `(v_gs, log10(i_d))` samples along the sweep.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// One operating region of `results/fig3_cell_fluctuation.json`
+/// (root: array).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionResult {
+    /// Operating-region label (for example `subthreshold`).
+    pub region: String,
+    /// Read voltage applied to the cell, in volts.
+    pub v_read: f64,
+    /// Worst relative current fluctuation over the temperature sweep.
+    pub worst_fluctuation: f64,
+    /// The paper's reported fluctuation for the same region.
+    pub paper_fluctuation: f64,
+    /// `(temperature_c, relative_current)` samples.
+    pub curve: Vec<(f64, f64)>,
+}
+
+/// Root of `results/fig4_baseline_overlap.json` (single object).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineOverlap {
+    /// Worst-case noise-margin ratio across adjacent level pairs.
+    pub nmr_min: f64,
+    /// Index of the level pair attaining `nmr_min`.
+    pub nmr_min_index: usize,
+    /// Whether any adjacent output ranges overlap.
+    pub has_overlap: bool,
+    /// `(level, lo_mv, hi_mv)` output ranges.
+    pub ranges_mv: Vec<(usize, f64, f64)>,
+}
+
+/// One cell variant of `results/fig7_proposed_cell.json` (root: array).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProposedCellRow {
+    /// Cell structure label.
+    pub cell: String,
+    /// Relative fluctuation over the full temperature range.
+    pub fluct_full_range: f64,
+    /// Relative fluctuation over the warm sub-range.
+    pub fluct_warm_range: f64,
+    /// `(temperature_c, relative_current)` samples.
+    pub curve: Vec<(f64, f64)>,
+}
+
+/// Root of `results/fig8_proposed_array.json` (single object).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProposedArraySummary {
+    /// `(level_pair_index, nmr)` minimum over the full temperature range.
+    pub nmr_min_full: (usize, f64),
+    /// `(level_pair_index, nmr)` minimum over the warm sub-range.
+    pub nmr_min_warm: (usize, f64),
+    /// Whether any adjacent output ranges overlap.
+    pub has_overlap: bool,
+    /// `(level, lo_mv, hi_mv)` output ranges.
+    pub ranges_mv: Vec<(usize, f64, f64)>,
+    /// Per-level MAC energy in femtojoules.
+    pub energy_per_mac_fj: Vec<f64>,
+    /// Average MAC energy in femtojoules (paper: 3.14 fJ).
+    pub average_energy_fj: f64,
+    /// Energy efficiency in TOPS/W.
+    pub tops_per_watt: f64,
+    /// MAC latency in nanoseconds.
+    pub latency_ns: f64,
+}
+
+/// One row-width sample of `results/fig9_process_variation.json`
+/// (root: array).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessVariationPoint {
+    /// Active cells per accumulated row.
+    pub cells_per_row: usize,
+    /// Worst relative MAC error across Monte-Carlo samples.
+    pub max_relative_error: f64,
+    /// Per-level probability of exact readout.
+    pub correct_probability: Vec<f64>,
+    /// Level-confusion matrix (rows: programmed, columns: read).
+    pub confusion: Vec<Vec<f64>>,
+}
+
+/// One layer of `results/table1_vgg_structure.json` (root: array).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VggLayerRow {
+    /// Layer label.
+    pub layer: String,
+    /// Input feature-map shape.
+    pub input_map: String,
+    /// Output feature-map shape.
+    pub output_map: String,
+    /// Non-linearity applied after the layer.
+    pub non_linearity: String,
+}
+
+/// Energy figure of a comparison row — mirrors
+/// `ferrocim_cim::compare::EnergyFigure`, with the `Joule` newtype
+/// widened to `f64` so the schema side derives `Deserialize`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EnergyFigure {
+    /// Joules per elementary MAC operation.
+    PerOperation(f64),
+    /// Joules per full network inference.
+    PerInference(f64),
+    /// Not reported.
+    Unreported,
+}
+
+/// One row of `results/table2_summary.json` (root: array) — the owned
+/// mirror of `ferrocim_cim::compare::ComparisonEntry`, whose
+/// `&'static str` fields cannot implement `Deserialize`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Work label (citation key or "This work").
+    pub work: String,
+    /// Device technology (CMOS, FeFET, ReRAM, MTJ…).
+    pub device: String,
+    /// Process node label.
+    pub process: String,
+    /// Cell structure name.
+    pub cell: String,
+    /// Dataset evaluated, if any.
+    pub dataset: Option<String>,
+    /// Network architecture evaluated, if any.
+    pub network: Option<String>,
+    /// Reported classification accuracy, if any (fraction, 0–1).
+    pub accuracy: Option<f64>,
+    /// Reported energy figure.
+    pub energy: EnergyFigure,
+    /// Reported energy efficiency in TOPS/W, if any.
+    pub tops_per_watt: Option<f64>,
+}
+
+impl From<&ferrocim_cim::compare::ComparisonEntry> for ComparisonRow {
+    fn from(entry: &ferrocim_cim::compare::ComparisonEntry) -> ComparisonRow {
+        use ferrocim_cim::compare::EnergyFigure as CimEnergy;
+        ComparisonRow {
+            work: entry.work.clone(),
+            device: entry.device.to_string(),
+            process: entry.process.to_string(),
+            cell: entry.cell.to_string(),
+            dataset: entry.dataset.map(str::to_string),
+            network: entry.network.map(str::to_string),
+            accuracy: entry.accuracy,
+            energy: match entry.energy {
+                CimEnergy::PerOperation(j) => EnergyFigure::PerOperation(j.0),
+                CimEnergy::PerInference(j) => EnergyFigure::PerInference(j.0),
+                CimEnergy::Unreported => EnergyFigure::Unreported,
+            },
+            tops_per_watt: entry.tops_per_watt,
+        }
+    }
+}
+
+/// Per-stepping-path statistics of `results/probe_adaptive.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathStats {
+    /// Accepted waveform samples produced.
+    pub samples: usize,
+    /// Accepted integration steps.
+    pub accepted: usize,
+    /// Rejected (re-done) integration steps.
+    pub rejected: usize,
+    /// Steps that needed the convergence-rescue ladder.
+    pub rescued: usize,
+    /// Wall-clock time of the run in microseconds.
+    pub wall_clock_us: f64,
+    /// Final accumulated voltage in millivolts.
+    pub v_acc_mv: f64,
+}
+
+/// Root of `results/probe_adaptive.json` (single object).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveProbe {
+    /// Active cells per accumulated row.
+    pub cells_per_row: usize,
+    /// Programmed MAC level of the active cells.
+    pub mac_level: usize,
+    /// Simulated stop time in nanoseconds.
+    pub t_stop_ns: f64,
+    /// Fixed-path step size in picoseconds.
+    pub fixed_dt_ps: f64,
+    /// Adaptive-path local-truncation-error tolerance.
+    pub lte_tol: f64,
+    /// Fixed-step reference path.
+    pub fixed: PathStats,
+    /// Adaptive-step path under test.
+    pub adaptive: PathStats,
+    /// Endpoint disagreement between the paths in microvolts.
+    pub endpoint_delta_uv: f64,
+    /// Fixed-to-adaptive accepted-step ratio.
+    pub step_ratio: f64,
+    /// Fixed-to-adaptive wall-clock speedup.
+    pub speedup: f64,
+}
+
+/// One expected-vs-observed counter of `results/probe_telemetry.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountCheck {
+    /// Counter name.
+    pub name: String,
+    /// Count implied by the run's reports.
+    pub expected: u64,
+    /// Count observed by the aggregator.
+    pub observed: u64,
+}
+
+/// Overhead measurement of `results/probe_telemetry.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Overhead {
+    /// Timing repetitions.
+    pub reps: usize,
+    /// MAC batches per repetition.
+    pub batches_per_rep: usize,
+    /// Jobs per MAC batch.
+    pub jobs_per_batch: usize,
+    /// Per-batch time with telemetry off, in microseconds.
+    pub off_us_per_batch: f64,
+    /// Per-batch time against a no-op recorder, in microseconds.
+    pub noop_us_per_batch: f64,
+    /// Measured off-path overhead in percent.
+    pub overhead_pct: f64,
+    /// The bound the probe enforces (2%).
+    pub limit_pct: f64,
+}
+
+/// Root of `results/probe_telemetry.json` (single object).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryProbe {
+    /// Report-vs-aggregator consistency checks.
+    pub checks: Vec<CountCheck>,
+    /// Whether every check matched.
+    pub consistent: bool,
+    /// Overhead measurement (absent under `--skip-overhead`).
+    pub overhead: Option<Overhead>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_row_mirrors_the_cim_entry_serialization() {
+        use ferrocim_cim::compare::{ComparisonEntry, EnergyFigure as CimEnergy};
+        use ferrocim_units::Joule;
+        let entry = ComparisonEntry {
+            work: "This work".to_string(),
+            device: "FeFET",
+            process: "28nm",
+            cell: "2T-1FeFET",
+            dataset: Some("CIFAR-10"),
+            network: None,
+            accuracy: Some(0.9),
+            energy: CimEnergy::PerOperation(Joule(3.14e-15)),
+            tops_per_watt: Some(5100.0),
+        };
+        let mirrored = ComparisonRow::from(&entry);
+        assert_eq!(
+            serde_json::to_string(&entry).expect("entry"),
+            serde_json::to_string(&mirrored).expect("mirror"),
+            "the schema mirror must serialize byte-identically"
+        );
+        let text = serde_json::to_string(&mirrored).expect("serialize");
+        let back: ComparisonRow = serde_json::from_str(&text).expect("deserialize");
+        assert_eq!(back, mirrored);
+    }
+
+    #[test]
+    fn tuple_heavy_schemas_round_trip() {
+        let summary = ProposedArraySummary {
+            nmr_min_full: (0, 0.21),
+            nmr_min_warm: (1, 0.29),
+            has_overlap: false,
+            ranges_mv: vec![(0, 0.04, 5.6), (1, 6.8, 12.0)],
+            energy_per_mac_fj: vec![3.1, 3.2],
+            average_energy_fj: 3.15,
+            tops_per_watt: 5100.0,
+            latency_ns: 2.0,
+        };
+        let text = serde_json::to_string(&summary).expect("serialize");
+        let back: ProposedArraySummary = serde_json::from_str(&text).expect("deserialize");
+        assert_eq!(back, summary);
+    }
+}

@@ -251,6 +251,7 @@ impl<C: CellDesign> Crossbar<C> {
             });
         }
         let row_jobs = self.rows.len() as u64;
+        let _span = self.telemetry.span("cim.matvec");
         self.telemetry.emit(|| Event::MacIssued {
             jobs: row_jobs,
             solves: row_jobs,
@@ -307,6 +308,8 @@ impl<C: CellDesign> Crossbar<C> {
         let (unique, slot_of) = self.dedupe_row_jobs(inputs);
         let job_count = (inputs.len() * self.rows.len()) as u64;
         let solve_count = unique.len() as u64;
+        let batch_span = self.telemetry.span("cim.mac_batch");
+        let batch_id = batch_span.id();
         self.telemetry.emit(|| Event::MacIssued {
             jobs: job_count,
             solves: solve_count,
@@ -316,6 +319,7 @@ impl<C: CellDesign> Crossbar<C> {
             true,
             ferrocim_spice::Workspace::new,
             |ws, u| {
+                let _solve_span = self.telemetry.span_under("cim.row_solve", batch_id);
                 self.budget.check()?;
                 self.budget.charge_steps(1)?;
                 let (i, r) = unique[u];
@@ -404,6 +408,8 @@ impl<C: CellDesign> Crossbar<C> {
         let (unique, slot_of) = self.dedupe_row_jobs(inputs);
         let job_count = (inputs.len() * self.rows.len()) as u64;
         let solve_count = unique.len() as u64;
+        let batch_span = self.telemetry.span("cim.mac_batch");
+        let batch_id = batch_span.id();
         self.telemetry.emit(|| Event::MacIssued {
             jobs: job_count,
             solves: solve_count,
@@ -416,6 +422,7 @@ impl<C: CellDesign> Crossbar<C> {
             },
             ferrocim_spice::Workspace::new,
             |ws, u| {
+                let _solve_span = self.telemetry.span_under("cim.row_solve", batch_id);
                 self.budget.check()?;
                 self.budget.charge_steps(1)?;
                 let (i, r) = unique[u];

@@ -236,6 +236,8 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
         }
         let job_count = jobs.len() as u64;
         let solve_count = unique.len() as u64;
+        let batch_span = self.telemetry.span("cim.mac_batch");
+        let batch_id = batch_span.id();
         self.telemetry.emit(|| Event::MacIssued {
             jobs: job_count,
             solves: solve_count,
@@ -245,6 +247,10 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
             self.parallel,
             || (Workspace::new(), self.base.clone()),
             |(ws, ckt), u| {
+                // Parent this worker-side solve under the issuing batch
+                // span: fan_out workers run on their own threads, so
+                // the thread-local parent chain must be bridged by id.
+                let _solve_span = self.telemetry.span_under("cim.row_solve", batch_id);
                 self.budget.check()?;
                 self.budget.charge_steps(1)?;
                 let (i, t) = unique[u];
@@ -308,6 +314,8 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
         // deduplicated simulations.
         let job_count = inputs.len() as u64;
         let solve_count = unique.len() as u64;
+        let batch_span = self.telemetry.span("cim.mac_batch");
+        let batch_id = batch_span.id();
         self.telemetry.emit(|| Event::MacIssued {
             jobs: job_count,
             solves: solve_count,
@@ -320,6 +328,7 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
             },
             || (Workspace::new(), self.base.clone()),
             |(ws, ckt), u| {
+                let _solve_span = self.telemetry.span_under("cim.row_solve", batch_id);
                 self.budget.check()?;
                 self.budget.charge_steps(1)?;
                 let i = unique[u];

@@ -403,6 +403,10 @@ impl CimNetwork {
     /// Runs inference with all inner products executed through the
     /// oracle. `seed` makes the stochastic readout reproducible.
     pub fn forward<O: MacOracle>(&self, x: &Tensor, oracle: &O, seed: u64) -> Tensor {
+        // The per-image root: layer spans (and their MAC batches and
+        // solves) nest under it, forming the network → layer → MAC
+        // tree trace viewers reconstruct.
+        let _forward_span = self.telemetry.span("nn.forward");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut h = x.clone();
         for layer in &self.layers {
@@ -489,6 +493,8 @@ impl CimNetwork {
             .unwrap_or(1)
             .min(inputs.len());
         let chunk = inputs.len().div_ceil(threads);
+        let sweep_span = self.telemetry.span("nn.accuracy");
+        let sweep_id = sweep_span.id();
         let hits: usize = std::thread::scope(|scope| {
             let handles: Vec<_> = inputs
                 .chunks(chunk)
@@ -496,6 +502,10 @@ impl CimNetwork {
                 .enumerate()
                 .map(|(t, (xs, ys))| {
                     scope.spawn(move || -> Result<usize, ExecError> {
+                        // Root this worker's per-image forward spans
+                        // under the sweep span across the thread hop.
+                        let _worker_span =
+                            self.telemetry.span_under("nn.accuracy_worker", sweep_id);
                         let mut hits = 0usize;
                         for (i, (x, &y)) in xs.iter().zip(ys).enumerate() {
                             budget.check()?;
@@ -546,12 +556,20 @@ impl CimNetwork {
     ) -> Tensor {
         let (h, w) = (x.shape()[1], x.shape()[2]);
         assert_eq!(x.shape()[0], in_channels, "conv input channel mismatch");
+        // One MAC-batch span per layer invocation: all of this layer's
+        // oracle reads happen inside it, so traces show the causal
+        // chain network → layer → MAC batch.
+        let _mac_span = self.telemetry.span("nn.mac_batch");
         let qa = quantize_activations(x.data(), self.mapping.activation_bits);
         let mut out = Tensor::zeros(&[filters.len(), h, w]);
         // Gather the quantized 3×3 patch per output pixel (im2col row).
         let mut patch = vec![0u8; in_channels * 9];
         let mut scratch = DotScratch::default();
+        // One span per output row at Iterations detail only: per-pixel
+        // MAC timing is diagnostic-grade and would multiply trace size.
+        let fine_grained = self.telemetry.wants_iterations();
         for oy in 0..h {
+            let _row_span = fine_grained.then(|| self.telemetry.span("nn.conv_row"));
             for ox in 0..w {
                 patch.fill(0);
                 for i in 0..in_channels {
@@ -588,10 +606,13 @@ impl CimNetwork {
         oracle: &O,
         rng: &mut StdRng,
     ) -> Tensor {
+        let _mac_span = self.telemetry.span("nn.mac_batch");
         let qa = quantize_activations(x.data(), self.mapping.activation_bits);
         let mut out = Tensor::zeros(&[rows.len()]);
         let mut scratch = DotScratch::default();
+        let fine_grained = self.telemetry.wants_iterations();
         for (o, row) in rows.iter().enumerate() {
+            let _row_span = fine_grained.then(|| self.telemetry.span("nn.linear_row"));
             let acc = cim_dot_in(row, &qa.values, &self.mapping, oracle, rng, &mut scratch);
             out.data_mut()[o] = acc as f32 * row.scale * qa.scale + bias[o];
         }
@@ -869,7 +890,9 @@ mod tests {
             CimNetwork::map(&net, CimMapping::default()).with_recorder(Telemetry::new(agg.clone()));
         let x = Tensor::from_vec(&[16], vec![0.5; 16]);
         let _ = cim.forward(&x, &IdealMac(8), 3);
-        assert_eq!(agg.counts().spans, 3);
+        // One span per layer, one nn.mac_batch inside each of the two
+        // MAC layers, plus the enclosing nn.forward root.
+        assert_eq!(agg.counts().spans, 6);
     }
 
     #[test]

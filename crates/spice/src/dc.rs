@@ -192,6 +192,7 @@ impl<'a> DcAnalysis<'a> {
     ///
     /// Same as [`DcAnalysis::solve`].
     pub fn solve_in(&self, ws: &mut Workspace) -> Result<OperatingPoint, SpiceError> {
+        let _span = self.telemetry.span("spice.dc");
         let layout = Layout::of(self.circuit);
         let initial: Vec<f64> = match &self.initial_guess {
             Some(guess) if guess.len() == layout.size => guess.clone(),

@@ -107,6 +107,7 @@ impl<'a> DcSweep<'a> {
                 })
             }
         }
+        let _span = self.telemetry.span("spice.dcsweep");
         let mut working = self.circuit.clone();
         let mut results = Vec::with_capacity(self.values.len());
         let mut ws = Workspace::new();

@@ -361,6 +361,9 @@ fn stamp_transistor(
 /// Each iteration also emits [`Event::NewtonIter`] (and a converging
 /// solve [`Event::NewtonConverged`]) through `tele`; like the budget
 /// check, the off state is hoisted to one boolean test per iteration.
+/// At `DetailLevel::Iterations` every iteration additionally emits
+/// [`Event::NewtonResidual`] with the damped residual norm and the
+/// damping factor, so a stalled solve is diagnosable from the trace.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn newton_solve_in(
     circuit: &Circuit,
@@ -387,6 +390,7 @@ pub(crate) fn newton_solve_in(
     } = ws;
     let limited = budget.is_limited();
     let observed = tele.is_on();
+    let diagnosed = tele.wants_iterations();
     let mut last_delta = f64::INFINITY;
     for iter in 0..options.max_iterations {
         if limited {
@@ -408,11 +412,13 @@ pub(crate) fn newton_solve_in(
         }
         let mut converged = true;
         let mut max_delta = 0.0f64;
+        let mut raw_max_delta = 0.0f64;
         for i in 0..layout.size {
             let mut delta = x_new[i] - x[i];
             if i < layout.n_nodes {
                 // Damp node-voltage updates only; branch currents are
                 // linear consequences and may jump freely.
+                raw_max_delta = raw_max_delta.max(delta.abs());
                 delta = delta.clamp(-options.max_step, options.max_step);
                 max_delta = max_delta.max(delta.abs());
                 if delta.abs() > options.vtol + options.reltol * x[i].abs() {
@@ -420,6 +426,17 @@ pub(crate) fn newton_solve_in(
                 }
             }
             x[i] += delta;
+        }
+        if diagnosed {
+            tele.emit(|| Event::NewtonResidual {
+                iteration: iter as u64 + 1,
+                residual: max_delta,
+                damping: if raw_max_delta > options.max_step {
+                    options.max_step / raw_max_delta
+                } else {
+                    1.0
+                },
+            });
         }
         if converged {
             if observed {

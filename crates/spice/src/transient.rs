@@ -415,6 +415,7 @@ impl<'a> TransientAnalysis<'a> {
     ///
     /// Same as [`TransientAnalysis::run`].
     pub fn run_in(&self, ws: &mut Workspace) -> Result<TransientResult, SpiceError> {
+        let _span = self.telemetry.span("spice.transient");
         match &self.stepping {
             Stepping::Fixed(dt) => self.run_fixed(*dt, ws),
             Stepping::Adaptive(opts) => self.run_adaptive(opts, ws),

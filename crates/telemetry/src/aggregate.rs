@@ -98,8 +98,9 @@ impl Histogram {
     }
 
     /// Renders the histogram in Prometheus text exposition format.
-    fn render_prometheus_into(&self, name: &str, out: &mut String) {
+    fn render_prometheus_into(&self, name: &str, help: &str, out: &mut String) {
         use std::fmt::Write as _;
+        let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(out, "# TYPE {name} histogram");
         let mut cumulative = 0u64;
         for (bound, count) in self.bounds.iter().zip(&self.counts) {
@@ -118,6 +119,9 @@ impl Histogram {
 pub struct Counts {
     /// Newton iterations run ([`Event::NewtonIter`]).
     pub newton_iters: u64,
+    /// Per-iteration residual diagnostics ([`Event::NewtonResidual`],
+    /// emitted only at `DetailLevel::Iterations`).
+    pub newton_residuals: u64,
     /// Newton solves that converged ([`Event::NewtonConverged`]).
     pub newton_converged: u64,
     /// Transient steps accepted ([`Event::StepAccepted`]).
@@ -146,7 +150,7 @@ pub struct Counts {
     pub faults_substituted: u64,
     /// Training epochs completed ([`Event::EpochDone`]).
     pub epochs_done: u64,
-    /// Scoped timers closed ([`Event::Span`]).
+    /// Scoped timers closed ([`Event::SpanEnd`]).
     pub spans: u64,
     /// Run manifests seen ([`Event::Manifest`]).
     pub manifests: u64,
@@ -162,6 +166,7 @@ pub struct Counts {
 #[derive(Debug)]
 pub struct Aggregator {
     newton_iters: AtomicU64,
+    newton_residuals: AtomicU64,
     newton_converged: AtomicU64,
     steps_accepted: AtomicU64,
     steps_rejected: AtomicU64,
@@ -193,6 +198,7 @@ impl Aggregator {
     pub fn new() -> Aggregator {
         Aggregator {
             newton_iters: AtomicU64::new(0),
+            newton_residuals: AtomicU64::new(0),
             newton_converged: AtomicU64::new(0),
             steps_accepted: AtomicU64::new(0),
             steps_rejected: AtomicU64::new(0),
@@ -219,6 +225,7 @@ impl Aggregator {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         Counts {
             newton_iters: load(&self.newton_iters),
+            newton_residuals: load(&self.newton_residuals),
             newton_converged: load(&self.newton_converged),
             steps_accepted: load(&self.steps_accepted),
             steps_rejected: load(&self.steps_rejected),
@@ -255,6 +262,7 @@ impl Aggregator {
             mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
         };
         add(&self.newton_iters, &other.newton_iters);
+        add(&self.newton_residuals, &other.newton_residuals);
         add(&self.newton_converged, &other.newton_converged);
         add(&self.steps_accepted, &other.steps_accepted);
         add(&self.steps_rejected, &other.steps_rejected);
@@ -290,6 +298,11 @@ impl Aggregator {
             "ferrocim_newton_iterations_total",
             "Newton-Raphson iterations run.",
             counts.newton_iters,
+        );
+        counter(
+            "ferrocim_newton_residuals_total",
+            "Per-iteration residual diagnostics recorded.",
+            counts.newton_residuals,
         );
         counter(
             "ferrocim_newton_converged_total",
@@ -366,10 +379,21 @@ impl Aggregator {
             "Scoped timers closed.",
             counts.spans,
         );
-        self.newton_histogram
-            .render_prometheus_into("ferrocim_newton_iterations_per_solve", &mut out);
-        self.span_histogram
-            .render_prometheus_into("ferrocim_span_micros", &mut out);
+        counter(
+            "ferrocim_manifests_total",
+            "Run manifests seen.",
+            counts.manifests,
+        );
+        self.newton_histogram.render_prometheus_into(
+            "ferrocim_newton_iterations_per_solve",
+            "Newton iterations needed per converged solve.",
+            &mut out,
+        );
+        self.span_histogram.render_prometheus_into(
+            "ferrocim_span_micros",
+            "Scoped-timer latencies in microseconds.",
+            &mut out,
+        );
         out
     }
 }
@@ -385,6 +409,9 @@ impl Recorder for Aggregator {
         match event {
             Event::NewtonIter { .. } => {
                 self.newton_iters.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::NewtonResidual { .. } => {
+                self.newton_residuals.fetch_add(1, Ordering::Relaxed);
             }
             Event::NewtonConverged { iterations } => {
                 self.newton_converged.fetch_add(1, Ordering::Relaxed);
@@ -430,7 +457,10 @@ impl Recorder for Aggregator {
             Event::EpochDone { .. } => {
                 self.epochs_done.fetch_add(1, Ordering::Relaxed);
             }
-            Event::Span { micros, .. } => {
+            // Only the close is counted: a SpanEnd proves the full
+            // begin/end pair, and its duration feeds the histogram.
+            Event::SpanBegin { .. } => {}
+            Event::SpanEnd { micros, .. } => {
                 self.spans.fetch_add(1, Ordering::Relaxed);
                 self.span_histogram.record(*micros);
             }
@@ -486,6 +516,11 @@ mod tests {
         let agg = Aggregator::new();
         agg.record(&Event::NewtonIter { iteration: 1 });
         agg.record(&Event::NewtonIter { iteration: 2 });
+        agg.record(&Event::NewtonResidual {
+            iteration: 2,
+            residual: 1e-6,
+            damping: 1.0,
+        });
         agg.record(&Event::NewtonConverged { iterations: 2 });
         agg.record(&Event::StepAccepted { time: 0.0, dt: 1.0 });
         agg.record(&Event::StepRejected { time: 0.0, dt: 1.0 });
@@ -520,12 +555,17 @@ mod tests {
             loss: 1.0,
             accuracy: 0.5,
         });
-        agg.record(&Event::Span {
+        agg.record(&Event::SpanBegin {
+            id: 1,
+            parent: 0,
+            tid: 1,
             name: "x".into(),
-            micros: 5.0,
+            ts: 0.0,
         });
+        agg.record(&Event::SpanEnd { id: 1, micros: 5.0 });
         let c = agg.counts();
         assert_eq!(c.newton_iters, 2);
+        assert_eq!(c.newton_residuals, 1);
         assert_eq!(c.newton_converged, 1);
         assert_eq!(c.steps_accepted, 1);
         assert_eq!(c.steps_rejected, 1);
@@ -540,7 +580,7 @@ mod tests {
         assert_eq!(c.mac_solves, 2);
         assert_eq!(c.faults_substituted, 1);
         assert_eq!(c.epochs_done, 1);
-        assert_eq!(c.spans, 1);
+        assert_eq!(c.spans, 1, "only SpanEnd counts as a closed span");
         assert_eq!(agg.newton_histogram().total(), 1);
         assert_eq!(agg.span_histogram().total(), 1);
     }
@@ -566,6 +606,7 @@ mod tests {
         let text = agg.render_prometheus();
         assert!(text.contains("# TYPE ferrocim_steps_accepted_total counter"));
         assert!(text.contains("ferrocim_steps_accepted_total 1"));
+        assert!(text.contains("# HELP ferrocim_newton_iterations_per_solve "));
         assert!(text.contains("# TYPE ferrocim_newton_iterations_per_solve histogram"));
         assert!(text.contains("ferrocim_newton_iterations_per_solve_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("ferrocim_newton_iterations_per_solve_count 1"));

@@ -34,7 +34,7 @@ pub enum RungKind {
 
 /// One observation from an instrumented hot loop.
 ///
-/// Events are deliberately flat and (except for [`Event::Span`] and
+/// Events are deliberately flat and (except for [`Event::SpanBegin`] and
 /// [`Event::Manifest`]) allocation-free, so constructing one costs a
 /// handful of register writes; sites behind a disabled [`crate::Telemetry`]
 /// handle never construct them at all.
@@ -44,6 +44,19 @@ pub enum Event {
     NewtonIter {
         /// 1-based iteration index within the enclosing solve.
         iteration: u64,
+    },
+    /// Per-iteration Newton diagnostics, emitted only at
+    /// [`crate::DetailLevel::Iterations`]: the residual norm (largest
+    /// damped update applied to any unknown, in volts) and the damping
+    /// factor the clamp applied (1.0 = undamped).
+    NewtonResidual {
+        /// 1-based iteration index within the enclosing solve.
+        iteration: u64,
+        /// Largest absolute damped Newton update this iteration (V).
+        residual: f64,
+        /// `min(1, max_step / raw_update)`: 1.0 means the step was not
+        /// clamped, smaller values mean the damping limiter engaged.
+        damping: f64,
     },
     /// A Newton solve converged.
     NewtonConverged {
@@ -116,10 +129,26 @@ pub enum Event {
         /// Training-set accuracy measured after the epoch.
         accuracy: f64,
     },
-    /// A scoped timer closed (see [`crate::Span`]).
-    Span {
+    /// A scoped timer opened (see [`crate::Span`]). Paired with the
+    /// [`Event::SpanEnd`] carrying the same `id`; the `parent`/`id`
+    /// links form the span tree (network → layer → MAC batch → solve).
+    SpanBegin {
+        /// Process-unique span id (never 0).
+        id: u64,
+        /// Id of the enclosing span, or 0 for a root span.
+        parent: u64,
+        /// Small sequential id of the emitting thread (first-use order,
+        /// starting at 1), for trace viewers that lay out tracks.
+        tid: u64,
         /// The span label.
         name: String,
+        /// Begin timestamp: microseconds since the process trace epoch.
+        ts: f64,
+    },
+    /// A scoped timer closed (see [`crate::Span`]).
+    SpanEnd {
+        /// Id matching the paired [`Event::SpanBegin`].
+        id: u64,
         /// Elapsed wall-clock time in microseconds.
         micros: f64,
     },
@@ -141,6 +170,11 @@ mod tests {
     fn events_round_trip_through_json() {
         let events = vec![
             Event::NewtonIter { iteration: 3 },
+            Event::NewtonResidual {
+                iteration: 3,
+                residual: 1.5e-7,
+                damping: 0.25,
+            },
             Event::NewtonConverged { iterations: 4 },
             Event::StepAccepted {
                 time: 1e-9,
@@ -171,8 +205,15 @@ mod tests {
                 loss: 2.3,
                 accuracy: 0.11,
             },
-            Event::Span {
+            Event::SpanBegin {
+                id: 9,
+                parent: 3,
+                tid: 1,
                 name: "solve".into(),
+                ts: 4521.25,
+            },
+            Event::SpanEnd {
+                id: 9,
                 micros: 12.5,
             },
             Event::Manifest {

@@ -20,9 +20,15 @@
 //!   simulation builders (the same way `Budget` is). The default
 //!   handle is enum-dispatched to a no-op: when telemetry is off, an
 //!   instrumentation site costs one discriminant check and the event
-//!   is never even constructed.
-//! * [`Span`] — scoped wall-clock timers that emit [`Event::Span`] on
-//!   drop (and skip the clock read entirely when telemetry is off).
+//!   is never even constructed. An on handle records at a
+//!   [`DetailLevel`]; [`DetailLevel::Iterations`] adds per-iteration
+//!   Newton residual/damping diagnostics ([`Event::NewtonResidual`]).
+//! * [`Span`] — scoped wall-clock timers forming a causal tree: each
+//!   span gets a process-unique [`SpanId`] and a parent (the innermost
+//!   open span on the thread, or an explicit id via
+//!   [`Telemetry::span_under`] for cross-thread work), emitting
+//!   [`Event::SpanBegin`] on open and [`Event::SpanEnd`] on drop. When
+//!   telemetry is off, no id is allocated and the clock is never read.
 //!
 //! # Example
 //!
@@ -35,7 +41,7 @@
 //! tele.emit(|| Event::StepAccepted { time: 0.0, dt: 1e-12 });
 //! {
 //!     let _timer = tele.span("solve");
-//! } // emits Event::Span on drop
+//! } // emits Event::SpanBegin on open, Event::SpanEnd on drop
 //! assert_eq!(agg.counts().steps_accepted, 1);
 //! assert_eq!(agg.counts().spans, 1);
 //!
@@ -54,5 +60,5 @@ mod sink;
 
 pub use aggregate::{Aggregator, Counts, Histogram};
 pub use event::{Event, ResourceKind, RungKind, TRACE_FORMAT};
-pub use recorder::{NoopRecorder, Recorder, Span, Tee, Telemetry};
+pub use recorder::{DetailLevel, NoopRecorder, Recorder, Span, SpanId, Tee, Telemetry};
 pub use sink::{read_trace, JsonlSink, TraceError};

@@ -164,6 +164,17 @@ pub enum TraceError {
         /// The declared format string.
         found: String,
     },
+    /// A second header line appeared mid-file (e.g. two traces of
+    /// different versions concatenated). Rejected with a typed error
+    /// instead of deserializing the tail as garbage events.
+    MixedVersion {
+        /// The trace path.
+        path: String,
+        /// 1-based line number of the unexpected header.
+        line: u64,
+        /// The format string the mid-file header declared.
+        found: String,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -176,6 +187,11 @@ impl fmt::Display for TraceError {
             TraceError::BadFormat { path, found } => write!(
                 f,
                 "trace {path}: format {found:?} (expected {TRACE_FORMAT:?})"
+            ),
+            TraceError::MixedVersion { path, line, found } => write!(
+                f,
+                "trace {path} line {line}: unexpected mid-file header \
+                 with format {found:?} (mixed-version trace rejected)"
             ),
         }
     }
@@ -230,10 +246,25 @@ pub fn read_trace(path: impl AsRef<Path>) -> Result<Vec<Event>, TraceError> {
             header_seen = true;
             continue;
         }
-        let event: Event = serde_json::from_str(&line).map_err(|e| TraceError::Corrupt {
-            path: display.clone(),
-            line: number,
-            detail: e.to_string(),
+        let event: Event = serde_json::from_str(&line).map_err(|e| {
+            // A line that is not an Event but *is* a header object
+            // means two traces were concatenated (possibly of different
+            // schema versions): reject with a typed error instead of
+            // misreporting the tail as corruption.
+            if let Ok(value) = serde_json::from_str::<Value>(&line) {
+                if let Some(Value::String(found)) = value.get("format") {
+                    return TraceError::MixedVersion {
+                        path: display.clone(),
+                        line: number,
+                        found: found.clone(),
+                    };
+                }
+            }
+            TraceError::Corrupt {
+                path: display.clone(),
+                line: number,
+                detail: e.to_string(),
+            }
         })?;
         events.push(event);
     }
@@ -312,6 +343,39 @@ mod tests {
         ));
         std::fs::write(&path, "").expect("write");
         assert!(matches!(read_trace(&path), Err(TraceError::Corrupt { .. })));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn read_rejects_mixed_version_traces_with_typed_error() {
+        let path = temp_trace("mixed");
+        // A valid v1 trace with a forged v2 header concatenated
+        // mid-file: typed MixedVersion, not generic Corrupt.
+        std::fs::write(
+            &path,
+            "{\"format\":\"ferrocim-trace-v1\"}\n\
+             {\"NewtonIter\":{\"iteration\":1}}\n\
+             {\"format\":\"ferrocim-trace-v2\"}\n\
+             {\"NewtonIter\":{\"iteration\":2}}\n",
+        )
+        .expect("write");
+        match read_trace(&path) {
+            Err(TraceError::MixedVersion { line, found, .. }) => {
+                assert_eq!(line, 3);
+                assert_eq!(found, "ferrocim-trace-v2");
+            }
+            other => panic!("expected MixedVersion, got {other:?}"),
+        }
+        // Even a same-version duplicate header is a mixed trace.
+        std::fs::write(
+            &path,
+            "{\"format\":\"ferrocim-trace-v1\"}\n{\"format\":\"ferrocim-trace-v1\"}\n",
+        )
+        .expect("write");
+        assert!(matches!(
+            read_trace(&path),
+            Err(TraceError::MixedVersion { line: 2, .. })
+        ));
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,131 @@
+//! Property tests: arbitrary event sequences survive the JSONL sink
+//! round trip byte-exactly, and a truncated tail is reported as typed
+//! corruption rather than silently dropped.
+
+use ferrocim_telemetry::{read_trace, Event, JsonlSink, Recorder as _, ResourceKind, RungKind};
+use ferrocim_telemetry::{TraceError, TRACE_FORMAT};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique per-case trace path (cases run in one process).
+fn temp_trace(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "ferrocim-roundtrip-{tag}-{}-{n}.jsonl",
+        std::process::id()
+    ))
+}
+
+/// JSON numbers travel as `f64`, so integer fields must stay within
+/// the 2^53 exactly-representable range to round-trip byte-exactly.
+const MAX_EXACT_U64: u64 = 1 << 53;
+
+/// One arbitrary event. Variants are picked by index; the field pool
+/// is drawn up front and reused, which keeps the strategy a simple
+/// map (the vendored proptest has no `prop_oneof`).
+fn arb_event() -> impl Strategy<Value = Event> {
+    let ints = (0u64..14, 0u64..MAX_EXACT_U64, 0u64..MAX_EXACT_U64);
+    let floats = (1e-15f64..1e9, 0.0f64..1.0, any::<bool>());
+    let names = prop::sample::select(vec!["solve", "mac_batch", "nn.forward", "x"]);
+    (ints, floats, names).prop_map(|((variant, a, b), (x, y, flag), name)| match variant {
+        0 => Event::NewtonIter { iteration: a },
+        1 => Event::NewtonResidual {
+            iteration: a,
+            residual: x,
+            damping: y,
+        },
+        2 => Event::NewtonConverged { iterations: a },
+        3 => Event::StepAccepted { time: x, dt: y },
+        4 => Event::StepRejected { time: x, dt: y },
+        5 => Event::RescueAttempt {
+            rung: if flag {
+                RungKind::GminStepping
+            } else {
+                RungKind::SourceStepping
+            },
+            iterations: a,
+            converged: flag,
+        },
+        6 => Event::BudgetSpend {
+            resource: if flag {
+                ResourceKind::NewtonIterations
+            } else {
+                ResourceKind::Steps
+            },
+            amount: a,
+        },
+        7 => Event::McRunStarted { run: a },
+        8 => Event::McRunDone { run: a, ok: flag },
+        9 => Event::MacIssued { jobs: a, solves: b },
+        10 => Event::FaultSubstituted { substitute: a },
+        11 => Event::EpochDone {
+            epoch: a,
+            loss: x,
+            accuracy: y,
+        },
+        12 => Event::SpanBegin {
+            id: a.max(1),
+            parent: b,
+            tid: 1,
+            name: name.to_string(),
+            ts: x,
+        },
+        _ => Event::SpanEnd {
+            id: a.max(1),
+            micros: x,
+        },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_sequences_round_trip(events in prop::collection::vec(arb_event(), 0..40)) {
+        let path = temp_trace("seq");
+        let sink = JsonlSink::create(&path).expect("create sink");
+        for event in &events {
+            sink.record(event);
+        }
+        prop_assert_eq!(sink.events_written(), events.len() as u64);
+        sink.finish().expect("finish");
+        let raw = std::fs::read_to_string(&path).expect("read back");
+        let header = raw.lines().next().expect("header line");
+        prop_assert!(header.contains(TRACE_FORMAT), "header carries the version");
+        let back = read_trace(&path).expect("read_trace");
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(back, events);
+    }
+
+    #[test]
+    fn truncated_tail_is_typed_corruption(
+        events in prop::collection::vec(arb_event(), 1..20),
+        cut in 1usize..40,
+    ) {
+        let path = temp_trace("cut");
+        let sink = JsonlSink::create(&path).expect("create sink");
+        for event in &events {
+            sink.record(event);
+        }
+        sink.finish().expect("finish");
+        let mut raw = std::fs::read_to_string(&path).expect("read back");
+        // Chop mid-way through the final event line (a crashed writer's
+        // torn tail), keeping at least the opening brace so the line is
+        // non-empty but unparseable.
+        let last_line_start = raw.trim_end().rfind('\n').expect("multi-line") + 1;
+        let cut_at = (last_line_start + cut).min(raw.trim_end().len() - 1);
+        raw.truncate(cut_at);
+        std::fs::write(&path, &raw).expect("rewrite truncated");
+        let outcome = read_trace(&path);
+        let _ = std::fs::remove_file(&path);
+        match outcome {
+            Err(TraceError::Corrupt { line, .. }) => {
+                // 1 header line + full events before the torn one.
+                prop_assert_eq!(line, events.len() as u64 + 1);
+            }
+            other => prop_assert!(false, "expected Corrupt, got {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Chrome/Perfetto `trace_event` JSON export.
+//!
+//! The output is the stable "JSON Array Format" subset of the Trace
+//! Event spec: one complete (`"ph": "X"`) event per closed span, with
+//! microsecond `ts`/`dur` and the telemetry thread id as `tid`, so
+//! `about:tracing` and <https://ui.perfetto.dev> lay the span tree out
+//! on per-thread tracks. Span/parent ids travel in `args` for tools
+//! that want the explicit causality instead of timestamp nesting.
+
+use crate::tree::SpanTree;
+use serde_json::Value;
+
+/// Converts a reconstructed span tree into a `trace_event` JSON
+/// document. Open spans (no end event) are skipped — a viewer cannot
+/// place an unbounded complete event.
+pub fn chrome_trace(tree: &SpanTree) -> Value {
+    let events: Vec<Value> = tree
+        .nodes()
+        .iter()
+        .filter_map(|node| {
+            let micros = node.micros?;
+            Some(Value::Object(vec![
+                ("name".to_string(), Value::String(node.name.clone())),
+                ("ph".to_string(), Value::String("X".to_string())),
+                ("ts".to_string(), Value::Number(node.ts)),
+                ("dur".to_string(), Value::Number(micros)),
+                ("pid".to_string(), Value::Number(1.0)),
+                ("tid".to_string(), Value::Number(node.tid as f64)),
+                (
+                    "args".to_string(),
+                    Value::Object(vec![
+                        ("span_id".to_string(), Value::Number(node.id as f64)),
+                        ("parent".to_string(), Value::Number(node.parent as f64)),
+                    ]),
+                ),
+            ]))
+        })
+        .collect();
+    Value::Object(vec![
+        ("traceEvents".to_string(), Value::Array(events)),
+        (
+            "displayTimeUnit".to_string(),
+            Value::String("ms".to_string()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrocim_telemetry::Event;
+
+    #[test]
+    fn exports_complete_events_and_skips_open_spans() {
+        let events = vec![
+            Event::SpanBegin {
+                id: 1,
+                parent: 0,
+                tid: 1,
+                name: "nn.forward".into(),
+                ts: 10.0,
+            },
+            Event::SpanBegin {
+                id: 2,
+                parent: 1,
+                tid: 1,
+                name: "cim.mac_batch".into(),
+                ts: 11.0,
+            },
+            Event::SpanEnd { id: 2, micros: 5.0 },
+            Event::SpanEnd {
+                id: 1,
+                micros: 20.0,
+            },
+            Event::SpanBegin {
+                id: 3,
+                parent: 0,
+                tid: 2,
+                name: "torn".into(),
+                ts: 30.0,
+            },
+        ];
+        let doc = chrome_trace(&SpanTree::build(&events));
+        let Some(Value::Array(entries)) = doc.get("traceEvents") else {
+            panic!("traceEvents array missing");
+        };
+        assert_eq!(entries.len(), 2, "open span is skipped");
+        let first = &entries[0];
+        assert_eq!(first.get("ph"), Some(&Value::String("X".to_string())));
+        assert_eq!(first.get("ts"), Some(&Value::Number(10.0)));
+        assert_eq!(first.get("dur"), Some(&Value::Number(20.0)));
+        assert_eq!(first.get("tid"), Some(&Value::Number(1.0)));
+        let args = first.get("args").expect("args");
+        assert_eq!(args.get("span_id"), Some(&Value::Number(1.0)));
+        // The serialized document is a single JSON object a viewer can
+        // load directly.
+        let text = serde_json::to_string(&doc).expect("serialize");
+        assert!(text.starts_with("{\"traceEvents\":"));
+        assert!(text.ends_with('}'));
+    }
+}

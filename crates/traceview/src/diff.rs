@@ -1,0 +1,264 @@
+//! Two-trace comparison with a regression threshold (the CI perf gate).
+//!
+//! Only deterministic *count* metrics are gated: Newton iterations,
+//! step accept/rejects, rescues, MAC job/solve counts. Wall-clock span
+//! times vary run-to-run and machine-to-machine, so they are reported
+//! by `trace summary` but never gated — a baseline trace recorded on
+//! one host must gate identically on another.
+//!
+//! Baselines don't have to be full traces: [`metrics_json`] renders the
+//! extracted counters as a small standalone JSON object (the format
+//! `trace metrics` emits and `scripts/bench_gate.sh` checks in under
+//! `baselines/`), and [`metrics_from_json`] reads it back for `trace
+//! diff`, which accepts either representation on each side.
+
+use ferrocim_telemetry::{Aggregator, Counts, Event, Recorder as _};
+use serde_json::Value;
+
+/// Default regression threshold (percent increase) for
+/// `scripts/bench_gate.sh` and `trace diff` without `--threshold`.
+pub const GATE_DEFAULT_THRESHOLD_PCT: f64 = 10.0;
+
+/// One per-metric comparison between a baseline and a new trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Metric name (matches the `Counts` field).
+    pub metric: String,
+    /// Baseline value.
+    pub base: u64,
+    /// New value.
+    pub new: u64,
+    /// Percent change relative to the baseline (`+` = more work).
+    pub pct: f64,
+    /// Whether the increase exceeds the threshold. Every gated metric
+    /// counts solver *work*, so only increases regress; a decrease is
+    /// an improvement and never fails the gate.
+    pub regressed: bool,
+}
+
+/// The deterministic count metrics the gate compares, in render order.
+pub fn extract_metrics(events: &[Event]) -> Vec<(&'static str, u64)> {
+    let agg = Aggregator::new();
+    for event in events {
+        agg.record(event);
+    }
+    let c: Counts = agg.counts();
+    vec![
+        ("newton_iters", c.newton_iters),
+        ("newton_converged", c.newton_converged),
+        ("steps_accepted", c.steps_accepted),
+        ("steps_rejected", c.steps_rejected),
+        ("rescue_attempts", c.rescue_attempts),
+        ("rescues_succeeded", c.rescues_succeeded),
+        ("mc_runs_started", c.mc_runs_started),
+        ("mc_runs_failed", c.mc_runs_failed),
+        ("mac_jobs", c.mac_jobs),
+        ("mac_solves", c.mac_solves),
+        ("faults_substituted", c.faults_substituted),
+    ]
+}
+
+/// Renders extracted metrics as the standalone baseline JSON object
+/// (`trace metrics` / `baselines/*.json`), keys in gate order.
+pub fn metrics_json(metrics: &[(&'static str, u64)]) -> Value {
+    Value::Object(
+        metrics
+            .iter()
+            .map(|&(name, value)| (name.to_string(), Value::Number(value as f64)))
+            .collect(),
+    )
+}
+
+/// Parses a baseline JSON object back into gate metrics. Every known
+/// metric must be present with a non-negative integer value and no
+/// unknown keys are tolerated, so a stale baseline fails loudly when
+/// the gate's metric set changes.
+///
+/// # Errors
+///
+/// Returns a description of the first missing, unknown, or non-integer
+/// entry.
+pub fn metrics_from_json(doc: &Value) -> Result<Vec<(&'static str, u64)>, String> {
+    let Value::Object(entries) = doc else {
+        return Err("metrics baseline must be a JSON object".to_string());
+    };
+    let known = extract_metrics(&[]);
+    for (key, _) in entries {
+        if !known.iter().any(|&(name, _)| name == key) {
+            return Err(format!(
+                "unknown metric {key:?} — regenerate the baseline with \
+                 scripts/bench_gate.sh --update"
+            ));
+        }
+    }
+    known
+        .iter()
+        .map(|&(name, _)| {
+            let value = doc
+                .get(name)
+                .ok_or_else(|| format!("metric {name:?} missing from the baseline"))?;
+            match value {
+                Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 => Ok((name, *n as u64)),
+                other => Err(format!("metric {name:?} must be a count, got {other:?}")),
+            }
+        })
+        .collect()
+}
+
+/// Compares two event streams metric-by-metric. `threshold_pct` is the
+/// largest tolerated increase; a metric appearing from a zero baseline
+/// is only a regression if the new value is itself nonzero.
+pub fn diff_metrics(base: &[Event], new: &[Event], threshold_pct: f64) -> Vec<Delta> {
+    diff_extracted(&extract_metrics(base), &extract_metrics(new), threshold_pct)
+}
+
+/// [`diff_metrics`] over already-extracted metric lists (either side
+/// may come from [`metrics_from_json`] instead of a trace).
+pub fn diff_extracted(
+    base: &[(&'static str, u64)],
+    new: &[(&'static str, u64)],
+    threshold_pct: f64,
+) -> Vec<Delta> {
+    base.iter()
+        .copied()
+        .zip(new.iter().copied())
+        .map(|((metric, base), (_, new))| {
+            let pct = if base == 0 {
+                if new == 0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                (new as f64 - base as f64) / base as f64 * 100.0
+            };
+            Delta {
+                metric: metric.to_string(),
+                base,
+                new,
+                pct,
+                regressed: pct > threshold_pct,
+            }
+        })
+        .collect()
+}
+
+/// Whether any metric in `deltas` regressed (the gate's exit status).
+pub fn has_regression(deltas: &[Delta]) -> bool {
+    deltas.iter().any(|d| d.regressed)
+}
+
+/// Renders the diff table (the `trace diff` output).
+pub fn render_deltas(deltas: &[Delta]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<20} {:>12} {:>12} {:>9}",
+        "metric", "base", "new", "change"
+    );
+    for d in deltas {
+        let marker = if d.regressed { "  REGRESSED" } else { "" };
+        let pct = if d.pct.is_infinite() {
+            "new".to_string()
+        } else {
+            format!("{:+.1}%", d.pct)
+        };
+        let _ = writeln!(
+            out,
+            "{:<20} {:>12} {:>12} {:>9}{marker}",
+            d.metric, d.base, d.new, pct
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iters(n: u64) -> Vec<Event> {
+        (1..=n)
+            .map(|i| Event::NewtonIter { iteration: i })
+            .collect()
+    }
+
+    #[test]
+    fn identical_traces_never_regress() {
+        let a = iters(20);
+        let deltas = diff_metrics(&a, &a, GATE_DEFAULT_THRESHOLD_PCT);
+        assert!(!has_regression(&deltas));
+        assert!(deltas.iter().all(|d| d.pct == 0.0));
+    }
+
+    #[test]
+    fn ten_percent_increase_trips_the_default_gate() {
+        let base = iters(100);
+        let regressed = iters(111); // +11% > 10% threshold
+        let deltas = diff_metrics(&base, &regressed, GATE_DEFAULT_THRESHOLD_PCT);
+        assert!(has_regression(&deltas));
+        let newton = deltas.iter().find(|d| d.metric == "newton_iters").unwrap();
+        assert!(newton.regressed);
+        assert!((newton.pct - 11.0).abs() < 1e-9);
+        // Exactly at the threshold passes: the gate is strict-greater.
+        let at = diff_metrics(&iters(100), &iters(110), GATE_DEFAULT_THRESHOLD_PCT);
+        assert!(!has_regression(&at));
+    }
+
+    #[test]
+    fn improvements_and_zero_baselines_behave() {
+        // Fewer iterations: improvement, not a regression.
+        let deltas = diff_metrics(&iters(100), &iters(50), 10.0);
+        assert!(!has_regression(&deltas));
+        // Zero baseline, nonzero new: infinite increase, regression.
+        let appeared = diff_metrics(&[], &[Event::StepRejected { time: 0.0, dt: 1.0 }], 10.0);
+        assert!(has_regression(&appeared));
+        // Zero to zero: clean.
+        let empty = diff_metrics(&[], &[], 10.0);
+        assert!(!has_regression(&empty));
+    }
+
+    #[test]
+    fn metrics_round_trip_through_the_baseline_json() {
+        let metrics = extract_metrics(&iters(42));
+        let doc = metrics_json(&metrics);
+        let text = serde_json::to_string_pretty(&doc).expect("serialize");
+        let back = metrics_from_json(&serde_json::from_str(&text).expect("parse")).expect("valid");
+        assert_eq!(back, metrics);
+        // Diffing a trace against its own extracted baseline is clean.
+        assert!(!has_regression(&diff_extracted(
+            &back,
+            &extract_metrics(&iters(42)),
+            GATE_DEFAULT_THRESHOLD_PCT
+        )));
+    }
+
+    #[test]
+    fn stale_or_malformed_baselines_are_rejected() {
+        let mut doc = metrics_json(&extract_metrics(&[]));
+        let Value::Object(entries) = &mut doc else {
+            unreachable!()
+        };
+        entries.push(("warp_factor".to_string(), Value::Number(9.0)));
+        assert!(metrics_from_json(&doc)
+            .expect_err("unknown key")
+            .contains("warp_factor"));
+        let Value::Object(entries) = &mut doc else {
+            unreachable!()
+        };
+        entries.pop();
+        entries.retain(|(k, _)| k != "newton_iters");
+        assert!(metrics_from_json(&doc)
+            .expect_err("missing key")
+            .contains("newton_iters"));
+        assert!(metrics_from_json(&Value::Array(Vec::new())).is_err());
+    }
+
+    #[test]
+    fn render_marks_regressions() {
+        let text = render_deltas(&diff_metrics(&iters(10), &iters(20), 10.0));
+        assert!(text.contains("newton_iters"));
+        assert!(text.contains("REGRESSED"));
+        assert!(text.contains("+100.0%"));
+    }
+}

@@ -1,0 +1,201 @@
+//! One-trace summaries: counters, histograms, and top spans.
+
+use crate::tree::SpanTree;
+use ferrocim_telemetry::{Aggregator, Counts, Event, Recorder as _};
+use std::collections::HashMap;
+
+/// Aggregated wall-clock statistics for one span label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRollup {
+    /// The span label.
+    pub name: String,
+    /// Closed spans with this label.
+    pub count: u64,
+    /// Total wall-clock microseconds across those spans.
+    pub total_micros: f64,
+}
+
+/// Rolls closed spans up by label, sorted by descending total time.
+pub fn top_spans(events: &[Event]) -> Vec<SpanRollup> {
+    let mut names: HashMap<u64, &str> = HashMap::new();
+    let mut rollup: HashMap<&str, (u64, f64)> = HashMap::new();
+    for event in events {
+        match event {
+            Event::SpanBegin { id, name, .. } => {
+                names.insert(*id, name.as_str());
+            }
+            Event::SpanEnd { id, micros } => {
+                if let Some(name) = names.get(id) {
+                    let slot = rollup.entry(name).or_insert((0, 0.0));
+                    slot.0 += 1;
+                    slot.1 += micros;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out: Vec<SpanRollup> = rollup
+        .into_iter()
+        .map(|(name, (count, total_micros))| SpanRollup {
+            name: name.to_string(),
+            count,
+            total_micros,
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.total_micros
+            .total_cmp(&a.total_micros)
+            .then(a.name.cmp(&b.name))
+    });
+    out
+}
+
+/// The `trace summary` payload for one trace.
+#[derive(Debug)]
+pub struct Summary {
+    /// Total events in the trace (including span begin/ends).
+    pub events: usize,
+    /// Counter snapshot from replaying the trace into an [`Aggregator`].
+    pub counts: Counts,
+    /// Span labels by descending total wall-clock time.
+    pub top_spans: Vec<SpanRollup>,
+    /// Spans whose end never made it into the trace.
+    pub open_spans: usize,
+    /// The replayed aggregator (for `--prometheus` output).
+    aggregator: Aggregator,
+}
+
+impl Summary {
+    /// Replays `events` into counters, histograms, and span rollups.
+    pub fn of(events: &[Event]) -> Summary {
+        let aggregator = Aggregator::new();
+        for event in events {
+            aggregator.record(event);
+        }
+        let tree = SpanTree::build(events);
+        Summary {
+            events: events.len(),
+            counts: aggregator.counts(),
+            top_spans: top_spans(events),
+            open_spans: tree.open_spans(),
+            aggregator,
+        }
+    }
+
+    /// The Prometheus text exposition of the replayed trace.
+    pub fn render_prometheus(&self) -> String {
+        self.aggregator.render_prometheus()
+    }
+
+    /// Renders the human-readable summary (the `trace summary` output).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let c = &self.counts;
+        let mut out = String::new();
+        let _ = writeln!(out, "events                {}", self.events);
+        let mut count = |name: &str, value: u64| {
+            if value > 0 {
+                let _ = writeln!(out, "{name:<22}{value}");
+            }
+        };
+        count("newton_iters", c.newton_iters);
+        count("newton_residuals", c.newton_residuals);
+        count("newton_converged", c.newton_converged);
+        count("steps_accepted", c.steps_accepted);
+        count("steps_rejected", c.steps_rejected);
+        count("rescue_attempts", c.rescue_attempts);
+        count("rescues_succeeded", c.rescues_succeeded);
+        count("budget_newton", c.budget_newton);
+        count("budget_steps", c.budget_steps);
+        count("mc_runs_started", c.mc_runs_started);
+        count("mc_runs_ok", c.mc_runs_ok);
+        count("mc_runs_failed", c.mc_runs_failed);
+        count("mac_jobs", c.mac_jobs);
+        count("mac_solves", c.mac_solves);
+        count("faults_substituted", c.faults_substituted);
+        count("epochs_done", c.epochs_done);
+        count("spans", c.spans);
+        count("manifests", c.manifests);
+        if self.open_spans > 0 {
+            let _ = writeln!(out, "open_spans            {}", self.open_spans);
+        }
+        let newton = self.aggregator.newton_histogram();
+        if newton.total() > 0 {
+            let _ = writeln!(out, "\nnewton iterations per converged solve:");
+            let counts = newton.counts();
+            for (bound, n) in newton.bounds().iter().zip(&counts) {
+                if *n > 0 {
+                    let _ = writeln!(out, "  <= {bound:<8} {n}");
+                }
+            }
+            if let Some(overflow) = counts.last() {
+                if *overflow > 0 {
+                    let _ = writeln!(out, "  >  last     {overflow}");
+                }
+            }
+        }
+        if !self.top_spans.is_empty() {
+            let _ = writeln!(out, "\ntop spans by total wall-clock:");
+            for span in self.top_spans.iter().take(10) {
+                let _ = writeln!(
+                    out,
+                    "  {:<20} {:>8}x {:>14.1}us",
+                    span.name, span.count, span.total_micros
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_counts_and_ranks_spans() {
+        let events = vec![
+            Event::NewtonIter { iteration: 1 },
+            Event::NewtonConverged { iterations: 1 },
+            Event::SpanBegin {
+                id: 1,
+                parent: 0,
+                tid: 1,
+                name: "slow".into(),
+                ts: 0.0,
+            },
+            Event::SpanEnd {
+                id: 1,
+                micros: 100.0,
+            },
+            Event::SpanBegin {
+                id: 2,
+                parent: 0,
+                tid: 1,
+                name: "fast".into(),
+                ts: 1.0,
+            },
+            Event::SpanEnd { id: 2, micros: 5.0 },
+            Event::SpanBegin {
+                id: 3,
+                parent: 0,
+                tid: 1,
+                name: "open".into(),
+                ts: 2.0,
+            },
+        ];
+        let summary = Summary::of(&events);
+        assert_eq!(summary.events, 7);
+        assert_eq!(summary.counts.newton_iters, 1);
+        assert_eq!(summary.counts.spans, 2);
+        assert_eq!(summary.open_spans, 1);
+        assert_eq!(summary.top_spans[0].name, "slow");
+        assert_eq!(summary.top_spans[1].name, "fast");
+        let text = summary.render_text();
+        assert!(text.contains("newton_iters"));
+        assert!(text.contains("top spans"));
+        assert!(summary
+            .render_prometheus()
+            .contains("ferrocim_newton_iterations_total 1"));
+    }
+}

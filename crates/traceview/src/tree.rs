@@ -1,0 +1,207 @@
+//! Span-tree reconstruction from flat `SpanBegin`/`SpanEnd` streams.
+
+use ferrocim_telemetry::Event;
+use std::collections::HashMap;
+
+/// One reconstructed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Process-unique span id from the trace.
+    pub id: u64,
+    /// Parent span id (0 = root).
+    pub parent: u64,
+    /// Sequential id of the emitting thread.
+    pub tid: u64,
+    /// Span label (`nn.forward`, `cim.mac_batch`, `spice.transient`, …).
+    pub name: String,
+    /// Begin timestamp, microseconds since the trace epoch.
+    pub ts: f64,
+    /// Wall-clock duration in microseconds; `None` for a span whose
+    /// end never made it into the trace (crashed or truncated run).
+    pub micros: Option<f64>,
+    /// Arena indices of child spans, in begin order.
+    pub children: Vec<usize>,
+}
+
+/// The causal span forest of one trace (an arena of [`SpanNode`]s).
+///
+/// Begin/end events are matched by id; a `parent` id that never begins
+/// in the trace (e.g. the trace was filtered) demotes the child to a
+/// root rather than dropping it.
+#[derive(Debug, Default)]
+pub struct SpanTree {
+    nodes: Vec<SpanNode>,
+    roots: Vec<usize>,
+    orphan_ends: usize,
+}
+
+impl SpanTree {
+    /// Builds the forest from an event stream.
+    pub fn build(events: &[Event]) -> SpanTree {
+        let mut nodes: Vec<SpanNode> = Vec::new();
+        let mut index_of: HashMap<u64, usize> = HashMap::new();
+        let mut orphan_ends = 0usize;
+        for event in events {
+            match event {
+                Event::SpanBegin {
+                    id,
+                    parent,
+                    tid,
+                    name,
+                    ts,
+                } => {
+                    let index = nodes.len();
+                    nodes.push(SpanNode {
+                        id: *id,
+                        parent: *parent,
+                        tid: *tid,
+                        name: name.clone(),
+                        ts: *ts,
+                        micros: None,
+                        children: Vec::new(),
+                    });
+                    index_of.insert(*id, index);
+                }
+                Event::SpanEnd { id, micros } => match index_of.get(id) {
+                    Some(&index) => nodes[index].micros = Some(*micros),
+                    None => orphan_ends += 1,
+                },
+                _ => {}
+            }
+        }
+        let mut roots = Vec::new();
+        for index in 0..nodes.len() {
+            let parent = nodes[index].parent;
+            match (parent != 0).then(|| index_of.get(&parent)).flatten() {
+                Some(&p) => nodes[p].children.push(index),
+                None => roots.push(index),
+            }
+        }
+        SpanTree {
+            nodes,
+            roots,
+            orphan_ends,
+        }
+    }
+
+    /// All spans, in begin order.
+    pub fn nodes(&self) -> &[SpanNode] {
+        &self.nodes
+    }
+
+    /// Arena indices of root spans (no parent in this trace).
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// `SpanEnd` events whose begin never appeared (filtered or torn
+    /// traces).
+    pub fn orphan_ends(&self) -> usize {
+        self.orphan_ends
+    }
+
+    /// Spans missing their end event (open at crash/truncation).
+    pub fn open_spans(&self) -> usize {
+        self.nodes.iter().filter(|n| n.micros.is_none()).count()
+    }
+
+    /// Renders the forest as an indented text tree, depth-first in
+    /// begin order (the `trace summary` span section).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut stack: Vec<(usize, usize)> = self.roots.iter().rev().map(|&i| (i, 0)).collect();
+        while let Some((index, depth)) = stack.pop() {
+            let node = &self.nodes[index];
+            let dur = match node.micros {
+                Some(us) => format!("{us:.1}us"),
+                None => "open".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:indent$}{} [{}] tid={} ts={:.1}us",
+                "",
+                node.name,
+                dur,
+                node.tid,
+                node.ts,
+                indent = depth * 2
+            );
+            for &child in node.children.iter().rev() {
+                stack.push((child, depth + 1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn begin(id: u64, parent: u64, tid: u64, name: &str, ts: f64) -> Event {
+        Event::SpanBegin {
+            id,
+            parent,
+            tid,
+            name: name.to_string(),
+            ts,
+        }
+    }
+
+    fn end(id: u64, micros: f64) -> Event {
+        Event::SpanEnd { id, micros }
+    }
+
+    #[test]
+    fn builds_nested_tree_with_cross_thread_parent() {
+        let events = vec![
+            begin(1, 0, 1, "nn.forward", 0.0),
+            begin(2, 1, 1, "cim.mac_batch", 1.0),
+            // Worker on another thread, parented explicitly by id.
+            begin(3, 2, 2, "cim.row_solve", 2.0),
+            end(3, 5.0),
+            end(2, 8.0),
+            end(1, 10.0),
+        ];
+        let tree = SpanTree::build(&events);
+        assert_eq!(tree.nodes().len(), 3);
+        assert_eq!(tree.roots(), &[0]);
+        let root = &tree.nodes()[0];
+        assert_eq!(root.name, "nn.forward");
+        assert_eq!(root.children, vec![1]);
+        let batch = &tree.nodes()[1];
+        assert_eq!(batch.children, vec![2]);
+        let solve = &tree.nodes()[tree.nodes()[1].children[0]];
+        assert_eq!(solve.tid, 2);
+        assert_eq!(solve.micros, Some(5.0));
+        assert_eq!(tree.open_spans(), 0);
+        assert_eq!(tree.orphan_ends(), 0);
+    }
+
+    #[test]
+    fn missing_parent_demotes_to_root_and_torn_spans_are_counted() {
+        let events = vec![
+            begin(7, 99, 1, "child_of_filtered", 0.0),
+            end(8, 1.0), // end without begin
+        ];
+        let tree = SpanTree::build(&events);
+        assert_eq!(tree.roots(), &[0]);
+        assert_eq!(tree.open_spans(), 1);
+        assert_eq!(tree.orphan_ends(), 1);
+    }
+
+    #[test]
+    fn render_text_indents_children() {
+        let events = vec![
+            begin(1, 0, 1, "outer", 0.0),
+            begin(2, 1, 1, "inner", 1.0),
+            end(2, 2.0),
+            end(1, 4.0),
+        ];
+        let text = SpanTree::build(&events).render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("outer"));
+        assert!(lines[1].starts_with("  inner"));
+    }
+}
