@@ -52,14 +52,16 @@ fn bench_solver(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("transient_be_1000_steps", |b| {
         b.iter(|| {
-            TransientAnalysis::new(&small, Second(1e-11), Second(1e-8))
+            TransientAnalysis::over(&small, Second(1e-8))
+                .with_fixed_step(Second(1e-11))
                 .run()
                 .expect("transient")
         })
     });
     group.bench_function("transient_trap_1000_steps", |b| {
         b.iter(|| {
-            TransientAnalysis::new(&small, Second(1e-11), Second(1e-8))
+            TransientAnalysis::over(&small, Second(1e-8))
+                .with_fixed_step(Second(1e-11))
                 .with_integrator(Integrator::Trapezoidal)
                 .run()
                 .expect("transient")

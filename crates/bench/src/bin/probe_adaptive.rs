@@ -70,12 +70,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let opts = AdaptiveOptions::for_duration(t_stop);
     let (fixed, v_fixed) = time_run(
-        || TransientAnalysis::new(&ckt, config.dt, t_stop).with_recorder(trace.telemetry()),
+        || {
+            TransientAnalysis::over(&ckt, t_stop)
+                .with_fixed_step(config.dt)
+                .with_recorder(trace.telemetry())
+        },
         acc,
     )?;
     let (adaptive, v_adaptive) = time_run(
         || {
-            TransientAnalysis::adaptive(&ckt, t_stop)
+            TransientAnalysis::over(&ckt, t_stop)
                 .with_adaptive_options(opts)
                 .with_recorder(trace.telemetry())
         },

@@ -53,7 +53,7 @@ fn consistency(trace: &Trace) -> Result<Vec<CountCheck>, Box<dyn std::error::Err
     let mac_level = config.cells_per_row / 2 + 1;
     let (weights, inputs) = mac_operands(config.cells_per_row, mac_level);
     let (ckt, _acc, t_stop) = array.readout_circuit(&weights, &inputs)?;
-    let run = TransientAnalysis::adaptive(&ckt, t_stop)
+    let run = TransientAnalysis::over(&ckt, t_stop)
         .with_adaptive_options(AdaptiveOptions::for_duration(t_stop))
         .with_recorder(tele.clone())
         .run()?;

@@ -254,6 +254,57 @@ pub struct AdaptiveProbe {
     pub speedup: f64,
 }
 
+/// One row-width sample of `results/probe_sparse.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseWidthPoint {
+    /// Cells per accumulated row at this sweep point.
+    pub cells_per_row: usize,
+    /// MNA unknowns of the row netlist (non-ground nodes plus
+    /// voltage-source branch currents).
+    pub unknowns: usize,
+    /// Dense-backend DC solve wall clock in microseconds; `None` above
+    /// the width where the dense path is still worth timing.
+    pub dense_wall_us: Option<f64>,
+    /// Sparse-backend DC solve wall clock in microseconds.
+    pub sparse_wall_us: f64,
+    /// Dense-to-sparse wall-clock ratio (`> 1` = sparse faster), where
+    /// both backends ran.
+    pub speedup: Option<f64>,
+    /// Max-norm node-voltage disagreement between the backends, where
+    /// both ran.
+    pub max_delta_v: Option<f64>,
+}
+
+/// The VGG-scale single-row transient of `results/probe_sparse.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LargeRowMac {
+    /// Cells in the simulated row.
+    pub cells_per_row: usize,
+    /// Accumulated output voltage in millivolts.
+    pub v_acc_mv: f64,
+    /// Digital ground truth of the MAC.
+    pub expected: usize,
+    /// End-to-end wall clock of the transient in milliseconds.
+    pub wall_ms: f64,
+    /// Sparse symbolic analyses run across the whole transient.
+    pub symbolic_analyses: u64,
+    /// Sparse numeric factorizations run across the whole transient.
+    pub numeric_factorizations: u64,
+}
+
+/// Root of `results/probe_sparse.json` (single object).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseProbe {
+    /// Dense-vs-sparse samples over the row-width sweep.
+    pub widths: Vec<SparseWidthPoint>,
+    /// The parity bound every `max_delta_v` is checked against.
+    pub parity_bound: f64,
+    /// Whether every measured `max_delta_v` stayed within the bound.
+    pub parity_ok: bool,
+    /// The end-to-end wide-row transient demonstration.
+    pub large_row: LargeRowMac,
+}
+
 /// One expected-vs-observed counter of `results/probe_telemetry.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CountCheck {

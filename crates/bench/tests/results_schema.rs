@@ -5,8 +5,8 @@
 
 use ferrocim_bench::schema::{
     AblationFeedbackRow, AdaptiveProbe, BaselineOverlap, ComparisonRow, IvCurve, LevelRange,
-    ProcessVariationPoint, ProposedArraySummary, ProposedCellRow, RegionResult, TelemetryProbe,
-    VggLayerRow, WriteVerifyRow,
+    ProcessVariationPoint, ProposedArraySummary, ProposedCellRow, RegionResult, SparseProbe,
+    TelemetryProbe, VggLayerRow, WriteVerifyRow,
 };
 use std::path::{Path, PathBuf};
 
@@ -32,6 +32,7 @@ fn validate(name: &str, text: &str) -> Option<Result<(), serde_json::Error>> {
         "fig8_proposed_array" => check::<ProposedArraySummary>(text),
         "fig9_process_variation" => check::<Vec<ProcessVariationPoint>>(text),
         "probe_adaptive" => check::<AdaptiveProbe>(text),
+        "probe_sparse" => check::<SparseProbe>(text),
         "probe_telemetry" => check::<TelemetryProbe>(text),
         "table1_vgg_structure" => check::<Vec<VggLayerRow>>(text),
         "table2_summary" => check::<Vec<ComparisonRow>>(text),

@@ -24,7 +24,8 @@ use crate::cells::{CellContext, CellDesign, CellOffsets, CellWeight};
 use crate::fault::CellFault;
 use crate::CimError;
 use ferrocim_spice::{
-    Budget, Circuit, Element, NodeId, SwitchSchedule, TransientAnalysis, Waveform, Workspace,
+    Budget, Circuit, Element, NodeId, SolverConfig, SwitchSchedule, TransientAnalysis, Waveform,
+    Workspace,
 };
 use ferrocim_telemetry::Telemetry;
 use ferrocim_units::{Celsius, Farad, Joule, Ohm, Second, Volt};
@@ -279,6 +280,8 @@ pub struct CimArray<C> {
     budget: Budget,
     /// Telemetry handle threaded into every underlying solve.
     telemetry: Telemetry,
+    /// Linear-solver selection for every workspace this array creates.
+    solver: SolverConfig,
 }
 
 impl<C: CellDesign> CimArray<C> {
@@ -297,6 +300,7 @@ impl<C: CellDesign> CimArray<C> {
             faults,
             budget: Budget::unlimited(),
             telemetry: Telemetry::off(),
+            solver: SolverConfig::auto(),
         })
     }
 
@@ -329,6 +333,22 @@ impl<C: CellDesign> CimArray<C> {
     /// The attached telemetry handle (off by default).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Selects the linear-solver backend (see
+    /// [`ferrocim_spice::SolverConfig`]) for every workspace this array
+    /// allocates. The default is [`SolverConfig::auto`], which keeps
+    /// the paper's 8-cell rows on the dense path and switches wide rows
+    /// (hundreds of cells, VGG-scale layers) to the sparse KLU-style
+    /// backend. Batch layers built on this array inherit the choice.
+    pub fn with_solver(mut self, solver: SolverConfig) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// The configured linear-solver selection.
+    pub fn solver_config(&self) -> SolverConfig {
+        self.solver
     }
 
     /// Installs per-column hardware faults (one entry per cell; `None`
@@ -415,7 +435,7 @@ impl<C: CellDesign> CimArray<C> {
     /// weights, inputs, or offsets do not match the row width, or
     /// propagates simulation failures.
     pub fn run(&self, request: &MacRequest) -> Result<MacOutput, CimError> {
-        self.run_in(request, &mut Workspace::new())
+        self.run_in(request, &mut Workspace::with_solver(self.solver))
     }
 
     /// [`CimArray::run`] with a caller-owned solver [`Workspace`], so
@@ -615,7 +635,8 @@ impl<C: CellDesign> CimArray<C> {
         ws: &mut Workspace,
     ) -> Result<MacOutput, CimError> {
         let t_stop = self.config.latency();
-        let result = TransientAnalysis::new(ckt, self.config.dt, t_stop)
+        let result = TransientAnalysis::over(ckt, t_stop)
+            .with_fixed_step(self.config.dt)
             .at(temp)
             .with_budget(budget.clone())
             .with_recorder(tele.clone())
@@ -751,7 +772,7 @@ impl<C: CellDesign> CimArray<C> {
     /// Propagates simulation failures.
     pub fn level_voltages(&self, temp: Celsius) -> Result<Vec<Volt>, CimError> {
         let n = self.config.cells_per_row;
-        let mut ws = Workspace::new();
+        let mut ws = Workspace::with_solver(self.solver);
         let (v_on, _) =
             self.single_cell_charge(true, true, temp, &CellOffsets::NOMINAL, &mut ws)?;
         let (v_off, _) =
@@ -790,7 +811,7 @@ impl<C: CellDesign> CimArray<C> {
             },
         ];
         let mut var = [0.0f64; 2];
-        let mut ws = Workspace::new();
+        let mut ws = Workspace::with_solver(self.solver);
         for (slot, &on) in [true, false].iter().enumerate() {
             for plus in &axes {
                 let minus = CellOffsets {
@@ -855,7 +876,8 @@ impl<C: CellDesign> CimArray<C> {
             offsets,
         };
         self.cell.build_cell(&mut ckt, &ctx)?;
-        let result = TransientAnalysis::new(&ckt, self.config.dt, self.config.t_charge)
+        let result = TransientAnalysis::over(&ckt, self.config.t_charge)
+            .with_fixed_step(self.config.dt)
             .at(temp)
             .with_budget(self.budget.clone())
             .with_recorder(self.telemetry.clone())

@@ -110,6 +110,21 @@ impl<C: CellDesign> Crossbar<C> {
         self
     }
 
+    /// Selects the linear-solver backend (see
+    /// [`ferrocim_spice::SolverConfig`]) for every row-MAC workspace,
+    /// propagated to the row hardware — including faulted row clones —
+    /// so each worker's workspace picks the same backend. The default
+    /// is the row array's own selection (auto by size).
+    pub fn with_solver(mut self, solver: ferrocim_spice::SolverConfig) -> Self {
+        self.array = self.array.with_solver(solver);
+        self.row_arrays = self
+            .row_arrays
+            .into_iter()
+            .map(|ra| ra.map(|a| a.with_solver(solver)))
+            .collect();
+        self
+    }
+
     /// Installs a fault plan: every cell fault in `plan` is applied to
     /// the corresponding `(row, column)` cell of this crossbar, for
     /// both transient and analytic evaluation. Rows the plan leaves
@@ -259,7 +274,7 @@ impl<C: CellDesign> Crossbar<C> {
         let mut digital = Vec::with_capacity(self.rows.len());
         let mut analog = Vec::with_capacity(self.rows.len());
         let mut energy = 0.0;
-        let mut ws = ferrocim_spice::Workspace::new();
+        let mut ws = ferrocim_spice::Workspace::with_solver(self.array.solver_config());
         for (r, weights) in self.rows.iter().enumerate() {
             self.budget.check()?;
             self.budget.charge_steps(1)?;
@@ -317,7 +332,7 @@ impl<C: CellDesign> Crossbar<C> {
         let solved = ferrocim_spice::fan_out(
             unique.len(),
             true,
-            ferrocim_spice::Workspace::new,
+            || ferrocim_spice::Workspace::with_solver(self.array.solver_config()),
             |ws, u| {
                 let _solve_span = self.telemetry.span_under("cim.row_solve", batch_id);
                 self.budget.check()?;
@@ -420,7 +435,7 @@ impl<C: CellDesign> Crossbar<C> {
             &FailurePolicy::SkipAndReport {
                 max_failures: usize::MAX,
             },
-            ferrocim_spice::Workspace::new,
+            || ferrocim_spice::Workspace::with_solver(self.array.solver_config()),
             |ws, u| {
                 let _solve_span = self.telemetry.span_under("cim.row_solve", batch_id);
                 self.budget.check()?;

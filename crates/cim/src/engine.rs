@@ -23,7 +23,7 @@ use crate::cells::{CellDesign, CellOffsets, CellWeight};
 use crate::CimError;
 use ferrocim_spice::{
     apply_policy, fan_out, try_fan_out, Budget, Circuit, FailurePolicy, FanOutError, FanOutReport,
-    JobError, NodeId, Workspace,
+    JobError, NodeId, SolverConfig, Workspace,
 };
 use ferrocim_telemetry::{Event, Telemetry};
 use ferrocim_units::Celsius;
@@ -67,6 +67,7 @@ pub struct ArrayEngine<'a, C> {
     parallel: bool,
     budget: Budget,
     telemetry: Telemetry,
+    solver: SolverConfig,
 }
 
 impl<'a, C: CellDesign> ArrayEngine<'a, C> {
@@ -118,6 +119,7 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
             parallel: true,
             budget: array.budget().clone(),
             telemetry: array.telemetry().clone(),
+            solver: array.solver_config(),
         })
     }
 
@@ -144,6 +146,16 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
     /// default the engine inherits the array's handle.
     pub fn with_recorder(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Selects the linear-solver backend for every worker-thread
+    /// [`Workspace`] (see [`SolverConfig`]). By default the engine
+    /// inherits the array's selection; the sparse backend runs one
+    /// symbolic analysis per worker and reuses it across the worker's
+    /// whole chunk of jobs — the row topology never changes in a batch.
+    pub fn with_solver(mut self, solver: SolverConfig) -> Self {
+        self.solver = solver;
         self
     }
 
@@ -245,7 +257,7 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
         let results = fan_out(
             unique.len(),
             self.parallel,
-            || (Workspace::new(), self.base.clone()),
+            || (Workspace::with_solver(self.solver), self.base.clone()),
             |(ws, ckt), u| {
                 // Parent this worker-side solve under the issuing batch
                 // span: fan_out workers run on their own threads, so
@@ -326,7 +338,7 @@ impl<'a, C: CellDesign> ArrayEngine<'a, C> {
             &FailurePolicy::SkipAndReport {
                 max_failures: usize::MAX,
             },
-            || (Workspace::new(), self.base.clone()),
+            || (Workspace::with_solver(self.solver), self.base.clone()),
             |(ws, ckt), u| {
                 let _solve_span = self.telemetry.span_under("cim.row_solve", batch_id);
                 self.budget.check()?;

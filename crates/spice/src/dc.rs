@@ -3,6 +3,7 @@
 use crate::mna::{newton_solve_in, CapMode, Layout, NewtonOptions, SolveSettings};
 use crate::netlist::{Circuit, Element, NodeId};
 use crate::rescue::{is_rescuable, rescue_solve, RescuePolicy, RescueReport};
+use crate::solver::SolverConfig;
 use crate::{Budget, SpiceError, Workspace};
 use ferrocim_telemetry::Telemetry;
 use ferrocim_units::{Ampere, Celsius, Second, Volt};
@@ -109,6 +110,7 @@ pub struct DcAnalysis<'a> {
     rescue: RescuePolicy,
     budget: Budget,
     telemetry: Telemetry,
+    solver: Option<SolverConfig>,
 }
 
 impl<'a> DcAnalysis<'a> {
@@ -123,6 +125,7 @@ impl<'a> DcAnalysis<'a> {
             rescue: RescuePolicy::default(),
             budget: Budget::unlimited(),
             telemetry: Telemetry::off(),
+            solver: None,
         }
     }
 
@@ -161,6 +164,14 @@ impl<'a> DcAnalysis<'a> {
         self
     }
 
+    /// Selects the linear-solver backend (see [`SolverConfig`]). When
+    /// not set, a solve leaves its [`Workspace`]'s own configuration in
+    /// force — [`SolverConfig::auto`] for a fresh workspace.
+    pub fn with_solver(mut self, config: SolverConfig) -> Self {
+        self.solver = Some(config);
+        self
+    }
+
     /// Warm-starts from a previous operating point (useful when sweeping
     /// temperature in small steps).
     pub fn warm_start(mut self, op: &OperatingPoint) -> Self {
@@ -193,6 +204,9 @@ impl<'a> DcAnalysis<'a> {
     /// Same as [`DcAnalysis::solve`].
     pub fn solve_in(&self, ws: &mut Workspace) -> Result<OperatingPoint, SpiceError> {
         let _span = self.telemetry.span("spice.dc");
+        if let Some(config) = self.solver {
+            ws.set_solver(config);
+        }
         let layout = Layout::of(self.circuit);
         let initial: Vec<f64> = match &self.initial_guess {
             Some(guess) if guess.len() == layout.size => guess.clone(),

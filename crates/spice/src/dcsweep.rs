@@ -5,6 +5,7 @@
 use crate::dc::{DcAnalysis, OperatingPoint};
 use crate::mna::NewtonOptions;
 use crate::netlist::{Circuit, Element};
+use crate::solver::SolverConfig;
 use crate::{Budget, SpiceError, Waveform, Workspace};
 use ferrocim_telemetry::Telemetry;
 use ferrocim_units::{Celsius, Volt};
@@ -47,6 +48,7 @@ pub struct DcSweep<'a> {
     options: NewtonOptions,
     budget: Budget,
     telemetry: Telemetry,
+    solver: Option<SolverConfig>,
 }
 
 impl<'a> DcSweep<'a> {
@@ -60,6 +62,7 @@ impl<'a> DcSweep<'a> {
             options: NewtonOptions::default(),
             budget: Budget::unlimited(),
             telemetry: Telemetry::off(),
+            solver: None,
         }
     }
 
@@ -91,6 +94,15 @@ impl<'a> DcSweep<'a> {
         self
     }
 
+    /// Selects the linear-solver backend for the sweep's shared
+    /// [`Workspace`] (see [`SolverConfig`]). The sparse backend runs
+    /// its symbolic analysis once at the first point and reuses it for
+    /// every later one — the topology never changes across a sweep.
+    pub fn with_solver(mut self, config: SolverConfig) -> Self {
+        self.solver = Some(config);
+        self
+    }
+
     /// Runs the sweep, returning `(value, operating point)` pairs.
     ///
     /// # Errors
@@ -110,7 +122,10 @@ impl<'a> DcSweep<'a> {
         let _span = self.telemetry.span("spice.dcsweep");
         let mut working = self.circuit.clone();
         let mut results = Vec::with_capacity(self.values.len());
-        let mut ws = Workspace::new();
+        let mut ws = match self.solver {
+            Some(config) => Workspace::with_solver(config),
+            None => Workspace::new(),
+        };
         let mut previous: Option<OperatingPoint> = None;
         for &value in &self.values {
             self.budget.check()?;

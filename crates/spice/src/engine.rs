@@ -20,42 +20,57 @@
 //! allocating path.
 
 use crate::dc::{DcAnalysis, OperatingPoint};
-use crate::linear::Matrix;
 use crate::mna::NewtonOptions;
 use crate::netlist::Circuit;
 use crate::rescue::RescuePolicy;
+use crate::solver::{LinearSystem, SolverConfig, SolverState};
 use crate::transient::{AdaptiveOptions, Integrator, TransientAnalysis, TransientResult};
 use crate::{Budget, SpiceError};
-use ferrocim_telemetry::Telemetry;
+use ferrocim_telemetry::{SolverBackend, Telemetry};
 use ferrocim_units::{Celsius, Second};
 
-/// Reusable solver buffers: the stamped MNA matrix (destroyed by each
-/// LU solve and restamped on the next Newton iteration), the
-/// right-hand side, and the permutation/solution scratch vectors.
+/// Reusable solver state: the linear-system backend (dense matrix or
+/// sparse slot table + factors, selected by a [`SolverConfig`]) plus the
+/// right-hand-side and solution buffers shared by every solve routed
+/// through it.
 ///
 /// A `Workspace` adapts itself to whatever system size it is handed, so
 /// one instance can serve circuits of different sizes back to back; the
-/// buffers only reallocate when the size actually grows or changes.
+/// buffers only reallocate when the size or the selected backend
+/// actually changes. Keeping the backend alive across solves is what
+/// amortizes the sparse symbolic analysis over a whole Newton
+/// iteration / sweep / Monte-Carlo campaign. (Reusing one workspace
+/// across *same-size but different* topologies is safe — the sparse
+/// pattern grows into a superset and re-analyzes — but wastes the
+/// reuse; give unrelated circuits their own workspaces.)
 #[derive(Debug, Clone, Default)]
 pub struct Workspace {
-    /// System matrix; stamped by `assemble`, destroyed by the LU solve.
-    pub(crate) a: Matrix,
-    /// Right-hand side stamped alongside `a`.
+    /// The linear-system backend stamped by `assemble` and factored by
+    /// each Newton iteration.
+    pub(crate) system: SolverState,
+    /// Right-hand side stamped alongside `system`.
     pub(crate) z: Vec<f64>,
-    /// Scratch copy of the RHS consumed by forward elimination.
-    pub(crate) rhs: Vec<f64>,
-    /// Row-permutation scratch for partial pivoting.
-    pub(crate) perm: Vec<usize>,
-    /// Solution buffer filled by back substitution.
+    /// Solution buffer filled by the backend's solve.
     pub(crate) x_new: Vec<f64>,
+    config: SolverConfig,
     pub(crate) size: usize,
 }
 
 impl Workspace {
-    /// Creates an empty workspace; buffers are sized lazily on first
-    /// use.
+    /// Creates an empty workspace with the default
+    /// [`SolverConfig::auto`] backend selection; buffers are sized
+    /// lazily on first use.
     pub fn new() -> Self {
         Workspace::default()
+    }
+
+    /// Creates an empty workspace that selects its backend per
+    /// `config`.
+    pub fn with_solver(config: SolverConfig) -> Self {
+        Workspace {
+            config,
+            ..Workspace::default()
+        }
     }
 
     /// Creates a workspace pre-sized for an `n`-unknown system.
@@ -70,19 +85,47 @@ impl Workspace {
         self.size
     }
 
-    /// Reshapes the buffers for an `n`-unknown system. No-op when the
-    /// size already matches.
+    /// The solver configuration backends are selected from.
+    pub fn solver_config(&self) -> SolverConfig {
+        self.config
+    }
+
+    /// Changes the solver configuration. The backend is rebuilt on the
+    /// next solve if the new configuration selects differently; a
+    /// matching configuration is a no-op, preserving any sparse
+    /// symbolic analysis.
+    pub fn set_solver(&mut self, config: SolverConfig) {
+        self.config = config;
+    }
+
+    /// The backend currently selected for the workspace's size.
+    pub fn solver_backend(&self) -> SolverBackend {
+        self.system.backend()
+    }
+
+    /// Symbolic / numeric factorization counts of the sparse backend,
+    /// or `None` while the dense backend is active. On a fixed topology
+    /// the first count stays at 1 while the second grows with every
+    /// Newton iteration — the KLU-style reuse this workspace exists to
+    /// provide.
+    pub fn sparse_factor_counts(&self) -> Option<(u64, u64)> {
+        self.system
+            .as_sparse()
+            .map(|s| (s.symbolic_analyses(), s.numeric_factorizations()))
+    }
+
+    /// Reshapes the buffers for an `n`-unknown system, rebuilding the
+    /// backend when the size or the configured selection changed.
+    /// No-op when everything already matches.
     pub(crate) fn ensure_size(&mut self, n: usize) {
-        if self.size == n && self.a.dim() == n {
+        if !self.system.matches(n, self.config) {
+            self.system = SolverState::for_config(n, self.config);
+        }
+        if self.size == n {
             return;
         }
-        self.a = Matrix::zeros(n);
         self.z.clear();
         self.z.resize(n, 0.0);
-        self.rhs.clear();
-        self.rhs.reserve(n);
-        self.perm.clear();
-        self.perm.reserve(n);
         self.x_new.clear();
         self.x_new.reserve(n);
         self.size = n;
@@ -194,6 +237,20 @@ impl SimEngine {
         self
     }
 
+    /// Selects the linear-solver backend for every solve issued through
+    /// this engine (applied to the engine's [`Workspace`]). The default
+    /// is [`SolverConfig::auto`]: dense for small circuits, sparse from
+    /// [`SolverConfig::AUTO_SPARSE_THRESHOLD`] unknowns up.
+    pub fn with_solver(mut self, config: SolverConfig) -> Self {
+        self.workspace.set_solver(config);
+        self
+    }
+
+    /// The solver configuration applied to this engine's workspace.
+    pub fn solver_config(&self) -> SolverConfig {
+        self.workspace.solver_config()
+    }
+
     /// The telemetry handle forwarded to this engine's analyses.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
@@ -282,7 +339,8 @@ impl SimEngine {
         t_stop: Second,
     ) -> Result<TransientResult, SpiceError> {
         let op = self.dc(circuit)?;
-        TransientAnalysis::new(circuit, dt, t_stop)
+        TransientAnalysis::over(circuit, t_stop)
+            .with_fixed_step(dt)
             .at(self.temp)
             .with_options(self.options)
             .with_integrator(self.integrator)
@@ -309,7 +367,7 @@ impl SimEngine {
         opts: AdaptiveOptions,
     ) -> Result<TransientResult, SpiceError> {
         let op = self.dc(circuit)?;
-        let mut analysis = TransientAnalysis::adaptive(circuit, t_stop)
+        let mut analysis = TransientAnalysis::over(circuit, t_stop)
             .with_adaptive_options(opts)
             .at(self.temp)
             .with_options(self.options)
@@ -428,7 +486,8 @@ mod tests {
             initial: Some(Volt(0.0)),
         })
         .unwrap();
-        let standalone = TransientAnalysis::new(&ckt, Second(5e-12), Second(2e-9))
+        let standalone = TransientAnalysis::over(&ckt, Second(2e-9))
+            .with_fixed_step(Second(5e-12))
             .run()
             .unwrap();
         let mut engine = SimEngine::new();
@@ -444,8 +503,27 @@ mod tests {
         assert_eq!(ws.size(), 4);
         ws.ensure_size(9);
         assert_eq!(ws.size(), 9);
-        assert_eq!(ws.a.dim(), 9);
+        assert_eq!(ws.system.dim(), 9);
         ws.ensure_size(9);
         assert_eq!(ws.size(), 9);
+    }
+
+    #[test]
+    fn workspace_backend_follows_the_solver_config() {
+        let mut ws = Workspace::new();
+        ws.ensure_size(10);
+        assert_eq!(ws.solver_backend(), SolverBackend::Dense);
+        assert!(ws.sparse_factor_counts().is_none());
+        // Auto flips to sparse at the threshold.
+        ws.ensure_size(SolverConfig::AUTO_SPARSE_THRESHOLD);
+        assert_eq!(ws.solver_backend(), SolverBackend::Sparse);
+        // An explicit config overrides the size heuristic.
+        let mut forced = Workspace::with_solver(SolverConfig::sparse());
+        forced.ensure_size(3);
+        assert_eq!(forced.solver_backend(), SolverBackend::Sparse);
+        assert_eq!(forced.sparse_factor_counts(), Some((0, 0)));
+        forced.set_solver(SolverConfig::dense());
+        forced.ensure_size(3);
+        assert_eq!(forced.solver_backend(), SolverBackend::Dense);
     }
 }

@@ -55,6 +55,7 @@ mod mna;
 mod montecarlo;
 mod netlist;
 mod rescue;
+mod solver;
 pub mod sweep;
 mod transient;
 mod waveform;
@@ -73,6 +74,9 @@ pub use montecarlo::{
 };
 pub use netlist::{Circuit, Element, NodeId, SwitchSchedule};
 pub use rescue::{RescuePolicy, RescueReport, RescueRung, RungAttempt};
+pub use solver::{
+    DenseLu, FillOrdering, LinearSystem, SolveInfo, SolverConfig, SolverKind, SparseLu,
+};
 pub use transient::{AdaptiveOptions, Integrator, StepReport, TransientAnalysis, TransientResult};
 pub use waveform::Waveform;
 

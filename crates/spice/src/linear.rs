@@ -1,8 +1,13 @@
 //! Dense linear algebra for the MNA system.
 //!
-//! Circuit matrices in this workspace are small (an 8-cell CIM row is
-//! ≈ 30 unknowns), so a dense LU factorization with partial pivoting is
-//! both simpler and faster than a sparse solver at this scale.
+//! This is the dense backend behind [`crate::LinearSystem`]: an LU
+//! factorization with partial pivoting that wins below roughly
+//! [`crate::SolverConfig::AUTO_SPARSE_THRESHOLD`] unknowns (an 8-cell
+//! CIM row is ≈ 30), where its tight loops beat the sparse machinery's
+//! bookkeeping. Larger systems — wide CIM rows, whole arrays — go to
+//! the KLU-style [`crate::SparseLu`], which this O(n³) kernel cannot
+//! touch. Both `solve_destructive` and `solve_into` share the single
+//! factorization core in [`Matrix::solve_into`].
 
 use crate::SpiceError;
 

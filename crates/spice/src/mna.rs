@@ -1,8 +1,8 @@
 //! Modified nodal analysis: system layout, stamping, and the shared
 //! Newton–Raphson solve used by both DC and transient analyses.
 
-use crate::linear::Matrix;
 use crate::netlist::{Circuit, Element, NodeId};
+use crate::solver::LinearSystem;
 use crate::SpiceError;
 use ferrocim_telemetry::{Event, Telemetry};
 use ferrocim_units::{Celsius, Second};
@@ -132,7 +132,9 @@ pub(crate) enum CapMode<'a> {
 }
 
 /// Assembles the linearized MNA system `A·x = z` around the candidate
-/// solution `x0` at time `t`.
+/// solution `x0` at time `t`. Stamping goes through the
+/// [`LinearSystem`] trait, so the same code fills the dense matrix and
+/// the sparse slot table.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn assemble(
     circuit: &Circuit,
@@ -142,13 +144,13 @@ pub(crate) fn assemble(
     temp: Celsius,
     caps: CapMode<'_>,
     settings: &SolveSettings,
-    a: &mut Matrix,
+    a: &mut dyn LinearSystem,
     z: &mut [f64],
 ) {
     a.clear();
     z.fill(0.0);
 
-    let stamp_conductance = |a: &mut Matrix, na: NodeId, nb: NodeId, g: f64| {
+    let stamp_conductance = |a: &mut dyn LinearSystem, na: NodeId, nb: NodeId, g: f64| {
         if let Some(ra) = layout.row_of(na) {
             a.add(ra, ra, g);
             if let Some(rb) = layout.row_of(nb) {
@@ -294,7 +296,7 @@ pub(crate) fn assemble(
 /// equivalent current source.
 #[allow(clippy::too_many_arguments)]
 fn stamp_transistor(
-    a: &mut Matrix,
+    a: &mut dyn LinearSystem,
     z: &mut [f64],
     layout: &Layout,
     drain: NodeId,
@@ -381,12 +383,7 @@ pub(crate) fn newton_solve_in(
     debug_assert_eq!(x.len(), layout.size);
     ws.ensure_size(layout.size);
     let crate::Workspace {
-        a,
-        z,
-        rhs,
-        perm,
-        x_new,
-        ..
+        system, z, x_new, ..
     } = ws;
     let limited = budget.is_limited();
     let observed = tele.is_on();
@@ -402,8 +399,14 @@ pub(crate) fn newton_solve_in(
                 iteration: iter as u64 + 1,
             });
         }
-        assemble(circuit, layout, x, t, temp, caps, settings, a, z);
-        a.solve_into(z, rhs, perm, x_new)?;
+        assemble(circuit, layout, x, t, temp, caps, settings, system, z);
+        let info = system.solve_into(z, x_new, tele)?;
+        if observed {
+            tele.emit(|| Event::SolverSolved {
+                backend: info.backend,
+                symbolic: info.symbolic,
+            });
+        }
         if let Some(unknown) = x_new[..layout.size].iter().position(|v| !v.is_finite()) {
             return Err(SpiceError::NumericalBlowup {
                 iteration: iter + 1,

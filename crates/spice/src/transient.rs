@@ -1,11 +1,13 @@
 //! Transient analysis: implicit integration with breakpoint alignment,
 //! per-source energy accounting, and full waveform capture.
 //!
-//! Two stepping modes share one engine:
+//! Two stepping modes share one engine, both built through
+//! [`TransientAnalysis::over`]:
 //!
-//! * **Fixed-step** ([`TransientAnalysis::new`]) — the caller picks
-//!   `dt`; every step lands on the uniform grid (plus breakpoints).
-//! * **Adaptive** ([`TransientAnalysis::adaptive`]) — the step size is
+//! * **Fixed-step** (chain [`TransientAnalysis::with_fixed_step`]) —
+//!   the caller picks `dt`; every step lands on the uniform grid (plus
+//!   breakpoints).
+//! * **Adaptive** (the default) — the step size is
 //!   controlled by a step-doubling local-truncation-error estimate:
 //!   each step is solved once at full size and again as two half
 //!   steps; the difference bounds the LTE, steps violating the
@@ -18,6 +20,7 @@ use crate::dc::OperatingPoint;
 use crate::mna::{newton_solve_in, CapMode, CapState, Layout, NewtonOptions};
 use crate::netlist::{Circuit, Element, NodeId};
 use crate::rescue::{is_rescuable, rescue_solve, RescuePolicy};
+use crate::solver::SolverConfig;
 use crate::{Budget, SpiceError, Workspace};
 use ferrocim_telemetry::{Event, Telemetry};
 use ferrocim_units::{Ampere, Celsius, Joule, Second, Volt};
@@ -297,29 +300,17 @@ pub struct TransientAnalysis<'a> {
     rescue: RescuePolicy,
     budget: Budget,
     telemetry: Telemetry,
+    solver: Option<SolverConfig>,
 }
 
 impl<'a> TransientAnalysis<'a> {
-    /// Creates a fixed-step transient analysis with the mandatory
-    /// timestep and stop time.
-    pub fn new(circuit: &'a Circuit, dt: Second, t_stop: Second) -> Self {
-        TransientAnalysis {
-            circuit,
-            temp: Celsius::ROOM,
-            stepping: Stepping::Fixed(dt),
-            t_stop,
-            integrator: Integrator::default(),
-            options: NewtonOptions::default(),
-            start_from: None,
-            rescue: RescuePolicy::default(),
-            budget: Budget::unlimited(),
-            telemetry: Telemetry::off(),
-        }
-    }
-
-    /// Creates an adaptive transient analysis with LTE-controlled step
-    /// sizing (defaults from [`AdaptiveOptions::for_duration`]).
-    pub fn adaptive(circuit: &'a Circuit, t_stop: Second) -> Self {
+    /// Creates a transient analysis over `[0, t_stop]`. The default
+    /// stepping is adaptive with LTE-controlled step sizing (defaults
+    /// from [`AdaptiveOptions::for_duration`]); chain
+    /// [`TransientAnalysis::with_fixed_step`] for a uniform grid or
+    /// [`TransientAnalysis::with_adaptive_options`] for explicit
+    /// controller knobs.
+    pub fn over(circuit: &'a Circuit, t_stop: Second) -> Self {
         TransientAnalysis {
             circuit,
             temp: Celsius::ROOM,
@@ -331,12 +322,48 @@ impl<'a> TransientAnalysis<'a> {
             rescue: RescuePolicy::default(),
             budget: Budget::unlimited(),
             telemetry: Telemetry::off(),
+            solver: None,
         }
+    }
+
+    /// Creates a fixed-step transient analysis with the mandatory
+    /// timestep and stop time.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use TransientAnalysis::over(circuit, t_stop).with_fixed_step(dt)"
+    )]
+    pub fn new(circuit: &'a Circuit, dt: Second, t_stop: Second) -> Self {
+        TransientAnalysis::over(circuit, t_stop).with_fixed_step(dt)
+    }
+
+    /// Creates an adaptive transient analysis with LTE-controlled step
+    /// sizing (defaults from [`AdaptiveOptions::for_duration`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use TransientAnalysis::over(circuit, t_stop) — adaptive is the default"
+    )]
+    pub fn adaptive(circuit: &'a Circuit, t_stop: Second) -> Self {
+        TransientAnalysis::over(circuit, t_stop)
     }
 
     /// Sets the simulation temperature.
     pub fn at(mut self, temp: Celsius) -> Self {
         self.temp = temp;
+        self
+    }
+
+    /// Switches to fixed-step integration on a uniform `dt` grid
+    /// (plus breakpoints).
+    pub fn with_fixed_step(mut self, dt: Second) -> Self {
+        self.stepping = Stepping::Fixed(dt);
+        self
+    }
+
+    /// Selects the linear-solver backend (see [`SolverConfig`]). When
+    /// not set, a run leaves its [`Workspace`]'s own configuration in
+    /// force — [`SolverConfig::auto`] for a fresh workspace.
+    pub fn with_solver(mut self, config: SolverConfig) -> Self {
+        self.solver = Some(config);
         self
     }
 
@@ -416,6 +443,9 @@ impl<'a> TransientAnalysis<'a> {
     /// Same as [`TransientAnalysis::run`].
     pub fn run_in(&self, ws: &mut Workspace) -> Result<TransientResult, SpiceError> {
         let _span = self.telemetry.span("spice.transient");
+        if let Some(config) = self.solver {
+            ws.set_solver(config);
+        }
         match &self.stepping {
             Stepping::Fixed(dt) => self.run_fixed(*dt, ws),
             Stepping::Adaptive(opts) => self.run_adaptive(opts, ws),
@@ -982,7 +1012,8 @@ mod tests {
         let ckt = rc_circuit();
         let out = ckt.find_node("out").unwrap();
         // τ = 1 ns; simulate 5 τ with 1000 steps.
-        let res = TransientAnalysis::new(&ckt, Second(5e-12), Second(5e-9))
+        let res = TransientAnalysis::over(&ckt, Second(5e-9))
+            .with_fixed_step(Second(5e-12))
             .run()
             .unwrap();
         let v_end = res.final_voltage(out).value();
@@ -1011,12 +1042,34 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_build_equivalent_analyses() {
+        let ckt = rc_circuit();
+        let out = ckt.find_node("out").unwrap();
+        // `new` shim ≡ `over(..).with_fixed_step(..)`.
+        let old = TransientAnalysis::new(&ckt, Second(5e-12), Second(5e-9))
+            .run()
+            .unwrap();
+        let new = TransientAnalysis::over(&ckt, Second(5e-9))
+            .with_fixed_step(Second(5e-12))
+            .run()
+            .unwrap();
+        assert_eq!(old.len(), new.len());
+        assert_eq!(old.final_voltage(out), new.final_voltage(out));
+        // `adaptive` shim ≡ plain `over`.
+        let old = TransientAnalysis::adaptive(&ckt, Second(5e-9))
+            .run()
+            .unwrap();
+        let new = TransientAnalysis::over(&ckt, Second(5e-9)).run().unwrap();
+        assert_eq!(old.len(), new.len());
+        assert_eq!(old.final_voltage(out), new.final_voltage(out));
+    }
+
+    #[test]
     fn adaptive_rc_matches_analytic_with_fewer_steps() {
         let ckt = rc_circuit();
         let out = ckt.find_node("out").unwrap();
-        let adaptive = TransientAnalysis::adaptive(&ckt, Second(5e-9))
-            .run()
-            .unwrap();
+        let adaptive = TransientAnalysis::over(&ckt, Second(5e-9)).run().unwrap();
         let report = adaptive.step_report();
         assert!(report.accepted > 0);
         // Endpoint against the analytic exponential.
@@ -1027,7 +1080,8 @@ mod tests {
             "v_end {v_end} vs {expected}"
         );
         // Far fewer steps than the fine fixed-step reference.
-        let fixed = TransientAnalysis::new(&ckt, Second(5e-13), Second(5e-9))
+        let fixed = TransientAnalysis::over(&ckt, Second(5e-9))
+            .with_fixed_step(Second(5e-13))
             .run()
             .unwrap();
         assert!(
@@ -1041,9 +1095,7 @@ mod tests {
     #[test]
     fn adaptive_grows_steps_on_easy_stretches() {
         let ckt = rc_circuit();
-        let res = TransientAnalysis::adaptive(&ckt, Second(5e-9))
-            .run()
-            .unwrap();
+        let res = TransientAnalysis::over(&ckt, Second(5e-9)).run().unwrap();
         let times = res.times();
         let first = times[1].value() - times[0].value();
         let mut largest = 0.0f64;
@@ -1077,9 +1129,7 @@ mod tests {
         .unwrap();
         ckt.add(Element::resistor("R1", a, NodeId::GROUND, Ohm(1e3)))
             .unwrap();
-        let res = TransientAnalysis::adaptive(&ckt, Second(3e-9))
-            .run()
-            .unwrap();
+        let res = TransientAnalysis::over(&ckt, Second(3e-9)).run().unwrap();
         let peak = res
             .trace(a)
             .iter()
@@ -1092,7 +1142,7 @@ mod tests {
     fn adaptive_trapezoidal_matches_analytic() {
         let ckt = rc_circuit();
         let out = ckt.find_node("out").unwrap();
-        let res = TransientAnalysis::adaptive(&ckt, Second(5e-9))
+        let res = TransientAnalysis::over(&ckt, Second(5e-9))
             .with_integrator(Integrator::Trapezoidal)
             .run()
             .unwrap();
@@ -1109,7 +1159,7 @@ mod tests {
             ..AdaptiveOptions::for_duration(Second(1e-9))
         };
         assert!(matches!(
-            TransientAnalysis::adaptive(&ckt, Second(1e-9))
+            TransientAnalysis::over(&ckt, Second(1e-9))
                 .with_adaptive_options(bad)
                 .run(),
             Err(SpiceError::InvalidValue { .. })
@@ -1120,7 +1170,7 @@ mod tests {
             ..AdaptiveOptions::for_duration(Second(1e-9))
         };
         assert!(matches!(
-            TransientAnalysis::adaptive(&ckt, Second(1e-9))
+            TransientAnalysis::over(&ckt, Second(1e-9))
                 .with_adaptive_options(bad)
                 .run(),
             Err(SpiceError::InvalidValue { .. })
@@ -1149,12 +1199,14 @@ mod tests {
         };
         let exact = 1.0 - (-2.0f64).exp(); // at t = 2τ
         let ckt = build();
-        let be = TransientAnalysis::new(&ckt, Second(2e-10), Second(2e-9))
+        let be = TransientAnalysis::over(&ckt, Second(2e-9))
+            .with_fixed_step(Second(2e-10))
             .run()
             .unwrap()
             .final_voltage(ckt.find_node("out").unwrap())
             .value();
-        let trap = TransientAnalysis::new(&ckt, Second(2e-10), Second(2e-9))
+        let trap = TransientAnalysis::over(&ckt, Second(2e-9))
+            .with_fixed_step(Second(2e-10))
             .with_integrator(Integrator::Trapezoidal)
             .run()
             .unwrap()
@@ -1198,7 +1250,8 @@ mod tests {
             SwitchSchedule::open().then_at(Second(1e-9), true),
         ))
         .unwrap();
-        let res = TransientAnalysis::new(&ckt, Second(1e-12), Second(3e-9))
+        let res = TransientAnalysis::over(&ckt, Second(3e-9))
+            .with_fixed_step(Second(1e-12))
             .run()
             .unwrap();
         let va = res.final_voltage(a).value();
@@ -1235,9 +1288,7 @@ mod tests {
             SwitchSchedule::open().then_at(Second(1e-9), true),
         ))
         .unwrap();
-        let res = TransientAnalysis::adaptive(&ckt, Second(3e-9))
-            .run()
-            .unwrap();
+        let res = TransientAnalysis::over(&ckt, Second(3e-9)).run().unwrap();
         let va = res.final_voltage(a).value();
         let vb = res.final_voltage(b).value();
         assert!((va - 0.5).abs() < 0.01, "va {va}");
@@ -1263,7 +1314,8 @@ mod tests {
             initial: Some(Volt(0.0)),
         })
         .unwrap();
-        let res = TransientAnalysis::new(&ckt, Second(2e-12), Second(10e-9))
+        let res = TransientAnalysis::over(&ckt, Second(10e-9))
+            .with_fixed_step(Second(2e-12))
             .run()
             .unwrap();
         let delivered = res.energy_delivered("V1").unwrap().value();
@@ -1281,11 +1333,15 @@ mod tests {
         ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0)))
             .unwrap();
         assert!(matches!(
-            TransientAnalysis::new(&ckt, Second(0.0), Second(1e-9)).run(),
+            TransientAnalysis::over(&ckt, Second(1e-9))
+                .with_fixed_step(Second(0.0))
+                .run(),
             Err(SpiceError::InvalidValue { .. })
         ));
         assert!(matches!(
-            TransientAnalysis::new(&ckt, Second(1e-9), Second(0.0)).run(),
+            TransientAnalysis::over(&ckt, Second(0.0))
+                .with_fixed_step(Second(1e-9))
+                .run(),
             Err(SpiceError::InvalidValue { .. })
         ));
     }
@@ -1311,7 +1367,8 @@ mod tests {
         .unwrap();
         ckt.add(Element::resistor("R1", a, NodeId::GROUND, Ohm(1e3)))
             .unwrap();
-        let res = TransientAnalysis::new(&ckt, Second(1e-9), Second(3e-9))
+        let res = TransientAnalysis::over(&ckt, Second(3e-9))
+            .with_fixed_step(Second(1e-9))
             .run()
             .unwrap();
         let peak = res
@@ -1330,7 +1387,8 @@ mod tests {
             .unwrap();
         ckt.add(Element::resistor("R1", a, NodeId::GROUND, Ohm(1e3)))
             .unwrap();
-        let res = TransientAnalysis::new(&ckt, Second(1e-10), Second(1e-9))
+        let res = TransientAnalysis::over(&ckt, Second(1e-9))
+            .with_fixed_step(Second(1e-10))
             .run()
             .unwrap();
         let i = res.final_source_current("V1").unwrap().value();

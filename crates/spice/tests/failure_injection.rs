@@ -84,7 +84,8 @@ fn transient_rejects_nan_timestep() {
     let a = ckt.node("a");
     ckt.add(Element::vdc("V1", a, NodeId::GROUND, Volt(1.0)))
         .unwrap();
-    let err = TransientAnalysis::new(&ckt, Second(f64::NAN), Second(1e-9))
+    let err = TransientAnalysis::over(&ckt, Second(1e-9))
+        .with_fixed_step(Second(f64::NAN))
         .run()
         .unwrap_err();
     assert!(matches!(err, SpiceError::InvalidValue { .. }));

@@ -137,7 +137,7 @@ proptest! {
             b,
             SwitchSchedule::open().then_at(Second(0.5e-9), true),
         )).expect("add");
-        let res = TransientAnalysis::new(&ckt, Second(2e-12), Second(4e-9))
+        let res = TransientAnalysis::over(&ckt, Second(4e-9)).with_fixed_step(Second(2e-12))
             .at(Celsius(27.0))
             .run()
             .expect("transient");
@@ -171,7 +171,7 @@ proptest! {
             initial: Some(Volt(0.0)),
         }).expect("add");
         let tau = r * c * 1e-12;
-        let res = TransientAnalysis::new(&ckt, Second(tau / 50.0), Second(10.0 * tau))
+        let res = TransientAnalysis::over(&ckt, Second(10.0 * tau)).with_fixed_step(Second(tau / 50.0))
             .run()
             .expect("transient");
         let dc = DcAnalysis::new(&ckt).solve().expect("dc");
@@ -336,6 +336,62 @@ mod fault_tolerant_fan_out {
                     prop_assert_eq!(Some(index), first_failure);
                 }
                 Err(e) => prop_assert!(false, "unexpected batch error {e}"),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Backend parity: the sparse KLU-style solver and the dense LU
+    /// reference must agree to 1e-10 max-norm on any random network —
+    /// including resistances spanning nine decades and extra voltage
+    /// sources, whose zero-diagonal branch rows are the pathological
+    /// pivot case the sparse factorization must pivot through just
+    /// like the dense one.
+    #[test]
+    fn sparse_and_dense_backends_agree_on_random_networks(
+        n in 2usize..10,
+        chords in prop::collection::vec(0usize..11, 0..8),
+        rs in prop::collection::vec(1e0f64..1e9, 4..12),
+        v in -2.0f64..2.0,
+        tie in 0usize..7,
+    ) {
+        use ferrocim_spice::{FillOrdering, SolverConfig};
+        let mut ckt = resistor_network(n, &chords, &rs, v);
+        // A second source on an internal node adds another branch row
+        // (zero diagonal) somewhere in the middle of the matrix.
+        if n >= 3 {
+            let a = ckt
+                .find_node(&format!("n{}", 1 + tie % (n - 1)))
+                .expect("node exists");
+            ckt.add(Element::vdc("V2", a, NodeId::GROUND, Volt(0.25 * v)))
+                .expect("add second source");
+        }
+        let dense = DcAnalysis::new(&ckt)
+            .with_solver(SolverConfig::dense())
+            .solve()
+            .expect("dense dc");
+        for ordering in [FillOrdering::MinDegree, FillOrdering::Natural] {
+            for parallel in [false, true] {
+                let config = SolverConfig::sparse()
+                    .with_ordering(ordering)
+                    .with_parallel_blocks(parallel);
+                let sparse = DcAnalysis::new(&ckt)
+                    .with_solver(config)
+                    .solve()
+                    .expect("sparse dc");
+                for i in 0..n {
+                    let node = ckt.find_node(&format!("n{i}")).expect("node");
+                    let dv = (dense.voltage(node).value()
+                        - sparse.voltage(node).value())
+                        .abs();
+                    prop_assert!(
+                        dv <= 1e-10,
+                        "node n{i} disagrees by {dv:e} ({ordering:?}, parallel {parallel})"
+                    );
+                }
             }
         }
     }

@@ -84,7 +84,7 @@ proptest! {
         let t_stop = 5.0 * tau;
         let (ckt, node) = rc_circuit(r, c, v);
         let opts = AdaptiveOptions::for_duration(Second(t_stop));
-        let result = TransientAnalysis::adaptive(&ckt, Second(t_stop))
+        let result = TransientAnalysis::over(&ckt, Second(t_stop))
             .with_adaptive_options(opts)
             .run()
             .expect("adaptive run");
@@ -116,13 +116,13 @@ proptest! {
         let t_stop = 5.0 * tau;
         let (ckt, node) = rc_circuit(r, c, v);
         let opts = AdaptiveOptions::for_duration(Second(t_stop));
-        let adaptive = TransientAnalysis::adaptive(&ckt, Second(t_stop))
+        let adaptive = TransientAnalysis::over(&ckt, Second(t_stop))
             .with_adaptive_options(opts)
             .run()
             .expect("adaptive run");
         // Reference: fixed steps 10× finer than the adaptive dt_max.
         let dt_ref = Second(opts.dt_max.value() / 10.0);
-        let fixed = TransientAnalysis::new(&ckt, dt_ref, Second(t_stop))
+        let fixed = TransientAnalysis::over(&ckt, Second(t_stop)).with_fixed_step(dt_ref)
             .run()
             .expect("fixed run");
         let end_a = adaptive.final_voltage(node).value();
@@ -146,7 +146,7 @@ fn adaptive_trapezoidal_also_tracks_the_reference() {
     let tau = r * c;
     let t_stop = 4.0 * tau;
     let (ckt, node) = rc_circuit(r, c, v);
-    let result = TransientAnalysis::adaptive(&ckt, Second(t_stop))
+    let result = TransientAnalysis::over(&ckt, Second(t_stop))
         .with_integrator(Integrator::Trapezoidal)
         .run()
         .expect("trap adaptive run");
@@ -183,7 +183,8 @@ fn newton_budget_aborts_a_dc_solve_with_a_typed_error() {
 fn step_budget_aborts_a_transient_mid_run() {
     let (ckt, _) = rc_circuit(1e5, 1e-13, 1.0);
     let budget = Budget::unlimited().with_max_steps(5);
-    let err = TransientAnalysis::new(&ckt, Second(1e-10), Second(1e-7))
+    let err = TransientAnalysis::over(&ckt, Second(1e-7))
+        .with_fixed_step(Second(1e-10))
         .with_budget(budget)
         .run()
         .unwrap_err();
@@ -215,12 +216,13 @@ fn expired_deadline_aborts_every_entry_point() {
         .solve()
         .unwrap_err();
     assert!(wall(&err), "dc: {err}");
-    let err = TransientAnalysis::new(&ckt, Second(1e-10), Second(1e-8))
+    let err = TransientAnalysis::over(&ckt, Second(1e-8))
+        .with_fixed_step(Second(1e-10))
         .with_budget(Budget::unlimited().with_deadline(deadline))
         .run()
         .unwrap_err();
     assert!(wall(&err), "transient: {err}");
-    let err = TransientAnalysis::adaptive(&ckt, Second(1e-8))
+    let err = TransientAnalysis::over(&ckt, Second(1e-8))
         .with_budget(Budget::unlimited().with_deadline(deadline))
         .run()
         .unwrap_err();
@@ -272,8 +274,9 @@ fn budget_clones_share_one_spend_pool() {
     // 12 time steps fit under the limit once, but not twice: the second
     // run draws from the same pool and must hit the ceiling.
     let budget = Budget::unlimited().with_max_steps(18);
-    let analysis =
-        TransientAnalysis::new(&ckt, Second(1e-9), Second(1e-8)).with_budget(budget.clone());
+    let analysis = TransientAnalysis::over(&ckt, Second(1e-8))
+        .with_fixed_step(Second(1e-9))
+        .with_budget(budget.clone());
     analysis.clone().run().expect("first run fits");
     let err = analysis.run().unwrap_err();
     assert!(
@@ -286,10 +289,12 @@ fn budget_clones_share_one_spend_pool() {
 #[test]
 fn unlimited_budget_changes_nothing() {
     let (ckt, node) = rc_circuit(1e5, 1e-13, 1.0);
-    let plain = TransientAnalysis::new(&ckt, Second(1e-10), Second(1e-8))
+    let plain = TransientAnalysis::over(&ckt, Second(1e-8))
+        .with_fixed_step(Second(1e-10))
         .run()
         .expect("plain");
-    let governed = TransientAnalysis::new(&ckt, Second(1e-10), Second(1e-8))
+    let governed = TransientAnalysis::over(&ckt, Second(1e-8))
+        .with_fixed_step(Second(1e-10))
         .with_budget(Budget::unlimited())
         .run()
         .expect("governed");

@@ -75,7 +75,7 @@ fn travel_limited_stack() -> Circuit {
 fn adaptive_transient_counts_match_the_step_report() {
     let agg = Arc::new(Aggregator::new());
     let ckt = pulsed_rc();
-    let res = TransientAnalysis::adaptive(&ckt, Second(3e-9))
+    let res = TransientAnalysis::over(&ckt, Second(3e-9))
         .with_recorder(Telemetry::new(agg.clone()))
         .run()
         .expect("pulsed RC is benign");
@@ -184,4 +184,62 @@ fn merged_per_thread_aggregators_equal_the_shared_total() {
         shared.newton_histogram().counts()
     );
     assert_eq!(merged.newton_histogram().total(), JOBS as u64);
+}
+
+#[test]
+fn mc_fleet_reuses_one_symbolic_analysis_across_runs() {
+    use ferrocim_spice::{SolverConfig, Workspace};
+    use rand::Rng as _;
+    // A fixed-topology resistor ladder, wide enough that the sparse
+    // backend has real work to analyze. Every Monte-Carlo run perturbs
+    // only element *values*, so the pattern — and therefore the one
+    // symbolic analysis — must be shared by the whole fleet.
+    let n = 12;
+    let mut base = Circuit::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| base.node(&format!("n{i}"))).collect();
+    base.add(Element::vdc("V1", nodes[0], NodeId::GROUND, Volt(1.0)))
+        .unwrap();
+    for i in 0..n {
+        let next = if i + 1 < n {
+            nodes[i + 1]
+        } else {
+            NodeId::GROUND
+        };
+        base.add(Element::resistor(format!("R{i}"), nodes[i], next, Ohm(1e3)))
+            .unwrap();
+    }
+    let agg = Arc::new(Aggregator::new());
+    let tele = Telemetry::new(agg.clone());
+    let ws = Mutex::new(Workspace::with_solver(SolverConfig::sparse()));
+    let runs = 16;
+    let fleet = MonteCarlo::new(runs, 0xfe_f37)
+        .sequential()
+        .with_recorder(tele.clone());
+    let outs = fleet.run(|_run, rng| {
+        let mut ckt = base.clone();
+        for i in 0..n {
+            if let Some(Element::Resistor { resistance, .. }) = ckt.element_mut(&format!("R{i}")) {
+                *resistance = Ohm(1e3 * (1.0 + 0.2 * rng.random::<f64>()));
+            }
+        }
+        let mut ws = ws.lock().expect("no poisoned lock");
+        DcAnalysis::new(&ckt)
+            .with_recorder(tele.clone())
+            .solve_in(&mut ws)
+            .expect("a resistor ladder converges")
+            .voltage(nodes[n - 1])
+            .value()
+    });
+    assert_eq!(outs.len(), runs);
+    let counts = agg.counts();
+    // At least one linear solve per run happened through the recorder…
+    assert!(counts.solver_solves >= runs as u64);
+    // …but the symbolic analysis ran exactly once for the entire fleet.
+    assert_eq!(counts.solver_symbolic, 1);
+    let ws = ws.into_inner().expect("no poisoned lock");
+    assert_eq!(
+        ws.sparse_factor_counts(),
+        Some((1, counts.solver_solves)),
+        "workspace factor counters must match the telemetry view"
+    );
 }

@@ -124,6 +124,13 @@ pub struct Counts {
     pub newton_residuals: u64,
     /// Newton solves that converged ([`Event::NewtonConverged`]).
     pub newton_converged: u64,
+    /// Linear systems factored and solved ([`Event::SolverSolved`]).
+    pub solver_solves: u64,
+    /// Solves that ran a fresh symbolic analysis first
+    /// ([`Event::SolverSolved`] with `symbolic: true`). On a fixed
+    /// topology the sparse backend reports exactly one of these no
+    /// matter how many numeric solves follow.
+    pub solver_symbolic: u64,
     /// Transient steps accepted ([`Event::StepAccepted`]).
     pub steps_accepted: u64,
     /// Transient steps rejected ([`Event::StepRejected`]).
@@ -168,6 +175,8 @@ pub struct Aggregator {
     newton_iters: AtomicU64,
     newton_residuals: AtomicU64,
     newton_converged: AtomicU64,
+    solver_solves: AtomicU64,
+    solver_symbolic: AtomicU64,
     steps_accepted: AtomicU64,
     steps_rejected: AtomicU64,
     rescue_attempts: AtomicU64,
@@ -200,6 +209,8 @@ impl Aggregator {
             newton_iters: AtomicU64::new(0),
             newton_residuals: AtomicU64::new(0),
             newton_converged: AtomicU64::new(0),
+            solver_solves: AtomicU64::new(0),
+            solver_symbolic: AtomicU64::new(0),
             steps_accepted: AtomicU64::new(0),
             steps_rejected: AtomicU64::new(0),
             rescue_attempts: AtomicU64::new(0),
@@ -227,6 +238,8 @@ impl Aggregator {
             newton_iters: load(&self.newton_iters),
             newton_residuals: load(&self.newton_residuals),
             newton_converged: load(&self.newton_converged),
+            solver_solves: load(&self.solver_solves),
+            solver_symbolic: load(&self.solver_symbolic),
             steps_accepted: load(&self.steps_accepted),
             steps_rejected: load(&self.steps_rejected),
             rescue_attempts: load(&self.rescue_attempts),
@@ -264,6 +277,8 @@ impl Aggregator {
         add(&self.newton_iters, &other.newton_iters);
         add(&self.newton_residuals, &other.newton_residuals);
         add(&self.newton_converged, &other.newton_converged);
+        add(&self.solver_solves, &other.solver_solves);
+        add(&self.solver_symbolic, &other.solver_symbolic);
         add(&self.steps_accepted, &other.steps_accepted);
         add(&self.steps_rejected, &other.steps_rejected);
         add(&self.rescue_attempts, &other.rescue_attempts);
@@ -308,6 +323,16 @@ impl Aggregator {
             "ferrocim_newton_converged_total",
             "Newton solves that converged.",
             counts.newton_converged,
+        );
+        counter(
+            "ferrocim_solver_solves_total",
+            "Linear systems factored and solved.",
+            counts.solver_solves,
+        );
+        counter(
+            "ferrocim_solver_symbolic_total",
+            "Solves that ran a fresh symbolic analysis.",
+            counts.solver_symbolic,
         );
         counter(
             "ferrocim_steps_accepted_total",
@@ -417,6 +442,12 @@ impl Recorder for Aggregator {
                 self.newton_converged.fetch_add(1, Ordering::Relaxed);
                 self.newton_histogram.record(*iterations as f64);
             }
+            Event::SolverSolved { symbolic, .. } => {
+                self.solver_solves.fetch_add(1, Ordering::Relaxed);
+                if *symbolic {
+                    self.solver_symbolic.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             Event::StepAccepted { .. } => {
                 self.steps_accepted.fetch_add(1, Ordering::Relaxed);
             }
@@ -522,6 +553,14 @@ mod tests {
             damping: 1.0,
         });
         agg.record(&Event::NewtonConverged { iterations: 2 });
+        agg.record(&Event::SolverSolved {
+            backend: crate::SolverBackend::Sparse,
+            symbolic: true,
+        });
+        agg.record(&Event::SolverSolved {
+            backend: crate::SolverBackend::Sparse,
+            symbolic: false,
+        });
         agg.record(&Event::StepAccepted { time: 0.0, dt: 1.0 });
         agg.record(&Event::StepRejected { time: 0.0, dt: 1.0 });
         agg.record(&Event::RescueAttempt {
@@ -567,6 +606,8 @@ mod tests {
         assert_eq!(c.newton_iters, 2);
         assert_eq!(c.newton_residuals, 1);
         assert_eq!(c.newton_converged, 1);
+        assert_eq!(c.solver_solves, 2);
+        assert_eq!(c.solver_symbolic, 1);
         assert_eq!(c.steps_accepted, 1);
         assert_eq!(c.steps_rejected, 1);
         assert_eq!(c.rescue_attempts, 2);

@@ -32,6 +32,20 @@ pub enum RungKind {
     SourceStepping,
 }
 
+/// Which linear-solver backend performed a [`Event::SolverSolved`]
+/// solve.
+///
+/// Mirrors `ferrocim_spice`'s solver selection without the solver
+/// internals, so the event stays `Copy` and allocation-free on the hot
+/// path (the same convention as [`RungKind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolverBackend {
+    /// Dense LU with partial pivoting.
+    Dense,
+    /// Sparse KLU-style LU (symbolic analysis reused across solves).
+    Sparse,
+}
+
 /// One observation from an instrumented hot loop.
 ///
 /// Events are deliberately flat and (except for [`Event::SpanBegin`] and
@@ -62,6 +76,18 @@ pub enum Event {
     NewtonConverged {
         /// Iterations the solve needed.
         iterations: u64,
+    },
+    /// One linear system was factored and solved (one per Newton
+    /// iteration). `symbolic` is true when the solve had to run a fresh
+    /// symbolic analysis first — for the sparse backend on a fixed
+    /// topology this happens exactly once, so a trace showing
+    /// `solver_solves = N, solver_symbolic = 1` proves the KLU-style
+    /// pattern reuse is working.
+    SolverSolved {
+        /// The backend that performed the solve.
+        backend: SolverBackend,
+        /// Whether a symbolic analysis ran as part of this solve.
+        symbolic: bool,
     },
     /// An adaptive (or fixed-grid) transient step was accepted.
     StepAccepted {
@@ -176,6 +202,14 @@ mod tests {
                 damping: 0.25,
             },
             Event::NewtonConverged { iterations: 4 },
+            Event::SolverSolved {
+                backend: SolverBackend::Sparse,
+                symbolic: true,
+            },
+            Event::SolverSolved {
+                backend: SolverBackend::Dense,
+                symbolic: false,
+            },
             Event::StepAccepted {
                 time: 1e-9,
                 dt: 2e-12,

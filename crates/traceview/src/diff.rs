@@ -1,7 +1,8 @@
 //! Two-trace comparison with a regression threshold (the CI perf gate).
 //!
 //! Only deterministic *count* metrics are gated: Newton iterations,
-//! step accept/rejects, rescues, MAC job/solve counts. Wall-clock span
+//! step accept/rejects, rescues, MAC job/solve counts, and linear-solver
+//! factorization counts. Wall-clock span
 //! times vary run-to-run and machine-to-machine, so they are reported
 //! by `trace summary` but never gated — a baseline trace recorded on
 //! one host must gate identically on another.
@@ -55,6 +56,13 @@ pub fn extract_metrics(events: &[Event]) -> Vec<(&'static str, u64)> {
         ("mac_jobs", c.mac_jobs),
         ("mac_solves", c.mac_solves),
         ("faults_substituted", c.faults_substituted),
+        // Linear-solver work: total factor+solve passes, and how many of
+        // them re-ran a sparse symbolic analysis. A symbolic increase
+        // means pattern reuse broke (every Newton iteration re-analyzing
+        // the matrix), which is exactly the regression the gate exists
+        // to catch.
+        ("solver_solves", c.solver_solves),
+        ("solver_symbolic", c.solver_symbolic),
     ]
 }
 
