@@ -335,6 +335,70 @@ pub struct Overhead {
     pub limit_pct: f64,
 }
 
+/// Overhead measurement of `results/probe_health.json`: the same DC
+/// workload timed with certification off and on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthOverhead {
+    /// Cells in the timed readout row.
+    pub cells_per_row: usize,
+    /// MNA unknowns of the row netlist.
+    pub unknowns: usize,
+    /// Timing repetitions (best-of).
+    pub reps: usize,
+    /// DC solve wall clock with `HealthPolicy::off()`, in microseconds.
+    pub off_us: f64,
+    /// DC solve wall clock with the default policy, in microseconds.
+    pub certified_us: f64,
+    /// Measured certification overhead in percent.
+    pub overhead_pct: f64,
+    /// The bound the probe enforces (5%).
+    pub limit_pct: f64,
+}
+
+/// Certified quality of the healthy solve in
+/// `results/probe_health.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CertifiedQuality {
+    /// Componentwise-relative backward error of the accepted solution.
+    pub residual: f64,
+    /// The tolerance it was certified against.
+    pub residual_tol: f64,
+    /// Iterative-refinement passes the final solve needed.
+    pub refinement_passes: u32,
+    /// Element growth of the final factorization.
+    pub pivot_growth: f64,
+}
+
+/// The guardrail demonstration of `results/probe_health.json`: a solve
+/// held to an impossible tolerance must walk the full refinement +
+/// degradation ladder and then refuse with a typed error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuardrailDemo {
+    /// The unmeetable backward-error tolerance demanded.
+    pub residual_tol: f64,
+    /// Whether the solver refused with `UncertifiedSolve` (it must).
+    pub refused: bool,
+    /// Backward error reported by the refusal.
+    pub reported_residual: f64,
+    /// Hager condition estimate attached to the refusal, if computed.
+    pub cond_estimate: Option<f64>,
+    /// `SolveRefined` events observed during the walk.
+    pub solves_refined: u64,
+    /// `SolveDegraded` events observed during the walk.
+    pub solves_degraded: u64,
+}
+
+/// Root of `results/probe_health.json` (single object).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthProbe {
+    /// Certification overhead on the wide-row DC workload.
+    pub overhead: HealthOverhead,
+    /// Quality report of the certified wide-row solve.
+    pub quality: CertifiedQuality,
+    /// The impossible-tolerance refusal demonstration.
+    pub guardrail: GuardrailDemo,
+}
+
 /// Root of `results/probe_telemetry.json` (single object).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TelemetryProbe {

@@ -4,9 +4,9 @@
 //! hand-edited artifact) fails here until the two agree again.
 
 use ferrocim_bench::schema::{
-    AblationFeedbackRow, AdaptiveProbe, BaselineOverlap, ComparisonRow, IvCurve, LevelRange,
-    ProcessVariationPoint, ProposedArraySummary, ProposedCellRow, RegionResult, SparseProbe,
-    TelemetryProbe, VggLayerRow, WriteVerifyRow,
+    AblationFeedbackRow, AdaptiveProbe, BaselineOverlap, ComparisonRow, HealthProbe, IvCurve,
+    LevelRange, ProcessVariationPoint, ProposedArraySummary, ProposedCellRow, RegionResult,
+    SparseProbe, TelemetryProbe, VggLayerRow, WriteVerifyRow,
 };
 use std::path::{Path, PathBuf};
 
@@ -32,6 +32,7 @@ fn validate(name: &str, text: &str) -> Option<Result<(), serde_json::Error>> {
         "fig8_proposed_array" => check::<ProposedArraySummary>(text),
         "fig9_process_variation" => check::<Vec<ProcessVariationPoint>>(text),
         "probe_adaptive" => check::<AdaptiveProbe>(text),
+        "probe_health" => check::<HealthProbe>(text),
         "probe_sparse" => check::<SparseProbe>(text),
         "probe_telemetry" => check::<TelemetryProbe>(text),
         "table1_vgg_structure" => check::<Vec<VggLayerRow>>(text),

@@ -24,8 +24,8 @@ use crate::cells::{CellContext, CellDesign, CellOffsets, CellWeight};
 use crate::fault::CellFault;
 use crate::CimError;
 use ferrocim_spice::{
-    Budget, Circuit, Element, NodeId, SolverConfig, SwitchSchedule, TransientAnalysis, Waveform,
-    Workspace,
+    Budget, Circuit, Element, HealthPolicy, NodeId, SolverConfig, SwitchSchedule,
+    TransientAnalysis, Waveform, Workspace,
 };
 use ferrocim_telemetry::Telemetry;
 use ferrocim_units::{Celsius, Farad, Joule, Ohm, Second, Volt};
@@ -282,6 +282,8 @@ pub struct CimArray<C> {
     telemetry: Telemetry,
     /// Linear-solver selection for every workspace this array creates.
     solver: SolverConfig,
+    /// Numerical-health policy threaded into every underlying solve.
+    health: HealthPolicy,
 }
 
 impl<C: CellDesign> CimArray<C> {
@@ -301,6 +303,7 @@ impl<C: CellDesign> CimArray<C> {
             budget: Budget::unlimited(),
             telemetry: Telemetry::off(),
             solver: SolverConfig::auto(),
+            health: HealthPolicy::default(),
         })
     }
 
@@ -349,6 +352,21 @@ impl<C: CellDesign> CimArray<C> {
     /// The configured linear-solver selection.
     pub fn solver_config(&self) -> SolverConfig {
         self.solver
+    }
+
+    /// Overrides the numerical-health policy (see
+    /// [`ferrocim_spice::HealthPolicy`]): per-solve residual
+    /// certification, bounded iterative refinement, and the solver
+    /// degradation ladder. The default policy is on; batch layers
+    /// built on this array inherit the choice.
+    pub fn with_health(mut self, health: HealthPolicy) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// The configured numerical-health policy.
+    pub fn health_policy(&self) -> HealthPolicy {
+        self.health
     }
 
     /// Installs per-column hardware faults (one entry per cell; `None`
@@ -640,6 +658,7 @@ impl<C: CellDesign> CimArray<C> {
             .at(temp)
             .with_budget(budget.clone())
             .with_recorder(tele.clone())
+            .with_health(self.health)
             .run_in(ws)?;
         // Cell voltages at the end of the charge phase (the sample
         // closest to t_charge from below).
@@ -881,6 +900,7 @@ impl<C: CellDesign> CimArray<C> {
             .at(temp)
             .with_budget(self.budget.clone())
             .with_recorder(self.telemetry.clone())
+            .with_health(self.health)
             .run_in(ws)?;
         Ok((
             result.final_voltage(out).value() - bias.v_sl.value(),

@@ -125,6 +125,20 @@ impl<C: CellDesign> Crossbar<C> {
         self
     }
 
+    /// Overrides the numerical-health policy (see
+    /// [`ferrocim_spice::HealthPolicy`]) for every row-MAC solve,
+    /// propagated to the row hardware — including faulted row clones.
+    /// The default policy is on.
+    pub fn with_health(mut self, health: ferrocim_spice::HealthPolicy) -> Self {
+        self.array = self.array.with_health(health);
+        self.row_arrays = self
+            .row_arrays
+            .into_iter()
+            .map(|ra| ra.map(|a| a.with_health(health)))
+            .collect();
+        self
+    }
+
     /// Installs a fault plan: every cell fault in `plan` is applied to
     /// the corresponding `(row, column)` cell of this crossbar, for
     /// both transient and analytic evaluation. Rows the plan leaves

@@ -1,5 +1,6 @@
 //! DC operating-point analysis.
 
+use crate::health::HealthPolicy;
 use crate::mna::{newton_solve_in, CapMode, Layout, NewtonOptions, SolveSettings};
 use crate::netlist::{Circuit, Element, NodeId};
 use crate::rescue::{is_rescuable, rescue_solve, RescuePolicy, RescueReport};
@@ -111,6 +112,7 @@ pub struct DcAnalysis<'a> {
     budget: Budget,
     telemetry: Telemetry,
     solver: Option<SolverConfig>,
+    health: HealthPolicy,
 }
 
 impl<'a> DcAnalysis<'a> {
@@ -126,6 +128,7 @@ impl<'a> DcAnalysis<'a> {
             budget: Budget::unlimited(),
             telemetry: Telemetry::off(),
             solver: None,
+            health: HealthPolicy::default(),
         }
     }
 
@@ -169,6 +172,14 @@ impl<'a> DcAnalysis<'a> {
     /// force — [`SolverConfig::auto`] for a fresh workspace.
     pub fn with_solver(mut self, config: SolverConfig) -> Self {
         self.solver = Some(config);
+        self
+    }
+
+    /// Overrides the numerical-health policy (see [`HealthPolicy`]).
+    /// The default certifies every linear solve; pass
+    /// [`HealthPolicy::off`] for the historical uncertified behaviour.
+    pub fn with_health(mut self, health: HealthPolicy) -> Self {
+        self.health = health;
         self
     }
 
@@ -224,6 +235,7 @@ impl<'a> DcAnalysis<'a> {
             &self.options,
             &self.budget,
             &self.telemetry,
+            &self.health,
             ws,
         ) {
             Ok(iterations) => RescueReport::plain(iterations),
@@ -239,6 +251,7 @@ impl<'a> DcAnalysis<'a> {
                 &self.rescue,
                 &self.budget,
                 &self.telemetry,
+                &self.health,
                 ws,
                 err,
             )?,

@@ -20,13 +20,14 @@
 //! allocating path.
 
 use crate::dc::{DcAnalysis, OperatingPoint};
+use crate::health::{HealthPolicy, SolveQuality};
 use crate::mna::NewtonOptions;
 use crate::netlist::Circuit;
 use crate::rescue::RescuePolicy;
-use crate::solver::{LinearSystem, SolverConfig, SolverState};
+use crate::solver::{FillOrdering, LinearSystem, SolverConfig, SolverKind, SolverState};
 use crate::transient::{AdaptiveOptions, Integrator, TransientAnalysis, TransientResult};
 use crate::{Budget, SpiceError};
-use ferrocim_telemetry::{SolverBackend, Telemetry};
+use ferrocim_telemetry::{DegradeStageKind, SolverBackend, Telemetry};
 use ferrocim_units::{Celsius, Second};
 
 /// Reusable solver state: the linear-system backend (dense matrix or
@@ -52,8 +53,19 @@ pub struct Workspace {
     pub(crate) z: Vec<f64>,
     /// Solution buffer filled by the backend's solve.
     pub(crate) x_new: Vec<f64>,
+    /// Residual scratch for solve certification (`b − A·x`).
+    pub(crate) resid: Vec<f64>,
+    /// Correction scratch for iterative refinement.
+    pub(crate) corr: Vec<f64>,
     config: SolverConfig,
     pub(crate) size: usize,
+    /// Current rung on the solver degradation ladder (sticky across
+    /// solves until the size changes or the config is replaced):
+    /// 0 = as configured, 1 = fresh symbolic analysis forced,
+    /// 2 = alternate fill ordering, 3 = dense fallback.
+    degrade: u8,
+    /// Quality verdict of the most recent certified solve.
+    pub(crate) last_quality: Option<SolveQuality>,
 }
 
 impl Workspace {
@@ -93,8 +105,13 @@ impl Workspace {
     /// Changes the solver configuration. The backend is rebuilt on the
     /// next solve if the new configuration selects differently; a
     /// matching configuration is a no-op, preserving any sparse
-    /// symbolic analysis.
+    /// symbolic analysis. A genuinely different configuration also
+    /// resets the degradation ladder — the caller asked for a fresh
+    /// selection.
     pub fn set_solver(&mut self, config: SolverConfig) {
+        if config != self.config {
+            self.degrade = 0;
+        }
         self.config = config;
     }
 
@@ -118,8 +135,14 @@ impl Workspace {
     /// backend when the size or the configured selection changed.
     /// No-op when everything already matches.
     pub(crate) fn ensure_size(&mut self, n: usize) {
-        if !self.system.matches(n, self.config) {
-            self.system = SolverState::for_config(n, self.config);
+        if self.size != n {
+            // A new system size means a new circuit: degradation state
+            // learned on the old one does not transfer.
+            self.degrade = 0;
+        }
+        let effective = self.effective_config_for(n);
+        if !self.system.matches(n, effective) {
+            self.system = SolverState::for_config(n, effective);
         }
         if self.size == n {
             return;
@@ -129,6 +152,78 @@ impl Workspace {
         self.x_new.clear();
         self.x_new.reserve(n);
         self.size = n;
+    }
+
+    /// The current rung on the solver degradation ladder (0 = the
+    /// configured backend, 3 = dense fallback).
+    pub fn degrade_level(&self) -> u8 {
+        self.degrade
+    }
+
+    /// Quality verdict of the most recent certified solve routed
+    /// through this workspace, or `None` when certification is off (or
+    /// before the first solve).
+    pub fn last_solve_quality(&self) -> Option<SolveQuality> {
+        self.last_quality
+    }
+
+    /// The configuration the backend is actually built from at the
+    /// current degradation rung. Rungs 0 and 1 keep the configured
+    /// selection (rung 1 acts by discarding the symbolic analysis, not
+    /// by reconfiguring); rung 2 flips the sparse fill ordering; rung 3
+    /// abandons sparse for the dense backend.
+    fn effective_config_for(&self, n: usize) -> SolverConfig {
+        if !self.config.wants_sparse(n) {
+            return self.config;
+        }
+        match self.degrade {
+            0 | 1 => self.config,
+            2 => {
+                let flipped = match self.config.ordering {
+                    FillOrdering::MinDegree => FillOrdering::Natural,
+                    FillOrdering::Natural => FillOrdering::MinDegree,
+                };
+                SolverConfig {
+                    kind: SolverKind::Sparse,
+                    ordering: flipped,
+                    ..self.config
+                }
+            }
+            _ => SolverConfig::dense(),
+        }
+    }
+
+    /// Escalates one rung down the degradation ladder, rebuilding or
+    /// invalidating the backend so the next assembly runs on it.
+    /// Returns the stage entered, or `None` when the ladder is
+    /// exhausted (also immediately for a configured-dense selection:
+    /// dense LU with partial pivoting has no cheaper fallback).
+    pub(crate) fn escalate_degrade(&mut self) -> Option<DegradeStageKind> {
+        if !self.config.wants_sparse(self.size) {
+            return None;
+        }
+        match self.degrade {
+            0 => {
+                self.degrade = 1;
+                if let SolverState::Sparse(s) = &mut self.system {
+                    s.invalidate_symbolic();
+                }
+                Some(DegradeStageKind::FreshSymbolic)
+            }
+            1 => {
+                self.degrade = 2;
+                self.system =
+                    SolverState::for_config(self.size, self.effective_config_for(self.size));
+                Some(DegradeStageKind::AlternateOrdering)
+            }
+            2 => {
+                self.degrade = 3;
+                self.system =
+                    SolverState::for_config(self.size, self.effective_config_for(self.size));
+                Some(DegradeStageKind::DenseFallback)
+            }
+            _ => None,
+        }
     }
 }
 
@@ -176,6 +271,7 @@ pub struct SimEngine {
     rescue: Option<RescuePolicy>,
     budget: Budget,
     telemetry: Telemetry,
+    health: HealthPolicy,
     workspace: Workspace,
     last_op: Option<OperatingPoint>,
 }
@@ -235,6 +331,20 @@ impl SimEngine {
     pub fn with_recorder(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
         self
+    }
+
+    /// Overrides the numerical-health policy forwarded to every solve
+    /// issued through this engine. The default certifies every linear
+    /// solve ([`HealthPolicy::default`]); pass [`HealthPolicy::off`]
+    /// for the historical uncertified behaviour.
+    pub fn with_health(mut self, health: HealthPolicy) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// The health policy forwarded to this engine's analyses.
+    pub fn health_policy(&self) -> HealthPolicy {
+        self.health
     }
 
     /// Selects the linear-solver backend for every solve issued through
@@ -300,7 +410,8 @@ impl SimEngine {
             .at(self.temp)
             .with_options(self.options)
             .with_budget(self.budget.clone())
-            .with_recorder(self.telemetry.clone());
+            .with_recorder(self.telemetry.clone())
+            .with_health(self.health);
         if let Some(policy) = &self.rescue {
             cold = cold.with_rescue(policy.clone());
         }
@@ -346,6 +457,7 @@ impl SimEngine {
             .with_integrator(self.integrator)
             .with_budget(self.budget.clone())
             .with_recorder(self.telemetry.clone())
+            .with_health(self.health)
             .start_from(&op)
             .run_in(&mut self.workspace)
     }
@@ -374,6 +486,7 @@ impl SimEngine {
             .with_integrator(self.integrator)
             .with_budget(self.budget.clone())
             .with_recorder(self.telemetry.clone())
+            .with_health(self.health)
             .start_from(&op);
         if let Some(policy) = &self.rescue {
             analysis = analysis.with_rescue(policy.clone());
@@ -525,5 +638,74 @@ mod tests {
         forced.set_solver(SolverConfig::dense());
         forced.ensure_size(3);
         assert_eq!(forced.solver_backend(), SolverBackend::Dense);
+    }
+
+    #[test]
+    fn degradation_ladder_escalates_deterministically() {
+        let mut ws = Workspace::with_solver(SolverConfig::sparse());
+        ws.ensure_size(8);
+        assert_eq!(ws.degrade_level(), 0);
+        assert_eq!(ws.escalate_degrade(), Some(DegradeStageKind::FreshSymbolic));
+        assert_eq!(ws.degrade_level(), 1);
+        assert_eq!(ws.solver_backend(), SolverBackend::Sparse);
+        assert_eq!(
+            ws.escalate_degrade(),
+            Some(DegradeStageKind::AlternateOrdering)
+        );
+        assert_eq!(ws.degrade_level(), 2);
+        assert_eq!(ws.solver_backend(), SolverBackend::Sparse);
+        assert_eq!(ws.escalate_degrade(), Some(DegradeStageKind::DenseFallback));
+        assert_eq!(ws.degrade_level(), 3);
+        assert_eq!(ws.solver_backend(), SolverBackend::Dense);
+        assert_eq!(ws.escalate_degrade(), None, "ladder must be finite");
+        assert_eq!(ws.degrade_level(), 3);
+    }
+
+    #[test]
+    fn dense_configuration_has_no_ladder() {
+        let mut ws = Workspace::with_solver(SolverConfig::dense());
+        ws.ensure_size(4);
+        assert_eq!(ws.escalate_degrade(), None);
+        assert_eq!(ws.degrade_level(), 0);
+    }
+
+    #[test]
+    fn ladder_resets_on_size_change_and_reconfiguration() {
+        let mut ws = Workspace::with_solver(SolverConfig::sparse());
+        ws.ensure_size(8);
+        ws.escalate_degrade();
+        ws.escalate_degrade();
+        assert_eq!(ws.degrade_level(), 2);
+        // A new system size means a new circuit: start fresh.
+        ws.ensure_size(9);
+        assert_eq!(ws.degrade_level(), 0);
+        ws.escalate_degrade();
+        assert_eq!(ws.degrade_level(), 1);
+        // Re-setting the same config keeps the learned rung…
+        ws.set_solver(SolverConfig::sparse());
+        assert_eq!(ws.degrade_level(), 1);
+        // …but a genuinely different config resets it.
+        ws.set_solver(SolverConfig::sparse().with_parallel_blocks(true));
+        assert_eq!(ws.degrade_level(), 0);
+    }
+
+    #[test]
+    fn dc_solve_populates_last_solve_quality() {
+        let ckt = transistor_divider();
+        let mut ws = Workspace::new();
+        DcAnalysis::new(&ckt).solve_in(&mut ws).unwrap();
+        let q = ws
+            .last_solve_quality()
+            .expect("certification on by default");
+        assert!(q.residual.is_finite());
+        assert!(q.residual <= crate::HealthPolicy::default().residual_tol);
+        assert!(q.pivot_growth.is_finite());
+        // With certification off the verdict is never produced.
+        let mut ws_off = Workspace::new();
+        DcAnalysis::new(&ckt)
+            .with_health(crate::HealthPolicy::off())
+            .solve_in(&mut ws_off)
+            .unwrap();
+        assert!(ws_off.last_solve_quality().is_none());
     }
 }

@@ -71,6 +71,19 @@ pub enum SpiceError {
     },
     /// A [`crate::CancelToken`] attached to the analysis budget fired.
     Cancelled,
+    /// A linear solve failed residual certification even after iterative
+    /// refinement and the full solver degradation ladder (fresh
+    /// symbolic → alternate ordering → dense fallback) — the solution
+    /// does not satisfy the system to the configured
+    /// [`crate::HealthPolicy`] tolerance and was refused rather than
+    /// returned as a quietly wrong answer.
+    UncertifiedSolve {
+        /// The relative backward error of the best attempt.
+        residual: f64,
+        /// Hager 1-norm condition estimate of the system, when the
+        /// policy computed one.
+        cond_estimate: Option<f64>,
+    },
 }
 
 impl fmt::Display for SpiceError {
@@ -111,6 +124,19 @@ impl fmt::Display for SpiceError {
                 write!(f, "analysis budget exceeded: {resource}")
             }
             SpiceError::Cancelled => write!(f, "analysis cancelled"),
+            SpiceError::UncertifiedSolve {
+                residual,
+                cond_estimate,
+            } => {
+                write!(
+                    f,
+                    "linear solve failed residual certification (backward error {residual:.3e}"
+                )?;
+                if let Some(cond) = cond_estimate {
+                    write!(f, ", condition estimate {cond:.3e}")?;
+                }
+                write!(f, ") after refinement and solver degradation")
+            }
         }
     }
 }

@@ -45,11 +45,13 @@
 #![forbid(unsafe_code)]
 
 mod budget;
+pub mod chaos;
 mod dc;
 mod dcsweep;
 mod engine;
 mod error;
 mod export;
+mod health;
 mod linear;
 mod mna;
 mod montecarlo;
@@ -66,6 +68,7 @@ pub use dcsweep::DcSweep;
 pub use engine::{SimEngine, Workspace};
 pub use error::SpiceError;
 pub use export::export_netlist;
+pub use health::{certify_solution, HealthPolicy, SolveQuality};
 pub use linear::Matrix;
 pub use mna::NewtonOptions;
 pub use montecarlo::{

@@ -55,6 +55,14 @@ impl Matrix {
         self.data.fill(0.0);
     }
 
+    /// Copies another matrix's dimension and entries into this one,
+    /// reusing the existing allocation when capacity allows.
+    pub fn copy_values_from(&mut self, other: &Matrix) {
+        self.n = other.n;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Computes `self · x` into `y` without allocating.
     ///
     /// # Panics
@@ -74,6 +82,49 @@ impl Matrix {
         let mut y = vec![0.0; self.n];
         self.mul_vec_into(x, &mut y);
         y
+    }
+
+    /// The matrix ∞-norm (maximum absolute row sum).
+    pub fn inf_norm(&self) -> f64 {
+        (0..self.n)
+            .map(|r| {
+                self.data[r * self.n..(r + 1) * self.n]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum()
+            })
+            .fold(0.0f64, f64::max)
+    }
+
+    /// The matrix 1-norm (maximum absolute column sum).
+    pub fn one_norm(&self) -> f64 {
+        let mut best = 0.0f64;
+        for c in 0..self.n {
+            let mut sum = 0.0;
+            for r in 0..self.n {
+                sum += self.get(r, c).abs();
+            }
+            best = best.max(sum);
+        }
+        best
+    }
+
+    /// The largest absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|v| v.abs()).fold(0.0f64, f64::max)
+    }
+
+    /// The largest absolute entry of the `U` factor left behind by
+    /// [`Matrix::solve_into`] (rows in `perm` order, columns at or right
+    /// of the diagonal) — the numerator of the pivot-growth factor.
+    pub(crate) fn max_abs_upper(&self, perm: &[usize]) -> f64 {
+        let mut best = 0.0f64;
+        for (k, &p) in perm.iter().enumerate() {
+            for c in k..self.n {
+                best = best.max(self.get(p, c).abs());
+            }
+        }
+        best
     }
 
     /// Solves `self · x = b` in place via LU with partial pivoting,
@@ -141,10 +192,16 @@ impl Matrix {
             let pivot = self.get(p, col);
             for &r in &perm[col + 1..] {
                 let factor = self.get(r, col) / pivot;
+                // The multiplier is stored in the eliminated position —
+                // back substitution never reads below the diagonal (in
+                // `perm` order), so the solution is unchanged, and the
+                // stored `L` lets `solve_factored` replay this
+                // elimination on a new right-hand side.
+                self.set(r, col, factor);
                 if factor == 0.0 {
                     continue;
                 }
-                for c in col..n {
+                for c in (col + 1)..n {
                     let v = self.get(p, c);
                     self.add(r, c, -factor * v);
                 }
@@ -163,6 +220,95 @@ impl Matrix {
             out[col] = sum / self.get(p, col);
         }
         Ok(())
+    }
+
+    /// Re-solves `A · x = b` for a new right-hand side using the `L`/`U`
+    /// factors and permutation left behind by a prior
+    /// [`Matrix::solve_into`] — no refactorization. The arithmetic
+    /// replays the original elimination exactly, so re-solving with the
+    /// original `b` reproduces the original solution bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` or `perm` is not of length `dim()`.
+    pub fn solve_factored(
+        &self,
+        b: &[f64],
+        perm: &[usize],
+        scratch: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        assert_eq!(perm.len(), n);
+        let x = scratch;
+        x.clear();
+        x.extend_from_slice(b);
+        for col in 0..n {
+            let p = perm[col];
+            for &r in &perm[col + 1..] {
+                let factor = self.get(r, col);
+                if factor != 0.0 {
+                    x[r] -= factor * x[p];
+                }
+            }
+        }
+        out.clear();
+        out.resize(n, 0.0);
+        for col in (0..n).rev() {
+            let p = perm[col];
+            let mut sum = x[p];
+            for (c, &oc) in out.iter().enumerate().take(n).skip(col + 1) {
+                sum -= self.get(p, c) * oc;
+            }
+            out[col] = sum / self.get(p, col);
+        }
+    }
+
+    /// Solves the transposed system `Aᵀ · w = c` through the stored
+    /// factors (`A = Pᵀ·L·U` ⇒ `Aᵀ = Uᵀ·Lᵀ·P`), as needed by the
+    /// Hager-style condition estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` or `perm` is not of length `dim()`.
+    pub fn solve_transposed_factored(
+        &self,
+        c: &[f64],
+        perm: &[usize],
+        scratch: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) {
+        let n = self.n;
+        assert_eq!(c.len(), n);
+        assert_eq!(perm.len(), n);
+        // Uᵀ·y = c: Uᵀ is lower triangular with U[j,k] stored at
+        // (perm[j], k), so ascending substitution.
+        let y = scratch;
+        y.clear();
+        y.reserve(n);
+        for k in 0..n {
+            let mut sum = c[k];
+            for (j, &yj) in y.iter().enumerate() {
+                sum -= self.get(perm[j], k) * yj;
+            }
+            y.push(sum / self.get(perm[k], k));
+        }
+        // Lᵀ·z = y: unit upper triangular with the multiplier L[j,k]
+        // stored at (perm[j], k), descending substitution in place.
+        for k in (0..n).rev() {
+            let mut sum = y[k];
+            for j in (k + 1)..n {
+                sum -= self.get(perm[j], k) * y[j];
+            }
+            y[k] = sum;
+        }
+        // w = Pᵀ·z.
+        out.clear();
+        out.resize(n, 0.0);
+        for (k, &zk) in y.iter().enumerate() {
+            out[perm[k]] = zk;
+        }
     }
 }
 
@@ -264,6 +410,59 @@ mod tests {
         let mut work = m;
         work.solve_into(&b, &mut rhs, &mut perm, &mut out).unwrap();
         assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn factored_resolve_replays_the_original_solution_bitwise() {
+        let m = from_rows(&[
+            &[1e-12 + 1e-3, -1e-3, 0.0],
+            &[-1e-3, 2e-3, -1e-3],
+            &[0.0, -1e-3, 1e-3 + 1e4],
+        ]);
+        let b = [1e-6, 0.0, 2.0];
+        let (mut rhs, mut perm, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        let mut lu = m.clone();
+        lu.solve_into(&b, &mut rhs, &mut perm, &mut out).unwrap();
+        let mut replay = Vec::new();
+        lu.solve_factored(&b, &perm, &mut rhs, &mut replay);
+        assert_eq!(replay, out, "same b through the stored factors");
+        // A different right-hand side still satisfies the system.
+        let b2 = [0.5, -1.0, 3.0];
+        lu.solve_factored(&b2, &perm, &mut rhs, &mut replay);
+        let back = m.mul_vec(&replay);
+        for (got, want) in back.iter().zip(b2) {
+            assert!((got - want).abs() < 1e-9 * want.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn transposed_factored_solve_satisfies_the_transposed_system() {
+        let m = from_rows(&[&[2.0, 1.0, -0.5], &[1.0, 3.0, 1.0], &[0.0, 1.0, 4.0]]);
+        let c = [1.0, -2.0, 0.5];
+        let (mut rhs, mut perm, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        let mut lu = m.clone();
+        lu.solve_into(&c, &mut rhs, &mut perm, &mut out).unwrap();
+        let mut w = Vec::new();
+        lu.solve_transposed_factored(&c, &perm, &mut rhs, &mut w);
+        // Check Aᵀ·w = c, i.e. Σ_r a[r][k]·w[r] = c[k].
+        for (k, &ck) in c.iter().enumerate() {
+            let got: f64 = (0..3).map(|r| m.get(r, k) * w[r]).sum();
+            assert!((got - ck).abs() < 1e-12, "col {k}: {got} vs {ck}");
+        }
+    }
+
+    #[test]
+    fn norms_and_pivot_growth_inputs() {
+        let m = from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        assert_eq!(m.inf_norm(), 7.0);
+        assert_eq!(m.one_norm(), 6.0);
+        assert_eq!(m.max_abs(), 4.0);
+        let (mut rhs, mut perm, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        let mut lu = m.clone();
+        lu.solve_into(&[1.0, 1.0], &mut rhs, &mut perm, &mut out)
+            .unwrap();
+        // Pivot row is [3,4]; U = [[3,4],[0,1−(1/3)·4]] → max |U| = 4.
+        assert_eq!(lu.max_abs_upper(&perm), 4.0);
     }
 
     #[test]

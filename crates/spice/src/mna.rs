@@ -1,6 +1,7 @@
 //! Modified nodal analysis: system layout, stamping, and the shared
 //! Newton–Raphson solve used by both DC and transient analyses.
 
+use crate::health::{certify, HealthPolicy};
 use crate::netlist::{Circuit, Element, NodeId};
 use crate::solver::LinearSystem;
 use crate::SpiceError;
@@ -366,6 +367,17 @@ fn stamp_transistor(
 /// At `DetailLevel::Iterations` every iteration additionally emits
 /// [`Event::NewtonResidual`] with the damped residual norm and the
 /// damping factor, so a stalled solve is diagnosable from the trace.
+///
+/// When `health` is enabled every linear solve is *certified*: the
+/// backward error of the solution is measured against the assembled
+/// system, iterative refinement runs when it misses tolerance
+/// ([`Event::SolveRefined`]), and a still-unacceptable solve escalates
+/// down the workspace's degradation ladder — fresh symbolic analysis,
+/// alternate fill ordering, dense fallback ([`Event::SolveDegraded`],
+/// one Newton-budget charge per rung) — before the iteration refuses
+/// with [`SpiceError::UncertifiedSolve`] rather than continuing on an
+/// unverified solution. An acceptable solve is returned untouched, so a
+/// healthy iteration is bitwise identical to `HealthPolicy::off()`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn newton_solve_in(
     circuit: &Circuit,
@@ -378,13 +390,11 @@ pub(crate) fn newton_solve_in(
     options: &NewtonOptions,
     budget: &crate::Budget,
     tele: &Telemetry,
+    health: &HealthPolicy,
     ws: &mut crate::Workspace,
 ) -> Result<usize, SpiceError> {
     debug_assert_eq!(x.len(), layout.size);
     ws.ensure_size(layout.size);
-    let crate::Workspace {
-        system, z, x_new, ..
-    } = ws;
     let limited = budget.is_limited();
     let observed = tele.is_on();
     let diagnosed = tele.wants_iterations();
@@ -399,14 +409,77 @@ pub(crate) fn newton_solve_in(
                 iteration: iter as u64 + 1,
             });
         }
-        assemble(circuit, layout, x, t, temp, caps, settings, system, z);
-        let info = system.solve_into(z, x_new, tele)?;
-        if observed {
-            tele.emit(|| Event::SolverSolved {
-                backend: info.backend,
-                symbolic: info.symbolic,
-            });
+        // Assemble-solve-certify, escalating the workspace down its
+        // degradation ladder until the solve certifies, the ladder is
+        // exhausted, or certification is off. Escalated rungs rebuild
+        // the backend, so assembly re-runs inside the loop.
+        loop {
+            let outcome = {
+                let crate::Workspace {
+                    system,
+                    z,
+                    x_new,
+                    resid,
+                    corr,
+                    ..
+                } = &mut *ws;
+                assemble(circuit, layout, x, t, temp, caps, settings, system, z);
+                let info = system.solve_into(z, x_new, tele)?;
+                if observed {
+                    tele.emit(|| Event::SolverSolved {
+                        backend: info.backend,
+                        symbolic: info.symbolic,
+                    });
+                }
+                if !health.enabled {
+                    None
+                } else {
+                    Some(certify(system, z, x_new, health, resid, corr))
+                }
+            };
+            let Some(outcome) = outcome else {
+                break;
+            };
+            if observed && outcome.quality.refinement_passes > 0 {
+                tele.emit(|| Event::SolveRefined {
+                    passes: outcome.quality.refinement_passes as u64,
+                    residual: outcome.quality.residual,
+                });
+            }
+            if outcome.acceptable {
+                ws.last_quality = Some(outcome.quality);
+                break;
+            }
+            match ws.escalate_degrade() {
+                Some(stage) => {
+                    if observed {
+                        tele.emit(|| Event::SolveDegraded {
+                            stage,
+                            residual: outcome.quality.residual,
+                        });
+                    }
+                    // Escalation repeats the factor-and-solve: charge it
+                    // like the extra Newton-iteration work it is.
+                    if limited {
+                        budget.charge_newton(1)?;
+                    }
+                }
+                None => {
+                    ws.last_quality = Some(outcome.quality);
+                    if ws.x_new[..layout.size].iter().all(|v| v.is_finite()) {
+                        return Err(SpiceError::UncertifiedSolve {
+                            residual: outcome.quality.residual,
+                            cond_estimate: outcome.quality.cond_estimate,
+                        });
+                    }
+                    // Non-finite solutions fall through to the blowup
+                    // check below, preserving the historical error (and
+                    // the warm-start fallbacks keyed on it).
+                    break;
+                }
+            }
         }
+        let crate::Workspace { x_new, .. } = &mut *ws;
         if let Some(unknown) = x_new[..layout.size].iter().position(|v| !v.is_finite()) {
             return Err(SpiceError::NumericalBlowup {
                 iteration: iter + 1,

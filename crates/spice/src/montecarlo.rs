@@ -244,6 +244,25 @@ impl MonteCarlo {
 
 const CHECKPOINT_FORMAT: &str = "ferrocim-mc-checkpoint-v1";
 
+/// First-line envelope prefix of a checkpoint file. The header carries
+/// an FNV-1a checksum of the JSON payload that follows, so *any*
+/// flipped or truncated byte — including one that would still parse as
+/// valid JSON with different numbers — is detected at resume instead of
+/// silently corrupting resumed results.
+const CHECKPOINT_HEADER: &str = "ferrocim-mc-checkpoint fnv1a:";
+
+/// FNV-1a 64-bit over raw bytes; tiny, dependency-free, and good enough
+/// to catch every single-byte corruption (this is an integrity check
+/// against accidents, not an authenticity check against attackers).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
 /// A persisted snapshot of a partially completed Monte-Carlo sweep: the
 /// sweep identity (seed, run count) plus every finished sample.
 ///
@@ -313,29 +332,56 @@ impl<T> McCheckpoint<T> {
     ///
     /// [`McError::Io`] if the file cannot be read,
     /// [`McError::CorruptCheckpoint`] if it does not parse as a
-    /// checkpoint — covering truncated files, non-JSON garbage, and
-    /// well-formed JSON that is not a checkpoint. The error carries the
-    /// path and enough parse context (the serde failure plus a preview
-    /// of the offending content) to identify the damaged file without
-    /// opening it.
+    /// checkpoint — covering truncated files, non-JSON garbage,
+    /// well-formed JSON that is not a checkpoint, and any payload whose
+    /// envelope checksum no longer matches (a flipped byte that still
+    /// parses as different-but-valid JSON is caught here rather than
+    /// silently resuming wrong samples). The error carries the path and
+    /// enough parse context (the serde failure plus a preview of the
+    /// offending content) to identify the damaged file without opening
+    /// it.
     pub fn resume_from(path: impl AsRef<Path>) -> Result<McCheckpoint<T>, McError<T>>
     where
         T: Deserialize,
     {
         let path = path.as_ref();
-        let text = std::fs::read_to_string(path).map_err(|e| McError::Io {
+        let bytes = std::fs::read(path).map_err(|e| McError::Io {
             path: path.to_path_buf(),
             message: e.to_string(),
         })?;
-        serde_json::from_str(&text).map_err(|e| McError::CorruptCheckpoint {
+        let corrupt = |detail: String| McError::CorruptCheckpoint {
             path: path.to_path_buf(),
-            detail: corrupt_detail(&text, &e.to_string()),
-        })
+            detail,
+        };
+        // A checkpoint is pure ASCII JSON as written; a byte that breaks
+        // UTF-8 is disk/transport corruption, not an I/O failure.
+        let text = String::from_utf8(bytes)
+            .map_err(|e| corrupt(format!("checkpoint is not valid UTF-8: {e}")))?;
+        let (header, payload) = text
+            .split_once('\n')
+            .ok_or_else(|| corrupt(corrupt_detail(&text, "missing checksum header line")))?;
+        let stored = header
+            .strip_prefix(CHECKPOINT_HEADER)
+            .and_then(|hex| u64::from_str_radix(hex.trim(), 16).ok())
+            .ok_or_else(|| corrupt(corrupt_detail(&text, "missing checksum header line")))?;
+        let actual = fnv1a64(payload.as_bytes());
+        if actual != stored {
+            return Err(corrupt(format!(
+                "payload checksum mismatch (stored {stored:016x}, computed {actual:016x}) — \
+                 the file was modified or truncated after it was written"
+            )));
+        }
+        serde_json::from_str(payload).map_err(|e| corrupt(corrupt_detail(payload, &e.to_string())))
     }
 
     /// Atomically writes the checkpoint to `path` (via a sibling
     /// temporary file and rename, so a crash mid-write never corrupts
-    /// an existing checkpoint).
+    /// an existing checkpoint). The temporary file is fsynced before
+    /// the rename — and the parent directory after it — so the rename
+    /// can never be reordered ahead of the data reaching disk (the
+    /// classic way an "atomic" write leaves an empty file after a
+    /// power loss). The file carries a first-line FNV-1a checksum of
+    /// the JSON payload, verified by [`McCheckpoint::resume_from`].
     ///
     /// # Errors
     ///
@@ -352,12 +398,26 @@ impl<T> McCheckpoint<T> {
         let mut tmp_name = path.as_os_str().to_owned();
         tmp_name.push(".tmp");
         let tmp = PathBuf::from(tmp_name);
-        let text = serde_json::to_string_pretty(self).map_err(|e| McError::Io {
+        let payload = serde_json::to_string_pretty(self).map_err(|e| McError::Io {
             path: path.to_path_buf(),
             message: e.to_string(),
         })?;
-        std::fs::write(&tmp, text).map_err(io_err)?;
+        let text = format!(
+            "{CHECKPOINT_HEADER}{:016x}\n{payload}",
+            fnv1a64(payload.as_bytes())
+        );
+        {
+            use std::io::Write;
+            let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
+            file.write_all(text.as_bytes()).map_err(io_err)?;
+            file.sync_all().map_err(io_err)?;
+        }
         std::fs::rename(&tmp, path).map_err(io_err)?;
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::File::open(parent)
+                .and_then(|dir| dir.sync_all())
+                .map_err(io_err)?;
+        }
         Ok(())
     }
 

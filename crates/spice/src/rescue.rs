@@ -20,6 +20,7 @@
 //! and non-rescued circuits see bit-identical nominal iteration
 //! sequences.
 
+use crate::health::HealthPolicy;
 use crate::mna::{CapMode, Layout, NewtonOptions, SolveSettings, GMIN};
 use crate::netlist::Circuit;
 use crate::{SpiceError, Workspace};
@@ -160,12 +161,15 @@ fn rung_kind(rung: &RescueRung) -> RungKind {
 }
 
 /// True for errors the ladder can plausibly fix by continuation.
+/// An uncertified solve qualifies: continuation moves the iteration to
+/// better-conditioned operating points where certification can succeed.
 pub(crate) fn is_rescuable(err: &SpiceError) -> bool {
     matches!(
         err,
         SpiceError::NoConvergence { .. }
             | SpiceError::NumericalBlowup { .. }
             | SpiceError::SingularMatrix { .. }
+            | SpiceError::UncertifiedSolve { .. }
     )
 }
 
@@ -198,6 +202,7 @@ pub(crate) fn rescue_solve(
     policy: &RescuePolicy,
     budget: &crate::Budget,
     tele: &Telemetry,
+    health: &HealthPolicy,
     ws: &mut Workspace,
     plain_error: SpiceError,
 ) -> Result<RescueReport, SpiceError> {
@@ -239,6 +244,7 @@ pub(crate) fn rescue_solve(
             &damped,
             budget,
             tele,
+            health,
             ws,
         ) {
             Ok(iters) => {
@@ -275,7 +281,7 @@ pub(crate) fn rescue_solve(
                 source_scale: 1.0,
             };
             match crate::mna::newton_solve_in(
-                circuit, layout, t, temp, caps, &settings, x, options, budget, tele, ws,
+                circuit, layout, t, temp, caps, &settings, x, options, budget, tele, health, ws,
             ) {
                 Ok(iters) => iterations += iters,
                 Err(e) if !is_rescuable(&e) => return Err(e),
@@ -309,7 +315,7 @@ pub(crate) fn rescue_solve(
                 source_scale: k as f64 / policy.source_steps as f64,
             };
             match crate::mna::newton_solve_in(
-                circuit, layout, t, temp, caps, &settings, x, options, budget, tele, ws,
+                circuit, layout, t, temp, caps, &settings, x, options, budget, tele, health, ws,
             ) {
                 Ok(iters) => iterations += iters,
                 Err(e) if !is_rescuable(&e) => return Err(e),

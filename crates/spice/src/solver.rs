@@ -191,6 +191,34 @@ pub trait LinearSystem {
         tele: &Telemetry,
     ) -> Result<SolveInfo, SpiceError>;
 
+    /// Computes `A·x` into `y` from the currently stamped values — the
+    /// matrix as assembled, independent of any factorization — for
+    /// residual checks. `y` must already have length [`LinearSystem::dim`].
+    fn matvec_into(&mut self, x: &[f64], y: &mut [f64]);
+
+    /// Re-solves `A·x = b` through the factors left behind by the most
+    /// recent [`LinearSystem::solve_into`], with no refactorization —
+    /// the iterative-refinement primitive. Fills `out` with zeros when
+    /// no factorization exists yet.
+    fn resolve_into(&mut self, b: &[f64], out: &mut Vec<f64>);
+
+    /// Solves the transposed system `Aᵀ·w = c` through the stored
+    /// factors (the Hager condition-estimator primitive). Fills `out`
+    /// with zeros when no factorization exists yet.
+    fn solve_transposed_into(&mut self, c: &[f64], out: &mut Vec<f64>);
+
+    /// The ∞-norm (maximum absolute row sum) of the stamped matrix.
+    fn inf_norm(&mut self) -> f64;
+
+    /// The 1-norm (maximum absolute column sum) of the stamped matrix.
+    fn one_norm(&mut self) -> f64;
+
+    /// Pivot growth of the most recent factorization: the largest `U`
+    /// magnitude over the largest stamped magnitude. Values far above 1
+    /// flag element growth that loses precision. Reports `1.0` before
+    /// any factorization (or for an all-zero matrix).
+    fn pivot_growth(&self) -> f64;
+
     /// Which backend this is (for telemetry).
     fn backend(&self) -> SolverBackend;
 }
@@ -198,10 +226,13 @@ pub trait LinearSystem {
 /// The dense LU backend: the original [`Matrix`] factorization plus its
 /// permutation/RHS scratch, behind the [`LinearSystem`] trait. Results
 /// are bitwise identical to the historical `Matrix::solve_into` path —
-/// same elimination sequence, same buffers.
+/// same elimination sequence, same buffers. The stamped matrix `m` is
+/// copied into `lu` before factoring, so the assembled values survive
+/// the solve for residual checks and refinement re-solves.
 #[derive(Debug, Clone, Default)]
 pub struct DenseLu {
     m: Matrix,
+    lu: Matrix,
     rhs: Vec<f64>,
     perm: Vec<usize>,
 }
@@ -211,12 +242,18 @@ impl DenseLu {
     pub fn with_dim(n: usize) -> DenseLu {
         let mut d = DenseLu {
             m: Matrix::zeros(n),
+            lu: Matrix::zeros(n),
             rhs: Vec::new(),
             perm: Vec::new(),
         };
         d.rhs.reserve(n);
         d.perm.reserve(n);
         d
+    }
+
+    /// Whether a factorization from a completed solve is available.
+    fn factored(&self) -> bool {
+        self.perm.len() == self.m.dim() && self.lu.dim() == self.m.dim()
     }
 }
 
@@ -240,11 +277,54 @@ impl LinearSystem for DenseLu {
         out: &mut Vec<f64>,
         _tele: &Telemetry,
     ) -> Result<SolveInfo, SpiceError> {
-        self.m.solve_into(b, &mut self.rhs, &mut self.perm, out)?;
+        self.lu.copy_values_from(&self.m);
+        self.lu.solve_into(b, &mut self.rhs, &mut self.perm, out)?;
         Ok(SolveInfo {
             backend: SolverBackend::Dense,
             symbolic: false,
         })
+    }
+
+    fn matvec_into(&mut self, x: &[f64], y: &mut [f64]) {
+        self.m.mul_vec_into(x, y);
+    }
+
+    fn resolve_into(&mut self, b: &[f64], out: &mut Vec<f64>) {
+        if !self.factored() {
+            out.clear();
+            out.resize(self.m.dim(), 0.0);
+            return;
+        }
+        self.lu.solve_factored(b, &self.perm, &mut self.rhs, out);
+    }
+
+    fn solve_transposed_into(&mut self, c: &[f64], out: &mut Vec<f64>) {
+        if !self.factored() {
+            out.clear();
+            out.resize(self.m.dim(), 0.0);
+            return;
+        }
+        self.lu
+            .solve_transposed_factored(c, &self.perm, &mut self.rhs, out);
+    }
+
+    fn inf_norm(&mut self) -> f64 {
+        self.m.inf_norm()
+    }
+
+    fn one_norm(&mut self) -> f64 {
+        self.m.one_norm()
+    }
+
+    fn pivot_growth(&self) -> f64 {
+        if !self.factored() {
+            return 1.0;
+        }
+        let denom = self.m.max_abs();
+        if denom <= 0.0 {
+            return 1.0;
+        }
+        self.lu.max_abs_upper(&self.perm) / denom
     }
 
     fn backend(&self) -> SolverBackend {
@@ -386,6 +466,13 @@ impl SparseLu {
     /// Nonzero count of the stamped pattern.
     pub fn pattern_nnz(&self) -> usize {
         self.coords.len()
+    }
+
+    /// Discards the symbolic analysis, forcing the next solve to re-run
+    /// the fused symbolic + numeric factorization (fresh ordering, DFS,
+    /// and pivot search). The first rung of the degradation ladder.
+    pub(crate) fn invalidate_symbolic(&mut self) {
+        self.sym = None;
     }
 
     /// Sorts the captured stamp slots into compressed-sparse-column
@@ -914,6 +1001,86 @@ impl LinearSystem for SparseLu {
         })
     }
 
+    fn matvec_into(&mut self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        y.fill(0.0);
+        for (slot, &(r, c)) in self.coords.iter().enumerate() {
+            y[r as usize] += self.values[slot] * x[c as usize];
+        }
+    }
+
+    fn resolve_into(&mut self, b: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(b.len(), self.n);
+        self.lu_solve(b, out);
+    }
+
+    fn solve_transposed_into(&mut self, c: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(c.len(), self.n);
+        let Some(sym) = &self.sym else {
+            out.clear();
+            out.resize(self.n, 0.0);
+            return;
+        };
+        let n = self.n;
+        // Uᵀ·t = Qᵀ·c, ascending: column k of U references only
+        // earlier pivot positions, so row k of Uᵀ is closed over t[..k].
+        self.y.clear();
+        self.y.reserve(n);
+        for k in 0..n {
+            let mut tk = c[sym.q[k]];
+            for p in sym.up[k]..sym.up[k + 1] {
+                tk -= self.ux[p] * self.y[sym.ui[p]];
+            }
+            self.y.push(tk / self.udiag[k]);
+        }
+        // Lᵀ·w = t, descending: the rows of column k of L become
+        // pivotal only at later steps, so they are already solved.
+        out.clear();
+        out.resize(n, 0.0);
+        for k in (0..n).rev() {
+            let mut wk = self.y[k];
+            for p in sym.lp[k]..sym.lp[k + 1] {
+                wk -= self.lx[p] * out[sym.li[p]];
+            }
+            out[sym.pivot_row[k]] = wk;
+        }
+    }
+
+    fn inf_norm(&mut self) -> f64 {
+        self.fwd.clear();
+        self.fwd.resize(self.n, 0.0);
+        for (slot, &(r, _)) in self.coords.iter().enumerate() {
+            self.fwd[r as usize] += self.values[slot].abs();
+        }
+        self.fwd.iter().fold(0.0f64, |a, &v| a.max(v))
+    }
+
+    fn one_norm(&mut self) -> f64 {
+        self.fwd.clear();
+        self.fwd.resize(self.n, 0.0);
+        for (slot, &(_, c)) in self.coords.iter().enumerate() {
+            self.fwd[c as usize] += self.values[slot].abs();
+        }
+        self.fwd.iter().fold(0.0f64, |a, &v| a.max(v))
+    }
+
+    fn pivot_growth(&self) -> f64 {
+        if self.sym.is_none() {
+            return 1.0;
+        }
+        let denom = self.values.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+        if denom <= 0.0 {
+            return 1.0;
+        }
+        let num = self
+            .udiag
+            .iter()
+            .chain(self.ux.iter())
+            .fold(0.0f64, |a, &v| a.max(v.abs()));
+        num / denom
+    }
+
     fn backend(&self) -> SolverBackend {
         SolverBackend::Sparse
     }
@@ -1046,6 +1213,48 @@ impl LinearSystem for SolverState {
         match self {
             SolverState::Dense(d) => d.solve_into(b, out, tele),
             SolverState::Sparse(s) => s.solve_into(b, out, tele),
+        }
+    }
+
+    fn matvec_into(&mut self, x: &[f64], y: &mut [f64]) {
+        match self {
+            SolverState::Dense(d) => d.matvec_into(x, y),
+            SolverState::Sparse(s) => s.matvec_into(x, y),
+        }
+    }
+
+    fn resolve_into(&mut self, b: &[f64], out: &mut Vec<f64>) {
+        match self {
+            SolverState::Dense(d) => d.resolve_into(b, out),
+            SolverState::Sparse(s) => s.resolve_into(b, out),
+        }
+    }
+
+    fn solve_transposed_into(&mut self, c: &[f64], out: &mut Vec<f64>) {
+        match self {
+            SolverState::Dense(d) => d.solve_transposed_into(c, out),
+            SolverState::Sparse(s) => s.solve_transposed_into(c, out),
+        }
+    }
+
+    fn inf_norm(&mut self) -> f64 {
+        match self {
+            SolverState::Dense(d) => d.inf_norm(),
+            SolverState::Sparse(s) => s.inf_norm(),
+        }
+    }
+
+    fn one_norm(&mut self) -> f64 {
+        match self {
+            SolverState::Dense(d) => d.one_norm(),
+            SolverState::Sparse(s) => s.one_norm(),
+        }
+    }
+
+    fn pivot_growth(&self) -> f64 {
+        match self {
+            SolverState::Dense(d) => d.pivot_growth(),
+            SolverState::Sparse(s) => s.pivot_growth(),
         }
     }
 
@@ -1331,5 +1540,105 @@ mod tests {
         assert_eq!(info.backend, SolverBackend::Dense);
         assert!(!info.symbolic);
         assert_eq!(x, vec![2.0]);
+    }
+
+    /// The system used by the health-primitive tests below:
+    /// A = [[2,1,0],[1,3,1],[0,1,4]], b = [4,10,14] → x = [1,2,3].
+    fn health_entries() -> Vec<(usize, usize, f64)> {
+        vec![
+            (0, 0, 2.0),
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 1, 3.0),
+            (1, 2, 1.0),
+            (2, 1, 1.0),
+            (2, 2, 4.0),
+        ]
+    }
+
+    fn check_health_primitives(sys: &mut dyn LinearSystem) {
+        let b = [4.0, 10.0, 14.0];
+        let mut x = Vec::new();
+        sys.solve_into(&b, &mut x, &tele()).unwrap();
+
+        // matvec over the stamped values reproduces b (the stamped
+        // matrix must survive the factorization on both backends).
+        let mut y = vec![0.0; 3];
+        sys.matvec_into(&x, &mut y);
+        for (got, want) in y.iter().zip(b) {
+            assert!((got - want).abs() < 1e-12, "{y:?}");
+        }
+
+        // resolve through the stored factors replays the solution
+        // bitwise: identical factors, identical triangular solves.
+        let mut again = Vec::new();
+        sys.resolve_into(&b, &mut again);
+        assert_eq!(x, again);
+
+        // The transposed solve satisfies Aᵀ·w = c.
+        let c = [1.0, -2.0, 0.5];
+        let mut w = Vec::new();
+        sys.solve_transposed_into(&c, &mut w);
+        let a = [[2.0, 1.0, 0.0], [1.0, 3.0, 1.0], [0.0, 1.0, 4.0]];
+        for (k, &ck) in c.iter().enumerate() {
+            let got: f64 = (0..3).map(|r| a[r][k] * w[r]).sum();
+            assert!((got - ck).abs() < 1e-12, "col {k}: {got} vs {ck}");
+        }
+
+        // Norms of the stamped matrix, and a sane pivot growth.
+        assert!((sys.inf_norm() - 5.0).abs() < 1e-15);
+        assert!((sys.one_norm() - 5.0).abs() < 1e-15);
+        let growth = sys.pivot_growth();
+        assert!(growth.is_finite() && growth > 0.0, "growth {growth}");
+    }
+
+    #[test]
+    fn dense_health_primitives() {
+        let mut d = DenseLu::with_dim(3);
+        for (r, c, v) in health_entries() {
+            d.add(r, c, v);
+        }
+        check_health_primitives(&mut d);
+    }
+
+    #[test]
+    fn sparse_health_primitives() {
+        for &ordering in &[FillOrdering::MinDegree, FillOrdering::Natural] {
+            let mut s = SparseLu::with_dim(3).with_ordering(ordering);
+            for (r, c, v) in health_entries() {
+                s.add(r, c, v);
+            }
+            check_health_primitives(&mut s);
+        }
+    }
+
+    #[test]
+    fn unfactored_backends_report_neutral_health() {
+        let mut d = DenseLu::with_dim(2);
+        d.add(0, 0, 1.0);
+        let mut s = SparseLu::with_dim(2);
+        s.add(0, 0, 1.0);
+        assert_eq!(d.pivot_growth(), 1.0);
+        assert_eq!(s.pivot_growth(), 1.0);
+        let mut out = Vec::new();
+        d.resolve_into(&[1.0, 2.0], &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+        s.solve_transposed_into(&[1.0, 2.0], &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn invalidated_symbolic_analysis_reruns_on_the_next_solve() {
+        let mut s = SparseLu::with_dim(2);
+        s.add(0, 0, 2.0);
+        s.add(1, 1, 3.0);
+        let mut x = Vec::new();
+        s.solve_into(&[2.0, 3.0], &mut x, &tele()).unwrap();
+        assert_eq!(s.symbolic_analyses(), 1);
+        s.invalidate_symbolic();
+        let info = s.solve_into(&[2.0, 3.0], &mut x, &tele()).unwrap();
+        assert!(info.symbolic);
+        assert_eq!(s.symbolic_analyses(), 2);
+        assert_eq!(x, vec![1.0, 1.0]);
     }
 }

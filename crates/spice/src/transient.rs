@@ -17,6 +17,7 @@
 //!   solution is always the more accurate half-step one.
 
 use crate::dc::OperatingPoint;
+use crate::health::HealthPolicy;
 use crate::mna::{newton_solve_in, CapMode, CapState, Layout, NewtonOptions};
 use crate::netlist::{Circuit, Element, NodeId};
 use crate::rescue::{is_rescuable, rescue_solve, RescuePolicy};
@@ -301,6 +302,7 @@ pub struct TransientAnalysis<'a> {
     budget: Budget,
     telemetry: Telemetry,
     solver: Option<SolverConfig>,
+    health: HealthPolicy,
 }
 
 impl<'a> TransientAnalysis<'a> {
@@ -323,27 +325,8 @@ impl<'a> TransientAnalysis<'a> {
             budget: Budget::unlimited(),
             telemetry: Telemetry::off(),
             solver: None,
+            health: HealthPolicy::default(),
         }
-    }
-
-    /// Creates a fixed-step transient analysis with the mandatory
-    /// timestep and stop time.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use TransientAnalysis::over(circuit, t_stop).with_fixed_step(dt)"
-    )]
-    pub fn new(circuit: &'a Circuit, dt: Second, t_stop: Second) -> Self {
-        TransientAnalysis::over(circuit, t_stop).with_fixed_step(dt)
-    }
-
-    /// Creates an adaptive transient analysis with LTE-controlled step
-    /// sizing (defaults from [`AdaptiveOptions::for_duration`]).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use TransientAnalysis::over(circuit, t_stop) — adaptive is the default"
-    )]
-    pub fn adaptive(circuit: &'a Circuit, t_stop: Second) -> Self {
-        TransientAnalysis::over(circuit, t_stop)
     }
 
     /// Sets the simulation temperature.
@@ -390,6 +373,14 @@ impl<'a> TransientAnalysis<'a> {
     /// fails fast instead).
     pub fn with_rescue(mut self, policy: RescuePolicy) -> Self {
         self.rescue = policy;
+        self
+    }
+
+    /// Overrides the numerical-health policy (see [`HealthPolicy`]):
+    /// per-step residual certification, bounded iterative refinement,
+    /// and the solver degradation ladder. The default policy is on.
+    pub fn with_health(mut self, health: HealthPolicy) -> Self {
+        self.health = health;
         self
     }
 
@@ -465,6 +456,7 @@ impl<'a> TransientAnalysis<'a> {
                 .with_options(self.options)
                 .with_budget(self.budget.clone())
                 .with_recorder(self.telemetry.clone())
+                .with_health(self.health)
                 .solve_in(ws)?,
         };
         let mut cap_states: HashMap<usize, CapState> = HashMap::new();
@@ -569,6 +561,7 @@ impl<'a> TransientAnalysis<'a> {
                 &self.options,
                 &self.budget,
                 &self.telemetry,
+                &self.health,
                 ws,
             )?;
             self.telemetry.emit(|| Event::StepAccepted {
@@ -664,6 +657,7 @@ impl<'a> TransientAnalysis<'a> {
                 &self.options,
                 &self.budget,
                 &self.telemetry,
+                &self.health,
                 trapezoidal,
                 t,
                 h,
@@ -742,6 +736,7 @@ impl<'a> TransientAnalysis<'a> {
                             &self.rescue,
                             &self.budget,
                             &self.telemetry,
+                            &self.health,
                             ws,
                             err,
                         )?;
@@ -798,6 +793,7 @@ fn attempt_step(
     options: &NewtonOptions,
     budget: &Budget,
     tele: &Telemetry,
+    health: &HealthPolicy,
     trapezoidal: bool,
     t: f64,
     h: f64,
@@ -825,6 +821,7 @@ fn attempt_step(
         options,
         budget,
         tele,
+        health,
         ws,
     ) {
         return if is_rescuable(&e) {
@@ -855,6 +852,7 @@ fn attempt_step(
             options,
             budget,
             tele,
+            health,
             ws,
         ) {
             return if is_rescuable(&e) {
@@ -1039,30 +1037,6 @@ mod tests {
         assert_eq!(report.accepted, res.len() - 1);
         assert_eq!(report.rejected, 0);
         assert_eq!(report.rescued, 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_build_equivalent_analyses() {
-        let ckt = rc_circuit();
-        let out = ckt.find_node("out").unwrap();
-        // `new` shim ≡ `over(..).with_fixed_step(..)`.
-        let old = TransientAnalysis::new(&ckt, Second(5e-12), Second(5e-9))
-            .run()
-            .unwrap();
-        let new = TransientAnalysis::over(&ckt, Second(5e-9))
-            .with_fixed_step(Second(5e-12))
-            .run()
-            .unwrap();
-        assert_eq!(old.len(), new.len());
-        assert_eq!(old.final_voltage(out), new.final_voltage(out));
-        // `adaptive` shim ≡ plain `over`.
-        let old = TransientAnalysis::adaptive(&ckt, Second(5e-9))
-            .run()
-            .unwrap();
-        let new = TransientAnalysis::over(&ckt, Second(5e-9)).run().unwrap();
-        assert_eq!(old.len(), new.len());
-        assert_eq!(old.final_voltage(out), new.final_voltage(out));
     }
 
     #[test]

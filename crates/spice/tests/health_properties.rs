@@ -1,0 +1,162 @@
+//! Property-based tests of the numerical-health layer and checkpoint
+//! durability: invariants that must hold for *any* system and *any*
+//! corruption, not just hand-picked examples.
+
+use ferrocim_spice::chaos::{corrupt_checkpoint, FileFault};
+use ferrocim_spice::{
+    certify_solution, Budget, DenseLu, HealthPolicy, LinearSystem, McError, MonteCarlo, SparseLu,
+    Telemetry,
+};
+use proptest::prelude::*;
+use rand::Rng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SCRATCH_ID: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "ferrocim-health-prop-{tag}-{}-{}.json",
+        std::process::id(),
+        SCRATCH_ID.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Stamps a strictly diagonally dominant `n`×`n` system from the
+/// proptest-supplied off-diagonal pool: well-conditioned by
+/// construction, so certification must never need refinement.
+fn stamp_dominant(system: &mut dyn LinearSystem, n: usize, off: &[f64], boost: f64) {
+    system.clear();
+    let mut k = 0usize;
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let v = off[k % off.len()];
+            k += 1;
+            if v != 0.0 {
+                system.add(i, j, v);
+                row_sum += v.abs();
+            }
+        }
+        system.add(i, i, row_sum + boost);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single truncation or garbage byte in a checkpoint file is
+    /// answered with `McError::CorruptCheckpoint` — never an I/O error,
+    /// never a silently-resumed sweep — and deleting the damaged file
+    /// and rerunning reproduces the uninterrupted result bit for bit.
+    #[test]
+    fn checkpoint_corruption_is_typed_and_repair_is_bitwise(
+        runs in 2usize..6,
+        seed in any::<u64>(),
+        every in 1usize..4,
+        truncate in any::<bool>(),
+        pos in any::<u64>(),
+        byte in any::<u8>(),
+    ) {
+        let mc = MonteCarlo::new(runs, seed).sequential();
+        let sample = |i: usize, rng: &mut rand::rngs::StdRng| {
+            rng.random::<f64>() * (i as f64 + 1.0)
+        };
+        let clean: Vec<f64> = mc.run(sample);
+
+        let path = scratch_path("ckpt");
+        mc.run_resumable(&path, every, &Budget::unlimited(), sample)
+            .expect("uninjected sweep");
+        let len = std::fs::metadata(&path).expect("checkpoint exists").len() as usize;
+        let at = (pos % len as u64) as usize;
+        let fault = if truncate {
+            FileFault::Truncate { keep: at }
+        } else {
+            FileFault::GarbageByte { at, byte }
+        };
+        corrupt_checkpoint(&path, fault).expect("inject fault");
+
+        let err = mc
+            .run_resumable(&path, every, &Budget::unlimited(), sample)
+            .expect_err("corruption must not resume");
+        prop_assert!(
+            matches!(err, McError::CorruptCheckpoint { .. }),
+            "fault {fault:?} at len {len}: got {err:?}"
+        );
+
+        // Repair: drop the damaged checkpoint and rerun from scratch.
+        std::fs::remove_file(&path).expect("repair");
+        let repaired = mc
+            .run_resumable(&path, every, &Budget::unlimited(), sample)
+            .expect("repaired sweep");
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(
+            repaired.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            clean.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// Refinement parity: on a well-conditioned system the certified
+    /// solve is the *same* solve — certification must report zero
+    /// refinement passes and leave the solution bitwise untouched, on
+    /// both solver backends.
+    #[test]
+    fn certification_is_bitwise_transparent_when_healthy(
+        n in 2usize..10,
+        off in prop::collection::vec(-0.5f64..0.5, 4..40),
+        boost in 1.0f64..4.0,
+        rhs in prop::collection::vec(-10.0f64..10.0, 10),
+    ) {
+        let tele = Telemetry::off();
+        let policy = HealthPolicy::default();
+        let b: Vec<f64> = (0..n).map(|i| rhs[i % rhs.len()]).collect();
+
+        for dense in [true, false] {
+            let mut d;
+            let mut s;
+            let system: &mut dyn LinearSystem = if dense {
+                d = DenseLu::with_dim(n);
+                &mut d
+            } else {
+                s = SparseLu::with_dim(n);
+                &mut s
+            };
+            stamp_dominant(system, n, &off, boost);
+
+            let mut plain = Vec::new();
+            system.solve_into(&b, &mut plain, &tele).expect("plain solve");
+
+            // Re-stamp and solve again with certification on top.
+            stamp_dominant(system, n, &off, boost);
+            let mut certified = Vec::new();
+            system
+                .solve_into(&b, &mut certified, &tele)
+                .expect("certified solve");
+            let quality = certify_solution(system, &b, &mut certified, &policy)
+                .expect("well-conditioned system must certify");
+
+            prop_assert_eq!(
+                quality.refinement_passes, 0,
+                "backend {:?}: spurious refinement", system.backend()
+            );
+            prop_assert!(
+                quality.residual <= policy.residual_tol,
+                "backend {:?}: residual {} over tolerance",
+                system.backend(),
+                quality.residual
+            );
+            prop_assert_eq!(
+                certified.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                plain.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "backend {:?}: certification perturbed an acceptable solution",
+                system.backend()
+            );
+        }
+    }
+}

@@ -131,6 +131,11 @@ pub struct Counts {
     /// topology the sparse backend reports exactly one of these no
     /// matter how many numeric solves follow.
     pub solver_symbolic: u64,
+    /// Certified solves that needed iterative refinement
+    /// ([`Event::SolveRefined`]).
+    pub solves_refined: u64,
+    /// Solver degradation-ladder escalations ([`Event::SolveDegraded`]).
+    pub solves_degraded: u64,
     /// Transient steps accepted ([`Event::StepAccepted`]).
     pub steps_accepted: u64,
     /// Transient steps rejected ([`Event::StepRejected`]).
@@ -177,6 +182,8 @@ pub struct Aggregator {
     newton_converged: AtomicU64,
     solver_solves: AtomicU64,
     solver_symbolic: AtomicU64,
+    solves_refined: AtomicU64,
+    solves_degraded: AtomicU64,
     steps_accepted: AtomicU64,
     steps_rejected: AtomicU64,
     rescue_attempts: AtomicU64,
@@ -211,6 +218,8 @@ impl Aggregator {
             newton_converged: AtomicU64::new(0),
             solver_solves: AtomicU64::new(0),
             solver_symbolic: AtomicU64::new(0),
+            solves_refined: AtomicU64::new(0),
+            solves_degraded: AtomicU64::new(0),
             steps_accepted: AtomicU64::new(0),
             steps_rejected: AtomicU64::new(0),
             rescue_attempts: AtomicU64::new(0),
@@ -240,6 +249,8 @@ impl Aggregator {
             newton_converged: load(&self.newton_converged),
             solver_solves: load(&self.solver_solves),
             solver_symbolic: load(&self.solver_symbolic),
+            solves_refined: load(&self.solves_refined),
+            solves_degraded: load(&self.solves_degraded),
             steps_accepted: load(&self.steps_accepted),
             steps_rejected: load(&self.steps_rejected),
             rescue_attempts: load(&self.rescue_attempts),
@@ -279,6 +290,8 @@ impl Aggregator {
         add(&self.newton_converged, &other.newton_converged);
         add(&self.solver_solves, &other.solver_solves);
         add(&self.solver_symbolic, &other.solver_symbolic);
+        add(&self.solves_refined, &other.solves_refined);
+        add(&self.solves_degraded, &other.solves_degraded);
         add(&self.steps_accepted, &other.steps_accepted);
         add(&self.steps_rejected, &other.steps_rejected);
         add(&self.rescue_attempts, &other.rescue_attempts);
@@ -333,6 +346,16 @@ impl Aggregator {
             "ferrocim_solver_symbolic_total",
             "Solves that ran a fresh symbolic analysis.",
             counts.solver_symbolic,
+        );
+        counter(
+            "ferrocim_solves_refined_total",
+            "Certified solves that needed iterative refinement.",
+            counts.solves_refined,
+        );
+        counter(
+            "ferrocim_solves_degraded_total",
+            "Solver degradation-ladder escalations.",
+            counts.solves_degraded,
         );
         counter(
             "ferrocim_steps_accepted_total",
@@ -448,6 +471,12 @@ impl Recorder for Aggregator {
                     self.solver_symbolic.fetch_add(1, Ordering::Relaxed);
                 }
             }
+            Event::SolveRefined { .. } => {
+                self.solves_refined.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::SolveDegraded { .. } => {
+                self.solves_degraded.fetch_add(1, Ordering::Relaxed);
+            }
             Event::StepAccepted { .. } => {
                 self.steps_accepted.fetch_add(1, Ordering::Relaxed);
             }
@@ -561,6 +590,14 @@ mod tests {
             backend: crate::SolverBackend::Sparse,
             symbolic: false,
         });
+        agg.record(&Event::SolveRefined {
+            passes: 1,
+            residual: 1e-12,
+        });
+        agg.record(&Event::SolveDegraded {
+            stage: crate::DegradeStageKind::FreshSymbolic,
+            residual: 1e-3,
+        });
         agg.record(&Event::StepAccepted { time: 0.0, dt: 1.0 });
         agg.record(&Event::StepRejected { time: 0.0, dt: 1.0 });
         agg.record(&Event::RescueAttempt {
@@ -608,6 +645,8 @@ mod tests {
         assert_eq!(c.newton_converged, 1);
         assert_eq!(c.solver_solves, 2);
         assert_eq!(c.solver_symbolic, 1);
+        assert_eq!(c.solves_refined, 1);
+        assert_eq!(c.solves_degraded, 1);
         assert_eq!(c.steps_accepted, 1);
         assert_eq!(c.steps_rejected, 1);
         assert_eq!(c.rescue_attempts, 2);
@@ -647,6 +686,8 @@ mod tests {
         let text = agg.render_prometheus();
         assert!(text.contains("# TYPE ferrocim_steps_accepted_total counter"));
         assert!(text.contains("ferrocim_steps_accepted_total 1"));
+        assert!(text.contains("# TYPE ferrocim_solves_refined_total counter"));
+        assert!(text.contains("# TYPE ferrocim_solves_degraded_total counter"));
         assert!(text.contains("# HELP ferrocim_newton_iterations_per_solve "));
         assert!(text.contains("# TYPE ferrocim_newton_iterations_per_solve histogram"));
         assert!(text.contains("ferrocim_newton_iterations_per_solve_bucket{le=\"+Inf\"} 1"));

@@ -46,6 +46,23 @@ pub enum SolverBackend {
     Sparse,
 }
 
+/// Which rung of the solver degradation ladder a
+/// [`Event::SolveDegraded`] escalation landed on.
+///
+/// Mirrors the ladder in `ferrocim_spice`'s workspace without the
+/// solver internals, so the event stays `Copy` and allocation-free on
+/// the hot path (the same convention as [`RungKind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradeStageKind {
+    /// The sparse backend discarded its symbolic analysis and re-ran
+    /// the fused symbolic + numeric factorization.
+    FreshSymbolic,
+    /// The sparse backend was rebuilt with the alternate fill ordering.
+    AlternateOrdering,
+    /// The system fell back to the dense LU backend.
+    DenseFallback,
+}
+
 /// One observation from an instrumented hot loop.
 ///
 /// Events are deliberately flat and (except for [`Event::SpanBegin`] and
@@ -88,6 +105,22 @@ pub enum Event {
         backend: SolverBackend,
         /// Whether a symbolic analysis ran as part of this solve.
         symbolic: bool,
+    },
+    /// A certified solve needed iterative refinement to reach the
+    /// residual tolerance (see `ferrocim_spice`'s `HealthPolicy`).
+    SolveRefined {
+        /// Refinement passes applied.
+        passes: u64,
+        /// Relative backward error after the final pass.
+        residual: f64,
+    },
+    /// A certified solve failed refinement and escalated one rung down
+    /// the solver degradation ladder.
+    SolveDegraded {
+        /// The ladder stage the solve escalated to.
+        stage: DegradeStageKind,
+        /// The relative backward error that triggered the escalation.
+        residual: f64,
     },
     /// An adaptive (or fixed-grid) transient step was accepted.
     StepAccepted {
@@ -209,6 +242,14 @@ mod tests {
             Event::SolverSolved {
                 backend: SolverBackend::Dense,
                 symbolic: false,
+            },
+            Event::SolveRefined {
+                passes: 2,
+                residual: 3.5e-12,
+            },
+            Event::SolveDegraded {
+                stage: DegradeStageKind::DenseFallback,
+                residual: 1.2e-3,
             },
             Event::StepAccepted {
                 time: 1e-9,

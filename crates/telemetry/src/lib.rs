@@ -59,6 +59,6 @@ mod recorder;
 mod sink;
 
 pub use aggregate::{Aggregator, Counts, Histogram};
-pub use event::{Event, ResourceKind, RungKind, SolverBackend, TRACE_FORMAT};
+pub use event::{DegradeStageKind, Event, ResourceKind, RungKind, SolverBackend, TRACE_FORMAT};
 pub use recorder::{DetailLevel, NoopRecorder, Recorder, Span, SpanId, Tee, Telemetry};
 pub use sink::{read_trace, JsonlSink, TraceError};

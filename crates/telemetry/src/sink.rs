@@ -72,13 +72,15 @@ impl JsonlSink {
         self.state.lock().map(|s| s.events).unwrap_or(0)
     }
 
-    /// Flushes the buffer and atomically renames the temporary file
-    /// onto the final path. Idempotent: a second call is a no-op
-    /// returning the path.
+    /// Flushes the buffer, fsyncs the temporary file, and atomically
+    /// renames it onto the final path (fsyncing the parent directory so
+    /// the rename itself is durable). Idempotent: a second call is a
+    /// no-op returning the path.
     ///
     /// # Errors
     ///
-    /// Returns the first latched write error, or flush/rename failures.
+    /// Returns the first latched write error, or flush/sync/rename
+    /// failures.
     pub fn finish(&self) -> io::Result<PathBuf> {
         let mut state = self
             .state
@@ -89,8 +91,12 @@ impl JsonlSink {
         }
         if let Some(mut writer) = state.writer.take() {
             writer.flush()?;
+            writer.get_ref().sync_all()?;
             drop(writer);
             std::fs::rename(&self.tmp, &self.path)?;
+            if let Some(parent) = self.path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::File::open(parent).and_then(|dir| dir.sync_all())?;
+            }
         }
         Ok(self.path.clone())
     }

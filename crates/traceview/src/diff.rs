@@ -63,6 +63,13 @@ pub fn extract_metrics(events: &[Event]) -> Vec<(&'static str, u64)> {
         // to catch.
         ("solver_solves", c.solver_solves),
         ("solver_symbolic", c.solver_symbolic),
+        // Numerical-health work: refinement passes mean solves came back
+        // over the residual tolerance, degradations mean a whole solver
+        // configuration was abandoned mid-run. A rise in either says the
+        // change made systems harder to solve, even if wall-clock and
+        // Newton counts look flat.
+        ("solves_refined", c.solves_refined),
+        ("solves_degraded", c.solves_degraded),
     ]
 }
 

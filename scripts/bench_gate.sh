@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Perf-regression gate (DESIGN.md §13): run the array sweep
 # (probe_array), the adaptive-transient comparison (probe_adaptive),
-# the batched-MAC fault sweep (probe_faults), and the sparse-vs-dense
-# solver sweep (probe_sparse) with --trace, then
+# the batched-MAC fault sweep (probe_faults), the sparse-vs-dense
+# solver sweep (probe_sparse), and the numerical-health cost/teeth
+# probe (probe_health) with --trace, then
 # `trace diff` each trace against its checked-in baseline under
 # baselines/. Only deterministic counters (Newton iterations, step
 # accept/reject, MAC job counts…) are gated — wall-clock never is — so
@@ -37,7 +38,7 @@ cargo build --release --offline -q -p ferrocim-bench -p ferrocim-traceview
 TRACE=target/release/trace
 mkdir -p "$OUT" baselines
 
-BENCHES=(probe_array probe_adaptive probe_faults probe_sparse)
+BENCHES=(probe_array probe_adaptive probe_faults probe_sparse probe_health)
 status=0
 for bench in "${BENCHES[@]}"; do
   echo "==> $bench"
