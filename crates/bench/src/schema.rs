@@ -399,6 +399,77 @@ pub struct HealthProbe {
     pub guardrail: GuardrailDemo,
 }
 
+/// One load scenario of `results/probe_serve.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeScenario {
+    /// Scenario label (`overload`, `deadline`, `chaos`, `drain`).
+    pub name: String,
+    /// Requests issued by the probe's client threads.
+    pub requests: usize,
+    /// `200` responses answered by a live solve.
+    pub ok_live: usize,
+    /// `200` responses answered by the degraded fallback curve.
+    pub ok_degraded: usize,
+    /// Typed `429 Overloaded` sheds.
+    pub shed: usize,
+    /// Typed `504 Deadline Exceeded` responses.
+    pub deadline_exceeded: usize,
+    /// Transport-level failures (connection refused/reset before any
+    /// response) — only legal in the drain scenario, after the
+    /// listener has closed.
+    pub refused: usize,
+    /// Responses outside the typed taxonomy (must be zero).
+    pub untyped: usize,
+    /// Median client-observed latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile client-observed latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// The `serve_*` counters the probe's aggregator accumulated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeCounters {
+    /// Requests admitted past the bounded queue.
+    pub admitted: u64,
+    /// Requests shed (queue full or tenant quota).
+    pub shed: u64,
+    /// Backoff retries spent from the retry budget.
+    pub retries: u64,
+    /// Responses answered by the degraded fallback.
+    pub degraded: u64,
+    /// Circuit-breaker trip events.
+    pub breaker_open: u64,
+}
+
+/// The gate bounds checked into `baselines/probe_serve.json`. Unlike
+/// the trace-diff baselines, these are hand-set *limits*, not recorded
+/// counter values: shed counts and retry counts are load-dependent, so
+/// the gate pins the robustness contract (typed responses, bounded
+/// tail latency, bounded shed rate) rather than exact numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeGateBounds {
+    /// Maximum tolerated shed fraction in the overload scenario.
+    pub max_shed_rate: f64,
+    /// Maximum tolerated client-observed p99 in the overload scenario,
+    /// milliseconds.
+    pub max_p99_ms: f64,
+    /// Minimum `200` responses the overload scenario must complete.
+    pub min_ok: u64,
+}
+
+/// Root of `results/probe_serve.json` (single object).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeProbe {
+    /// Per-scenario response censuses.
+    pub scenarios: Vec<ServeScenario>,
+    /// Aggregated `serve_*` counters across all scenarios.
+    pub counters: ServeCounters,
+    /// The gate bounds this run was checked against.
+    pub gate: ServeGateBounds,
+    /// Whether every gate bound held.
+    pub gate_passed: bool,
+}
+
 /// Root of `results/probe_telemetry.json` (single object).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TelemetryProbe {

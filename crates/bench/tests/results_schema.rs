@@ -6,7 +6,7 @@
 use ferrocim_bench::schema::{
     AblationFeedbackRow, AdaptiveProbe, BaselineOverlap, ComparisonRow, HealthProbe, IvCurve,
     LevelRange, ProcessVariationPoint, ProposedArraySummary, ProposedCellRow, RegionResult,
-    SparseProbe, TelemetryProbe, VggLayerRow, WriteVerifyRow,
+    ServeProbe, SparseProbe, TelemetryProbe, VggLayerRow, WriteVerifyRow,
 };
 use std::path::{Path, PathBuf};
 
@@ -33,6 +33,7 @@ fn validate(name: &str, text: &str) -> Option<Result<(), serde_json::Error>> {
         "fig9_process_variation" => check::<Vec<ProcessVariationPoint>>(text),
         "probe_adaptive" => check::<AdaptiveProbe>(text),
         "probe_health" => check::<HealthProbe>(text),
+        "probe_serve" => check::<ServeProbe>(text),
         "probe_sparse" => check::<SparseProbe>(text),
         "probe_telemetry" => check::<TelemetryProbe>(text),
         "table1_vgg_structure" => check::<Vec<VggLayerRow>>(text),
@@ -74,7 +75,7 @@ fn every_results_artifact_matches_its_schema() {
         failures.join("\n  ")
     );
     assert!(
-        validated >= 13,
-        "expected at least the 13 known artifacts, validated {validated}"
+        validated >= 14,
+        "expected at least the 14 known artifacts, validated {validated}"
     );
 }

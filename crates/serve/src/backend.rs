@@ -1,0 +1,188 @@
+//! The solver backend behind the service, and its degraded fallback.
+//!
+//! [`MacBackend`] is the seam the server is written against: the real
+//! [`CimBackend`] runs live `ferrocim-cim` transients, while tests and
+//! the `probe_serve` bench wrap it in [`crate::ChaosBackend`] to inject
+//! faults. The fallback path answers from the transfer curve measured
+//! at startup (the `cim.transfer_measure` calibration), which costs no
+//! solver work at all — that is what makes it safe to use while the
+//! circuit breaker is open.
+
+use ferrocim_cim::cells::TwoTransistorOneFefet;
+use ferrocim_cim::transfer::{Adc, TransferConfig, TransferModel};
+use ferrocim_cim::{ArrayConfig, CimArray, CimError, MacPath, MacRequest};
+use ferrocim_spice::Budget;
+use ferrocim_telemetry::Telemetry;
+use ferrocim_units::{Celsius, Volt};
+
+/// One MAC solve as the server sees it: operands, operating
+/// temperature, and the per-request budget (deadline + cancellation)
+/// already attached.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// Word-line inputs.
+    pub inputs: Vec<bool>,
+    /// Stored weights.
+    pub weights: Vec<bool>,
+    /// Operating temperature.
+    pub temp: Celsius,
+    /// Deadline + cancellation budget for this request.
+    pub budget: Budget,
+    /// Evaluation path (analytic by default for serving latency).
+    pub path: MacPath,
+}
+
+impl SolveRequest {
+    /// The digital ground truth `Σ wᵢ·xᵢ`.
+    pub fn true_mac(&self) -> usize {
+        self.inputs
+            .iter()
+            .zip(&self.weights)
+            .filter(|&(&x, &w)| x && w)
+            .count()
+    }
+}
+
+/// A completed MAC answer, live or degraded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The accumulated analog output (live) or its calibrated estimate
+    /// (degraded).
+    pub v_acc: Volt,
+    /// The quantized readout count.
+    pub readout: usize,
+    /// The digital ground truth `Σ wᵢ·xᵢ`.
+    pub expected: usize,
+    /// Operation energy in joules (0 when degraded: no solve ran).
+    pub energy_j: f64,
+    /// MAC latency in seconds (0 when degraded).
+    pub latency_s: f64,
+    /// Whether this answer came from the fallback curve.
+    pub degraded: bool,
+}
+
+/// The solver seam the server drives.
+pub trait MacBackend: Send + Sync {
+    /// Runs one live MAC under the request's budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures; the server classifies them into
+    /// retryable, deadline, and invalid-input cases.
+    fn solve(&self, request: &SolveRequest) -> Result<Solution, CimError>;
+
+    /// Answers from the calibrated transfer curve without touching the
+    /// solver. Infallible by design — degradation must not be able to
+    /// fail.
+    fn fallback(&self, request: &SolveRequest) -> Solution;
+
+    /// Row width the backend accepts (for input validation).
+    fn cells_per_row(&self) -> usize;
+}
+
+impl<B: MacBackend + ?Sized> MacBackend for std::sync::Arc<B> {
+    fn solve(&self, request: &SolveRequest) -> Result<Solution, CimError> {
+        (**self).solve(request)
+    }
+
+    fn fallback(&self, request: &SolveRequest) -> Solution {
+        (**self).fallback(request)
+    }
+
+    fn cells_per_row(&self) -> usize {
+        (**self).cells_per_row()
+    }
+}
+
+/// The live `ferrocim-cim` backend: the paper's 2T1F array plus a
+/// startup-calibrated ADC and transfer curve.
+pub struct CimBackend {
+    array: CimArray<TwoTransistorOneFefet>,
+    adc: Adc,
+    transfer: TransferModel,
+    levels: Vec<Volt>,
+}
+
+impl CimBackend {
+    /// Builds the paper-default array and measures the fallback
+    /// transfer curve (`samples_per_level` Monte-Carlo samples per MAC
+    /// level — small values keep startup fast; 8 is plenty for a
+    /// fallback estimate). Telemetry flows into the server's
+    /// aggregator, so calibration work is visible in `/metrics`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates array-construction and calibration solve failures.
+    pub fn new(telemetry: Telemetry, samples_per_level: usize) -> Result<CimBackend, CimError> {
+        let array = CimArray::new(
+            TwoTransistorOneFefet::paper_default(),
+            ArrayConfig::paper_default(),
+        )?
+        .with_recorder(telemetry);
+        let adc = Adc::calibrate(&array, Celsius::ROOM)?;
+        let levels = array.level_voltages(Celsius::ROOM)?;
+        let transfer = TransferModel::measure(
+            &array,
+            &TransferConfig {
+                samples_per_level: samples_per_level.max(1),
+                ..TransferConfig::paper_default(Celsius::ROOM)
+            },
+        )?;
+        Ok(CimBackend {
+            array,
+            adc,
+            transfer,
+            levels,
+        })
+    }
+
+    /// The calibrated transfer model (the degradation curve).
+    pub fn transfer(&self) -> &TransferModel {
+        &self.transfer
+    }
+}
+
+impl MacBackend for CimBackend {
+    fn solve(&self, request: &SolveRequest) -> Result<Solution, CimError> {
+        // Cloning the array shares nothing mutable (it is a value-type
+        // netlist description); attaching the request budget threads
+        // the deadline and cancel token into every transient step.
+        let array = self.array.clone().with_budget(request.budget.clone());
+        let output = array.run(
+            &MacRequest::new(&request.inputs)
+                .weights(&request.weights)
+                .at(request.temp)
+                .path(request.path),
+        )?;
+        Ok(Solution {
+            v_acc: output.v_acc,
+            readout: self.adc.quantize(output.v_acc),
+            expected: output.expected,
+            energy_j: output.energy.value(),
+            latency_s: output.latency.value(),
+            degraded: false,
+        })
+    }
+
+    fn fallback(&self, request: &SolveRequest) -> Solution {
+        let k = request.true_mac().min(self.levels.len().saturating_sub(1));
+        // The transfer curve's expected readout folds in the measured
+        // temperature-and-variation error statistics; the level table
+        // turns it back into a voltage estimate.
+        let expected_read = self.transfer.expected(k);
+        let readout =
+            (expected_read.round().max(0.0) as usize).min(self.levels.len().saturating_sub(1));
+        Solution {
+            v_acc: self.levels[readout],
+            readout,
+            expected: request.true_mac(),
+            energy_j: 0.0,
+            latency_s: 0.0,
+            degraded: true,
+        }
+    }
+
+    fn cells_per_row(&self) -> usize {
+        self.array.config().cells_per_row
+    }
+}

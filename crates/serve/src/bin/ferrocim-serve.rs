@@ -1,0 +1,162 @@
+//! `ferrocim-serve` — serve CIM MAC simulations over HTTP.
+//!
+//! ```text
+//! ferrocim-serve [--addr 127.0.0.1:7878] [--workers N] [--queue N]
+//!                [--tenant-quota N] [--calibration-samples N]
+//!                [--self-check]
+//! ```
+//!
+//! `--self-check` boots the full service on an ephemeral port, drives
+//! one MAC request plus `/healthz` and `/metrics` through a real TCP
+//! client, shuts down cleanly, and exits 0 — the CI smoke test, with no
+//! curl dependency.
+
+use ferrocim_serve::{http_request, CimBackend, ServeConfig, Server};
+use ferrocim_telemetry::{Aggregator, Telemetry};
+use serde_json::Value;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "usage: ferrocim-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--tenant-quota N] [--calibration-samples N] [--self-check]";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_count(value: Option<&String>, flag: &str) -> Result<usize, String> {
+    value
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse::<usize>()
+        .map_err(|_| format!("{flag} needs a positive integer"))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut self_check = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => {
+                config.addr = iter.next().ok_or("--addr needs a value")?.clone();
+            }
+            "--workers" => config.workers = parse_count(iter.next(), "--workers")?.max(1),
+            "--queue" => config.queue_capacity = parse_count(iter.next(), "--queue")?.max(1),
+            "--tenant-quota" => {
+                config.tenant_quota = parse_count(iter.next(), "--tenant-quota")?.max(1);
+            }
+            "--calibration-samples" => {
+                config.calibration_samples =
+                    parse_count(iter.next(), "--calibration-samples")?.max(1);
+            }
+            "--self-check" => self_check = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unexpected argument {other:?}\n{USAGE}")),
+        }
+    }
+    if self_check {
+        config.addr = "127.0.0.1:0".to_string();
+    }
+
+    let aggregator = Arc::new(Aggregator::new());
+    let telemetry = Telemetry::new(aggregator.clone());
+    eprintln!(
+        "calibrating fallback transfer curve ({} samples/level)...",
+        config.calibration_samples
+    );
+    let backend = CimBackend::new(telemetry.clone(), config.calibration_samples)
+        .map_err(|e| format!("backend calibration failed: {e}"))?;
+    let server = Server::start(config, Arc::new(backend), telemetry, aggregator)
+        .map_err(|e| format!("bind failed: {e}"))?;
+    eprintln!("ferrocim-serve listening on {}", server.addr());
+
+    if self_check {
+        return match self_check_run(&server) {
+            Ok(()) => {
+                server.shutdown();
+                eprintln!("self-check passed");
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(message) => {
+                server.shutdown();
+                Err(format!("self-check failed: {message}"))
+            }
+        };
+    }
+
+    // Foreground mode: serve until the process is killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn self_check_run(server: &Server) -> Result<(), String> {
+    let addr = server.addr();
+    let timeout = Duration::from_secs(10);
+    let mac = http_request(
+        addr,
+        "POST",
+        "/v1/mac",
+        br#"{"tenant":"smoke","inputs":[true,true,false,false,true,false,false,false],
+            "weights":[true,true,true,false,false,false,false,false],"timeout_ms":5000}"#,
+        timeout,
+    )
+    .map_err(|e| format!("MAC request: {e}"))?;
+    if mac.status != 200 {
+        return Err(format!(
+            "MAC returned {} with body {}",
+            mac.status,
+            String::from_utf8_lossy(&mac.body)
+        ));
+    }
+    let body = mac.json().ok_or("MAC response is not JSON")?;
+    if body.get("ok") != Some(&Value::Bool(true)) {
+        return Err(format!("MAC response not ok: {body:?}"));
+    }
+    match body.get("expected") {
+        Some(Value::Number(n)) if *n == 2.0 => {}
+        other => return Err(format!("expected MAC of 2, got {other:?}")),
+    }
+
+    let health =
+        http_request(addr, "GET", "/healthz", b"", timeout).map_err(|e| format!("healthz: {e}"))?;
+    if health.status != 200 {
+        return Err(format!("healthz returned {}", health.status));
+    }
+    let health_body = health.json().ok_or("healthz is not JSON")?;
+    match health_body.get("status") {
+        Some(Value::String(s)) if s == "ok" => {}
+        other => return Err(format!("healthz status not ok: {other:?}")),
+    }
+
+    let metrics =
+        http_request(addr, "GET", "/metrics", b"", timeout).map_err(|e| format!("metrics: {e}"))?;
+    if metrics.status != 200 {
+        return Err(format!("metrics returned {}", metrics.status));
+    }
+    let text = String::from_utf8_lossy(&metrics.body);
+    for metric in [
+        "ferrocim_serve_admitted_total",
+        "ferrocim_serve_shed_total",
+        "ferrocim_newton_iterations_total",
+    ] {
+        if !text.contains(metric) {
+            return Err(format!("metrics exposition is missing {metric}"));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,238 @@
+//! Admission control: the bounded job queue and per-tenant quotas.
+//!
+//! Both primitives make overload decisions *immediately* instead of
+//! queueing without bound — the caller turns a rejection into a typed
+//! `429` with a `retry_after_ms` hint while the system still has the
+//! capacity to say so. Blocking happens only on the consumer side
+//! (workers waiting for jobs), never on the producer side.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Locks a mutex, recovering the data from a poisoned lock.
+///
+/// Worker panics are contained by `catch_unwind`, but a panic between
+/// lock and unlock still poisons the mutex; every structure guarded
+/// here (queue entries, tenant counts) stays internally consistent
+/// under early unlock, so recovery is safe and keeps one crashed
+/// request from wedging the whole service.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A fixed-capacity MPMC queue with a non-blocking producer side.
+///
+/// `push` never waits: the queue either accepts the job or returns it
+/// to the caller, which is the load-shedding decision point. `pop`
+/// blocks until a job arrives or the queue is closed; after `close`,
+/// remaining jobs are still drained (graceful shutdown finishes
+/// admitted work) and only then does `pop` return `None`.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct QueueInner<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` jobs (at least 1).
+    pub fn new(capacity: usize) -> Arc<BoundedQueue<T>> {
+        Arc::new(BoundedQueue {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        })
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently queued (racy by nature; for metrics and hints).
+    pub fn depth(&self) -> usize {
+        lock_recovering(&self.inner).jobs.len()
+    }
+
+    /// Attempts to enqueue without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job back when the queue is full or closed — the
+    /// caller owns the shed decision and the connection it must answer
+    /// on.
+    pub fn push(&self, job: T) -> Result<usize, T> {
+        let mut inner = lock_recovering(&self.inner);
+        if inner.closed || inner.jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        inner.jobs.push_back(job);
+        let depth = inner.jobs.len();
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until a job is available or the queue is closed *and*
+    /// drained, then returns `None`.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = lock_recovering(&self.inner);
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Closes the queue: new pushes fail, consumers drain what remains
+    /// and then observe `None`.
+    pub fn close(&self) {
+        lock_recovering(&self.inner).closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Per-tenant concurrency quotas.
+///
+/// A tenant may have at most `quota` requests in flight (queued or
+/// solving). Acquisition is RAII: dropping the [`TenantPermit`]
+/// releases the slot, so early returns and panics unwound by
+/// `catch_unwind` cannot leak quota.
+#[derive(Debug)]
+pub struct TenantGovernor {
+    counts: Mutex<Vec<(String, usize)>>,
+    quota: usize,
+}
+
+impl TenantGovernor {
+    /// A governor allowing `quota` concurrent requests per tenant (at
+    /// least 1).
+    pub fn new(quota: usize) -> Arc<TenantGovernor> {
+        Arc::new(TenantGovernor {
+            counts: Mutex::new(Vec::new()),
+            quota: quota.max(1),
+        })
+    }
+
+    /// The per-tenant quota.
+    pub fn quota(&self) -> usize {
+        self.quota
+    }
+
+    /// Attempts to claim a slot for `tenant`; `None` means the tenant
+    /// is at its quota and the request must be shed.
+    pub fn try_acquire(self: &Arc<Self>, tenant: &str) -> Option<TenantPermit> {
+        let mut counts = lock_recovering(&self.counts);
+        match counts.iter_mut().find(|(name, _)| name == tenant) {
+            Some((_, n)) if *n >= self.quota => None,
+            Some((_, n)) => {
+                *n += 1;
+                Some(TenantPermit {
+                    governor: Arc::clone(self),
+                    tenant: tenant.to_string(),
+                })
+            }
+            None => {
+                counts.push((tenant.to_string(), 1));
+                Some(TenantPermit {
+                    governor: Arc::clone(self),
+                    tenant: tenant.to_string(),
+                })
+            }
+        }
+    }
+
+    /// Requests currently in flight for `tenant`.
+    pub fn in_flight(&self, tenant: &str) -> usize {
+        lock_recovering(&self.counts)
+            .iter()
+            .find(|(name, _)| name == tenant)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    fn release(&self, tenant: &str) {
+        let mut counts = lock_recovering(&self.counts);
+        if let Some(pos) = counts.iter().position(|(name, _)| name == tenant) {
+            counts[pos].1 = counts[pos].1.saturating_sub(1);
+            if counts[pos].1 == 0 {
+                counts.swap_remove(pos);
+            }
+        }
+    }
+}
+
+/// An RAII claim on one tenant concurrency slot.
+#[derive(Debug)]
+pub struct TenantPermit {
+    governor: Arc<TenantGovernor>,
+    tenant: String,
+}
+
+impl Drop for TenantPermit {
+    fn drop(&mut self) {
+        self.governor.release(&self.tenant);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_sheds_at_capacity_and_pop_drains_after_close() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.push(1), Ok(1));
+        assert_eq!(q.push(2), Ok(2));
+        assert_eq!(q.push(3), Err(3), "third push is shed, not queued");
+        q.close();
+        assert_eq!(q.push(4), Err(4), "closed queue sheds");
+        // Admitted work still drains after close.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_a_push_arrives() {
+        let q: Arc<BoundedQueue<u32>> = BoundedQueue::new(4);
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.push(7), Ok(1));
+        assert_eq!(consumer.join().expect("join"), Some(7));
+    }
+
+    #[test]
+    fn tenant_quota_is_enforced_and_released_on_drop() {
+        let gov = TenantGovernor::new(2);
+        let a1 = gov.try_acquire("a").expect("first");
+        let _a2 = gov.try_acquire("a").expect("second");
+        assert!(gov.try_acquire("a").is_none(), "quota of 2 is exhausted");
+        // Other tenants are unaffected.
+        assert!(gov.try_acquire("b").is_some());
+        assert_eq!(gov.in_flight("a"), 2);
+        drop(a1);
+        assert_eq!(gov.in_flight("a"), 1);
+        assert!(gov.try_acquire("a").is_some(), "released slot is reusable");
+    }
+}

@@ -1,0 +1,178 @@
+//! Retry policy: exponential backoff with deterministic jitter, plus a
+//! global retry budget so retries cannot amplify an overload.
+//!
+//! Retrying is only safe when it is bounded twice over: per request
+//! (the backoff schedule never outlives the request's deadline) and
+//! globally (the [`RetryBudget`] only lets retries spend a fixed
+//! fraction of admitted traffic — when the backend is failing for
+//! everyone, most requests degrade instead of multiplying load). Both
+//! bounds are deterministic for a given seed, which is what the
+//! property tests in `tests/retry_prop.rs` pin down.
+
+use ferrocim_spice::chaos::ChaosRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Exponential backoff with proportional jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total solve attempts per request (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, milliseconds.
+    pub base_ms: u64,
+    /// Multiplier applied per further retry.
+    pub multiplier: f64,
+    /// Upper clamp on a single backoff, milliseconds.
+    pub cap_ms: u64,
+    /// Jitter as a fraction of the nominal backoff, in `[0, 1]`: each
+    /// sleep is drawn uniformly from `[nominal·(1−j), nominal]`.
+    /// Jittering *downward only* keeps the nominal value an upper
+    /// bound, so deadline math stays simple and conservative.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_ms: 10,
+            multiplier: 2.0,
+            cap_ms: 200,
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The nominal (un-jittered) backoff before retry `retry` (1-based),
+    /// clamped to `cap_ms`. This is an upper bound on the jittered
+    /// value.
+    pub fn nominal_backoff_ms(&self, retry: u32) -> u64 {
+        let scaled = self.base_ms as f64 * self.multiplier.powi(retry.saturating_sub(1) as i32);
+        (scaled.min(self.cap_ms as f64)).round() as u64
+    }
+
+    /// The jittered backoff schedule for one request, milliseconds per
+    /// retry, truncated so the *cumulative* sleep never exceeds
+    /// `deadline_ms`. Bitwise-reproducible for a given `(policy, seed,
+    /// deadline_ms)` triple — replaying a request id replays its exact
+    /// sleeps.
+    pub fn schedule(&self, seed: u64, deadline_ms: u64) -> Vec<u64> {
+        let mut rng = ChaosRng::new(seed);
+        let mut schedule = Vec::new();
+        let mut total: u64 = 0;
+        for retry in 1..self.max_attempts {
+            let nominal = self.nominal_backoff_ms(retry) as f64;
+            let jitter = self.jitter.clamp(0.0, 1.0);
+            let backoff = (nominal * (1.0 - jitter * rng.next_f64())).round() as u64;
+            if total.saturating_add(backoff) > deadline_ms {
+                break;
+            }
+            total += backoff;
+            schedule.push(backoff);
+        }
+        schedule
+    }
+}
+
+/// A token bucket bounding retries to a fraction of admitted traffic.
+///
+/// Every admission deposits `deposit_millis` milli-tokens (capped at
+/// `cap_millis`); every retry withdraws 1000. With the default 100/1000
+/// ratio, retries add at most 10% load on top of admissions no matter
+/// how hard the backend is failing — beyond that, requests skip the
+/// retry ladder and degrade immediately.
+#[derive(Debug)]
+pub struct RetryBudget {
+    millis: AtomicU64,
+    deposit_millis: u64,
+    cap_millis: u64,
+}
+
+/// One retry costs this many milli-tokens.
+const RETRY_COST: u64 = 1000;
+
+impl RetryBudget {
+    /// A budget depositing `deposit_millis` milli-tokens (1000 = one
+    /// whole retry) per admission, holding at most `cap` retries' worth.
+    pub fn new(deposit_millis: u64, cap: u64) -> RetryBudget {
+        RetryBudget {
+            millis: AtomicU64::new(cap.saturating_mul(RETRY_COST)),
+            deposit_millis,
+            cap_millis: cap.saturating_mul(RETRY_COST),
+        }
+    }
+
+    /// Credits one admission.
+    pub fn deposit(&self) {
+        let cap = self.cap_millis;
+        let deposit = self.deposit_millis;
+        // fetch_update never fails here (the closure always returns
+        // Some); clamp to the cap to keep bursts bounded.
+        let _ = self
+            .millis
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |current| {
+                Some(current.saturating_add(deposit).min(cap))
+            });
+    }
+
+    /// Attempts to withdraw one retry's worth of tokens; `false` means
+    /// the global retry allowance is exhausted and the caller must not
+    /// retry.
+    pub fn try_spend(&self) -> bool {
+        self.millis
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |current| {
+                current.checked_sub(RETRY_COST)
+            })
+            .is_ok()
+    }
+
+    /// Whole retries currently affordable.
+    pub fn available(&self) -> u64 {
+        self.millis.load(Ordering::Relaxed) / RETRY_COST
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_backoff_grows_then_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.nominal_backoff_ms(1), 10);
+        assert_eq!(p.nominal_backoff_ms(2), 20);
+        assert_eq!(p.nominal_backoff_ms(3), 40);
+        assert_eq!(p.nominal_backoff_ms(10), 200, "clamped at cap_ms");
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_deadline_bounded() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            ..RetryPolicy::default()
+        };
+        let a = p.schedule(42, 1000);
+        let b = p.schedule(42, 1000);
+        assert_eq!(a, b, "same seed, same sleeps");
+        let c = p.schedule(43, 1000);
+        assert!(!c.is_empty());
+        // A tiny deadline truncates the schedule.
+        let tight = p.schedule(42, 5);
+        assert!(tight.iter().sum::<u64>() <= 5);
+    }
+
+    #[test]
+    fn budget_limits_retries_to_the_deposit_fraction() {
+        let budget = RetryBudget::new(100, 2); // starts with 2 retries banked
+        assert!(budget.try_spend());
+        assert!(budget.try_spend());
+        assert!(!budget.try_spend(), "bank is empty");
+        // Ten admissions buy exactly one more retry at 10%.
+        for _ in 0..10 {
+            budget.deposit();
+        }
+        assert_eq!(budget.available(), 1);
+        assert!(budget.try_spend());
+        assert!(!budget.try_spend());
+    }
+}

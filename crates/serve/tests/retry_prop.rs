@@ -1,0 +1,107 @@
+//! Property tests for the retry policy (satellite to the serving PR).
+//!
+//! Two invariants keep retries from making overload worse:
+//!
+//! 1. **Deadline-bounded**: the *total* backoff a schedule can sleep
+//!    never exceeds the request deadline, for any policy and seed — a
+//!    retrying request can never outlive the budget the client gave it.
+//! 2. **Reproducible**: a schedule is a pure function of `(policy,
+//!    seed, deadline)`, bitwise — so a probe run or an incident report
+//!    can be replayed exactly from its seed.
+
+use ferrocim_serve::RetryPolicy;
+use proptest::prelude::*;
+
+fn policy(
+    max_attempts: u32,
+    base_ms: u64,
+    multiplier: f64,
+    cap_ms: u64,
+    jitter: f64,
+) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base_ms,
+        multiplier,
+        cap_ms,
+        jitter,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Total sleep across the whole schedule fits inside the deadline,
+    /// and no single backoff exceeds the policy cap.
+    #[test]
+    fn total_backoff_never_exceeds_the_deadline(
+        max_attempts in 1u32..8,
+        base_ms in 1u64..500,
+        multiplier in 1.0f64..4.0,
+        cap_ms in 1u64..2_000,
+        jitter in 0.0f64..1.0,
+        seed in 0u64..u64::MAX,
+        deadline_ms in 0u64..10_000,
+    ) {
+        let p = policy(max_attempts, base_ms, multiplier, cap_ms, jitter);
+        let schedule = p.schedule(seed, deadline_ms);
+        let total: u64 = schedule.iter().sum();
+        prop_assert!(
+            total <= deadline_ms,
+            "schedule {schedule:?} sleeps {total} ms > deadline {deadline_ms} ms"
+        );
+        for backoff in &schedule {
+            prop_assert!(
+                *backoff <= cap_ms,
+                "backoff {backoff} ms exceeds cap {cap_ms} ms (base {base_ms})"
+            );
+        }
+        prop_assert!(
+            schedule.len() < max_attempts as usize,
+            "at most max_attempts - 1 retries"
+        );
+    }
+
+    /// The jittered schedule is bitwise-reproducible per seed, and a
+    /// different seed with nonzero jitter is allowed to differ (we only
+    /// assert determinism, not divergence, since small schedules can
+    /// coincide).
+    #[test]
+    fn schedule_is_bitwise_reproducible_per_seed(
+        max_attempts in 1u32..8,
+        base_ms in 1u64..500,
+        multiplier in 1.0f64..4.0,
+        cap_ms in 1u64..2_000,
+        jitter in 0.0f64..1.0,
+        seed in 0u64..u64::MAX,
+        deadline_ms in 0u64..10_000,
+    ) {
+        let p = policy(max_attempts, base_ms, multiplier, cap_ms, jitter);
+        let first = p.schedule(seed, deadline_ms);
+        let second = p.schedule(seed, deadline_ms);
+        prop_assert_eq!(&first, &second, "same seed, same schedule");
+        // A copied policy is the same pure function.
+        let copied = p;
+        let third = copied.schedule(seed, deadline_ms);
+        prop_assert_eq!(&first, &third);
+    }
+
+    /// Zero jitter degenerates to the deterministic exponential ladder,
+    /// independent of seed.
+    #[test]
+    fn zero_jitter_ignores_the_seed(
+        max_attempts in 1u32..8,
+        base_ms in 1u64..500,
+        multiplier in 1.0f64..4.0,
+        cap_ms in 1u64..2_000,
+        seed_a in 0u64..u64::MAX,
+        seed_b in 0u64..u64::MAX,
+        deadline_ms in 0u64..10_000,
+    ) {
+        let p = policy(max_attempts, base_ms, multiplier, cap_ms, 0.0);
+        prop_assert_eq!(
+            p.schedule(seed_a, deadline_ms),
+            p.schedule(seed_b, deadline_ms)
+        );
+    }
+}

@@ -1,0 +1,511 @@
+//! End-to-end service tests over real TCP connections.
+//!
+//! Most tests use a stub backend so they exercise the *serving* layers
+//! (admission, deadlines, retries, breaker, shutdown) at millisecond
+//! speed; one test runs the real `CimBackend` end to end. Every
+//! response observed anywhere in this file must be one of the typed
+//! bodies — that is the robustness contract the probe bench also
+//! enforces under load.
+
+use ferrocim_cim::CimError;
+use ferrocim_serve::{
+    http_request, BreakerConfig, ChaosBackend, ChaosPlan, CimBackend, MacBackend, RetryPolicy,
+    ServeConfig, Server, Solution, SolveRequest,
+};
+use ferrocim_telemetry::{Aggregator, Telemetry};
+use ferrocim_units::Volt;
+use serde_json::Value;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A fast deterministic backend that honors the request budget while
+/// "solving", so deadline and cancellation propagation are testable
+/// without a real transient.
+struct StubBackend {
+    width: usize,
+    solve_delay: Duration,
+}
+
+impl StubBackend {
+    fn instant(width: usize) -> StubBackend {
+        StubBackend {
+            width,
+            solve_delay: Duration::ZERO,
+        }
+    }
+
+    fn slow(width: usize, delay: Duration) -> StubBackend {
+        StubBackend {
+            width,
+            solve_delay: delay,
+        }
+    }
+}
+
+impl MacBackend for StubBackend {
+    fn solve(&self, request: &SolveRequest) -> Result<Solution, CimError> {
+        let end = Instant::now() + self.solve_delay;
+        loop {
+            request.budget.check().map_err(CimError::Spice)?;
+            if Instant::now() >= end {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let k = request.true_mac();
+        Ok(Solution {
+            v_acc: Volt(0.05 * k as f64),
+            readout: k,
+            expected: k,
+            energy_j: 1.0e-15,
+            latency_s: 6.9e-9,
+            degraded: false,
+        })
+    }
+
+    fn fallback(&self, request: &SolveRequest) -> Solution {
+        let k = request.true_mac();
+        Solution {
+            v_acc: Volt(0.05 * k as f64),
+            readout: k,
+            expected: k,
+            energy_j: 0.0,
+            latency_s: 0.0,
+            degraded: true,
+        }
+    }
+
+    fn cells_per_row(&self) -> usize {
+        self.width
+    }
+}
+
+fn start(config: ServeConfig, backend: Arc<dyn MacBackend>) -> Server {
+    let aggregator = Arc::new(Aggregator::new());
+    let telemetry = Telemetry::new(aggregator.clone());
+    Server::start(config, backend, telemetry, aggregator).expect("bind ephemeral port")
+}
+
+fn mac_body(tenant: &str, timeout_ms: u64) -> Vec<u8> {
+    format!(
+        r#"{{"tenant":"{tenant}","inputs":[true,true,false,false],
+            "weights":[true,true,true,false],"timeout_ms":{timeout_ms}}}"#
+    )
+    .into_bytes()
+}
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Asserts a body is one of the typed response shapes and returns it.
+fn typed_json(status: u16, body: &[u8]) -> Value {
+    let text = std::str::from_utf8(body).expect("response body is UTF-8");
+    let doc: Value = serde_json::from_str(text).expect("response body is JSON");
+    match status {
+        200 => assert_eq!(doc.get("ok"), Some(&Value::Bool(true)), "200 carries ok"),
+        429 => {
+            assert_eq!(
+                doc.get("error"),
+                Some(&Value::String("overloaded".into())),
+                "429 is the typed overload body"
+            );
+            assert!(
+                matches!(doc.get("retry_after_ms"), Some(Value::Number(n)) if *n > 0.0),
+                "429 carries a positive retry_after_ms"
+            );
+        }
+        504 => assert_eq!(
+            doc.get("error"),
+            Some(&Value::String("deadline_exceeded".into()))
+        ),
+        400 => assert_eq!(doc.get("error"), Some(&Value::String("bad_request".into()))),
+        500 => assert_eq!(doc.get("error"), Some(&Value::String("internal".into()))),
+        other => panic!("untyped status {other}: {text}"),
+    }
+    doc
+}
+
+#[test]
+fn ok_request_round_trips_with_health_and_metrics() {
+    let server = start(ServeConfig::default(), Arc::new(StubBackend::instant(4)));
+    let addr = server.addr();
+    let resp = http_request(
+        addr,
+        "POST",
+        "/v1/mac",
+        &mac_body("t0", 2000),
+        CLIENT_TIMEOUT,
+    )
+    .expect("request");
+    assert_eq!(resp.status, 200);
+    let doc = typed_json(resp.status, &resp.body);
+    assert_eq!(doc.get("expected"), Some(&Value::Number(2.0)));
+    assert_eq!(doc.get("degraded"), Some(&Value::Bool(false)));
+
+    let health = http_request(addr, "GET", "/healthz", b"", CLIENT_TIMEOUT).expect("healthz");
+    assert_eq!(health.status, 200);
+    let health_doc = health.json().expect("healthz JSON");
+    assert_eq!(health_doc.get("status"), Some(&Value::String("ok".into())));
+
+    let metrics = http_request(addr, "GET", "/metrics", b"", CLIENT_TIMEOUT).expect("metrics");
+    let text = String::from_utf8_lossy(&metrics.body).to_string();
+    assert!(text.contains("ferrocim_serve_admitted_total"));
+    let counts = server.aggregator().counts();
+    assert!(counts.serve_admitted >= 3, "all three requests admitted");
+    assert_eq!(counts.serve_shed, 0);
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_typed_429_and_never_wedges() {
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 2,
+        tenant_quota: 64,
+        ..ServeConfig::default()
+    };
+    let server = start(
+        config,
+        Arc::new(StubBackend::slow(4, Duration::from_millis(150))),
+    );
+    let addr = server.addr();
+    let clients: Vec<_> = (0..10)
+        .map(|i| {
+            std::thread::spawn(move || {
+                http_request(
+                    addr,
+                    "POST",
+                    "/v1/mac",
+                    &mac_body(&format!("t{i}"), 5000),
+                    CLIENT_TIMEOUT,
+                )
+            })
+        })
+        .collect();
+    let mut ok = 0;
+    let mut shed = 0;
+    for client in clients {
+        let resp = client.join().expect("client thread").expect("response");
+        typed_json(resp.status, &resp.body);
+        match resp.status {
+            200 => ok += 1,
+            429 => shed += 1,
+            other => panic!("unexpected status under overload: {other}"),
+        }
+    }
+    assert!(ok >= 1, "some requests complete");
+    assert!(shed >= 1, "a 1-worker/2-deep server must shed 10 bursts");
+    let counts = server.aggregator().counts();
+    assert_eq!(counts.serve_shed, shed as u64);
+    // The server is still healthy after the burst.
+    let resp = http_request(
+        addr,
+        "POST",
+        "/v1/mac",
+        &mac_body("after", 5000),
+        CLIENT_TIMEOUT,
+    )
+    .expect("post-burst request");
+    assert_eq!(resp.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn tenant_quota_sheds_second_request() {
+    let config = ServeConfig {
+        workers: 4,
+        queue_capacity: 16,
+        tenant_quota: 1,
+        ..ServeConfig::default()
+    };
+    let server = start(
+        config,
+        Arc::new(StubBackend::slow(4, Duration::from_millis(200))),
+    );
+    let addr = server.addr();
+    let first = std::thread::spawn(move || {
+        http_request(
+            addr,
+            "POST",
+            "/v1/mac",
+            &mac_body("hog", 5000),
+            CLIENT_TIMEOUT,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(60));
+    let second = http_request(
+        addr,
+        "POST",
+        "/v1/mac",
+        &mac_body("hog", 5000),
+        CLIENT_TIMEOUT,
+    )
+    .expect("second request");
+    assert_eq!(second.status, 429, "same-tenant concurrent request shed");
+    let doc = typed_json(second.status, &second.body);
+    assert_eq!(
+        doc.get("reason"),
+        Some(&Value::String("tenant_quota".into()))
+    );
+    // A different tenant is unaffected.
+    let other = http_request(
+        addr,
+        "POST",
+        "/v1/mac",
+        &mac_body("other", 5000),
+        CLIENT_TIMEOUT,
+    )
+    .expect("other tenant");
+    assert_eq!(other.status, 200);
+    let first = first.join().expect("join").expect("first response");
+    assert_eq!(first.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadline_is_a_typed_504() {
+    let server = start(
+        ServeConfig::default(),
+        Arc::new(StubBackend::slow(4, Duration::from_secs(5))),
+    );
+    let addr = server.addr();
+    let resp =
+        http_request(addr, "POST", "/v1/mac", &mac_body("t", 80), CLIENT_TIMEOUT).expect("request");
+    assert_eq!(resp.status, 504);
+    typed_json(resp.status, &resp.body);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_bodies_get_typed_400() {
+    let server = start(ServeConfig::default(), Arc::new(StubBackend::instant(4)));
+    let addr = server.addr();
+    for body in [
+        b"not json at all".to_vec(),
+        br#"{"inputs":[true],"weights":[true]}"#.to_vec(), // wrong width
+        br#"{"inputs":"x","weights":[true]}"#.to_vec(),
+    ] {
+        let resp = http_request(addr, "POST", "/v1/mac", &body, CLIENT_TIMEOUT).expect("request");
+        assert_eq!(resp.status, 400);
+        typed_json(resp.status, &resp.body);
+    }
+    let resp = http_request(addr, "GET", "/nope", b"", CLIENT_TIMEOUT).expect("request");
+    assert_eq!(resp.status, 404);
+    server.shutdown();
+}
+
+#[test]
+fn chaos_faults_degrade_then_trip_the_breaker() {
+    let config = ServeConfig {
+        workers: 2,
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_ms: 1,
+            multiplier: 1.0,
+            cap_ms: 2,
+            jitter: 0.5,
+        },
+        breaker: BreakerConfig {
+            window: 4,
+            min_samples: 4,
+            trip_error_rate: 0.5,
+            cooldown: Duration::from_secs(30),
+            half_open_probes: 1,
+        },
+        ..ServeConfig::default()
+    };
+    let chaotic = ChaosBackend::new(
+        StubBackend::instant(4),
+        ChaosPlan {
+            seed: 7,
+            blowup_probability: 1.0,
+            uncertified_probability: 0.0,
+            panic_probability: 0.0,
+        },
+    );
+    let server = start(config, Arc::new(chaotic));
+    let addr = server.addr();
+    let mut saw_breaker_open_response = false;
+    for _ in 0..8 {
+        let resp = http_request(
+            addr,
+            "POST",
+            "/v1/mac",
+            &mac_body("t", 2000),
+            CLIENT_TIMEOUT,
+        )
+        .expect("request");
+        assert_eq!(resp.status, 200, "faults degrade, never fail");
+        let doc = typed_json(resp.status, &resp.body);
+        assert_eq!(
+            doc.get("degraded"),
+            Some(&Value::Bool(true)),
+            "every all-faulty solve must fall back"
+        );
+        assert_eq!(
+            doc.get("expected"),
+            Some(&Value::Number(2.0)),
+            "the fallback still answers the MAC"
+        );
+        if doc.get("breaker_open") == Some(&Value::Bool(true)) {
+            saw_breaker_open_response = true;
+        }
+    }
+    assert!(
+        saw_breaker_open_response,
+        "the breaker opens under sustained faults"
+    );
+    let counts = server.aggregator().counts();
+    assert!(counts.serve_degraded >= 8);
+    assert!(counts.serve_breaker_open >= 1, "trip event emitted");
+    let health = http_request(addr, "GET", "/healthz", b"", CLIENT_TIMEOUT).expect("healthz");
+    let health_doc = health.json().expect("healthz JSON");
+    assert_eq!(
+        health_doc.get("status"),
+        Some(&Value::String("degraded".into())),
+        "healthz reflects the open breaker"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn injected_panics_are_contained_and_substituted() {
+    let chaotic = ChaosBackend::new(
+        StubBackend::instant(4),
+        ChaosPlan {
+            seed: 11,
+            blowup_probability: 0.0,
+            uncertified_probability: 0.0,
+            panic_probability: 1.0,
+        },
+    );
+    let server = start(ServeConfig::default(), Arc::new(chaotic));
+    let addr = server.addr();
+    for _ in 0..4 {
+        let resp = http_request(
+            addr,
+            "POST",
+            "/v1/mac",
+            &mac_body("t", 2000),
+            CLIENT_TIMEOUT,
+        )
+        .expect("request");
+        assert_eq!(resp.status, 200, "a panicking solver still answers");
+        let doc = typed_json(resp.status, &resp.body);
+        assert_eq!(doc.get("degraded"), Some(&Value::Bool(true)));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn client_disconnect_cancels_the_solve() {
+    let server = start(
+        ServeConfig::default(),
+        Arc::new(StubBackend::slow(4, Duration::from_secs(30))),
+    );
+    let addr = server.addr();
+    // Fire a request and hang up immediately.
+    {
+        use std::io::Write as _;
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        let body = mac_body("quitter", 60_000);
+        let head = format!(
+            "POST /v1/mac HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).expect("head");
+        stream.write_all(&body).expect("body");
+        // Dropping the stream closes the connection; the watchdog
+        // should trip the solve's cancel token shortly after.
+    }
+    // The worker must come back long before the 30 s stub delay: an
+    // instant follow-up request proves the pool was not wedged.
+    let start_at = Instant::now();
+    let resp = loop {
+        match http_request(addr, "GET", "/healthz", b"", Duration::from_secs(1)) {
+            Ok(resp) => break resp,
+            Err(_) if start_at.elapsed() < Duration::from_secs(10) => {
+                std::thread::sleep(Duration::from_millis(50))
+            }
+            Err(e) => panic!("healthz never recovered: {e}"),
+        }
+    };
+    assert_eq!(resp.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_admitted_work() {
+    let config = ServeConfig {
+        workers: 2,
+        queue_capacity: 8,
+        ..ServeConfig::default()
+    };
+    let server = start(
+        config,
+        Arc::new(StubBackend::slow(4, Duration::from_millis(100))),
+    );
+    let addr = server.addr();
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                http_request(
+                    addr,
+                    "POST",
+                    "/v1/mac",
+                    &mac_body(&format!("t{i}"), 5000),
+                    CLIENT_TIMEOUT,
+                )
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(30));
+    server.shutdown();
+    for client in clients {
+        let resp = client.join().expect("client thread").expect("response");
+        // Admitted work completes; late arrivals may be shed — both are
+        // typed, nothing is dropped on the floor.
+        assert!(matches!(resp.status, 200 | 429), "got {}", resp.status);
+        typed_json(resp.status, &resp.body);
+    }
+    assert!(
+        std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err(),
+        "listener is closed after shutdown"
+    );
+}
+
+#[test]
+fn real_cim_backend_serves_a_live_mac() {
+    let aggregator = Arc::new(Aggregator::new());
+    let telemetry = Telemetry::new(aggregator.clone());
+    let backend = CimBackend::new(telemetry.clone(), 2).expect("calibrate");
+    let server = Server::start(
+        ServeConfig::default(),
+        Arc::new(backend),
+        telemetry,
+        aggregator,
+    )
+    .expect("bind");
+    let addr = server.addr();
+    let body = br#"{"tenant":"live","inputs":[true,true,true,false,false,false,false,false],
+        "weights":[true,true,false,false,true,false,false,false],"timeout_ms":20000}"#;
+    let resp =
+        http_request(addr, "POST", "/v1/mac", body, Duration::from_secs(30)).expect("request");
+    assert_eq!(
+        resp.status,
+        200,
+        "body: {}",
+        String::from_utf8_lossy(&resp.body)
+    );
+    let doc = typed_json(resp.status, &resp.body);
+    assert_eq!(doc.get("expected"), Some(&Value::Number(2.0)));
+    assert_eq!(doc.get("degraded"), Some(&Value::Bool(false)));
+    let readout = match doc.get("readout") {
+        Some(Value::Number(n)) => *n as i64,
+        other => panic!("readout missing: {other:?}"),
+    };
+    assert!(
+        (readout - 2).abs() <= 1,
+        "nominal room-temperature readout is within one level of truth"
+    );
+    server.shutdown();
+}

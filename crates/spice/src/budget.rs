@@ -209,8 +209,13 @@ impl Budget {
     }
 
     /// Charges `n` Newton iterations against the pool; fails once the
-    /// cumulative total exceeds a configured cap.
+    /// cumulative total exceeds a configured cap, the deadline has
+    /// passed, or the budget was cancelled. The deadline/cancel check
+    /// runs *before* the spend is counted, so a budget whose deadline
+    /// was already expired at construction refuses the very first
+    /// charge instead of permitting one free iteration.
     pub fn charge_newton(&self, n: u64) -> Result<(), SpiceError> {
+        self.check()?;
         if let Some(limit) = self.max_newton_iterations {
             self.telemetry.emit(|| Event::BudgetSpend {
                 resource: ResourceKind::NewtonIterations,
@@ -227,8 +232,11 @@ impl Budget {
     }
 
     /// Charges `n` steps against the pool; fails once the cumulative
-    /// total exceeds a configured cap.
+    /// total exceeds a configured cap, the deadline has passed, or the
+    /// budget was cancelled (the same pre-spend check as
+    /// [`Budget::charge_newton`]).
     pub fn charge_steps(&self, n: u64) -> Result<(), SpiceError> {
+        self.check()?;
         if let Some(limit) = self.max_steps {
             self.telemetry.emit(|| Event::BudgetSpend {
                 resource: ResourceKind::Steps,
@@ -294,6 +302,41 @@ mod tests {
                 resource: BudgetResource::Steps { limit: 3 },
             })
         );
+    }
+
+    #[test]
+    fn expired_deadline_fails_the_first_charge() {
+        // Regression: a deadline already expired at construction used
+        // to permit one free iteration because only `check` (called at
+        // step boundaries) consulted the clock — the first `charge_*`
+        // must fail typed instead.
+        let b = Budget::unlimited()
+            .with_deadline(Deadline::after(Duration::ZERO))
+            .with_max_newton_iterations(1000)
+            .with_max_steps(1000);
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(
+            b.charge_newton(1),
+            Err(SpiceError::BudgetExceeded {
+                resource: BudgetResource::WallClock,
+            })
+        );
+        assert_eq!(
+            b.charge_steps(1),
+            Err(SpiceError::BudgetExceeded {
+                resource: BudgetResource::WallClock,
+            })
+        );
+        // Nothing was counted against the pools by the refused charges.
+        assert_eq!(b.newton_iterations_spent(), 0);
+        assert_eq!(b.steps_spent(), 0);
+        // A cancelled budget refuses charges the same way.
+        let token = CancelToken::new();
+        let c = Budget::unlimited()
+            .with_cancel_token(&token)
+            .with_max_steps(10);
+        token.cancel();
+        assert_eq!(c.charge_steps(1), Err(SpiceError::Cancelled));
     }
 
     #[test]

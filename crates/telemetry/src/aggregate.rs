@@ -166,6 +166,19 @@ pub struct Counts {
     pub spans: u64,
     /// Run manifests seen ([`Event::Manifest`]).
     pub manifests: u64,
+    /// Requests admitted by `ferrocim-serve` ([`Event::ServeAdmitted`]).
+    pub serve_admitted: u64,
+    /// Requests shed with a typed `429` ([`Event::ServeShed`]).
+    pub serve_shed: u64,
+    /// Backoff retries of transient solve failures
+    /// ([`Event::ServeRetry`]).
+    pub serve_retries: u64,
+    /// Responses answered from the degraded transfer-curve fallback
+    /// ([`Event::ServeDegraded`]).
+    pub serve_degraded: u64,
+    /// Circuit-breaker closed-to-open trips
+    /// ([`Event::ServeBreakerOpen`]).
+    pub serve_breaker_open: u64,
 }
 
 /// A lock-free in-memory [`Recorder`]: atomic counters per event kind
@@ -199,6 +212,11 @@ pub struct Aggregator {
     epochs_done: AtomicU64,
     spans: AtomicU64,
     manifests: AtomicU64,
+    serve_admitted: AtomicU64,
+    serve_shed: AtomicU64,
+    serve_retries: AtomicU64,
+    serve_degraded: AtomicU64,
+    serve_breaker_open: AtomicU64,
     newton_histogram: Histogram,
     span_histogram: Histogram,
 }
@@ -235,6 +253,11 @@ impl Aggregator {
             epochs_done: AtomicU64::new(0),
             spans: AtomicU64::new(0),
             manifests: AtomicU64::new(0),
+            serve_admitted: AtomicU64::new(0),
+            serve_shed: AtomicU64::new(0),
+            serve_retries: AtomicU64::new(0),
+            serve_degraded: AtomicU64::new(0),
+            serve_breaker_open: AtomicU64::new(0),
             newton_histogram: Histogram::new(NEWTON_BOUNDS),
             span_histogram: Histogram::new(SPAN_BOUNDS),
         }
@@ -266,6 +289,11 @@ impl Aggregator {
             epochs_done: load(&self.epochs_done),
             spans: load(&self.spans),
             manifests: load(&self.manifests),
+            serve_admitted: load(&self.serve_admitted),
+            serve_shed: load(&self.serve_shed),
+            serve_retries: load(&self.serve_retries),
+            serve_degraded: load(&self.serve_degraded),
+            serve_breaker_open: load(&self.serve_breaker_open),
         }
     }
 
@@ -307,6 +335,11 @@ impl Aggregator {
         add(&self.epochs_done, &other.epochs_done);
         add(&self.spans, &other.spans);
         add(&self.manifests, &other.manifests);
+        add(&self.serve_admitted, &other.serve_admitted);
+        add(&self.serve_shed, &other.serve_shed);
+        add(&self.serve_retries, &other.serve_retries);
+        add(&self.serve_degraded, &other.serve_degraded);
+        add(&self.serve_breaker_open, &other.serve_breaker_open);
         self.newton_histogram.merge_from(&other.newton_histogram);
         self.span_histogram.merge_from(&other.span_histogram);
     }
@@ -432,6 +465,31 @@ impl Aggregator {
             "Run manifests seen.",
             counts.manifests,
         );
+        counter(
+            "ferrocim_serve_admitted_total",
+            "Requests admitted into the serve worker queue.",
+            counts.serve_admitted,
+        );
+        counter(
+            "ferrocim_serve_shed_total",
+            "Requests shed with a typed 429 Overloaded.",
+            counts.serve_shed,
+        );
+        counter(
+            "ferrocim_serve_retries_total",
+            "Backoff retries of transient solve failures.",
+            counts.serve_retries,
+        );
+        counter(
+            "ferrocim_serve_degraded_total",
+            "Responses answered from the degraded transfer-curve fallback.",
+            counts.serve_degraded,
+        );
+        counter(
+            "ferrocim_serve_breaker_open_total",
+            "Circuit-breaker closed-to-open trips.",
+            counts.serve_breaker_open,
+        );
         self.newton_histogram.render_prometheus_into(
             "ferrocim_newton_iterations_per_solve",
             "Newton iterations needed per converged solve.",
@@ -526,6 +584,21 @@ impl Recorder for Aggregator {
             }
             Event::Manifest { .. } => {
                 self.manifests.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::ServeAdmitted { .. } => {
+                self.serve_admitted.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::ServeShed { .. } => {
+                self.serve_shed.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::ServeRetry { .. } => {
+                self.serve_retries.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::ServeDegraded { .. } => {
+                self.serve_degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::ServeBreakerOpen { .. } => {
+                self.serve_breaker_open.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -639,6 +712,23 @@ mod tests {
             ts: 0.0,
         });
         agg.record(&Event::SpanEnd { id: 1, micros: 5.0 });
+        agg.record(&Event::ServeAdmitted { queue_depth: 1 });
+        agg.record(&Event::ServeAdmitted { queue_depth: 2 });
+        agg.record(&Event::ServeShed {
+            queue_depth: 8,
+            retry_after_ms: 100,
+        });
+        agg.record(&Event::ServeRetry {
+            attempt: 1,
+            backoff_ms: 20,
+        });
+        agg.record(&Event::ServeDegraded {
+            breaker_open: false,
+        });
+        agg.record(&Event::ServeBreakerOpen {
+            window_failures: 5,
+            window_size: 8,
+        });
         let c = agg.counts();
         assert_eq!(c.newton_iters, 2);
         assert_eq!(c.newton_residuals, 1);
@@ -661,6 +751,11 @@ mod tests {
         assert_eq!(c.faults_substituted, 1);
         assert_eq!(c.epochs_done, 1);
         assert_eq!(c.spans, 1, "only SpanEnd counts as a closed span");
+        assert_eq!(c.serve_admitted, 2);
+        assert_eq!(c.serve_shed, 1);
+        assert_eq!(c.serve_retries, 1);
+        assert_eq!(c.serve_degraded, 1);
+        assert_eq!(c.serve_breaker_open, 1);
         assert_eq!(agg.newton_histogram().total(), 1);
         assert_eq!(agg.span_histogram().total(), 1);
     }

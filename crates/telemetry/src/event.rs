@@ -219,6 +219,43 @@ pub enum Event {
         /// Command-line arguments (excluding the binary path).
         args: Vec<String>,
     },
+    /// `ferrocim-serve` admitted a request into the worker queue.
+    ServeAdmitted {
+        /// Queue depth observed right after the push.
+        queue_depth: u64,
+    },
+    /// `ferrocim-serve` shed a request (admission queue full or a
+    /// per-tenant concurrency quota exhausted) with a typed `429`.
+    ServeShed {
+        /// Queue depth observed at the shed decision.
+        queue_depth: u64,
+        /// The `retry_after_ms` hint returned to the client.
+        retry_after_ms: u64,
+    },
+    /// `ferrocim-serve` retried a transiently-failed solve after a
+    /// backoff sleep.
+    ServeRetry {
+        /// 1-based retry attempt (the first retry is 1).
+        attempt: u64,
+        /// The jittered backoff slept before this attempt, in
+        /// milliseconds.
+        backoff_ms: u64,
+    },
+    /// `ferrocim-serve` answered a request from the calibrated
+    /// transfer-curve fallback instead of a live solve (`degraded:
+    /// true` in the response body).
+    ServeDegraded {
+        /// Whether the tenant's circuit breaker was open (as opposed to
+        /// an in-request retry ladder exhausting its attempts).
+        breaker_open: bool,
+    },
+    /// A tenant's circuit breaker tripped from closed to open.
+    ServeBreakerOpen {
+        /// Failures observed in the sliding window at the trip.
+        window_failures: u64,
+        /// Total outcomes in the sliding window at the trip.
+        window_size: u64,
+    },
 }
 
 #[cfg(test)]
@@ -294,6 +331,20 @@ mod tests {
             Event::Manifest {
                 bin: "probe_telemetry".into(),
                 args: vec!["--overhead".into()],
+            },
+            Event::ServeAdmitted { queue_depth: 3 },
+            Event::ServeShed {
+                queue_depth: 16,
+                retry_after_ms: 120,
+            },
+            Event::ServeRetry {
+                attempt: 2,
+                backoff_ms: 40,
+            },
+            Event::ServeDegraded { breaker_open: true },
+            Event::ServeBreakerOpen {
+                window_failures: 7,
+                window_size: 10,
             },
         ];
         for event in events {

@@ -109,10 +109,13 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let [base, new] = paths.as_slice() else {
         return Err(USAGE.to_string());
     };
-    let deltas = diff_extracted(&load_metrics(base)?, &load_metrics(new)?, threshold);
-    print!("{}", render_deltas(&deltas));
-    if has_regression(&deltas) {
-        eprintln!("regression: at least one metric increased more than {threshold}%");
+    let report = diff_extracted(&load_metrics(base)?, &load_metrics(new)?, threshold);
+    print!("{}", render_deltas(&report));
+    if has_regression(&report) {
+        eprintln!(
+            "regression: a metric increased more than {threshold}%, or the \
+             two sides disagree on which counters exist (see warnings above)"
+        );
         Ok(ExitCode::FAILURE)
     } else {
         Ok(ExitCode::SUCCESS)

@@ -37,6 +37,63 @@ pub struct Delta {
     pub regressed: bool,
 }
 
+/// A typed structural mismatch between the two metric sets being
+/// diffed. Counter sets can drift when one side is an extract written
+/// by an older (or newer) `trace` binary; a plain zip used to drop the
+/// unmatched counters silently, so a baseline counter with no candidate
+/// measurement read as a pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiffWarning {
+    /// A counter present in the baseline has no measurement in the
+    /// candidate. This always fails the gate: the baseline promised
+    /// work that the candidate never measured, which is
+    /// indistinguishable from the instrumentation silently breaking.
+    MissingCounter {
+        /// The unmatched metric name.
+        metric: String,
+        /// Its baseline value.
+        base: u64,
+    },
+    /// A counter present in the candidate has no baseline entry. Fails
+    /// the gate only when the candidate value is nonzero (unaccounted
+    /// new work — the same rule as a nonzero rise from a zero
+    /// baseline); a zero merely warns that the baseline is stale.
+    UnknownCounter {
+        /// The unmatched metric name.
+        metric: String,
+        /// Its candidate value.
+        new: u64,
+    },
+}
+
+impl std::fmt::Display for DiffWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffWarning::MissingCounter { metric, base } => write!(
+                f,
+                "MissingCounter: baseline has {metric} = {base} but the candidate \
+                 did not measure it"
+            ),
+            DiffWarning::UnknownCounter { metric, new } => write!(
+                f,
+                "UnknownCounter: candidate measured {metric} = {new} but the \
+                 baseline has no entry — regenerate with scripts/bench_gate.sh --update"
+            ),
+        }
+    }
+}
+
+/// The full result of one metric diff: per-metric deltas over the
+/// counters both sides measured, plus typed warnings for the counters
+/// only one side has.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Per-metric comparisons over the matched counters.
+    pub deltas: Vec<Delta>,
+    /// Structural mismatches between the two counter sets.
+    pub warnings: Vec<DiffWarning>,
+}
+
 /// The deterministic count metrics the gate compares, in render order.
 pub fn extract_metrics(events: &[Event]) -> Vec<(&'static str, u64)> {
     let agg = Aggregator::new();
@@ -70,6 +127,15 @@ pub fn extract_metrics(events: &[Event]) -> Vec<(&'static str, u64)> {
         // Newton counts look flat.
         ("solves_refined", c.solves_refined),
         ("solves_degraded", c.solves_degraded),
+        // Serving-layer robustness outcomes: admissions, typed sheds,
+        // backoff retries, degraded fallbacks, and breaker trips. These
+        // gate the serve smoke traces; on solver-only probes they are
+        // simply zero on both sides.
+        ("serve_admitted", c.serve_admitted),
+        ("serve_shed", c.serve_shed),
+        ("serve_retries", c.serve_retries),
+        ("serve_degraded", c.serve_degraded),
+        ("serve_breaker_open", c.serve_breaker_open),
     ]
 }
 
@@ -84,15 +150,19 @@ pub fn metrics_json(metrics: &[(&'static str, u64)]) -> Value {
     )
 }
 
-/// Parses a baseline JSON object back into gate metrics. Every known
-/// metric must be present with a non-negative integer value and no
-/// unknown keys are tolerated, so a stale baseline fails loudly when
-/// the gate's metric set changes.
+/// Parses a baseline JSON object back into gate metrics. Every entry
+/// must be a known metric with a non-negative integer value (unknown
+/// keys fail loudly, so an arbitrary JSON object is never mistaken for
+/// a baseline), but a known metric may be *absent* — extracts written
+/// before a gate counter existed still parse, and [`diff_extracted`]
+/// reports the gap as a typed [`DiffWarning::MissingCounter`] /
+/// [`DiffWarning::UnknownCounter`] instead of this function guessing a
+/// zero.
 ///
 /// # Errors
 ///
-/// Returns a description of the first missing, unknown, or non-integer
-/// entry.
+/// Returns a description of the first unknown or non-integer entry, or
+/// of an object containing no known metric at all.
 pub fn metrics_from_json(doc: &Value) -> Result<Vec<(&'static str, u64)>, String> {
     let Value::Object(entries) = doc else {
         return Err("metrics baseline must be a JSON object".to_string());
@@ -106,65 +176,91 @@ pub fn metrics_from_json(doc: &Value) -> Result<Vec<(&'static str, u64)>, String
             ));
         }
     }
-    known
-        .iter()
-        .map(|&(name, _)| {
-            let value = doc
-                .get(name)
-                .ok_or_else(|| format!("metric {name:?} missing from the baseline"))?;
-            match value {
-                Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 => Ok((name, *n as u64)),
-                other => Err(format!("metric {name:?} must be a count, got {other:?}")),
-            }
-        })
-        .collect()
+    let mut metrics = Vec::new();
+    for &(name, _) in &known {
+        let Some(value) = doc.get(name) else {
+            continue;
+        };
+        match value {
+            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 => metrics.push((name, *n as u64)),
+            other => return Err(format!("metric {name:?} must be a count, got {other:?}")),
+        }
+    }
+    if metrics.is_empty() {
+        return Err("metrics baseline contains no known metric".to_string());
+    }
+    Ok(metrics)
 }
 
 /// Compares two event streams metric-by-metric. `threshold_pct` is the
 /// largest tolerated increase; a metric appearing from a zero baseline
 /// is only a regression if the new value is itself nonzero.
-pub fn diff_metrics(base: &[Event], new: &[Event], threshold_pct: f64) -> Vec<Delta> {
+pub fn diff_metrics(base: &[Event], new: &[Event], threshold_pct: f64) -> DiffReport {
     diff_extracted(&extract_metrics(base), &extract_metrics(new), threshold_pct)
 }
 
 /// [`diff_metrics`] over already-extracted metric lists (either side
-/// may come from [`metrics_from_json`] instead of a trace).
+/// may come from [`metrics_from_json`] instead of a trace). Counters
+/// are matched *by name*, not by position: a counter present on only
+/// one side becomes a typed [`DiffWarning`] instead of being silently
+/// dropped or read as zero.
 pub fn diff_extracted(
     base: &[(&'static str, u64)],
     new: &[(&'static str, u64)],
     threshold_pct: f64,
-) -> Vec<Delta> {
-    base.iter()
-        .copied()
-        .zip(new.iter().copied())
-        .map(|((metric, base), (_, new))| {
-            let pct = if base == 0 {
-                if new == 0 {
-                    0.0
-                } else {
-                    f64::INFINITY
-                }
-            } else {
-                (new as f64 - base as f64) / base as f64 * 100.0
-            };
-            Delta {
+) -> DiffReport {
+    let mut deltas = Vec::new();
+    let mut warnings = Vec::new();
+    for &(metric, base_value) in base {
+        let Some(&(_, new_value)) = new.iter().find(|&&(name, _)| name == metric) else {
+            warnings.push(DiffWarning::MissingCounter {
                 metric: metric.to_string(),
-                base,
-                new,
-                pct,
-                regressed: pct > threshold_pct,
+                base: base_value,
+            });
+            continue;
+        };
+        let pct = if base_value == 0 {
+            if new_value == 0 {
+                0.0
+            } else {
+                f64::INFINITY
             }
+        } else {
+            (new_value as f64 - base_value as f64) / base_value as f64 * 100.0
+        };
+        deltas.push(Delta {
+            metric: metric.to_string(),
+            base: base_value,
+            new: new_value,
+            pct,
+            regressed: pct > threshold_pct,
+        });
+    }
+    for &(metric, new_value) in new {
+        if !base.iter().any(|&(name, _)| name == metric) {
+            warnings.push(DiffWarning::UnknownCounter {
+                metric: metric.to_string(),
+                new: new_value,
+            });
+        }
+    }
+    DiffReport { deltas, warnings }
+}
+
+/// Whether the report fails the gate: a matched metric regressed, a
+/// baseline counter went unmeasured ([`DiffWarning::MissingCounter`]),
+/// or an unbaselined counter measured nonzero work.
+pub fn has_regression(report: &DiffReport) -> bool {
+    report.deltas.iter().any(|d| d.regressed)
+        || report.warnings.iter().any(|w| match w {
+            DiffWarning::MissingCounter { .. } => true,
+            DiffWarning::UnknownCounter { new, .. } => *new > 0,
         })
-        .collect()
 }
 
-/// Whether any metric in `deltas` regressed (the gate's exit status).
-pub fn has_regression(deltas: &[Delta]) -> bool {
-    deltas.iter().any(|d| d.regressed)
-}
-
-/// Renders the diff table (the `trace diff` output).
-pub fn render_deltas(deltas: &[Delta]) -> String {
+/// Renders the diff table plus any typed warnings (the `trace diff`
+/// output).
+pub fn render_deltas(report: &DiffReport) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(
@@ -172,7 +268,7 @@ pub fn render_deltas(deltas: &[Delta]) -> String {
         "{:<20} {:>12} {:>12} {:>9}",
         "metric", "base", "new", "change"
     );
-    for d in deltas {
+    for d in &report.deltas {
         let marker = if d.regressed { "  REGRESSED" } else { "" };
         let pct = if d.pct.is_infinite() {
             "new".to_string()
@@ -184,6 +280,9 @@ pub fn render_deltas(deltas: &[Delta]) -> String {
             "{:<20} {:>12} {:>12} {:>9}{marker}",
             d.metric, d.base, d.new, pct
         );
+    }
+    for warning in &report.warnings {
+        let _ = writeln!(out, "warning: {warning}");
     }
     out
 }
@@ -201,18 +300,23 @@ mod tests {
     #[test]
     fn identical_traces_never_regress() {
         let a = iters(20);
-        let deltas = diff_metrics(&a, &a, GATE_DEFAULT_THRESHOLD_PCT);
-        assert!(!has_regression(&deltas));
-        assert!(deltas.iter().all(|d| d.pct == 0.0));
+        let report = diff_metrics(&a, &a, GATE_DEFAULT_THRESHOLD_PCT);
+        assert!(!has_regression(&report));
+        assert!(report.warnings.is_empty());
+        assert!(report.deltas.iter().all(|d| d.pct == 0.0));
     }
 
     #[test]
     fn ten_percent_increase_trips_the_default_gate() {
         let base = iters(100);
         let regressed = iters(111); // +11% > 10% threshold
-        let deltas = diff_metrics(&base, &regressed, GATE_DEFAULT_THRESHOLD_PCT);
-        assert!(has_regression(&deltas));
-        let newton = deltas.iter().find(|d| d.metric == "newton_iters").unwrap();
+        let report = diff_metrics(&base, &regressed, GATE_DEFAULT_THRESHOLD_PCT);
+        assert!(has_regression(&report));
+        let newton = report
+            .deltas
+            .iter()
+            .find(|d| d.metric == "newton_iters")
+            .unwrap();
         assert!(newton.regressed);
         assert!((newton.pct - 11.0).abs() < 1e-9);
         // Exactly at the threshold passes: the gate is strict-greater.
@@ -263,10 +367,92 @@ mod tests {
         };
         entries.pop();
         entries.retain(|(k, _)| k != "newton_iters");
+        entries.push(("newton_iters".to_string(), Value::Number(1.5)));
         assert!(metrics_from_json(&doc)
-            .expect_err("missing key")
+            .expect_err("non-integer value")
             .contains("newton_iters"));
         assert!(metrics_from_json(&Value::Array(Vec::new())).is_err());
+        assert!(metrics_from_json(&Value::Object(Vec::new())).is_err());
+    }
+
+    #[test]
+    fn extracts_missing_known_keys_still_parse() {
+        // An extract written before a gate counter existed parses into
+        // the subset it carries; the gap is reported by the diff, not
+        // invented as a zero here.
+        let mut doc = metrics_json(&extract_metrics(&iters(7)));
+        let Value::Object(entries) = &mut doc else {
+            unreachable!()
+        };
+        entries.retain(|(k, _)| k != "newton_iters");
+        let parsed = metrics_from_json(&doc).expect("missing known key is tolerated");
+        assert!(!parsed.iter().any(|&(name, _)| name == "newton_iters"));
+        assert_eq!(parsed.len(), extract_metrics(&[]).len() - 1);
+    }
+
+    #[test]
+    fn baseline_only_counter_is_a_missing_counter_failure() {
+        // Direction 1 of the satellite: a counter present in the
+        // baseline but absent from the candidate used to be silently
+        // dropped by the positional zip; it must now fail typed.
+        let base = extract_metrics(&iters(5));
+        let candidate: Vec<(&'static str, u64)> = base
+            .iter()
+            .copied()
+            .filter(|&(name, _)| name != "newton_iters")
+            .collect();
+        let report = diff_extracted(&base, &candidate, GATE_DEFAULT_THRESHOLD_PCT);
+        assert_eq!(
+            report.warnings,
+            vec![DiffWarning::MissingCounter {
+                metric: "newton_iters".to_string(),
+                base: 5,
+            }]
+        );
+        assert!(has_regression(&report), "MissingCounter always fails");
+        // The matched counters still produce clean deltas.
+        assert_eq!(report.deltas.len(), base.len() - 1);
+        assert!(report.deltas.iter().all(|d| !d.regressed));
+    }
+
+    #[test]
+    fn candidate_only_counter_is_an_unknown_counter() {
+        // Direction 2: a candidate counter with no baseline entry warns,
+        // and fails only when it measured nonzero work (the same rule as
+        // a nonzero rise from a zero baseline).
+        let candidate = extract_metrics(&iters(5));
+        let base: Vec<(&'static str, u64)> = candidate
+            .iter()
+            .copied()
+            .filter(|&(name, _)| name != "serve_shed")
+            .collect();
+        let zero = diff_extracted(&base, &candidate, GATE_DEFAULT_THRESHOLD_PCT);
+        assert_eq!(
+            zero.warnings,
+            vec![DiffWarning::UnknownCounter {
+                metric: "serve_shed".to_string(),
+                new: 0,
+            }]
+        );
+        assert!(
+            !has_regression(&zero),
+            "a zero unknown counter warns without failing"
+        );
+        let mut shedding = candidate.clone();
+        for entry in &mut shedding {
+            if entry.0 == "serve_shed" {
+                entry.1 = 3;
+            }
+        }
+        let nonzero = diff_extracted(&base, &shedding, GATE_DEFAULT_THRESHOLD_PCT);
+        assert_eq!(
+            nonzero.warnings,
+            vec![DiffWarning::UnknownCounter {
+                metric: "serve_shed".to_string(),
+                new: 3,
+            }]
+        );
+        assert!(has_regression(&nonzero), "nonzero unknown work fails");
     }
 
     #[test]
@@ -275,5 +461,15 @@ mod tests {
         assert!(text.contains("newton_iters"));
         assert!(text.contains("REGRESSED"));
         assert!(text.contains("+100.0%"));
+        // Warnings render with their typed names.
+        let base = extract_metrics(&iters(5));
+        let candidate: Vec<(&'static str, u64)> = base
+            .iter()
+            .copied()
+            .filter(|&(name, _)| name != "newton_iters")
+            .collect();
+        let warned = render_deltas(&diff_extracted(&base, &candidate, 10.0));
+        assert!(warned.contains("warning: MissingCounter"));
+        assert!(warned.contains("newton_iters"));
     }
 }

@@ -30,7 +30,7 @@ mod tree;
 pub use chrome::chrome_trace;
 pub use diff::{
     diff_extracted, diff_metrics, extract_metrics, has_regression, metrics_from_json, metrics_json,
-    render_deltas, Delta, GATE_DEFAULT_THRESHOLD_PCT,
+    render_deltas, Delta, DiffReport, DiffWarning, GATE_DEFAULT_THRESHOLD_PCT,
 };
 pub use summary::{top_spans, SpanRollup, Summary};
 pub use tree::{SpanNode, SpanTree};

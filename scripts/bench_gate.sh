@@ -11,6 +11,12 @@
 # `trace metrics` JSON extracts, not full traces, so they diff cleanly
 # in git.
 #
+# The serving probe (probe_serve, DESIGN.md §16) is gated differently:
+# its shed/retry counts are load-dependent by design, so instead of a
+# trace diff it self-gates against the hand-set *bounds* in
+# baselines/probe_serve.json (max shed rate, max p99, min completions,
+# zero untyped responses). --update never rewrites that file.
+#
 # Usage: scripts/bench_gate.sh [--update]
 #   --update            rewrite baselines/ from this run instead of gating
 #
@@ -34,7 +40,7 @@ for arg in "$@"; do
 done
 
 echo "==> building release benches and the trace CLI"
-cargo build --release --offline -q -p ferrocim-bench -p ferrocim-traceview
+cargo build --release --offline -q -p ferrocim-bench -p ferrocim-serve -p ferrocim-traceview
 TRACE=target/release/trace
 mkdir -p "$OUT" baselines
 
@@ -65,6 +71,23 @@ for bench in "${BENCHES[@]}"; do
     fi
   fi
 done
+
+echo "==> probe_serve (self-gating against baselines/probe_serve.json)"
+if target/release/probe_serve --trace "$OUT/probe_serve.jsonl" \
+    --gate baselines/probe_serve.json > "$OUT/probe_serve.log" 2>&1; then
+  "$TRACE" summary "$OUT/probe_serve.jsonl" > "$OUT/probe_serve.summary.txt"
+  echo "    ok: serving contract held (typed responses, bounded tail, clean drain)"
+else
+  rc=$?
+  "$TRACE" summary "$OUT/probe_serve.jsonl" > "$OUT/probe_serve.summary.txt" || true
+  tail -n 20 "$OUT/probe_serve.log" >&2
+  if [[ $rc -eq 1 ]]; then
+    echo "    REGRESSION in probe_serve (contract violations above)" >&2
+    status=1
+  else
+    exit "$rc"
+  fi
+fi
 
 if [[ $status -ne 0 && "${BENCH_GATE_SOFT:-0}" == "1" ]]; then
   echo "==> soft-fail mode: regression reported, build kept green" >&2

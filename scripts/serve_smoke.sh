@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI smoke test for the serving layer: boot `ferrocim-serve` on an
+# ephemeral port, drive one MAC request plus /healthz and /metrics
+# through its built-in TCP client, and shut down cleanly. Everything
+# runs in-process via `--self-check`, so there is no curl dependency
+# and no fixed port to collide on.
+#
+# Exit codes: 0 smoke passed, 2 boot/calibration/check failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> building ferrocim-serve"
+cargo build --release --offline -q -p ferrocim-serve
+
+echo "==> self-check: boot, MAC request, /healthz, /metrics, shutdown"
+target/release/ferrocim-serve --self-check --calibration-samples 4
+
+echo "==> serve smoke passed"
