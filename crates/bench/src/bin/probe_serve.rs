@@ -2,7 +2,7 @@
 //! (DESIGN.md §16).
 //!
 //! Boots real `ferrocim-serve` instances on ephemeral ports and drives
-//! them with concurrent in-process clients through four scenarios:
+//! them with concurrent in-process clients through five scenarios:
 //!
 //! 1. **Overload** — a burst of transient-path MACs against a
 //!    deliberately small worker pool and queue. Some requests complete,
@@ -15,9 +15,15 @@
 //! 3. **Chaos** — a [`ChaosBackend`] injects seeded solver blowups,
 //!    uncertified solves, and outright panics. Every response is still
 //!    a typed `200`: live after retries, or `degraded: true` from the
-//!    calibrated transfer curve once retries/breaker give up.
+//!    surrogate's startup curve once retries/breaker give up.
 //! 4. **Drain** — shutdown lands mid-burst; every admitted request
 //!    completes, late arrivals are shed typed, and the listener closes.
+//! 5. **Surrogate** — analytic in-domain MACs against the plain
+//!    `CimBackend`. These must be answered by the certified surrogate
+//!    fast path (`surrogate: true`, zero solver attempts); one
+//!    deliberately out-of-domain request must fall through to a live
+//!    solve instead of extrapolating, and the check-mode audit running
+//!    underneath must report zero envelope violations.
 //!
 //! The gate bounds live in `baselines/probe_serve.json` (pass with
 //! `--gate <path>`); unlike the trace-diff baselines these are hand-set
@@ -50,6 +56,7 @@ struct Observed {
     status: u16,
     latency_ms: f64,
     degraded: bool,
+    surrogate: bool,
     typed: bool,
     /// Transport-level failure: the connection was refused or reset
     /// before any response arrived (legal only while draining).
@@ -72,20 +79,29 @@ fn classify(resp: &HttpResponse, latency_ms: f64) -> Observed {
         .as_ref()
         .map(|d| d.get("degraded") == Some(&Value::Bool(true)))
         .unwrap_or(false);
+    let surrogate = doc
+        .as_ref()
+        .map(|d| d.get("surrogate") == Some(&Value::Bool(true)))
+        .unwrap_or(false);
     Observed {
         status: resp.status,
         latency_ms,
         degraded,
+        surrogate,
         typed,
         refused: false,
     }
 }
 
 fn mac_body(tenant: &str, timeout_ms: u64, path: &str) -> Vec<u8> {
+    mac_body_at(tenant, timeout_ms, path, 27.0)
+}
+
+fn mac_body_at(tenant: &str, timeout_ms: u64, path: &str, temp_c: f64) -> Vec<u8> {
     format!(
         r#"{{"tenant":"{tenant}","inputs":[true,true,true,false,false,true,false,false],
             "weights":[true,true,false,true,false,true,false,false],
-            "timeout_ms":{timeout_ms},"path":"{path}"}}"#
+            "timeout_ms":{timeout_ms},"path":"{path}","temp_c":{temp_c}}}"#
     )
     .into_bytes()
 }
@@ -106,7 +122,11 @@ fn census(name: &str, observed: Vec<Observed>) -> ServeScenario {
         requests: observed.len(),
         ok_live: observed
             .iter()
-            .filter(|o| o.typed && o.status == 200 && !o.degraded)
+            .filter(|o| o.typed && o.status == 200 && !o.degraded && !o.surrogate)
+            .count(),
+        ok_surrogate: observed
+            .iter()
+            .filter(|o| o.typed && o.status == 200 && !o.degraded && o.surrogate)
             .count(),
         ok_degraded: observed
             .iter()
@@ -154,6 +174,7 @@ fn drive(
                                 status: 0,
                                 latency_ms,
                                 degraded: false,
+                                surrogate: false,
                                 typed: false,
                                 refused: matches!(
                                     e.kind(),
@@ -200,9 +221,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_shed_rate: 0.95,
             max_p99_ms: 2000.0,
             min_ok: 2,
+            min_surrogate_rate: 0.9,
         },
     };
-    println!("# Probe — serving robustness: overload, deadlines, chaos, drain\n");
+    println!("# Probe — serving robustness: overload, deadlines, chaos, drain, surrogate\n");
 
     let agg = Arc::new(Aggregator::new());
     let tele = Telemetry::to(Tee::new(vec![
@@ -212,7 +234,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let started = Instant::now();
     let backend = Arc::new(CimBackend::new(tele.clone(), 4)?);
     println!(
-        "calibrated the fallback transfer curve in {:.0} ms",
+        "calibrated the surrogate store (all-ones curve, 0-85 °C) in {:.0} ms",
         started.elapsed().as_secs_f64() * 1e3
     );
 
@@ -318,6 +340,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let port_closed =
         std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err();
 
+    // Scenario 5: surrogate fast path. Analytic in-domain requests are
+    // answered from the certified store with zero solver attempts;
+    // index 24 asks for 120 °C — outside the calibrated 0–85 °C domain
+    // — and must fall through to a live solve, never extrapolate. The
+    // backend's check mode (one in 4) audits the answers underneath.
+    let server = Server::start(
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 16,
+            ..ServeConfig::default()
+        },
+        backend.clone(),
+        tele.clone(),
+        agg.clone(),
+    )?;
+    let addr = server.addr();
+    let in_domain = [0.0, 12.5, 27.0, 45.5, 63.0, 85.0];
+    let surrogate = census(
+        "surrogate",
+        drive(addr, 25, 4, |i| {
+            let temp_c = if i == 24 {
+                120.0
+            } else {
+                in_domain[i % in_domain.len()]
+            };
+            mac_body_at(&format!("surro-{}", i % 4), 10_000, "analytic", temp_c)
+        }),
+    );
+    server.shutdown();
+
     let counts = agg.counts();
     let counters = ServeCounters {
         admitted: counts.serve_admitted,
@@ -325,13 +377,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         retries: counts.serve_retries,
         degraded: counts.serve_degraded,
         breaker_open: counts.serve_breaker_open,
+        surrogate_hits: counts.surrogate_hits,
+        surrogate_misses: counts.surrogate_misses,
+        surrogate_checks: counts.surrogate_checks,
+        surrogate_check_failures: counts.surrogate_check_failures,
     };
 
-    let scenarios = vec![overload, deadline, chaos, drain];
+    let scenarios = vec![overload, deadline, chaos, drain, surrogate];
     print_table(
         &[
-            "scenario", "requests", "ok", "degraded", "shed", "504", "refused", "untyped",
-            "p50 ms", "p99 ms",
+            "scenario",
+            "requests",
+            "ok",
+            "surrogate",
+            "degraded",
+            "shed",
+            "504",
+            "refused",
+            "untyped",
+            "p50 ms",
+            "p99 ms",
         ],
         &scenarios
             .iter()
@@ -340,6 +405,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     s.name.clone(),
                     s.requests.to_string(),
                     s.ok_live.to_string(),
+                    s.ok_surrogate.to_string(),
                     s.ok_degraded.to_string(),
                     s.shed.to_string(),
                     s.deadline_exceeded.to_string(),
@@ -352,12 +418,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect::<Vec<_>>(),
     );
     println!(
-        "\ncounters: admitted {} shed {} retries {} degraded {} breaker_open {}",
+        "\ncounters: admitted {} shed {} retries {} degraded {} breaker_open {} \
+         surrogate_hits {} surrogate_misses {} surrogate_checks {} check_failures {}",
         counters.admitted,
         counters.shed,
         counters.retries,
         counters.degraded,
-        counters.breaker_open
+        counters.breaker_open,
+        counters.surrogate_hits,
+        counters.surrogate_misses,
+        counters.surrogate_checks,
+        counters.surrogate_check_failures
     );
 
     // The robustness contract, then the tunable gate bounds.
@@ -375,6 +446,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let overload = &scenarios[0];
     let chaos = &scenarios[2];
+    let surrogate = &scenarios[4];
     if overload.shed == 0 {
         violations.push("overload: the burst never hit the queue bound".into());
     }
@@ -383,6 +455,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if !port_closed {
         violations.push("drain: the listener is still accepting after shutdown".into());
+    }
+    let surrogate_rate = surrogate.ok_surrogate as f64 / surrogate.requests as f64;
+    if surrogate_rate < gate.min_surrogate_rate {
+        violations.push(format!(
+            "surrogate: fast-path rate {:.2} below the {:.2} bound",
+            surrogate_rate, gate.min_surrogate_rate
+        ));
+    }
+    if surrogate.ok_live == 0 {
+        violations.push("surrogate: the out-of-domain request never reached a live solve".into());
+    }
+    if surrogate.ok_degraded > 0 {
+        violations.push("surrogate: an in-domain analytic request degraded".into());
+    }
+    if counters.surrogate_check_failures > 0 {
+        violations.push(format!(
+            "surrogate: {} check-mode deviation(s) beyond the certified envelope",
+            counters.surrogate_check_failures
+        ));
     }
     let shed_rate = overload.shed as f64 / overload.requests as f64;
     if shed_rate > gate.max_shed_rate {

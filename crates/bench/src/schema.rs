@@ -402,12 +402,16 @@ pub struct HealthProbe {
 /// One load scenario of `results/probe_serve.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeScenario {
-    /// Scenario label (`overload`, `deadline`, `chaos`, `drain`).
+    /// Scenario label (`overload`, `deadline`, `chaos`, `drain`,
+    /// `surrogate`).
     pub name: String,
     /// Requests issued by the probe's client threads.
     pub requests: usize,
     /// `200` responses answered by a live solve.
     pub ok_live: usize,
+    /// `200` responses answered by the certified surrogate fast path
+    /// (`surrogate: true`, `degraded: false`).
+    pub ok_surrogate: usize,
     /// `200` responses answered by the degraded fallback curve.
     pub ok_degraded: usize,
     /// Typed `429 Overloaded` sheds.
@@ -439,6 +443,14 @@ pub struct ServeCounters {
     pub degraded: u64,
     /// Circuit-breaker trip events.
     pub breaker_open: u64,
+    /// Surrogate-store lookups that found a calibrated curve.
+    pub surrogate_hits: u64,
+    /// Surrogate-store lookups that calibrated a new curve.
+    pub surrogate_misses: u64,
+    /// Surrogate answers re-solved live by check mode.
+    pub surrogate_checks: u64,
+    /// Check-mode deviations beyond the certified envelope (must be 0).
+    pub surrogate_check_failures: u64,
 }
 
 /// The gate bounds checked into `baselines/probe_serve.json`. Unlike
@@ -455,6 +467,9 @@ pub struct ServeGateBounds {
     pub max_p99_ms: f64,
     /// Minimum `200` responses the overload scenario must complete.
     pub min_ok: u64,
+    /// Minimum fraction of the surrogate scenario's requests that must
+    /// be answered by the surrogate fast path (`surrogate: true`).
+    pub min_surrogate_rate: f64,
 }
 
 /// Root of `results/probe_serve.json` (single object).
@@ -466,6 +481,106 @@ pub struct ServeProbe {
     pub counters: ServeCounters,
     /// The gate bounds this run was checked against.
     pub gate: ServeGateBounds,
+    /// Whether every gate bound held.
+    pub gate_passed: bool,
+}
+
+/// Calibration cost and certified envelope of
+/// `results/probe_surrogate.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateCalibration {
+    /// Calibrated curves in the store after the workload.
+    pub curves: usize,
+    /// Live solves spent calibrating the timed curve.
+    pub solves: u64,
+    /// Wall clock of the timed curve's calibration, milliseconds.
+    pub wall_ms: f64,
+    /// Certified per-query worst-case error bound, volts.
+    pub envelope_max_v: f64,
+    /// RMS deviation observed while probing the envelope, volts.
+    pub envelope_rms_v: f64,
+    /// Probe evaluations behind the envelope.
+    pub envelope_probes: usize,
+}
+
+/// Cache-hit-vs-live timing comparison of
+/// `results/probe_surrogate.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateSpeedup {
+    /// Queries timed through each path.
+    pub queries: usize,
+    /// Mean live analytic solve time per query, microseconds.
+    pub live_us_per_query: f64,
+    /// Mean surrogate evaluation time per query, microseconds.
+    pub surrogate_us_per_query: f64,
+    /// Live-to-surrogate wall-clock ratio.
+    pub speedup: f64,
+    /// Worst `|v_surrogate − v_live|` across the timed queries, volts.
+    pub max_abs_deviation_v: f64,
+    /// Queries whose surrogate and live readouts disagreed.
+    pub readout_mismatches: usize,
+}
+
+/// Check-mode audit of `results/probe_surrogate.json`: a seeded
+/// subsample of surrogate answers re-solved through the live solver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateCheckAudit {
+    /// The configured sampling period (one in `every`).
+    pub every: u64,
+    /// Queries evaluated under check mode.
+    pub queries: usize,
+    /// Queries the policy selected for a live re-solve.
+    pub checks: u64,
+    /// Deviations beyond the certified envelope (must be 0).
+    pub check_failures: u64,
+}
+
+/// Domain-refusal demonstration of `results/probe_surrogate.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateDomainDemo {
+    /// Lower edge of the calibrated temperature domain, Celsius.
+    pub lo_c: f64,
+    /// Upper edge of the calibrated temperature domain, Celsius.
+    pub hi_c: f64,
+    /// The out-of-domain temperature the probe queried, Celsius.
+    pub rejected_temp_c: f64,
+    /// Whether the query was refused with the typed `OutOfDomain`
+    /// error (it must be — the surrogate never extrapolates).
+    pub rejected_typed: bool,
+}
+
+/// The gate bounds checked into `baselines/probe_surrogate.json`.
+/// Hand-set limits like the serve gate: wall-clock ratios are
+/// machine-dependent, so the gate pins the contract (a real speedup, a
+/// sane envelope, zero check failures) rather than exact numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateGateBounds {
+    /// Minimum tolerated live-to-surrogate speedup.
+    pub min_speedup: f64,
+    /// Maximum tolerated certified envelope, volts.
+    pub max_envelope_v: f64,
+    /// Maximum tolerated check-mode failures (0: the envelope is a
+    /// promise, not a statistic).
+    pub max_check_failures: u64,
+}
+
+/// Root of `results/probe_surrogate.json` (single object).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateProbe {
+    /// Cells per row of the probed array.
+    pub cells_per_row: usize,
+    /// The calibration temperature grid, Celsius.
+    pub grid_c: Vec<f64>,
+    /// Calibration cost and the certified envelope.
+    pub calibration: SurrogateCalibration,
+    /// Cache-hit timing versus live analytic solves.
+    pub speedup: SurrogateSpeedup,
+    /// The seeded check-mode audit.
+    pub check: SurrogateCheckAudit,
+    /// The out-of-domain refusal demonstration.
+    pub domain: SurrogateDomainDemo,
+    /// The gate bounds this run was checked against.
+    pub gate: SurrogateGateBounds,
     /// Whether every gate bound held.
     pub gate_passed: bool,
 }

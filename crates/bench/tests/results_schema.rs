@@ -6,7 +6,7 @@
 use ferrocim_bench::schema::{
     AblationFeedbackRow, AdaptiveProbe, BaselineOverlap, ComparisonRow, HealthProbe, IvCurve,
     LevelRange, ProcessVariationPoint, ProposedArraySummary, ProposedCellRow, RegionResult,
-    ServeProbe, SparseProbe, TelemetryProbe, VggLayerRow, WriteVerifyRow,
+    ServeProbe, SparseProbe, SurrogateProbe, TelemetryProbe, VggLayerRow, WriteVerifyRow,
 };
 use std::path::{Path, PathBuf};
 
@@ -35,6 +35,7 @@ fn validate(name: &str, text: &str) -> Option<Result<(), serde_json::Error>> {
         "probe_health" => check::<HealthProbe>(text),
         "probe_serve" => check::<ServeProbe>(text),
         "probe_sparse" => check::<SparseProbe>(text),
+        "probe_surrogate" => check::<SurrogateProbe>(text),
         "probe_telemetry" => check::<TelemetryProbe>(text),
         "table1_vgg_structure" => check::<Vec<VggLayerRow>>(text),
         "table2_summary" => check::<Vec<ComparisonRow>>(text),
@@ -75,7 +76,7 @@ fn every_results_artifact_matches_its_schema() {
         failures.join("\n  ")
     );
     assert!(
-        validated >= 14,
-        "expected at least the 14 known artifacts, validated {validated}"
+        validated >= 15,
+        "expected at least the 15 known artifacts, validated {validated}"
     );
 }

@@ -40,6 +40,7 @@ pub mod layers;
 pub mod metrics;
 pub mod network;
 pub mod quant;
+pub mod surrogate_oracle;
 pub mod tensor;
 pub mod vgg;
 

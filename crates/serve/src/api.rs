@@ -125,10 +125,11 @@ impl MacApiRequest {
     }
 }
 
-/// The success body (live or degraded — `degraded` says which).
-/// `cause` carries the last solver error when the answer degraded, so
-/// clients can tell a breaker-open fallback from an exhausted retry
-/// ladder.
+/// The success body (live, surrogate, or degraded — the `surrogate`
+/// and `degraded` flags say which: surrogate-only is the certified
+/// fast path, degraded+surrogate is the fallback tier). `cause`
+/// carries the last solver error when the answer degraded, so clients
+/// can tell a breaker-open fallback from an exhausted retry ladder.
 pub fn ok_body(
     solution: &crate::backend::Solution,
     attempts: u32,
@@ -138,6 +139,7 @@ pub fn ok_body(
     let mut body = json!({
         "ok": true,
         "degraded": (solution.degraded),
+        "surrogate": (solution.surrogate),
         "breaker_open": (breaker_open),
         "v_acc": (solution.v_acc.value()),
         "readout": (solution.readout as u64),

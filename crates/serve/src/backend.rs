@@ -1,19 +1,39 @@
-//! The solver backend behind the service, and its degraded fallback.
+//! The solver backend behind the service, its surrogate fast path, and
+//! its degraded fallback.
 //!
 //! [`MacBackend`] is the seam the server is written against: the real
 //! [`CimBackend`] runs live `ferrocim-cim` transients, while tests and
 //! the `probe_serve` bench wrap it in [`crate::ChaosBackend`] to inject
-//! faults. The fallback path answers from the transfer curve measured
-//! at startup (the `cim.transfer_measure` calibration), which costs no
-//! solver work at all — that is what makes it safe to use while the
-//! circuit breaker is open.
+//! faults. Two layers sit in front of and behind the live solve:
+//!
+//! - **Surrogate fast path** ([`MacBackend::surrogate`]): the
+//!   content-addressed store from `ferrocim-surrogate`. Analytic
+//!   requests whose (weights, faults, temperature-domain) key is
+//!   calibrated are answered from the curve — no netlist, no Newton
+//!   iterations — marked `surrogate: true` with `degraded: false`; a
+//!   miss calibrates the key with live solves and then answers.
+//! - **Degraded fallback** ([`MacBackend::fallback`]): the surrogate's
+//!   lowest tier. The all-ones-weights curve calibrated at startup
+//!   answers from the request's true MAC count with the temperature
+//!   clamped into the calibrated domain — infallible and solver-free,
+//!   which is what makes it safe while the circuit breaker is open.
+//!   Fallback answers carry `degraded: true` *and* `surrogate: true`,
+//!   so clients can tell the two tiers apart: a surrogate answer is a
+//!   certified curve evaluation of the actual operands, a degraded
+//!   answer is the level-table estimate for the digital count.
 
 use ferrocim_cim::cells::TwoTransistorOneFefet;
-use ferrocim_cim::transfer::{Adc, TransferConfig, TransferModel};
-use ferrocim_cim::{ArrayConfig, CimArray, CimError, MacPath, MacRequest};
+use ferrocim_cim::transfer::Adc;
+use ferrocim_cim::{mac_operands, ArrayConfig, CimArray, CimError, MacPath, MacRequest};
 use ferrocim_spice::Budget;
+use ferrocim_surrogate::{CalibratedCurve, CheckPolicy, MacSurrogate, SurrogateError};
 use ferrocim_telemetry::Telemetry;
 use ferrocim_units::{Celsius, Volt};
+use std::sync::Arc;
+
+/// The serve backend's calibration grid: the paper's full operating
+/// range with a room-temperature anchor.
+const SURROGATE_GRID_C: [f64; 3] = [0.0, 27.0, 85.0];
 
 /// One MAC solve as the server sees it: operands, operating
 /// temperature, and the per-request budget (deadline + cancellation)
@@ -43,11 +63,11 @@ impl SolveRequest {
     }
 }
 
-/// A completed MAC answer, live or degraded.
+/// A completed MAC answer, live, surrogate, or degraded.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
-    /// The accumulated analog output (live) or its calibrated estimate
-    /// (degraded).
+    /// The accumulated analog output (live), its certified curve
+    /// evaluation (surrogate), or its calibrated estimate (degraded).
     pub v_acc: Volt,
     /// The quantized readout count.
     pub readout: usize,
@@ -57,8 +77,13 @@ pub struct Solution {
     pub energy_j: f64,
     /// MAC latency in seconds (0 when degraded).
     pub latency_s: f64,
-    /// Whether this answer came from the fallback curve.
+    /// Whether this answer came from the degraded fallback tier.
     pub degraded: bool,
+    /// Whether this answer was produced by the calibrated surrogate
+    /// store rather than a live solve. Degraded answers from
+    /// [`CimBackend`] set both flags (the fallback *is* the surrogate's
+    /// lowest tier); a surrogate fast-path answer sets only this one.
+    pub surrogate: bool,
 }
 
 /// The solver seam the server drives.
@@ -71,9 +96,18 @@ pub trait MacBackend: Send + Sync {
     /// retryable, deadline, and invalid-input cases.
     fn solve(&self, request: &SolveRequest) -> Result<Solution, CimError>;
 
-    /// Answers from the calibrated transfer curve without touching the
-    /// solver. Infallible by design — degradation must not be able to
-    /// fail.
+    /// Tries to answer from the calibrated surrogate store without a
+    /// live solve. `None` means "no fast path for this request" (no
+    /// store, transient-path request, out-of-domain temperature, or a
+    /// calibration that failed) and the server falls through to
+    /// [`MacBackend::solve`]. The default implementation has no store.
+    fn surrogate(&self, request: &SolveRequest) -> Option<Solution> {
+        let _ = request;
+        None
+    }
+
+    /// Answers from the degraded tier without touching the solver.
+    /// Infallible by design — degradation must not be able to fail.
     fn fallback(&self, request: &SolveRequest) -> Solution;
 
     /// Row width the backend accepts (for input validation).
@@ -85,6 +119,10 @@ impl<B: MacBackend + ?Sized> MacBackend for std::sync::Arc<B> {
         (**self).solve(request)
     }
 
+    fn surrogate(&self, request: &SolveRequest) -> Option<Solution> {
+        (**self).surrogate(request)
+    }
+
     fn fallback(&self, request: &SolveRequest) -> Solution {
         (**self).fallback(request)
     }
@@ -94,51 +132,76 @@ impl<B: MacBackend + ?Sized> MacBackend for std::sync::Arc<B> {
     }
 }
 
-/// The live `ferrocim-cim` backend: the paper's 2T1F array plus a
-/// startup-calibrated ADC and transfer curve.
+/// Maps surrogate-layer failures into the backend's error type. The
+/// grid and operand widths are fixed by construction, so in practice
+/// only wrapped solver errors ever surface.
+fn cim_error(e: SurrogateError) -> CimError {
+    match e {
+        SurrogateError::Cim(e) => e,
+        _ => CimError::InvalidConfig {
+            name: "surrogate",
+            value: 0.0,
+            requirement: "the serve surrogate grid and operands are static and must be accepted",
+        },
+    }
+}
+
+/// The live `ferrocim-cim` backend: the paper's 2T1F array, a startup-
+/// calibrated ADC, and the surrogate store whose all-ones curve doubles
+/// as the degraded fallback tier.
 pub struct CimBackend {
     array: CimArray<TwoTransistorOneFefet>,
     adc: Adc,
-    transfer: TransferModel,
+    surrogate: MacSurrogate<TwoTransistorOneFefet>,
+    /// The all-ones-weights curve calibrated at startup: the degraded
+    /// tier, and the proof the surrogate store is answerable before the
+    /// first request lands.
+    startup: Arc<CalibratedCurve>,
     levels: Vec<Volt>,
 }
 
 impl CimBackend {
-    /// Builds the paper-default array and measures the fallback
-    /// transfer curve (`samples_per_level` Monte-Carlo samples per MAC
-    /// level — small values keep startup fast; 8 is plenty for a
-    /// fallback estimate). Telemetry flows into the server's
-    /// aggregator, so calibration work is visible in `/metrics`.
+    /// Builds the paper-default array, calibrates the ADC, and eagerly
+    /// calibrates the surrogate's all-ones-weights curve over the
+    /// 0–85 °C grid (the degraded-fallback tier). `check_every` > 0
+    /// enables surrogate check mode: roughly one in that many
+    /// surrogate-answered queries is re-solved live and compared to the
+    /// certified envelope (0 disables checking). Telemetry flows into
+    /// the server's aggregator, so calibration work, surrogate hits,
+    /// and check outcomes are all visible in `/metrics`.
     ///
     /// # Errors
     ///
     /// Propagates array-construction and calibration solve failures.
-    pub fn new(telemetry: Telemetry, samples_per_level: usize) -> Result<CimBackend, CimError> {
+    pub fn new(telemetry: Telemetry, check_every: usize) -> Result<CimBackend, CimError> {
         let array = CimArray::new(
             TwoTransistorOneFefet::paper_default(),
             ArrayConfig::paper_default(),
         )?
-        .with_recorder(telemetry);
+        .with_recorder(telemetry.clone());
         let adc = Adc::calibrate(&array, Celsius::ROOM)?;
         let levels = array.level_voltages(Celsius::ROOM)?;
-        let transfer = TransferModel::measure(
-            &array,
-            &TransferConfig {
-                samples_per_level: samples_per_level.max(1),
-                ..TransferConfig::paper_default(Celsius::ROOM)
-            },
-        )?;
+        let grid: Vec<Celsius> = SURROGATE_GRID_C.iter().map(|&t| Celsius(t)).collect();
+        let mut surrogate = MacSurrogate::new(array.clone(), &grid)
+            .map_err(cim_error)?
+            .with_recorder(telemetry);
+        if check_every > 0 {
+            surrogate = surrogate.with_check(CheckPolicy::every(check_every as u64));
+        }
+        let n = array.config().cells_per_row;
+        let startup = surrogate.curve_for(&vec![true; n]).map_err(cim_error)?;
         Ok(CimBackend {
             array,
             adc,
-            transfer,
+            surrogate,
+            startup,
             levels,
         })
     }
 
-    /// The calibrated transfer model (the degradation curve).
-    pub fn transfer(&self) -> &TransferModel {
-        &self.transfer
+    /// The surrogate store (counters, curves, calibration domain).
+    pub fn mac_surrogate(&self) -> &MacSurrogate<TwoTransistorOneFefet> {
+        &self.surrogate
     }
 }
 
@@ -161,24 +224,68 @@ impl MacBackend for CimBackend {
             energy_j: output.energy.value(),
             latency_s: output.latency.value(),
             degraded: false,
+            surrogate: false,
+        })
+    }
+
+    fn surrogate(&self, request: &SolveRequest) -> Option<Solution> {
+        // The store is calibrated against the analytic path; a client
+        // that explicitly asked for a transient simulation gets one.
+        if request.path != MacPath::Analytic {
+            return None;
+        }
+        // Out-of-domain temperatures and (unreachable) width mismatches
+        // fall through to the live solve; a miss calibrates in-line and
+        // then answers.
+        let answer = self
+            .surrogate
+            .evaluate(&request.weights, &request.inputs, request.temp)
+            .ok()?;
+        Some(Solution {
+            v_acc: answer.v_acc,
+            // Quantize with the serve ADC, not the curve's interpolated
+            // thresholds, so surrogate and live answers to the same
+            // request can never disagree about the readout convention.
+            readout: self.adc.quantize(answer.v_acc),
+            expected: answer.expected,
+            energy_j: answer.energy.value(),
+            latency_s: answer.latency.value(),
+            degraded: false,
+            surrogate: true,
         })
     }
 
     fn fallback(&self, request: &SolveRequest) -> Solution {
-        let k = request.true_mac().min(self.levels.len().saturating_sub(1));
-        // The transfer curve's expected readout folds in the measured
-        // temperature-and-variation error statistics; the level table
-        // turns it back into a voltage estimate.
-        let expected_read = self.transfer.expected(k);
-        let readout =
-            (expected_read.round().max(0.0) as usize).min(self.levels.len().saturating_sub(1));
-        Solution {
-            v_acc: self.levels[readout],
-            readout,
-            expected: request.true_mac(),
-            energy_j: 0.0,
-            latency_s: 0.0,
-            degraded: true,
+        let n = self.levels.len().saturating_sub(1);
+        let k = request.true_mac().min(n);
+        // The degraded tier is the surrogate's startup curve: evaluate
+        // the all-ones-weights row at the digital count's canonical
+        // pattern, with the temperature clamped into the calibrated
+        // domain so the answer exists for any request.
+        let (lo, hi) = self.surrogate.domain_c();
+        let temp = Celsius(request.temp.value().clamp(lo, hi));
+        let (_, pattern) = mac_operands(n, k);
+        match self.startup.eval(&pattern, temp) {
+            Ok(answer) => Solution {
+                v_acc: answer.v_acc,
+                readout: self.adc.quantize(answer.v_acc),
+                expected: request.true_mac(),
+                energy_j: 0.0,
+                latency_s: 0.0,
+                degraded: true,
+                surrogate: true,
+            },
+            // Unreachable (clamped temperature, canonical width); the
+            // raw level table keeps the fallback infallible regardless.
+            Err(_) => Solution {
+                v_acc: self.levels[k],
+                readout: k,
+                expected: request.true_mac(),
+                energy_j: 0.0,
+                latency_s: 0.0,
+                degraded: true,
+                surrogate: false,
+            },
         }
     }
 

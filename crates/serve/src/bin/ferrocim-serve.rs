@@ -2,9 +2,14 @@
 //!
 //! ```text
 //! ferrocim-serve [--addr 127.0.0.1:7878] [--workers N] [--queue N]
-//!                [--tenant-quota N] [--calibration-samples N]
+//!                [--tenant-quota N] [--surrogate-check N]
 //!                [--self-check]
 //! ```
+//!
+//! `--surrogate-check N` re-solves roughly one in `N` surrogate-
+//! answered queries through the live solver and compares the deviation
+//! to the certified error envelope (visible in `/metrics` as
+//! `ferrocim_surrogate_checks_total` / `..._check_failures_total`).
 //!
 //! `--self-check` boots the full service on an ephemeral port, drives
 //! one MAC request plus `/healthz` and `/metrics` through a real TCP
@@ -19,7 +24,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: ferrocim-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--tenant-quota N] [--calibration-samples N] [--self-check]";
+                     [--tenant-quota N] [--surrogate-check N] [--self-check]";
 
 fn main() -> ExitCode {
     match run() {
@@ -56,9 +61,8 @@ fn run() -> Result<ExitCode, String> {
             "--tenant-quota" => {
                 config.tenant_quota = parse_count(iter.next(), "--tenant-quota")?.max(1);
             }
-            "--calibration-samples" => {
-                config.calibration_samples =
-                    parse_count(iter.next(), "--calibration-samples")?.max(1);
+            "--surrogate-check" => {
+                config.surrogate_check_every = parse_count(iter.next(), "--surrogate-check")?;
             }
             "--self-check" => self_check = true,
             "--help" | "-h" => {
@@ -74,11 +78,8 @@ fn run() -> Result<ExitCode, String> {
 
     let aggregator = Arc::new(Aggregator::new());
     let telemetry = Telemetry::new(aggregator.clone());
-    eprintln!(
-        "calibrating fallback transfer curve ({} samples/level)...",
-        config.calibration_samples
-    );
-    let backend = CimBackend::new(telemetry.clone(), config.calibration_samples)
+    eprintln!("calibrating surrogate store (all-ones curve, 0-85 \u{b0}C grid)...");
+    let backend = CimBackend::new(telemetry.clone(), config.surrogate_check_every)
         .map_err(|e| format!("backend calibration failed: {e}"))?;
     let server = Server::start(config, Arc::new(backend), telemetry, aggregator)
         .map_err(|e| format!("bind failed: {e}"))?;
@@ -131,6 +132,14 @@ fn self_check_run(server: &Server) -> Result<(), String> {
         Some(Value::Number(n)) if *n == 2.0 => {}
         other => return Err(format!("expected MAC of 2, got {other:?}")),
     }
+    // An analytic in-domain request is answered by the surrogate store
+    // (populated on miss), never the degraded tier.
+    if body.get("surrogate") != Some(&Value::Bool(true)) {
+        return Err(format!("expected a surrogate-answered MAC: {body:?}"));
+    }
+    if body.get("degraded") != Some(&Value::Bool(false)) {
+        return Err(format!("smoke MAC must not be degraded: {body:?}"));
+    }
 
     let health =
         http_request(addr, "GET", "/healthz", b"", timeout).map_err(|e| format!("healthz: {e}"))?;
@@ -153,6 +162,8 @@ fn self_check_run(server: &Server) -> Result<(), String> {
         "ferrocim_serve_admitted_total",
         "ferrocim_serve_shed_total",
         "ferrocim_newton_iterations_total",
+        "ferrocim_surrogate_hits_total",
+        "ferrocim_surrogate_misses_total",
     ] {
         if !text.contains(metric) {
             return Err(format!("metrics exposition is missing {metric}"));

@@ -85,6 +85,13 @@ impl<B: MacBackend> MacBackend for ChaosBackend<B> {
         self.inner.solve(request)
     }
 
+    fn surrogate(&self, _request: &SolveRequest) -> Option<Solution> {
+        // Chaos exists to exercise the live solve/retry/breaker ladder;
+        // letting the inner surrogate answer would bypass exactly the
+        // machinery under test, so the fast path is disabled here.
+        None
+    }
+
     fn fallback(&self, request: &SolveRequest) -> Solution {
         // Faults never touch the fallback: degradation must stay safe
         // even (especially) under chaos.

@@ -11,8 +11,11 @@
 //! 2. **Parse + quota.** A worker pops the job, reads the request under
 //!    a read timeout, and claims the tenant's concurrency slot; an
 //!    exhausted quota is the second shed point (also a typed `429`).
-//! 3. **Solve under budget.** The request's `timeout_ms` (measured from
-//!    *admission*, so queue wait counts) becomes a
+//! 3. **Surrogate, then solve under budget.** The calibrated surrogate
+//!    store gets first refusal: an analytic request whose key is
+//!    calibrated is answered from the curve (marked `surrogate: true`)
+//!    with no solver work at all. Otherwise the request's `timeout_ms`
+//!    (measured from *admission*, so queue wait counts) becomes a
 //!    [`ferrocim_spice::Budget`] deadline, and a
 //!    [`ferrocim_spice::CancelToken`] is registered with the watchdog
 //!    thread, which trips it if the client disconnects mid-solve.
@@ -21,7 +24,8 @@
 //!    seeded backoff schedule while the global [`RetryBudget`] allows;
 //!    the tenant's circuit breaker records every live outcome, and once
 //!    it opens — or retries run dry — the answer comes from the
-//!    calibrated fallback curve, marked `degraded: true`.
+//!    surrogate's degraded tier (the startup-calibrated all-ones
+//!    curve), marked `degraded: true`.
 //! 5. **Answer, always typed.** Every terminal outcome is one of the
 //!    bodies in [`crate::api`]; even a panic unwinds into a typed
 //!    `500`, and a vanished client is the only case that produces no
@@ -73,10 +77,11 @@ pub struct ServeConfig {
     pub retry_budget_cap: u64,
     /// Per-tenant circuit-breaker tuning.
     pub breaker: BreakerConfig,
-    /// Monte-Carlo samples per level for the startup fallback
-    /// calibration (only used by backends built through
-    /// [`crate::CimBackend::new`]).
-    pub calibration_samples: usize,
+    /// Surrogate check-mode sampling period: roughly one in this many
+    /// surrogate-answered queries is re-solved live and compared to the
+    /// certified error envelope; 0 disables checking (only used by
+    /// backends built through [`crate::CimBackend::new`]).
+    pub surrogate_check_every: usize,
 }
 
 impl Default for ServeConfig {
@@ -94,7 +99,7 @@ impl Default for ServeConfig {
             retry_deposit_millis: 100,
             retry_budget_cap: 10,
             breaker: BreakerConfig::default(),
-            calibration_samples: 8,
+            surrogate_check_every: 0,
         }
     }
 }
@@ -563,6 +568,14 @@ fn run_mac(
     solve: &SolveRequest,
     deadline_at: Instant,
 ) {
+    // Surrogate fast path first: a calibrated key answers without any
+    // solver work, so it neither consumes a breaker probe slot nor
+    // records an outcome — the breaker tracks the health of the *live*
+    // solver, which this path never touched.
+    if let Some(solution) = shared.backend.surrogate(solve) {
+        respond(stream, 200, "OK", &api::ok_body(&solution, 0, false, None));
+        return;
+    }
     let breaker = shared.breaker_for(tenant);
     let decision = breaker.decide();
     if decision == BreakerDecision::Deny {

@@ -60,6 +60,7 @@ impl MacBackend for StubBackend {
             energy_j: 1.0e-15,
             latency_s: 6.9e-9,
             degraded: false,
+            surrogate: false,
         })
     }
 
@@ -72,6 +73,7 @@ impl MacBackend for StubBackend {
             energy_j: 0.0,
             latency_s: 0.0,
             degraded: true,
+            surrogate: false,
         }
     }
 
@@ -499,6 +501,11 @@ fn real_cim_backend_serves_a_live_mac() {
     let doc = typed_json(resp.status, &resp.body);
     assert_eq!(doc.get("expected"), Some(&Value::Number(2.0)));
     assert_eq!(doc.get("degraded"), Some(&Value::Bool(false)));
+    // An analytic in-domain request is answered by the surrogate fast
+    // path (the first solve for this weight pattern calibrates a curve
+    // in-line, then answers from it).
+    assert_eq!(doc.get("surrogate"), Some(&Value::Bool(true)));
+    assert_eq!(doc.get("attempts"), Some(&Value::Number(0.0)));
     let readout = match doc.get("readout") {
         Some(Value::Number(n)) => *n as i64,
         other => panic!("readout missing: {other:?}"),
@@ -507,5 +514,19 @@ fn real_cim_backend_serves_a_live_mac() {
         (readout - 2).abs() <= 1,
         "nominal room-temperature readout is within one level of truth"
     );
+
+    // The same request again is a pure cache hit; the counters in the
+    // shared aggregator record both lookups.
+    let again =
+        http_request(addr, "POST", "/v1/mac", body, Duration::from_secs(30)).expect("request");
+    assert_eq!(again.status, 200);
+    let doc = typed_json(again.status, &again.body);
+    assert_eq!(doc.get("surrogate"), Some(&Value::Bool(true)));
+    let counts = server.aggregator().counts();
+    assert!(
+        counts.surrogate_misses >= 1,
+        "startup + first request each calibrated a curve"
+    );
+    assert!(counts.surrogate_hits >= 1, "the repeat request hit");
     server.shutdown();
 }

@@ -1,0 +1,245 @@
+//! Content-addressed keys for calibrated curves.
+//!
+//! A surrogate answer is only as trustworthy as its key: if two
+//! physically different arrays collide, a curve calibrated on one
+//! silently answers for the other. The fingerprint therefore covers
+//! everything the analytic MAC depends on — the netlist topology (cell
+//! design, device parameters, injected faults, bias network), the array
+//! geometry and timing, the calibration temperature grid, and the
+//! per-column programmed state — while being *insensitive to
+//! enumeration order*: callers that list the same cell states or fault
+//! entries in a different order get bitwise-identical keys, because the
+//! canonical form sorts by column before hashing.
+//!
+//! The hash is FNV-1a over a canonical byte stream (the same scheme as
+//! [`ferrocim_spice::Circuit::content_hash`], which supplies the
+//! topology component). FNV is not cryptographic; the store is a cache
+//! keyed by trusted in-process state, not an integrity boundary.
+
+use ferrocim_cim::{ArrayConfig, CellFault};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Minimal FNV-1a accumulator over canonical byte encodings.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn f64(&mut self, v: f64) {
+        // Bit-exact: two grids differing in the last ulp are different
+        // calibration domains and must not share a curve.
+        self.u64(v.to_bits());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The programmed state of one column: its position, stored weight bit,
+/// and injected hardware fault (if any).
+///
+/// The *position* is part of the state on purpose: per-cell deltas are
+/// tied to columns, so a fault moving from column 0 to column 1 is a
+/// different array even when the fault multiset is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellState {
+    /// Column index within the row.
+    pub col: usize,
+    /// The programmed weight bit.
+    pub weight: bool,
+    /// The injected fault, if any.
+    pub fault: Option<CellFault>,
+}
+
+/// A stable small-integer tag per fault variant (0 = no fault).
+fn fault_tag(fault: Option<CellFault>) -> u64 {
+    match fault {
+        None => 0,
+        Some(CellFault::StuckAtLvt) => 1,
+        Some(CellFault::StuckAtHvt) => 2,
+        Some(CellFault::DeadWordline) => 3,
+        Some(CellFault::OpenDevice) => 4,
+        Some(CellFault::ShortDevice) => 5,
+    }
+}
+
+/// Computes the content-addressed key for one calibrated curve.
+///
+/// Inputs:
+/// - `topology`: [`ferrocim_spice::Circuit::content_hash`] of the row's
+///   readout netlist built with canonical operands — covers cell design,
+///   device parameters, bias network, and fault-induced rewrites.
+/// - `config`: array geometry and timing (all fields, bit-exact).
+/// - `temps_c`: the calibration temperature grid in °C, in grid order
+///   (the grid is ordered by construction; its order is meaningful
+///   because it defines the interpolation intervals).
+/// - `cells`: per-column programmed state in **any** order; the
+///   canonical form sorts by column index, so enumeration order never
+///   changes the key.
+pub fn fingerprint(
+    topology: u64,
+    config: &ArrayConfig,
+    temps_c: &[f64],
+    cells: &[CellState],
+) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(topology);
+    h.usize(config.cells_per_row);
+    h.f64(config.c_o.value());
+    h.f64(config.c_acc.value());
+    h.f64(config.t_charge.value());
+    h.f64(config.t_settle.value());
+    h.f64(config.t_share.value());
+    h.f64(config.dt.value());
+    h.usize(temps_c.len());
+    for &t in temps_c {
+        h.f64(t);
+    }
+    let mut canonical: Vec<CellState> = cells.to_vec();
+    canonical.sort_by_key(|c| (c.col, c.weight, fault_tag(c.fault)));
+    h.usize(canonical.len());
+    for cell in &canonical {
+        h.usize(cell.col);
+        h.u64(u64::from(cell.weight));
+        h.u64(fault_tag(cell.fault));
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferrocim_units::{Farad, Second};
+
+    fn config() -> ArrayConfig {
+        ArrayConfig::paper_default()
+    }
+
+    fn cells() -> Vec<CellState> {
+        vec![
+            CellState {
+                col: 0,
+                weight: true,
+                fault: None,
+            },
+            CellState {
+                col: 1,
+                weight: false,
+                fault: Some(CellFault::StuckAtHvt),
+            },
+            CellState {
+                col: 2,
+                weight: true,
+                fault: Some(CellFault::ShortDevice),
+            },
+            CellState {
+                col: 3,
+                weight: false,
+                fault: None,
+            },
+        ]
+    }
+
+    /// Golden value: the fingerprint is part of the store's on-disk /
+    /// cross-process identity, so accidental drift (a reordered field, a
+    /// changed tag) must fail loudly. Regenerating this constant is an
+    /// intentional cache-invalidation event.
+    #[test]
+    fn fingerprint_matches_golden_value() {
+        let key = fingerprint(
+            0x1234_5678_9abc_def0,
+            &config(),
+            &[0.0, 27.0, 85.0],
+            &cells(),
+        );
+        assert_eq!(key, 0x4d2f_b481_f757_dd23, "got {key:#018x}");
+    }
+
+    /// Enumeration order of the cell states must not change the key.
+    #[test]
+    fn fingerprint_is_insensitive_to_cell_ordering() {
+        let reference = fingerprint(7, &config(), &[0.0, 85.0], &cells());
+        let mut scrambled = cells();
+        scrambled.reverse();
+        assert_eq!(
+            reference,
+            fingerprint(7, &config(), &[0.0, 85.0], &scrambled)
+        );
+        scrambled.swap(0, 2);
+        assert_eq!(
+            reference,
+            fingerprint(7, &config(), &[0.0, 85.0], &scrambled)
+        );
+    }
+
+    /// Every keyed component must be visible in the hash.
+    #[test]
+    fn fingerprint_sees_every_component() {
+        let reference = fingerprint(7, &config(), &[0.0, 85.0], &cells());
+        // Topology.
+        assert_ne!(reference, fingerprint(8, &config(), &[0.0, 85.0], &cells()));
+        // Geometry (one attofarad on the output cap).
+        let nudged = ArrayConfig {
+            c_o: Farad(config().c_o.value() + 1e-18),
+            ..config()
+        };
+        assert_ne!(reference, fingerprint(7, &nudged, &[0.0, 85.0], &cells()));
+        // Timing.
+        let slower = ArrayConfig {
+            dt: Second(config().dt.value() * 2.0),
+            ..config()
+        };
+        assert_ne!(reference, fingerprint(7, &slower, &[0.0, 85.0], &cells()));
+        // Temperature grid (value and length).
+        assert_ne!(reference, fingerprint(7, &config(), &[0.0, 84.0], &cells()));
+        assert_ne!(
+            reference,
+            fingerprint(7, &config(), &[0.0, 27.0, 85.0], &cells())
+        );
+        // Weight flip.
+        let mut flipped = cells();
+        flipped[0].weight = false;
+        assert_ne!(reference, fingerprint(7, &config(), &[0.0, 85.0], &flipped));
+        // Fault kind and fault position.
+        let mut refaulted = cells();
+        refaulted[1].fault = Some(CellFault::OpenDevice);
+        assert_ne!(
+            reference,
+            fingerprint(7, &config(), &[0.0, 85.0], &refaulted)
+        );
+        let mut moved = cells();
+        moved[1].fault = None;
+        moved[3].fault = Some(CellFault::StuckAtHvt);
+        assert_ne!(reference, fingerprint(7, &config(), &[0.0, 85.0], &moved));
+    }
+
+    /// The fingerprint of the same inputs is bitwise-stable across
+    /// repeated computation (no hidden iteration-order dependence).
+    #[test]
+    fn fingerprint_is_deterministic() {
+        let a = fingerprint(42, &config(), &[0.0, 27.0, 85.0], &cells());
+        for _ in 0..10 {
+            assert_eq!(a, fingerprint(42, &config(), &[0.0, 27.0, 85.0], &cells()));
+        }
+    }
+}

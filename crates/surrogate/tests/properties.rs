@@ -1,0 +1,125 @@
+//! Property-based pinning of the surrogate's certified error bound.
+//!
+//! The contract under test: for ANY programmed weight vector, fault
+//! plan, input pattern, and in-domain temperature, the surrogate's
+//! `v_acc` deviates from the live analytic solve by less than the
+//! stored certified envelope — and for any out-of-domain temperature
+//! the surrogate refuses with a typed error instead of extrapolating.
+
+use ferrocim_cim::cells::TwoTransistorOneFefet;
+use ferrocim_cim::{ArrayConfig, CellFault, CimArray, MacPath, MacRequest};
+use ferrocim_surrogate::{MacSurrogate, SurrogateError};
+use ferrocim_units::{Celsius, Second};
+use proptest::prelude::*;
+
+const CELLS: usize = 4;
+const T_LO: f64 = 0.0;
+const T_HI: f64 = 85.0;
+
+fn array_with(faults: &[Option<CellFault>]) -> CimArray<TwoTransistorOneFefet> {
+    let config = ArrayConfig {
+        cells_per_row: CELLS,
+        dt: Second(100e-12),
+        ..ArrayConfig::paper_default()
+    };
+    CimArray::new(TwoTransistorOneFefet::paper_default(), config)
+        .expect("valid config")
+        .with_faults(faults)
+        .expect("valid faults")
+}
+
+fn fault_strategy() -> impl Strategy<Value = Option<CellFault>> {
+    // Healthy cells dominate (5 of 10 slots) so most sampled rows mix
+    // working and broken columns rather than being all-fault.
+    prop::sample::select(vec![
+        None,
+        None,
+        None,
+        None,
+        None,
+        Some(CellFault::StuckAtLvt),
+        Some(CellFault::StuckAtHvt),
+        Some(CellFault::DeadWordline),
+        Some(CellFault::OpenDevice),
+        Some(CellFault::ShortDevice),
+    ])
+}
+
+proptest! {
+    // Each case runs a full calibration (dozens of small analytic
+    // solves), so the case count is modest — like the batch property
+    // tests in ferrocim-cim.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// In-domain surrogate answers stay inside the certified envelope
+    /// against the live solver, for arbitrary weights, faults, inputs,
+    /// and temperatures.
+    #[test]
+    fn in_domain_deviation_stays_below_the_certified_envelope(
+        weights in prop::collection::vec(any::<bool>(), CELLS),
+        faults in prop::collection::vec(fault_strategy(), CELLS),
+        inputs in prop::collection::vec(prop::collection::vec(any::<bool>(), CELLS), 1..4),
+        temps in prop::collection::vec(T_LO..T_HI, 1..4),
+    ) {
+        let array = array_with(&faults);
+        let surrogate = MacSurrogate::new(array, &[Celsius(T_LO), Celsius(27.0), Celsius(T_HI)])
+            .expect("valid grid");
+        for (x, &t) in inputs.iter().zip(temps.iter().cycle()) {
+            let answer = surrogate
+                .evaluate(&weights, x, Celsius(t))
+                .expect("in-domain query");
+            let live = surrogate
+                .array()
+                .run(
+                    &MacRequest::new(x)
+                        .weights(&weights)
+                        .at(Celsius(t))
+                        .path(MacPath::Analytic),
+                )
+                .expect("live solve");
+            let dev = (answer.v_acc.value() - live.v_acc.value()).abs();
+            prop_assert!(
+                dev < answer.envelope.max_v,
+                "deviation {dev} >= certified envelope {} \
+                 (weights {weights:?}, faults {faults:?}, inputs {x:?}, t {t})",
+                answer.envelope.max_v
+            );
+            // The envelope itself must be a positive, finite bound.
+            prop_assert!(answer.envelope.max_v.is_finite() && answer.envelope.max_v > 0.0);
+            prop_assert!(answer.envelope.observed_max_v <= answer.envelope.max_v);
+        }
+        // Repeating any query is a pure curve hit with an identical answer.
+        let again = surrogate
+            .evaluate(&weights, &inputs[0], Celsius(temps[0]))
+            .expect("in-domain query");
+        let first = surrogate
+            .evaluate(&weights, &inputs[0], Celsius(temps[0]))
+            .expect("in-domain query");
+        prop_assert_eq!(again.v_acc, first.v_acc);
+    }
+
+    /// Out-of-domain temperatures always return the typed
+    /// `OutOfDomain` error — the surrogate never extrapolates.
+    #[test]
+    fn out_of_domain_queries_are_refused_not_extrapolated(
+        weights in prop::collection::vec(any::<bool>(), CELLS),
+        inputs in prop::collection::vec(any::<bool>(), CELLS),
+        above in 1e-3f64..500.0,
+        below in 1e-3f64..500.0,
+    ) {
+        let surrogate = MacSurrogate::new(
+            array_with(&[None; CELLS]),
+            &[Celsius(T_LO), Celsius(T_HI)],
+        )
+        .expect("valid grid");
+        for t in [T_HI + above, T_LO - below] {
+            match surrogate.evaluate(&weights, &inputs, Celsius(t)) {
+                Err(SurrogateError::OutOfDomain { temp_c, lo_c, hi_c }) => {
+                    prop_assert_eq!(temp_c, t);
+                    prop_assert_eq!((lo_c, hi_c), (T_LO, T_HI));
+                }
+                other => prop_assert!(false, "expected OutOfDomain at {t} °C, got {other:?}"),
+            }
+        }
+    }
+}

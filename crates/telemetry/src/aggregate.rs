@@ -179,6 +179,18 @@ pub struct Counts {
     /// Circuit-breaker closed-to-open trips
     /// ([`Event::ServeBreakerOpen`]).
     pub serve_breaker_open: u64,
+    /// Surrogate-store lookups answered from a calibrated curve
+    /// ([`Event::SurrogateLookup`] with `hit: true`).
+    pub surrogate_hits: u64,
+    /// Surrogate-store lookups that missed and triggered a live
+    /// calibration ([`Event::SurrogateLookup`] with `hit: false`).
+    pub surrogate_misses: u64,
+    /// Check-mode live re-solves of surrogate-answered queries
+    /// ([`Event::SurrogateCheck`]).
+    pub surrogate_checks: u64,
+    /// Check-mode re-solves whose deviation exceeded the certified
+    /// envelope ([`Event::SurrogateCheck`] with `ok: false`).
+    pub surrogate_check_failures: u64,
 }
 
 /// A lock-free in-memory [`Recorder`]: atomic counters per event kind
@@ -217,6 +229,10 @@ pub struct Aggregator {
     serve_retries: AtomicU64,
     serve_degraded: AtomicU64,
     serve_breaker_open: AtomicU64,
+    surrogate_hits: AtomicU64,
+    surrogate_misses: AtomicU64,
+    surrogate_checks: AtomicU64,
+    surrogate_check_failures: AtomicU64,
     newton_histogram: Histogram,
     span_histogram: Histogram,
 }
@@ -258,6 +274,10 @@ impl Aggregator {
             serve_retries: AtomicU64::new(0),
             serve_degraded: AtomicU64::new(0),
             serve_breaker_open: AtomicU64::new(0),
+            surrogate_hits: AtomicU64::new(0),
+            surrogate_misses: AtomicU64::new(0),
+            surrogate_checks: AtomicU64::new(0),
+            surrogate_check_failures: AtomicU64::new(0),
             newton_histogram: Histogram::new(NEWTON_BOUNDS),
             span_histogram: Histogram::new(SPAN_BOUNDS),
         }
@@ -294,6 +314,10 @@ impl Aggregator {
             serve_retries: load(&self.serve_retries),
             serve_degraded: load(&self.serve_degraded),
             serve_breaker_open: load(&self.serve_breaker_open),
+            surrogate_hits: load(&self.surrogate_hits),
+            surrogate_misses: load(&self.surrogate_misses),
+            surrogate_checks: load(&self.surrogate_checks),
+            surrogate_check_failures: load(&self.surrogate_check_failures),
         }
     }
 
@@ -340,6 +364,13 @@ impl Aggregator {
         add(&self.serve_retries, &other.serve_retries);
         add(&self.serve_degraded, &other.serve_degraded);
         add(&self.serve_breaker_open, &other.serve_breaker_open);
+        add(&self.surrogate_hits, &other.surrogate_hits);
+        add(&self.surrogate_misses, &other.surrogate_misses);
+        add(&self.surrogate_checks, &other.surrogate_checks);
+        add(
+            &self.surrogate_check_failures,
+            &other.surrogate_check_failures,
+        );
         self.newton_histogram.merge_from(&other.newton_histogram);
         self.span_histogram.merge_from(&other.span_histogram);
     }
@@ -490,6 +521,26 @@ impl Aggregator {
             "Circuit-breaker closed-to-open trips.",
             counts.serve_breaker_open,
         );
+        counter(
+            "ferrocim_surrogate_hits_total",
+            "Surrogate lookups answered from a calibrated curve.",
+            counts.surrogate_hits,
+        );
+        counter(
+            "ferrocim_surrogate_misses_total",
+            "Surrogate lookups that triggered a live calibration.",
+            counts.surrogate_misses,
+        );
+        counter(
+            "ferrocim_surrogate_checks_total",
+            "Check-mode live re-solves of surrogate answers.",
+            counts.surrogate_checks,
+        );
+        counter(
+            "ferrocim_surrogate_check_failures_total",
+            "Check-mode deviations exceeding the certified envelope.",
+            counts.surrogate_check_failures,
+        );
         self.newton_histogram.render_prometheus_into(
             "ferrocim_newton_iterations_per_solve",
             "Newton iterations needed per converged solve.",
@@ -599,6 +650,20 @@ impl Recorder for Aggregator {
             }
             Event::ServeBreakerOpen { .. } => {
                 self.serve_breaker_open.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::SurrogateLookup { hit } => {
+                if *hit {
+                    self.surrogate_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.surrogate_misses.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Event::SurrogateCheck { ok, .. } => {
+                self.surrogate_checks.fetch_add(1, Ordering::Relaxed);
+                if !*ok {
+                    self.surrogate_check_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -729,6 +794,17 @@ mod tests {
             window_failures: 5,
             window_size: 8,
         });
+        agg.record(&Event::SurrogateLookup { hit: true });
+        agg.record(&Event::SurrogateLookup { hit: true });
+        agg.record(&Event::SurrogateLookup { hit: false });
+        agg.record(&Event::SurrogateCheck {
+            ok: true,
+            deviation: 1e-5,
+        });
+        agg.record(&Event::SurrogateCheck {
+            ok: false,
+            deviation: 1e-2,
+        });
         let c = agg.counts();
         assert_eq!(c.newton_iters, 2);
         assert_eq!(c.newton_residuals, 1);
@@ -756,6 +832,10 @@ mod tests {
         assert_eq!(c.serve_retries, 1);
         assert_eq!(c.serve_degraded, 1);
         assert_eq!(c.serve_breaker_open, 1);
+        assert_eq!(c.surrogate_hits, 2);
+        assert_eq!(c.surrogate_misses, 1);
+        assert_eq!(c.surrogate_checks, 2);
+        assert_eq!(c.surrogate_check_failures, 1);
         assert_eq!(agg.newton_histogram().total(), 1);
         assert_eq!(agg.span_histogram().total(), 1);
     }

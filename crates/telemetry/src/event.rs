@@ -256,6 +256,22 @@ pub enum Event {
         /// Total outcomes in the sliding window at the trip.
         window_size: u64,
     },
+    /// A surrogate store was consulted for a MAC evaluation.
+    SurrogateLookup {
+        /// Whether a calibrated curve answered the query (`false` = the
+        /// key missed and a live calibration had to run).
+        hit: bool,
+    },
+    /// A check-mode subsample re-solved one surrogate-answered query
+    /// through the live solver and compared it to the certified
+    /// envelope.
+    SurrogateCheck {
+        /// Whether the deviation stayed within the certified envelope.
+        ok: bool,
+        /// Absolute deviation between the surrogate answer and the live
+        /// solve, in volts.
+        deviation: f64,
+    },
 }
 
 #[cfg(test)]
@@ -345,6 +361,11 @@ mod tests {
             Event::ServeBreakerOpen {
                 window_failures: 7,
                 window_size: 10,
+            },
+            Event::SurrogateLookup { hit: true },
+            Event::SurrogateCheck {
+                ok: false,
+                deviation: 2.5e-4,
             },
         ];
         for event in events {

@@ -136,6 +136,15 @@ pub fn extract_metrics(events: &[Event]) -> Vec<(&'static str, u64)> {
         ("serve_retries", c.serve_retries),
         ("serve_degraded", c.serve_degraded),
         ("serve_breaker_open", c.serve_breaker_open),
+        // Surrogate fast-path outcomes: cache hits/misses plus the
+        // check-mode subsample and its envelope violations. A hit count
+        // falling (or a miss count rising) means the content-addressed
+        // keys stopped matching; any check failure means the certified
+        // error envelope was violated in production.
+        ("surrogate_hits", c.surrogate_hits),
+        ("surrogate_misses", c.surrogate_misses),
+        ("surrogate_checks", c.surrogate_checks),
+        ("surrogate_check_failures", c.surrogate_check_failures),
     ]
 }
 

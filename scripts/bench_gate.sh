@@ -11,11 +11,14 @@
 # `trace metrics` JSON extracts, not full traces, so they diff cleanly
 # in git.
 #
-# The serving probe (probe_serve, DESIGN.md §16) is gated differently:
-# its shed/retry counts are load-dependent by design, so instead of a
-# trace diff it self-gates against the hand-set *bounds* in
-# baselines/probe_serve.json (max shed rate, max p99, min completions,
-# zero untyped responses). --update never rewrites that file.
+# The serving probe (probe_serve, DESIGN.md §16) and the surrogate
+# probe (probe_surrogate, DESIGN.md §17) are gated differently: shed
+# counts and wall-clock speedups are load- and machine-dependent by
+# design, so instead of a trace diff each self-gates against the
+# hand-set *bounds* in baselines/probe_serve.json (max shed rate, max
+# p99, min completions, min surrogate rate, zero untyped responses)
+# and baselines/probe_surrogate.json (min speedup, max certified
+# envelope, zero check failures). --update never rewrites those files.
 #
 # Usage: scripts/bench_gate.sh [--update]
 #   --update            rewrite baselines/ from this run instead of gating
@@ -72,22 +75,29 @@ for bench in "${BENCHES[@]}"; do
   fi
 done
 
-echo "==> probe_serve (self-gating against baselines/probe_serve.json)"
-if target/release/probe_serve --trace "$OUT/probe_serve.jsonl" \
-    --gate baselines/probe_serve.json > "$OUT/probe_serve.log" 2>&1; then
-  "$TRACE" summary "$OUT/probe_serve.jsonl" > "$OUT/probe_serve.summary.txt"
-  echo "    ok: serving contract held (typed responses, bounded tail, clean drain)"
-else
-  rc=$?
-  "$TRACE" summary "$OUT/probe_serve.jsonl" > "$OUT/probe_serve.summary.txt" || true
-  tail -n 20 "$OUT/probe_serve.log" >&2
-  if [[ $rc -eq 1 ]]; then
-    echo "    REGRESSION in probe_serve (contract violations above)" >&2
-    status=1
+SELF_GATED=(probe_serve probe_surrogate)
+declare -A SELF_GATED_OK=(
+  [probe_serve]="serving contract held (typed responses, bounded tail, clean drain)"
+  [probe_surrogate]="surrogate contract held (fast, certified, checked, domain-honest)"
+)
+for bench in "${SELF_GATED[@]}"; do
+  echo "==> $bench (self-gating against baselines/$bench.json)"
+  if "target/release/$bench" --trace "$OUT/$bench.jsonl" \
+      --gate "baselines/$bench.json" > "$OUT/$bench.log" 2>&1; then
+    "$TRACE" summary "$OUT/$bench.jsonl" > "$OUT/$bench.summary.txt"
+    echo "    ok: ${SELF_GATED_OK[$bench]}"
   else
-    exit "$rc"
+    rc=$?
+    "$TRACE" summary "$OUT/$bench.jsonl" > "$OUT/$bench.summary.txt" || true
+    tail -n 20 "$OUT/$bench.log" >&2
+    if [[ $rc -eq 1 ]]; then
+      echo "    REGRESSION in $bench (contract violations above)" >&2
+      status=1
+    else
+      exit "$rc"
+    fi
   fi
-fi
+done
 
 if [[ $status -ne 0 && "${BENCH_GATE_SOFT:-0}" == "1" ]]; then
   echo "==> soft-fail mode: regression reported, build kept green" >&2

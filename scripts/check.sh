@@ -10,15 +10,16 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> clippy (no unwrap/expect in units+device+telemetry+spice+cim+nn+traceview+serve lib code)"
+echo "==> clippy (no unwrap/expect in units+device+telemetry+spice+cim+surrogate+nn+traceview+serve lib code)"
 cargo clippy --offline --no-deps -p ferrocim-units -p ferrocim-device -p ferrocim-telemetry \
-  -p ferrocim-spice -p ferrocim-cim -p ferrocim-nn -p ferrocim-traceview -p ferrocim-serve \
+  -p ferrocim-spice -p ferrocim-cim -p ferrocim-surrogate -p ferrocim-nn -p ferrocim-traceview \
+  -p ferrocim-serve \
   --lib -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 echo "==> cargo doc (rustdoc warnings are errors; our crates only, not vendor/)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps \
   -p ferrocim-units -p ferrocim-device -p ferrocim-telemetry \
-  -p ferrocim-spice -p ferrocim-cim -p ferrocim-nn -p ferrocim-traceview \
+  -p ferrocim-spice -p ferrocim-cim -p ferrocim-surrogate -p ferrocim-nn -p ferrocim-traceview \
   -p ferrocim-serve -p ferrocim-bench -p ferrocim
 
 echo "==> tier-1: cargo build --release && cargo test -q"

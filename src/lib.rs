@@ -11,6 +11,8 @@
 //! * [`spice`] — the MNA circuit simulator (DC, transient, Monte-Carlo).
 //! * [`cim`] — the paper's contribution: 2T-1FeFET cells, arrays,
 //!   noise-margin metrics, readout models, and the design tuner.
+//! * [`surrogate`] — the content-addressed calibrated-curve store:
+//!   certified error-bounded MAC evaluation without a live solve.
 //! * [`nn`] — the CNN stack with CIM-mapped execution for the VGG
 //!   accuracy evaluation.
 //!
@@ -42,5 +44,6 @@ pub use ferrocim_cim as cim;
 pub use ferrocim_device as device;
 pub use ferrocim_nn as nn;
 pub use ferrocim_spice as spice;
+pub use ferrocim_surrogate as surrogate;
 pub use ferrocim_telemetry as telemetry;
 pub use ferrocim_units as units;
