@@ -485,6 +485,109 @@ pub struct ServeProbe {
     pub gate_passed: bool,
 }
 
+/// Overhead of always-on flight recording in
+/// `results/probe_observe.json`: the same DC workload timed against a
+/// no-op recorder and a flight-recorder ring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObserveOverhead {
+    /// Cells in the timed readout row.
+    pub cells_per_row: usize,
+    /// MNA unknowns of the row netlist.
+    pub unknowns: usize,
+    /// Paired timing repetitions (each rep times one multi-solve
+    /// block per recorder).
+    pub reps: usize,
+    /// Best per-solve wall clock recording into
+    /// `ferrocim_telemetry::NoopRecorder`, in microseconds.
+    pub noop_us: f64,
+    /// Best per-solve wall clock recording into a flight-recorder
+    /// ring, in microseconds.
+    pub flight_us: f64,
+    /// Events sitting in the ring after the timed reps (must be
+    /// nonzero, or the timing never exercised the recorder).
+    pub flight_events: usize,
+    /// Flight-recording overhead in percent: the median over the
+    /// paired reps of each rep's (flight - noop) / noop ratio, which
+    /// discards load-burst outliers a best-of comparison would gate
+    /// on.
+    pub overhead_pct: f64,
+    /// The bound the probe enforces (2%).
+    pub limit_pct: f64,
+}
+
+/// The incident-dump demonstration of `results/probe_observe.json`: a
+/// chaos-driven breaker trip must leave a parseable flight dump behind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObserveDump {
+    /// MAC requests driven at the chaos server.
+    pub requests: usize,
+    /// Breaker trips the live aggregator counted.
+    pub breaker_opens: u64,
+    /// Automatic dumps the flight recorder wrote.
+    pub dumps_written: u64,
+    /// Path of the dump the probe parsed back.
+    pub dump_path: String,
+    /// Events recovered from the dump.
+    pub dump_events: usize,
+    /// `ServeBreakerOpen` events the replayed `trace summary` counted
+    /// inside the dump (must cover the trip that triggered it).
+    pub dump_serve_breaker_open: u64,
+    /// Tenants in the dump's per-tenant rollup.
+    pub dump_tenants: usize,
+}
+
+/// The label-cardinality demonstration of
+/// `results/probe_observe.json`: more tenants than the cap must
+/// collapse into `other`, never unbounded `/metrics` series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObserveCardinality {
+    /// The tenant cap the aggregator was configured with.
+    pub tenant_cap: usize,
+    /// Distinct tenants the probe drove through the server.
+    pub tenants_driven: usize,
+    /// Distinct tenant labels in the `ferrocim_serve_requests_total`
+    /// family (at most `tenant_cap + 1`, counting `other`).
+    pub distinct_request_series: usize,
+    /// Whether the `other` overflow label appeared.
+    pub other_present: bool,
+    /// Whether per-tenant `_bucket` latency series were exposed.
+    pub bucket_series_present: bool,
+    /// Whether per-tenant `_sum` latency series were exposed.
+    pub sum_series_present: bool,
+    /// Whether per-tenant `_count` latency series were exposed.
+    pub count_series_present: bool,
+}
+
+/// The gate bounds checked into `baselines/probe_observe.json`.
+/// Hand-set limits like the serve gate: wall-clock overhead is
+/// machine-dependent, so the gate pins the observability contract
+/// (cheap recording, a parseable incident dump, bounded cardinality)
+/// rather than exact numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObserveGateBounds {
+    /// Maximum tolerated flight-recording overhead in percent.
+    pub max_overhead_pct: f64,
+    /// Minimum `ServeBreakerOpen` events the parsed dump must contain.
+    pub min_dump_breaker_opens: u64,
+    /// Maximum distinct tenant labels tolerated in `/metrics`.
+    pub max_distinct_tenants: usize,
+}
+
+/// Root of `results/probe_observe.json` (single object).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObserveProbe {
+    /// Flight-recording overhead on the wide-row DC workload.
+    pub overhead: ObserveOverhead,
+    /// The chaos-driven incident-dump demonstration.
+    pub dump: ObserveDump,
+    /// The tenant-cardinality demonstration.
+    pub cardinality: ObserveCardinality,
+    /// The gate bounds this run was checked against.
+    pub gate: ObserveGateBounds,
+    /// Whether every gate bound held.
+    pub gate_passed: bool,
+}
+
 /// Calibration cost and certified envelope of
 /// `results/probe_surrogate.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -5,8 +5,9 @@
 
 use ferrocim_bench::schema::{
     AblationFeedbackRow, AdaptiveProbe, BaselineOverlap, ComparisonRow, HealthProbe, IvCurve,
-    LevelRange, ProcessVariationPoint, ProposedArraySummary, ProposedCellRow, RegionResult,
-    ServeProbe, SparseProbe, SurrogateProbe, TelemetryProbe, VggLayerRow, WriteVerifyRow,
+    LevelRange, ObserveProbe, ProcessVariationPoint, ProposedArraySummary, ProposedCellRow,
+    RegionResult, ServeProbe, SparseProbe, SurrogateProbe, TelemetryProbe, VggLayerRow,
+    WriteVerifyRow,
 };
 use std::path::{Path, PathBuf};
 
@@ -33,6 +34,7 @@ fn validate(name: &str, text: &str) -> Option<Result<(), serde_json::Error>> {
         "fig9_process_variation" => check::<Vec<ProcessVariationPoint>>(text),
         "probe_adaptive" => check::<AdaptiveProbe>(text),
         "probe_health" => check::<HealthProbe>(text),
+        "probe_observe" => check::<ObserveProbe>(text),
         "probe_serve" => check::<ServeProbe>(text),
         "probe_sparse" => check::<SparseProbe>(text),
         "probe_surrogate" => check::<SurrogateProbe>(text),

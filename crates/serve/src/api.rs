@@ -125,6 +125,13 @@ impl MacApiRequest {
     }
 }
 
+/// Renders a request id the way every response body carries it: a
+/// fixed-width 16-digit lowercase hex string, so a client can quote it
+/// verbatim when correlating with server-side traces and flight dumps.
+pub fn request_id_hex(request_id: u64) -> String {
+    format!("{request_id:016x}")
+}
+
 /// The success body (live, surrogate, or degraded — the `surrogate`
 /// and `degraded` flags say which: surrogate-only is the certified
 /// fast path, degraded+surrogate is the fallback tier). `cause`
@@ -135,9 +142,11 @@ pub fn ok_body(
     attempts: u32,
     breaker_open: bool,
     cause: Option<&str>,
+    request_id: u64,
 ) -> Value {
     let mut body = json!({
         "ok": true,
+        "request_id": (request_id_hex(request_id)),
         "degraded": (solution.degraded),
         "surrogate": (solution.surrogate),
         "breaker_open": (breaker_open),
@@ -159,40 +168,49 @@ pub fn ok_body(
 
 /// The `429 Overloaded` body. `reason` is `"queue_full"`,
 /// `"tenant_quota"`, or `"draining"`.
-pub fn overloaded_body(reason: &str, retry_after_ms: u64, queue_depth: usize) -> Value {
+pub fn overloaded_body(
+    reason: &str,
+    retry_after_ms: u64,
+    queue_depth: usize,
+    request_id: u64,
+) -> Value {
     json!({
         "ok": false,
         "error": "overloaded",
         "reason": (reason),
         "retry_after_ms": (retry_after_ms),
-        "queue_depth": (queue_depth as u64)
+        "queue_depth": (queue_depth as u64),
+        "request_id": (request_id_hex(request_id))
     })
 }
 
 /// The `504 Deadline Exceeded` body.
-pub fn deadline_body(message: &str) -> Value {
+pub fn deadline_body(message: &str, request_id: u64) -> Value {
     json!({
         "ok": false,
         "error": "deadline_exceeded",
-        "message": (message)
+        "message": (message),
+        "request_id": (request_id_hex(request_id))
     })
 }
 
 /// The `400 Bad Request` body.
-pub fn bad_request_body(message: &str) -> Value {
+pub fn bad_request_body(message: &str, request_id: u64) -> Value {
     json!({
         "ok": false,
         "error": "bad_request",
-        "message": (message)
+        "message": (message),
+        "request_id": (request_id_hex(request_id))
     })
 }
 
 /// The `500 Internal` body (typed even when the worker panicked).
-pub fn internal_body(message: &str) -> Value {
+pub fn internal_body(message: &str, request_id: u64) -> Value {
     json!({
         "ok": false,
         "error": "internal",
-        "message": (message)
+        "message": (message),
+        "request_id": (request_id_hex(request_id))
     })
 }
 
@@ -248,10 +266,30 @@ mod tests {
 
     #[test]
     fn bodies_are_well_typed_json() {
-        let shed = overloaded_body("queue_full", 120, 16);
+        let shed = overloaded_body("queue_full", 120, 16, 0xABCD);
         assert_eq!(shed.get("error"), Some(&Value::String("overloaded".into())));
         assert_eq!(shed.get("retry_after_ms"), Some(&Value::Number(120.0)));
         let text = serde_json::to_string(&shed).expect("serialize");
         assert!(text.contains("\"queue_full\""));
+    }
+
+    #[test]
+    fn every_body_echoes_a_fixed_width_request_id() {
+        let id = 0x5EED;
+        let hex = request_id_hex(id);
+        assert_eq!(hex.len(), 16, "request ids are fixed-width hex");
+        assert_eq!(hex, "0000000000005eed");
+        for body in [
+            overloaded_body("queue_full", 120, 16, id),
+            deadline_body("late", id),
+            bad_request_body("bad", id),
+            internal_body("boom", id),
+        ] {
+            assert_eq!(
+                body.get("request_id"),
+                Some(&Value::String(hex.clone())),
+                "body {body:?} echoes the request id"
+            );
+        }
     }
 }

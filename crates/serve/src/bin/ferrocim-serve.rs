@@ -3,6 +3,7 @@
 //! ```text
 //! ferrocim-serve [--addr 127.0.0.1:7878] [--workers N] [--queue N]
 //!                [--tenant-quota N] [--surrogate-check N]
+//!                [--flight N] [--flight-dump DIR]
 //!                [--self-check]
 //! ```
 //!
@@ -11,20 +12,28 @@
 //! to the certified error envelope (visible in `/metrics` as
 //! `ferrocim_surrogate_checks_total` / `..._check_failures_total`).
 //!
+//! `--flight N` keeps the last N telemetry events per thread in an
+//! in-memory flight recorder, exposed at `GET /debug/flight` as a
+//! `ferrocim-trace-v1` stream (default 256; 0 disables it).
+//! `--flight-dump DIR` additionally writes an atomic trace dump into
+//! DIR whenever a breaker trips, the SLO burn-rate breaches, or a
+//! request ends in error — the post-incident black box.
+//!
 //! `--self-check` boots the full service on an ephemeral port, drives
-//! one MAC request plus `/healthz` and `/metrics` through a real TCP
-//! client, shuts down cleanly, and exits 0 — the CI smoke test, with no
-//! curl dependency.
+//! one MAC request plus `/healthz`, `/metrics`, and every `/debug/*`
+//! endpoint through a real TCP client, shuts down cleanly, and exits
+//! 0 — the CI smoke test, with no curl dependency.
 
 use ferrocim_serve::{http_request, CimBackend, ServeConfig, Server};
-use ferrocim_telemetry::{Aggregator, Telemetry};
+use ferrocim_telemetry::{Aggregator, DumpOn, FlightRecorder, Recorder, Tee, Telemetry};
 use serde_json::Value;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: ferrocim-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--tenant-quota N] [--surrogate-check N] [--self-check]";
+                     [--tenant-quota N] [--surrogate-check N] [--flight N] \
+                     [--flight-dump DIR] [--self-check]";
 
 fn main() -> ExitCode {
     match run() {
@@ -50,6 +59,8 @@ fn run() -> Result<ExitCode, String> {
         ..ServeConfig::default()
     };
     let mut self_check = false;
+    let mut flight_capacity: usize = 256;
+    let mut flight_dump: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -64,6 +75,10 @@ fn run() -> Result<ExitCode, String> {
             "--surrogate-check" => {
                 config.surrogate_check_every = parse_count(iter.next(), "--surrogate-check")?;
             }
+            "--flight" => flight_capacity = parse_count(iter.next(), "--flight")?,
+            "--flight-dump" => {
+                flight_dump = Some(iter.next().ok_or("--flight-dump needs a value")?.clone());
+            }
             "--self-check" => self_check = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -77,11 +92,34 @@ fn run() -> Result<ExitCode, String> {
     }
 
     let aggregator = Arc::new(Aggregator::new());
-    let telemetry = Telemetry::new(aggregator.clone());
+    let flight = if flight_capacity > 0 {
+        let mut recorder = FlightRecorder::new(flight_capacity);
+        if let Some(dir) = &flight_dump {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create --flight-dump dir {dir:?}: {e}"))?;
+            recorder = recorder.with_dump_dir(
+                dir,
+                &[DumpOn::Error, DumpOn::BreakerOpen, DumpOn::SloBreach],
+            );
+        }
+        Some(Arc::new(recorder))
+    } else {
+        if flight_dump.is_some() {
+            return Err("--flight-dump needs a flight recorder (set --flight > 0)".to_string());
+        }
+        None
+    };
+    let telemetry = match &flight {
+        Some(flight) => Telemetry::to(Tee::new(vec![
+            Arc::clone(&aggregator) as Arc<dyn Recorder>,
+            Arc::clone(flight) as Arc<dyn Recorder>,
+        ])),
+        None => Telemetry::new(aggregator.clone()),
+    };
     eprintln!("calibrating surrogate store (all-ones curve, 0-85 \u{b0}C grid)...");
     let backend = CimBackend::new(telemetry.clone(), config.surrogate_check_every)
         .map_err(|e| format!("backend calibration failed: {e}"))?;
-    let server = Server::start(config, Arc::new(backend), telemetry, aggregator)
+    let server = Server::start_observed(config, Arc::new(backend), telemetry, aggregator, flight)
         .map_err(|e| format!("bind failed: {e}"))?;
     eprintln!("ferrocim-serve listening on {}", server.addr());
 
@@ -140,6 +178,11 @@ fn self_check_run(server: &Server) -> Result<(), String> {
     if body.get("degraded") != Some(&Value::Bool(false)) {
         return Err(format!("smoke MAC must not be degraded: {body:?}"));
     }
+    // Every response carries the fixed-width hex request id.
+    match body.get("request_id") {
+        Some(Value::String(id)) if id.len() == 16 && id.chars().all(|c| c.is_ascii_hexdigit()) => {}
+        other => return Err(format!("expected a 16-hex request_id, got {other:?}")),
+    }
 
     let health =
         http_request(addr, "GET", "/healthz", b"", timeout).map_err(|e| format!("healthz: {e}"))?;
@@ -152,6 +195,35 @@ fn self_check_run(server: &Server) -> Result<(), String> {
         other => return Err(format!("healthz status not ok: {other:?}")),
     }
 
+    // The read-only introspection surface answers while serving.
+    for path in ["/debug/requests", "/debug/queue", "/debug/breakers"] {
+        let resp =
+            http_request(addr, "GET", path, b"", timeout).map_err(|e| format!("{path}: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("{path} returned {}", resp.status));
+        }
+        let doc = resp.json().ok_or_else(|| format!("{path} is not JSON"))?;
+        if doc.get("ok") != Some(&Value::Bool(true)) {
+            return Err(format!("{path} not ok: {doc:?}"));
+        }
+    }
+    let flight = http_request(addr, "GET", "/debug/flight", b"", timeout)
+        .map_err(|e| format!("/debug/flight: {e}"))?;
+    if server.flight().is_some() {
+        if flight.status != 200 {
+            return Err(format!("/debug/flight returned {}", flight.status));
+        }
+        let text = String::from_utf8_lossy(&flight.body);
+        if !text.starts_with("{\"format\":\"ferrocim-trace-v1\"}") {
+            return Err("flight stream is not a ferrocim-trace-v1 dump".to_string());
+        }
+    } else if flight.status != 404 {
+        return Err(format!(
+            "/debug/flight without a recorder must 404, got {}",
+            flight.status
+        ));
+    }
+
     let metrics =
         http_request(addr, "GET", "/metrics", b"", timeout).map_err(|e| format!("metrics: {e}"))?;
     if metrics.status != 200 {
@@ -161,9 +233,15 @@ fn self_check_run(server: &Server) -> Result<(), String> {
     for metric in [
         "ferrocim_serve_admitted_total",
         "ferrocim_serve_shed_total",
+        "ferrocim_serve_done_total",
         "ferrocim_newton_iterations_total",
         "ferrocim_surrogate_hits_total",
         "ferrocim_surrogate_misses_total",
+        "ferrocim_serve_requests_total{tenant=\"smoke\"",
+        "ferrocim_serve_request_latency_ms_bucket{tenant=\"smoke\"",
+        "ferrocim_serve_request_latency_ms_sum{tenant=\"smoke\"}",
+        "ferrocim_serve_request_latency_ms_count{tenant=\"smoke\"}",
+        "ferrocim_serve_slo_burn",
     ] {
         if !text.contains(metric) {
             return Err(format!("metrics exposition is missing {metric}"));

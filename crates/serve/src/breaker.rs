@@ -102,6 +102,22 @@ pub struct TripInfo {
     pub window_size: u64,
 }
 
+/// A point-in-time, read-only view of one breaker for the
+/// `/debug/breakers` endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerSnapshot {
+    /// The state at the moment of the snapshot (cooldown advanced).
+    pub state: BreakerState,
+    /// Failures currently in the closed-state window (0 otherwise).
+    pub window_failures: u64,
+    /// Outcomes currently in the closed-state window (0 otherwise).
+    pub window_size: u64,
+    /// Milliseconds of cooldown left while open (0 otherwise).
+    pub cooldown_remaining_ms: u64,
+    /// Live probes in flight while half-open (0 otherwise).
+    pub probes_in_flight: u64,
+}
+
 impl CircuitBreaker {
     /// A closed breaker with the given tuning.
     pub fn new(config: BreakerConfig) -> CircuitBreaker {
@@ -130,6 +146,38 @@ impl CircuitBreaker {
             State::Closed { .. } => BreakerState::Closed,
             State::Open { .. } => BreakerState::Open,
             State::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// A consistent read of the whole breaker (state plus the
+    /// state-specific detail a debugger wants), advancing open →
+    /// half-open first so the view never shows a stale cooldown.
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        let mut state = self.lock();
+        self.advance(&mut state);
+        match &*state {
+            State::Closed { outcomes } => BreakerSnapshot {
+                state: BreakerState::Closed,
+                window_failures: outcomes.iter().filter(|&&o| !o).count() as u64,
+                window_size: outcomes.len() as u64,
+                cooldown_remaining_ms: 0,
+                probes_in_flight: 0,
+            },
+            State::Open { until } => BreakerSnapshot {
+                state: BreakerState::Open,
+                window_failures: 0,
+                window_size: 0,
+                cooldown_remaining_ms: until.saturating_duration_since(Instant::now()).as_millis()
+                    as u64,
+                probes_in_flight: 0,
+            },
+            State::HalfOpen { in_flight } => BreakerSnapshot {
+                state: BreakerState::HalfOpen,
+                window_failures: 0,
+                window_size: 0,
+                cooldown_remaining_ms: 0,
+                probes_in_flight: *in_flight as u64,
+            },
         }
     }
 
@@ -233,6 +281,28 @@ mod tests {
         assert_eq!(trip.window_size, 4);
         assert_eq!(b.state(), BreakerState::Open);
         assert_eq!(b.decide(), BreakerDecision::Deny);
+    }
+
+    #[test]
+    fn snapshot_reports_state_specific_detail() {
+        let b = CircuitBreaker::new(fast_config());
+        b.record(false);
+        b.record(true);
+        let snap = b.snapshot();
+        assert_eq!(snap.state, BreakerState::Closed);
+        assert_eq!(snap.window_failures, 1);
+        assert_eq!(snap.window_size, 2);
+        for _ in 0..4 {
+            b.record(false);
+        }
+        let snap = b.snapshot();
+        assert_eq!(snap.state, BreakerState::Open);
+        assert!(snap.cooldown_remaining_ms <= 10, "bounded by the cooldown");
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(b.decide(), BreakerDecision::Probe);
+        let snap = b.snapshot();
+        assert_eq!(snap.state, BreakerState::HalfOpen);
+        assert_eq!(snap.probes_in_flight, 1);
     }
 
     #[test]

@@ -27,8 +27,13 @@
 //!   half-open probes restore live solving once the fault clears.
 //! * **Observability** — `/metrics` renders the workspace-standard
 //!   Prometheus exposition from a [`ferrocim_telemetry::Aggregator`]
-//!   (including the `serve_*` counters), and `/healthz` reports queue
-//!   and breaker state.
+//!   (including the `serve_*` counters and the per-tenant dimensional
+//!   series), and `/healthz` reports queue and breaker state. Every
+//!   response echoes a seeded hex `request_id` that is also attached to
+//!   the request's telemetry events; the read-only `/debug/requests`,
+//!   `/debug/queue`, `/debug/breakers`, and `/debug/flight` endpoints
+//!   expose live internals, with `/debug/*` answered by the acceptor
+//!   even when the admission queue is full.
 //!
 //! The `probe_serve` bench in `ferrocim-bench` drives an in-process
 //! server through overload, deadline-expiry, and chaos-injected solver
@@ -49,7 +54,9 @@ pub mod server;
 
 pub use api::{ApiError, MacApiRequest};
 pub use backend::{CimBackend, MacBackend, Solution, SolveRequest};
-pub use breaker::{BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker, TripInfo};
+pub use breaker::{
+    BreakerConfig, BreakerDecision, BreakerSnapshot, BreakerState, CircuitBreaker, TripInfo,
+};
 pub use chaos::{ChaosBackend, ChaosPlan};
 pub use client::{http_request, HttpResponse};
 pub use queue::{BoundedQueue, TenantGovernor};

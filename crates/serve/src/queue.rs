@@ -160,6 +160,17 @@ impl TenantGovernor {
         }
     }
 
+    /// Every tenant with work in flight and its live count, sorted by
+    /// tenant name — the `/debug/queue` introspection view.
+    pub fn snapshot(&self) -> Vec<(String, usize)> {
+        let mut counts: Vec<(String, usize)> = lock_recovering(&self.counts)
+            .iter()
+            .map(|(name, n)| (name.clone(), *n))
+            .collect();
+        counts.sort_by(|a, b| a.0.cmp(&b.0));
+        counts
+    }
+
     /// Requests currently in flight for `tenant`.
     pub fn in_flight(&self, tenant: &str) -> usize {
         lock_recovering(&self.counts)

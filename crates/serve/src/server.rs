@@ -30,6 +30,20 @@
 //!    bodies in [`crate::api`]; even a panic unwinds into a typed
 //!    `500`, and a vanished client is the only case that produces no
 //!    response at all.
+//!
+//! Every connection is stamped with a seeded 64-bit **request id** at
+//! accept time, echoed (as fixed-width hex) in every response body and
+//! attached to every `Serve*` telemetry event, so one grep correlates
+//! a client-reported failure with the server's trace and flight dump.
+//! Terminal MAC outcomes additionally emit one
+//! [`Event::ServeDone`] each — the feed for the per-tenant dimensional
+//! metrics and the SLO burn-rate monitor in
+//! [`ferrocim_telemetry::Aggregator`]. The read-only `/debug/requests`,
+//! `/debug/queue`, `/debug/breakers`, and `/debug/flight` endpoints
+//! expose in-flight requests, admission state, breaker detail, and the
+//! flight-recorder ring; `/debug/*` GETs are admission-exempt (answered
+//! inline by the acceptor even when the queue is full), because
+//! introspection matters most mid-incident.
 
 use crate::api;
 use crate::backend::{MacBackend, Solution, SolveRequest};
@@ -39,7 +53,9 @@ use crate::queue::{BoundedQueue, TenantGovernor};
 use crate::retry::{RetryBudget, RetryPolicy};
 use ferrocim_cim::CimError;
 use ferrocim_spice::{Budget, CancelToken, Deadline, SpiceError};
-use ferrocim_telemetry::{Aggregator, Event, Telemetry};
+use ferrocim_telemetry::{
+    Aggregator, Event, FlightRecorder, ServeBackendKind, ServeOutcome, Telemetry,
+};
 use ferrocim_units::Celsius;
 use serde_json::{json, Value};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -107,6 +123,27 @@ impl Default for ServeConfig {
 struct Job {
     stream: TcpStream,
     admitted_at: Instant,
+    request_id: u64,
+}
+
+/// SplitMix64: turns the sequential accept counter into well-mixed,
+/// reproducible request ids (seeded by `ServeConfig::retry_seed`, so a
+/// test run's ids are stable).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One request currently being parsed or solved, as `/debug/requests`
+/// reports it. Registered after admission, removed by RAII on every
+/// exit path (including panics unwound by the worker's `catch_unwind`).
+struct InflightEntry {
+    request_id: u64,
+    tenant: String,
+    admitted_at: Instant,
+    deadline_at: Option<Instant>,
 }
 
 /// An entry the watchdog polls: a dup of the connection's fd plus the
@@ -130,6 +167,8 @@ struct Shared {
     watch: Mutex<Vec<WatchEntry>>,
     watch_seq: AtomicU64,
     request_seq: AtomicU64,
+    inflight: Mutex<Vec<InflightEntry>>,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl Shared {
@@ -178,6 +217,83 @@ impl Shared {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
             .retain(|entry| entry.id != id);
     }
+
+    /// Allocates the next request id: a seeded SplitMix64 mix of the
+    /// accept counter, so ids look random on the wire but replay
+    /// identically for a fixed `retry_seed`.
+    fn next_request_id(&self) -> u64 {
+        let seq = self.request_seq.fetch_add(1, Ordering::Relaxed);
+        splitmix64(self.config.retry_seed ^ seq)
+    }
+
+    /// Emits the terminal [`Event::ServeDone`] for one MAC request and
+    /// drains the aggregator's SLO latch into a typed
+    /// [`Event::SloBreach`] — routed through the same telemetry tee, so
+    /// trace sinks and the flight recorder's `SloBreach` dump trigger
+    /// both observe it.
+    fn finish_request(
+        &self,
+        request_id: u64,
+        tenant: &str,
+        outcome: ServeOutcome,
+        backend: ServeBackendKind,
+        admitted_at: Instant,
+    ) {
+        let latency_ms = admitted_at.elapsed().as_secs_f64() * 1e3;
+        self.emit(Event::ServeDone {
+            request_id,
+            tenant: tenant.to_string(),
+            outcome,
+            backend,
+            latency_ms,
+        });
+        if let Some(info) = self.aggregator.take_slo_breach() {
+            self.emit(Event::SloBreach {
+                window: info.window,
+                bad: info.bad,
+                burn_pct: info.burn * 100.0,
+            });
+        }
+    }
+
+    fn inflight_register(
+        &self,
+        request_id: u64,
+        tenant: &str,
+        admitted_at: Instant,
+        deadline_at: Option<Instant>,
+    ) -> InflightGuard<'_> {
+        self.inflight
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(InflightEntry {
+                request_id,
+                tenant: tenant.to_string(),
+                admitted_at,
+                deadline_at,
+            });
+        InflightGuard {
+            shared: self,
+            request_id,
+        }
+    }
+}
+
+/// RAII removal of one [`InflightEntry`]; dropping on any exit path
+/// keeps `/debug/requests` free of ghosts.
+struct InflightGuard<'a> {
+    shared: &'a Shared,
+    request_id: u64,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.shared
+            .inflight
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .retain(|entry| entry.request_id != self.request_id);
+    }
 }
 
 /// A running service; dropping it without [`Server::shutdown`] aborts
@@ -207,6 +323,24 @@ impl Server {
         telemetry: Telemetry,
         aggregator: Arc<Aggregator>,
     ) -> std::io::Result<Server> {
+        Server::start_observed(config, backend, telemetry, aggregator, None)
+    }
+
+    /// [`Server::start`] plus an optional flight recorder. The recorder
+    /// should already be wired into `telemetry` (usually via
+    /// [`ferrocim_telemetry::Tee`]) so it sees every event; passing it
+    /// here additionally exposes its ring at `GET /debug/flight`.
+    ///
+    /// # Errors
+    ///
+    /// Returns binding failures.
+    pub fn start_observed(
+        config: ServeConfig,
+        backend: Arc<dyn MacBackend>,
+        telemetry: Telemetry,
+        aggregator: Arc<Aggregator>,
+        flight: Option<Arc<FlightRecorder>>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -220,6 +354,8 @@ impl Server {
             watch: Mutex::new(Vec::new()),
             watch_seq: AtomicU64::new(0),
             request_seq: AtomicU64::new(0),
+            inflight: Mutex::new(Vec::new()),
+            flight,
             backend,
             config,
         });
@@ -256,6 +392,12 @@ impl Server {
         &self.shared.aggregator
     }
 
+    /// The flight recorder `/debug/flight` exposes, when one was wired
+    /// in via [`Server::start_observed`].
+    pub fn flight(&self) -> Option<&Arc<FlightRecorder>> {
+        self.shared.flight.as_ref()
+    }
+
     /// Graceful shutdown: stop accepting, drain every admitted job,
     /// join all threads. Idempotent against a racing drop.
     pub fn shutdown(mut self) {
@@ -285,6 +427,7 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
             }
             continue;
         };
+        let request_id = shared.next_request_id();
         if shared.shutting_down.load(Ordering::SeqCst) {
             // A connection that slipped in during shutdown still gets a
             // typed shed (this also answers the shutdown's own wake-up
@@ -293,7 +436,7 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
                 stream,
                 429,
                 "Too Many Requests",
-                &api::overloaded_body("draining", shared.retry_after_hint(0), 0),
+                &api::overloaded_body("draining", shared.retry_after_hint(0), 0, request_id),
             );
             return;
         }
@@ -302,29 +445,60 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
         match shared.queue.push(Job {
             stream,
             admitted_at: Instant::now(),
+            request_id,
         }) {
             Ok(depth) => {
                 shared.emit(Event::ServeAdmitted {
                     queue_depth: depth as u64,
+                    request_id,
                 });
                 shared.retry_budget.deposit();
             }
-            Err(job) => {
-                let depth = shared.queue.depth();
-                let retry_after_ms = shared.retry_after_hint(depth);
-                shared.emit(Event::ServeShed {
-                    queue_depth: depth as u64,
-                    retry_after_ms,
-                });
-                respond_and_drain(
-                    job.stream,
-                    429,
-                    "Too Many Requests",
-                    &api::overloaded_body("queue_full", retry_after_ms, depth),
-                );
-            }
+            Err(job) => shed_or_debug(shared, job),
         }
     }
+}
+
+/// The queue-full path. Introspection must keep working *especially*
+/// under overload, so before shedding, the acceptor reads the request
+/// under a tight bound and answers a `GET /debug/*` inline — the same
+/// 100 ms the shed drain already tolerates, because the response to a
+/// full queue must never depend on the wedged worker pool. Anything
+/// else is shed with the typed 429.
+fn shed_or_debug(shared: &Shared, mut job: Job) {
+    let _ = job
+        .stream
+        .set_read_timeout(Some(Duration::from_millis(100)));
+    if let Ok(request) = http::read_request(&mut job.stream) {
+        if request.method == "GET"
+            && request.path.starts_with("/debug/")
+            && serve_debug(shared, &mut job.stream, &request.path, job.request_id)
+        {
+            return;
+        }
+    }
+    let depth = shared.queue.depth();
+    let retry_after_ms = shared.retry_after_hint(depth);
+    shared.emit(Event::ServeShed {
+        queue_depth: depth as u64,
+        retry_after_ms,
+        request_id: job.request_id,
+        // Shed before the body was parsed: the tenant is unknowable.
+        tenant: "unknown".to_string(),
+    });
+    shared.finish_request(
+        job.request_id,
+        "unknown",
+        ServeOutcome::Shed,
+        ServeBackendKind::None,
+        job.admitted_at,
+    );
+    respond_and_drain(
+        job.stream,
+        429,
+        "Too Many Requests",
+        &api::overloaded_body("queue_full", retry_after_ms, depth, job.request_id),
+    );
 }
 
 fn respond(stream: &mut TcpStream, status: u16, reason: &str, body: &Value) {
@@ -380,7 +554,7 @@ fn handle_connection(shared: &Shared, mut job: Job) {
                 job.stream,
                 400,
                 "Bad Request",
-                &api::bad_request_body(&e.to_string()),
+                &api::bad_request_body(&e.to_string(), job.request_id),
             );
             return;
         }
@@ -401,6 +575,16 @@ fn handle_connection(shared: &Shared, mut job: Job) {
                 text.as_bytes(),
             );
         }
+        ("GET", path) if path.starts_with("/debug/") => {
+            if !serve_debug(shared, &mut job.stream, path, job.request_id) {
+                respond(
+                    &mut job.stream,
+                    404,
+                    "Not Found",
+                    &json!({"ok": false, "error": "not_found"}),
+                );
+            }
+        }
         ("POST", "/v1/mac") => handle_mac(shared, job, &request),
         _ => {
             respond(
@@ -410,6 +594,128 @@ fn handle_connection(shared: &Shared, mut job: Job) {
                 &json!({"ok": false, "error": "not_found"}),
             );
         }
+    }
+}
+
+/// Serves the read-only introspection endpoints. Returns `false` when
+/// the path is not a known debug view (the caller owns the 404 or the
+/// shed). Everything here reads shared state under short locks and
+/// never touches the solver, so it is safe to call from the acceptor.
+fn serve_debug(shared: &Shared, stream: &mut TcpStream, path: &str, request_id: u64) -> bool {
+    match path {
+        "/debug/requests" => {
+            let now = Instant::now();
+            let requests: Vec<Value> =
+                shared
+                    .inflight
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .iter()
+                    .map(|entry| {
+                        let budget_remaining_ms = match entry.deadline_at {
+                            Some(deadline) => Value::Number(
+                                deadline.saturating_duration_since(now).as_millis() as f64,
+                            ),
+                            None => Value::Null,
+                        };
+                        json!({
+                            "request_id": (api::request_id_hex(entry.request_id)),
+                            "tenant": (entry.tenant.as_str()),
+                            "age_ms": (now.saturating_duration_since(entry.admitted_at)
+                                .as_millis() as u64),
+                            "budget_remaining_ms": budget_remaining_ms
+                        })
+                    })
+                    .collect();
+            let body = json!({
+                "ok": true,
+                "request_id": (api::request_id_hex(request_id)),
+                "in_flight": (requests.len() as u64),
+                "requests": (Value::Array(requests))
+            });
+            respond(stream, 200, "OK", &body);
+            true
+        }
+        "/debug/queue" => {
+            let tenants: Vec<Value> = shared
+                .governor
+                .snapshot()
+                .into_iter()
+                .map(|(tenant, in_flight)| {
+                    json!({"tenant": (tenant), "in_flight": (in_flight as u64)})
+                })
+                .collect();
+            let body = json!({
+                "ok": true,
+                "request_id": (api::request_id_hex(request_id)),
+                "depth": (shared.queue.depth() as u64),
+                "capacity": (shared.queue.capacity() as u64),
+                "workers": (shared.config.workers as u64),
+                "tenant_quota": (shared.governor.quota() as u64),
+                "retries_banked": (shared.retry_budget.available()),
+                "shutting_down": (shared.shutting_down.load(Ordering::SeqCst)),
+                "tenants": (Value::Array(tenants))
+            });
+            respond(stream, 200, "OK", &body);
+            true
+        }
+        "/debug/breakers" => {
+            let breakers: Vec<Value> = shared
+                .breakers
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .iter()
+                .map(|(tenant, breaker)| {
+                    let snap = breaker.snapshot();
+                    json!({
+                        "tenant": (tenant.as_str()),
+                        "state": (snap.state.name()),
+                        "window_failures": (snap.window_failures),
+                        "window_size": (snap.window_size),
+                        "cooldown_remaining_ms": (snap.cooldown_remaining_ms),
+                        "probes_in_flight": (snap.probes_in_flight)
+                    })
+                })
+                .collect();
+            let body = json!({
+                "ok": true,
+                "request_id": (api::request_id_hex(request_id)),
+                "breakers": (Value::Array(breakers))
+            });
+            respond(stream, 200, "OK", &body);
+            true
+        }
+        "/debug/flight" => {
+            match &shared.flight {
+                Some(flight) => {
+                    // The ring, rendered as the same ferrocim-trace-v1
+                    // JSONL a dump file holds — pipe it straight into
+                    // `ferrocim-trace summary -`.
+                    let text = flight.render();
+                    let _ = http::write_response(
+                        stream,
+                        200,
+                        "OK",
+                        "application/x-ndjson",
+                        text.as_bytes(),
+                    );
+                }
+                None => {
+                    respond(
+                        stream,
+                        404,
+                        "Not Found",
+                        &json!({
+                            "ok": false,
+                            "error": "no_flight_recorder",
+                            "request_id": (api::request_id_hex(request_id))
+                        }),
+                    );
+                }
+            }
+            true
+        }
+        _ => false,
     }
 }
 
@@ -482,30 +788,49 @@ fn classify(
 }
 
 fn handle_mac(shared: &Shared, mut job: Job, request: &Request) {
+    let request_id = job.request_id;
     let parsed = match api::MacApiRequest::parse(&request.body) {
         Ok(parsed) => parsed,
         Err(e) => {
+            shared.finish_request(
+                request_id,
+                // The tenant field never parsed: unknowable.
+                "unknown",
+                ServeOutcome::Rejected,
+                ServeBackendKind::None,
+                job.admitted_at,
+            );
             respond(
                 &mut job.stream,
                 400,
                 "Bad Request",
-                &api::bad_request_body(&e.message),
+                &api::bad_request_body(&e.message, request_id),
             );
             return;
         }
     };
     let width = shared.backend.cells_per_row();
     if parsed.inputs.len() != width || parsed.weights.len() != width {
+        shared.finish_request(
+            request_id,
+            &parsed.tenant,
+            ServeOutcome::Rejected,
+            ServeBackendKind::None,
+            job.admitted_at,
+        );
         respond(
             &mut job.stream,
             400,
             "Bad Request",
-            &api::bad_request_body(&format!(
-                "inputs and weights must each have exactly {width} entries \
-                 (got {} and {})",
-                parsed.inputs.len(),
-                parsed.weights.len()
-            )),
+            &api::bad_request_body(
+                &format!(
+                    "inputs and weights must each have exactly {width} entries \
+                     (got {} and {})",
+                    parsed.inputs.len(),
+                    parsed.weights.len()
+                ),
+                request_id,
+            ),
         );
         return;
     }
@@ -516,12 +841,21 @@ fn handle_mac(shared: &Shared, mut job: Job, request: &Request) {
         shared.emit(Event::ServeShed {
             queue_depth: depth as u64,
             retry_after_ms,
+            request_id,
+            tenant: parsed.tenant.clone(),
         });
+        shared.finish_request(
+            request_id,
+            &parsed.tenant,
+            ServeOutcome::Shed,
+            ServeBackendKind::None,
+            job.admitted_at,
+        );
         respond(
             &mut job.stream,
             429,
             "Too Many Requests",
-            &api::overloaded_body("tenant_quota", retry_after_ms, depth),
+            &api::overloaded_body("tenant_quota", retry_after_ms, depth, request_id),
         );
         return;
     };
@@ -532,11 +866,18 @@ fn handle_mac(shared: &Shared, mut job: Job, request: &Request) {
         .min(shared.config.max_timeout_ms);
     let deadline_at = job.admitted_at + Duration::from_millis(timeout_ms);
     if Instant::now() >= deadline_at {
+        shared.finish_request(
+            request_id,
+            &parsed.tenant,
+            ServeOutcome::Deadline,
+            ServeBackendKind::None,
+            job.admitted_at,
+        );
         respond(
             &mut job.stream,
             504,
             "Gateway Timeout",
-            &api::deadline_body("deadline expired while queued"),
+            &api::deadline_body("deadline expired while queued", request_id),
         );
         return;
     }
@@ -556,7 +897,22 @@ fn handle_mac(shared: &Shared, mut job: Job, request: &Request) {
     // the response write must tolerate `WouldBlock` (it does).
     let _ = job.stream.set_nonblocking(true);
     let watch_id = shared.watch_register(&job.stream, &token);
-    run_mac(shared, &mut job.stream, &parsed.tenant, &solve, deadline_at);
+    let inflight = shared.inflight_register(
+        request_id,
+        &parsed.tenant,
+        job.admitted_at,
+        Some(deadline_at),
+    );
+    run_mac(
+        shared,
+        &mut job.stream,
+        &parsed.tenant,
+        &solve,
+        deadline_at,
+        request_id,
+        job.admitted_at,
+    );
+    drop(inflight);
     shared.watch_deregister(watch_id);
     drop(permit);
 }
@@ -567,30 +923,54 @@ fn run_mac(
     tenant: &str,
     solve: &SolveRequest,
     deadline_at: Instant,
+    request_id: u64,
+    admitted_at: Instant,
 ) {
     // Surrogate fast path first: a calibrated key answers without any
     // solver work, so it neither consumes a breaker probe slot nor
     // records an outcome — the breaker tracks the health of the *live*
     // solver, which this path never touched.
     if let Some(solution) = shared.backend.surrogate(solve) {
-        respond(stream, 200, "OK", &api::ok_body(&solution, 0, false, None));
+        respond(
+            stream,
+            200,
+            "OK",
+            &api::ok_body(&solution, 0, false, None, request_id),
+        );
+        shared.finish_request(
+            request_id,
+            tenant,
+            ServeOutcome::Ok,
+            ServeBackendKind::Surrogate,
+            admitted_at,
+        );
         return;
     }
     let breaker = shared.breaker_for(tenant);
     let decision = breaker.decide();
     if decision == BreakerDecision::Deny {
         let fallback = shared.backend.fallback(solve);
-        shared.emit(Event::ServeDegraded { breaker_open: true });
+        shared.emit(Event::ServeDegraded {
+            breaker_open: true,
+            request_id,
+            tenant: tenant.to_string(),
+        });
         respond(
             stream,
             200,
             "OK",
-            &api::ok_body(&fallback, 0, true, Some("circuit breaker open")),
+            &api::ok_body(&fallback, 0, true, Some("circuit breaker open"), request_id),
+        );
+        shared.finish_request(
+            request_id,
+            tenant,
+            ServeOutcome::Degraded,
+            ServeBackendKind::Fallback,
+            admitted_at,
         );
         return;
     }
     let is_probe = decision == BreakerDecision::Probe;
-    let seq = shared.request_seq.fetch_add(1, Ordering::Relaxed);
     let remaining_ms = deadline_at
         .saturating_duration_since(Instant::now())
         .as_millis() as u64;
@@ -598,10 +978,9 @@ fn run_mac(
         // Half-open probes never retry: one attempt, report faithfully.
         Vec::new()
     } else {
-        shared
-            .config
-            .retry
-            .schedule(shared.config.retry_seed ^ seq, remaining_ms)
+        // The request id is already a seeded SplitMix64 mix of the
+        // accept counter, so it doubles as the jitter seed.
+        shared.config.retry.schedule(request_id, remaining_ms)
     };
     let mut attempts: u32 = 0;
     let mut backoffs = schedule.into_iter();
@@ -616,13 +995,22 @@ fn run_mac(
                     shared.emit(Event::ServeBreakerOpen {
                         window_failures: trip.window_failures,
                         window_size: trip.window_size,
+                        request_id,
+                        tenant: tenant.to_string(),
                     });
                 }
                 respond(
                     stream,
                     200,
                     "OK",
-                    &api::ok_body(&solution, attempts, false, None),
+                    &api::ok_body(&solution, attempts, false, None, request_id),
+                );
+                shared.finish_request(
+                    request_id,
+                    tenant,
+                    ServeOutcome::Ok,
+                    ServeBackendKind::Live,
+                    admitted_at,
                 );
                 return;
             }
@@ -644,7 +1032,14 @@ fn run_mac(
                     stream,
                     504,
                     "Gateway Timeout",
-                    &api::deadline_body("solve exceeded the request deadline"),
+                    &api::deadline_body("solve exceeded the request deadline", request_id),
+                );
+                shared.finish_request(
+                    request_id,
+                    tenant,
+                    ServeOutcome::Deadline,
+                    ServeBackendKind::None,
+                    admitted_at,
                 );
                 return;
             }
@@ -656,7 +1051,14 @@ fn run_mac(
                     stream,
                     500,
                     "Internal Server Error",
-                    &api::internal_body(&message),
+                    &api::internal_body(&message, request_id),
+                );
+                shared.finish_request(
+                    request_id,
+                    tenant,
+                    ServeOutcome::Error,
+                    ServeBackendKind::None,
+                    admitted_at,
                 );
                 return;
             }
@@ -665,6 +1067,8 @@ fn run_mac(
                     shared.emit(Event::ServeBreakerOpen {
                         window_failures: trip.window_failures,
                         window_size: trip.window_size,
+                        request_id,
+                        tenant: tenant.to_string(),
                     });
                 }
                 let next_backoff = backoffs.next();
@@ -679,6 +1083,7 @@ fn run_mac(
                     shared.emit(Event::ServeRetry {
                         attempt: attempts as u64,
                         backoff_ms: backoff,
+                        request_id,
                     });
                     std::thread::sleep(Duration::from_millis(backoff));
                     continue;
@@ -688,12 +1093,21 @@ fn run_mac(
                 let fallback = shared.backend.fallback(solve);
                 shared.emit(Event::ServeDegraded {
                     breaker_open: breaker.state() == crate::breaker::BreakerState::Open,
+                    request_id,
+                    tenant: tenant.to_string(),
                 });
                 respond(
                     stream,
                     200,
                     "OK",
-                    &api::ok_body(&fallback, attempts, false, Some(&message)),
+                    &api::ok_body(&fallback, attempts, false, Some(&message), request_id),
+                );
+                shared.finish_request(
+                    request_id,
+                    tenant,
+                    ServeOutcome::Degraded,
+                    ServeBackendKind::Fallback,
+                    admitted_at,
                 );
                 return;
             }

@@ -12,7 +12,7 @@ use ferrocim_serve::{
     http_request, BreakerConfig, ChaosBackend, ChaosPlan, CimBackend, MacBackend, RetryPolicy,
     ServeConfig, Server, Solution, SolveRequest,
 };
-use ferrocim_telemetry::{Aggregator, Telemetry};
+use ferrocim_telemetry::{Aggregator, FlightRecorder, Tee, Telemetry};
 use ferrocim_units::Volt;
 use serde_json::Value;
 use std::sync::Arc;
@@ -473,6 +473,169 @@ fn shutdown_drains_admitted_work() {
         std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err(),
         "listener is closed after shutdown"
     );
+}
+
+/// Pulls the `request_id` out of a response body, asserting it is the
+/// fixed-width hex form every typed body must carry.
+fn request_id_of(doc: &Value) -> String {
+    match doc.get("request_id") {
+        Some(Value::String(id)) if id.len() == 16 && id.chars().all(|c| c.is_ascii_hexdigit()) => {
+            id.clone()
+        }
+        other => panic!("expected a 16-hex request_id, got {other:?}"),
+    }
+}
+
+#[test]
+fn request_ids_flow_from_responses_to_events_and_debug_views() {
+    let aggregator = Arc::new(Aggregator::new());
+    let flight = Arc::new(FlightRecorder::new(256));
+    let telemetry = Telemetry::to(Tee::new(vec![
+        Arc::clone(&aggregator) as Arc<dyn ferrocim_telemetry::Recorder>,
+        Arc::clone(&flight) as Arc<dyn ferrocim_telemetry::Recorder>,
+    ]));
+    let server = Server::start_observed(
+        ServeConfig::default(),
+        Arc::new(StubBackend::instant(4)),
+        telemetry,
+        aggregator.clone(),
+        Some(Arc::clone(&flight)),
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    // Success, shed (bad width -> 400), and the request ids they echo.
+    let ok = http_request(
+        addr,
+        "POST",
+        "/v1/mac",
+        &mac_body("acme", 2000),
+        CLIENT_TIMEOUT,
+    )
+    .expect("mac");
+    assert_eq!(ok.status, 200);
+    let ok_doc = typed_json(ok.status, &ok.body);
+    let ok_id = request_id_of(&ok_doc);
+    let bad = http_request(
+        addr,
+        "POST",
+        "/v1/mac",
+        br#"{"tenant":"acme","inputs":[true],"weights":[true]}"#,
+        CLIENT_TIMEOUT,
+    )
+    .expect("bad width");
+    assert_eq!(bad.status, 400);
+    let bad_doc = typed_json(bad.status, &bad.body);
+    let bad_id = request_id_of(&bad_doc);
+    assert_ne!(ok_id, bad_id, "each request gets its own id");
+
+    // Terminal outcomes feed the dimensional metrics: one ok (the live
+    // stub is not surrogate-backed) and one rejected, both for acme.
+    let counts = aggregator.counts();
+    assert!(counts.serve_done >= 2, "every terminal MAC emits ServeDone");
+    let labeled = aggregator.serve_requests();
+    let acme_ok = labeled
+        .iter()
+        .find(|c| c.tenant == "acme" && c.outcome == "ok" && c.backend == "live")
+        .expect("acme/ok/live cell exists");
+    assert_eq!(acme_ok.value, 1);
+    assert!(
+        labeled
+            .iter()
+            .any(|c| c.tenant == "acme" && c.outcome == "rejected"),
+        "the 400 shows up as a rejected outcome: {labeled:?}"
+    );
+
+    // The events in the flight ring carry the echoed ids.
+    let events = flight.snapshot();
+    let done_ids: Vec<String> = events
+        .iter()
+        .filter_map(|event| match event {
+            ferrocim_telemetry::Event::ServeDone { request_id, .. } => {
+                Some(format!("{request_id:016x}"))
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(done_ids.contains(&ok_id), "ok id reaches telemetry");
+    assert!(done_ids.contains(&bad_id), "rejected id reaches telemetry");
+
+    // The read-only debug surface.
+    let requests =
+        http_request(addr, "GET", "/debug/requests", b"", CLIENT_TIMEOUT).expect("debug requests");
+    assert_eq!(requests.status, 200);
+    let doc = requests.json().expect("JSON");
+    assert_eq!(doc.get("ok"), Some(&Value::Bool(true)));
+    assert!(matches!(doc.get("in_flight"), Some(Value::Number(_))));
+    let queue =
+        http_request(addr, "GET", "/debug/queue", b"", CLIENT_TIMEOUT).expect("debug queue");
+    let doc = queue.json().expect("JSON");
+    assert_eq!(doc.get("capacity"), Some(&Value::Number(16.0)));
+    assert_eq!(doc.get("shutting_down"), Some(&Value::Bool(false)));
+    let breakers =
+        http_request(addr, "GET", "/debug/breakers", b"", CLIENT_TIMEOUT).expect("debug breakers");
+    let doc = breakers.json().expect("JSON");
+    assert!(matches!(doc.get("breakers"), Some(Value::Array(_))));
+    let flight_resp =
+        http_request(addr, "GET", "/debug/flight", b"", CLIENT_TIMEOUT).expect("debug flight");
+    assert_eq!(flight_resp.status, 200);
+    let text = String::from_utf8_lossy(&flight_resp.body);
+    assert!(
+        text.starts_with("{\"format\":\"ferrocim-trace-v1\"}"),
+        "flight stream is a trace dump: {}",
+        &text[..text.len().min(80)]
+    );
+    assert!(text.contains("ServeDone"), "ring holds the serve events");
+    // Unknown debug paths are typed 404s.
+    let nope = http_request(addr, "GET", "/debug/nope", b"", CLIENT_TIMEOUT).expect("404");
+    assert_eq!(nope.status, 404);
+    server.shutdown();
+}
+
+#[test]
+fn debug_endpoints_answer_even_when_the_queue_is_full() {
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        tenant_quota: 64,
+        ..ServeConfig::default()
+    };
+    let server = start(
+        config,
+        Arc::new(StubBackend::slow(4, Duration::from_millis(400))),
+    );
+    let addr = server.addr();
+    // One request solving, one parked in the depth-1 queue: full.
+    let busy: Vec<_> = (0..2)
+        .map(|i| {
+            std::thread::spawn(move || {
+                http_request(
+                    addr,
+                    "POST",
+                    "/v1/mac",
+                    &mac_body(&format!("t{i}"), 5000),
+                    CLIENT_TIMEOUT,
+                )
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+    // The acceptor must answer introspection inline despite the full
+    // queue (a third MAC would be shed right now).
+    let queue =
+        http_request(addr, "GET", "/debug/queue", b"", CLIENT_TIMEOUT).expect("debug queue");
+    assert_eq!(queue.status, 200, "debug endpoints are admission-exempt");
+    let doc = queue.json().expect("JSON");
+    assert_eq!(doc.get("ok"), Some(&Value::Bool(true)));
+    // No flight recorder was wired in: /debug/flight is a typed 404.
+    let flight =
+        http_request(addr, "GET", "/debug/flight", b"", CLIENT_TIMEOUT).expect("debug flight");
+    assert_eq!(flight.status, 404);
+    for client in busy {
+        let resp = client.join().expect("client").expect("response");
+        assert!(matches!(resp.status, 200 | 429));
+    }
+    server.shutdown();
 }
 
 #[test]

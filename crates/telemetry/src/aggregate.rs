@@ -4,7 +4,34 @@
 use crate::event::Event;
 use crate::recorder::Recorder;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks a mutex, recovering the data from a poisoned lock: every
+/// structure in this module stays internally consistent under panic
+/// (counters may at worst miss the increment that panicked), so
+/// observing after a poisoning is always safe.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Escapes a label value for the Prometheus text exposition format
+/// (backslash, double quote, and newline are the only specials).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
 
 /// Adds `value` into an `AtomicU64` holding `f64` bits, lock-free.
 fn atomic_f64_add(cell: &AtomicU64, value: f64) {
@@ -114,6 +141,160 @@ impl Histogram {
     }
 }
 
+/// One sample from a [`LabeledCounts`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabeledCount {
+    /// Tenant label (overflow tenants collapse to `"other"`).
+    pub tenant: String,
+    /// Request-outcome label (see
+    /// [`ServeOutcome::label`](crate::ServeOutcome::label)).
+    pub outcome: String,
+    /// Answering-backend label (see
+    /// [`ServeBackendKind::label`](crate::ServeBackendKind::label)).
+    pub backend: String,
+    /// Requests observed with this label set.
+    pub value: u64,
+}
+
+/// One (tenant, outcome, backend) key in a [`LabeledCounts`] family.
+type LabelKey = (String, String, String);
+
+/// A bounded-cardinality counter family keyed on small label sets:
+/// (tenant, outcome, backend).
+///
+/// Tenant labels are client-controlled, so the family caps how many
+/// distinct tenants it tracks; once the cap is reached, new tenants
+/// collapse into the `"other"` label (at most `cap + 1` tenant labels
+/// ever exist, never unbounded growth). Outcome and backend labels come
+/// from the closed [`ServeOutcome`](crate::ServeOutcome) /
+/// [`ServeBackendKind`](crate::ServeBackendKind) sets and need no cap.
+#[derive(Debug)]
+pub struct LabeledCounts {
+    tenant_cap: usize,
+    cells: Mutex<Vec<(LabelKey, u64)>>,
+}
+
+impl LabeledCounts {
+    /// An empty family tracking at most `tenant_cap` distinct tenants
+    /// (plus the `"other"` overflow label).
+    pub fn new(tenant_cap: usize) -> LabeledCounts {
+        LabeledCounts {
+            tenant_cap,
+            cells: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Increments the (tenant, outcome, backend) cell by one.
+    pub fn add(&self, tenant: &str, outcome: &str, backend: &str) {
+        self.add_n(tenant, outcome, backend, 1);
+    }
+
+    fn add_n(&self, tenant: &str, outcome: &str, backend: &str, n: u64) {
+        let mut cells = lock(&self.cells);
+        let tenant = if cells.iter().any(|((t, _, _), _)| t == tenant) {
+            tenant
+        } else {
+            let mut distinct: Vec<&str> = cells.iter().map(|((t, _, _), _)| t.as_str()).collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            if distinct.len() >= self.tenant_cap {
+                "other"
+            } else {
+                tenant
+            }
+        };
+        if let Some((_, value)) = cells
+            .iter_mut()
+            .find(|((t, o, b), _)| t == tenant && o == outcome && b == backend)
+        {
+            *value += n;
+        } else {
+            cells.push((
+                (tenant.to_string(), outcome.to_string(), backend.to_string()),
+                n,
+            ));
+        }
+    }
+
+    /// A sorted snapshot of every cell.
+    pub fn snapshot(&self) -> Vec<LabeledCount> {
+        let mut cells: Vec<LabeledCount> = lock(&self.cells)
+            .iter()
+            .map(|((tenant, outcome, backend), value)| LabeledCount {
+                tenant: tenant.clone(),
+                outcome: outcome.clone(),
+                backend: backend.clone(),
+                value: *value,
+            })
+            .collect();
+        cells.sort_by(|a, b| {
+            (&a.tenant, &a.outcome, &a.backend).cmp(&(&b.tenant, &b.outcome, &b.backend))
+        });
+        cells
+    }
+
+    /// Sum over every cell.
+    pub fn total(&self) -> u64 {
+        lock(&self.cells).iter().map(|(_, v)| v).sum()
+    }
+
+    /// Adds `other`'s cells into `self`, re-applying `self`'s tenant
+    /// cap (the per-thread merge pattern).
+    pub fn merge_from(&self, other: &LabeledCounts) {
+        for cell in other.snapshot() {
+            self.add_n(&cell.tenant, &cell.outcome, &cell.backend, cell.value);
+        }
+    }
+}
+
+/// Policy for the serve SLO burn-rate monitor: a sliding window of
+/// request outcomes in which shed, degraded, deadline-missed, and
+/// errored answers burn error budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPolicy {
+    /// Sliding-window length in requests.
+    pub window: usize,
+    /// Minimum observations before a breach can latch (protects the
+    /// first few requests from tripping on a tiny denominator).
+    pub min_samples: usize,
+    /// Burn fraction (`bad / window`) at or above which a breach
+    /// latches.
+    pub burn_threshold: f64,
+}
+
+impl Default for SloPolicy {
+    fn default() -> SloPolicy {
+        SloPolicy {
+            window: 64,
+            min_samples: 16,
+            burn_threshold: 0.5,
+        }
+    }
+}
+
+/// A latched SLO breach: the window statistics at the moment the burn
+/// rate crossed the policy threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloBreachInfo {
+    /// Observations in the window when the breach latched.
+    pub window: u64,
+    /// Budget-burning observations among them.
+    pub bad: u64,
+    /// The burn fraction `bad / window` (0..=1).
+    pub burn: f64,
+}
+
+/// The SLO monitor's sliding window. Edge-triggered: a breach latches
+/// once when the burn rate crosses the threshold and re-arms only
+/// after the rate drops back below it, so a sustained breach produces
+/// one dump trigger rather than one per request.
+#[derive(Debug, Default)]
+struct SloState {
+    recent: VecDeque<bool>,
+    latched: bool,
+    pending: Option<SloBreachInfo>,
+}
+
 /// A point-in-time snapshot of every [`Aggregator`] counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Counts {
@@ -179,6 +360,14 @@ pub struct Counts {
     /// Circuit-breaker closed-to-open trips
     /// ([`Event::ServeBreakerOpen`]).
     pub serve_breaker_open: u64,
+    /// Requests finished with a typed outcome ([`Event::ServeDone`]).
+    /// Absent from traces recorded before the flight-recorder release,
+    /// hence the serde default.
+    #[serde(default)]
+    pub serve_done: u64,
+    /// SLO burn-rate breaches latched ([`Event::SloBreach`]).
+    #[serde(default)]
+    pub slo_breaches: u64,
     /// Surrogate-store lookups answered from a calibrated curve
     /// ([`Event::SurrogateLookup`] with `hit: true`).
     pub surrogate_hits: u64,
@@ -229,12 +418,19 @@ pub struct Aggregator {
     serve_retries: AtomicU64,
     serve_degraded: AtomicU64,
     serve_breaker_open: AtomicU64,
+    serve_done: AtomicU64,
+    slo_breaches: AtomicU64,
     surrogate_hits: AtomicU64,
     surrogate_misses: AtomicU64,
     surrogate_checks: AtomicU64,
     surrogate_check_failures: AtomicU64,
     newton_histogram: Histogram,
     span_histogram: Histogram,
+    serve_tenant_cap: usize,
+    serve_requests: LabeledCounts,
+    serve_latency: Mutex<Vec<(String, Histogram)>>,
+    slo_policy: SloPolicy,
+    slo: Mutex<SloState>,
 }
 
 /// Upper bounds (iterations) for the Newton-per-solve histogram.
@@ -242,6 +438,17 @@ const NEWTON_BOUNDS: &[f64] = &[1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 
 
 /// Upper bounds (microseconds) for the span-latency histogram.
 const SPAN_BOUNDS: &[f64] = &[1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8];
+
+/// Upper bounds (milliseconds) for the per-tenant serve request-latency
+/// histograms: sub-millisecond surrogate answers up through the serve
+/// deadline ceiling.
+const SERVE_LATENCY_BOUNDS_MS: &[f64] = &[
+    0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1e3, 2.5e3,
+];
+
+/// Default cap on distinct tenant labels in the dimensional serve
+/// metrics (see [`Aggregator::with_serve_tenant_cap`]).
+const SERVE_TENANT_CAP: usize = 16;
 
 impl Aggregator {
     /// An empty aggregator with the default histogram buckets.
@@ -274,13 +481,41 @@ impl Aggregator {
             serve_retries: AtomicU64::new(0),
             serve_degraded: AtomicU64::new(0),
             serve_breaker_open: AtomicU64::new(0),
+            serve_done: AtomicU64::new(0),
+            slo_breaches: AtomicU64::new(0),
             surrogate_hits: AtomicU64::new(0),
             surrogate_misses: AtomicU64::new(0),
             surrogate_checks: AtomicU64::new(0),
             surrogate_check_failures: AtomicU64::new(0),
             newton_histogram: Histogram::new(NEWTON_BOUNDS),
             span_histogram: Histogram::new(SPAN_BOUNDS),
+            serve_tenant_cap: SERVE_TENANT_CAP,
+            serve_requests: LabeledCounts::new(SERVE_TENANT_CAP),
+            serve_latency: Mutex::new(Vec::new()),
+            slo_policy: SloPolicy::default(),
+            slo: Mutex::new(SloState::default()),
         }
+    }
+
+    /// Caps the number of distinct tenant labels tracked by the
+    /// dimensional serve metrics (counter cells and latency series);
+    /// tenants beyond the cap collapse into `"other"`. Call before
+    /// recording: already-tracked tenants are kept.
+    pub fn with_serve_tenant_cap(mut self, cap: usize) -> Aggregator {
+        self.serve_tenant_cap = cap;
+        let old = std::mem::replace(&mut self.serve_requests, LabeledCounts::new(cap));
+        self.serve_requests.merge_from(&old);
+        self
+    }
+
+    /// Replaces the SLO burn-rate policy (window, minimum samples, and
+    /// the burn fraction at which a breach latches).
+    pub fn with_slo_policy(mut self, policy: SloPolicy) -> Aggregator {
+        self.slo_policy = SloPolicy {
+            window: policy.window.max(1),
+            ..policy
+        };
+        self
     }
 
     /// Snapshot of every counter.
@@ -314,6 +549,8 @@ impl Aggregator {
             serve_retries: load(&self.serve_retries),
             serve_degraded: load(&self.serve_degraded),
             serve_breaker_open: load(&self.serve_breaker_open),
+            serve_done: load(&self.serve_done),
+            slo_breaches: load(&self.slo_breaches),
             surrogate_hits: load(&self.surrogate_hits),
             surrogate_misses: load(&self.surrogate_misses),
             surrogate_checks: load(&self.surrogate_checks),
@@ -329,6 +566,91 @@ impl Aggregator {
     /// The histogram of span latencies (microseconds).
     pub fn span_histogram(&self) -> &Histogram {
         &self.span_histogram
+    }
+
+    /// A snapshot of the (tenant, outcome, backend) labeled request
+    /// counters (sorted, bounded cardinality).
+    pub fn serve_requests(&self) -> Vec<LabeledCount> {
+        self.serve_requests.snapshot()
+    }
+
+    /// Per-tenant request-latency rollups: `(tenant, count, sum_ms)`,
+    /// sorted by tenant.
+    pub fn serve_latency_totals(&self) -> Vec<(String, u64, f64)> {
+        let mut rows: Vec<(String, u64, f64)> = lock(&self.serve_latency)
+            .iter()
+            .map(|(tenant, hist)| (tenant.clone(), hist.total(), hist.sum()))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// The current SLO error-budget burn fraction (`bad / window` over
+    /// the sliding window; 0 when nothing has been observed).
+    pub fn slo_burn(&self) -> f64 {
+        let slo = lock(&self.slo);
+        if slo.recent.is_empty() {
+            return 0.0;
+        }
+        let bad = slo.recent.iter().filter(|&&b| b).count();
+        bad as f64 / slo.recent.len() as f64
+    }
+
+    /// Takes the pending SLO breach, if one latched since the last
+    /// call. The monitor is edge-triggered: a sustained burn above the
+    /// threshold yields exactly one breach until the rate recovers
+    /// below the threshold and crosses again.
+    pub fn take_slo_breach(&self) -> Option<SloBreachInfo> {
+        lock(&self.slo).pending.take()
+    }
+
+    /// Records one finished request's latency into its tenant's
+    /// histogram, applying the tenant cardinality cap.
+    fn record_serve_latency(&self, tenant: &str, latency_ms: f64) {
+        let mut series = lock(&self.serve_latency);
+        let slot = if let Some(i) = series.iter().position(|(t, _)| t == tenant) {
+            i
+        } else {
+            let name = if series.len() >= self.serve_tenant_cap {
+                "other"
+            } else {
+                tenant
+            };
+            match series.iter().position(|(t, _)| t == name) {
+                Some(i) => i,
+                None => {
+                    series.push((name.to_string(), Histogram::new(SERVE_LATENCY_BOUNDS_MS)));
+                    series.len() - 1
+                }
+            }
+        };
+        series[slot].1.record(latency_ms);
+    }
+
+    /// Feeds one request outcome into the SLO sliding window, latching
+    /// a breach on the threshold's rising edge.
+    fn observe_slo(&self, bad: bool) {
+        let policy = self.slo_policy;
+        let mut slo = lock(&self.slo);
+        slo.recent.push_back(bad);
+        while slo.recent.len() > policy.window {
+            slo.recent.pop_front();
+        }
+        let n = slo.recent.len();
+        let bad_count = slo.recent.iter().filter(|&&b| b).count();
+        let burn = bad_count as f64 / n as f64;
+        if burn >= policy.burn_threshold && n >= policy.min_samples {
+            if !slo.latched {
+                slo.latched = true;
+                slo.pending = Some(SloBreachInfo {
+                    window: n as u64,
+                    bad: bad_count as u64,
+                    burn,
+                });
+            }
+        } else if burn < policy.burn_threshold {
+            slo.latched = false;
+        }
     }
 
     /// Adds `other`'s counters and histograms into `self` (the
@@ -364,15 +686,46 @@ impl Aggregator {
         add(&self.serve_retries, &other.serve_retries);
         add(&self.serve_degraded, &other.serve_degraded);
         add(&self.serve_breaker_open, &other.serve_breaker_open);
+        add(&self.serve_done, &other.serve_done);
+        add(&self.slo_breaches, &other.slo_breaches);
         add(&self.surrogate_hits, &other.surrogate_hits);
         add(&self.surrogate_misses, &other.surrogate_misses);
-        add(&self.surrogate_checks, &other.surrogate_checks);
         add(
             &self.surrogate_check_failures,
             &other.surrogate_check_failures,
         );
+        add(&self.surrogate_checks, &other.surrogate_checks);
         self.newton_histogram.merge_from(&other.newton_histogram);
         self.span_histogram.merge_from(&other.span_histogram);
+        self.serve_requests.merge_from(&other.serve_requests);
+        let theirs = lock(&other.serve_latency);
+        let mut series = lock(&self.serve_latency);
+        for (tenant, hist) in theirs.iter() {
+            let slot = match series.iter().position(|(t, _)| t == tenant) {
+                Some(i) => i,
+                None => {
+                    let name = if series.len() >= self.serve_tenant_cap {
+                        "other".to_string()
+                    } else {
+                        tenant.clone()
+                    };
+                    match series.iter().position(|(t, _)| *t == name) {
+                        Some(i) => i,
+                        None => {
+                            series.push((name, Histogram::new(SERVE_LATENCY_BOUNDS_MS)));
+                            series.len() - 1
+                        }
+                    }
+                }
+            };
+            series[slot].1.merge_from(hist);
+        }
+        drop(series);
+        drop(theirs);
+        // The SLO sliding window is deliberately not merged: it is a
+        // time-ordered sample sequence, and interleaving two windows
+        // after the fact would fabricate an ordering that never
+        // happened. Breach *counts* merge via `slo_breaches` above.
     }
 
     /// Renders every counter and histogram in the Prometheus text
@@ -522,6 +875,16 @@ impl Aggregator {
             counts.serve_breaker_open,
         );
         counter(
+            "ferrocim_serve_done_total",
+            "Requests finished with a typed outcome.",
+            counts.serve_done,
+        );
+        counter(
+            "ferrocim_slo_breaches_total",
+            "SLO burn-rate breaches latched.",
+            counts.slo_breaches,
+        );
+        counter(
             "ferrocim_surrogate_hits_total",
             "Surrogate lookups answered from a calibrated curve.",
             counts.surrogate_hits,
@@ -551,6 +914,71 @@ impl Aggregator {
             "Scoped-timer latencies in microseconds.",
             &mut out,
         );
+        let labeled = self.serve_requests.snapshot();
+        if !labeled.is_empty() {
+            let name = "ferrocim_serve_requests_total";
+            let _ = writeln!(
+                out,
+                "# HELP {name} Requests by tenant, outcome, and answering backend."
+            );
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for cell in &labeled {
+                let _ = writeln!(
+                    out,
+                    "{name}{{tenant=\"{}\",outcome=\"{}\",backend=\"{}\"}} {}",
+                    escape_label(&cell.tenant),
+                    escape_label(&cell.outcome),
+                    escape_label(&cell.backend),
+                    cell.value,
+                );
+            }
+        }
+        {
+            let mut series: Vec<(String, Vec<u64>, Vec<f64>, f64)> = lock(&self.serve_latency)
+                .iter()
+                .map(|(tenant, hist)| {
+                    (
+                        tenant.clone(),
+                        hist.counts(),
+                        hist.bounds().to_vec(),
+                        hist.sum(),
+                    )
+                })
+                .collect();
+            series.sort_by(|a, b| a.0.cmp(&b.0));
+            if !series.is_empty() {
+                let name = "ferrocim_serve_request_latency_ms";
+                let _ = writeln!(
+                    out,
+                    "# HELP {name} Serve request latency in milliseconds by tenant."
+                );
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                for (tenant, bucket_counts, bounds, sum) in &series {
+                    let tenant = escape_label(tenant);
+                    let mut cumulative = 0u64;
+                    for (bound, count) in bounds.iter().zip(bucket_counts) {
+                        cumulative += count;
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{{tenant=\"{tenant}\",le=\"{bound}\"}} {cumulative}"
+                        );
+                    }
+                    let total: u64 = bucket_counts.iter().sum();
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{{tenant=\"{tenant}\",le=\"+Inf\"}} {total}"
+                    );
+                    let _ = writeln!(out, "{name}_sum{{tenant=\"{tenant}\"}} {sum}");
+                    let _ = writeln!(out, "{name}_count{{tenant=\"{tenant}\"}} {total}");
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP ferrocim_serve_slo_burn Error-budget burn fraction over the sliding SLO window."
+        );
+        let _ = writeln!(out, "# TYPE ferrocim_serve_slo_burn gauge");
+        let _ = writeln!(out, "ferrocim_serve_slo_burn {}", self.slo_burn());
         out
     }
 }
@@ -650,6 +1078,22 @@ impl Recorder for Aggregator {
             }
             Event::ServeBreakerOpen { .. } => {
                 self.serve_breaker_open.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::ServeDone {
+                tenant,
+                outcome,
+                backend,
+                latency_ms,
+                ..
+            } => {
+                self.serve_done.fetch_add(1, Ordering::Relaxed);
+                self.serve_requests
+                    .add(tenant, outcome.label(), backend.label());
+                self.record_serve_latency(tenant, *latency_ms);
+                self.observe_slo(outcome.burns_error_budget());
+            }
+            Event::SloBreach { .. } => {
+                self.slo_breaches.fetch_add(1, Ordering::Relaxed);
             }
             Event::SurrogateLookup { hit } => {
                 if *hit {
@@ -777,22 +1221,47 @@ mod tests {
             ts: 0.0,
         });
         agg.record(&Event::SpanEnd { id: 1, micros: 5.0 });
-        agg.record(&Event::ServeAdmitted { queue_depth: 1 });
-        agg.record(&Event::ServeAdmitted { queue_depth: 2 });
+        agg.record(&Event::ServeAdmitted {
+            queue_depth: 1,
+            request_id: 1,
+        });
+        agg.record(&Event::ServeAdmitted {
+            queue_depth: 2,
+            request_id: 2,
+        });
         agg.record(&Event::ServeShed {
             queue_depth: 8,
             retry_after_ms: 100,
+            request_id: 3,
+            tenant: "t".into(),
         });
         agg.record(&Event::ServeRetry {
             attempt: 1,
             backoff_ms: 20,
+            request_id: 1,
         });
         agg.record(&Event::ServeDegraded {
             breaker_open: false,
+            request_id: 1,
+            tenant: "t".into(),
         });
         agg.record(&Event::ServeBreakerOpen {
             window_failures: 5,
             window_size: 8,
+            request_id: 1,
+            tenant: "t".into(),
+        });
+        agg.record(&Event::ServeDone {
+            request_id: 1,
+            tenant: "t".into(),
+            outcome: crate::ServeOutcome::Ok,
+            backend: crate::ServeBackendKind::Live,
+            latency_ms: 3.0,
+        });
+        agg.record(&Event::SloBreach {
+            window: 64,
+            bad: 33,
+            burn_pct: 51.6,
         });
         agg.record(&Event::SurrogateLookup { hit: true });
         agg.record(&Event::SurrogateLookup { hit: true });
@@ -832,12 +1301,152 @@ mod tests {
         assert_eq!(c.serve_retries, 1);
         assert_eq!(c.serve_degraded, 1);
         assert_eq!(c.serve_breaker_open, 1);
+        assert_eq!(c.serve_done, 1);
+        assert_eq!(c.slo_breaches, 1);
         assert_eq!(c.surrogate_hits, 2);
         assert_eq!(c.surrogate_misses, 1);
         assert_eq!(c.surrogate_checks, 2);
         assert_eq!(c.surrogate_check_failures, 1);
         assert_eq!(agg.newton_histogram().total(), 1);
         assert_eq!(agg.span_histogram().total(), 1);
+        let labeled = agg.serve_requests();
+        assert_eq!(labeled.len(), 1);
+        assert_eq!(labeled[0].tenant, "t");
+        assert_eq!(labeled[0].outcome, "ok");
+        assert_eq!(labeled[0].backend, "live");
+        assert_eq!(labeled[0].value, 1);
+        assert_eq!(agg.serve_latency_totals(), vec![("t".into(), 1, 3.0)]);
+    }
+
+    #[test]
+    fn labeled_counts_cap_collapses_overflow_tenants_to_other() {
+        let counts = LabeledCounts::new(2);
+        counts.add("a", "ok", "live");
+        counts.add("b", "ok", "live");
+        counts.add("c", "ok", "live"); // over the cap -> "other"
+        counts.add("d", "shed", "none"); // also "other"
+        counts.add("a", "ok", "live"); // existing tenant still tracked
+        let cells = counts.snapshot();
+        let tenants: Vec<&str> = cells.iter().map(|c| c.tenant.as_str()).collect();
+        assert_eq!(tenants, vec!["a", "b", "other", "other"]);
+        assert_eq!(cells[0].value, 2);
+        assert_eq!(counts.total(), 5);
+    }
+
+    #[test]
+    fn labeled_counts_merge_reapplies_cap() {
+        let a = LabeledCounts::new(1);
+        let b = LabeledCounts::new(8);
+        a.add("t1", "ok", "live");
+        b.add("t2", "ok", "live");
+        b.add("t3", "degraded", "fallback");
+        a.merge_from(&b);
+        let tenants: Vec<String> = a.snapshot().into_iter().map(|c| c.tenant).collect();
+        assert!(tenants.iter().all(|t| t == "t1" || t == "other"));
+        assert_eq!(a.total(), 3);
+    }
+
+    fn done(tenant: &str, outcome: crate::ServeOutcome) -> Event {
+        Event::ServeDone {
+            request_id: 0,
+            tenant: tenant.into(),
+            outcome,
+            backend: crate::ServeBackendKind::Live,
+            latency_ms: 1.0,
+        }
+    }
+
+    #[test]
+    fn slo_breach_latches_once_per_threshold_crossing() {
+        let agg = Aggregator::new().with_slo_policy(SloPolicy {
+            window: 8,
+            min_samples: 4,
+            burn_threshold: 0.5,
+        });
+        // Three bad outcomes: below min_samples, nothing latches.
+        for _ in 0..3 {
+            agg.record(&done("t", crate::ServeOutcome::Shed));
+        }
+        assert!(agg.take_slo_breach().is_none());
+        // Fourth bad outcome crosses with burn 1.0: one latch only.
+        agg.record(&done("t", crate::ServeOutcome::Deadline));
+        let breach = agg.take_slo_breach().expect("breach should latch");
+        assert_eq!(breach.window, 4);
+        assert_eq!(breach.bad, 4);
+        assert!((breach.burn - 1.0).abs() < 1e-12);
+        agg.record(&done("t", crate::ServeOutcome::Error));
+        assert!(
+            agg.take_slo_breach().is_none(),
+            "edge-triggered, no re-latch"
+        );
+        // Recover below the threshold, then breach again: re-latches.
+        for _ in 0..8 {
+            agg.record(&done("t", crate::ServeOutcome::Ok));
+        }
+        assert!(agg.take_slo_breach().is_none());
+        for _ in 0..4 {
+            agg.record(&done("t", crate::ServeOutcome::Degraded));
+        }
+        assert!(agg.take_slo_breach().is_some(), "re-armed after recovery");
+    }
+
+    #[test]
+    fn rejected_and_ok_outcomes_do_not_burn_budget() {
+        let agg = Aggregator::new().with_slo_policy(SloPolicy {
+            window: 8,
+            min_samples: 4,
+            burn_threshold: 0.5,
+        });
+        for _ in 0..8 {
+            agg.record(&done("t", crate::ServeOutcome::Rejected));
+        }
+        assert!(agg.take_slo_breach().is_none());
+        assert!((agg.slo_burn()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_per_tenant_series() {
+        let agg = Aggregator::new();
+        agg.record(&done("acme", crate::ServeOutcome::Ok));
+        agg.record(&done("acme", crate::ServeOutcome::Shed));
+        agg.record(&done("zeta", crate::ServeOutcome::Ok));
+        let text = agg.render_prometheus();
+        assert!(text.contains(
+            "ferrocim_serve_requests_total{tenant=\"acme\",outcome=\"ok\",backend=\"live\"} 1"
+        ));
+        assert!(text.contains(
+            "ferrocim_serve_requests_total{tenant=\"zeta\",outcome=\"ok\",backend=\"live\"} 1"
+        ));
+        assert!(text.contains("# TYPE ferrocim_serve_request_latency_ms histogram"));
+        assert!(text
+            .contains("ferrocim_serve_request_latency_ms_bucket{tenant=\"acme\",le=\"+Inf\"} 2"));
+        assert!(text.contains("ferrocim_serve_request_latency_ms_sum{tenant=\"acme\"} 2"));
+        assert!(text.contains("ferrocim_serve_request_latency_ms_count{tenant=\"zeta\"} 1"));
+        assert!(text.contains("# TYPE ferrocim_serve_slo_burn gauge"));
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let agg = Aggregator::new();
+        agg.record(&done("evil\"tenant\\x\n", crate::ServeOutcome::Ok));
+        let text = agg.render_prometheus();
+        assert!(text.contains("tenant=\"evil\\\"tenant\\\\x\\n\""));
+    }
+
+    #[test]
+    fn merge_from_combines_labeled_and_latency_series() {
+        let a = Aggregator::new();
+        let b = Aggregator::new();
+        a.record(&done("t1", crate::ServeOutcome::Ok));
+        b.record(&done("t1", crate::ServeOutcome::Ok));
+        b.record(&done("t2", crate::ServeOutcome::Degraded));
+        a.merge_from(&b);
+        assert_eq!(a.counts().serve_done, 3);
+        let totals = a.serve_latency_totals();
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0], ("t1".into(), 2, 2.0));
+        assert_eq!(totals[1], ("t2".into(), 1, 1.0));
+        assert_eq!(a.serve_requests().iter().map(|c| c.value).sum::<u64>(), 3);
     }
 
     #[test]

@@ -63,6 +63,82 @@ pub enum DegradeStageKind {
     DenseFallback,
 }
 
+/// How one `ferrocim-serve` request terminated, as carried by
+/// [`Event::ServeDone`].
+///
+/// The taxonomy mirrors the typed response bodies of the serve API:
+/// every terminal answer the service can produce maps onto exactly one
+/// variant, which is what makes per-tenant outcome counting and the SLO
+/// error budget well-defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServeOutcome {
+    /// A `200` answered live or by the certified surrogate fast path.
+    Ok,
+    /// A `200` answered by the degraded fallback tier.
+    Degraded,
+    /// A typed `429` shed (queue full, tenant quota, or draining).
+    Shed,
+    /// A typed `504` deadline expiry (queued or mid-solve).
+    Deadline,
+    /// A typed `400`: the client's request never entered the solve
+    /// path. Rejections do not burn the SLO error budget.
+    Rejected,
+    /// A typed `500` (fatal solver misuse or a contained worker panic).
+    Error,
+}
+
+impl ServeOutcome {
+    /// The lowercase label used for Prometheus `outcome` label values.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeOutcome::Ok => "ok",
+            ServeOutcome::Degraded => "degraded",
+            ServeOutcome::Shed => "shed",
+            ServeOutcome::Deadline => "deadline",
+            ServeOutcome::Rejected => "rejected",
+            ServeOutcome::Error => "error",
+        }
+    }
+
+    /// Whether this outcome burns the SLO error budget (shed, degraded,
+    /// deadline, and internal errors do; successes and client-side
+    /// rejections do not).
+    pub fn burns_error_budget(self) -> bool {
+        matches!(
+            self,
+            ServeOutcome::Degraded
+                | ServeOutcome::Shed
+                | ServeOutcome::Deadline
+                | ServeOutcome::Error
+        )
+    }
+}
+
+/// Which tier produced the answer carried by an [`Event::ServeDone`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServeBackendKind {
+    /// A live solve through the full solver stack.
+    Live,
+    /// The certified surrogate fast path.
+    Surrogate,
+    /// The degraded fallback curve.
+    Fallback,
+    /// No tier ran (sheds, rejections, queued deadline expiries).
+    None,
+}
+
+impl ServeBackendKind {
+    /// The lowercase label used for Prometheus `backend` label values.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeBackendKind::Live => "live",
+            ServeBackendKind::Surrogate => "surrogate",
+            ServeBackendKind::Fallback => "fallback",
+            ServeBackendKind::None => "none",
+        }
+    }
+}
+
 /// One observation from an instrumented hot loop.
 ///
 /// Events are deliberately flat and (except for [`Event::SpanBegin`] and
@@ -223,6 +299,11 @@ pub enum Event {
     ServeAdmitted {
         /// Queue depth observed right after the push.
         queue_depth: u64,
+        /// The seeded per-request id echoed (as hex) in the response
+        /// body, joining this event to the client-observed answer.
+        /// Absent (0) in traces written before request ids existed.
+        #[serde(default)]
+        request_id: u64,
     },
     /// `ferrocim-serve` shed a request (admission queue full or a
     /// per-tenant concurrency quota exhausted) with a typed `429`.
@@ -231,6 +312,13 @@ pub enum Event {
         queue_depth: u64,
         /// The `retry_after_ms` hint returned to the client.
         retry_after_ms: u64,
+        /// The seeded per-request id (0 in pre-request-id traces).
+        #[serde(default)]
+        request_id: u64,
+        /// The shed tenant; empty when the shed happened before the
+        /// request was parsed (acceptor-side queue-full sheds).
+        #[serde(default)]
+        tenant: String,
     },
     /// `ferrocim-serve` retried a transiently-failed solve after a
     /// backoff sleep.
@@ -240,6 +328,9 @@ pub enum Event {
         /// The jittered backoff slept before this attempt, in
         /// milliseconds.
         backoff_ms: u64,
+        /// The seeded per-request id (0 in pre-request-id traces).
+        #[serde(default)]
+        request_id: u64,
     },
     /// `ferrocim-serve` answered a request from the calibrated
     /// transfer-curve fallback instead of a live solve (`degraded:
@@ -248,6 +339,12 @@ pub enum Event {
         /// Whether the tenant's circuit breaker was open (as opposed to
         /// an in-request retry ladder exhausting its attempts).
         breaker_open: bool,
+        /// The seeded per-request id (0 in pre-request-id traces).
+        #[serde(default)]
+        request_id: u64,
+        /// The degraded tenant (empty in pre-request-id traces).
+        #[serde(default)]
+        tenant: String,
     },
     /// A tenant's circuit breaker tripped from closed to open.
     ServeBreakerOpen {
@@ -255,6 +352,43 @@ pub enum Event {
         window_failures: u64,
         /// Total outcomes in the sliding window at the trip.
         window_size: u64,
+        /// The request whose recorded outcome tripped the breaker
+        /// (0 in pre-request-id traces).
+        #[serde(default)]
+        request_id: u64,
+        /// The tenant whose breaker tripped (empty in pre-request-id
+        /// traces).
+        #[serde(default)]
+        tenant: String,
+    },
+    /// One `ferrocim-serve` request reached a terminal outcome. Emitted
+    /// exactly once per answered request (a vanished client is the only
+    /// path with no `ServeDone`), carrying the labels behind the
+    /// per-tenant dimensional metrics and the SLO error budget.
+    ServeDone {
+        /// The seeded per-request id echoed (as hex) in the response.
+        request_id: u64,
+        /// The requesting tenant (`"unknown"` when the request was shed
+        /// before parsing).
+        tenant: String,
+        /// How the request terminated.
+        outcome: ServeOutcome,
+        /// Which tier produced the answer.
+        backend: ServeBackendKind,
+        /// Admission-to-response latency in milliseconds.
+        latency_ms: f64,
+    },
+    /// The serve SLO burn-rate monitor crossed its windowed
+    /// error-budget threshold (see `Aggregator::take_slo_breach`). This
+    /// event is the `DumpOn::SloBreach` flight-recorder trigger.
+    SloBreach {
+        /// Outcomes in the sliding window at the breach.
+        window: u64,
+        /// Budget-burning outcomes (shed + degraded + deadline + error)
+        /// in the window.
+        bad: u64,
+        /// The burn rate at the breach, in percent of the window.
+        burn_pct: f64,
     },
     /// A surrogate store was consulted for a MAC evaluation.
     SurrogateLookup {
@@ -348,19 +482,43 @@ mod tests {
                 bin: "probe_telemetry".into(),
                 args: vec!["--overhead".into()],
             },
-            Event::ServeAdmitted { queue_depth: 3 },
+            Event::ServeAdmitted {
+                queue_depth: 3,
+                request_id: 0x5EED_0001,
+            },
             Event::ServeShed {
                 queue_depth: 16,
                 retry_after_ms: 120,
+                request_id: 0x5EED_0002,
+                tenant: "t1".into(),
             },
             Event::ServeRetry {
                 attempt: 2,
                 backoff_ms: 40,
+                request_id: 0x5EED_0003,
             },
-            Event::ServeDegraded { breaker_open: true },
+            Event::ServeDegraded {
+                breaker_open: true,
+                request_id: 0x5EED_0004,
+                tenant: "t1".into(),
+            },
             Event::ServeBreakerOpen {
                 window_failures: 7,
                 window_size: 10,
+                request_id: 0x5EED_0005,
+                tenant: "t1".into(),
+            },
+            Event::ServeDone {
+                request_id: 0x5EED_0006,
+                tenant: "t1".into(),
+                outcome: ServeOutcome::Degraded,
+                backend: ServeBackendKind::Fallback,
+                latency_ms: 12.5,
+            },
+            Event::SloBreach {
+                window: 64,
+                bad: 40,
+                burn_pct: 62.5,
             },
             Event::SurrogateLookup { hit: true },
             Event::SurrogateCheck {

@@ -23,6 +23,12 @@
 //!   is never even constructed. An on handle records at a
 //!   [`DetailLevel`]; [`DetailLevel::Iterations`] adds per-iteration
 //!   Newton residual/damping diagnostics ([`Event::NewtonResidual`]).
+//! * [`FlightRecorder`] — the always-on retroactive sink: a
+//!   fixed-capacity ring (per-thread segments stitched by a global
+//!   epoch) retaining the last N events, whose snapshot is a valid
+//!   `ferrocim-trace-v1` document, with [`DumpOn`] trigger hooks that
+//!   write atomic dumps when a breaker trips or the SLO burn-rate
+//!   monitor (in [`Aggregator`]) latches a breach.
 //! * [`Span`] — scoped wall-clock timers forming a causal tree: each
 //!   span gets a process-unique [`SpanId`] and a parent (the innermost
 //!   open span on the thread, or an explicit id via
@@ -55,10 +61,17 @@
 
 mod aggregate;
 mod event;
+mod flight;
 mod recorder;
 mod sink;
 
-pub use aggregate::{Aggregator, Counts, Histogram};
-pub use event::{DegradeStageKind, Event, ResourceKind, RungKind, SolverBackend, TRACE_FORMAT};
+pub use aggregate::{
+    Aggregator, Counts, Histogram, LabeledCount, LabeledCounts, SloBreachInfo, SloPolicy,
+};
+pub use event::{
+    DegradeStageKind, Event, ResourceKind, RungKind, ServeBackendKind, ServeOutcome, SolverBackend,
+    TRACE_FORMAT,
+};
+pub use flight::{DumpOn, FlightEntry, FlightRecorder};
 pub use recorder::{DetailLevel, NoopRecorder, Recorder, Span, SpanId, Tee, Telemetry};
-pub use sink::{read_trace, JsonlSink, TraceError};
+pub use sink::{read_trace, render_trace, write_trace, JsonlSink, TraceError};

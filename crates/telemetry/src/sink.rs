@@ -143,6 +143,37 @@ fn tmp_path(path: &Path) -> PathBuf {
     PathBuf::from(tmp)
 }
 
+/// Renders an event sequence as an in-memory `ferrocim-trace-v1` JSONL
+/// document: the versioned header line followed by one event per line,
+/// byte-identical to what [`JsonlSink`] would have written. Events that
+/// fail to serialize (unreachable for the closed [`Event`] set) are
+/// skipped rather than corrupting the document.
+pub fn render_trace(events: &[Event]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{{\"format\":\"{TRACE_FORMAT}\"}}\n"));
+    for event in events {
+        if let Ok(line) = serde_json::to_string(event) {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Writes an event sequence to `path` as a finished JSONL trace via
+/// [`JsonlSink`] — same header, same atomic tmp+rename durability.
+///
+/// # Errors
+///
+/// Returns sink-creation and finish (flush/sync/rename) failures.
+pub fn write_trace(path: impl Into<PathBuf>, events: &[Event]) -> io::Result<PathBuf> {
+    let sink = JsonlSink::create(path)?;
+    for event in events {
+        sink.record(event);
+    }
+    sink.finish()
+}
+
 /// Typed failures of [`read_trace`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -331,6 +362,22 @@ mod tests {
         let first = sink.finish().expect("finish");
         let second = sink.finish().expect("finish again");
         assert_eq!(first, second);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn write_trace_and_render_trace_match_the_sink_format() {
+        let path = temp_trace("write-helper");
+        let events = vec![
+            Event::NewtonIter { iteration: 1 },
+            Event::McRunDone { run: 0, ok: true },
+        ];
+        let written = write_trace(&path, &events).expect("write_trace");
+        assert_eq!(written, path);
+        let back = read_trace(&path).expect("read");
+        assert_eq!(back, events);
+        let on_disk = std::fs::read_to_string(&path).expect("read file");
+        assert_eq!(render_trace(&events), on_disk);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -1,0 +1,111 @@
+//! Concurrency contract of the flight recorder: under many writer
+//! threads wrapping their rings, a snapshot is always a monotone,
+//! gap-free epoch sequence, and a dump of that snapshot replays to the
+//! identical event list.
+
+use ferrocim_telemetry::{read_trace, Event, FlightRecorder, Recorder as _};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Asserts a snapshot's epochs are strictly increasing with no holes.
+fn assert_contiguous(recorder: &FlightRecorder) -> usize {
+    let entries = recorder.snapshot_entries();
+    for pair in entries.windows(2) {
+        assert_eq!(
+            pair[1].epoch,
+            pair[0].epoch + 1,
+            "snapshot epochs must be consecutive (monotone and gap-free)"
+        );
+    }
+    entries.len()
+}
+
+#[test]
+fn wraparound_under_contention_yields_gap_free_epoch_order() {
+    const WRITERS: usize = 8;
+    const EVENTS_PER_WRITER: u64 = 2_000;
+    // Small capacity so every writer wraps its segment many times.
+    let flight = Arc::new(FlightRecorder::new(64));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for writer in 0..WRITERS {
+            let flight = Arc::clone(&flight);
+            scope.spawn(move || {
+                for i in 0..EVENTS_PER_WRITER {
+                    flight.record(&Event::NewtonIter {
+                        iteration: (writer as u64) << 32 | i,
+                    });
+                }
+            });
+        }
+        // A reader snapshots continuously while writers wrap.
+        let reader_flight = Arc::clone(&flight);
+        let reader_stop = Arc::clone(&stop);
+        let reader = scope.spawn(move || {
+            let mut snapshots = 0u64;
+            loop {
+                assert_contiguous(&reader_flight);
+                snapshots += 1;
+                if reader_stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            snapshots
+        });
+        // Run a batch of snapshots on this thread too while the
+        // writers are (likely still) wrapping, then release the reader.
+        for _ in 0..50 {
+            assert_contiguous(&flight);
+        }
+        stop.store(true, Ordering::Relaxed);
+        let snapshots = reader.join().expect("reader thread");
+        assert!(snapshots > 0, "the reader snapshotted under contention");
+    });
+
+    // Quiescent: the final snapshot is contiguous, bounded by the total
+    // ring capacity, and ends at the last allocated epoch.
+    let entries = flight.snapshot_entries();
+    let len = assert_contiguous(&flight);
+    assert_eq!(entries.len(), len);
+    assert!(len >= 1, "something was retained");
+    assert!(
+        len <= WRITERS * flight.capacity(),
+        "retention is bounded by writers x capacity"
+    );
+    let last = entries.last().expect("non-empty").epoch;
+    assert_eq!(
+        last + 1,
+        WRITERS as u64 * EVENTS_PER_WRITER,
+        "the newest epoch is the last one allocated"
+    );
+}
+
+#[test]
+fn snapshot_equals_replay_through_a_dump() {
+    let flight = Arc::new(FlightRecorder::new(32));
+    std::thread::scope(|scope| {
+        for writer in 0..4u64 {
+            let flight = Arc::clone(&flight);
+            scope.spawn(move || {
+                for i in 0..500u64 {
+                    flight.record(&Event::McRunStarted {
+                        run: writer << 16 | i,
+                    });
+                }
+            });
+        }
+    });
+    let snapshot = flight.snapshot();
+    let path = std::env::temp_dir().join(format!(
+        "ferrocim-flight-replay-{}.jsonl",
+        std::process::id()
+    ));
+    let written = flight.dump_to(&path).expect("dump");
+    let replayed = read_trace(&written).expect("dump is a valid ferrocim-trace-v1 file");
+    assert_eq!(
+        replayed, snapshot,
+        "a dump replays to exactly the snapshot's event sequence"
+    );
+    let _ = std::fs::remove_file(&path);
+}

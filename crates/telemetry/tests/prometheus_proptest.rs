@@ -1,0 +1,299 @@
+//! Property test: `Aggregator::render_prometheus` always emits text
+//! that a minimal Prometheus exposition-format parser accepts — metric
+//! names are well-formed, label values are correctly escaped, every
+//! sample belongs to a declared metric family, and histogram buckets
+//! are cumulative and closed by `+Inf`/`_sum`/`_count`.
+
+use ferrocim_telemetry::{Aggregator, Event, Recorder as _, ServeBackendKind, ServeOutcome};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// One parsed sample line: name, sorted labels, value.
+#[derive(Debug, Clone, PartialEq)]
+struct Sample {
+    name: String,
+    labels: BTreeMap<String, String>,
+    value: f64,
+}
+
+fn is_name_char(c: char, first: bool) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':' || (!first && c.is_ascii_digit())
+}
+
+fn parse_name(text: &str) -> Option<(String, &str)> {
+    let mut end = 0;
+    for (i, c) in text.char_indices() {
+        if is_name_char(c, i == 0) {
+            end = i + c.len_utf8();
+        } else {
+            break;
+        }
+    }
+    if end == 0 {
+        return None;
+    }
+    Some((text[..end].to_string(), &text[end..]))
+}
+
+/// Unescapes a label value, rejecting stray backslashes and quotes.
+fn unescape(value: &str) -> Option<String> {
+    let mut out = String::new();
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next()? {
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                'n' => out.push('\n'),
+                _ => return None,
+            },
+            '"' | '\n' => return None,
+            other => out.push(other),
+        }
+    }
+    Some(out)
+}
+
+/// Parses one `{k="v",...}` label block, returning the remainder.
+fn parse_labels(text: &str) -> Option<(BTreeMap<String, String>, &str)> {
+    let mut labels = BTreeMap::new();
+    let mut rest = text.strip_prefix('{')?;
+    loop {
+        if let Some(tail) = rest.strip_prefix('}') {
+            return Some((labels, tail));
+        }
+        let (key, tail) = parse_name(rest)?;
+        let tail = tail.strip_prefix("=\"")?;
+        // The value runs to the first unescaped quote.
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in tail.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end?;
+        let raw = &tail[..end];
+        labels.insert(key, unescape(raw)?);
+        rest = &tail[end + 1..];
+        if let Some(tail) = rest.strip_prefix(',') {
+            rest = tail;
+        }
+    }
+}
+
+/// Parses a full exposition document, failing on any malformed line.
+fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    let mut declared: Vec<(String, String)> = Vec::new(); // (name, type)
+    for (number, line) in text.lines().enumerate() {
+        let fail = |what: &str| Err(format!("line {}: {what}: {line}", number + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            if parse_name(rest).is_none_or(|(_, tail)| !tail.starts_with(' ')) {
+                return fail("bad HELP");
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let Some((name, tail)) = parse_name(rest) else {
+                return fail("bad TYPE");
+            };
+            let kind = tail.trim();
+            if !["counter", "gauge", "histogram"].contains(&kind) {
+                return fail("unknown TYPE");
+            }
+            declared.push((name, kind.to_string()));
+            continue;
+        }
+        if line.starts_with('#') {
+            return fail("unknown comment");
+        }
+        let Some((name, rest)) = parse_name(line) else {
+            return fail("bad sample name");
+        };
+        let (labels, rest) = if rest.starts_with('{') {
+            match parse_labels(rest) {
+                Some(parsed) => parsed,
+                None => return fail("bad label block"),
+            }
+        } else {
+            (BTreeMap::new(), rest)
+        };
+        let value = rest.trim();
+        let Ok(value) = value.parse::<f64>() else {
+            return fail("bad sample value");
+        };
+        // Every sample must belong to a declared family: its exact
+        // name, or a histogram's _bucket/_sum/_count series.
+        let family_ok = declared.iter().any(|(family, kind)| {
+            name == *family
+                || (kind == "histogram"
+                    && [
+                        format!("{family}_bucket"),
+                        format!("{family}_sum"),
+                        format!("{family}_count"),
+                    ]
+                    .contains(&name))
+        });
+        if !family_ok {
+            return fail("sample without a TYPE declaration");
+        }
+        samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    if samples.is_empty() {
+        return Err("no samples".to_string());
+    }
+    Ok(samples)
+}
+
+/// Checks cumulative bucket monotonicity and `_count` == `+Inf` for
+/// every (histogram, label-partition) series in the parse.
+fn assert_histograms_cumulative(samples: &[Sample]) {
+    // Group buckets by (base name, labels minus `le`).
+    let mut series: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    for sample in samples {
+        let Some(base) = sample.name.strip_suffix("_bucket") else {
+            continue;
+        };
+        let mut key_labels = sample.labels.clone();
+        let le = key_labels.remove("le").expect("buckets carry le");
+        let bound = if le == "+Inf" {
+            f64::INFINITY
+        } else {
+            le.parse::<f64>().expect("finite bucket bound")
+        };
+        let key = (base.to_string(), format!("{key_labels:?}"));
+        series.entry(key).or_default().push((bound, sample.value));
+    }
+    assert!(!series.is_empty(), "at least one histogram series");
+    for ((base, labels), mut buckets) in series {
+        buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in buckets.windows(2) {
+            assert!(
+                pair[1].1 >= pair[0].1,
+                "{base}{labels}: cumulative bucket counts must be non-decreasing"
+            );
+        }
+        let (last_bound, last_count) = *buckets.last().expect("non-empty");
+        assert!(last_bound.is_infinite(), "{base}{labels}: closes with +Inf");
+        // The matching _count sample (same non-le labels) agrees.
+        let count = samples
+            .iter()
+            .find(|s| s.name == format!("{base}_count") && format!("{:?}", s.labels) == labels)
+            .unwrap_or_else(|| panic!("{base}{labels}: has a _count sample"));
+        assert_eq!(count.value, last_count, "{base}{labels}: _count == +Inf");
+    }
+}
+
+/// Arbitrary tenant names, including exposition-hostile ones (quotes,
+/// backslashes, newlines, spaces, the empty string).
+fn tenant_strategy() -> impl Strategy<Value = String> {
+    (0usize..8, 0u64..50).prop_map(|(kind, n)| match kind {
+        0 => "evil\"quote".to_string(),
+        1 => "back\\slash".to_string(),
+        2 => "new\nline".to_string(),
+        3 => String::new(),
+        4 => format!("tenant with spaces {n}"),
+        5 => format!("mixed-Chars_{n}:/x"),
+        _ => format!("t{}", n % 12),
+    })
+}
+
+fn outcome_strategy() -> impl Strategy<Value = ServeOutcome> {
+    prop::sample::select(vec![
+        ServeOutcome::Ok,
+        ServeOutcome::Degraded,
+        ServeOutcome::Shed,
+        ServeOutcome::Deadline,
+        ServeOutcome::Rejected,
+        ServeOutcome::Error,
+    ])
+}
+
+fn backend_strategy() -> impl Strategy<Value = ServeBackendKind> {
+    prop::sample::select(vec![
+        ServeBackendKind::Live,
+        ServeBackendKind::Surrogate,
+        ServeBackendKind::Fallback,
+        ServeBackendKind::None,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn render_prometheus_round_trips_through_the_parser(
+        requests in prop::collection::vec(
+            (tenant_strategy(), outcome_strategy(), backend_strategy(), 0.0f64..5e3),
+            0..40,
+        ),
+        newton in prop::collection::vec(1u64..200, 0..10),
+        cap in 1usize..6,
+    ) {
+        let agg = Aggregator::new().with_serve_tenant_cap(cap);
+        for iterations in &newton {
+            agg.record(&Event::NewtonConverged { iterations: *iterations });
+        }
+        for (i, (tenant, outcome, backend, latency_ms)) in requests.iter().enumerate() {
+            agg.record(&Event::ServeDone {
+                request_id: i as u64,
+                tenant: tenant.clone(),
+                outcome: *outcome,
+                backend: *backend,
+                latency_ms: *latency_ms,
+            });
+        }
+        let text = agg.render_prometheus();
+        let samples = parse_exposition(&text).expect("exposition parses");
+        assert_histograms_cumulative(&samples);
+
+        // Label round-trip: every tenant the aggregator reports (after
+        // cardinality capping) appears, exactly unescaped, in the
+        // parsed label sets.
+        let reported: Vec<String> =
+            agg.serve_requests().into_iter().map(|c| c.tenant).collect();
+        for tenant in &reported {
+            prop_assert!(
+                samples.iter().any(|s| {
+                    s.name == "ferrocim_serve_requests_total"
+                        && s.labels.get("tenant") == Some(tenant)
+                }),
+                "tenant {tenant:?} survives escaping and parsing"
+            );
+        }
+        // Cardinality: the parser never sees more distinct tenants than
+        // the cap plus the `other` overflow label.
+        let mut seen: Vec<&String> = samples
+            .iter()
+            .filter(|s| s.name == "ferrocim_serve_requests_total")
+            .filter_map(|s| s.labels.get("tenant"))
+            .collect();
+        seen.sort();
+        seen.dedup();
+        prop_assert!(
+            seen.len() <= cap + 1,
+            "{} tenant labels exceed cap {cap} + other",
+            seen.len()
+        );
+        // The total across labeled cells equals the number of requests.
+        let total: f64 = samples
+            .iter()
+            .filter(|s| s.name == "ferrocim_serve_requests_total")
+            .map(|s| s.value)
+            .sum();
+        prop_assert_eq!(total as usize, requests.len());
+    }
+}

@@ -136,6 +136,8 @@ pub fn extract_metrics(events: &[Event]) -> Vec<(&'static str, u64)> {
         ("serve_retries", c.serve_retries),
         ("serve_degraded", c.serve_degraded),
         ("serve_breaker_open", c.serve_breaker_open),
+        ("serve_done", c.serve_done),
+        ("slo_breaches", c.slo_breaches),
         // Surrogate fast-path outcomes: cache hits/misses plus the
         // check-mode subsample and its envelope violations. A hit count
         // falling (or a miss count rising) means the content-addressed

@@ -32,7 +32,7 @@ pub use diff::{
     diff_extracted, diff_metrics, extract_metrics, has_regression, metrics_from_json, metrics_json,
     render_deltas, Delta, DiffReport, DiffWarning, GATE_DEFAULT_THRESHOLD_PCT,
 };
-pub use summary::{top_spans, SpanRollup, Summary};
+pub use summary::{tenant_rollups, top_spans, SpanRollup, Summary, TenantRollup};
 pub use tree::{SpanNode, SpanTree};
 
 // Re-exported so the bin and downstream tests name one crate.

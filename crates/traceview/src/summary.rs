@@ -50,6 +50,72 @@ pub fn top_spans(events: &[Event]) -> Vec<SpanRollup> {
     out
 }
 
+/// Per-tenant serve outcomes, rolled up from the trace's
+/// [`Event::ServeDone`] records — the typed form of the label
+/// breakdown `/metrics` exposes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantRollup {
+    /// The tenant label.
+    pub tenant: String,
+    /// Terminal requests for this tenant.
+    pub requests: u64,
+    /// Requests answered `ok`.
+    pub ok: u64,
+    /// Requests answered from a degraded tier.
+    pub degraded: u64,
+    /// Requests that burned error budget (shed, deadline, error,
+    /// degraded — everything [`ferrocim_telemetry::ServeOutcome`]
+    /// counts against the SLO).
+    pub budget_burned: u64,
+    /// Total serve latency across the tenant's requests, milliseconds.
+    pub total_latency_ms: f64,
+}
+
+/// Rolls [`Event::ServeDone`] records up by tenant, sorted by
+/// descending request count (ties by tenant name).
+pub fn tenant_rollups(events: &[Event]) -> Vec<TenantRollup> {
+    let mut rollup: Vec<TenantRollup> = Vec::new();
+    for event in events {
+        let Event::ServeDone {
+            tenant,
+            outcome,
+            latency_ms,
+            ..
+        } = event
+        else {
+            continue;
+        };
+        let idx = match rollup.iter().position(|r| r.tenant == *tenant) {
+            Some(idx) => idx,
+            None => {
+                rollup.push(TenantRollup {
+                    tenant: tenant.clone(),
+                    requests: 0,
+                    ok: 0,
+                    degraded: 0,
+                    budget_burned: 0,
+                    total_latency_ms: 0.0,
+                });
+                rollup.len() - 1
+            }
+        };
+        let slot = &mut rollup[idx];
+        slot.requests += 1;
+        slot.total_latency_ms += latency_ms;
+        if *outcome == ferrocim_telemetry::ServeOutcome::Ok {
+            slot.ok += 1;
+        }
+        if *outcome == ferrocim_telemetry::ServeOutcome::Degraded {
+            slot.degraded += 1;
+        }
+        if outcome.burns_error_budget() {
+            slot.budget_burned += 1;
+        }
+    }
+    rollup.sort_by(|a, b| b.requests.cmp(&a.requests).then(a.tenant.cmp(&b.tenant)));
+    rollup
+}
+
 /// The `trace summary` payload for one trace.
 #[derive(Debug)]
 pub struct Summary {
@@ -59,6 +125,8 @@ pub struct Summary {
     pub counts: Counts,
     /// Span labels by descending total wall-clock time.
     pub top_spans: Vec<SpanRollup>,
+    /// Per-tenant serve outcomes (empty for non-serve traces).
+    pub tenants: Vec<TenantRollup>,
     /// Spans whose end never made it into the trace.
     pub open_spans: usize,
     /// The replayed aggregator (for `--prometheus` output).
@@ -77,6 +145,7 @@ impl Summary {
             events: events.len(),
             counts: aggregator.counts(),
             top_spans: top_spans(events),
+            tenants: tenant_rollups(events),
             open_spans: tree.open_spans(),
             aggregator,
         }
@@ -116,8 +185,30 @@ impl Summary {
         count("epochs_done", c.epochs_done);
         count("spans", c.spans);
         count("manifests", c.manifests);
+        count("serve_admitted", c.serve_admitted);
+        count("serve_shed", c.serve_shed);
+        count("serve_retries", c.serve_retries);
+        count("serve_degraded", c.serve_degraded);
+        count("serve_breaker_open", c.serve_breaker_open);
+        count("serve_done", c.serve_done);
+        count("slo_breaches", c.slo_breaches);
+        count("surrogate_hits", c.surrogate_hits);
+        count("surrogate_misses", c.surrogate_misses);
+        count("surrogate_checks", c.surrogate_checks);
+        count("surrogate_check_failures", c.surrogate_check_failures);
         if self.open_spans > 0 {
             let _ = writeln!(out, "open_spans            {}", self.open_spans);
+        }
+        if !self.tenants.is_empty() {
+            let _ = writeln!(out, "\nserve outcomes by tenant:");
+            for t in self.tenants.iter().take(10) {
+                let mean_ms = t.total_latency_ms / t.requests.max(1) as f64;
+                let _ = writeln!(
+                    out,
+                    "  {:<20} {:>6} req  {:>5} ok  {:>5} degraded  {:>5} burned  {:>9.2}ms mean",
+                    t.tenant, t.requests, t.ok, t.degraded, t.budget_burned, mean_ms
+                );
+            }
         }
         let newton = self.aggregator.newton_histogram();
         if newton.total() > 0 {
@@ -197,5 +288,45 @@ mod tests {
         assert!(summary
             .render_prometheus()
             .contains("ferrocim_newton_iterations_total 1"));
+    }
+
+    #[test]
+    fn serve_traces_roll_up_by_tenant() {
+        use ferrocim_telemetry::{ServeBackendKind, ServeOutcome};
+        let done = |tenant: &str, outcome: ServeOutcome, latency_ms: f64| Event::ServeDone {
+            request_id: 7,
+            tenant: tenant.to_string(),
+            outcome,
+            backend: ServeBackendKind::Live,
+            latency_ms,
+        };
+        let events = vec![
+            done("acme", ServeOutcome::Ok, 10.0),
+            done("acme", ServeOutcome::Degraded, 30.0),
+            done("acme", ServeOutcome::Shed, 2.0),
+            done("zeta", ServeOutcome::Ok, 1.0),
+            Event::SloBreach {
+                window: 8,
+                bad: 5,
+                burn_pct: 62.5,
+            },
+        ];
+        let summary = Summary::of(&events);
+        assert_eq!(summary.counts.serve_done, 4);
+        assert_eq!(summary.counts.slo_breaches, 1);
+        assert_eq!(summary.tenants.len(), 2);
+        let acme = &summary.tenants[0];
+        assert_eq!(acme.tenant, "acme", "sorted by descending requests");
+        assert_eq!(acme.requests, 3);
+        assert_eq!(acme.ok, 1);
+        assert_eq!(acme.degraded, 1);
+        assert_eq!(acme.budget_burned, 2, "degraded + shed burn budget");
+        assert!((acme.total_latency_ms - 42.0).abs() < 1e-12);
+        assert_eq!(summary.tenants[1].tenant, "zeta");
+        let text = summary.render_text();
+        assert!(text.contains("serve_done"));
+        assert!(text.contains("slo_breaches"));
+        assert!(text.contains("serve outcomes by tenant:"));
+        assert!(text.contains("acme"));
     }
 }

@@ -11,14 +11,20 @@
 # `trace metrics` JSON extracts, not full traces, so they diff cleanly
 # in git.
 #
-# The serving probe (probe_serve, DESIGN.md §16) and the surrogate
-# probe (probe_surrogate, DESIGN.md §17) are gated differently: shed
-# counts and wall-clock speedups are load- and machine-dependent by
-# design, so instead of a trace diff each self-gates against the
-# hand-set *bounds* in baselines/probe_serve.json (max shed rate, max
-# p99, min completions, min surrogate rate, zero untyped responses)
-# and baselines/probe_surrogate.json (min speedup, max certified
-# envelope, zero check failures). --update never rewrites those files.
+# The serving probe (probe_serve, DESIGN.md §16), the surrogate probe
+# (probe_surrogate, DESIGN.md §17), and the observability probe
+# (probe_observe, DESIGN.md §18) are gated differently: shed counts,
+# wall-clock speedups, and recording overheads are load- and
+# machine-dependent by design, so instead of a trace diff each
+# self-gates against the hand-set *bounds* in baselines/probe_serve.json
+# (max shed rate, max p99, min completions, min surrogate rate, zero
+# untyped responses), baselines/probe_surrogate.json (min speedup, max
+# certified envelope, zero check failures), and
+# baselines/probe_observe.json (max flight-recording overhead, a
+# breaker trip recovered from the incident dump, bounded tenant
+# cardinality). --update never rewrites those files. probe_observe's
+# incident dumps land under $OUT/flight-dumps so a failing CI run can
+# attach them as artifacts.
 #
 # Usage: scripts/bench_gate.sh [--update]
 #   --update            rewrite baselines/ from this run instead of gating
@@ -75,15 +81,20 @@ for bench in "${BENCHES[@]}"; do
   fi
 done
 
-SELF_GATED=(probe_serve probe_surrogate)
+SELF_GATED=(probe_serve probe_surrogate probe_observe)
 declare -A SELF_GATED_OK=(
   [probe_serve]="serving contract held (typed responses, bounded tail, clean drain)"
   [probe_surrogate]="surrogate contract held (fast, certified, checked, domain-honest)"
+  [probe_observe]="observability contract held (cheap recording, parseable dumps, bounded cardinality)"
+)
+declare -A SELF_GATED_ARGS=(
+  [probe_observe]="--dump-dir $OUT/flight-dumps"
 )
 for bench in "${SELF_GATED[@]}"; do
   echo "==> $bench (self-gating against baselines/$bench.json)"
+  # shellcheck disable=SC2086 — the per-bench extra args are word-split on purpose.
   if "target/release/$bench" --trace "$OUT/$bench.jsonl" \
-      --gate "baselines/$bench.json" > "$OUT/$bench.log" 2>&1; then
+      --gate "baselines/$bench.json" ${SELF_GATED_ARGS[$bench]:-} > "$OUT/$bench.log" 2>&1; then
     "$TRACE" summary "$OUT/$bench.jsonl" > "$OUT/$bench.summary.txt"
     echo "    ok: ${SELF_GATED_OK[$bench]}"
   else
